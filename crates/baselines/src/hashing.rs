@@ -1,0 +1,119 @@
+//! The hashing strawman of §3 — and why it is not private.
+//!
+//! "Sketching can be viewed as an analog of hashing but with better privacy
+//! protection. Indeed, if each user hashes their value on a subset of bits
+//! B, then the hash value can be used to answer the query I(B, v) […]
+//! However, even though the hash function is non-reversible, it might
+//! violate privacy. Indeed, if Bob knows that Alice's private value can be
+//! only one out of 100 known possible values, then once he sees the hash
+//! value, by applying the hash function to each potential value, he can
+//! deduce the original value."
+//!
+//! [`HashPublisher`] is that scheme; the dictionary attack that breaks it
+//! lives in [`crate::attacks`].
+
+use psketch_core::{BitString, BitSubset, Profile, UserId};
+use psketch_prf::{GlobalKey, InputEncoder, Prf, SipPrf};
+
+/// Domain tag for the hashing strawman (distinct from the sketch `H`).
+const DOMAIN_HASH: u8 = 0x02;
+
+/// The hashing publisher: users release `hash(id ‖ B ‖ d_B)`.
+///
+/// Deterministic and exact — queries are answered *perfectly* (count users
+/// whose hash equals the hash of the queried value), which is precisely
+/// why it offers no privacy against an attacker who can enumerate
+/// candidate values.
+#[derive(Debug, Clone, Copy)]
+pub struct HashPublisher {
+    prf: SipPrf,
+}
+
+impl HashPublisher {
+    /// Creates a publisher with a public hash key (everyone — including
+    /// the attacker — can evaluate the hash, as in the paper's scenario).
+    #[must_use]
+    pub fn new(key: &GlobalKey) -> Self {
+        Self {
+            prf: SipPrf::new(key),
+        }
+    }
+
+    /// The published value for `(id, d_B)`.
+    #[must_use]
+    pub fn publish(&self, id: UserId, subset: &BitSubset, profile: &Profile) -> u64 {
+        self.hash_value(id, subset, &profile.project(subset))
+    }
+
+    /// Hash of an arbitrary candidate value (what the analyst — or the
+    /// attacker — computes).
+    #[must_use]
+    pub fn hash_value(&self, id: UserId, subset: &BitSubset, value: &BitString) -> u64 {
+        let mut enc = InputEncoder::with_domain(DOMAIN_HASH);
+        enc.put_u64(id.0);
+        enc.put_u32_seq(subset.positions());
+        enc.put_bits(&value.to_bools());
+        self.prf.eval_u64(enc.as_bytes())
+    }
+
+    /// Exact query answering: the fraction of published hashes equal to
+    /// the hash of `v` — noiseless, unlike every private scheme.
+    #[must_use]
+    pub fn query(
+        &self,
+        published: &[(UserId, u64)],
+        subset: &BitSubset,
+        value: &BitString,
+    ) -> f64 {
+        if published.is_empty() {
+            return 0.0;
+        }
+        let hits = published
+            .iter()
+            .filter(|(id, h)| *h == self.hash_value(*id, subset, value))
+            .count();
+        hits as f64 / published.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_exact() {
+        let publisher = HashPublisher::new(&GlobalKey::from_seed(7));
+        let subset = BitSubset::range(0, 4);
+        let published: Vec<(UserId, u64)> = (0..100u64)
+            .map(|i| {
+                let profile = Profile::from_bits(&[i % 4 == 0, true, false, true]);
+                (UserId(i), publisher.publish(UserId(i), &subset, &profile))
+            })
+            .collect();
+        let v = BitString::from_bits(&[true, true, false, true]);
+        let frac = publisher.query(&published, &subset, &v);
+        assert!((frac - 0.25).abs() < 1e-12, "hash queries are exact: {frac}");
+    }
+
+    #[test]
+    fn per_user_hashes_differ_for_same_value() {
+        // The id is hashed in, so equal values do not collide across users
+        // (matching the paper's per-user independence requirement).
+        let publisher = HashPublisher::new(&GlobalKey::from_seed(7));
+        let subset = BitSubset::single(0);
+        let profile = Profile::from_bits(&[true]);
+        let h1 = publisher.publish(UserId(1), &subset, &profile);
+        let h2 = publisher.publish(UserId(2), &subset, &profile);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn empty_publication_queries_to_zero() {
+        let publisher = HashPublisher::new(&GlobalKey::from_seed(7));
+        let subset = BitSubset::single(0);
+        assert_eq!(
+            publisher.query(&[], &subset, &BitString::from_bits(&[true])),
+            0.0
+        );
+    }
+}

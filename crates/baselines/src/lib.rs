@@ -1,0 +1,38 @@
+//! # psketch-baselines — every comparator the paper discusses
+//!
+//! The paper's claims are comparative; this crate makes each comparison
+//! runnable:
+//!
+//! * [`warner`] — Warner's randomized response (bit flipping), the §2 and
+//!   Appendix B baseline;
+//! * [`rr_estimators`] — product and matrix reconstructions of conjunction
+//!   frequencies over flipped bits, whose error grows exponentially in the
+//!   conjunction width (the foil for the paper's width-independent
+//!   sketches);
+//! * [`retention`] — retention replacement (Agrawal et al.) for
+//!   non-binary data, with its domain-size-linear privacy ratio;
+//! * [`hashing`] — the §3 hashing strawman: exact queries, no privacy;
+//! * [`sulq`] — output perturbation with a query budget (Appendix A);
+//! * [`tiered`] — Appendix A's hybrid service: paid output perturbation
+//!   degrading to free sketch-based answers when the budget runs out;
+//! * [`attacks`] — the dictionary attack, the intro's partial-knowledge
+//!   attack, and the exact-posterior sketch attacker that fails.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod hashing;
+pub mod retention;
+pub mod rr_estimators;
+pub mod sulq;
+pub mod tiered;
+pub mod warner;
+
+pub use attacks::{dictionary_attack, retention_posterior, sketch_posterior};
+pub use hashing::HashPublisher;
+pub use retention::RetentionChannel;
+pub use rr_estimators::{randomize_profiles, RrDatabase};
+pub use sulq::{standard_normal, SulqServer};
+pub use tiered::{Tier, TieredAnswer, TieredServer};
+pub use warner::WarnerChannel;

@@ -1,0 +1,195 @@
+//! Retention replacement (Agrawal, Srikant & Thomas, SIGMOD 2005) — the
+//! non-binary baseline and its privacy weakness.
+//!
+//! "Each user keeps their true value with fixed probability, or replaces
+//! their true value with noise. Arbitrary queries involving a fixed number
+//! of attributes can be answered with this technique. However, it has the
+//! disadvantage that an attacker with prior knowledge could learn a lot
+//! of information about a user." (§1.) The partial-knowledge attack is in
+//! [`crate::attacks`]; this module implements the channel and its
+//! estimators so both sides of that comparison are runnable.
+
+use psketch_core::Error;
+use rand::{Rng, RngExt};
+
+/// The retention-replacement channel over a finite domain `{0, …, n−1}`:
+/// keep the true value with probability `rho`, otherwise replace it with a
+/// uniform domain element (possibly the true value again).
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionChannel {
+    rho: f64,
+    domain_size: u64,
+}
+
+impl RetentionChannel {
+    /// Creates a channel.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidBias`] unless `0 < rho < 1` and the domain has at
+    /// least two elements.
+    pub fn new(rho: f64, domain_size: u64) -> Result<Self, Error> {
+        if !(rho > 0.0 && rho < 1.0) {
+            return Err(Error::InvalidBias { p: rho });
+        }
+        if domain_size < 2 {
+            return Err(Error::InvalidBias {
+                p: domain_size as f64,
+            });
+        }
+        Ok(Self { rho, domain_size })
+    }
+
+    /// The retention probability.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The domain size.
+    #[must_use]
+    pub fn domain_size(&self) -> u64 {
+        self.domain_size
+    }
+
+    /// Perturbs one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    #[must_use]
+    pub fn perturb<R: Rng + ?Sized>(&self, value: u64, rng: &mut R) -> u64 {
+        assert!(value < self.domain_size, "value outside domain");
+        if rng.random::<f64>() < self.rho {
+            value
+        } else {
+            rng.random_range(0..self.domain_size)
+        }
+    }
+
+    /// Perturbs a sequence of values independently (the intro's
+    /// `⟨1,1,2,2,3,3⟩ → ⟨1,9,8,2,3,5⟩` scenario).
+    #[must_use]
+    pub fn perturb_sequence<R: Rng + ?Sized>(&self, values: &[u64], rng: &mut R) -> Vec<u64> {
+        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    }
+
+    /// Unbiased inversion of a point frequency: from the observed fraction
+    /// of users reporting `v`, estimates the true fraction holding `v`:
+    /// `E[f̃(v)] = ρ·f(v) + (1−ρ)/n`.
+    #[must_use]
+    pub fn estimate_point(&self, observed_fraction: f64) -> f64 {
+        (observed_fraction - (1.0 - self.rho) / self.domain_size as f64) / self.rho
+    }
+
+    /// Unbiased inversion of an interval frequency `P[a ≤ c]`:
+    /// `E[f̃(≤c)] = ρ·f(≤c) + (1−ρ)·(c+1)/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside the domain.
+    #[must_use]
+    pub fn estimate_interval(&self, observed_fraction: f64, c: u64) -> f64 {
+        assert!(c < self.domain_size);
+        let baseline = (1.0 - self.rho) * (c + 1) as f64 / self.domain_size as f64;
+        (observed_fraction - baseline) / self.rho
+    }
+
+    /// The worst-case single-value likelihood ratio
+    /// `Pr[obs = v | true = v] / Pr[obs = v | true ≠ v]
+    ///  = (ρ + (1−ρ)/n)/((1−ρ)/n) = 1 + ρ·n/(1−ρ)`.
+    ///
+    /// Unlike the sketch bound (Lemma 3.3), this grows **linearly in the
+    /// domain size** — retention replacement is *not* ε-private for any
+    /// domain-independent ε, which is exactly the paper's complaint.
+    #[must_use]
+    pub fn privacy_ratio(&self) -> f64 {
+        1.0 + self.rho * self.domain_size as f64 / (1.0 - self.rho)
+    }
+
+    /// Per-observation log-likelihood of an observed value given a
+    /// hypothesized true value (used by the partial-knowledge attack).
+    #[must_use]
+    pub fn log_likelihood(&self, observed: u64, hypothesis: u64) -> f64 {
+        let noise = (1.0 - self.rho) / self.domain_size as f64;
+        if observed == hypothesis {
+            (self.rho + noise).ln()
+        } else {
+            noise.ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validation() {
+        assert!(RetentionChannel::new(0.0, 10).is_err());
+        assert!(RetentionChannel::new(1.0, 10).is_err());
+        assert!(RetentionChannel::new(0.5, 1).is_err());
+        assert!(RetentionChannel::new(0.5, 2).is_ok());
+    }
+
+    #[test]
+    fn retention_rate_matches_rho() {
+        let ch = RetentionChannel::new(0.7, 100).unwrap();
+        let mut rng = Prg::seed_from_u64(100);
+        let n = 50_000;
+        let kept = (0..n).filter(|_| ch.perturb(42, &mut rng) == 42).count();
+        // P[obs = true] = ρ + (1−ρ)/n = 0.7 + 0.003.
+        let rate = kept as f64 / n as f64;
+        assert!((rate - 0.703).abs() < 0.01, "kept rate {rate}");
+    }
+
+    #[test]
+    fn point_estimation_roundtrip() {
+        let ch = RetentionChannel::new(0.6, 16).unwrap();
+        let mut rng = Prg::seed_from_u64(101);
+        let m = 60_000;
+        // 30% of users hold value 5, the rest hold 9.
+        let observed_5 = (0..m)
+            .filter(|&i| ch.perturb(if i % 10 < 3 { 5 } else { 9 }, &mut rng) == 5)
+            .count();
+        let est = ch.estimate_point(observed_5 as f64 / m as f64);
+        assert!((est - 0.3).abs() < 0.02, "point estimate {est}");
+    }
+
+    #[test]
+    fn interval_estimation_roundtrip() {
+        let ch = RetentionChannel::new(0.5, 32).unwrap();
+        let mut rng = Prg::seed_from_u64(102);
+        let m = 60_000;
+        // True values uniform on {0..7}: P[v ≤ 3] = 0.5.
+        let observed = (0..m)
+            .filter(|&i| ch.perturb(i % 8, &mut rng) <= 3)
+            .count();
+        let est = ch.estimate_interval(observed as f64 / m as f64, 3);
+        assert!((est - 0.5).abs() < 0.02, "interval estimate {est}");
+    }
+
+    #[test]
+    fn privacy_ratio_grows_with_domain() {
+        let small = RetentionChannel::new(0.5, 10).unwrap().privacy_ratio();
+        let large = RetentionChannel::new(0.5, 1000).unwrap().privacy_ratio();
+        assert!((small - 11.0).abs() < 1e-12);
+        assert!((large - 1001.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_prefers_truth() {
+        let ch = RetentionChannel::new(0.4, 10).unwrap();
+        assert!(ch.log_likelihood(3, 3) > ch.log_likelihood(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_value_rejected() {
+        let ch = RetentionChannel::new(0.5, 4).unwrap();
+        let mut rng = Prg::seed_from_u64(103);
+        let _ = ch.perturb(4, &mut rng);
+    }
+}

@@ -1,0 +1,248 @@
+//! Conjunction estimators over randomized-response data — the foil for the
+//! paper's headline claim.
+//!
+//! Given Warner-flipped profiles, two standard reconstructions recover a
+//! width-`k` conjunction frequency:
+//!
+//! * the **product estimator** — unbiased, with variance inflated by
+//!   `(1−2p)^{−2k}`: *exponential in the conjunction width*;
+//! * the **matrix estimator** — the Appendix F linear system specialized
+//!   to physical bits; its error is governed by the condition number of
+//!   `V`, which also grows exponentially in `k`.
+//!
+//! "The error introduced seems to grow exponentially in the number of bits
+//! involved and thus only appears to be useful for answering short […]
+//! conjunctive queries" — experiment E5 measures both estimators against
+//! the width-independent sketch estimator.
+
+use psketch_core::{recover_from_bits, BitString, BitSubset, Error, Profile};
+use psketch_queries::PerturbedBitTable;
+
+/// A randomized-response view of a population: flipped profiles plus the
+/// flip probability that produced them.
+#[derive(Debug, Clone)]
+pub struct RrDatabase {
+    flip_p: f64,
+    profiles: Vec<Profile>,
+}
+
+impl RrDatabase {
+    /// Wraps flipped profiles.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidBias`] unless `0 < flip_p < 1/2`;
+    /// [`Error::EmptyDatabase`] for no profiles.
+    pub fn new(flip_p: f64, profiles: Vec<Profile>) -> Result<Self, Error> {
+        if !(flip_p > 0.0 && flip_p < 0.5) {
+            return Err(Error::InvalidBias { p: flip_p });
+        }
+        if profiles.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        Ok(Self { flip_p, profiles })
+    }
+
+    /// Number of users.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the database is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The flip probability.
+    #[must_use]
+    pub fn flip_p(&self) -> f64 {
+        self.flip_p
+    }
+
+    /// Per-user *match rows* for a conjunction `d_B = v`: entry `j` is
+    /// whether the observed bit at `B[j]` equals `v[j]` — the true match
+    /// indicator flipped with probability `p`.
+    fn match_rows(&self, subset: &BitSubset, value: &BitString) -> Vec<Vec<bool>> {
+        self.profiles
+            .iter()
+            .map(|profile| {
+                subset
+                    .positions()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &pos)| profile.get(pos as usize) == value.get(j))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Product-estimator for `freq(d_B = v)`.
+    ///
+    /// Unbiased; standard deviation scales as `(1−2p)^{−k}/√M`.
+    ///
+    /// # Errors
+    ///
+    /// Width mismatches surface as [`Error::WidthMismatch`].
+    pub fn product_estimate(&self, subset: &BitSubset, value: &BitString) -> Result<f64, Error> {
+        if subset.len() != value.len() {
+            return Err(Error::WidthMismatch {
+                subset: subset.len(),
+                value: value.len(),
+            });
+        }
+        let k = subset.len();
+        let mut table = PerturbedBitTable::new(vec![self.flip_p; k]);
+        for row in self.match_rows(subset, value) {
+            table.push_row(row)?;
+        }
+        let constraints: Vec<(usize, bool)> = (0..k).map(|c| (c, true)).collect();
+        table.estimate_conjunction(&constraints)
+    }
+
+    /// Matrix-estimator (Appendix F system on physical bits) for
+    /// `freq(d_B = v)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RrDatabase::product_estimate`].
+    pub fn matrix_estimate(&self, subset: &BitSubset, value: &BitString) -> Result<f64, Error> {
+        if subset.len() != value.len() {
+            return Err(Error::WidthMismatch {
+                subset: subset.len(),
+                value: value.len(),
+            });
+        }
+        let rows = self.match_rows(subset, value);
+        let est = recover_from_bits(subset.len(), self.flip_p, rows)?;
+        Ok(est.all_satisfied())
+    }
+
+    /// The product estimator's variance inflation `(1−2p)^{−2k}` at width
+    /// `k` — the quantity that makes RR-style reconstruction collapse for
+    /// wide conjunctions.
+    #[must_use]
+    pub fn variance_inflation(&self, k: usize) -> f64 {
+        (1.0 - 2.0 * self.flip_p).powi(-2 * k as i32)
+    }
+}
+
+/// Flips every profile of a population through a Warner channel.
+///
+/// Convenience for experiments: `(flip_p, rng, profiles) → RrDatabase`.
+///
+/// # Errors
+///
+/// As [`RrDatabase::new`].
+pub fn randomize_profiles<R: rand::Rng + ?Sized>(
+    flip_p: f64,
+    profiles: impl IntoIterator<Item = Profile>,
+    rng: &mut R,
+) -> Result<RrDatabase, Error> {
+    let channel = crate::warner::WarnerChannel::new(flip_p)?;
+    let flipped: Vec<Profile> = profiles
+        .into_iter()
+        .map(|p| channel.flip_profile(&p, rng))
+        .collect();
+    RrDatabase::new(flip_p, flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    /// A population where a planted fraction satisfies the all-ones value
+    /// on the first k bits.
+    fn planted(m: usize, k: usize, fraction: f64) -> Vec<Profile> {
+        (0..m)
+            .map(|i| {
+                let mut bits = vec![true; k];
+                if (i as f64) >= fraction * m as f64 {
+                    bits[i % k] = false;
+                }
+                Profile::from_bits(&bits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn product_estimator_recovers_narrow_conjunctions() {
+        let mut rng = Prg::seed_from_u64(90);
+        let db = randomize_profiles(0.2, planted(40_000, 3, 0.45), &mut rng).unwrap();
+        let subset = BitSubset::range(0, 3);
+        let value = BitString::from_bits(&[true; 3]);
+        let est = db.product_estimate(&subset, &value).unwrap();
+        assert!((est - 0.45).abs() < 0.03, "product estimate {est}");
+    }
+
+    #[test]
+    fn matrix_estimator_recovers_narrow_conjunctions() {
+        let mut rng = Prg::seed_from_u64(91);
+        let db = randomize_profiles(0.2, planted(40_000, 3, 0.45), &mut rng).unwrap();
+        let subset = BitSubset::range(0, 3);
+        let value = BitString::from_bits(&[true; 3]);
+        let est = db.matrix_estimate(&subset, &value).unwrap();
+        assert!((est - 0.45).abs() < 0.03, "matrix estimate {est}");
+    }
+
+    #[test]
+    fn error_grows_with_width() {
+        // The headline contrast: at fixed M, widening the conjunction
+        // degrades RR estimates. Measure RMS error over repetitions.
+        let m = 4_000;
+        let p = 0.3;
+        let rms = |k: usize| {
+            let mut sq = 0.0;
+            let reps = 12;
+            for rep in 0..reps {
+                let mut rng = Prg::seed_from_u64(92 + rep);
+                let db = randomize_profiles(p, planted(m, k, 0.5), &mut rng).unwrap();
+                let subset = BitSubset::range(0, k as u32);
+                let value = BitString::from_bits(&vec![true; k]);
+                let est = db.product_estimate(&subset, &value).unwrap();
+                sq += (est - 0.5_f64).powi(2);
+            }
+            (sq / reps as f64).sqrt()
+        };
+        let narrow = rms(2);
+        let wide = rms(10);
+        assert!(
+            wide > 4.0 * narrow,
+            "width-10 RMS {wide} should dwarf width-2 RMS {narrow}"
+        );
+    }
+
+    #[test]
+    fn variance_inflation_is_exponential() {
+        let db = RrDatabase::new(0.3, vec![Profile::zeros(1)]).unwrap();
+        let ratio = db.variance_inflation(8) / db.variance_inflation(4);
+        assert!((ratio - db.variance_inflation(4)).abs() < 1e-6);
+        assert!(db.variance_inflation(16) > 1e10);
+    }
+
+    #[test]
+    fn negated_values_supported() {
+        let mut rng = Prg::seed_from_u64(93);
+        // All users have bit0=1, bit1=0.
+        let profiles = vec![Profile::from_bits(&[true, false]); 20_000];
+        let db = randomize_profiles(0.25, profiles, &mut rng).unwrap();
+        let subset = BitSubset::range(0, 2);
+        let est = db
+            .product_estimate(&subset, &BitString::from_bits(&[true, false]))
+            .unwrap();
+        assert!((est - 1.0).abs() < 0.05, "negated estimate {est}");
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(RrDatabase::new(0.5, vec![Profile::zeros(1)]).is_err());
+        assert!(RrDatabase::new(0.2, vec![]).is_err());
+        let db = RrDatabase::new(0.2, vec![Profile::zeros(2)]).unwrap();
+        assert!(db
+            .product_estimate(&BitSubset::single(0), &BitString::from_bits(&[true, false]))
+            .is_err());
+    }
+}

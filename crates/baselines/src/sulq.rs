@@ -1,0 +1,177 @@
+//! Output perturbation (SULQ-style) — the Appendix A comparison.
+//!
+//! Appendix A positions sketches against the output-perturbation model of
+//! Blum–Dwork–McSherry–Nissim: a trusted server holds the raw data and
+//! answers counting queries with additive noise `E ≤ √M`, but "the total
+//! number of queries answered in this mode is limited (by the minimum of
+//! E² and the total number of users in the database). Once the limit of
+//! queries is exhausted the system will stop answering."
+//!
+//! [`SulqServer`] implements that contract so experiment E13 can put the
+//! two regimes side by side: bounded queries at `√M` noise (here) versus
+//! unlimited queries at `O(√M)` noise (sketches).
+
+use psketch_core::{BitString, BitSubset, Error, Profile};
+use rand::{Rng, RngExt};
+
+/// A trusted-server counting oracle with additive Gaussian noise and a
+/// hard query budget.
+#[derive(Debug)]
+pub struct SulqServer {
+    profiles: Vec<Profile>,
+    noise_std: f64,
+    max_queries: u64,
+    answered: u64,
+}
+
+impl SulqServer {
+    /// Creates a server over raw profiles.
+    ///
+    /// `noise_std` is the per-answer noise standard deviation (Appendix A's
+    /// `E`); `max_queries` the budget (Appendix A suggests `min(E², M)`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] when no profiles are supplied.
+    pub fn new(profiles: Vec<Profile>, noise_std: f64, max_queries: u64) -> Result<Self, Error> {
+        if profiles.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        Ok(Self {
+            profiles,
+            noise_std,
+            max_queries,
+            answered: 0,
+        })
+    }
+
+    /// The Appendix A default budget `min(E², M)`.
+    #[must_use]
+    pub fn default_budget(noise_std: f64, m: usize) -> u64 {
+        let e2 = (noise_std * noise_std).floor();
+        (e2 as u64).min(m as u64)
+    }
+
+    /// Queries answered so far.
+    #[must_use]
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    /// Remaining budget.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.max_queries - self.answered
+    }
+
+    /// Answers a conjunction *count* query with additive noise, consuming
+    /// one unit of budget.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BudgetExceeded`] once the budget is exhausted — the
+    /// server "will stop answering those queries".
+    pub fn answer_count<R: Rng + ?Sized>(
+        &mut self,
+        subset: &BitSubset,
+        value: &BitString,
+        rng: &mut R,
+    ) -> Result<f64, Error> {
+        if self.answered >= self.max_queries {
+            return Err(Error::BudgetExceeded {
+                spent: self.answered as f64,
+                budget: self.max_queries as f64,
+            });
+        }
+        self.answered += 1;
+        let true_count = self
+            .profiles
+            .iter()
+            .filter(|p| p.satisfies(subset, value))
+            .count() as f64;
+        Ok(true_count + self.noise_std * standard_normal(rng))
+    }
+}
+
+/// A standard normal variate via the Box–Muller transform.
+///
+/// `rand` ships no Gaussian distribution in this workspace's dependency
+/// set, and two uniforms per variate is plenty for experiment noise.
+#[must_use]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by nudging u1 away from zero.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    fn profiles(m: usize) -> Vec<Profile> {
+        (0..m)
+            .map(|i| Profile::from_bits(&[i % 4 == 0, i % 2 == 0]))
+            .collect()
+    }
+
+    #[test]
+    fn answers_are_noisy_but_centered() {
+        let m = 10_000;
+        let mut server = SulqServer::new(profiles(m), (m as f64).sqrt(), 1_000).unwrap();
+        let mut rng = Prg::seed_from_u64(110);
+        let subset = BitSubset::single(0);
+        let v = BitString::from_bits(&[true]);
+        let answers: Vec<f64> = (0..200)
+            .map(|_| server.answer_count(&subset, &v, &mut rng).unwrap())
+            .collect();
+        let mean = answers.iter().sum::<f64>() / answers.len() as f64;
+        let truth = (m / 4) as f64;
+        // Noise std = 100; SE of mean of 200 ≈ 7.
+        assert!((mean - truth).abs() < 30.0, "mean answer {mean} vs {truth}");
+        // And individual answers are genuinely noisy.
+        let distinct: std::collections::HashSet<u64> =
+            answers.iter().map(|a| a.to_bits()).collect();
+        assert!(distinct.len() > 150, "answers look deterministic");
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut server = SulqServer::new(profiles(100), 10.0, 3).unwrap();
+        let mut rng = Prg::seed_from_u64(111);
+        let subset = BitSubset::single(0);
+        let v = BitString::from_bits(&[true]);
+        for _ in 0..3 {
+            server.answer_count(&subset, &v, &mut rng).unwrap();
+        }
+        assert_eq!(server.remaining(), 0);
+        assert!(matches!(
+            server.answer_count(&subset, &v, &mut rng),
+            Err(Error::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn default_budget_formula() {
+        assert_eq!(SulqServer::default_budget(10.0, 1_000), 100);
+        assert_eq!(SulqServer::default_budget(100.0, 1_000), 1_000);
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = Prg::seed_from_u64(112);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| x * x).sum::<f64>() / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "normal variance {var}");
+    }
+
+    #[test]
+    fn empty_database_rejected() {
+        assert!(SulqServer::new(vec![], 1.0, 1).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The Appendix A hybrid server: paid output perturbation + free sketches.
+//!
+//! "From a practical point of view, one might want to implement both input
+//! and output perturbation in their system, and then offer two types of
+//! access (for example paid and free). The paid mode would correspond to
+//! output perturbation … and would only add a small noise E ≤ √M … the
+//! total number of queries answered in this mode is limited … Even before
+//! the system exhausts paid queries, it can be used in the second mode,
+//! where it adds noise O(√M), but the database can answer an unlimited
+//! number of queries."
+
+use crate::sulq::SulqServer;
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Error, Profile, SketchDb,
+    SketchParams, Sketcher, UserId,
+};
+use rand::Rng;
+
+/// Which access tier answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Output perturbation: low noise, budgeted.
+    Paid,
+    /// Sketch-based input perturbation: unlimited.
+    Free,
+}
+
+/// A fractional count answer with its serving tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredAnswer {
+    /// Estimated count of satisfying users.
+    pub count: f64,
+    /// The tier that served it.
+    pub tier: Tier,
+}
+
+/// The two-tier server of Appendix A.
+///
+/// Construction ingests the raw data once: the paid tier keeps it (it is
+/// the trusted component), the free tier immediately converts it into
+/// sketches and *could* discard the raw data — queries on the free tier
+/// touch only sketches.
+#[derive(Debug)]
+pub struct TieredServer {
+    paid: SulqServer,
+    free_db: SketchDb,
+    estimator: ConjunctiveEstimator,
+    population: usize,
+}
+
+impl TieredServer {
+    /// Builds the server over raw profiles.
+    ///
+    /// `params` configures the free (sketch) tier; the paid tier uses
+    /// noise `√M` and the Appendix A budget `min(E², M) = M`.
+    /// `subsets` is the sketching plan for the free tier.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] for an empty population; sketching errors
+    /// propagate (exhaustion is skipped per-user, as usual).
+    pub fn new<R: Rng + ?Sized>(
+        profiles: Vec<Profile>,
+        params: SketchParams,
+        subsets: &[BitSubset],
+        rng: &mut R,
+    ) -> Result<Self, Error> {
+        if profiles.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let m = profiles.len();
+        let noise = (m as f64).sqrt();
+        let budget = SulqServer::default_budget(noise, m);
+        let free_db = SketchDb::new();
+        let sketcher = Sketcher::new(params);
+        for (i, profile) in profiles.iter().enumerate() {
+            for subset in subsets {
+                match sketcher.sketch(UserId(i as u64), profile, subset, rng) {
+                    Ok(sketch) => free_db.insert(subset.clone(), UserId(i as u64), sketch),
+                    Err(Error::KeySpaceExhausted { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(Self {
+            paid: SulqServer::new(profiles, noise, budget)?,
+            free_db,
+            estimator: ConjunctiveEstimator::new(params),
+            population: m,
+        })
+    }
+
+    /// Remaining paid-tier budget.
+    #[must_use]
+    pub fn paid_remaining(&self) -> u64 {
+        self.paid.remaining()
+    }
+
+    /// Answers a conjunction count, preferring the paid tier while its
+    /// budget lasts and degrading to the free tier afterwards — exactly
+    /// the Appendix A service model.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownSubset`] if the free tier must serve but the
+    ///   subset was never sketched;
+    /// * width errors from query construction.
+    pub fn answer_count<R: Rng + ?Sized>(
+        &mut self,
+        subset: &BitSubset,
+        value: &BitString,
+        rng: &mut R,
+    ) -> Result<TieredAnswer, Error> {
+        if self.paid.remaining() > 0 {
+            let count = self.paid.answer_count(subset, value, rng)?;
+            return Ok(TieredAnswer {
+                count,
+                tier: Tier::Paid,
+            });
+        }
+        let query = ConjunctiveQuery::new(subset.clone(), value.clone())?;
+        let est = self.estimator.estimate(&self.free_db, &query)?;
+        Ok(TieredAnswer {
+            count: est.fraction * self.population as f64,
+            tier: Tier::Free,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    fn build(m: usize) -> (TieredServer, BitSubset, f64, Prg) {
+        let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(91)).unwrap();
+        let subset = BitSubset::range(0, 2);
+        let profiles: Vec<Profile> = (0..m)
+            .map(|i| Profile::from_bits(&[i % 4 == 0, i % 2 == 0]))
+            .collect();
+        let truth = profiles
+            .iter()
+            .filter(|p| p.get(0) && p.get(1))
+            .count() as f64;
+        let mut rng = Prg::seed_from_u64(92);
+        let server =
+            TieredServer::new(profiles, params, std::slice::from_ref(&subset), &mut rng)
+                .unwrap();
+        (server, subset, truth, rng)
+    }
+
+    #[test]
+    fn paid_tier_serves_until_budget_then_free_takes_over() {
+        let m = 2_000;
+        let (mut server, subset, truth, mut rng) = build(m);
+        let budget = server.paid_remaining();
+        assert_eq!(budget, m as u64); // min(E², M) with E = √M
+        let value = BitString::from_bits(&[true, true]);
+        let mut paid_answers = 0u64;
+        let mut free_answers = 0u64;
+        for _ in 0..(budget + 500) {
+            let ans = server.answer_count(&subset, &value, &mut rng).unwrap();
+            match ans.tier {
+                Tier::Paid => paid_answers += 1,
+                Tier::Free => free_answers += 1,
+            }
+            // Every answer, of either tier, is in the right ballpark:
+            // noise is O(√M) ≈ 45.
+            assert!(
+                (ans.count - truth).abs() < 8.0 * (m as f64).sqrt(),
+                "answer {} too far from truth {truth}",
+                ans.count
+            );
+        }
+        assert_eq!(paid_answers, budget);
+        assert_eq!(free_answers, 500);
+        assert_eq!(server.paid_remaining(), 0);
+    }
+
+    #[test]
+    fn free_tier_requires_sketched_subsets() {
+        let (mut server, _subset, _truth, mut rng) = build(100);
+        // Exhaust the paid tier.
+        let value = BitString::from_bits(&[true]);
+        let unsketched = BitSubset::single(1);
+        while server.paid_remaining() > 0 {
+            let _ = server.answer_count(&unsketched, &value, &mut rng).unwrap();
+        }
+        assert!(matches!(
+            server.answer_count(&unsketched, &value, &mut rng),
+            Err(Error::UnknownSubset { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(93)).unwrap();
+        let mut rng = Prg::seed_from_u64(94);
+        assert!(matches!(
+            TieredServer::new(vec![], params, &[], &mut rng),
+            Err(Error::EmptyDatabase)
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Warner's randomized response — the bit-flipping baseline.
+//!
+//! "One solution, known as randomized response advocated by Warner in the
+//! 1960s, amounts essentially to flipping bits in the private data. […] if
+//! each individual flips their bit with probability p just a tinge under
+//! 1/2, i.e., p = 1/2 − ε then we can simultaneously ensure privacy and
+//! estimate the fraction of '1's." (§1/§2 and Appendix B.)
+//!
+//! This channel is both the historical baseline and the paper's own
+//! single-bit special case ("the original randomized response is a special
+//! case of our technique where we sketch each bit individually").
+
+use psketch_core::{Error, Profile};
+use psketch_prf::Bias;
+use rand::Rng;
+
+/// The Warner randomized-response channel: each bit flips independently
+/// with probability `p < 1/2`.
+#[derive(Debug, Clone, Copy)]
+pub struct WarnerChannel {
+    p: f64,
+    bias: Bias,
+}
+
+impl WarnerChannel {
+    /// Creates a channel.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidBias`] unless `0 < p < 1/2`.
+    pub fn new(p: f64) -> Result<Self, Error> {
+        if !(p > 0.0 && p < 0.5) {
+            return Err(Error::InvalidBias { p });
+        }
+        Ok(Self {
+            p,
+            bias: Bias::from_prob(p),
+        })
+    }
+
+    /// The flip probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Perturbs one bit.
+    #[must_use]
+    pub fn flip_bit<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        bit ^ self.bias.decide(rng.next_u64())
+    }
+
+    /// Perturbs a whole profile (every bit independently).
+    ///
+    /// Note the paper's §1 critique: "if a user has a relatively sparse
+    /// private vector then the resulting perturbed vector may be quite
+    /// dense" — the output of this method on a sparse profile has expected
+    /// density ≈ `p`.
+    #[must_use]
+    pub fn flip_profile<R: Rng + ?Sized>(&self, profile: &Profile, rng: &mut R) -> Profile {
+        let mut out = profile.clone();
+        for i in 0..profile.num_attributes() {
+            out.set(i, self.flip_bit(profile.get(i), rng));
+        }
+        out
+    }
+
+    /// Unbiased inversion for a single bit: given the observed fraction of
+    /// ones `r̃`, returns the estimated true fraction
+    /// `r = (r̃ − p)/(1 − 2p)` (§2's `E[r̃] = (1−p)r + p(1−r)` solved for r).
+    #[must_use]
+    pub fn estimate_single_bit(&self, observed_fraction: f64) -> f64 {
+        (observed_fraction - self.p) / (1.0 - 2.0 * self.p)
+    }
+
+    /// The ε for which this channel is ε-private (Appendix B): the
+    /// worst-case likelihood ratio minus one, `max(p, 1−p)/min(p, 1−p) − 1
+    /// = (1−p)/p − 1` for `p < 1/2`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        (1.0 - self.p) / self.p - 1.0
+    }
+
+    /// Appendix B's sufficient condition: with `p = 1/2 − c·ε`, the channel
+    /// is ε-private provided `c ≤ 1/4`. Returns whether this instance
+    /// satisfies a given ε budget.
+    #[must_use]
+    pub fn is_eps_private(&self, eps: f64) -> bool {
+        self.epsilon() <= eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_out_of_range_p() {
+        assert!(WarnerChannel::new(0.0).is_err());
+        assert!(WarnerChannel::new(0.5).is_err());
+        assert!(WarnerChannel::new(0.7).is_err());
+        assert!(WarnerChannel::new(0.49).is_ok());
+    }
+
+    #[test]
+    fn flip_rate_matches_p() {
+        let ch = WarnerChannel::new(0.3).unwrap();
+        let mut rng = Prg::seed_from_u64(80);
+        let n = 50_000;
+        let flips = (0..n).filter(|_| ch.flip_bit(false, &mut rng)).count();
+        let rate = flips as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "flip rate {rate}");
+    }
+
+    #[test]
+    fn single_bit_estimation_roundtrip() {
+        let ch = WarnerChannel::new(0.25).unwrap();
+        let mut rng = Prg::seed_from_u64(81);
+        let m = 80_000;
+        let true_fraction = 0.37;
+        let cutoff = (true_fraction * m as f64) as usize;
+        let ones = (0..m)
+            .filter(|&i| ch.flip_bit(i < cutoff, &mut rng))
+            .count();
+        let est = ch.estimate_single_bit(ones as f64 / m as f64);
+        assert!(
+            (est - true_fraction).abs() < 0.01,
+            "estimate {est} vs {true_fraction}"
+        );
+    }
+
+    #[test]
+    fn sparse_profiles_become_dense() {
+        // The paper's critique of bit flipping, measured.
+        let ch = WarnerChannel::new(0.3).unwrap();
+        let mut rng = Prg::seed_from_u64(82);
+        let sparse = Profile::zeros(1000); // all-zero = maximally sparse
+        let flipped = ch.flip_profile(&sparse, &mut rng);
+        let density = flipped.bits().count_ones() as f64 / 1000.0;
+        assert!(density > 0.25, "perturbed density {density} should be ≈ p");
+    }
+
+    #[test]
+    fn appendix_b_epsilon() {
+        // p = 1/2 − cε with c = 1/4, ε = 1: p = 0.25, ratio = 3, ε_achieved = 2.
+        // Appendix B's claim is about the ratio bound (1+ε)-style with the
+        // stated c; verify the exact ratio formula and the budget check.
+        let ch = WarnerChannel::new(0.25).unwrap();
+        assert!((ch.epsilon() - 2.0).abs() < 1e-12);
+        assert!(ch.is_eps_private(2.0));
+        assert!(!ch.is_eps_private(1.9));
+        // Near-half p gives tiny ε.
+        let tight = WarnerChannel::new(0.499).unwrap();
+        assert!(tight.epsilon() < 0.005);
+    }
+
+    #[test]
+    fn flip_profile_preserves_width() {
+        let ch = WarnerChannel::new(0.1).unwrap();
+        let mut rng = Prg::seed_from_u64(83);
+        let p = Profile::from_bits(&[true, false, true]);
+        assert_eq!(ch.flip_profile(&p, &mut rng).num_attributes(), 3);
+    }
+}

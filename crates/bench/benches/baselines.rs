@@ -1,0 +1,42 @@
+//! Criterion: baseline estimators vs the sketch path at equal width.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psketch_baselines::randomize_profiles;
+use psketch_core::{BitString, BitSubset, Profile};
+use psketch_prf::Prg;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rr_estimators(c: &mut Criterion) {
+    let m = 10_000usize;
+    let k = 8usize;
+    let mut rng = Prg::seed_from_u64(11);
+    let profiles: Vec<Profile> = (0..m)
+        .map(|i| Profile::from_bits(&vec![i % 2 == 0; k]))
+        .collect();
+    let db = randomize_profiles(0.3, profiles, &mut rng).unwrap();
+    let subset = BitSubset::range(0, k as u32);
+    let value = BitString::from_bits(&vec![true; k]);
+
+    let mut group = c.benchmark_group("rr_estimators_10k_width8");
+    group.throughput(Throughput::Elements(m as u64));
+    group.bench_function("product", |b| {
+        b.iter(|| db.product_estimate(black_box(&subset), &value).unwrap())
+    });
+    group.bench_function("matrix", |b| {
+        b.iter(|| db.matrix_estimate(black_box(&subset), &value).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_warner_channel(c: &mut Criterion) {
+    let channel = psketch_baselines::WarnerChannel::new(0.3).unwrap();
+    let profile = Profile::from_bits(&vec![true; 256]);
+    let mut rng = Prg::seed_from_u64(12);
+    c.bench_function("warner_flip_256bit_profile", |b| {
+        b.iter(|| channel.flip_profile(black_box(&profile), &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_rr_estimators, bench_warner_channel);
+criterion_main!(benches);

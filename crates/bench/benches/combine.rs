@@ -1,0 +1,45 @@
+//! Criterion: Appendix F machinery — transition matrices and recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psketch_core::{recover_from_bits, transition_matrix};
+use psketch_linalg::{inverse, Lu};
+use std::hint::black_box;
+
+fn bench_transition_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition_matrix_build");
+    for k in [4usize, 8, 16] {
+        group.bench_function(format!("k_{k}"), |b| {
+            b.iter(|| transition_matrix(black_box(k), black_box(0.3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu");
+    for k in [8usize, 16] {
+        let v = transition_matrix(k, 0.3);
+        group.bench_function(format!("factorize_inverse_k_{k}"), |b| {
+            b.iter(|| inverse(black_box(&v)).unwrap())
+        });
+        let lu = Lu::factorize(&v).unwrap();
+        let rhs = vec![1.0 / (k + 1) as f64; k + 1];
+        group.bench_function(format!("solve_k_{k}"), |b| {
+            b.iter(|| lu.solve(black_box(&rhs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    // 10k users, 8 virtual bits.
+    let rows: Vec<Vec<bool>> = (0..10_000)
+        .map(|i| (0..8).map(|j| (i + j) % 3 == 0).collect())
+        .collect();
+    c.bench_function("recover_from_bits_10k_k8", |b| {
+        b.iter(|| recover_from_bits(8, 0.3, black_box(rows.clone())).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_transition_matrix, bench_lu_solve, bench_recovery);
+criterion_main!(benches);

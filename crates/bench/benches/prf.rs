@@ -1,0 +1,38 @@
+//! Criterion: PRF evaluation throughput (the cost of one `H` call).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use psketch_core::{BitString, BitSubset, HFunction, SketchParams, UserId};
+use psketch_prf::{AnyPrf, GlobalKey, Prf, PrfKind};
+use std::hint::black_box;
+
+fn bench_prf_families(c: &mut Criterion) {
+    let key = GlobalKey::from_seed(1);
+    let input = [0xABu8; 48];
+    let mut group = c.benchmark_group("prf_eval_48B");
+    for (name, kind) in [("siphash", PrfKind::Sip), ("chacha", PrfKind::ChaCha)] {
+        let prf = AnyPrf::new(kind, &key);
+        group.bench_function(name, |b| b.iter(|| prf.eval_u64(black_box(&input))));
+    }
+    group.finish();
+}
+
+fn bench_h_function(c: &mut Criterion) {
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(2)).unwrap();
+    let h = HFunction::new(&params);
+    let mut group = c.benchmark_group("h_function");
+    for k in [1usize, 8, 64] {
+        let subset = BitSubset::range(0, k as u32);
+        let value = BitString::from_bits(&vec![true; k]);
+        group.bench_function(format!("width_{k}"), |b| {
+            b.iter_batched(
+                || (),
+                |()| h.eval(black_box(UserId(7)), &subset, &value, black_box(5)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prf_families, bench_h_function);
+criterion_main!(benches);

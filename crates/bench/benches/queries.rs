@@ -1,0 +1,73 @@
+//! Criterion: Algorithm 2 query evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb,
+    SketchParams, Sketcher, UserId,
+};
+use psketch_data::{DemographicsModel, FieldDistribution};
+use psketch_prf::{GlobalKey, Prg};
+use psketch_queries::{less_equal_query, mean_query, QueryEngine};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build_db(m: u64, k: usize) -> (SketchParams, SketchDb, BitSubset) {
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(7)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::range(0, k as u32);
+    let db = SketchDb::new();
+    let mut rng = Prg::seed_from_u64(8);
+    for i in 0..m {
+        let profile = Profile::from_bits(&vec![i % 3 == 0; k]);
+        let s = sketcher.sketch(UserId(i), &profile, &subset, &mut rng).unwrap();
+        db.insert(subset.clone(), UserId(i), s);
+    }
+    (params, db, subset)
+}
+
+fn bench_conjunctive_estimate(c: &mut Criterion) {
+    let m = 10_000u64;
+    let mut group = c.benchmark_group("algorithm2_estimate");
+    group.throughput(Throughput::Elements(m));
+    for k in [2usize, 16] {
+        let (params, db, subset) = build_db(m, k);
+        let estimator = ConjunctiveEstimator::new(params);
+        let query =
+            ConjunctiveQuery::new(subset, BitString::from_bits(&vec![true; k])).unwrap();
+        group.bench_function(format!("10k_users_width_{k}"), |b| {
+            b.iter(|| estimator.estimate(black_box(&db), &query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_compiled_queries(c: &mut Criterion) {
+    // A salary field with all prefix/bit subsets sketched.
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(9)).unwrap();
+    let mut model = DemographicsModel::new();
+    let salary = model.field("salary", 8, FieldDistribution::Uniform { lo: 0, hi: 255 });
+    let mut rng = Prg::seed_from_u64(10);
+    let pop = model.generate(5_000, &mut rng);
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    let mut subsets = psketch_queries::mean_required_subsets(&salary);
+    subsets.extend(psketch_queries::interval_required_subsets(&salary));
+    subsets.sort();
+    subsets.dedup();
+    pop.publish_all(&sketcher, &subsets, &db, &mut rng).unwrap();
+    let engine = QueryEngine::new(params);
+
+    let mut group = c.benchmark_group("compiled_queries_5k_users");
+    let mq = mean_query(&salary);
+    group.bench_function("mean_8bit", |b| {
+        b.iter(|| engine.linear(black_box(&db), &mq).unwrap())
+    });
+    let iq = less_equal_query(&salary, 170);
+    group.bench_function("interval_le_170", |b| {
+        b.iter(|| engine.linear(black_box(&db), &iq).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conjunctive_estimate, bench_compiled_queries);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion: Algorithm 1 sketching throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psketch_core::{BitSubset, Profile, SketchParams, Sketcher, UserId};
+use psketch_prf::{GlobalKey, Prg};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sketch_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_one_user");
+    for &p in &[0.25f64, 0.45] {
+        let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(3)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let profile = Profile::from_bits(&[true; 16]);
+        let subset = BitSubset::range(0, 16);
+        let mut rng = Prg::seed_from_u64(4);
+        let mut id = 0u64;
+        group.bench_function(format!("p_{p}"), |b| {
+            b.iter(|| {
+                id += 1;
+                sketcher
+                    .sketch(black_box(UserId(id)), &profile, &subset, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_population_publish(c: &mut Criterion) {
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(5)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::range(0, 8);
+    let m = 1_000u64;
+    let mut group = c.benchmark_group("publish_population");
+    group.throughput(Throughput::Elements(m));
+    group.bench_function("1000_users_8bit_subset", |b| {
+        b.iter(|| {
+            let mut rng = Prg::seed_from_u64(6);
+            let db = psketch_core::SketchDb::new();
+            for i in 0..m {
+                let profile = Profile::from_bits(&[i % 2 == 0; 8]);
+                let s = sketcher.sketch(UserId(i), &profile, &subset, &mut rng).unwrap();
+                db.insert(subset.clone(), UserId(i), s);
+            }
+            db
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch_one, bench_population_publish);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! The experiment harness binary.
+//!
+//! Usage:
+//! ```text
+//! experiments [ids…] [--quick]
+//! ```
+//! With no ids, runs the full E1–E15 suite. `--quick` scales populations
+//! and repetitions down for smoke runs.
+
+use psketch_bench::exp::registry;
+use psketch_bench::Config;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let cfg = if quick { Config::quick() } else { Config::full() };
+
+    let reg = registry();
+    if ids.iter().any(|id| id == "list") {
+        for (id, desc, _) in &reg {
+            println!("{id:>4}  {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<_> = if ids.is_empty() {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            match reg.iter().find(|(rid, _, _)| rid == id) {
+                Some(entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown experiment '{id}'; try 'list'");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+
+    println!(
+        "psketch experiment harness — {} mode, seed {:#x}",
+        if quick { "quick" } else { "full" },
+        cfg.seed
+    );
+    for (id, desc, runner) in selected {
+        println!("\n=== {} — {desc} ===", id.to_uppercase());
+        let start = std::time::Instant::now();
+        for table in runner(&cfg) {
+            table.print();
+        }
+        println!("[{} finished in {:.2?}]", id.to_uppercase(), start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,133 @@
+//! E1 — Lemma 3.1: minimal sketch length and failure probability.
+//!
+//! Paper claim: with `ℓ = ⌈log log(M/τ)/|log(1−p²)|⌉` bits, the probability
+//! that Algorithm 1 fails for *any* of `M` users is below `τ`; and "if
+//! p > 1/4, then a 10 bit sketch is sufficient for any foreseeable
+//! practical use".
+
+use crate::common::Config;
+use crate::report::{f, sci, Table};
+use psketch_core::theory::{failure_prob_bound, failure_prob_exact, min_sketch_bits};
+use psketch_core::{BitString, BitSubset, Sketcher, UserId};
+
+const EXP: u64 = 1;
+
+/// Runs E1 and returns its tables.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    vec![required_length_table(), measured_failure_table(cfg)]
+}
+
+/// Table E1a: the Lemma 3.1 length over a parameter grid, with the
+/// union-bound failure estimate at ℓ and at ℓ−1 (showing minimality).
+fn required_length_table() -> Table {
+    let mut t = Table::new(
+        "E1a — Lemma 3.1 minimal sketch length ℓ(M, τ, p)",
+        &["p", "M", "tau", "l(bits)", "M*bound(l)", "M*bound(l-1)"],
+    );
+    for &p in &[0.25f64, 0.3, 0.4, 0.45] {
+        for &(m, tau) in &[
+            (1_000u64, 1e-3f64),
+            (100_000, 1e-3),
+            (1_000_000, 1e-6),
+            (1_000_000_000, 1e-9),
+        ] {
+            let bits = min_sketch_bits(m, tau, p);
+            let at = m as f64 * failure_prob_bound(bits, p);
+            let below = if bits > 1 {
+                m as f64 * failure_prob_bound(bits - 1, p)
+            } else {
+                f64::NAN
+            };
+            t.row(vec![
+                f(p, 2),
+                m.to_string(),
+                sci(tau),
+                bits.to_string(),
+                sci(at),
+                sci(below),
+            ]);
+        }
+    }
+    t.note("paper: 'if p > 1/4, then a 10 bit sketch is sufficient for any foreseeable practical use'");
+    t.note("M*bound(l) <= tau everywhere; M*bound(l-1) > tau shows minimality");
+    t
+}
+
+/// Table E1b: measured failure rates at deliberately short lengths,
+/// against both the exact formula `((1−p)(1−r))^L` and the paper's bound
+/// `(1−p²)^L`.
+fn measured_failure_table(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "E1b — measured Algorithm 1 failure rate at short ℓ",
+        &["p", "l", "measured", "exact", "paper bound"],
+    );
+    let trials = cfg.m(200_000) as u64;
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    for &p in &[0.15f64, 0.25, 0.4] {
+        for bits in [1u8, 2, 3] {
+            let params = cfg.params(p, bits, EXP);
+            let sketcher = Sketcher::new(params);
+            let mut rng = cfg.rng(EXP, u64::from(bits));
+            let failures = (0..trials)
+                .filter(|&i| {
+                    sketcher
+                        .sketch_value_with_stats(UserId(i), &subset, &value, &mut rng)
+                        .is_err()
+                })
+                .count();
+            let measured = failures as f64 / trials as f64;
+            t.row(vec![
+                f(p, 2),
+                bits.to_string(),
+                f(measured, 5),
+                f(failure_prob_exact(bits, p), 5),
+                f(failure_prob_bound(bits, p), 5),
+            ]);
+        }
+    }
+    t.note("measured tracks the exact formula; the paper bound is loose but safe");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let tables = run(&Config::quick());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 16);
+        assert_eq!(tables[1].rows.len(), 9);
+    }
+
+    #[test]
+    fn measured_failures_match_exact_formula() {
+        // Re-derive one cell with tight assertions.
+        let cfg = Config::quick();
+        let p = 0.25;
+        let bits = 2u8;
+        let params = cfg.params(p, bits, EXP);
+        let sketcher = Sketcher::new(params);
+        let subset = BitSubset::single(0);
+        let value = BitString::from_bits(&[true]);
+        let mut rng = cfg.rng(EXP, 99);
+        let trials = 40_000u64;
+        let failures = (0..trials)
+            .filter(|&i| {
+                sketcher
+                    .sketch_value_with_stats(UserId(i), &subset, &value, &mut rng)
+                    .is_err()
+            })
+            .count();
+        let measured = failures as f64 / trials as f64;
+        let exact = failure_prob_exact(bits, p);
+        assert!(
+            (measured - exact).abs() < 0.01,
+            "measured {measured} vs exact {exact}"
+        );
+        assert!(measured <= failure_prob_bound(bits, p) + 0.01);
+    }
+}

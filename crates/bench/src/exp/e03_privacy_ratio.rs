@@ -1,0 +1,111 @@
+//! E3 — Lemma 3.3: the exact worst-case likelihood ratio vs the bound.
+//!
+//! The exact `Z^(q)` analysis computes, for every key-space size, the
+//! worst likelihood ratio over *all* evaluation tables (adversarial `H`)
+//! and all sketch values; the paper bounds it by `((1−p)/p)⁴`.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::theory::privacy_ratio_bound;
+use psketch_core::{exact::max_privacy_ratio, BitString, BitSubset, Sketcher, UserId};
+
+const EXP: u64 = 3;
+
+/// Runs E3.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    vec![exact_table(), empirical_table(cfg)]
+}
+
+fn exact_table() -> Table {
+    let mut t = Table::new(
+        "E3a — exact worst-case privacy ratio vs Lemma 3.3 bound ((1-p)/p)^4",
+        &["p", "l(bits)", "exact ratio", "bound", "tightness"],
+    );
+    for &p in &[0.25f64, 0.3, 0.4, 0.45] {
+        let r = (p / (1.0 - p)).powi(2);
+        for bits in [2u8, 4, 8] {
+            let ratio = max_privacy_ratio(1 << bits, r);
+            let bound = privacy_ratio_bound(p);
+            t.row(vec![
+                f(p, 2),
+                bits.to_string(),
+                f(ratio, 4),
+                f(bound, 4),
+                f(ratio / bound, 3),
+            ]);
+        }
+    }
+    t.note("ratio <= bound always; tightness shows how much of the bound is realized");
+    t
+}
+
+/// Monte-Carlo cross-check: empirical sketch distributions for two fixed
+/// candidate profiles under the *real* `H`, worst observed per-key ratio.
+fn empirical_table(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "E3b — empirical Pr[s|d']/Pr[s|d''] from the real sketcher",
+        &["p", "l(bits)", "worst key ratio", "bound"],
+    );
+    let trials = cfg.m(60_000) as u64;
+    for &p in &[0.3f64, 0.45] {
+        for bits in [2u8, 4] {
+            let params = cfg.params(p, bits, EXP);
+            let sketcher = Sketcher::new(params);
+            let subset = BitSubset::range(0, 3);
+            let d1 = BitString::from_bits(&[false, false, false]);
+            let d2 = BitString::from_bits(&[true, true, true]);
+            let id = UserId(7);
+            let l = params.key_space() as usize;
+            let mut c1 = vec![0u64; l];
+            let mut c2 = vec![0u64; l];
+            let mut rng = cfg.rng(EXP, u64::from(bits) * 100 + (p * 100.0) as u64);
+            for _ in 0..trials {
+                let s1 = sketcher
+                    .sketch_value_with_stats(id, &subset, &d1, &mut rng)
+                    .expect("no exhaustion at these params");
+                let s2 = sketcher
+                    .sketch_value_with_stats(id, &subset, &d2, &mut rng)
+                    .expect("no exhaustion at these params");
+                c1[s1.sketch.key as usize] += 1;
+                c2[s2.sketch.key as usize] += 1;
+            }
+            let worst = (0..l)
+                .filter(|&s| c1[s] > 0 && c2[s] > 0)
+                .map(|s| {
+                    let r = c1[s] as f64 / c2[s] as f64;
+                    r.max(1.0 / r)
+                })
+                .fold(1.0, f64::max);
+            t.row(vec![
+                f(p, 2),
+                bits.to_string(),
+                f(worst, 3),
+                f(privacy_ratio_bound(p), 3),
+            ]);
+        }
+    }
+    t.note("empirical worst ratio stays within the bound (sampling noise aside)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ratios_respect_bound() {
+        let tables = run(&Config::quick());
+        for row in &tables[0].rows {
+            let ratio: f64 = row[2].parse().unwrap();
+            let bound: f64 = row[3].parse().unwrap();
+            assert!(ratio <= bound * 1.0001, "{ratio} > {bound}");
+        }
+        for row in &tables[1].rows {
+            let worst: f64 = row[2].parse().unwrap();
+            let bound: f64 = row[3].parse().unwrap();
+            // Sampling slack.
+            assert!(worst <= bound * 1.4, "{worst} vs {bound}");
+        }
+    }
+}

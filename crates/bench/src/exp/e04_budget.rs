@@ -1,0 +1,74 @@
+//! E4 — Corollary 3.4: privacy budgets across multiple sketch releases.
+//!
+//! Releasing `l` sketches costs ratio `((1−p)/p)^{4l}`; the paper's
+//! sufficient bias is `p = 1/2 − ε/(16l)` (first order in ε), this repo's
+//! accountant uses the exact inversion `p = 1/(1 + (1+ε)^{1/4l})`.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::theory::{epsilon_for, p_for_epsilon, privacy_ratio_bound_multi};
+use psketch_core::PrivacyAccountant;
+
+/// Runs E4.
+#[must_use]
+pub fn run(_cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E4 — Corollary 3.4: bias needed for an ε budget over l sketches",
+        &[
+            "eps",
+            "l",
+            "paper p",
+            "eps @ paper p",
+            "exact p",
+            "eps @ exact p",
+        ],
+    );
+    for &eps in &[0.1f64, 0.5, 1.0] {
+        for &l in &[1u32, 4, 16, 64] {
+            let paper_p = p_for_epsilon(eps, l);
+            let acct = PrivacyAccountant::plan(eps, l);
+            t.row(vec![
+                f(eps, 2),
+                l.to_string(),
+                f(paper_p, 6),
+                f(epsilon_for(paper_p, l), 4),
+                f(acct.p(), 6),
+                f(epsilon_for(acct.p(), l), 4),
+            ]);
+        }
+    }
+    t.note("paper p overshoots the budget by the first-order gap (e^eps - 1 vs eps); exact p lands on it");
+
+    let mut t2 = Table::new(
+        "E4b — multi-sketch ratio composition ((1-p)/p)^(4l)",
+        &["p", "l", "ratio"],
+    );
+    for &p in &[0.45f64, 0.49] {
+        for &l in &[1u32, 2, 4, 8] {
+            t2.row(vec![
+                f(p, 2),
+                l.to_string(),
+                f(privacy_ratio_bound_multi(p, l), 4),
+            ]);
+        }
+    }
+    t2.note("ratios compose multiplicatively: privacy degrades exponentially in releases");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_p_meets_budget_paper_p_overshoots_slightly() {
+        let tables = run(&Config::quick());
+        for row in &tables[0].rows {
+            let eps: f64 = row[0].parse().unwrap();
+            let at_paper: f64 = row[3].parse().unwrap();
+            let at_exact: f64 = row[5].parse().unwrap();
+            assert!(at_exact <= eps * 1.001, "exact p overspends: {at_exact} > {eps}");
+            assert!(at_paper >= at_exact - 1e-9, "paper p should spend at least as much");
+        }
+    }
+}

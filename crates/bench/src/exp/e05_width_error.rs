@@ -1,0 +1,158 @@
+//! E5 — the headline claim (Lemma 4.1 + §1): conjunctive-query error is
+//! independent of query width for sketches, but grows exponentially in
+//! width for randomized-response reconstructions.
+//!
+//! Planted populations with known frequency 0.5; RMS error over
+//! repetitions for (a) the sketch estimator, (b) the RR product estimator,
+//! (c) the RR matrix estimator, as width `k` grows at fixed `M`; and
+//! error vs `M` at fixed `k` showing the `1/√M` decay.
+
+use crate::common::{publish, Config};
+use crate::report::{f, rms, sci, Table};
+use psketch_baselines::randomize_profiles;
+use psketch_core::theory::query_error_bound;
+use psketch_core::{ConjunctiveEstimator, ConjunctiveQuery, Sketcher};
+use psketch_data::PlantedConjunction;
+
+const EXP: u64 = 5;
+const P: f64 = 0.3;
+const TRUTH: f64 = 0.5;
+
+/// One repetition: returns (sketch error, product error, matrix error).
+fn one_rep(cfg: &Config, m: usize, k: usize, rep: u64) -> (f64, f64, f64) {
+    let mut rng = cfg.rng(EXP, (k as u64) << 32 | (m as u64) << 8 | rep);
+    let gen = PlantedConjunction::all_ones(k.max(2), k, TRUTH);
+    let pop = gen.generate(m, &mut rng);
+    let truth = pop.true_fraction(&gen.subset, &gen.value);
+
+    // Sketch path.
+    let params = cfg.params(P, 10, EXP ^ rep);
+    let sketcher = Sketcher::new(params);
+    let (db, _failures) = publish(&pop, &sketcher, std::slice::from_ref(&gen.subset), &mut rng);
+    let estimator = ConjunctiveEstimator::new(params);
+    let query = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).expect("widths");
+    let sketch_est = estimator.estimate(&db, &query).expect("populated db").fraction;
+
+    // Randomized-response path (same population, same flip probability).
+    let profiles: Vec<_> = (0..pop.len()).map(|i| pop.profile(i).clone()).collect();
+    let rr = randomize_profiles(P, profiles, &mut rng).expect("valid RR database");
+    let product_est = rr.product_estimate(&gen.subset, &gen.value).expect("widths");
+    let matrix_est = rr.matrix_estimate(&gen.subset, &gen.value).expect("widths");
+
+    (
+        sketch_est - truth,
+        product_est - truth,
+        matrix_est - truth,
+    )
+}
+
+/// RMS errors over repetitions, parallelized across reps.
+fn rms_errors(cfg: &Config, m: usize, k: usize, reps: u64) -> (f64, f64, f64) {
+    let results: Vec<(f64, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..reps)
+            .map(|rep| scope.spawn(move || one_rep(cfg, m, k, rep)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rep panicked")).collect()
+    });
+    let col = |i: usize| {
+        rms(&results
+            .iter()
+            .map(|r| match i {
+                0 => r.0,
+                1 => r.1,
+                _ => r.2,
+            })
+            .collect::<Vec<_>>())
+    };
+    (col(0), col(1), col(2))
+}
+
+/// Runs E5.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    vec![width_table(cfg), scaling_table(cfg)]
+}
+
+fn width_table(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "E5a — RMS error vs conjunction width k (fixed M, p = 0.3, truth = 0.5)",
+        &["k", "M", "sketch", "RR product", "RR matrix", "RR var. inflation"],
+    );
+    let m = cfg.m(20_000);
+    let reps = cfg.reps(12);
+    for &k in &[1usize, 2, 4, 8, 12] {
+        let (s, pr, mx) = rms_errors(cfg, m, k, reps);
+        let inflation = (1.0 - 2.0 * P).powi(-2 * k as i32);
+        t.row(vec![
+            k.to_string(),
+            m.to_string(),
+            f(s, 4),
+            f(pr, 4),
+            f(mx, 4),
+            sci(inflation),
+        ]);
+    }
+    t.note("sketch error is flat in k; RR errors grow with the exponential variance inflation");
+    t
+}
+
+fn scaling_table(cfg: &Config) -> Table {
+    let mut t = Table::new(
+        "E5b — sketch RMS error vs M (fixed k = 8): the O(1/sqrt(M)) law",
+        &["M", "measured RMS", "Lemma 4.1 bound (δ=0.32)"],
+    );
+    let reps = cfg.reps(12);
+    let ms: &[usize] = if cfg.quick {
+        &[1_000, 4_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    for &m in ms {
+        let (s, _, _) = rms_errors(cfg, m, 8, reps);
+        // δ = 0.32 ≈ 1σ coverage makes the bound comparable to an RMS.
+        t.row(vec![
+            m.to_string(),
+            f(s, 4),
+            f(query_error_bound(m as u64, P, 0.32), 4),
+        ]);
+    }
+    t.note("error halves per 4x users, independent of the 8-bit width");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_error_flat_rr_error_grows() {
+        let cfg = Config::quick();
+        let m = 3_000;
+        let reps = 4;
+        let (s_narrow, p_narrow, _) = rms_errors(&cfg, m, 2, reps);
+        let (s_wide, p_wide, _) = rms_errors(&cfg, m, 10, reps);
+        // Sketch error roughly flat (generous factor for sampling noise).
+        assert!(
+            s_wide < s_narrow * 3.0 + 0.02,
+            "sketch error grew: {s_narrow} -> {s_wide}"
+        );
+        // RR product error grows substantially.
+        assert!(
+            p_wide > p_narrow * 3.0,
+            "RR error should blow up: {p_narrow} -> {p_wide}"
+        );
+        // At narrow width both are in the same ballpark.
+        assert!(p_narrow < 0.2 && s_narrow < 0.2);
+    }
+
+    #[test]
+    fn error_decays_with_m() {
+        let cfg = Config::quick();
+        let (small, _, _) = rms_errors(&cfg, 500, 4, 6);
+        let (large, _, _) = rms_errors(&cfg, 8_000, 4, 6);
+        assert!(
+            large < small,
+            "more users must not hurt: {small} -> {large}"
+        );
+    }
+}

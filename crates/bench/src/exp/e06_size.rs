@@ -1,0 +1,65 @@
+//! E6 — the size claim: sketches are `⌈log log O(M)⌉` bits.
+//!
+//! Abstract: "the size of the sketch is minuscule: ⌈log log O(M)⌉ bits,
+//! where M is the number of users." This experiment tabulates the Lemma
+//! 3.1 length across twelve orders of magnitude of `M` and the concrete
+//! wire-format cost of publishing bundles of sketches.
+
+use crate::common::Config;
+use crate::report::Table;
+use psketch_core::codec::bundle_size_bytes;
+use psketch_core::theory::min_sketch_bits;
+
+/// Runs E6.
+#[must_use]
+pub fn run(_cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E6a — sketch length vs population size (tau = 1e-6)",
+        &["M", "l @ p=0.25", "l @ p=0.45"],
+    );
+    for exp in [2u32, 4, 6, 9, 12] {
+        let m = 10u64.pow(exp);
+        t.row(vec![
+            format!("1e{exp}"),
+            min_sketch_bits(m, 1e-6, 0.25).to_string(),
+            min_sketch_bits(m, 1e-6, 0.45).to_string(),
+        ]);
+    }
+    t.note("doubly-logarithmic growth: 10^12 users still fit in ~10 bits");
+
+    let mut t2 = Table::new(
+        "E6b — published bytes per user (wire format, header included)",
+        &["sketches/user", "l=10 bits", "l=13 bits"],
+    );
+    for &count in &[1usize, 8, 64, 256] {
+        t2.row(vec![
+            count.to_string(),
+            bundle_size_bytes(10, count).to_string(),
+            bundle_size_bytes(13, count).to_string(),
+        ]);
+    }
+    t2.note("a user sketching 64 subsets publishes < 100 bytes total");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_grow_doubly_logarithmically() {
+        let tables = run(&Config::quick());
+        let first: u8 = tables[0].rows.first().unwrap()[1].parse().unwrap();
+        let last: u8 = tables[0].rows.last().unwrap()[1].parse().unwrap();
+        // 10 orders of magnitude more users costs only a few bits.
+        assert!(last <= first + 4, "growth too fast: {first} -> {last}");
+        assert!(last <= 12);
+    }
+
+    #[test]
+    fn bundles_are_small() {
+        let tables = run(&Config::quick());
+        let bytes_64: usize = tables[1].rows[2][1].parse().unwrap();
+        assert!(bytes_64 < 100, "64 sketches should fit under 100 bytes");
+    }
+}

@@ -1,0 +1,70 @@
+//! E7 — §3 running-time analysis: Algorithm 1 iteration counts.
+//!
+//! Per iteration the algorithm stops with probability `p + (1−p)·r =
+//! p/(1−p)`, so typical runs take `(1−p)/p` iterations; the paper's
+//! worst-case expected bound (all keys evaluating 0) is `((1−p)/p)²`.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::theory::{expected_iterations, expected_iterations_worst_case};
+use psketch_core::{BitString, BitSubset, Sketcher, UserId};
+
+const EXP: u64 = 7;
+
+/// Runs E7.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E7 — Algorithm 1 iterations: measured vs theory",
+        &["p", "mean measured", "theory (1-p)/p", "p99", "max", "worst-case bound"],
+    );
+    let trials = cfg.m(50_000) as u64;
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    for &p in &[0.1f64, 0.25, 0.4, 0.45] {
+        let params = cfg.params(p, 12, EXP);
+        let sketcher = Sketcher::new(params);
+        let mut rng = cfg.rng(EXP, (p * 1000.0) as u64);
+        let mut counts: Vec<u64> = Vec::with_capacity(trials as usize);
+        for i in 0..trials {
+            let run = sketcher
+                .sketch_value_with_stats(UserId(i), &subset, &value, &mut rng)
+                .expect("12-bit space cannot exhaust here");
+            counts.push(run.iterations);
+        }
+        counts.sort_unstable();
+        let mean = counts.iter().sum::<u64>() as f64 / trials as f64;
+        let p99 = counts[(trials as usize * 99) / 100];
+        let max = *counts.last().expect("non-empty");
+        t.row(vec![
+            f(p, 2),
+            f(mean, 3),
+            f(expected_iterations(p), 3),
+            p99.to_string(),
+            max.to_string(),
+            f(expected_iterations_worst_case(p), 2),
+        ]);
+    }
+    t.note("measured mean tracks (1-p)/p; the paper's ((1-p)/p)^2 bound covers the all-zero worst case");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_mean_matches_theory() {
+        let tables = run(&Config::quick());
+        for row in &tables[0].rows {
+            let mean: f64 = row[1].parse().unwrap();
+            let theory: f64 = row[2].parse().unwrap();
+            assert!(
+                (mean - theory).abs() < 0.2 * theory + 0.05,
+                "mean {mean} vs theory {theory}"
+            );
+            let worst: f64 = row[5].parse().unwrap();
+            assert!(mean <= worst + 1e-9);
+        }
+    }
+}

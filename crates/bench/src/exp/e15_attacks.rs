@@ -1,0 +1,119 @@
+//! E15 — the attack gallery: hashing and retention replacement fall,
+//! sketches stand.
+//!
+//! Measures attacker success probability (posterior mass on the truth,
+//! or exact-recovery rate) under identical partial knowledge.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_baselines::{
+    dictionary_attack, retention_posterior, sketch_posterior, HashPublisher, RetentionChannel,
+};
+use psketch_core::theory::privacy_ratio_bound;
+use psketch_core::{BitString, BitSubset, Profile, Sketcher, UserId};
+use psketch_prf::GlobalKey;
+
+const EXP: u64 = 15;
+
+/// Runs E15.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E15 — attacker success under partial knowledge",
+        &["scheme", "attack", "prior", "attacker posterior on truth"],
+    );
+    let trials = cfg.reps(300);
+
+    // 1. Hashing vs a 100-candidate dictionary.
+    let publisher = HashPublisher::new(&GlobalKey::from_seed(cfg.seed ^ EXP));
+    let subset = BitSubset::range(0, 7);
+    let mut exact_hits = 0u64;
+    for i in 0..trials {
+        let secret = BitString::from_u64(i % 100, 7);
+        let mut profile = Profile::zeros(7);
+        for (j, b) in secret.iter().enumerate() {
+            profile.set(j, b);
+        }
+        let published = publisher.publish(UserId(i), &subset, &profile);
+        let candidates: Vec<BitString> =
+            (0..100u64).map(|v| BitString::from_u64(v, 7)).collect();
+        let recovered =
+            dictionary_attack(&publisher, UserId(i), &subset, published, &candidates);
+        if recovered == vec![secret] {
+            exact_hits += 1;
+        }
+    }
+    t.row(vec![
+        "hashing (§3 strawman)".into(),
+        "dictionary, 100 candidates".into(),
+        f(0.01, 2),
+        f(exact_hits as f64 / trials as f64, 3),
+    ]);
+
+    // 2. Retention replacement vs the intro's two-candidate attack.
+    let channel = RetentionChannel::new(0.5, 10).expect("valid channel");
+    let cand_a = vec![1u64, 1, 2, 2, 3, 3];
+    let cand_b = vec![4u64, 4, 5, 5, 6, 6];
+    let mut rng = cfg.rng(EXP, 1);
+    let mut mass = 0.0;
+    for _ in 0..trials {
+        let observed = channel.perturb_sequence(&cand_a, &mut rng);
+        mass += retention_posterior(&channel, &observed, &[cand_a.clone(), cand_b.clone()])[0];
+    }
+    t.row(vec![
+        "retention replacement".into(),
+        "intro's 2-candidate example".into(),
+        f(0.5, 2),
+        f(mass / trials as f64, 3),
+    ]);
+
+    // 3. Sketches vs the same two-candidate attacker (exact posterior).
+    let p = 0.45;
+    let params = cfg.params(p, 6, EXP);
+    let sketcher = Sketcher::new(params);
+    let subset6 = BitSubset::range(0, 6);
+    let ca = BitString::from_u64(17, 6);
+    let cb = BitString::from_u64(44, 6);
+    let mut rng = cfg.rng(EXP, 2);
+    let mut mass = 0.0;
+    for i in 0..trials {
+        let id = UserId(i);
+        let run = sketcher
+            .sketch_value_with_stats(id, &subset6, &ca, &mut rng)
+            .expect("no exhaustion");
+        mass += sketch_posterior(&params, id, &subset6, run.sketch, &[ca.clone(), cb.clone()])[0];
+    }
+    let bound = privacy_ratio_bound(p);
+    t.row(vec![
+        format!("sketches (p = {p})"),
+        "same 2-candidate attacker".into(),
+        f(0.5, 2),
+        f(mass / trials as f64, 3),
+    ]);
+    t.note(format!(
+        "sketch posterior provably capped at bound/(bound+1) = {:.3} per observation",
+        bound / (bound + 1.0)
+    ));
+    t.note("hashing: recovered exactly; retention: nearly revealed; sketches: prior barely moves");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_outcomes_separate_the_schemes() {
+        let tables = run(&Config::quick());
+        let rows = &tables[0].rows;
+        let hash_success: f64 = rows[0][3].parse().unwrap();
+        let retention_success: f64 = rows[1][3].parse().unwrap();
+        let sketch_success: f64 = rows[2][3].parse().unwrap();
+        assert!(hash_success > 0.99, "dictionary attack should be exact");
+        assert!(retention_success > 0.9, "retention attack should succeed");
+        assert!(
+            sketch_success < 0.6,
+            "sketch attacker should stay near the prior: {sketch_success}"
+        );
+    }
+}

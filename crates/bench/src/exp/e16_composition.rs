@@ -1,0 +1,78 @@
+//! E16 — the Conclusions' claim: relaxing to a negligible leak probability
+//! allows *quadratically more* sketches at the same budget.
+//!
+//! Basic composition (Cor 3.4) affords `ε/ε₀` sketches; advanced
+//! composition (δ-relaxed) affords `≈ (ε/ε₀)²/(2·ln(1/δ))`.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::composition::{
+    epsilon_advanced, epsilon_basic, max_sketches_advanced, max_sketches_basic,
+    per_sketch_epsilon,
+};
+
+/// Runs E16.
+#[must_use]
+pub fn run(_cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E16a — sketches affordable at budget ε = 1 (δ = 1e-9 for advanced)",
+        &["p", "eps0 per sketch", "basic l", "advanced l", "gain"],
+    );
+    for &p in &[0.49f64, 0.4995, 0.49995, 0.499995, 0.4999995] {
+        let basic = max_sketches_basic(p, 1.0);
+        let advanced = max_sketches_advanced(p, 1.0, 1e-9);
+        let gain = if basic == 0 {
+            String::new()
+        } else {
+            f(f64::from(advanced) / f64::from(basic), 2)
+        };
+        t.row(vec![
+            format!("{p}"),
+            f(per_sketch_epsilon(p), 5),
+            basic.to_string(),
+            advanced.to_string(),
+            gain,
+        ]);
+    }
+    t.note("paper §5: 'quadratically more sketches while giving essentially same privacy'");
+    t.note("gain ~ eps/(2 eps0 ln(1/δ)): each 10x smaller eps0 gives 10x more gain (quadratic law)");
+    t.note("advanced pays a sqrt(2 ln 1/δ) entry fee, so it loses when eps0 is not tiny");
+
+    let mut t2 = Table::new(
+        "E16b — total ε after l sketches at p = 0.4999 (basic vs advanced, δ = 1e-9)",
+        &["l", "basic eps", "advanced eps"],
+    );
+    for &l in &[1u32, 10, 100, 1_000, 10_000] {
+        t2.row(vec![
+            l.to_string(),
+            f(epsilon_basic(0.4999, l), 3),
+            f(epsilon_advanced(0.4999, l, 1e-9), 3),
+        ]);
+    }
+    t2.note("crossover: advanced pays a sqrt(ln 1/δ) entry fee, then grows like sqrt(l) not l");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advanced_dominates_for_large_l_and_tables_are_consistent() {
+        let tables = run(&Config::quick());
+        // E16a: advanced >= basic at every near-half p, and the gain grows.
+        let gains: Vec<f64> = tables[0]
+            .rows
+            .iter()
+            .filter(|r| !r[4].is_empty())
+            .map(|r| r[4].parse().unwrap())
+            .collect();
+        assert!(gains.windows(2).all(|w| w[1] >= w[0] * 0.9));
+        assert!(*gains.last().unwrap() > 10.0, "final gain {:?}", gains);
+        // E16b: at l = 10_000 advanced is far below basic.
+        let last = tables[1].rows.last().unwrap();
+        let basic: f64 = last[1].parse().unwrap();
+        let adv: f64 = last[2].parse().unwrap();
+        assert!(adv < basic / 5.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! E19 — the privacy–utility frontier (ablation over `p`).
+//!
+//! The bias `p` is the paper's single dial: towards 0 it buys accuracy
+//! (denominator `1 − 2p` grows) and spends privacy (`((1−p)/p)⁴`
+//! explodes); towards 1/2 the reverse. No figure in the paper plots this
+//! trade-off, but every deployment must choose a point on it — this
+//! ablation table makes the frontier concrete, with both measured error
+//! and the Lemma 4.1 prediction at each `p`.
+
+use crate::common::{publish, Config};
+use crate::report::{f, rms, Table};
+use psketch_core::theory::{privacy_ratio_bound, query_error_bound};
+use psketch_core::{ConjunctiveEstimator, ConjunctiveQuery, Sketcher};
+use psketch_data::PlantedConjunction;
+
+const EXP: u64 = 19;
+
+/// Runs E19.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut t = Table::new(
+        "E19 — privacy–utility frontier over p (k = 4, truth = 0.5)",
+        &[
+            "p",
+            "eps/sketch (ratio-1)",
+            "M",
+            "measured RMS",
+            "Lemma 4.1 bound (δ=0.32)",
+        ],
+    );
+    let m = cfg.m(20_000);
+    let reps = cfg.reps(10);
+    for &p in &[0.05f64, 0.15, 0.25, 0.35, 0.45, 0.49] {
+        let errors: Vec<f64> = (0..reps)
+            .map(|rep| {
+                let mut rng = cfg.rng(EXP, ((p * 1000.0) as u64) << 16 | rep);
+                let gen = PlantedConjunction::all_ones(4, 4, 0.5);
+                let pop = gen.generate(m, &mut rng);
+                let truth = pop.true_fraction(&gen.subset, &gen.value);
+                let params = cfg.params(p, 12, EXP ^ rep);
+                let sketcher = Sketcher::new(params);
+                let (db, _) =
+                    publish(&pop, &sketcher, std::slice::from_ref(&gen.subset), &mut rng);
+                let q = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone())
+                    .expect("widths");
+                ConjunctiveEstimator::new(params)
+                    .estimate(&db, &q)
+                    .expect("published")
+                    .fraction
+                    - truth
+            })
+            .collect();
+        t.row(vec![
+            f(p, 2),
+            f(privacy_ratio_bound(p) - 1.0, 3),
+            m.to_string(),
+            f(rms(&errors), 4),
+            f(query_error_bound(m as u64, p, 0.32), 4),
+        ]);
+    }
+    t.note("small p: cheap accuracy, catastrophic privacy; p -> 1/2: strong privacy, 1/(1-2p) error growth");
+    t.note("every deployment picks a point here; the paper's examples sit around p = 0.25..0.45");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_is_monotone_both_ways() {
+        let tables = run(&Config::quick());
+        let rows = &tables[0].rows;
+        let eps: Vec<f64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        let err: Vec<f64> = rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let bound: Vec<f64> = rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        // Privacy cost decreases with p; the theoretical error bound
+        // increases with p.
+        assert!(eps.windows(2).all(|w| w[1] < w[0]), "eps not decreasing: {eps:?}");
+        assert!(
+            bound.windows(2).all(|w| w[1] > w[0]),
+            "bound not increasing: {bound:?}"
+        );
+        // Measured error stays under the bound at every point.
+        for (e, b) in err.iter().zip(&bound) {
+            assert!(e <= b, "measured {e} above bound {b}");
+        }
+        // And the endpoints differ materially (the frontier is real).
+        assert!(err.last().unwrap() > &(err[0] * 2.0) || err[0] < 0.01);
+    }
+}

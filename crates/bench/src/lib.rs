@@ -1,0 +1,24 @@
+//! # psketch-bench — the experiment harness
+//!
+//! Regenerates every claim of *Privacy via Pseudorandom Sketches* as a
+//! measured table. The paper is a theory paper with no experimental
+//! tables of its own, so the "evaluation" to reproduce is its collection
+//! of lemmas, worked examples and comparative claims; EXPERIMENTS.md maps
+//! each to an experiment id (E1–E15) implemented under [`exp`].
+//!
+//! Run everything: `cargo run -p psketch-bench --release --bin experiments`
+//! Run one:        `cargo run -p psketch-bench --release --bin experiments -- e5`
+//! Smoke mode:     append `--quick`.
+//!
+//! Criterion micro-benchmarks (PRF, sketching, queries, combining,
+//! baselines) live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod exp;
+pub mod report;
+
+pub use common::Config;
+pub use report::Table;

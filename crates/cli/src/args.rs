@@ -1,0 +1,152 @@
+//! Minimal dependency-free argument parsing for the `psketch` CLI.
+//!
+//! Supports `--key value` flags with typed accessors and good error
+//! messages; small enough that pulling in an argument-parsing crate
+//! (outside this workspace's sanctioned dependency set) is not warranted.
+
+use std::collections::BTreeMap;
+
+/// Parsed flags: `--key value` pairs plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a `--flag` with no following value or a
+    /// repeated flag.
+    pub fn parse(raw: &[String]) -> Result<Self, CliError> {
+        let mut args = Self::default();
+        let mut it = raw.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("--{name} requires a value")))?;
+                if args
+                    .flags
+                    .insert(name.to_string(), value.clone())
+                    .is_some()
+                {
+                    return Err(CliError(format!("--{name} given twice")));
+                }
+            } else {
+                args.positional.push(tok.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional arguments.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A required typed flag.
+    ///
+    /// # Errors
+    ///
+    /// Missing flag or parse failure.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| CliError(format!("missing required flag --{name}")))?;
+        raw.parse()
+            .map_err(|_| CliError(format!("--{name}: cannot parse '{raw}'")))
+    }
+
+    /// An optional typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Parse failure (missing flag yields the default).
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError(format!("--{name}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// Whether any unknown flags remain beyond `known` (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first unknown flag.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<(), CliError> {
+        for key in self.flags.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(CliError(format!(
+                    "unknown flag --{key} (known: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, CliError> {
+        Args::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let args = parse(&["plan", "--users", "1000", "--p", "0.3"]).unwrap();
+        assert_eq!(args.positional(), ["plan"]);
+        assert_eq!(args.require::<u64>("users").unwrap(), 1000);
+        assert!((args.require::<f64>("p").unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let args = parse(&["x"]).unwrap();
+        assert_eq!(args.get_or("tau", 1e-6).unwrap(), 1e-6);
+        assert!(args.require::<u64>("users").is_err());
+    }
+
+    #[test]
+    fn rejects_flag_without_value_and_duplicates() {
+        assert!(parse(&["--users"]).is_err());
+        assert!(parse(&["--p", "0.3", "--p", "0.4"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let args = parse(&["--userz", "7"]).unwrap();
+        assert!(args.reject_unknown(&["users"]).is_err());
+        let ok = parse(&["--users", "7"]).unwrap();
+        assert!(ok.reject_unknown(&["users"]).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let args = parse(&["--users", "abc"]).unwrap();
+        let err = args.require::<u64>("users").unwrap_err();
+        assert!(err.0.contains("abc"));
+    }
+}

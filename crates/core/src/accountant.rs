@@ -1,0 +1,195 @@
+//! Privacy budget accounting across multiple sketch releases.
+//!
+//! Corollary 3.4: releasing `l` sketches multiplies the worst-case
+//! likelihood ratio to `((1−p)/p)^{4l}`. A user who wants end-to-end
+//! ε-privacy must therefore either cap the number of sketches they release
+//! at a given bias, or pick the bias up front from the planned release
+//! count via `p = 1/2 − ε/(16l)`. [`PrivacyAccountant`] enforces the cap.
+
+use crate::params::Error;
+use crate::theory::{epsilon_for, p_for_epsilon, privacy_ratio_bound};
+
+/// Tracks the privacy cost of sketches released by one user.
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    p: f64,
+    epsilon_budget: f64,
+    released: u32,
+}
+
+impl PrivacyAccountant {
+    /// Creates an accountant for bias `p` and total budget `ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1/2` and `ε > 0` (construction-time
+    /// programming errors).
+    #[must_use]
+    pub fn new(p: f64, epsilon_budget: f64) -> Self {
+        assert!(p > 0.0 && p < 0.5, "bias must be in (0, 1/2)");
+        assert!(epsilon_budget > 0.0, "budget must be positive");
+        Self {
+            p,
+            epsilon_budget,
+            released: 0,
+        }
+    }
+
+    /// Plans an accountant from a budget and an intended release count.
+    ///
+    /// Corollary 3.4 suggests `p = 1/2 − ε/(16l)`, but that closing step is
+    /// first-order in ε and overspends the exact budget slightly (see
+    /// [`p_for_epsilon`]). We instead invert the ratio bound exactly:
+    /// `((1−p)/p)^{4l} = 1 + ε  ⇔  p = 1/(1 + (1+ε)^{1/(4l)})`, which is
+    /// never smaller than necessary and guarantees the planned count is
+    /// chargeable.
+    #[must_use]
+    pub fn plan(epsilon_budget: f64, planned_sketches: u32) -> Self {
+        assert!(planned_sketches > 0, "need at least one planned sketch");
+        assert!(epsilon_budget > 0.0, "budget must be positive");
+        let rho = (1.0 + epsilon_budget).powf(1.0 / (4.0 * f64::from(planned_sketches)));
+        let p = 1.0 / (1.0 + rho);
+        // Exact inversion sits at (or above) the paper's first-order p,
+        // i.e. it is at least as private.
+        debug_assert!(p >= p_for_epsilon(epsilon_budget, planned_sketches) - 1e-12);
+        Self::new(p, epsilon_budget)
+    }
+
+    /// The bias in force.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Sketches released so far.
+    #[must_use]
+    pub fn released(&self) -> u32 {
+        self.released
+    }
+
+    /// The ε spent so far: `((1−p)/p)^{4l} − 1` for `l` releases.
+    #[must_use]
+    pub fn spent_epsilon(&self) -> f64 {
+        if self.released == 0 {
+            0.0
+        } else {
+            epsilon_for(self.p, self.released)
+        }
+    }
+
+    /// The total budget.
+    #[must_use]
+    pub fn budget(&self) -> f64 {
+        self.epsilon_budget
+    }
+
+    /// How many sketches may *still* be released without the spent ε
+    /// exceeding the budget.
+    #[must_use]
+    pub fn remaining_sketches(&self) -> u32 {
+        // Solve ((1−p)/p)^{4l} ≤ 1 + ε for l.
+        let per_sketch = privacy_ratio_bound(self.p).ln();
+        if per_sketch <= 0.0 {
+            return u32::MAX; // p = 1/2 exactly is unreachable (validated)
+        }
+        let max_total = ((1.0 + self.epsilon_budget).ln() / per_sketch).floor();
+        let max_total = if max_total >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            max_total as u32
+        };
+        max_total.saturating_sub(self.released)
+    }
+
+    /// Charges the budget for `count` sketch releases.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BudgetExceeded`] (without mutating state) if the charge
+    /// would push spent ε above the budget.
+    pub fn charge(&mut self, count: u32) -> Result<(), Error> {
+        let hypothetical = epsilon_for(self.p, self.released + count);
+        if hypothetical > self.epsilon_budget * (1.0 + 1e-12) {
+            return Err(Error::BudgetExceeded {
+                spent: hypothetical,
+                budget: self.epsilon_budget,
+            });
+        }
+        self.released += count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_accountant_has_zero_spend() {
+        let a = PrivacyAccountant::new(0.45, 2.0);
+        assert_eq!(a.spent_epsilon(), 0.0);
+        assert_eq!(a.released(), 0);
+        assert!(a.remaining_sketches() > 0);
+    }
+
+    #[test]
+    fn charging_accumulates_multiplicatively() {
+        let mut a = PrivacyAccountant::new(0.45, 100.0);
+        a.charge(1).unwrap();
+        let one = a.spent_epsilon();
+        a.charge(1).unwrap();
+        let two = a.spent_epsilon();
+        // (1+ε₂) = (1+ε₁)², i.e. ratios compose multiplicatively.
+        assert!(((1.0 + two) - (1.0 + one).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_is_enforced_atomically() {
+        let mut a = PrivacyAccountant::new(0.4, 0.5);
+        // ratio per sketch = (0.6/0.4)^4 = 5.06 ⇒ ε ≈ 4.06 per sketch;
+        // a single release busts a 0.5 budget.
+        let before = a.released();
+        assert!(matches!(a.charge(1), Err(Error::BudgetExceeded { .. })));
+        assert_eq!(a.released(), before, "failed charge must not mutate");
+    }
+
+    #[test]
+    fn plan_meets_budget_for_planned_count() {
+        for &(eps, l) in &[(0.1f64, 4u32), (0.5, 10), (0.2, 1), (2.0, 32)] {
+            let mut a = PrivacyAccountant::plan(eps, l);
+            // Exact planning guarantees the full planned count fits.
+            a.charge(l).unwrap_or_else(|e| panic!("plan(ε={eps}, l={l}) under-delivered: {e}"));
+            // ... and lands exactly on the budget (up to rounding).
+            assert!(
+                (a.spent_epsilon() - eps).abs() < 1e-9,
+                "spent {} should equal budget {eps}",
+                a.spent_epsilon()
+            );
+            // The exact p is at least as private as the paper's p.
+            assert!(a.p() >= p_for_epsilon(eps, l) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn remaining_sketches_decreases() {
+        let mut a = PrivacyAccountant::new(0.49, 1.0);
+        let before = a.remaining_sketches();
+        a.charge(2).unwrap();
+        assert_eq!(a.remaining_sketches(), before - 2);
+    }
+
+    #[test]
+    fn remaining_consistent_with_charge() {
+        let mut a = PrivacyAccountant::new(0.48, 0.8);
+        let n = a.remaining_sketches();
+        assert!(n > 0);
+        a.charge(n).unwrap();
+        assert!(matches!(a.charge(1), Err(Error::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be in (0, 1/2)")]
+    fn rejects_bias_above_half() {
+        let _ = PrivacyAccountant::new(0.6, 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Appendix C — comparing privacy definitions, made executable.
+//!
+//! The paper relates its ε-privacy (γ-amplification with `γ = 1 + ε`) to
+//! the `ρ₁-to-ρ₂ privacy breach` definition of Evfimievski et al.: a
+//! breach occurs when some predicate's prior probability is at most `ρ₁`
+//! while its posterior given the sanitized output is at least `ρ₂`.
+//! "It can be shown that ε-privacy implies ρ₁-to-ρ₂ privacy, but not vice
+//! versa" — and the appendix's HIV example shows why the ρ-style
+//! definition is weaker: a prior of 0.001% jumping to 49% is not a
+//! (50%-threshold) breach even though "the attacker learned an enormous
+//! amount".
+//!
+//! This module provides the Bayesian bookkeeping behind those statements:
+//! posterior bounds under a likelihood-ratio cap, breach predicates, and
+//! the implication checks, all unit-tested against the appendix's numbers.
+
+/// The largest posterior an attacker can reach on a predicate with prior
+/// `prior`, when every observation's likelihood ratio is bounded by
+/// `gamma ≥ 1` (Bayes on the odds: posterior odds ≤ γ · prior odds).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ prior ≤ 1` and `gamma ≥ 1`.
+#[must_use]
+pub fn max_posterior(prior: f64, gamma: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&prior), "prior must be a probability");
+    assert!(gamma >= 1.0, "likelihood-ratio bound must be >= 1");
+    let odds = prior / (1.0 - prior);
+    let post_odds = gamma * odds;
+    post_odds / (1.0 + post_odds)
+}
+
+/// The smallest posterior reachable (adverse evidence), symmetric bound.
+///
+/// # Panics
+///
+/// As [`max_posterior`].
+#[must_use]
+pub fn min_posterior(prior: f64, gamma: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&prior), "prior must be a probability");
+    assert!(gamma >= 1.0, "likelihood-ratio bound must be >= 1");
+    let odds = prior / (1.0 - prior);
+    let post_odds = odds / gamma;
+    post_odds / (1.0 + post_odds)
+}
+
+/// Whether a `ρ₁-to-ρ₂` breach is *possible* under a likelihood-ratio cap
+/// `gamma`: is there a prior `≤ ρ₁` whose capped posterior reaches `ρ₂`?
+///
+/// Since [`max_posterior`] is increasing in the prior, the worst case is
+/// prior = ρ₁ exactly.
+///
+/// # Panics
+///
+/// Panics unless `0 < ρ₁ ≤ ρ₂ < 1`.
+#[must_use]
+pub fn breach_possible(gamma: f64, rho1: f64, rho2: f64) -> bool {
+    assert!(rho1 > 0.0 && rho1 <= rho2 && rho2 < 1.0, "need 0 < rho1 <= rho2 < 1");
+    max_posterior(rho1, gamma) >= rho2
+}
+
+/// The paper's implication, constructive form: the largest ε such that
+/// ε-privacy (γ = 1 + ε) still rules out every ρ₁-to-ρ₂ breach.
+///
+/// From `γ·ρ₁/(1−ρ₁) < ρ₂/(1−ρ₂)`:
+/// `ε < ρ₂(1−ρ₁)/(ρ₁(1−ρ₂)) − 1`.
+///
+/// # Panics
+///
+/// As [`breach_possible`].
+#[must_use]
+pub fn max_epsilon_preventing_breach(rho1: f64, rho2: f64) -> f64 {
+    assert!(rho1 > 0.0 && rho1 <= rho2 && rho2 < 1.0, "need 0 < rho1 <= rho2 < 1");
+    rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2)) - 1.0
+}
+
+/// A recorded prior→posterior movement, for auditing experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeliefShift {
+    /// The attacker's prior on the predicate.
+    pub prior: f64,
+    /// The attacker's posterior after the observation.
+    pub posterior: f64,
+}
+
+impl BeliefShift {
+    /// Whether this shift constitutes a `ρ₁-to-ρ₂` breach.
+    #[must_use]
+    pub fn is_breach(&self, rho1: f64, rho2: f64) -> bool {
+        self.prior <= rho1 && self.posterior >= rho2
+    }
+
+    /// The multiplicative change of the posterior odds against the prior
+    /// odds — the quantity ε-privacy bounds and ρ-style definitions do
+    /// not. (This is the appendix's complaint about the HIV example.)
+    #[must_use]
+    pub fn odds_ratio(&self) -> f64 {
+        let prior_odds = self.prior / (1.0 - self.prior);
+        let post_odds = self.posterior / (1.0 - self.posterior);
+        post_odds / prior_odds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::privacy_ratio_bound;
+
+    #[test]
+    fn posterior_bounds_are_consistent() {
+        let prior = 0.2;
+        let gamma = 3.0;
+        let hi = max_posterior(prior, gamma);
+        let lo = min_posterior(prior, gamma);
+        assert!(lo <= prior && prior <= hi);
+        // γ = 1 leaves the prior unmoved.
+        assert!((max_posterior(prior, 1.0) - prior).abs() < 1e-12);
+        assert!((min_posterior(prior, 1.0) - prior).abs() < 1e-12);
+        // Bayes check: odds triple exactly.
+        assert!((hi / (1.0 - hi) - 3.0 * prior / (1.0 - prior)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn appendix_c_hiv_example() {
+        // Prior 0.001% jumping to 49% is NOT a breach at ρ₂ = 50% …
+        let shift = BeliefShift {
+            prior: 1e-5,
+            posterior: 0.49,
+        };
+        assert!(!shift.is_breach(0.1, 0.5));
+        // … even though the attacker learned an enormous amount:
+        assert!(shift.odds_ratio() > 90_000.0);
+        // ε-privacy would have required a gigantic γ to allow this jump —
+        // i.e. ε-privacy at any sane ε rules it out.
+        let needed_gamma = shift.odds_ratio();
+        assert!(privacy_ratio_bound(0.45) < needed_gamma / 1e4);
+    }
+
+    #[test]
+    fn eps_privacy_implies_rho_privacy_but_not_conversely() {
+        let (rho1, rho2) = (0.1, 0.9);
+        let eps_cap = max_epsilon_preventing_breach(rho1, rho2);
+        // A sketch at p = 0.45 has γ ≈ 2.23: no 10%→90% breach possible.
+        let gamma = privacy_ratio_bound(0.45);
+        assert!(gamma - 1.0 < eps_cap);
+        assert!(!breach_possible(gamma, rho1, rho2));
+        // Converse fails: a mechanism that never breaches 10%→90% can
+        // still have unbounded γ on small priors — witness a γ of 80,
+        // below the breach threshold (81 - 1 = 80 = eps_cap), which at a
+        // prior of 10⁻⁵ multiplies the odds 80-fold.
+        let big_gamma = 1.0 + eps_cap - 1e-9;
+        assert!(!breach_possible(big_gamma, rho1, rho2));
+        let shift = max_posterior(1e-5, big_gamma);
+        assert!(shift > 7e-4, "odds moved ~80x despite no rho-breach");
+    }
+
+    #[test]
+    fn breach_threshold_is_sharp() {
+        let (rho1, rho2) = (0.25, 0.75);
+        let eps_cap = max_epsilon_preventing_breach(rho1, rho2);
+        // Just below the cap: safe. Just above: breachable.
+        assert!(!breach_possible(1.0 + eps_cap * 0.999, rho1, rho2));
+        assert!(breach_possible(1.0 + eps_cap * 1.001, rho1, rho2));
+        // Hand value: ρ₂(1−ρ₁)/(ρ₁(1−ρ₂)) = 9 ⇒ ε_cap = 8.
+        assert!((eps_cap - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "likelihood-ratio bound")]
+    fn gamma_below_one_rejected() {
+        let _ = max_posterior(0.5, 0.5);
+    }
+}

@@ -1,0 +1,418 @@
+//! Appendix F — combining sketches to answer queries on unions of subsets.
+//!
+//! Given sketches for subsets `B₁ … B_q`, each user contributes `q`
+//! *perturbed virtual bits*: bit `i` is `H(id, Bᵢ, vᵢ, s_{u,i})`, which by
+//! Lemma 3.2 equals the indicator `[d_{Bᵢ} = vᵢ]` flipped independently
+//! with probability `p`. The count of users satisfying the conjunction on
+//! `B₁ ∪ … ∪ B_q` is then recovered by inverting the bit-count transition
+//! matrix `V` of equation (6): if `x_l` is the fraction of users whose true
+//! virtual bits contain exactly `l` ones and `y_{l'}` the observed
+//! fraction with `l'` ones, then `E[y] = V·x` and `x = V⁻¹·E[y]`.
+//!
+//! The same machinery doubles as the reconstruction estimator for plain
+//! randomized response (each physical bit flipped with probability `p`),
+//! which is how the baselines crate reuses it.
+
+use crate::database::SketchDb;
+use crate::estimator::ConjunctiveQuery;
+use crate::hfun::HFunction;
+use crate::params::{Error, SketchParams};
+use crate::profile::UserId;
+use psketch_linalg::{binomial_pmf, condition_number_1, Lu, Matrix};
+use std::collections::HashMap;
+
+/// Builds the `(k+1) × (k+1)` transition matrix `V` of equation (6).
+///
+/// `V[(l', l)]` is the probability that a user with `l` true ones among `k`
+/// bits shows `l'` ones after each bit is independently flipped with
+/// probability `flip_p`. Rather than the paper's single sum over `h`
+/// (which mixes the two binomials), we compute it as the convolution
+/// `Σ_h P[Bin(l, p) = h] · P[Bin(k−l, p) = l'−l+h]` — algebraically equal
+/// to equation (6) and numerically stable.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ flip_p ≤ 1`.
+#[must_use]
+pub fn transition_matrix(k: usize, flip_p: f64) -> Matrix {
+    assert!((0.0..=1.0).contains(&flip_p), "flip probability out of range");
+    Matrix::from_fn(k + 1, k + 1, |l_prime, l| {
+        // h = number of original ones flipped to zero.
+        let mut total = 0.0;
+        for h in 0..=l {
+            let kept_ones = l - h;
+            if l_prime < kept_ones {
+                continue;
+            }
+            let raised = l_prime - kept_ones; // zeros flipped to one
+            if raised > k - l {
+                continue;
+            }
+            total += binomial_pmf(l as u64, h as u64, flip_p)
+                * binomial_pmf((k - l) as u64, raised as u64, flip_p);
+        }
+        total
+    })
+}
+
+/// The condition number `κ₁(V)` for conjunction width `k` at flip
+/// probability `flip_p` — the quantity Appendix F reports as growing
+/// exponentially in `k` with base `∝ 1/(p − 1/2)`.
+#[must_use]
+pub fn transition_condition_number(k: usize, flip_p: f64) -> f64 {
+    condition_number_1(&transition_matrix(k, flip_p)).expect("square by construction")
+}
+
+/// The result of an Appendix F combined estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedEstimate {
+    /// Recovered fractions `x₀ … x_k`: `x_l` = fraction of users whose true
+    /// virtual-bit vector has exactly `l` ones.
+    pub by_ones: Vec<f64>,
+    /// Number of users aggregated.
+    pub sample_size: usize,
+}
+
+impl CombinedEstimate {
+    /// The fraction of users satisfying *all* component conjunctions
+    /// (`x_k`, the paper's target).
+    #[must_use]
+    pub fn all_satisfied(&self) -> f64 {
+        *self.by_ones.last().expect("k+1 ≥ 1 entries")
+    }
+
+    /// The fraction satisfying *none* of the component conjunctions
+    /// (`x₀`); its complement estimates the disjunction, the paper's
+    /// "estimate how many users satisfy a disjunction of conjunctions".
+    #[must_use]
+    pub fn none_satisfied(&self) -> f64 {
+        self.by_ones[0]
+    }
+
+    /// The fraction satisfying at least one component (the disjunction).
+    #[must_use]
+    pub fn disjunction(&self) -> f64 {
+        1.0 - self.none_satisfied()
+    }
+
+    /// The fraction satisfying exactly `l` components — the paper's §4.1
+    /// "estimate the fraction of users that satisfy exactly l out of k
+    /// bits in the query".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > k`.
+    #[must_use]
+    pub fn exactly(&self, l: usize) -> f64 {
+        self.by_ones[l]
+    }
+}
+
+/// Recovers true bit-count fractions from perturbed per-user bit vectors.
+///
+/// `rows` yields one `Vec<bool>` of width `k` per user — the perturbed
+/// (virtual or physical) bits. `flip_p` is the per-bit flip probability.
+///
+/// # Errors
+///
+/// * [`Error::EmptyDatabase`] when `rows` is empty;
+/// * [`Error::WidthMismatch`] if a row's width differs from `k`.
+///
+/// # Panics
+///
+/// Panics if the transition matrix is numerically singular. `V` is
+/// provably invertible for `flip_p ≠ 1/2`, so in practice this fires only
+/// when `flip_p` is so close to 1/2 (at large `k`) that the inversion is
+/// meaningless anyway; callers choosing parameters via
+/// [`transition_condition_number`] will never hit it.
+pub fn recover_from_bits<I>(k: usize, flip_p: f64, rows: I) -> Result<CombinedEstimate, Error>
+where
+    I: IntoIterator<Item = Vec<bool>>,
+{
+    let mut histogram = vec![0u64; k + 1];
+    let mut n = 0usize;
+    for row in rows {
+        if row.len() != k {
+            return Err(Error::WidthMismatch {
+                subset: k,
+                value: row.len(),
+            });
+        }
+        let ones = row.iter().filter(|&&b| b).count();
+        histogram[ones] += 1;
+        n += 1;
+    }
+    if n == 0 {
+        return Err(Error::EmptyDatabase);
+    }
+    let y: Vec<f64> = histogram.iter().map(|&c| c as f64 / n as f64).collect();
+    let v = transition_matrix(k, flip_p);
+    let lu = Lu::factorize(&v).expect("V is invertible for flip_p != 1/2");
+    let x = lu.solve(&y).expect("dimensions match by construction");
+    Ok(CombinedEstimate {
+        by_ones: x,
+        sample_size: n,
+    })
+}
+
+/// The Appendix F estimator over a sketch database.
+#[derive(Debug, Clone)]
+pub struct CombinedEstimator {
+    params: SketchParams,
+    h: HFunction,
+}
+
+impl CombinedEstimator {
+    /// Builds the estimator (same parameters as the publishing sketchers).
+    #[must_use]
+    pub fn new(params: SketchParams) -> Self {
+        let h = HFunction::new(&params);
+        Self { params, h }
+    }
+
+    /// Estimates the fraction of users satisfying *every* component query
+    /// simultaneously, where component `i` is a conjunctive query on its
+    /// own sketched subset `Bᵢ`.
+    ///
+    /// Only users that published a sketch for **all** component subsets
+    /// participate (the others carry no information about the union).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownSubset`] if any component subset has no sketches;
+    /// * [`Error::EmptyDatabase`] if no user covers all components.
+    pub fn estimate(
+        &self,
+        db: &SketchDb,
+        components: &[ConjunctiveQuery],
+    ) -> Result<CombinedEstimate, Error> {
+        assert!(!components.is_empty(), "need at least one component query");
+        let k = components.len();
+
+        // Gather per-user virtual bits; join on user id across subsets.
+        let mut per_user: HashMap<UserId, Vec<Option<bool>>> = HashMap::new();
+        for (i, query) in components.iter().enumerate() {
+            let records = db.records(query.subset())?;
+            for rec in records {
+                let bit = self
+                    .h
+                    .eval(rec.id, query.subset(), query.value(), rec.sketch.key);
+                per_user.entry(rec.id).or_insert_with(|| vec![None; k])[i] = Some(bit);
+            }
+        }
+        let rows: Vec<Vec<bool>> = per_user
+            .into_values()
+            .filter_map(|bits| bits.into_iter().collect::<Option<Vec<bool>>>())
+            .collect();
+        if rows.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        recover_from_bits(k, self.params.p(), rows)
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BitString, BitSubset, Profile};
+    use crate::sketcher::Sketcher;
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    #[test]
+    fn transition_matrix_columns_are_stochastic() {
+        for &(k, p) in &[(1usize, 0.3), (4, 0.25), (8, 0.45), (3, 0.0), (3, 1.0)] {
+            let v = transition_matrix(k, p);
+            for l in 0..=k {
+                let col_sum: f64 = (0..=k).map(|lp| v[(lp, l)]).sum();
+                assert!(
+                    (col_sum - 1.0).abs() < 1e-12,
+                    "column {l} sums to {col_sum} at k={k}, p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transition_matrix_no_flip_is_identity() {
+        let v = transition_matrix(5, 0.0);
+        assert!(v.max_abs_diff(&Matrix::identity(6)).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn transition_matrix_full_flip_is_reversal() {
+        let v = transition_matrix(3, 1.0);
+        // l ones become exactly 3−l ones.
+        for l in 0..=3usize {
+            for lp in 0..=3usize {
+                let expected = if lp == 3 - l { 1.0 } else { 0.0 };
+                assert!((v[(lp, l)] - expected).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn transition_matrix_matches_paper_equation_6() {
+        // Direct evaluation of eq. (6) against the convolution form.
+        let (k, p) = (5usize, 0.3f64);
+        let v = transition_matrix(k, p);
+        for l in 0..=k {
+            for lp in 0..=k {
+                let mut eq6 = 0.0;
+                for h in 0..=l {
+                    let raised = lp as i64 - l as i64 + h as i64;
+                    if raised < 0 || raised > (k - l) as i64 {
+                        continue;
+                    }
+                    let exponent_ones = h as i32 + raised as i32;
+                    let exponent_zeros = (k as i32) - exponent_ones;
+                    eq6 += psketch_linalg::binomial_f64(l as u64, h as u64)
+                        * psketch_linalg::binomial_f64((k - l) as u64, raised as u64)
+                        * p.powi(exponent_ones)
+                        * (1.0 - p).powi(exponent_zeros);
+                }
+                assert!(
+                    (v[(lp, l)] - eq6).abs() < 1e-12,
+                    "eq6 mismatch at l={l}, l'={lp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn condition_number_grows_with_k() {
+        let p = 0.3;
+        let k4 = transition_condition_number(4, p);
+        let k8 = transition_condition_number(8, p);
+        assert!(k8 > 4.0 * k4, "κ should grow quickly: κ(4)={k4}, κ(8)={k8}");
+    }
+
+    #[test]
+    fn condition_number_explodes_near_half() {
+        let k = 6;
+        let far = transition_condition_number(k, 0.25);
+        let near = transition_condition_number(k, 0.45);
+        assert!(near > 10.0 * far, "κ(p→1/2) should blow up: {far} vs {near}");
+    }
+
+    #[test]
+    fn recover_from_bits_roundtrip_noiseless() {
+        // flip_p tiny: observed ≈ truth; recovery must match histogram.
+        let rows = vec![
+            vec![true, true, false],
+            vec![true, true, true],
+            vec![false, false, false],
+            vec![true, true, true],
+        ];
+        let est = recover_from_bits(3, 1e-9, rows).unwrap();
+        assert!((est.all_satisfied() - 0.5).abs() < 1e-6);
+        assert!((est.none_satisfied() - 0.25).abs() < 1e-6);
+        assert!((est.exactly(2) - 0.25).abs() < 1e-6);
+        assert!((est.disjunction() - 0.75).abs() < 1e-6);
+        assert_eq!(est.sample_size, 4);
+    }
+
+    #[test]
+    fn recover_from_bits_statistical() {
+        // Plant x = (0.2, 0.3, 0.5) over k=2 bits, flip at p=0.2, recover.
+        let p = 0.2;
+        let mut rng = Prg::seed_from_u64(17);
+        use rand::RngExt;
+        let m = 60_000;
+        let rows: Vec<Vec<bool>> = (0..m)
+            .map(|i| {
+                let truth: Vec<bool> = match i % 10 {
+                    0 | 1 => vec![false, false],
+                    2..=4 => vec![true, false],
+                    _ => vec![true, true],
+                };
+                truth
+                    .into_iter()
+                    .map(|b| b ^ (rng.random::<f64>() < p))
+                    .collect()
+            })
+            .collect();
+        let est = recover_from_bits(2, p, rows).unwrap();
+        assert!((est.by_ones[0] - 0.2).abs() < 0.02, "x0 = {}", est.by_ones[0]);
+        assert!((est.by_ones[1] - 0.3).abs() < 0.02, "x1 = {}", est.by_ones[1]);
+        assert!((est.by_ones[2] - 0.5).abs() < 0.02, "x2 = {}", est.by_ones[2]);
+    }
+
+    #[test]
+    fn recover_rejects_bad_width_and_empty() {
+        assert!(matches!(
+            recover_from_bits(2, 0.1, vec![vec![true]]),
+            Err(Error::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            recover_from_bits(2, 0.1, Vec::<Vec<bool>>::new()),
+            Err(Error::EmptyDatabase)
+        ));
+    }
+
+    #[test]
+    fn combined_estimator_end_to_end() {
+        // Two disjoint subsets; plant a joint distribution and recover the
+        // conjunction frequency on the union.
+        let p = 0.25;
+        let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(31)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        let b1 = BitSubset::range(0, 2);
+        let b2 = BitSubset::range(2, 2);
+        let mut rng = Prg::seed_from_u64(18);
+        let m = 30_000u64;
+        // 40% of users satisfy both (d = 1111); 30% only B1 (1100);
+        // 30% neither (0000).
+        for i in 0..m {
+            let profile = match i % 10 {
+                0..=3 => Profile::from_bits(&[true, true, true, true]),
+                4..=6 => Profile::from_bits(&[true, true, false, false]),
+                _ => Profile::from_bits(&[false, false, false, false]),
+            };
+            for b in [&b1, &b2] {
+                let s = sketcher.sketch(UserId(i), &profile, b, &mut rng).unwrap();
+                db.insert(b.clone(), UserId(i), s);
+            }
+        }
+        let est = CombinedEstimator::new(params);
+        let q1 = ConjunctiveQuery::new(b1, BitString::from_bits(&[true, true])).unwrap();
+        let q2 = ConjunctiveQuery::new(b2, BitString::from_bits(&[true, true])).unwrap();
+        let combined = est.estimate(&db, &[q1, q2]).unwrap();
+        assert_eq!(combined.sample_size, m as usize);
+        assert!(
+            (combined.all_satisfied() - 0.4).abs() < 0.03,
+            "conjunction on union: {} (want 0.4)",
+            combined.all_satisfied()
+        );
+        assert!(
+            (combined.disjunction() - 0.7).abs() < 0.03,
+            "disjunction: {} (want 0.7)",
+            combined.disjunction()
+        );
+    }
+
+    #[test]
+    fn combined_estimator_requires_overlapping_users() {
+        let params = SketchParams::with_sip(0.3, 8, GlobalKey::from_seed(1)).unwrap();
+        let db = SketchDb::new();
+        let b1 = BitSubset::single(0);
+        let b2 = BitSubset::single(1);
+        // Disjoint user sets for the two subsets.
+        db.insert(b1.clone(), UserId(1), crate::sketcher::Sketch { key: 0 });
+        db.insert(b2.clone(), UserId(2), crate::sketcher::Sketch { key: 0 });
+        let est = CombinedEstimator::new(params);
+        let q1 = ConjunctiveQuery::new(b1, BitString::from_bits(&[true])).unwrap();
+        let q2 = ConjunctiveQuery::new(b2, BitString::from_bits(&[true])).unwrap();
+        assert!(matches!(
+            est.estimate(&db, &[q1, q2]),
+            Err(Error::EmptyDatabase)
+        ));
+    }
+}

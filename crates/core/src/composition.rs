@@ -1,0 +1,186 @@
+//! Advanced composition — the Conclusions' "quadratically more sketches".
+//!
+//! §5: "if one is willing to relax privacy guarantees from deterministic
+//! to negligibly small probability of leak then the result of Theorem 3.4
+//! can be improved to allow quadratically more sketches while giving
+//! essentially the same privacy guarantees."
+//!
+//! This module implements that improvement with the now-standard advanced
+//! composition bound (Dwork–Rothblum–Vadhan): a mechanism whose per-output
+//! log-likelihood ratio is bounded by `ε₀` (which Lemma 3.3 gives with
+//! `ε₀ = 4·ln((1−p)/p)`) composes `l` times to, with probability `≥ 1−δ`,
+//!
+//! `ε(l, δ) = ε₀·√(2·l·ln(1/δ)) + l·ε₀·(e^{ε₀} − 1)`.
+//!
+//! For `p` near 1/2 (small `ε₀`) the linear term is second order, so the
+//! number of sketches affordable at a fixed total budget grows like
+//! `(ε/ε₀)²` instead of the basic composition's `ε/ε₀` — the promised
+//! quadratic gain. Experiment E16 tabulates it.
+
+use crate::theory::privacy_ratio_bound;
+
+/// The per-sketch worst-case log-likelihood ratio `ε₀ = 4·ln((1−p)/p)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1/2`.
+#[must_use]
+pub fn per_sketch_epsilon(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 0.5, "p must be in (0, 1/2)");
+    privacy_ratio_bound(p).ln()
+}
+
+/// Advanced-composition total ε after `l` sketches at bias `p`, holding
+/// with probability `1 − δ` over the mechanism's randomness.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1/2`, `l ≥ 1` and `0 < δ < 1`.
+#[must_use]
+pub fn epsilon_advanced(p: f64, l: u32, delta: f64) -> f64 {
+    assert!(l >= 1, "need at least one sketch");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let e0 = per_sketch_epsilon(p);
+    let l = f64::from(l);
+    e0 * (2.0 * l * (1.0 / delta).ln()).sqrt() + l * e0 * (e0.exp() - 1.0)
+}
+
+/// Basic-composition total ε after `l` sketches (Corollary 3.4, in
+/// log form): `l·ε₀`, holding deterministically (δ = 0).
+///
+/// # Panics
+///
+/// As [`per_sketch_epsilon`].
+#[must_use]
+pub fn epsilon_basic(p: f64, l: u32) -> f64 {
+    per_sketch_epsilon(p) * f64::from(l)
+}
+
+/// Maximum sketches affordable under basic composition at total budget
+/// `eps_total` (log scale): `⌊ε/ε₀⌋`.
+///
+/// # Panics
+///
+/// Panics unless the budget is positive (and as [`per_sketch_epsilon`]).
+#[must_use]
+pub fn max_sketches_basic(p: f64, eps_total: f64) -> u32 {
+    assert!(eps_total > 0.0, "budget must be positive");
+    let l = (eps_total / per_sketch_epsilon(p)).floor();
+    if l >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        l as u32
+    }
+}
+
+/// Maximum sketches affordable under advanced composition at total budget
+/// `eps_total` with failure probability `δ`.
+///
+/// Solved exactly by monotonicity of [`epsilon_advanced`] in `l`
+/// (binary search).
+///
+/// # Panics
+///
+/// Panics unless the budget is positive and `0 < δ < 1`.
+#[must_use]
+pub fn max_sketches_advanced(p: f64, eps_total: f64, delta: f64) -> u32 {
+    assert!(eps_total > 0.0, "budget must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    if epsilon_advanced(p, 1, delta) > eps_total {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1u32, 2u32);
+    // Exponential search for an upper bracket.
+    while epsilon_advanced(p, hi, delta) <= eps_total {
+        lo = hi;
+        match hi.checked_mul(2) {
+            Some(next) => hi = next,
+            None => return u32::MAX,
+        }
+    }
+    // Invariant: feasible(lo), infeasible(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if epsilon_advanced(p, mid, delta) <= eps_total {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sketch_epsilon_matches_lemma() {
+        // p = 0.25: ratio 81, ε₀ = ln 81.
+        assert!((per_sketch_epsilon(0.25) - 81f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_sketches() {
+        // Near p = 1/2 the sqrt term dominates: ε_adv(l) << ε_basic(l).
+        let p = 0.499;
+        let delta = 1e-9;
+        let l = 10_000;
+        assert!(epsilon_advanced(p, l, delta) < epsilon_basic(p, l) / 5.0);
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_sketches() {
+        // For a single sketch the sqrt overhead makes advanced worse.
+        let p = 0.45;
+        assert!(epsilon_advanced(p, 1, 1e-6) > epsilon_basic(p, 1));
+    }
+
+    #[test]
+    fn quadratic_gain_in_the_small_epsilon0_regime() {
+        // The paper's claim: quadratically more sketches. As p → 1/2 at
+        // fixed (ε, δ), advanced/basic sketch counts diverge like 1/ε₀.
+        let eps = 1.0;
+        let delta = 1e-9;
+        let gain = |p: f64| {
+            f64::from(max_sketches_advanced(p, eps, delta))
+                / f64::from(max_sketches_basic(p, eps).max(1))
+        };
+        let g1 = gain(0.495);
+        let g2 = gain(0.4995);
+        assert!(g2 > 5.0 * g1, "gain should grow ~1/eps0: {g1} -> {g2}");
+        // And the absolute counts witness the quadratic law: basic scales
+        // ~10x per 10x smaller ε₀, advanced ~100x.
+        let b1 = max_sketches_basic(0.495, eps);
+        let b2 = max_sketches_basic(0.4995, eps);
+        let a1 = max_sketches_advanced(0.495, eps, delta);
+        let a2 = max_sketches_advanced(0.4995, eps, delta);
+        let basic_scale = f64::from(b2) / f64::from(b1);
+        let adv_scale = f64::from(a2) / f64::from(a1);
+        assert!((basic_scale - 10.0).abs() < 1.5, "basic scale {basic_scale}");
+        assert!(adv_scale > 50.0, "advanced scale {adv_scale} should be ~100");
+    }
+
+    #[test]
+    fn max_sketches_is_exact_boundary() {
+        let (p, eps, delta) = (0.49, 2.0, 1e-6);
+        let l = max_sketches_advanced(p, eps, delta);
+        assert!(l >= 1);
+        assert!(epsilon_advanced(p, l, delta) <= eps);
+        assert!(epsilon_advanced(p, l + 1, delta) > eps);
+        let lb = max_sketches_basic(p, eps);
+        assert!(epsilon_basic(p, lb) <= eps);
+        assert!(epsilon_basic(p, lb + 1) > eps);
+    }
+
+    #[test]
+    fn zero_when_even_one_sketch_is_too_expensive() {
+        assert_eq!(max_sketches_advanced(0.1, 0.01, 1e-6), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn rejects_bad_delta() {
+        let _ = epsilon_advanced(0.4, 2, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The analyst-side collection of published sketches.
+//!
+//! Once users publish sketches they become public; the analyst aggregates
+//! them per attribute subset. [`SketchDb`] is that aggregation: a map from
+//! [`BitSubset`] to the list of `(user, sketch)` records. It is internally
+//! synchronized (`parking_lot::RwLock`) so populations can publish from
+//! multiple threads in the experiment harness.
+
+use crate::params::Error;
+use crate::profile::{BitSubset, UserId};
+use crate::sketcher::Sketch;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One published record: a user and the sketch they released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchRecord {
+    /// The publishing user.
+    pub id: UserId,
+    /// The published sketch.
+    pub sketch: Sketch,
+}
+
+/// A database of published sketches, grouped by sketched subset.
+#[derive(Debug, Default)]
+pub struct SketchDb {
+    inner: RwLock<HashMap<BitSubset, Vec<SketchRecord>>>,
+}
+
+impl SketchDb {
+    /// Creates an empty database.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a published sketch for `(id, subset)`.
+    pub fn insert(&self, subset: BitSubset, id: UserId, sketch: Sketch) {
+        self.inner
+            .write()
+            .entry(subset)
+            .or_default()
+            .push(SketchRecord { id, sketch });
+    }
+
+    /// Records many sketches for the same subset at once.
+    pub fn insert_batch(&self, subset: BitSubset, records: impl IntoIterator<Item = SketchRecord>) {
+        self.inner
+            .write()
+            .entry(subset)
+            .or_default()
+            .extend(records);
+    }
+
+    /// Returns a copy of the records for `subset`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSubset`] if nothing was published for `subset`.
+    pub fn records(&self, subset: &BitSubset) -> Result<Vec<SketchRecord>, Error> {
+        self.inner
+            .read()
+            .get(subset)
+            .cloned()
+            .ok_or_else(|| Error::UnknownSubset {
+                subset: format!("{subset:?}"),
+            })
+    }
+
+    /// Number of sketches recorded for `subset` (0 if unknown).
+    #[must_use]
+    pub fn count(&self, subset: &BitSubset) -> usize {
+        self.inner.read().get(subset).map_or(0, Vec::len)
+    }
+
+    /// All subsets with at least one record, in unspecified order.
+    #[must_use]
+    pub fn subsets(&self) -> Vec<BitSubset> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Total number of records across all subsets.
+    #[must_use]
+    pub fn total_records(&self) -> usize {
+        self.inner.read().values().map(Vec::len).sum()
+    }
+
+    /// Whether the database holds no records at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subset(positions: &[u32]) -> BitSubset {
+        BitSubset::new(positions.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn insert_and_retrieve() {
+        let db = SketchDb::new();
+        let b = subset(&[0, 1]);
+        db.insert(b.clone(), UserId(1), Sketch { key: 3 });
+        db.insert(b.clone(), UserId(2), Sketch { key: 5 });
+        let records = db.records(&b).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, UserId(1));
+        assert_eq!(records[1].sketch.key, 5);
+    }
+
+    #[test]
+    fn unknown_subset_is_an_error() {
+        let db = SketchDb::new();
+        assert!(matches!(
+            db.records(&subset(&[7])),
+            Err(Error::UnknownSubset { .. })
+        ));
+        assert_eq!(db.count(&subset(&[7])), 0);
+    }
+
+    #[test]
+    fn batch_insert_and_counts() {
+        let db = SketchDb::new();
+        let b = subset(&[2]);
+        db.insert_batch(
+            b.clone(),
+            (0..10).map(|i| SketchRecord {
+                id: UserId(i),
+                sketch: Sketch { key: i },
+            }),
+        );
+        assert_eq!(db.count(&b), 10);
+        assert_eq!(db.total_records(), 10);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn subsets_lists_all_keys() {
+        let db = SketchDb::new();
+        db.insert(subset(&[0]), UserId(0), Sketch { key: 0 });
+        db.insert(subset(&[1]), UserId(0), Sketch { key: 0 });
+        let mut subs = db.subsets();
+        subs.sort();
+        assert_eq!(subs, vec![subset(&[0]), subset(&[1])]);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_safe() {
+        use std::sync::Arc;
+        let db = Arc::new(SketchDb::new());
+        let b = subset(&[0]);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        db.insert(b.clone(), UserId(t * 1000 + i), Sketch { key: i });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.count(&b), 800);
+    }
+}

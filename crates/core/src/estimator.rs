@@ -1,0 +1,357 @@
+//! Algorithm 2 — answering conjunctive queries from sketches.
+//!
+//! ```text
+//! Input: PRF H, database of sketches S(id, B), query subset B, value v.
+//! 1: Compute the fraction r̃ of users with H(id, B, v, S(id, B)) = 1.
+//! 2: Report r' = (r̃ − p)/(1 − 2p).
+//! ```
+//!
+//! By Lemma 3.2, `E[r̃] = (1−p)·r + p·(1−r)` where `r` is the true fraction
+//! of users satisfying `d_B = v`, so step 2 is the unbiased inversion. The
+//! Chernoff analysis of Lemma 4.1 gives
+//! `Pr[|r' − r| > ε] ≤ exp(−ε²(1−2p)²·M/4)`, independent of `|B|` — the
+//! paper's headline property.
+
+use crate::database::SketchDb;
+use crate::hfun::HFunction;
+use crate::params::{Error, SketchParams};
+use crate::profile::{BitString, BitSubset};
+use serde::{Deserialize, Serialize};
+
+/// A conjunctive query `d_B = v`: "what fraction of users has every
+/// attribute in `B` equal to the corresponding bit of `v`?"
+///
+/// Negated attributes are simply 0-bits of `v`, so this is the paper's full
+/// (non-monotone) conjunctive query class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    subset: BitSubset,
+    value: BitString,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query after width validation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WidthMismatch`] unless `value.len() == subset.len()`.
+    pub fn new(subset: BitSubset, value: BitString) -> Result<Self, Error> {
+        if subset.len() != value.len() {
+            return Err(Error::WidthMismatch {
+                subset: subset.len(),
+                value: value.len(),
+            });
+        }
+        Ok(Self { subset, value })
+    }
+
+    /// The queried subset `B`.
+    #[must_use]
+    pub fn subset(&self) -> &BitSubset {
+        &self.subset
+    }
+
+    /// The queried value `v`.
+    #[must_use]
+    pub fn value(&self) -> &BitString {
+        &self.value
+    }
+
+    /// Width `k` of the conjunction.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.subset.len()
+    }
+}
+
+/// The result of a conjunctive estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The Algorithm 2 output `r' = (r̃ − p)/(1 − 2p)`; may fall outside
+    /// `[0, 1]` by sampling noise.
+    pub fraction: f64,
+    /// The raw one-fraction `r̃` before inversion.
+    pub raw: f64,
+    /// Number of sketches the estimate aggregates.
+    pub sample_size: usize,
+    /// The bias `p` used in the inversion.
+    pub p: f64,
+}
+
+impl Estimate {
+    /// The estimate clamped to the feasible range `[0, 1]`.
+    #[must_use]
+    pub fn clamped(&self) -> f64 {
+        self.fraction.clamp(0.0, 1.0)
+    }
+
+    /// Estimated *count* of satisfying users in a population of `m`.
+    #[must_use]
+    pub fn count(&self, m: usize) -> f64 {
+        self.clamped() * m as f64
+    }
+
+    /// Two-sided `1 − δ` confidence half-width from Hoeffding's bound.
+    ///
+    /// `r̃` deviates from its mean by more than `t` with probability at most
+    /// `2·exp(−2·n·t²)`; the inversion scales deviations by `1/(1 − 2p)`.
+    #[must_use]
+    pub fn half_width(&self, delta: f64) -> f64 {
+        if self.sample_size == 0 {
+            return f64::INFINITY;
+        }
+        let n = self.sample_size as f64;
+        let t = ((2.0 / delta).ln() / (2.0 * n)).sqrt();
+        t / (1.0 - 2.0 * self.p)
+    }
+
+    /// The Lemma 4.1 failure probability for error tolerance `eps`:
+    /// `exp(−ε²(1−2p)²·n/4)`.
+    #[must_use]
+    pub fn lemma41_failure_prob(&self, eps: f64) -> f64 {
+        let n = self.sample_size as f64;
+        (-eps * eps * (1.0 - 2.0 * self.p).powi(2) * n / 4.0).exp()
+    }
+}
+
+/// The analyst-side estimator: Algorithm 2 over a [`SketchDb`].
+#[derive(Debug, Clone)]
+pub struct ConjunctiveEstimator {
+    params: SketchParams,
+    h: HFunction,
+}
+
+impl ConjunctiveEstimator {
+    /// Builds an estimator. Must use the *same* parameters (bias, key,
+    /// PRF family) as the sketchers that produced the database.
+    #[must_use]
+    pub fn new(params: SketchParams) -> Self {
+        let h = HFunction::new(&params);
+        Self { params, h }
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// Runs Algorithm 2 for `query` against `db`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownSubset`] if the database has no sketches for the
+    ///   query's subset;
+    /// * [`Error::EmptyDatabase`] if the subset exists but holds no records.
+    pub fn estimate(&self, db: &SketchDb, query: &ConjunctiveQuery) -> Result<Estimate, Error> {
+        let records = db.records(query.subset())?;
+        if records.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let ones = records
+            .iter()
+            .filter(|rec| {
+                self.h
+                    .eval(rec.id, query.subset(), query.value(), rec.sketch.key)
+            })
+            .count();
+        let n = records.len();
+        let raw = ones as f64 / n as f64;
+        let p = self.params.p();
+        Ok(Estimate {
+            fraction: (raw - p) / (1.0 - 2.0 * p),
+            raw,
+            sample_size: n,
+            p,
+        })
+    }
+
+    /// Estimates all `2^k` value frequencies over one sketched subset.
+    ///
+    /// Each user's sketch supports *every* value query on its subset, so a
+    /// single pass can price out the full distribution (used by non-binary
+    /// attribute mining and the experiment harness). Values are indexed by
+    /// their LSB-first integer encoding.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConjunctiveEstimator::estimate`]. Additionally requires
+    /// `subset.len() ≤ 20` to keep the output size sane.
+    pub fn estimate_distribution(
+        &self,
+        db: &SketchDb,
+        subset: &BitSubset,
+    ) -> Result<Vec<Estimate>, Error> {
+        assert!(
+            subset.len() <= 20,
+            "estimate_distribution supports at most 20-bit subsets"
+        );
+        (0..(1u64 << subset.len()))
+            .map(|value| {
+                let q = ConjunctiveQuery::new(
+                    subset.clone(),
+                    BitString::from_u64(value, subset.len()),
+                )?;
+                self.estimate(db, &q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Profile, UserId};
+    use crate::sketcher::Sketcher;
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    fn params(p: f64) -> SketchParams {
+        SketchParams::with_sip(p, 10, GlobalKey::from_seed(21)).unwrap()
+    }
+
+    /// Builds a database where a known fraction of users satisfies the
+    /// all-ones value on a k-bit subset.
+    fn build_db(p: f64, k: usize, m: u64, true_fraction: f64) -> (SketchDb, BitSubset) {
+        let params = params(p);
+        let sketcher = Sketcher::new(params);
+        let subset = BitSubset::range(0, k as u32);
+        let db = SketchDb::new();
+        let mut rng = Prg::seed_from_u64(77);
+        let cutoff = (true_fraction * m as f64) as u64;
+        for i in 0..m {
+            let profile = if i < cutoff {
+                Profile::from_bits(&vec![true; k])
+            } else {
+                // A profile differing in the first bit.
+                let mut bits = vec![true; k];
+                bits[0] = false;
+                Profile::from_bits(&bits)
+            };
+            let s = sketcher
+                .sketch(UserId(i), &profile, &subset, &mut rng)
+                .unwrap();
+            db.insert(subset.clone(), UserId(i), s);
+        }
+        (db, subset)
+    }
+
+    #[test]
+    fn recovers_planted_fraction() {
+        let p = 0.3;
+        let m = 20_000;
+        let (db, subset) = build_db(p, 4, m, 0.35);
+        let est = ConjunctiveEstimator::new(params(p));
+        let q = ConjunctiveQuery::new(subset, BitString::from_bits(&[true; 4])).unwrap();
+        let e = est.estimate(&db, &q).unwrap();
+        assert_eq!(e.sample_size, m as usize);
+        assert!(
+            (e.fraction - 0.35).abs() < 0.03,
+            "estimate {} should be near 0.35",
+            e.fraction
+        );
+    }
+
+    #[test]
+    fn error_is_independent_of_width() {
+        // The defining property: at fixed M, widening the conjunction does
+        // not blow up the error.
+        let p = 0.3;
+        let m = 8_000;
+        for k in [2usize, 8, 16] {
+            let (db, subset) = build_db(p, k, m, 0.5);
+            let est = ConjunctiveEstimator::new(params(p));
+            let q =
+                ConjunctiveQuery::new(subset, BitString::from_bits(&vec![true; k])).unwrap();
+            let e = est.estimate(&db, &q).unwrap();
+            assert!(
+                (e.fraction - 0.5).abs() < 0.05,
+                "width {k}: estimate {} drifted",
+                e.fraction
+            );
+        }
+    }
+
+    #[test]
+    fn negated_attributes_are_supported() {
+        // Count the complement population: users with first bit = 0.
+        let p = 0.25;
+        let m = 10_000;
+        let (db, subset) = build_db(p, 4, m, 0.2);
+        let est = ConjunctiveEstimator::new(params(p));
+        let mut v = vec![true; 4];
+        v[0] = false; // negation of x0, conjunction of the rest
+        let q = ConjunctiveQuery::new(subset, BitString::from_bits(&v)).unwrap();
+        let e = est.estimate(&db, &q).unwrap();
+        assert!(
+            (e.fraction - 0.8).abs() < 0.04,
+            "negated estimate {} should be near 0.8",
+            e.fraction
+        );
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let subset = BitSubset::range(0, 3);
+        assert!(matches!(
+            ConjunctiveQuery::new(subset, BitString::from_bits(&[true])),
+            Err(Error::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_subset_surfaces() {
+        let est = ConjunctiveEstimator::new(params(0.3));
+        let db = SketchDb::new();
+        let q = ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
+            .unwrap();
+        assert!(matches!(
+            est.estimate(&db, &q),
+            Err(Error::UnknownSubset { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_bookkeeping() {
+        let e = Estimate {
+            fraction: 1.2,
+            raw: 0.9,
+            sample_size: 100,
+            p: 0.3,
+        };
+        assert_eq!(e.clamped(), 1.0);
+        assert_eq!(e.count(50), 50.0);
+        assert!(e.half_width(0.05) > 0.0);
+        assert!(e.lemma41_failure_prob(0.1) < 1.0);
+        let empty = Estimate {
+            fraction: 0.0,
+            raw: 0.0,
+            sample_size: 0,
+            p: 0.3,
+        };
+        assert_eq!(empty.half_width(0.05), f64::INFINITY);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_samples() {
+        let mk = |n| Estimate {
+            fraction: 0.5,
+            raw: 0.5,
+            sample_size: n,
+            p: 0.3,
+        };
+        assert!(mk(10_000).half_width(0.05) < mk(100).half_width(0.05) / 5.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_approximately_one() {
+        let p = 0.3;
+        let (db, subset) = build_db(p, 3, 12_000, 0.6);
+        let est = ConjunctiveEstimator::new(params(p));
+        let dist = est.estimate_distribution(&db, &subset).unwrap();
+        assert_eq!(dist.len(), 8);
+        let total: f64 = dist.iter().map(|e| e.fraction).sum();
+        // Each of the 8 estimates is unbiased; their sum concentrates at 1.
+        assert!((total - 1.0).abs() < 0.1, "distribution total {total}");
+    }
+}

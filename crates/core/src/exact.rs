@@ -1,0 +1,333 @@
+//! Exact publish-probability analysis — Lemma 3.3 made executable.
+//!
+//! The privacy proof of the paper analyzes Algorithm 1 as a function of the
+//! *evaluation table* of `H`: fix a user, a subset and a key space of
+//! `L = 2^ℓ` keys; a profile `d` induces the table `f(d, ·) : s ↦ {0,1}`.
+//! The probability that a particular key is published depends only on
+//! (a) how many keys evaluate to 1 (`q`, the proof's `Q(d)`), and
+//! (b) whether the key in question evaluates to 1 — by the permutation
+//! symmetry the proof calls "invariant with respect to permutations of the
+//! key evaluations".
+//!
+//! This module computes those probabilities *exactly* (the proof's `Z^(q)`
+//! quantities) so that the privacy bound can be verified without Monte
+//! Carlo, for adversarial tables as well as honest ones.
+
+use crate::params::SketchParams;
+
+/// Exact distribution of Algorithm 1's outcome for one evaluation table.
+///
+/// All quantities are conditioned only on the table shape `(L, q)`:
+/// `L = 2^ℓ` keys of which `q` evaluate to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeProbs {
+    /// Probability a *specific* key that evaluates to 1 is published
+    /// (`NaN`-free: zero when `q = 0`).
+    pub publish_one_key: f64,
+    /// Probability a *specific* key that evaluates to 0 is published
+    /// (zero when `q = L`).
+    pub publish_zero_key: f64,
+    /// Probability the algorithm fails (possible only when `q = 0`).
+    pub failure: f64,
+}
+
+/// Computes the exact outcome probabilities for a table with `l_keys` keys
+/// of which `q_ones` evaluate to 1, with step-5 accept probability `r`.
+///
+/// Derivation: the candidate order is a uniform permutation. A specific
+/// 1-key `s` is published iff every key drawn before it is a 0-key that the
+/// accept coin rejected. With `z = L − q` zero keys,
+///
+/// `P₁ = Σᵢ (z)ᵢ/(L)ᵢ · 1/(L−i) · (1−r)ⁱ` for `i = 0..z`,
+///
+/// where `(x)ᵢ` is the falling factorial (probability the first `i` draws
+/// are all zero-keys) and `1/(L−i)` the probability `s` is drawn next. A
+/// specific 0-key is published iff the same prefix event happens among the
+/// other `z−1` zero keys and then its own accept coin fires:
+///
+/// `P₀ = r · Σᵢ (z−1)ᵢ/(L)ᵢ · 1/(L−i) · (1−r)ⁱ` for `i = 0..z−1`.
+///
+/// The run fails iff `q = 0` and all `L` accept coins reject: `(1−r)^L`.
+///
+/// # Panics
+///
+/// Panics if `q_ones > l_keys`, `l_keys == 0`, or `r ∉ (0, 1]`.
+#[must_use]
+pub fn outcome_probs(l_keys: u64, q_ones: u64, r: f64) -> OutcomeProbs {
+    assert!(l_keys > 0, "key space must be non-empty");
+    assert!(q_ones <= l_keys, "cannot have more ones than keys");
+    assert!(r > 0.0 && r <= 1.0, "accept probability r must be in (0,1]");
+    let l = l_keys as f64;
+    let z = l_keys - q_ones;
+
+    // Publish probability for a 1-key (only defined when q ≥ 1).
+    let publish_one_key = if q_ones == 0 {
+        0.0
+    } else {
+        let mut sum = 0.0;
+        // prefix = (z)_i / (L)_i, built incrementally.
+        let mut prefix = 1.0;
+        for i in 0..=z {
+            sum += prefix / (l - i as f64) * (1.0 - r).powi(i as i32);
+            if i < z {
+                prefix *= (z - i) as f64 / (l - i as f64);
+            }
+        }
+        sum
+    };
+
+    // Publish probability for a 0-key (only defined when z ≥ 1).
+    let publish_zero_key = if z == 0 {
+        0.0
+    } else {
+        let mut sum = 0.0;
+        let mut prefix = 1.0;
+        let other_zeros = z - 1;
+        for i in 0..=other_zeros {
+            sum += prefix / (l - i as f64) * (1.0 - r).powi(i as i32);
+            if i < other_zeros {
+                prefix *= (other_zeros - i) as f64 / (l - i as f64);
+            }
+        }
+        r * sum
+    };
+
+    let failure = if q_ones == 0 {
+        (1.0 - r).powi(l_keys as i32)
+    } else {
+        0.0
+    };
+
+    OutcomeProbs {
+        publish_one_key,
+        publish_zero_key,
+        failure,
+    }
+}
+
+/// The exact worst-case likelihood ratio over all pairs of evaluation
+/// tables and all sketch values, for a key space of `l_keys` keys.
+///
+/// This is the quantity Lemma 3.3 bounds by `((1−p)/p)⁴`: the maximum over
+/// profiles `d′, d″` (equivalently over table shapes `q′, q″` and key
+/// evaluation `w′, w″ ∈ {0,1}`) of `Pr[publish s | d′]/Pr[publish s | d″]`.
+/// `H` is adversarial here — any pair of tables is admissible — which is
+/// the paper's "even an adversarial choice of the values of H would not
+/// compromise a user's privacy".
+#[must_use]
+pub fn max_privacy_ratio(l_keys: u64, r: f64) -> f64 {
+    let mut probs = Vec::new();
+    for q in 0..=l_keys {
+        let o = outcome_probs(l_keys, q, r);
+        if q >= 1 {
+            probs.push(o.publish_one_key);
+        }
+        if q < l_keys {
+            probs.push(o.publish_zero_key);
+        }
+    }
+    let max = probs.iter().copied().fold(0.0, f64::max);
+    let min = probs.iter().copied().fold(f64::INFINITY, f64::min);
+    max / min
+}
+
+/// Convenience: exact privacy ratio for a parameter set (uses its key
+/// space size and `r = p²/(1−p)²`).
+#[must_use]
+pub fn max_privacy_ratio_for(params: &SketchParams) -> f64 {
+    max_privacy_ratio(params.key_space(), params.accept_prob())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BitString, BitSubset, UserId};
+    use crate::sketcher::Sketcher;
+    use crate::theory::privacy_ratio_bound;
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    #[test]
+    fn total_probability_is_one() {
+        // q·P₁ + z·P₀ + failure = 1 for every shape.
+        for l in [1u64, 2, 8, 16, 64] {
+            for q in 0..=l {
+                for &r in &[0.1, 0.25, 1.0 / 9.0, 0.9] {
+                    let o = outcome_probs(l, q, r);
+                    let total = q as f64 * o.publish_one_key
+                        + (l - q) as f64 * o.publish_zero_key
+                        + o.failure;
+                    assert!(
+                        (total - 1.0).abs() < 1e-12,
+                        "L={l} q={q} r={r}: total {total}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_ones_table_is_uniform() {
+        // If every key evaluates to 1 the first draw is published: 1/L.
+        let o = outcome_probs(8, 8, 0.25);
+        assert!((o.publish_one_key - 0.125).abs() < 1e-12);
+        assert_eq!(o.failure, 0.0);
+    }
+
+    #[test]
+    fn proofs_z_identity_zq0_equals_zq1_plus() {
+        // The proof's identity: the probability of *considering* a 0-key
+        // when q ones exist equals that of considering a 1-key when q+1
+        // exist. Considering a 0-key = publish₀/r; considering a 1-key =
+        // publish₁.
+        let l = 16;
+        let r = 0.25;
+        for q in 0..l {
+            let zero_side = outcome_probs(l, q, r).publish_zero_key / r;
+            let one_side = outcome_probs(l, q + 1, r).publish_one_key;
+            assert!(
+                (zero_side - one_side).abs() < 1e-12,
+                "Z identity fails at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotonicity_in_q() {
+        // More 1-keys ⇒ the run ends sooner ⇒ each specific 1-key is less
+        // likely to be reached: Z^(q) ≥ Z^(q+1) from the proof.
+        let l = 32;
+        let r = 1.0 / 9.0;
+        let mut prev = f64::INFINITY;
+        for q in 1..=l {
+            let cur = outcome_probs(l, q, r).publish_one_key;
+            assert!(cur <= prev + 1e-15, "Z not monotone at q={q}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_bound_holds_exactly() {
+        // Exact worst-case ratio ≤ ((1−p)/p)^4 for representative params.
+        for &p in &[0.2f64, 0.25, 0.3, 0.4, 0.45] {
+            let r = (p / (1.0 - p)).powi(2);
+            for bits in 1..=8u8 {
+                let ratio = max_privacy_ratio(1 << bits, r);
+                let bound = privacy_ratio_bound(p);
+                assert!(
+                    ratio <= bound * (1.0 + 1e-9),
+                    "p={p} ℓ={bits}: exact ratio {ratio} exceeds bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_not_vacuous() {
+        // The exact ratio should be a significant fraction of the bound
+        // (the paper's analysis is tight up to the 1/r² vs observed gap).
+        let p: f64 = 0.25;
+        let r = (p / (1.0 - p)).powi(2);
+        let ratio = max_privacy_ratio(1 << 8, r);
+        assert!(
+            ratio > privacy_ratio_bound(p) / 10.0,
+            "ratio {ratio} suspiciously far below the bound"
+        );
+        assert!(ratio > 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_agreement() {
+        // Simulate Algorithm 1 against a *fixed synthetic table* and check
+        // the empirical publish distribution matches the exact one.
+        let l: u64 = 8;
+        let q: u64 = 3; // keys 0,1,2 evaluate to 1
+        let p: f64 = 0.3;
+        let r = (p / (1.0 - p)).powi(2);
+        let exact = outcome_probs(l, q, r);
+
+        let mut rng = Prg::seed_from_u64(99);
+        let trials = 200_000;
+        let mut one_hits = 0u64;
+        let mut zero_hits = 0u64;
+        let accept = psketch_prf::Bias::from_prob(r);
+        use rand::Rng;
+        for _ in 0..trials {
+            // Inline simulation of Algorithm 1 over the synthetic table.
+            let mut remaining: Vec<u64> = (0..l).collect();
+            let mut published = None;
+            while !remaining.is_empty() {
+                let idx = (rng.next_u64() % remaining.len() as u64) as usize;
+                let key = remaining.swap_remove(idx);
+                let evaluates_one = key < q;
+                if evaluates_one || accept.decide(rng.next_u64()) {
+                    published = Some(key);
+                    break;
+                }
+            }
+            match published {
+                Some(0) => one_hits += 1,            // a specific 1-key
+                Some(k) if k == q => zero_hits += 1, // a specific 0-key
+                _ => {}
+            }
+        }
+        let f_one = one_hits as f64 / trials as f64;
+        let f_zero = zero_hits as f64 / trials as f64;
+        assert!(
+            (f_one - exact.publish_one_key).abs() < 0.005,
+            "1-key: MC {f_one} vs exact {}",
+            exact.publish_one_key
+        );
+        assert!(
+            (f_zero - exact.publish_zero_key).abs() < 0.005,
+            "0-key: MC {f_zero} vs exact {}",
+            exact.publish_zero_key
+        );
+    }
+
+    #[test]
+    fn end_to_end_sketcher_ratio_respects_bound() {
+        // Empirical Pr[s | d′]/Pr[s | d″] from the real sketcher stays
+        // within the Lemma 3.3 bound (with sampling slack).
+        let p = 0.3;
+        let params = SketchParams::with_sip(p, 3, GlobalKey::from_seed(5)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let subset = BitSubset::range(0, 2);
+        let d1 = BitString::from_bits(&[false, false]);
+        let d2 = BitString::from_bits(&[true, true]);
+        let id = UserId(424_242);
+        let l = params.key_space() as usize;
+        let trials = 60_000;
+        let mut counts1 = vec![0u64; l];
+        let mut counts2 = vec![0u64; l];
+        let mut rng = Prg::seed_from_u64(123);
+        for _ in 0..trials {
+            let s1 = sketcher
+                .sketch_value_with_stats(id, &subset, &d1, &mut rng)
+                .unwrap();
+            let s2 = sketcher
+                .sketch_value_with_stats(id, &subset, &d2, &mut rng)
+                .unwrap();
+            counts1[s1.sketch.key as usize] += 1;
+            counts2[s2.sketch.key as usize] += 1;
+        }
+        let bound = privacy_ratio_bound(p);
+        for s in 0..l {
+            let f1 = counts1[s] as f64 / trials as f64;
+            let f2 = counts2[s] as f64 / trials as f64;
+            if f1 > 0.0 && f2 > 0.0 {
+                let ratio = f1 / f2;
+                assert!(
+                    ratio < bound * 1.25 && ratio > 1.0 / (bound * 1.25),
+                    "key {s}: empirical ratio {ratio} breaks bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have more ones than keys")]
+    fn rejects_impossible_shape() {
+        let _ = outcome_probs(4, 5, 0.5);
+    }
+}

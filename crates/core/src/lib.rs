@@ -1,0 +1,98 @@
+//! # psketch-core — Privacy via Pseudorandom Sketches
+//!
+//! A faithful, production-quality implementation of the mechanism of
+//! *Privacy via Pseudorandom Sketches* (Nina Mishra & Mark Sandler, PODS
+//! 2006): users publish tiny pseudorandom **sketches** of subsets of their
+//! private bit-vector data; the sketches provably leak almost nothing about
+//! any individual (ε-privacy against computationally unbounded attackers
+//! with arbitrary partial knowledge), yet aggregated across users they
+//! answer arbitrary **conjunctive queries** — over negated and unnegated
+//! attributes alike — with error independent of the query width.
+//!
+//! ## The pipeline
+//!
+//! ```
+//! use psketch_core::{
+//!     BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile,
+//!     SketchDb, SketchParams, Sketcher, UserId,
+//! };
+//! use psketch_prf::{GlobalKey, Prg};
+//! use rand::SeedableRng;
+//!
+//! // Database-wide public parameters.
+//! let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(1)).unwrap();
+//!
+//! // Users sketch a subset of their attributes with private randomness.
+//! let sketcher = Sketcher::new(params);
+//! let subset = BitSubset::range(0, 3);
+//! let db = SketchDb::new();
+//! let mut rng = Prg::seed_from_u64(7);
+//! for i in 0..2000u64 {
+//!     let profile = Profile::from_bits(&[i % 2 == 0, true, false]);
+//!     let sketch = sketcher.sketch(UserId(i), &profile, &subset, &mut rng).unwrap();
+//!     db.insert(subset.clone(), UserId(i), sketch);
+//! }
+//!
+//! // The analyst estimates any conjunction over the sketched subset.
+//! let estimator = ConjunctiveEstimator::new(params);
+//! let query = ConjunctiveQuery::new(
+//!     subset,
+//!     BitString::from_bits(&[true, true, false]),
+//! ).unwrap();
+//! let estimate = estimator.estimate(&db, &query).unwrap();
+//! assert!((estimate.fraction - 0.5).abs() < 0.1);
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | paper source | contents |
+//! |---|---|---|
+//! | [`profile`] | §2 | profiles, bit strings, attribute subsets |
+//! | [`params`] | §3 | validated parameters, error type |
+//! | [`hfun`] | §3 | the public `p`-biased function `H(id, B, v, s)` |
+//! | [`sketcher`] | Algorithm 1 | the sketching algorithm |
+//! | [`database`] | §4 | the analyst's sketch collection |
+//! | [`estimator`] | Algorithm 2 | conjunctive query answering |
+//! | [`theory`] | Lemmas 3.1/3.3/4.1, Cor 3.4 | all bounds as functions |
+//! | [`accountant`] | Cor 3.4 | multi-sketch privacy budgeting |
+//! | [`exact`] | Lemma 3.3 proof | exact publish probabilities (`Z^(q)`) |
+//! | [`combine`] | Appendix F | sketch combining via the matrix `V` |
+//! | [`codec`] | §1 size claim | bit-packed wire format for sketches |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod breach;
+pub mod codec;
+pub mod combine;
+pub mod composition;
+pub mod database;
+pub mod estimator;
+pub mod exact;
+pub mod fields;
+pub mod funcsketch;
+pub mod hfun;
+pub mod params;
+pub mod profile;
+pub mod sketcher;
+pub mod theory;
+
+pub use accountant::PrivacyAccountant;
+pub use breach::{breach_possible, max_epsilon_preventing_breach, max_posterior, BeliefShift};
+pub use combine::{
+    recover_from_bits, transition_condition_number, transition_matrix, CombinedEstimate,
+    CombinedEstimator,
+};
+pub use database::{SketchDb, SketchRecord};
+pub use estimator::{ConjunctiveEstimator, ConjunctiveQuery, Estimate};
+pub use composition::{
+    epsilon_advanced, epsilon_basic, max_sketches_advanced, max_sketches_basic,
+};
+pub use exact::{max_privacy_ratio, max_privacy_ratio_for, outcome_probs, OutcomeProbs};
+pub use fields::IntField;
+pub use funcsketch::{FunctionEstimator, FunctionId, FunctionRecord, FunctionSketcher};
+pub use hfun::HFunction;
+pub use params::{Error, SketchParams, MAX_SKETCH_BITS};
+pub use profile::{BitString, BitSubset, Profile, SubsetError, UserId};
+pub use sketcher::{Sketch, SketchRun, Sketcher};

@@ -1,0 +1,252 @@
+//! The paper's quantitative results as executable formulas.
+//!
+//! Each function cites the lemma it implements; the experiment harness
+//! (crate `psketch-bench`) checks every one of them against measurement.
+
+/// Lemma 3.1 — minimal sketch length.
+///
+/// Returns the smallest `ℓ` such that Algorithm 1 fails for *any* of `m`
+/// users with probability below `tau`:
+/// `ℓ = ⌈log₂( log(τ/M) / log(1−p²) )⌉` (the paper writes the equivalent
+/// `⌈log log(M/τ)/|log(1−p²)|⌉`).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`, `0 < tau < 1` and `m ≥ 1` (programming
+/// errors, not runtime conditions).
+#[must_use]
+pub fn min_sketch_bits(m: u64, tau: f64, p: f64) -> u8 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0,1), got {p}");
+    assert!(tau > 0.0 && tau < 1.0, "tau must be in (0,1), got {tau}");
+    assert!(m >= 1, "population must be non-empty");
+    // Need (1 − p²)^(2^ℓ) ≤ τ/M  ⇔  2^ℓ ≥ ln(τ/M)/ln(1 − p²).
+    let needed_keys = ((tau / m as f64).ln() / (1.0 - p * p).ln()).max(1.0);
+    let bits = needed_keys.log2().ceil().max(1.0);
+    // Representable parameters cap far below u8::MAX.
+    bits as u8
+}
+
+/// Per-user failure probability of Algorithm 1 at sketch length `bits`:
+/// the Lemma 3.1 bound `(1 − p²)^{2^ℓ}`.
+///
+/// This is the bound used in the paper's union-bound step. The *exact*
+/// failure probability is `(1 − p·(2−p)·r̄)`-shaped and lower; experiment
+/// E1 measures the gap.
+#[must_use]
+pub fn failure_prob_bound(bits: u8, p: f64) -> f64 {
+    let keys = (1u64 << bits) as f64;
+    (1.0 - p * p).powf(keys)
+}
+
+/// Exact per-user failure probability of Algorithm 1.
+///
+/// The algorithm fails iff every key evaluates to 0 under `H` *and* every
+/// accept coin rejects: each key independently "survives" with probability
+/// `(1−p)(1−r)` where `r = p²/(1−p)²`, so
+/// `Pr[fail] = ((1−p)(1−r))^{2^ℓ}`.
+#[must_use]
+pub fn failure_prob_exact(bits: u8, p: f64) -> f64 {
+    let keys = (1u64 << bits) as f64;
+    let r = (p / (1.0 - p)).powi(2);
+    ((1.0 - p) * (1.0 - r)).powf(keys)
+}
+
+/// Lemma 3.3 — the single-sketch privacy ratio bound `((1−p)/p)^4`.
+#[must_use]
+pub fn privacy_ratio_bound(p: f64) -> f64 {
+    ((1.0 - p) / p).powi(4)
+}
+
+/// Corollary 3.4 — the `l`-sketch privacy ratio bound `((1−p)/p)^{4l}`.
+#[must_use]
+pub fn privacy_ratio_bound_multi(p: f64, sketches: u32) -> f64 {
+    privacy_ratio_bound(p).powi(sketches as i32)
+}
+
+/// Corollary 3.4 — ε-privacy achieved by releasing `l` sketches at bias
+/// `p`: the ratio bound minus one.
+#[must_use]
+pub fn epsilon_for(p: f64, sketches: u32) -> f64 {
+    privacy_ratio_bound_multi(p, sketches) - 1.0
+}
+
+/// Corollary 3.4 — sufficient bias for an ε budget over `l` sketches:
+/// `p = 1/2 − ε/(16·l)`.
+///
+/// The paper: "if p ≥ 1/2 − ε/(16l) then 1 − ε ≤ Pr[s|d′]/Pr[s|d″] ≤ 1+ε".
+/// Note the corollary's closing step is the first-order approximation
+/// `(1 + ε/q)^q ≈ 1 + ε`; the exact achieved ratio is `e^ε`-shaped, i.e.
+/// `1 + ε + O(ε²)`. Experiment E4 reports both the paper's nominal budget
+/// and the exactly achieved ratio.
+///
+/// # Panics
+///
+/// Panics for `sketches == 0` or non-positive `epsilon`.
+#[must_use]
+pub fn p_for_epsilon(epsilon: f64, sketches: u32) -> f64 {
+    assert!(sketches > 0, "need at least one sketch");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    0.5 - epsilon / (16.0 * f64::from(sketches))
+}
+
+/// Lemma 4.1 — probability that Algorithm 2's answer misses the truth by
+/// more than `eps` with `m` users: `exp(−ε²(1−2p)²·M/4)`.
+#[must_use]
+pub fn query_failure_prob(m: u64, p: f64, eps: f64) -> f64 {
+    (-eps * eps * (1.0 - 2.0 * p).powi(2) * m as f64 / 4.0).exp()
+}
+
+/// Lemma 4.1, inverted — error tolerance achievable with confidence
+/// `1 − δ` from `m` users: `ε = 2·√(ln(1/δ)/M)/(1−2p)`.
+#[must_use]
+pub fn query_error_bound(m: u64, p: f64, delta: f64) -> f64 {
+    2.0 * ((1.0 / delta).ln() / m as f64).sqrt() / (1.0 - 2.0 * p)
+}
+
+/// §3 running-time analysis — expected Algorithm 1 iterations.
+///
+/// Each iteration terminates with probability `p + (1−p)·r = p/(1−p)`
+/// (over `H` and the accept coin), so the untruncated expectation is
+/// `(1−p)/p`.
+#[must_use]
+pub fn expected_iterations(p: f64) -> f64 {
+    (1.0 - p) / p
+}
+
+/// §3 running-time analysis — the paper's *worst-case* expected iteration
+/// bound `(1−p)²/p²` (attained when every key evaluates to 0 and only the
+/// step-5 coin can stop the loop).
+#[must_use]
+pub fn expected_iterations_worst_case(p: f64) -> f64 {
+    ((1.0 - p) / p).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_sketch_bits_satisfies_the_bound() {
+        for &(m, tau, p) in &[
+            (1_000u64, 1e-3, 0.3),
+            (1_000_000, 1e-6, 0.25),
+            (10_000, 1e-4, 0.45),
+            (100, 0.01, 0.49),
+        ] {
+            let bits = min_sketch_bits(m, tau, p);
+            let per_user = failure_prob_bound(bits, p);
+            assert!(
+                per_user * m as f64 <= tau * (1.0 + 1e-9),
+                "ℓ={bits} fails: union bound {} > τ={tau}",
+                per_user * m as f64
+            );
+            // Minimality: one bit fewer must violate the bound (unless ℓ=1).
+            if bits > 1 {
+                let per_user_smaller = failure_prob_bound(bits - 1, p);
+                assert!(
+                    per_user_smaller * m as f64 > tau,
+                    "ℓ={bits} not minimal for (m={m}, τ={tau}, p={p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_claim_ten_bits_suffice_for_quarter_bias() {
+        // "if p > 1/4, then a 10 bit sketch is sufficient for any
+        // foreseeable practical use": check M = 10⁹, τ = 10⁻⁹.
+        let bits = min_sketch_bits(1_000_000_000, 1e-9, 0.25);
+        assert!(bits <= 10, "paper's 10-bit claim violated: ℓ={bits}");
+    }
+
+    #[test]
+    fn exact_failure_below_bound() {
+        for &p in &[0.1, 0.25, 0.4, 0.49] {
+            for bits in 1..=8u8 {
+                let exact = failure_prob_exact(bits, p);
+                let bound = failure_prob_bound(bits, p);
+                assert!(
+                    exact <= bound + 1e-15,
+                    "exact {exact} exceeds bound {bound} at p={p}, ℓ={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn privacy_ratio_shrinks_towards_half() {
+        assert!(privacy_ratio_bound(0.45) < privacy_ratio_bound(0.3));
+        assert!(privacy_ratio_bound(0.499) < 1.02);
+        // p = 0.25: ratio (0.75/0.25)^4 = 81.
+        assert!((privacy_ratio_bound(0.25) - 81.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_sketch_ratio_composes() {
+        let one = privacy_ratio_bound(0.4);
+        assert!((privacy_ratio_bound_multi(0.4, 3) - one.powi(3)).abs() < 1e-9);
+        assert!((epsilon_for(0.4, 1) - (one - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_for_epsilon_meets_the_budget() {
+        // The paper's closing step is first order in ε: the exact achieved
+        // ratio is e^{ε(1+o(1))}. Verify achieved ε ≤ e^{1.05ε} − 1, and for
+        // small ε that it is genuinely close to the nominal budget.
+        for &(eps, l) in &[(0.1f64, 1u32), (0.1, 8), (0.5, 4), (1.0, 16), (0.2, 64)] {
+            let p = p_for_epsilon(eps, l);
+            assert!(p < 0.5 && p > 0.4, "p = {p} out of expected band");
+            let achieved = epsilon_for(p, l);
+            assert!(
+                achieved <= (1.05 * eps).exp() - 1.0,
+                "ε budget {eps} over l={l}: achieved {achieved}"
+            );
+            if eps <= 0.2 {
+                assert!(
+                    achieved <= 1.15 * eps,
+                    "small-ε regime should be near-nominal: {achieved} vs {eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_error_bound_matches_failure_prob() {
+        // Plugging the inverted bound back in must give exactly δ.
+        let (m, p, delta) = (10_000u64, 0.3, 0.05);
+        let eps = query_error_bound(m, p, delta);
+        let back = query_failure_prob(m, p, eps);
+        assert!((back - delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_error_is_width_free_and_m_scaling() {
+        // ε scales as 1/√M.
+        let e1 = query_error_bound(10_000, 0.3, 0.05);
+        let e2 = query_error_bound(40_000, 0.3, 0.05);
+        assert!((e1 / e2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_formulas() {
+        assert!((expected_iterations(0.5 - 1e-12) - 1.0).abs() < 1e-6);
+        assert!((expected_iterations(0.25) - 3.0).abs() < 1e-12);
+        assert!((expected_iterations_worst_case(0.25) - 9.0).abs() < 1e-12);
+        // Worst case dominates the typical case.
+        for &p in &[0.1, 0.3, 0.45] {
+            assert!(expected_iterations_worst_case(p) >= expected_iterations(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0,1)")]
+    fn min_sketch_bits_rejects_bad_p() {
+        let _ = min_sketch_bits(10, 0.1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sketch")]
+    fn p_for_epsilon_rejects_zero_sketches() {
+        let _ = p_for_epsilon(0.1, 0);
+    }
+}

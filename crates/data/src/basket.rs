@@ -1,0 +1,155 @@
+//! Sparse market-basket transactions — the frequent-itemset workload.
+//!
+//! The paper positions conjunctive queries as "a natural generalization of
+//! frequent item-set mining" and contrasts its approach with Evfimievski et
+//! al., whose scheme "only applies to databases where each user has a small
+//! number of items in their transaction". [`BasketModel`] generates exactly
+//! that regime: a large universe of items, each transaction containing few,
+//! with a handful of planted frequent itemsets on top of background noise.
+
+use crate::population::Population;
+use psketch_core::Profile;
+use rand::{Rng, RngExt};
+
+/// A planted frequent itemset.
+#[derive(Debug, Clone)]
+pub struct PlantedItemset {
+    /// The item indices forming the set.
+    pub items: Vec<u32>,
+    /// Probability a transaction contains the *whole* set.
+    pub support: f64,
+}
+
+/// Generator for sparse transaction populations.
+#[derive(Debug, Clone)]
+pub struct BasketModel {
+    /// Universe size (number of item attributes).
+    pub num_items: usize,
+    /// Per-item background inclusion probability (kept small for sparsity).
+    pub background_rate: f64,
+    /// Planted frequent itemsets.
+    pub planted: Vec<PlantedItemset>,
+}
+
+impl BasketModel {
+    /// A model with no planted sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background_rate ∉ [0, 1]` or `num_items == 0`.
+    #[must_use]
+    pub fn new(num_items: usize, background_rate: f64) -> Self {
+        assert!(num_items > 0);
+        assert!((0.0..=1.0).contains(&background_rate));
+        Self {
+            num_items,
+            background_rate,
+            planted: Vec::new(),
+        }
+    }
+
+    /// Plants an itemset with the given support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item is out of range or support invalid.
+    #[must_use]
+    pub fn with_itemset(mut self, items: Vec<u32>, support: f64) -> Self {
+        assert!(items.iter().all(|&i| (i as usize) < self.num_items));
+        assert!((0.0..=1.0).contains(&support));
+        self.planted.push(PlantedItemset { items, support });
+        self
+    }
+
+    /// Samples one transaction profile.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Profile {
+        let mut profile = Profile::zeros(self.num_items);
+        for i in 0..self.num_items {
+            if rng.random::<f64>() < self.background_rate {
+                profile.set(i, true);
+            }
+        }
+        for set in &self.planted {
+            if rng.random::<f64>() < set.support {
+                for &item in &set.items {
+                    profile.set(item as usize, true);
+                }
+            }
+        }
+        profile
+    }
+
+    /// Generates `m` transactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Population {
+        Population::new((0..m).map(|_| self.sample(rng)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::{BitString, BitSubset};
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transactions_are_sparse() {
+        let model = BasketModel::new(100, 0.03);
+        let mut rng = Prg::seed_from_u64(20);
+        let pop = model.generate(5_000, &mut rng);
+        let avg_items: f64 = (0..pop.len())
+            .map(|i| pop.profile(i).bits().count_ones() as f64)
+            .sum::<f64>()
+            / pop.len() as f64;
+        assert!(
+            (avg_items - 3.0).abs() < 0.3,
+            "expected ≈3 items/transaction, got {avg_items}"
+        );
+    }
+
+    #[test]
+    fn planted_support_is_recovered() {
+        let model = BasketModel::new(50, 0.02).with_itemset(vec![3, 7, 11], 0.25);
+        let mut rng = Prg::seed_from_u64(21);
+        let pop = model.generate(40_000, &mut rng);
+        let subset = BitSubset::new(vec![3, 7, 11]).unwrap();
+        let all_ones = BitString::from_bits(&[true, true, true]);
+        let support = pop.true_fraction(&subset, &all_ones);
+        // Background can also complete the set, but at rate 0.02³ ≈ 8e−6.
+        assert!(
+            (support - 0.25).abs() < 0.02,
+            "planted support drifted: {support}"
+        );
+    }
+
+    #[test]
+    fn multiple_itemsets_coexist() {
+        let model = BasketModel::new(30, 0.01)
+            .with_itemset(vec![0, 1], 0.4)
+            .with_itemset(vec![2, 3, 4], 0.1);
+        let mut rng = Prg::seed_from_u64(22);
+        let pop = model.generate(30_000, &mut rng);
+        let s1 = pop.true_fraction(
+            &BitSubset::new(vec![0, 1]).unwrap(),
+            &BitString::from_bits(&[true, true]),
+        );
+        let s2 = pop.true_fraction(
+            &BitSubset::new(vec![2, 3, 4]).unwrap(),
+            &BitString::from_bits(&[true, true, true]),
+        );
+        assert!((s1 - 0.4).abs() < 0.03, "s1 = {s1}");
+        assert!((s2 - 0.1).abs() < 0.02, "s2 = {s2}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_item_rejected() {
+        let _ = BasketModel::new(5, 0.1).with_itemset(vec![7], 0.5);
+    }
+}

@@ -1,0 +1,218 @@
+//! Integer-attribute demographic populations (salary, age, …).
+//!
+//! §4.1 of the paper computes means, inner products, interval queries
+//! ("How many users have salary less than c?") and combined constraints
+//! over k-bit integer attributes stored in binary inside the profile.
+//! [`DemographicsModel`] generates such populations with a configurable
+//! distribution per field and exposes the field layout for the query layer.
+
+use crate::population::Population;
+use psketch_core::{IntField, Profile};
+use rand::{Rng, RngExt};
+
+/// Distribution of one integer attribute.
+#[derive(Debug, Clone)]
+pub enum FieldDistribution {
+    /// Uniform over `[lo, hi]` (inclusive).
+    Uniform {
+        /// Smallest value.
+        lo: u64,
+        /// Largest value.
+        hi: u64,
+    },
+    /// Truncated geometric-like decay: `P[v] ∝ decay^v` over the field's
+    /// range. Models skewed quantities like salaries.
+    Geometric {
+        /// Per-step decay in `(0, 1)`.
+        decay: f64,
+    },
+    /// Binomial over the field range: sum of `width` fair coins, scaled.
+    /// Models roughly bell-shaped quantities like age brackets.
+    Bell,
+}
+
+/// One named integer attribute with its layout and distribution.
+#[derive(Debug, Clone)]
+pub struct DemographicField {
+    /// Attribute name.
+    pub name: String,
+    /// Bit layout within the profile.
+    pub field: IntField,
+    /// Sampling distribution.
+    pub distribution: FieldDistribution,
+}
+
+/// A population generator over several integer attributes.
+#[derive(Debug, Clone, Default)]
+pub struct DemographicsModel {
+    fields: Vec<DemographicField>,
+    total_bits: u32,
+}
+
+impl DemographicsModel {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `width`-bit field with the given distribution; returns its
+    /// layout (fields are packed contiguously in declaration order).
+    pub fn field(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        distribution: FieldDistribution,
+    ) -> IntField {
+        let field = IntField::new(self.total_bits, width);
+        self.total_bits += width;
+        self.fields.push(DemographicField {
+            name: name.into(),
+            field,
+            distribution,
+        });
+        field
+    }
+
+    /// Total profile width in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// The declared fields.
+    #[must_use]
+    pub fn fields(&self) -> &[DemographicField] {
+        &self.fields
+    }
+
+    /// Samples one value from a distribution over a field's range.
+    fn sample_value<R: Rng + ?Sized>(
+        field: &IntField,
+        dist: &FieldDistribution,
+        rng: &mut R,
+    ) -> u64 {
+        match *dist {
+            FieldDistribution::Uniform { lo, hi } => {
+                assert!(lo <= hi && hi <= field.max_value(), "range exceeds field");
+                rng.random_range(lo..=hi)
+            }
+            FieldDistribution::Geometric { decay } => {
+                assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
+                // Inverse-CDF sampling of the truncated geometric.
+                let n = field.max_value() + 1;
+                let total = 1.0 - decay.powi(n as i32);
+                let u: f64 = rng.random::<f64>() * total;
+                // v = ⌊log_decay(1 − u)⌋ clamped to the range.
+                let v = (1.0 - u).ln() / decay.ln();
+                (v.floor() as u64).min(field.max_value())
+            }
+            FieldDistribution::Bell => {
+                // Sum of `width` fair bits spread over the range.
+                let ones: u32 = (0..field.width()).map(|_| u32::from(rng.random::<bool>())).sum();
+                let span = field.max_value();
+                span * u64::from(ones) / u64::from(field.width())
+            }
+        }
+    }
+
+    /// Generates `m` users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fields are declared or `m == 0`.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Population {
+        assert!(!self.fields.is_empty(), "no fields declared");
+        let profiles = (0..m)
+            .map(|_| {
+                let mut profile = Profile::zeros(self.total_bits as usize);
+                for df in &self.fields {
+                    let v = Self::sample_value(&df.field, &df.distribution, rng);
+                    df.field.write(&mut profile, v);
+                }
+                profile
+            })
+            .collect();
+        Population::new(profiles)
+    }
+
+    /// A ready-made workload: 8-bit salary (geometric, skewed) and 7-bit
+    /// age (bell). Returns `(model, salary_field, age_field)`.
+    #[must_use]
+    pub fn salary_age() -> (Self, IntField, IntField) {
+        let mut model = Self::new();
+        let salary = model.field("salary", 8, FieldDistribution::Geometric { decay: 0.985 });
+        let age = model.field("age", 7, FieldDistribution::Bell);
+        (model, salary, age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_field_mean() {
+        let mut model = DemographicsModel::new();
+        let f = model.field("u", 6, FieldDistribution::Uniform { lo: 0, hi: 63 });
+        let mut rng = Prg::seed_from_u64(30);
+        let pop = model.generate(30_000, &mut rng);
+        let mean = pop.true_mean(&f);
+        assert!((mean - 31.5).abs() < 0.5, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn geometric_is_skewed_low() {
+        let mut model = DemographicsModel::new();
+        let f = model.field("s", 8, FieldDistribution::Geometric { decay: 0.97 });
+        let mut rng = Prg::seed_from_u64(31);
+        let pop = model.generate(20_000, &mut rng);
+        let mean = pop.true_mean(&f);
+        // Truncated geometric with decay .97 over [0,255]: mean well below
+        // the midpoint 127.5.
+        assert!(mean < 60.0, "geometric mean {mean} not skewed");
+        assert!(mean > 10.0, "geometric mean {mean} degenerate");
+    }
+
+    #[test]
+    fn bell_is_centered() {
+        let mut model = DemographicsModel::new();
+        let f = model.field("a", 7, FieldDistribution::Bell);
+        let mut rng = Prg::seed_from_u64(32);
+        let pop = model.generate(20_000, &mut rng);
+        let mean = pop.true_mean(&f);
+        let mid = f.max_value() as f64 / 2.0;
+        assert!((mean - mid).abs() < 2.0, "bell mean {mean} vs mid {mid}");
+    }
+
+    #[test]
+    fn fields_are_packed_contiguously() {
+        let (model, salary, age) = DemographicsModel::salary_age();
+        assert_eq!(salary.offset(), 0);
+        assert_eq!(salary.width(), 8);
+        assert_eq!(age.offset(), 8);
+        assert_eq!(model.total_bits(), 15);
+        assert_eq!(model.fields().len(), 2);
+    }
+
+    #[test]
+    fn generated_values_fit_fields() {
+        let (model, salary, age) = DemographicsModel::salary_age();
+        let mut rng = Prg::seed_from_u64(33);
+        let pop = model.generate(2_000, &mut rng);
+        for i in 0..pop.len() {
+            assert!(salary.read(pop.profile(i)) <= salary.max_value());
+            assert!(age.read(pop.profile(i)) <= age.max_value());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no fields declared")]
+    fn empty_model_rejected() {
+        let mut rng = Prg::seed_from_u64(34);
+        let _ = DemographicsModel::new().generate(5, &mut rng);
+    }
+}

@@ -1,0 +1,32 @@
+//! # psketch-data — synthetic workload substrate
+//!
+//! The paper evaluates no public data set; its examples are sensitive
+//! surveys, market baskets and salary analytics. This crate generates
+//! those workloads synthetically with **exact ground truth**, which is
+//! what the error experiments need:
+//!
+//! * [`population`] — the in-the-clear world state: profiles plus exact
+//!   evaluation of every query the privacy layer estimates, and bulk
+//!   publishing into a [`SketchDb`](psketch_core::SketchDb);
+//! * [`planted`] — populations with an exactly planted conjunction
+//!   frequency (experiment E5's workload);
+//! * [`survey`] — correlated boolean surveys (the HIV/AIDS example);
+//! * [`basket`] — sparse market-basket transactions (the Evfimievski
+//!   comparison regime);
+//! * [`demographics`] — k-bit integer attributes (salary/age) for the
+//!   §4.1 mean, interval and combined-constraint queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod basket;
+pub mod demographics;
+pub mod planted;
+pub mod population;
+pub mod survey;
+
+pub use basket::{BasketModel, PlantedItemset};
+pub use demographics::{DemographicField, DemographicsModel, FieldDistribution};
+pub use planted::PlantedConjunction;
+pub use population::Population;
+pub use survey::{AttributeLaw, SurveyAttribute, SurveyModel};

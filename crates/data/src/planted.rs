@@ -1,0 +1,146 @@
+//! Planted-conjunction populations with exactly known frequencies.
+//!
+//! The error experiments (E5 in particular) need populations where the true
+//! answer to a conjunctive query is known *exactly* and independent of the
+//! generator's randomness. [`PlantedConjunction`] plants a target value on
+//! a subset in an exact fraction of users; all other bits are i.i.d. noise.
+
+use crate::population::Population;
+use psketch_core::{BitString, BitSubset, Profile};
+use rand::{Rng, RngExt};
+
+/// Generator configuration for a planted-conjunction population.
+#[derive(Debug, Clone)]
+pub struct PlantedConjunction {
+    /// Total number of attributes `q` per profile.
+    pub num_attributes: usize,
+    /// The planted subset `B`.
+    pub subset: BitSubset,
+    /// The planted value `v` on `B`.
+    pub value: BitString,
+    /// Exact fraction of users that satisfy `d_B = v`.
+    pub fraction: f64,
+}
+
+impl PlantedConjunction {
+    /// Convenience: plant the all-ones value on the first `k` attributes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ k ≤ num_attributes` and `0 ≤ fraction ≤ 1`.
+    #[must_use]
+    pub fn all_ones(num_attributes: usize, k: usize, fraction: f64) -> Self {
+        assert!(k >= 1 && k <= num_attributes);
+        assert!((0.0..=1.0).contains(&fraction));
+        Self {
+            num_attributes,
+            subset: BitSubset::range(0, k as u32),
+            value: BitString::from_bits(&vec![true; k]),
+            fraction,
+        }
+    }
+
+    /// Generates a population of `m` users.
+    ///
+    /// Exactly `⌊fraction·m⌋` users satisfy the planted conjunction; every
+    /// non-satisfying user differs from `v` in at least one planted bit
+    /// (chosen at random), and all non-planted bits are fair coins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or the subset exceeds `num_attributes`.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Population {
+        assert!(m > 0, "population must be non-empty");
+        assert!(
+            (self.subset.max_position() as usize) < self.num_attributes,
+            "subset exceeds attribute count"
+        );
+        let satisfying = (self.fraction * m as f64).floor() as usize;
+        let profiles = (0..m)
+            .map(|i| {
+                let mut profile = Profile::zeros(self.num_attributes);
+                // Background noise on every bit.
+                for pos in 0..self.num_attributes {
+                    profile.set(pos, rng.random::<bool>());
+                }
+                if i < satisfying {
+                    // Plant the value.
+                    for (j, &pos) in self.subset.positions().iter().enumerate() {
+                        profile.set(pos as usize, self.value.get(j));
+                    }
+                } else {
+                    // Plant the value, then break one random planted bit:
+                    // guarantees non-satisfaction without skewing others.
+                    for (j, &pos) in self.subset.positions().iter().enumerate() {
+                        profile.set(pos as usize, self.value.get(j));
+                    }
+                    let j = rng.random_range(0..self.subset.len());
+                    let pos = self.subset.positions()[j] as usize;
+                    profile.set(pos, !self.value.get(j));
+                }
+                profile
+            })
+            .collect();
+        Population::new(profiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_fraction_is_exact() {
+        let mut rng = Prg::seed_from_u64(3);
+        for &(m, f) in &[(100usize, 0.25f64), (1000, 0.5), (777, 0.0), (64, 1.0)] {
+            let gen = PlantedConjunction::all_ones(16, 4, f);
+            let pop = gen.generate(m, &mut rng);
+            let truth = pop.true_fraction(&gen.subset, &gen.value);
+            let expected = (f * m as f64).floor() / m as f64;
+            assert!(
+                (truth - expected).abs() < 1e-12,
+                "m={m} f={f}: planted {truth}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_planted_bits_are_balanced() {
+        let mut rng = Prg::seed_from_u64(4);
+        let gen = PlantedConjunction::all_ones(16, 4, 0.3);
+        let pop = gen.generate(20_000, &mut rng);
+        // Attribute 10 is outside the planted subset: frequency ≈ 1/2.
+        let f = pop.true_fraction_by(|p| p.get(10));
+        assert!((f - 0.5).abs() < 0.02, "background bit biased: {f}");
+    }
+
+    #[test]
+    fn arbitrary_value_and_subset() {
+        let mut rng = Prg::seed_from_u64(5);
+        let gen = PlantedConjunction {
+            num_attributes: 8,
+            subset: BitSubset::new(vec![1, 4, 6]).unwrap(),
+            value: BitString::from_bits(&[true, false, true]),
+            fraction: 0.4,
+        };
+        let pop = gen.generate(500, &mut rng);
+        let truth = pop.true_fraction(&gen.subset, &gen.value);
+        assert!((truth - 0.4).abs() < 2e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds attribute count")]
+    fn oversized_subset_rejected() {
+        let mut rng = Prg::seed_from_u64(6);
+        let gen = PlantedConjunction {
+            num_attributes: 4,
+            subset: BitSubset::new(vec![9]).unwrap(),
+            value: BitString::from_bits(&[true]),
+            fraction: 0.5,
+        };
+        let _ = gen.generate(10, &mut rng);
+    }
+}

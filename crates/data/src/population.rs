@@ -1,0 +1,286 @@
+//! Populations: collections of (id, profile) pairs with exact ground truth.
+//!
+//! The paper's data model is "a collection of individuals who each possess
+//! private data". A [`Population`] owns that collection *in the clear* —
+//! it plays the role of the world's true state, against which every
+//! experiment compares its privacy-preserving estimates. Ground-truth
+//! queries here are exact by construction.
+
+use psketch_core::{
+    BitString, BitSubset, Error, IntField, Profile, SketchDb, Sketcher, UserId,
+};
+use rand::Rng;
+
+/// A population of users with known (non-private) profiles.
+#[derive(Debug, Clone)]
+pub struct Population {
+    profiles: Vec<Profile>,
+    num_attributes: usize,
+}
+
+impl Population {
+    /// Builds a population from profiles (user `i` gets `UserId(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if profiles have inconsistent attribute counts or the
+    /// population is empty.
+    #[must_use]
+    pub fn new(profiles: Vec<Profile>) -> Self {
+        assert!(!profiles.is_empty(), "population must be non-empty");
+        let num_attributes = profiles[0].num_attributes();
+        assert!(
+            profiles.iter().all(|p| p.num_attributes() == num_attributes),
+            "all profiles must have the same attribute count"
+        );
+        Self {
+            profiles,
+            num_attributes,
+        }
+    }
+
+    /// Number of users `M`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the population is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Number of attributes `q` per profile.
+    #[must_use]
+    pub fn num_attributes(&self) -> usize {
+        self.num_attributes
+    }
+
+    /// The profile of user `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ len()`.
+    #[must_use]
+    pub fn profile(&self, i: usize) -> &Profile {
+        &self.profiles[i]
+    }
+
+    /// Iterates `(id, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &Profile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (UserId(i as u64), p))
+    }
+
+    /// Exact fraction of users satisfying the conjunction `d_B = v`
+    /// (the ground truth for the paper's `I(B, v)/M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch (as [`Profile::satisfies`]).
+    #[must_use]
+    pub fn true_fraction(&self, subset: &BitSubset, value: &BitString) -> f64 {
+        let count = self
+            .profiles
+            .iter()
+            .filter(|p| p.satisfies(subset, value))
+            .count();
+        count as f64 / self.len() as f64
+    }
+
+    /// Exact fraction of users whose profiles satisfy `predicate`.
+    #[must_use]
+    pub fn true_fraction_by(&self, predicate: impl Fn(&Profile) -> bool) -> f64 {
+        let count = self.profiles.iter().filter(|p| predicate(p)).count();
+        count as f64 / self.len() as f64
+    }
+
+    /// Exact mean of an integer field over the population.
+    #[must_use]
+    pub fn true_mean(&self, field: &IntField) -> f64 {
+        let total: u64 = self.profiles.iter().map(|p| field.read(p)).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// Exact mean of `field_b` among users with `field_a ≤ c`
+    /// (`None` when no user qualifies).
+    #[must_use]
+    pub fn true_conditional_mean(
+        &self,
+        field_a: &IntField,
+        c: u64,
+        field_b: &IntField,
+    ) -> Option<f64> {
+        let values: Vec<u64> = self
+            .profiles
+            .iter()
+            .filter(|p| field_a.read(p) <= c)
+            .map(|p| field_b.read(p))
+            .collect();
+        if values.is_empty() {
+            return None;
+        }
+        Some(values.iter().sum::<u64>() as f64 / values.len() as f64)
+    }
+
+    /// Exact mean inner product `E[a·b]` of two integer fields.
+    #[must_use]
+    pub fn true_mean_product(&self, a: &IntField, b: &IntField) -> f64 {
+        let total: u128 = self
+            .profiles
+            .iter()
+            .map(|p| u128::from(a.read(p)) * u128::from(b.read(p)))
+            .sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// Publishes one sketch per user for `subset` into `db`.
+    ///
+    /// Returns the number of users whose sketching *failed* (Algorithm 1
+    /// exhaustion) — they publish nothing, exactly as the paper's failure
+    /// semantics prescribe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-exhaustion errors (none currently possible).
+    pub fn publish<R: Rng + ?Sized>(
+        &self,
+        sketcher: &Sketcher,
+        subset: &BitSubset,
+        db: &SketchDb,
+        rng: &mut R,
+    ) -> Result<usize, Error> {
+        let mut failures = 0;
+        for (id, profile) in self.iter() {
+            match sketcher.sketch(id, profile, subset, rng) {
+                Ok(sketch) => db.insert(subset.clone(), id, sketch),
+                Err(Error::KeySpaceExhausted { .. }) => failures += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Publishes sketches for several subsets (one sketch per user per
+    /// subset), returning total failures.
+    ///
+    /// # Errors
+    ///
+    /// As [`Population::publish`].
+    pub fn publish_all<R: Rng + ?Sized>(
+        &self,
+        sketcher: &Sketcher,
+        subsets: &[BitSubset],
+        db: &SketchDb,
+        rng: &mut R,
+    ) -> Result<usize, Error> {
+        let mut failures = 0;
+        for subset in subsets {
+            failures += self.publish(sketcher, subset, db, rng)?;
+        }
+        Ok(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::SketchParams;
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    fn tiny() -> Population {
+        Population::new(vec![
+            Profile::from_bits(&[true, true, false]),
+            Profile::from_bits(&[true, false, false]),
+            Profile::from_bits(&[false, false, false]),
+            Profile::from_bits(&[true, true, true]),
+        ])
+    }
+
+    #[test]
+    fn ground_truth_fractions() {
+        let pop = tiny();
+        let b = BitSubset::range(0, 2);
+        assert_eq!(
+            pop.true_fraction(&b, &BitString::from_bits(&[true, true])),
+            0.5
+        );
+        assert_eq!(
+            pop.true_fraction(&b, &BitString::from_bits(&[false, true])),
+            0.0
+        );
+        assert_eq!(pop.true_fraction_by(|p| p.get(2)), 0.25);
+    }
+
+    #[test]
+    fn mean_and_product_ground_truth() {
+        // Two 2-bit fields side by side.
+        let a = IntField::new(0, 2);
+        let b = IntField::new(2, 2);
+        let mut profiles = Vec::new();
+        for (va, vb) in [(3u64, 1u64), (2, 0), (1, 3), (0, 2)] {
+            let mut p = Profile::zeros(4);
+            a.write(&mut p, va);
+            b.write(&mut p, vb);
+            profiles.push(p);
+        }
+        let pop = Population::new(profiles);
+        assert_eq!(pop.true_mean(&a), 1.5);
+        assert_eq!(pop.true_mean(&b), 1.5);
+        // products: 3, 0, 3, 0 → mean 1.5
+        assert_eq!(pop.true_mean_product(&a, &b), 1.5);
+        // conditional: a ≤ 1 → users with a ∈ {1, 0}, b ∈ {3, 2} → 2.5
+        assert_eq!(pop.true_conditional_mean(&a, 1, &b), Some(2.5));
+        assert_eq!(pop.true_conditional_mean(&a, 1, &a), Some(0.5));
+    }
+
+    #[test]
+    fn conditional_mean_empty_is_none() {
+        let a = IntField::new(0, 2);
+        let mut p = Profile::zeros(2);
+        a.write(&mut p, 3);
+        let pop = Population::new(vec![p]);
+        assert_eq!(pop.true_conditional_mean(&a, 1, &a), None);
+    }
+
+    #[test]
+    fn publish_fills_database() {
+        let pop = tiny();
+        let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(2)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        let b = BitSubset::range(0, 3);
+        let mut rng = Prg::seed_from_u64(1);
+        let failures = pop.publish(&sketcher, &b, &db, &mut rng).unwrap();
+        assert_eq!(failures, 0);
+        assert_eq!(db.count(&b), 4);
+    }
+
+    #[test]
+    fn publish_all_covers_every_subset() {
+        let pop = tiny();
+        let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(2)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        let subsets = vec![BitSubset::single(0), BitSubset::single(1)];
+        let mut rng = Prg::seed_from_u64(1);
+        pop.publish_all(&sketcher, &subsets, &db, &mut rng).unwrap();
+        assert_eq!(db.total_records(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        let _ = Population::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same attribute count")]
+    fn inconsistent_widths_rejected() {
+        let _ = Population::new(vec![Profile::zeros(2), Profile::zeros(3)]);
+    }
+}

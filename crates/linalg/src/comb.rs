@@ -1,0 +1,199 @@
+//! Combinatorial helpers: binomial coefficients and related probabilities.
+//!
+//! The Appendix F transition probabilities (equation (6) of the paper) and
+//! the exact Lemma 3.3 analysis both need binomial coefficients — in exact
+//! `f64` where they fit, and in log space where they do not.
+
+/// Exact binomial coefficient `C(n, k)` as `u128`.
+///
+/// Returns `None` on overflow; all uses inside the workspace are far below
+/// that (k ≤ 64 style parameters).
+#[must_use]
+pub fn binomial_u128(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(u128::from(n - i))?;
+        acc /= u128::from(i + 1);
+    }
+    Some(acc)
+}
+
+/// Binomial coefficient as `f64` (exact while representable, then rounded).
+#[must_use]
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    match binomial_u128(n, k) {
+        Some(v) if v <= (1u128 << 53) => v as f64,
+        _ => ln_binomial(n, k).exp(),
+    }
+}
+
+/// Natural log of `C(n, k)` via `ln Γ`.
+///
+/// Returns `f64::NEG_INFINITY` for `k > n` (the coefficient is zero).
+#[must_use]
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural log of `n!` (exact table for small `n`, Stirling series beyond).
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < SMALL_FACTORIALS.len() as u64 {
+        return SMALL_FACTORIALS[n as usize].ln();
+    }
+    // Stirling series with three correction terms: accurate to ~1e-12 for
+    // n ≥ 20, far beyond the statistical tolerances of the experiments.
+    let x = n as f64;
+    let inv = 1.0 / x;
+    (x + 0.5) * x.ln() - x + 0.5 * (2.0 * core::f64::consts::PI).ln() + inv / 12.0
+        - inv.powi(3) / 360.0
+        + inv.powi(5) / 1260.0
+}
+
+const SMALL_FACTORIALS: [f64; 21] = [
+    1.0,
+    1.0,
+    2.0,
+    6.0,
+    24.0,
+    120.0,
+    720.0,
+    5_040.0,
+    40_320.0,
+    362_880.0,
+    3_628_800.0,
+    39_916_800.0,
+    479_001_600.0,
+    6_227_020_800.0,
+    87_178_291_200.0,
+    1_307_674_368_000.0,
+    20_922_789_888_000.0,
+    355_687_428_096_000.0,
+    6_402_373_705_728_000.0,
+    121_645_100_408_832_000.0,
+    2_432_902_008_176_640_000.0,
+];
+
+/// Probability mass `P[Binomial(n, p) = k]`, computed in log space for
+/// numerical robustness.
+#[must_use]
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    // ln(1-p) computed as ln_1p(-p) for accuracy when p is near zero.
+    let log_pmf = ln_binomial(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (-p).ln_1p();
+    log_pmf.exp()
+}
+
+/// Hypergeometric mass: probability of `k` successes in `draws` draws
+/// without replacement from a population of `total` with `successes` marked.
+#[must_use]
+pub fn hypergeometric_pmf(total: u64, successes: u64, draws: u64, k: u64) -> f64 {
+    if k > draws || k > successes || draws.saturating_sub(k) > total - successes {
+        return 0.0;
+    }
+    (ln_binomial(successes, k) + ln_binomial(total - successes, draws - k)
+        - ln_binomial(total, draws))
+    .exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_exact_values() {
+        assert_eq!(binomial_u128(0, 0), Some(1));
+        assert_eq!(binomial_u128(5, 2), Some(10));
+        assert_eq!(binomial_u128(10, 5), Some(252));
+        assert_eq!(binomial_u128(64, 32), Some(1_832_624_140_942_590_534));
+        assert_eq!(binomial_u128(5, 7), Some(0));
+    }
+
+    #[test]
+    fn binomial_f64_matches_exact() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                let exact = binomial_u128(n, k).unwrap() as f64;
+                assert!((binomial_f64(n, k) - exact).abs() <= exact * 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ln_binomial_of_large_n_is_finite_and_monotone_in_middle() {
+        let edge = ln_binomial(1000, 1);
+        let middle = ln_binomial(1000, 500);
+        assert!(middle.is_finite());
+        assert!(middle > edge);
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_factorial_against_direct_product() {
+        for n in [0u64, 1, 5, 20, 25, 50, 170] {
+            let direct: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_factorial(n) - direct).abs() < 1e-9,
+                "ln {n}! mismatch: {} vs {direct}",
+                ln_factorial(n)
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (40, 0.05)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_probabilities() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 1, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 4, 1.0), 0.0);
+        assert_eq!(binomial_pmf(5, 6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pmf_hand_checked_value() {
+        // P[Bin(4, 0.5) = 2] = 6/16.
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one_and_matches_hand_value() {
+        let total = 10;
+        let succ = 4;
+        let draws = 3;
+        let sum: f64 = (0..=draws)
+            .map(|k| hypergeometric_pmf(total, succ, draws, k))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // P[k=0] = C(6,3)/C(10,3) = 20/120.
+        assert!((hypergeometric_pmf(total, succ, draws, 0) - 20.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_impossible_cases_are_zero() {
+        assert_eq!(hypergeometric_pmf(10, 4, 3, 5), 0.0);
+        assert_eq!(hypergeometric_pmf(10, 4, 8, 1), 0.0); // needs ≥4 failures drawn from 6
+    }
+}

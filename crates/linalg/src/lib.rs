@@ -1,0 +1,27 @@
+//! # psketch-linalg — small dense linear algebra
+//!
+//! A dependency-free linear-algebra substrate sized for the needs of the
+//! *Privacy via Pseudorandom Sketches* reproduction:
+//!
+//! * [`matrix`] — dense row-major [`matrix::Matrix`] with checked
+//!   constructors and arithmetic;
+//! * [`lu`] — LU factorization with partial pivoting (solve, inverse,
+//!   determinant), used by the Appendix F sketch-combining system and the
+//!   randomized-response matrix estimator;
+//! * [`norms`] — induced norms and condition numbers for the Appendix F
+//!   conditioning experiment (E12);
+//! * [`comb`] — binomial/hypergeometric machinery for the equation (6)
+//!   transition probabilities and the exact privacy analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comb;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+
+pub use comb::{binomial_f64, binomial_pmf, binomial_u128, hypergeometric_pmf, ln_binomial};
+pub use lu::{inverse, solve, Lu};
+pub use matrix::{Matrix, MatrixError};
+pub use norms::{condition_number_1, condition_number_inf, norm_1, norm_frobenius, norm_inf};

@@ -1,0 +1,271 @@
+//! LU decomposition with partial pivoting: solve, inverse, determinant.
+//!
+//! Appendix F of the paper recovers true itemset frequencies from perturbed
+//! ones by solving `x = V⁻¹ E[y]` for the `(k+1) × (k+1)` bit-count
+//! transition matrix `V`. This module supplies the numerically standard
+//! tool for that: a PA = LU factorization with partial (row) pivoting,
+//! exposed as [`Lu`] with `solve`/`inverse`/`det`.
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// Relative pivot threshold below which elimination is declared singular.
+const SINGULARITY_EPS: f64 = 1e-13;
+
+/// An LU factorization `P·A = L·U` of a square matrix with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the source row of factored row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (±1), used by the determinant.
+    perm_sign: f64,
+    /// Largest absolute entry of the original matrix, used for the relative
+    /// singularity test.
+    scale: f64,
+}
+
+impl Lu {
+    /// Factorizes `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::NotSquare`] if `a` is not square.
+    /// * [`MatrixError::Singular`] if a pivot is (relatively) zero.
+    pub fn factorize(a: &Matrix) -> Result<Self, MatrixError> {
+        if !a.is_square() {
+            return Err(MatrixError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = (0..n)
+            .flat_map(|i| lu.row(i).iter().copied().map(f64::abs).collect::<Vec<_>>())
+            .fold(0.0, f64::max)
+            .max(1.0);
+
+        for col in 0..n {
+            // Partial pivoting: pick the largest magnitude entry in column.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, lu[(r, col)]))
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                .expect("non-empty pivot candidates");
+            if pivot_val.abs() < SINGULARITY_EPS * scale {
+                return Err(MatrixError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                lu.swap_rows(pivot_row, col);
+                perm.swap(pivot_row, col);
+                perm_sign = -perm_sign;
+            }
+            for row in col + 1..n {
+                let factor = lu[(row, col)] / lu[(col, col)];
+                lu[(row, col)] = factor;
+                for j in col + 1..n {
+                    let delta = factor * lu[(col, j)];
+                    lu[(row, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self {
+            lu,
+            perm,
+            perm_sign,
+            scale,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MatrixError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution (L has unit diag).
+        let mut x: Vec<f64> = self.perm.iter().map(|&src| b[src]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix of matching dimension, but the signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix, MatrixError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            for (row, v) in x.into_iter().enumerate() {
+                inv[(row, col)] = v;
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// The determinant of the original matrix.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        (0..n).map(|i| self.lu[(i, i)]).product::<f64>() * self.perm_sign
+    }
+
+    /// The scale (max-abs entry) recorded at factorization time.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// One-shot convenience: solves `A·x = b`.
+///
+/// # Errors
+///
+/// See [`Lu::factorize`] and [`Lu::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    Lu::factorize(a)?.solve(b)
+}
+
+/// One-shot convenience: computes `A⁻¹`.
+///
+/// # Errors
+///
+/// See [`Lu::factorize`].
+pub fn inverse(a: &Matrix) -> Result<Matrix, MatrixError> {
+    Lu::factorize(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .unwrap()
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_hand_checked_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            Lu::factorize(&a),
+            Err(MatrixError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::factorize(&a),
+            Err(MatrixError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(3, 3, vec![4.0, 2.0, 1.0, 2.0, 5.0, 3.0, 1.0, 3.0, 6.0]).unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.mul(&inv).unwrap();
+        let diff = prod.max_abs_diff(&Matrix::identity(3)).unwrap();
+        assert!(diff < 1e-12, "A·A⁻¹ deviates from I by {diff}");
+    }
+
+    #[test]
+    fn determinant_of_triangular_and_permuted() {
+        let a = Matrix::from_rows(2, 2, vec![3.0, 1.0, 0.0, 2.0]).unwrap();
+        assert!((Lu::factorize(&a).unwrap().det() - 6.0).abs() < 1e-12);
+        // Row swap flips the sign.
+        let b = Matrix::from_rows(2, 2, vec![0.0, 2.0, 3.0, 1.0]).unwrap();
+        assert!((Lu::factorize(&b).unwrap().det() + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_identity() {
+        let lu = Lu::factorize(&Matrix::identity(5)).unwrap();
+        assert!((lu.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let lu = Lu::factorize(&Matrix::identity(3)).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn random_well_conditioned_systems_have_small_residual() {
+        // Deterministic pseudo-random diagonally dominant matrices.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((state >> 33) as f64) / f64::from(1u32 << 31) - 0.5
+        };
+        for n in [1usize, 2, 5, 9] {
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            for i in 0..n {
+                a[(i, i)] += n as f64; // diagonal dominance => well-conditioned
+            }
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let x = solve(&a, &b).unwrap();
+            assert!(residual(&a, &x, &b) < 1e-10, "residual too large at n={n}");
+        }
+    }
+}

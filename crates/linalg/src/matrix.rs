@@ -1,0 +1,363 @@
+//! Dense row-major matrices of `f64`.
+//!
+//! The workspace only needs small dense systems — the Appendix F
+//! sketch-combining matrix is `(k+1) × (k+1)` for conjunction width `k`, and
+//! the randomized-response matrix estimator is the same shape — so a simple
+//! contiguous row-major layout with checked constructors is the right tool.
+//! No external linear-algebra dependency is used anywhere in the workspace.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors from matrix construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Data length does not equal `rows × cols`.
+    ShapeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        actual: usize,
+    },
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) where a
+    /// factorization or solve requires invertibility.
+    Singular {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// Operation requires a square matrix.
+    NotSquare {
+        /// Actual dimensions.
+        dims: (usize, usize),
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape ({expected} expected)")
+            }
+            Self::DimensionMismatch { left, right } => write!(
+                f,
+                "incompatible dimensions {}x{} and {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Self::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            Self::NotSquare { dims } => {
+                write!(f, "operation requires a square matrix, got {}x{}", dims.0, dims.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if `data.len() != rows*cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every entry.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    #[must_use]
+    pub const fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows a row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row ≥ rows` (index contract, as with slice indexing).
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutably borrows a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row ≥ rows`.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if x.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if inner dimensions differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, MatrixError> {
+        if self.cols != other.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Maximum absolute entry-wise difference to `other`, or `None` when
+    /// shapes differ. Useful for approximate equality in tests.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Self) -> Option<f64> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z[(1, 2)], 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0; 4]).is_ok());
+        assert_eq!(
+            Matrix::from_rows(2, 2, vec![1.0; 3]).unwrap_err(),
+            MatrixError::ShapeMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_computation() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.mul_vec(&[1.0, 0.0, -1.0]).unwrap(), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn mul_vec_rejects_bad_length() {
+        let a = Matrix::identity(2);
+        assert!(matches!(
+            a.mul_vec(&[1.0]),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_product_against_identity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i).unwrap(), a);
+        assert_eq!(i.mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matrix_product_hand_checked() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let ab = a.mul(&b).unwrap();
+        assert_eq!(ab, Matrix::from_rows(2, 2, vec![2.0, 1.0, 4.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn swap_rows_works_and_self_swap_is_noop() {
+        let mut a = Matrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        a.swap_rows(0, 2);
+        assert_eq!(a.row(0), &[5.0, 6.0]);
+        assert_eq!(a.row(2), &[1.0, 2.0]);
+        let before = a.clone();
+        a.swap_rows(1, 1);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.max_abs_diff(&b).is_none());
+        let c = Matrix::identity(2);
+        assert_eq!(a.max_abs_diff(&c), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(1, 1);
+        let _ = a[(0, 1)];
+    }
+}

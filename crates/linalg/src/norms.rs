@@ -1,0 +1,147 @@
+//! Matrix norms and condition numbers.
+//!
+//! Appendix F closes with: "an empirical analysis of the conditioning
+//! number of the matrix V suggests that it decreases exponentially in k,
+//! with the base of the exponent proportional to 1/(p − 1/2)" — i.e. the
+//! recovery matrix becomes exponentially badly conditioned as conjunction
+//! width grows. Experiment E12 measures exactly `κ₁(V) = ‖V‖₁·‖V⁻¹‖₁`
+//! using this module.
+
+use crate::lu::Lu;
+use crate::matrix::{Matrix, MatrixError};
+
+/// The induced 1-norm (maximum absolute column sum).
+#[must_use]
+pub fn norm_1(a: &Matrix) -> f64 {
+    (0..a.cols())
+        .map(|j| (0..a.rows()).map(|i| a[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// The induced ∞-norm (maximum absolute row sum).
+#[must_use]
+pub fn norm_inf(a: &Matrix) -> f64 {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// The Frobenius norm.
+#[must_use]
+pub fn norm_frobenius(a: &Matrix) -> f64 {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().map(|v| v * v).sum::<f64>())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// The 1-norm condition number `κ₁(A) = ‖A‖₁ · ‖A⁻¹‖₁`.
+///
+/// Returns `f64::INFINITY` when the matrix is singular, matching the
+/// conventional limit.
+///
+/// # Errors
+///
+/// Returns an error only for non-square input; singularity maps to `∞`.
+pub fn condition_number_1(a: &Matrix) -> Result<f64, MatrixError> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    match Lu::factorize(a) {
+        Ok(lu) => {
+            let inv = lu.inverse()?;
+            Ok(norm_1(a) * norm_1(&inv))
+        }
+        Err(MatrixError::Singular { .. }) => Ok(f64::INFINITY),
+        Err(e) => Err(e),
+    }
+}
+
+/// The ∞-norm condition number `κ_∞(A)`.
+///
+/// # Errors
+///
+/// As [`condition_number_1`].
+pub fn condition_number_inf(a: &Matrix) -> Result<f64, MatrixError> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            dims: (a.rows(), a.cols()),
+        });
+    }
+    match Lu::factorize(a) {
+        Ok(lu) => {
+            let inv = lu.inverse()?;
+            Ok(norm_inf(a) * norm_inf(&inv))
+        }
+        Err(MatrixError::Singular { .. }) => Ok(f64::INFINITY),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_identity() {
+        let i = Matrix::identity(4);
+        assert_eq!(norm_1(&i), 1.0);
+        assert_eq!(norm_inf(&i), 1.0);
+        assert_eq!(norm_frobenius(&i), 2.0);
+    }
+
+    #[test]
+    fn norm_1_is_max_column_sum() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, -3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(norm_1(&a), 7.0); // |−3| + |4|
+        assert_eq!(norm_inf(&a), 6.0); // |2| + |4|
+    }
+
+    #[test]
+    fn condition_of_identity_is_one() {
+        assert!((condition_number_1(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+        assert!((condition_number_inf(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_of_scaled_identity_is_one() {
+        let mut a = Matrix::identity(3);
+        for i in 0..3 {
+            a[(i, i)] = 100.0;
+        }
+        assert!((condition_number_1(&a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_of_diagonal_is_ratio() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = 10.0;
+        a[(1, 1)] = 0.1;
+        assert!((condition_number_1(&a).unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_has_infinite_condition() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(condition_number_1(&a).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(condition_number_1(&a).is_err());
+    }
+
+    #[test]
+    fn condition_bounds_hold_for_hilbert_like_matrix() {
+        // Hilbert matrices are a classic ill-conditioned family; κ grows
+        // quickly with n, so κ(H₄) must dominate κ(H₂).
+        let hilbert = |n: usize| Matrix::from_fn(n, n, |i, j| 1.0 / ((i + j + 1) as f64));
+        let k2 = condition_number_1(&hilbert(2)).unwrap();
+        let k4 = condition_number_1(&hilbert(4)).unwrap();
+        assert!(k2 > 1.0);
+        assert!(k4 > 100.0 * k2, "H4 should be much worse conditioned");
+    }
+}

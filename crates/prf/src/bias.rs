@@ -1,0 +1,195 @@
+//! Probabilities as 64-bit fixed point, and biased-bit extraction.
+//!
+//! The paper (§3) turns a uniform hash output into a `p`-biased coin by
+//! writing `p` in binary, `p = Σ pᵢ 2^{-i}`, and reporting 1 exactly when
+//! the hash output — read as a binary fraction — is at most `p`. [`Bias`]
+//! is that construction with λ = 64: a probability is the threshold
+//! `⌊p·2⁶⁴⌋` and a uniform `u64` sample maps to 1 iff it is strictly below
+//! the threshold. All probability arithmetic in the workspace goes through
+//! this type so that the sketching side and the estimating side agree on
+//! `p` to the bit.
+
+use core::fmt;
+
+/// A probability in `[0, 1]` stored as a 64-bit fixed-point threshold.
+///
+/// `Bias::from_prob(p).decide(u)` is true with probability exactly
+/// `threshold / 2⁶⁴` over uniform `u: u64`, and `threshold` is the nearest
+/// representable value to `p`. The quantization error is at most `2⁻⁶⁴`,
+/// far below every statistical tolerance in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bias {
+    /// `1` is decided iff the uniform sample is `< threshold`.
+    threshold: u64,
+}
+
+impl Bias {
+    /// Probability 0: never decides 1.
+    pub const ZERO: Self = Self { threshold: 0 };
+
+    /// Probability `1 − 2⁻⁶⁴`, the largest representable bias.
+    ///
+    /// Exact probability 1 is not representable; this is the saturation
+    /// value used for inputs ≥ 1.
+    pub const ALMOST_ONE: Self = Self {
+        threshold: u64::MAX,
+    };
+
+    /// Probability 1/2 exactly.
+    pub const HALF: Self = Self {
+        threshold: 1 << 63,
+    };
+
+    /// Converts an `f64` probability to fixed point, clamping to `[0, 1)`.
+    ///
+    /// Values `≤ 0` — and NaN, so that hostile wire-format parameters can
+    /// be *validated* rather than crash — become [`Bias::ZERO`]; values
+    /// `≥ 1` become [`Bias::ALMOST_ONE`].
+    #[must_use]
+    pub fn from_prob(p: f64) -> Self {
+        if p.is_nan() || p <= 0.0 {
+            return Self::ZERO;
+        }
+        if p >= 1.0 {
+            return Self::ALMOST_ONE;
+        }
+        // p ∈ (0, 1): p * 2^64 fits in u64 after rounding because
+        // p ≤ 1 − 2⁻⁵³ ⇒ p·2⁶⁴ ≤ 2⁶⁴ − 2¹¹.
+        let scaled = p * TWO_POW_64;
+        Self {
+            threshold: scaled as u64,
+        }
+    }
+
+    /// Builds a bias directly from its fixed-point threshold.
+    #[must_use]
+    pub const fn from_threshold(threshold: u64) -> Self {
+        Self { threshold }
+    }
+
+    /// The fixed-point threshold `⌊p·2⁶⁴⌋`.
+    #[must_use]
+    pub const fn threshold(self) -> u64 {
+        self.threshold
+    }
+
+    /// The probability as `f64` (rounded to nearest).
+    #[must_use]
+    pub fn prob(self) -> f64 {
+        self.threshold as f64 / TWO_POW_64
+    }
+
+    /// Maps a uniform sample to a biased bit: true with probability `p`.
+    #[inline]
+    #[must_use]
+    pub const fn decide(self, uniform_sample: u64) -> bool {
+        uniform_sample < self.threshold
+    }
+
+    /// The complementary bias `1 − p` (up to the `2⁻⁶⁴` quantum).
+    #[must_use]
+    pub const fn complement(self) -> Self {
+        Self {
+            threshold: u64::MAX - self.threshold,
+        }
+    }
+
+    /// Whether this bias is strictly below one half.
+    ///
+    /// The paper's estimators require `p < 1/2` (the `1 − 2p` denominator
+    /// of Algorithm 2); parameter validation uses this predicate.
+    #[must_use]
+    pub const fn is_below_half(self) -> bool {
+        self.threshold < 1 << 63
+    }
+}
+
+const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
+
+impl fmt::Debug for Bias {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bias({:.6})", self.prob())
+    }
+}
+
+impl fmt::Display for Bias {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prob())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values() {
+        assert_eq!(Bias::from_prob(0.0), Bias::ZERO);
+        assert_eq!(Bias::from_prob(-3.0), Bias::ZERO);
+        assert_eq!(Bias::from_prob(1.0), Bias::ALMOST_ONE);
+        assert_eq!(Bias::from_prob(7.5), Bias::ALMOST_ONE);
+        assert_eq!(Bias::from_prob(0.5), Bias::HALF);
+    }
+
+    #[test]
+    fn zero_never_decides_one() {
+        for u in [0, 1, u64::MAX / 2, u64::MAX] {
+            assert!(!Bias::ZERO.decide(u));
+        }
+    }
+
+    #[test]
+    fn almost_one_decides_one_except_max() {
+        assert!(Bias::ALMOST_ONE.decide(0));
+        assert!(Bias::ALMOST_ONE.decide(u64::MAX - 1));
+        assert!(!Bias::ALMOST_ONE.decide(u64::MAX));
+    }
+
+    #[test]
+    fn prob_round_trip_accuracy() {
+        for &p in &[0.1, 0.25, 0.3, 1.0 / 3.0, 0.45, 0.49999, 0.5, 0.75] {
+            let b = Bias::from_prob(p);
+            assert!(
+                (b.prob() - p).abs() < 1e-15,
+                "round trip of {p} drifted to {}",
+                b.prob()
+            );
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive_and_sums_to_one() {
+        let b = Bias::from_prob(0.3);
+        assert_eq!(b.complement().complement(), b);
+        assert!((b.prob() + b.complement().prob() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn below_half_predicate() {
+        assert!(Bias::from_prob(0.4999999).is_below_half());
+        assert!(!Bias::HALF.is_below_half());
+        assert!(!Bias::from_prob(0.7).is_below_half());
+    }
+
+    #[test]
+    fn decide_threshold_semantics_exact() {
+        let b = Bias::from_threshold(10);
+        assert!(b.decide(9));
+        assert!(!b.decide(10));
+        assert!(!b.decide(11));
+    }
+
+    #[test]
+    fn empirical_frequency_matches_probability() {
+        // Deterministic low-discrepancy sweep of the sample space.
+        let b = Bias::from_prob(0.3);
+        let n = 100_000u64;
+        let step = u64::MAX / n;
+        let hits = (0..n).filter(|i| b.decide(i * step)).count();
+        let freq = hits as f64 / n as f64;
+        assert!(
+            (freq - 0.3).abs() < 1e-3,
+            "swept frequency {freq} far from 0.3"
+        );
+    }
+}

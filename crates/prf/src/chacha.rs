@@ -1,0 +1,176 @@
+//! The ChaCha20 block function, implemented from scratch.
+//!
+//! ChaCha20 (Bernstein; standardized in RFC 8439) maps a 256-bit key, a
+//! 32-bit block counter and a 96-bit nonce to a 512-bit keystream block.
+//! This crate uses it two ways:
+//!
+//! * as the mixing core of [`ChaChaPrf`](crate::prf::ChaChaPrf), the second,
+//!   independent instantiation of the paper's public function `H` (used to
+//!   demonstrate that utility results do not depend on a particular PRF), and
+//! * as the engine of the deterministic counter-mode PRG
+//!   ([`Prg`](crate::prg::Prg)) that drives reproducible experiments.
+//!
+//! Verified against the RFC 8439 §2.3.2 block-function test vector.
+
+/// The ChaCha constants `"expa" "nd 3" "2-by" "te k"` as little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Number of double rounds (20 rounds total = 10 double rounds).
+const DOUBLE_ROUNDS: usize = 10;
+
+/// A 256-bit ChaCha key, stored as eight little-endian words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaChaKey {
+    words: [u32; 8],
+}
+
+impl ChaChaKey {
+    /// Builds a key from 32 bytes, interpreted little-endian per RFC 8439.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let mut words = [0u32; 8];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        Self { words }
+    }
+
+    /// Returns the key as words.
+    #[must_use]
+    pub const fn words(&self) -> [u32; 8] {
+        self.words
+    }
+}
+
+/// Computes one ChaCha20 block: 16 output words of keystream.
+///
+/// `counter` is the 32-bit block counter occupying state word 12 and `nonce`
+/// the 96-bit nonce occupying words 13..16, as in RFC 8439.
+#[must_use]
+pub fn chacha20_block(key: &ChaChaKey, counter: u32, nonce: [u32; 3]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[0..4].copy_from_slice(&SIGMA);
+    state[4..12].copy_from_slice(&key.words);
+    state[12] = counter;
+    state[13..16].copy_from_slice(&nonce);
+
+    let mut working = state;
+    for _ in 0..DOUBLE_ROUNDS {
+        // Column round.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (w, s) in working.iter_mut().zip(state.iter()) {
+        *w = w.wrapping_add(*s);
+    }
+    working
+}
+
+/// Serializes a keystream block to bytes (little-endian words, RFC order).
+#[must_use]
+pub fn block_to_bytes(block: &[u32; 16]) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    for (i, w) in block.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] ^= s[a];
+    s[d] = s[d].rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] ^= s[c];
+    s[b] = s[b].rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] ^= s[a];
+    s[d] = s[d].rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] ^= s[c];
+    s[b] = s[b].rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.1.1: quarter round on the test vector.
+    #[test]
+    fn quarter_round_vector() {
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    /// RFC 8439 §2.3.2: the ChaCha20 block function test vector.
+    #[test]
+    fn block_function_vector() {
+        let key_bytes: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let key = ChaChaKey::from_bytes(&key_bytes);
+        let nonce = [0x0900_0000, 0x4a00_0000, 0x0000_0000];
+        let block = chacha20_block(&key, 1, nonce);
+        let expected: [u32; 16] = [
+            0xe4e7_f110, 0x1559_3bd1, 0x1fdd_0f50, 0xc471_20a3,
+            0xc7f4_d1c7, 0x0368_c033, 0x9aaa_2204, 0x4e6c_d4c3,
+            0x4664_82d2, 0x09aa_9f07, 0x05d7_c214, 0xa202_8bd9,
+            0xd19c_12b5, 0xb94e_16de, 0xe883_d0cb, 0x4e3c_50a2,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    /// RFC 8439 §2.3.2 serialized keystream bytes.
+    #[test]
+    fn block_serialization_vector() {
+        let key_bytes: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let key = ChaChaKey::from_bytes(&key_bytes);
+        let nonce = [0x0900_0000, 0x4a00_0000, 0x0000_0000];
+        let bytes = block_to_bytes(&chacha20_block(&key, 1, nonce));
+        let expected_prefix: [u8; 16] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4,
+        ];
+        assert_eq!(&bytes[..16], &expected_prefix);
+    }
+
+    #[test]
+    fn counter_changes_output() {
+        let key = ChaChaKey::from_bytes(&[7u8; 32]);
+        let nonce = [1, 2, 3];
+        assert_ne!(
+            chacha20_block(&key, 0, nonce),
+            chacha20_block(&key, 1, nonce)
+        );
+    }
+
+    #[test]
+    fn nonce_changes_output() {
+        let key = ChaChaKey::from_bytes(&[7u8; 32]);
+        assert_ne!(
+            chacha20_block(&key, 0, [0, 0, 0]),
+            chacha20_block(&key, 0, [0, 0, 1])
+        );
+    }
+
+    #[test]
+    fn key_round_trips_words() {
+        let bytes: [u8; 32] = core::array::from_fn(|i| (i * 3) as u8);
+        let key = ChaChaKey::from_bytes(&bytes);
+        assert_eq!(key.words()[0], u32::from_le_bytes([0, 3, 6, 9]));
+    }
+}

@@ -1,0 +1,267 @@
+//! Keyed pseudorandom functions: the paper's public function `H`.
+//!
+//! The paper assumes "a public pseudorandom function H, which upon receiving
+//! a random binary string returns 1 with probability p" (§3), keyed by a
+//! global generator key of ≥ 300 bits (footnotes 4–5). [`Prf`] is the
+//! abstraction: a keyed map from byte strings to uniform 64-bit values. The
+//! biased bit the paper needs is obtained by composing with
+//! [`Bias::decide`](crate::bias::Bias::decide).
+//!
+//! Two independent instantiations are provided so that utility experiments
+//! can demonstrate that results do not hinge on one primitive:
+//!
+//! * [`SipPrf`] — SipHash-2-4 under a 128-bit subkey (fast path);
+//! * [`ChaChaPrf`] — a hash-then-encrypt construction around the ChaCha20
+//!   block function under the full 256-bit key (conservative path).
+
+use crate::bias::Bias;
+use crate::chacha::{chacha20_block, ChaChaKey};
+use crate::siphash::SipHash24;
+
+/// A 256-bit global key for the database-wide pseudorandom function.
+///
+/// The paper: "if the length of the generator key is at least 300 bits, it
+/// is unfeasible to build an algorithm whose answers on a pseudorandom
+/// function will differ from those it would produce on a truly random
+/// function". 256 bits is the modern equivalent of that requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalKey {
+    bytes: [u8; 32],
+}
+
+impl GlobalKey {
+    /// Builds a key from raw bytes.
+    #[must_use]
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self { bytes }
+    }
+
+    /// Derives a key deterministically from a u64 seed (for tests and
+    /// reproducible experiments; production users should use OS entropy).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut bytes = [0u8; 32];
+        // Expand the seed with SipHash in counter mode under fixed keys.
+        for i in 0..4 {
+            let word = SipHash24::new(0x9e37_79b9_7f4a_7c15, i as u64).hash(&seed.to_le_bytes());
+            bytes[8 * i..8 * i + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        Self { bytes }
+    }
+
+    /// The raw key bytes.
+    #[must_use]
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+}
+
+/// A keyed pseudorandom function from byte strings to uniform `u64`s.
+pub trait Prf: Send + Sync {
+    /// Evaluates the PRF on `input`, returning a value indistinguishable
+    /// from uniform over `u64` for anyone without the key.
+    fn eval_u64(&self, input: &[u8]) -> u64;
+
+    /// Evaluates the PRF and thresholds against `bias`, producing the
+    /// paper's `p`-biased bit: true with probability `p`.
+    fn eval_biased(&self, input: &[u8], bias: Bias) -> bool {
+        bias.decide(self.eval_u64(input))
+    }
+}
+
+/// SipHash-2-4 based PRF (the default `H`).
+#[derive(Debug, Clone, Copy)]
+pub struct SipPrf {
+    sip: SipHash24,
+}
+
+impl SipPrf {
+    /// Keys the PRF with the first 128 bits of the global key.
+    #[must_use]
+    pub fn new(key: &GlobalKey) -> Self {
+        let mut sub = [0u8; 16];
+        sub.copy_from_slice(&key.as_bytes()[..16]);
+        Self {
+            sip: SipHash24::from_key_bytes(&sub),
+        }
+    }
+}
+
+impl Prf for SipPrf {
+    fn eval_u64(&self, input: &[u8]) -> u64 {
+        self.sip.hash(input)
+    }
+}
+
+/// ChaCha20 based PRF: input is compressed to a (nonce, counter) pair with
+/// SipHash (keyed by the *second* half of the global key, so the compression
+/// key is independent of nothing the attacker sees), then one ChaCha20 block
+/// under the full 256-bit key supplies the output word.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaChaPrf {
+    key: ChaChaKey,
+    compressor: SipHash24,
+}
+
+impl ChaChaPrf {
+    /// Keys the PRF with the full 256-bit global key.
+    #[must_use]
+    pub fn new(key: &GlobalKey) -> Self {
+        let mut sub = [0u8; 16];
+        sub.copy_from_slice(&key.as_bytes()[16..32]);
+        Self {
+            key: ChaChaKey::from_bytes(key.as_bytes()),
+            compressor: SipHash24::from_key_bytes(&sub),
+        }
+    }
+}
+
+impl Prf for ChaChaPrf {
+    fn eval_u64(&self, input: &[u8]) -> u64 {
+        let digest = self.compressor.hash128(input);
+        let lo = (digest & u128::from(u64::MAX)) as u64;
+        let hi = (digest >> 64) as u64;
+        let counter = lo as u32;
+        let nonce = [(lo >> 32) as u32, hi as u32, (hi >> 32) as u32];
+        let block = chacha20_block(&self.key, counter, nonce);
+        (u64::from(block[1]) << 32) | u64::from(block[0])
+    }
+}
+
+/// The PRF family selector used throughout the workspace.
+///
+/// An enum (rather than `dyn Prf`) keeps evaluation monomorphic and
+/// allocation-free on the hot path while still letting experiments switch
+/// instantiations at run time.
+#[derive(Debug, Clone, Copy)]
+pub enum PrfKind {
+    /// SipHash-2-4 instantiation (default; fastest).
+    Sip,
+    /// ChaCha20 instantiation (conservative cross-check).
+    ChaCha,
+}
+
+/// A concrete instantiation of the paper's `H`, carrying its key material.
+#[derive(Debug, Clone, Copy)]
+pub enum AnyPrf {
+    /// SipHash-2-4 instantiation.
+    Sip(SipPrf),
+    /// ChaCha20 instantiation.
+    ChaCha(ChaChaPrf),
+}
+
+impl AnyPrf {
+    /// Instantiates the selected PRF family under `key`.
+    #[must_use]
+    pub fn new(kind: PrfKind, key: &GlobalKey) -> Self {
+        match kind {
+            PrfKind::Sip => Self::Sip(SipPrf::new(key)),
+            PrfKind::ChaCha => Self::ChaCha(ChaChaPrf::new(key)),
+        }
+    }
+}
+
+impl Prf for AnyPrf {
+    #[inline]
+    fn eval_u64(&self, input: &[u8]) -> u64 {
+        match self {
+            Self::Sip(p) => p.eval_u64(input),
+            Self::ChaCha(p) => p.eval_u64(input),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> GlobalKey {
+        GlobalKey::from_seed(42)
+    }
+
+    #[test]
+    fn global_key_from_seed_is_deterministic() {
+        assert_eq!(GlobalKey::from_seed(7), GlobalKey::from_seed(7));
+        assert_ne!(
+            GlobalKey::from_seed(7).as_bytes(),
+            GlobalKey::from_seed(8).as_bytes()
+        );
+    }
+
+    #[test]
+    fn prfs_are_deterministic() {
+        for kind in [PrfKind::Sip, PrfKind::ChaCha] {
+            let prf = AnyPrf::new(kind, &key());
+            assert_eq!(prf.eval_u64(b"input"), prf.eval_u64(b"input"));
+        }
+    }
+
+    #[test]
+    fn prf_families_disagree() {
+        // The two instantiations are independent functions.
+        let sip = AnyPrf::new(PrfKind::Sip, &key());
+        let chacha = AnyPrf::new(PrfKind::ChaCha, &key());
+        let disagreements = (0u64..64)
+            .filter(|i| sip.eval_u64(&i.to_le_bytes()) != chacha.eval_u64(&i.to_le_bytes()))
+            .count();
+        assert_eq!(disagreements, 64);
+    }
+
+    #[test]
+    fn keys_separate_outputs() {
+        let a = SipPrf::new(&GlobalKey::from_seed(1));
+        let b = SipPrf::new(&GlobalKey::from_seed(2));
+        assert_ne!(a.eval_u64(b"x"), b.eval_u64(b"x"));
+    }
+
+    #[test]
+    fn biased_eval_matches_threshold() {
+        let prf = SipPrf::new(&key());
+        let bias = Bias::from_prob(0.3);
+        let raw = prf.eval_u64(b"q");
+        assert_eq!(prf.eval_biased(b"q", bias), bias.decide(raw));
+    }
+
+    #[test]
+    fn empirical_bias_of_prf_outputs() {
+        // Over many distinct inputs the fraction of biased-1 outcomes must
+        // track p closely — this is the paper's "for random x, H(x) = 1
+        // with probability p" requirement.
+        for kind in [PrfKind::Sip, PrfKind::ChaCha] {
+            let prf = AnyPrf::new(kind, &key());
+            let p = 0.3;
+            let bias = Bias::from_prob(p);
+            let n = 50_000u64;
+            let ones = (0..n)
+                .filter(|i| prf.eval_biased(&i.to_le_bytes(), bias))
+                .count();
+            let freq = ones as f64 / n as f64;
+            // 5σ tolerance: σ = sqrt(p(1-p)/n) ≈ 0.00205.
+            assert!(
+                (freq - p).abs() < 0.0105,
+                "{kind:?}: frequency {freq} drifted from {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        // Each of the 64 output bit positions should be ~half ones.
+        let prf = SipPrf::new(&key());
+        let n = 20_000u64;
+        let mut counts = [0u32; 64];
+        for i in 0..n {
+            let v = prf.eval_u64(&i.to_le_bytes());
+            for (bit, count) in counts.iter_mut().enumerate() {
+                *count += ((v >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &c) in counts.iter().enumerate() {
+            let freq = f64::from(c) / n as f64;
+            assert!(
+                (freq - 0.5).abs() < 0.02,
+                "output bit {bit} unbalanced: {freq}"
+            );
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! SipHash-2-4, implemented from scratch.
+//!
+//! SipHash is a keyed pseudorandom function with 128-bit keys and 64-bit
+//! outputs, introduced by Aumasson and Bernstein. The paper reproduced by
+//! this workspace (Mishra & Sandler, PODS 2006) asks for "any collision free
+//! secure hash (such as MD5 or WHIRLPOOL)" as the public function `H`; we
+//! substitute SipHash-2-4 because it is a *keyed* PRF (the paper in fact
+//! wants a keyed function — "the key used to define the global pseudorandom
+//! function for the entire database"), it is a modern standard, and it is
+//! small enough to implement and verify from scratch. The privacy results of
+//! the paper are independent of the quality of this function (Lemma 3.3), so
+//! the substitution is behaviour-preserving for privacy; utility experiments
+//! cross-check SipHash against a ChaCha20-based PRF.
+//!
+//! The implementation is verified against the official test vectors from the
+//! SipHash reference implementation.
+
+/// Number of compression rounds (the "2" in SipHash-2-4).
+const C_ROUNDS: usize = 2;
+/// Number of finalization rounds (the "4" in SipHash-2-4).
+const D_ROUNDS: usize = 4;
+
+/// Streaming/one-shot SipHash-2-4 state over a 128-bit key.
+///
+/// The common entry point is [`SipHash24::hash`]:
+///
+/// ```
+/// use psketch_prf::siphash::SipHash24;
+/// let tag = SipHash24::new(0x0706050403020100, 0x0f0e0d0c0b0a0908).hash(b"hello");
+/// // Same input, same key => same tag.
+/// assert_eq!(
+///     tag,
+///     SipHash24::new(0x0706050403020100, 0x0f0e0d0c0b0a0908).hash(b"hello")
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SipHash24 {
+    k0: u64,
+    k1: u64,
+}
+
+impl SipHash24 {
+    /// Creates a SipHash-2-4 instance from the two 64-bit key halves.
+    ///
+    /// `k0` is the little-endian interpretation of key bytes 0..8 and `k1`
+    /// of bytes 8..16, matching the reference implementation.
+    #[must_use]
+    pub const fn new(k0: u64, k1: u64) -> Self {
+        Self { k0, k1 }
+    }
+
+    /// Creates a SipHash-2-4 instance from 16 key bytes (little-endian).
+    #[must_use]
+    pub fn from_key_bytes(key: &[u8; 16]) -> Self {
+        let k0 = u64::from_le_bytes(key[0..8].try_into().expect("8 bytes"));
+        let k1 = u64::from_le_bytes(key[8..16].try_into().expect("8 bytes"));
+        Self::new(k0, k1)
+    }
+
+    /// Hashes `data` and returns the 64-bit tag.
+    #[must_use]
+    pub fn hash(&self, data: &[u8]) -> u64 {
+        let mut v0 = 0x736f_6d65_7073_6575_u64 ^ self.k0;
+        let mut v1 = 0x646f_7261_6e64_6f6d_u64 ^ self.k1;
+        let mut v2 = 0x6c79_6765_6e65_7261_u64 ^ self.k0;
+        let mut v3 = 0x7465_6462_7974_6573_u64 ^ self.k1;
+
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            v3 ^= m;
+            for _ in 0..C_ROUNDS {
+                sip_round(&mut v0, &mut v1, &mut v2, &mut v3);
+            }
+            v0 ^= m;
+        }
+
+        // Final block: remaining bytes plus the message length in the top byte.
+        let rem = chunks.remainder();
+        let mut last = (data.len() as u64) << 56;
+        for (i, &b) in rem.iter().enumerate() {
+            last |= u64::from(b) << (8 * i);
+        }
+        v3 ^= last;
+        for _ in 0..C_ROUNDS {
+            sip_round(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^= last;
+
+        v2 ^= 0xff;
+        for _ in 0..D_ROUNDS {
+            sip_round(&mut v0, &mut v1, &mut v2, &mut v3);
+        }
+        v0 ^ v1 ^ v2 ^ v3
+    }
+
+    /// Hashes `data` twice under domain-separated tweaks to produce a
+    /// 128-bit output.
+    ///
+    /// Used when a single 64-bit value is not enough entropy (e.g. deriving
+    /// a ChaCha nonce+counter from an arbitrary-length input).
+    #[must_use]
+    pub fn hash128(&self, data: &[u8]) -> u128 {
+        // Tweak the key halves for the second lane; any fixed constant
+        // yields an independent-looking PRF lane.
+        let lo = self.hash(data);
+        let hi = SipHash24::new(
+            self.k0 ^ 0x5851_f42d_4c95_7f2d,
+            self.k1 ^ 0x1405_7b7e_f767_814f,
+        )
+        .hash(data);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+}
+
+#[inline]
+fn sip_round(v0: &mut u64, v1: &mut u64, v2: &mut u64, v3: &mut u64) {
+    *v0 = v0.wrapping_add(*v1);
+    *v1 = v1.rotate_left(13);
+    *v1 ^= *v0;
+    *v0 = v0.rotate_left(32);
+    *v2 = v2.wrapping_add(*v3);
+    *v3 = v3.rotate_left(16);
+    *v3 ^= *v2;
+    *v0 = v0.wrapping_add(*v3);
+    *v3 = v3.rotate_left(21);
+    *v3 ^= *v0;
+    *v2 = v2.wrapping_add(*v1);
+    *v1 = v1.rotate_left(17);
+    *v1 ^= *v2;
+    *v2 = v2.rotate_left(32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Official vectors from the SipHash reference implementation
+    /// (`vectors_sip64` in `vectors.h`): key = 000102…0f, message =
+    /// 00 01 02 … of increasing length.
+    const REFERENCE_VECTORS: [u64; 16] = [
+        0x726f_db47_dd0e_0e31,
+        0x74f8_39c5_93dc_67fd,
+        0x0d6c_8009_d9a9_4f5a,
+        0x8567_6696_d7fb_7e2d,
+        0xcf27_94e0_2771_87b7,
+        0x1876_5564_cd99_a68d,
+        0xcbc9_466e_58fe_e3ce,
+        0xab02_00f5_8b01_d137,
+        0x93f5_f579_9a93_2462,
+        0x9e00_82df_0ba9_e4b0,
+        0x7a5d_bbc5_94dd_b9f3,
+        0xf4b3_2f46_226b_ada7,
+        0x751e_8fbc_860e_e5fb,
+        0x14ea_5627_c084_3d90,
+        0xf723_ca90_8e7a_f2ee,
+        0xa129_ca61_49be_45e5,
+    ];
+
+    fn reference_key() -> SipHash24 {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        SipHash24::from_key_bytes(&key)
+    }
+
+    #[test]
+    fn matches_reference_vectors() {
+        let sip = reference_key();
+        let msg: Vec<u8> = (0u8..16).collect();
+        for (len, expected) in REFERENCE_VECTORS.iter().enumerate() {
+            assert_eq!(
+                sip.hash(&msg[..len]),
+                *expected,
+                "vector mismatch at message length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_key_bytes_matches_new() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        assert_eq!(
+            SipHash24::from_key_bytes(&key),
+            SipHash24::new(0x0706_0504_0302_0100, 0x0f0e_0d0c_0b0a_0908)
+        );
+    }
+
+    #[test]
+    fn distinct_keys_give_distinct_tags() {
+        let a = SipHash24::new(1, 2).hash(b"payload");
+        let b = SipHash24::new(3, 4).hash(b"payload");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn length_is_part_of_the_tag() {
+        // A trailing zero byte must change the tag even though the padded
+        // final block bytes would otherwise collide.
+        let sip = reference_key();
+        assert_ne!(sip.hash(b""), sip.hash(b"\0"));
+        assert_ne!(sip.hash(b"\0\0\0\0\0\0\0"), sip.hash(b"\0\0\0\0\0\0\0\0"));
+    }
+
+    #[test]
+    fn hash128_halves_are_independent_lanes() {
+        let sip = reference_key();
+        let wide = sip.hash128(b"abc");
+        let lo = (wide & u128::from(u64::MAX)) as u64;
+        let hi = (wide >> 64) as u64;
+        assert_eq!(lo, sip.hash(b"abc"));
+        assert_ne!(lo, hi);
+    }
+
+    #[test]
+    fn exact_multiple_of_block_size() {
+        // 8- and 16-byte messages exercise the empty-remainder path.
+        let sip = reference_key();
+        let msg: Vec<u8> = (0u8..16).collect();
+        assert_eq!(sip.hash(&msg[..8]), REFERENCE_VECTORS[8]);
+        // All 16 bytes: not in the table above but must be deterministic
+        // and distinct from the 15-byte prefix.
+        assert_ne!(sip.hash(&msg), sip.hash(&msg[..15]));
+    }
+
+    #[test]
+    fn avalanche_smoke() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let sip = reference_key();
+        let base = sip.hash(b"avalanche test!!");
+        let mut flipped = *b"avalanche test!!";
+        flipped[0] ^= 1;
+        let other = sip.hash(&flipped);
+        let dist = (base ^ other).count_ones();
+        assert!(
+            (16..=48).contains(&dist),
+            "poor avalanche: hamming distance {dist}"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The coordinator: announcement authoring and the public sketch pool.
+//!
+//! The coordinator is *not* trusted with data — it only (a) publishes an
+//! [`Announcement`] (parameters + subset plan, with the sketch length
+//! sized by Lemma 3.1), and (b) accumulates the public [`Submission`]s
+//! into a [`SketchDb`] that anyone can query. Rejecting malformed or
+//! duplicate submissions is bookkeeping, not trust.
+
+use crate::messages::{Announcement, Submission};
+use parking_lot::Mutex;
+use psketch_core::theory::min_sketch_bits;
+use psketch_core::{BitSubset, Error, SketchDb, UserId};
+use std::collections::HashSet;
+
+/// Builder for announcements.
+#[derive(Debug, Clone)]
+pub struct AnnouncementBuilder {
+    database_id: u64,
+    p: f64,
+    expected_users: u64,
+    failure_budget: f64,
+    global_key: [u8; 32],
+    subsets: Vec<BitSubset>,
+}
+
+impl AnnouncementBuilder {
+    /// Starts an announcement for a database.
+    ///
+    /// `expected_users` (`M`) and `failure_budget` (`τ`) size the sketch
+    /// via Lemma 3.1.
+    #[must_use]
+    pub fn new(database_id: u64, p: f64, expected_users: u64, failure_budget: f64) -> Self {
+        Self {
+            database_id,
+            p,
+            expected_users,
+            failure_budget,
+            global_key: [0; 32],
+            subsets: Vec::new(),
+        }
+    }
+
+    /// Sets the public global key.
+    #[must_use]
+    pub fn global_key(mut self, key: [u8; 32]) -> Self {
+        self.global_key = key;
+        self
+    }
+
+    /// Adds a subset to the sketching plan.
+    #[must_use]
+    pub fn subset(mut self, subset: BitSubset) -> Self {
+        self.subsets.push(subset);
+        self
+    }
+
+    /// Adds several subsets.
+    #[must_use]
+    pub fn subsets(mut self, subsets: impl IntoIterator<Item = BitSubset>) -> Self {
+        self.subsets.extend(subsets);
+        self
+    }
+
+    /// Finalizes: dedupes subsets canonically and sizes the sketch.
+    ///
+    /// # Errors
+    ///
+    /// Parameter validation errors (bad `p`, empty plan reported as
+    /// [`Error::EmptyDatabase`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`min_sketch_bits`] for out-of-range `M`/`τ`.
+    pub fn build(mut self) -> Result<Announcement, Error> {
+        if self.subsets.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        self.subsets.sort();
+        self.subsets.dedup();
+        let sketch_bits = min_sketch_bits(self.expected_users, self.failure_budget, self.p);
+        let ann = Announcement {
+            database_id: self.database_id,
+            p: self.p,
+            sketch_bits,
+            global_key: self.global_key,
+            subsets: self.subsets,
+        };
+        ann.validate()?;
+        Ok(ann)
+    }
+}
+
+/// The coordinator: holds the announcement and the public pool.
+#[derive(Debug)]
+pub struct Coordinator {
+    announcement: Announcement,
+    db: SketchDb,
+    seen: Mutex<HashSet<UserId>>,
+    rejected: Mutex<u64>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator from a finalized announcement.
+    #[must_use]
+    pub fn new(announcement: Announcement) -> Self {
+        Self {
+            announcement,
+            db: SketchDb::new(),
+            seen: Mutex::new(HashSet::new()),
+            rejected: Mutex::new(0),
+        }
+    }
+
+    /// The public announcement.
+    #[must_use]
+    pub fn announcement(&self) -> &Announcement {
+        &self.announcement
+    }
+
+    /// Accepts a submission into the pool.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Codec`] for malformed bundles or duplicate users (a
+    ///   duplicate would double-count one person's data in every
+    ///   estimate);
+    /// * alignment errors from [`Submission::decode`].
+    pub fn accept(&self, submission: &Submission) -> Result<(), Error> {
+        let records = match submission.decode(&self.announcement) {
+            Ok(r) => r,
+            Err(e) => {
+                *self.rejected.lock() += 1;
+                return Err(e);
+            }
+        };
+        {
+            let mut seen = self.seen.lock();
+            if !seen.insert(submission.user) {
+                *self.rejected.lock() += 1;
+                return Err(Error::Codec {
+                    reason: format!("duplicate submission from {}", submission.user),
+                });
+            }
+        }
+        for (subset, sketch) in records {
+            self.db.insert(subset, submission.user, sketch);
+        }
+        Ok(())
+    }
+
+    /// Number of accepted participants.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.seen.lock().len()
+    }
+
+    /// Number of rejected submissions.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        *self.rejected.lock()
+    }
+
+    /// The public sketch pool (what analysts query).
+    #[must_use]
+    pub fn pool(&self) -> &SketchDb {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::UserAgent;
+    use psketch_core::{
+        BitString, ConjunctiveEstimator, ConjunctiveQuery, Profile,
+    };
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    fn build_announcement() -> Announcement {
+        AnnouncementBuilder::new(42, 0.45, 10_000, 1e-6)
+            .global_key(*GlobalKey::from_seed(3).as_bytes())
+            .subset(BitSubset::new(vec![0, 1]).unwrap())
+            .subset(BitSubset::single(0))
+            .subset(BitSubset::new(vec![1, 0]).unwrap()) // duplicate, canonicalized
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_dedupes_and_sizes_sketches() {
+        let ann = build_announcement();
+        assert_eq!(ann.subsets.len(), 2);
+        assert_eq!(
+            ann.sketch_bits,
+            min_sketch_bits(10_000, 1e-6, 0.45)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty_plan() {
+        let r = AnnouncementBuilder::new(1, 0.3, 100, 1e-3).build();
+        assert!(matches!(r, Err(Error::EmptyDatabase)));
+    }
+
+    #[test]
+    fn full_protocol_round() {
+        let ann = build_announcement();
+        let coordinator = Coordinator::new(ann.clone());
+        let mut rng = Prg::seed_from_u64(10);
+        let m = 8_000u64;
+        for i in 0..m {
+            let profile = Profile::from_bits(&[i % 4 == 0, i % 2 == 0]);
+            let mut agent = UserAgent::new(UserId(i), profile, 0.45, 1e6);
+            let sub = agent.participate(&ann, &mut rng).unwrap();
+            coordinator.accept(&sub).unwrap();
+        }
+        assert_eq!(coordinator.participants(), m as usize);
+        assert_eq!(coordinator.rejected(), 0);
+
+        // An analyst queries the pool directly.
+        let params = ann.validate().unwrap();
+        let estimator = ConjunctiveEstimator::new(params);
+        let q = ConjunctiveQuery::new(
+            BitSubset::new(vec![0, 1]).unwrap(),
+            BitString::from_bits(&[true, true]),
+        )
+        .unwrap();
+        let est = estimator.estimate(coordinator.pool(), &q).unwrap();
+        // truth: i%4==0 ∧ i%2==0 ⇔ i%4==0 → 0.25, but note p=0.45 noise
+        // at m=8k: σ ≈ 1/(0.1·√8000) ≈ 0.11.
+        assert!(
+            (est.fraction - 0.25).abs() < 0.3,
+            "estimate {} strayed",
+            est.fraction
+        );
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let ann = build_announcement();
+        let coordinator = Coordinator::new(ann.clone());
+        let mut rng = Prg::seed_from_u64(11);
+        let mut agent = UserAgent::new(UserId(1), Profile::from_bits(&[true, true]), 0.45, 1e6);
+        let sub = agent.participate(&ann, &mut rng).unwrap();
+        coordinator.accept(&sub).unwrap();
+        assert!(coordinator.accept(&sub).is_err());
+        assert_eq!(coordinator.participants(), 1);
+        assert_eq!(coordinator.rejected(), 1);
+    }
+
+    #[test]
+    fn malformed_submissions_counted() {
+        let ann = build_announcement();
+        let coordinator = Coordinator::new(ann);
+        let bogus = Submission {
+            user: UserId(5),
+            database_id: 999,
+            bundle: vec![1, 2, 3],
+            skipped: vec![],
+        };
+        assert!(coordinator.accept(&bogus).is_err());
+        assert_eq!(coordinator.rejected(), 1);
+        assert_eq!(coordinator.participants(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Perturbed-bit tables and the unbiased product estimator.
+//!
+//! Appendix E works with *virtual bits*: each user's published data induces
+//! a table of bits where bit `i` equals the truth flipped independently
+//! with a known probability `pᵢ` (physical randomized-response bits flip at
+//! `p`; an XOR of two such bits flips at `2p(1−p)`; a sketch-derived
+//! indicator `H(id, B, v, s)` flips at `p`). [`PerturbedBitTable`] is that
+//! abstraction.
+//!
+//! Conjunctions over heterogeneously-perturbed bits are estimated with the
+//! **product estimator**: for a single bit, `ẑ = (x̃ᵢ==vᵢ ? 1 : 0 − pᵢ)/(1−2pᵢ)`
+//! is an unbiased estimator of the indicator `[xᵢ = vᵢ]`; since flips are
+//! independent across bits, the product `Πᵢ ẑᵢ` is unbiased for the
+//! conjunction indicator. Its variance grows like `Πᵢ (1−2pᵢ)⁻²` — the
+//! exponential-in-width error growth the paper attributes to
+//! randomized-response style schemes, and the foil for its own
+//! width-independent sketches (experiment E5 measures both).
+
+use psketch_core::{BitSubset, BitString, ConjunctiveQuery, Error, HFunction, SketchDb,
+    SketchParams, UserId};
+use std::collections::HashMap;
+
+/// A table of perturbed bits: rows = users, columns = bits with known
+/// per-column flip probabilities.
+#[derive(Debug, Clone)]
+pub struct PerturbedBitTable {
+    flips: Vec<f64>,
+    rows: Vec<Vec<bool>>,
+}
+
+impl PerturbedBitTable {
+    /// Creates an empty table with the given per-column flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flip probability is outside `[0, 1/2)` — the product
+    /// estimator divides by `1 − 2pᵢ`.
+    #[must_use]
+    pub fn new(flips: Vec<f64>) -> Self {
+        assert!(
+            flips.iter().all(|&f| (0.0..0.5).contains(&f)),
+            "flip probabilities must lie in [0, 1/2)"
+        );
+        Self {
+            flips,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Number of rows (users).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The flip probability of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn flip(&self, c: usize) -> f64 {
+        self.flips[c]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WidthMismatch`] if the row width differs from the table's.
+    pub fn push_row(&mut self, row: Vec<bool>) -> Result<(), Error> {
+        if row.len() != self.flips.len() {
+            return Err(Error::WidthMismatch {
+                subset: self.flips.len(),
+                value: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Appends a derived column `col_a XOR col_b` to every row and returns
+    /// its index.
+    ///
+    /// If the sources flip at `p_a` and `p_b`, the XOR flips at
+    /// `p_a(1−p_b) + p_b(1−p_a)` — the paper's `2p(1−p)` when both equal
+    /// `p` ("q̃ = ã ⊕ b̃ are 2p(1−p)-perturbed variants of q").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either column is out of range, or if the combined flip
+    /// reaches 1/2 (information-free column).
+    pub fn add_xor_column(&mut self, col_a: usize, col_b: usize) -> usize {
+        let (pa, pb) = (self.flips[col_a], self.flips[col_b]);
+        let flip = pa * (1.0 - pb) + pb * (1.0 - pa);
+        assert!(
+            flip < 0.5,
+            "XOR column would flip at {flip} >= 1/2 (no signal left)"
+        );
+        self.flips.push(flip);
+        for row in &mut self.rows {
+            let v = row[col_a] ^ row[col_b];
+            row.push(v);
+        }
+        self.flips.len() - 1
+    }
+
+    /// Unbiased product-estimator for the conjunction
+    /// `∧ (bit_{cᵢ} = vᵢ)` over the table's rows.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] on an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a constrained column is out of range.
+    pub fn estimate_conjunction(&self, constraints: &[(usize, bool)]) -> Result<f64, Error> {
+        if self.rows.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        // Precompute per-column scaling.
+        let scaled: Vec<(usize, bool, f64, f64)> = constraints
+            .iter()
+            .map(|&(c, v)| {
+                let p = self.flips[c];
+                (c, v, p, 1.0 - 2.0 * p)
+            })
+            .collect();
+        let total: f64 = self
+            .rows
+            .iter()
+            .map(|row| {
+                scaled
+                    .iter()
+                    .map(|&(c, v, p, denom)| {
+                        let hit = f64::from(row[c] == v);
+                        (hit - p) / denom
+                    })
+                    .product::<f64>()
+            })
+            .sum();
+        Ok(total / self.rows.len() as f64)
+    }
+
+    /// The variance inflation factor of the product estimator for a set of
+    /// columns: `Πᵢ (1−2pᵢ)⁻²` — the quantity that grows exponentially in
+    /// the conjunction width (reported by experiment E5/E11 tables).
+    #[must_use]
+    pub fn variance_inflation(&self, columns: &[usize]) -> f64 {
+        columns
+            .iter()
+            .map(|&c| (1.0 - 2.0 * self.flips[c]).powi(-2))
+            .product()
+    }
+
+    /// Materializes a virtual-bit table from a sketch database.
+    ///
+    /// Column `i` is the indicator `[d_{Bᵢ} = vᵢ]` perturbed at flip
+    /// probability `p`, realized as `H(id, Bᵢ, vᵢ, s_{u,i})` (Lemma 3.2).
+    /// Only users holding sketches for *every* requested column appear.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownSubset`] if a column's subset has no sketches;
+    /// * [`Error::EmptyDatabase`] if no user covers all columns.
+    pub fn from_sketches(
+        params: &SketchParams,
+        db: &SketchDb,
+        columns: &[(BitSubset, BitString)],
+    ) -> Result<Self, Error> {
+        let h = HFunction::new(params);
+        let k = columns.len();
+        let mut per_user: HashMap<UserId, Vec<Option<bool>>> = HashMap::new();
+        for (i, (subset, value)) in columns.iter().enumerate() {
+            // Validate widths through the query type.
+            let _ = ConjunctiveQuery::new(subset.clone(), value.clone())?;
+            for rec in db.records(subset)? {
+                let bit = h.eval(rec.id, subset, value, rec.sketch.key);
+                per_user.entry(rec.id).or_insert_with(|| vec![None; k])[i] = Some(bit);
+            }
+        }
+        let mut table = Self::new(vec![params.p(); k]);
+        for bits in per_user.into_values() {
+            if let Some(row) = bits.into_iter().collect::<Option<Vec<bool>>>() {
+                table.push_row(row)?;
+            }
+        }
+        if table.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_prf::Prg;
+    use rand::{RngExt, SeedableRng};
+
+    /// Builds a table by flipping planted truths.
+    fn planted_table(
+        truths: &[Vec<bool>],
+        flips: &[f64],
+        rng: &mut Prg,
+    ) -> PerturbedBitTable {
+        let mut t = PerturbedBitTable::new(flips.to_vec());
+        for truth in truths {
+            let row = truth
+                .iter()
+                .zip(flips)
+                .map(|(&b, &p)| b ^ (rng.random::<f64>() < p))
+                .collect();
+            t.push_row(row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn product_estimator_is_unbiased() {
+        let mut rng = Prg::seed_from_u64(50);
+        // 60% of users have (1,1), 40% have (1,0).
+        let truths: Vec<Vec<bool>> = (0..50_000)
+            .map(|i| vec![true, i % 5 < 3])
+            .collect();
+        let t = planted_table(&truths, &[0.2, 0.3], &mut rng);
+        let est = t.estimate_conjunction(&[(0, true), (1, true)]).unwrap();
+        assert!((est - 0.6).abs() < 0.02, "estimate {est}");
+        let neg = t.estimate_conjunction(&[(0, true), (1, false)]).unwrap();
+        assert!((neg - 0.4).abs() < 0.02, "negated estimate {neg}");
+    }
+
+    #[test]
+    fn heterogeneous_flip_probabilities() {
+        let mut rng = Prg::seed_from_u64(51);
+        let truths: Vec<Vec<bool>> = (0..40_000).map(|i| vec![i % 2 == 0, true, false]).collect();
+        let t = planted_table(&truths, &[0.1, 0.35, 0.05], &mut rng);
+        let est = t
+            .estimate_conjunction(&[(0, true), (1, true), (2, false)])
+            .unwrap();
+        assert!((est - 0.5).abs() < 0.03, "estimate {est}");
+    }
+
+    #[test]
+    fn xor_column_flip_probability() {
+        let mut t = PerturbedBitTable::new(vec![0.2, 0.2]);
+        t.push_row(vec![true, false]).unwrap();
+        let c = t.add_xor_column(0, 1);
+        // 2·0.2·0.8 = 0.32.
+        assert!((t.flip(c) - 0.32).abs() < 1e-12);
+        assert_eq!(t.width(), 3);
+        assert!(t.rows[0][c]); // true XOR false
+    }
+
+    #[test]
+    fn xor_column_estimates_parity() {
+        let mut rng = Prg::seed_from_u64(52);
+        // Truth: 70% have a ⊕ b = 1 (via (1,0)); 30% have (1,1).
+        let truths: Vec<Vec<bool>> = (0..60_000).map(|i| vec![true, i % 10 < 3]).collect();
+        let mut t = planted_table(&truths, &[0.15, 0.15], &mut rng);
+        let q = t.add_xor_column(0, 1);
+        let est = t.estimate_conjunction(&[(q, true)]).unwrap();
+        assert!((est - 0.7).abs() < 0.02, "parity estimate {est}");
+    }
+
+    #[test]
+    fn variance_inflation_formula() {
+        let t = PerturbedBitTable::new(vec![0.25, 0.25, 0.4]);
+        // (1/0.5)² · (1/0.5)² · (1/0.2)² = 4 · 4 · 25.
+        assert!((t.variance_inflation(&[0, 1, 2]) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_checks() {
+        let mut t = PerturbedBitTable::new(vec![0.1]);
+        assert!(matches!(
+            t.push_row(vec![true, false]),
+            Err(Error::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            t.estimate_conjunction(&[(0, true)]),
+            Err(Error::EmptyDatabase)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probabilities must lie in")]
+    fn rejects_flip_at_half() {
+        let _ = PerturbedBitTable::new(vec![0.5]);
+    }
+
+    #[test]
+    fn xor_chains_approach_but_never_reach_half() {
+        // Repeated XOR degrades the signal monotonically towards (but
+        // mathematically never reaching) the information-free flip of 1/2.
+        let mut t = PerturbedBitTable::new(vec![0.45, 0.45]);
+        t.push_row(vec![true, false]).unwrap();
+        let mut col = t.add_xor_column(0, 1);
+        let mut last = t.flip(col);
+        for _ in 0..6 {
+            let next = t.add_xor_column(col, 0);
+            assert!(t.flip(next) > last, "flip must degrade monotonically");
+            assert!(t.flip(next) < 0.5, "flip must stay below 1/2");
+            last = t.flip(next);
+            col = next;
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Executing compiled queries against a sketch database.
+//!
+//! [`QueryEngine`] is the analyst-facing façade: it owns an Algorithm 2
+//! estimator and evaluates the linear-combination normal form produced by
+//! the §4.1 compilers, including ratio queries (conditional means).
+
+use crate::linear::LinearQuery;
+use psketch_core::{
+    ConjunctiveEstimator, ConjunctiveQuery, Error, SketchDb, SketchParams,
+};
+
+/// The result of evaluating a linear query against sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearAnswer {
+    /// The estimated value.
+    pub value: f64,
+    /// Number of conjunctive estimates performed.
+    pub queries_used: usize,
+    /// Smallest sample size among the underlying estimates (the binding
+    /// constraint for error bounds).
+    pub min_sample_size: usize,
+}
+
+/// Analyst-side execution engine over a [`SketchDb`].
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    estimator: ConjunctiveEstimator,
+}
+
+impl QueryEngine {
+    /// Builds an engine with the database-wide parameters.
+    #[must_use]
+    pub fn new(params: SketchParams) -> Self {
+        Self {
+            estimator: ConjunctiveEstimator::new(params),
+        }
+    }
+
+    /// The underlying Algorithm 2 estimator.
+    #[must_use]
+    pub fn estimator(&self) -> &ConjunctiveEstimator {
+        &self.estimator
+    }
+
+    /// Estimates a single conjunctive frequency (unclamped, unbiased).
+    ///
+    /// # Errors
+    ///
+    /// As [`ConjunctiveEstimator::estimate`].
+    pub fn fraction(&self, db: &SketchDb, query: &ConjunctiveQuery) -> Result<f64, Error> {
+        Ok(self.estimator.estimate(db, query)?.fraction)
+    }
+
+    /// Evaluates a linear query: the weighted sum of unbiased conjunctive
+    /// estimates plus the constant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors (unknown subsets, empty database).
+    pub fn linear(&self, db: &SketchDb, lq: &LinearQuery) -> Result<LinearAnswer, Error> {
+        let mut queries_used = 0;
+        let mut min_sample = usize::MAX;
+        let value = lq.evaluate_with(|q| {
+            let e = self.estimator.estimate(db, q)?;
+            queries_used += 1;
+            min_sample = min_sample.min(e.sample_size);
+            Ok(e.fraction)
+        })?;
+        Ok(LinearAnswer {
+            value,
+            queries_used,
+            min_sample_size: if queries_used == 0 { 0 } else { min_sample },
+        })
+    }
+
+    /// Evaluates a ratio of two linear queries (e.g. a conditional mean:
+    /// `E[b·1{a≤c}] / freq(a≤c)`).
+    ///
+    /// Returns `None` when the denominator estimate is not positive — the
+    /// conditioning event looks empty at this noise level, so no
+    /// meaningful ratio exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors.
+    pub fn ratio(
+        &self,
+        db: &SketchDb,
+        numerator: &LinearQuery,
+        denominator: &LinearQuery,
+    ) -> Result<Option<f64>, Error> {
+        let num = self.linear(db, numerator)?;
+        let den = self.linear(db, denominator)?;
+        if den.value <= 0.0 {
+            return Ok(None);
+        }
+        Ok(Some(num.value / den.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{interval_required_subsets, less_equal_query};
+    use crate::mean::{mean_query, mean_required_subsets};
+    use psketch_core::{BitString, BitSubset, IntField, Sketcher, UserId};
+    use psketch_data::{DemographicsModel, FieldDistribution, Population};
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    fn setup(
+        p: f64,
+        m: usize,
+    ) -> (SketchParams, SketchDb, Population, IntField) {
+        let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(70)).unwrap();
+        let mut model = DemographicsModel::new();
+        let field = model.field("v", 6, FieldDistribution::Uniform { lo: 0, hi: 63 });
+        let mut rng = Prg::seed_from_u64(71);
+        let pop = model.generate(m, &mut rng);
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        // Publish single-bit subsets (means) and prefixes (intervals).
+        let mut subsets = mean_required_subsets(&field);
+        subsets.extend(interval_required_subsets(&field));
+        subsets.sort();
+        subsets.dedup();
+        pop.publish_all(&sketcher, &subsets, &db, &mut rng).unwrap();
+        (params, db, pop, field)
+    }
+
+    #[test]
+    fn mean_through_sketches() {
+        let (params, db, pop, field) = setup(0.25, 20_000);
+        let engine = QueryEngine::new(params);
+        let ans = engine.linear(&db, &mean_query(&field)).unwrap();
+        let truth = pop.true_mean(&field);
+        assert_eq!(ans.queries_used, 6);
+        assert_eq!(ans.min_sample_size, 20_000);
+        assert!(
+            (ans.value - truth).abs() < 1.5,
+            "mean estimate {} vs truth {truth}",
+            ans.value
+        );
+    }
+
+    #[test]
+    fn interval_through_sketches() {
+        let (params, db, pop, field) = setup(0.25, 20_000);
+        let engine = QueryEngine::new(params);
+        for c in [10u64, 31, 50] {
+            let ans = engine.linear(&db, &less_equal_query(&field, c)).unwrap();
+            let truth = pop.true_fraction_by(|p| field.read(p) <= c);
+            assert!(
+                (ans.value - truth).abs() < 0.06,
+                "c={c}: {} vs {truth}",
+                ans.value
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_passthrough() {
+        let (params, db, pop, field) = setup(0.3, 10_000);
+        let engine = QueryEngine::new(params);
+        let q = ConjunctiveQuery::new(
+            field.bit_subset(1),
+            BitString::from_bits(&[true]),
+        )
+        .unwrap();
+        let est = engine.fraction(&db, &q).unwrap();
+        let truth = pop.true_fraction(&field.bit_subset(1), &BitString::from_bits(&[true]));
+        assert!((est - truth).abs() < 0.05);
+    }
+
+    #[test]
+    fn ratio_none_on_empty_event() {
+        let (params, db, _pop, field) = setup(0.3, 5_000);
+        let engine = QueryEngine::new(params);
+        // Denominator: a constant-zero linear query.
+        let num = mean_query(&field);
+        let mut den = LinearQuery::new("empty event");
+        den.constant = 0.0;
+        assert_eq!(engine.ratio(&db, &num, &den).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_subset_propagates() {
+        let (params, db, _pop, _field) = setup(0.3, 1_000);
+        let engine = QueryEngine::new(params);
+        let q = ConjunctiveQuery::new(
+            BitSubset::new(vec![77]).unwrap(),
+            BitString::from_bits(&[true]),
+        )
+        .unwrap();
+        assert!(matches!(
+            engine.fraction(&db, &q),
+            Err(Error::UnknownSubset { .. })
+        ));
+        let _ = UserId(0); // silence unused import lint paths in some cfgs
+    }
+}

@@ -1,0 +1,185 @@
+//! §4.1 interval queries — "How many users have salary less than c?"
+//!
+//! The paper's decomposition: `x < c` iff there is a (unique) bit position
+//! `i` with `x₁…x_{i−1} = c₁…c_{i−1}` and `xᵢ < cᵢ` (so `cᵢ = 1`,
+//! `xᵢ = 0`). Hence
+//!
+//! `|{u : a_u < c}| = Σ_{i : cᵢ = 1} I(Aᵢ-prefix, c₁…c_{i−1}·0)`,
+//!
+//! one prefix-conjunction per set bit of `c` — "the number of queries we
+//! need to ask is equal to how many '1's are in the binary representation
+//! of c". (The paper writes `≤ c` but its decomposition is the strict
+//! form; `≤` adds the single equality query `I(A, c)`. Both are provided.)
+
+use crate::linear::LinearQuery;
+use psketch_core::{ConjunctiveQuery, IntField};
+
+/// Compiles `freq(a < c)` into popcount(c) prefix conjunctions.
+///
+/// # Panics
+///
+/// Panics if `c > field.max_value()`.
+#[must_use]
+pub fn less_than_query(field: &IntField, c: u64) -> LinearQuery {
+    assert!(c <= field.max_value(), "threshold exceeds field range");
+    let k = field.width();
+    let mut lq = LinearQuery::new(format!("freq(field@{} < {c})", field.offset()));
+    for i in 1..=k {
+        let ci = (c >> (k - i)) & 1;
+        if ci == 0 {
+            continue;
+        }
+        // Value: c₁ … c_{i−1} followed by 0 at position i.
+        let mut prefix = field.prefix_value(c, i);
+        prefix.set((i - 1) as usize, false);
+        let query = ConjunctiveQuery::new(field.prefix_subset(i), prefix)
+            .expect("prefix widths match by construction");
+        lq.push(1.0, query);
+    }
+    lq
+}
+
+/// Compiles `freq(a ≤ c)`: the strict decomposition plus the equality
+/// query `I(A, c)`.
+///
+/// # Panics
+///
+/// Panics if `c > field.max_value()`.
+#[must_use]
+pub fn less_equal_query(field: &IntField, c: u64) -> LinearQuery {
+    let mut lq = less_than_query(field, c);
+    lq.description = format!("freq(field@{} <= {c})", field.offset());
+    let eq = ConjunctiveQuery::new(field.subset(), field.full_value(c))
+        .expect("full widths match by construction");
+    lq.push(1.0, eq);
+    lq
+}
+
+/// Compiles `freq(lo ≤ a ≤ hi)` as `freq(a ≤ hi) − freq(a < lo)`.
+///
+/// # Panics
+///
+/// Panics unless `lo ≤ hi ≤ field.max_value()`.
+#[must_use]
+pub fn range_query(field: &IntField, lo: u64, hi: u64) -> LinearQuery {
+    assert!(lo <= hi, "empty range");
+    let mut lq = LinearQuery::new(format!("freq({lo} <= field@{} <= {hi})", field.offset()));
+    for term in less_equal_query(field, hi).terms() {
+        match &term.query {
+            Some(q) => lq.push(term.coeff, q.clone()),
+            None => lq.push_zero(term.coeff),
+        };
+    }
+    if lo > 0 {
+        for term in less_than_query(field, lo).terms() {
+            match &term.query {
+                Some(q) => lq.push(-term.coeff, q.clone()),
+                None => lq.push_zero(-term.coeff),
+            };
+        }
+    }
+    lq
+}
+
+/// The prefix subsets a population must sketch so that *every* interval
+/// query on `field` is answerable: `A₁, A₂, …, A_k` (plus the full subset,
+/// which equals `A_k`).
+#[must_use]
+pub fn interval_required_subsets(field: &IntField) -> Vec<psketch_core::BitSubset> {
+    (1..=field.width()).map(|i| field.prefix_subset(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::Profile;
+
+    fn oracle_for<'a>(values: &'a [u64], field: &'a IntField) -> impl Fn(&ConjunctiveQuery) -> f64 + 'a {
+        let width = field.end() as usize;
+        move |q: &ConjunctiveQuery| {
+            let hits = values
+                .iter()
+                .filter(|&&v| {
+                    let mut p = Profile::zeros(width);
+                    field.write(&mut p, v);
+                    p.satisfies(q.subset(), q.value())
+                })
+                .count();
+            hits as f64 / values.len() as f64
+        }
+    }
+
+    #[test]
+    fn strict_and_inclusive_match_brute_force() {
+        let field = IntField::new(0, 6);
+        let values: Vec<u64> = (0..64).collect();
+        let oracle = oracle_for(&values, &field);
+        for c in [0u64, 1, 17, 31, 32, 63] {
+            let lt = less_than_query(&field, c)
+                .evaluate_with(|q| Ok(oracle(q)))
+                .unwrap();
+            let le = less_equal_query(&field, c)
+                .evaluate_with(|q| Ok(oracle(q)))
+                .unwrap();
+            let expected_lt = values.iter().filter(|&&v| v < c).count() as f64 / 64.0;
+            let expected_le = values.iter().filter(|&&v| v <= c).count() as f64 / 64.0;
+            assert!((lt - expected_lt).abs() < 1e-12, "c={c}: lt {lt}");
+            assert!((le - expected_le).abs() < 1e-12, "c={c}: le {le}");
+        }
+    }
+
+    #[test]
+    fn skewed_population_brute_force() {
+        let field = IntField::new(2, 5);
+        let values = [0u64, 0, 3, 9, 9, 9, 30, 31];
+        let oracle = oracle_for(&values, &field);
+        for c in 0..=31u64 {
+            let got = less_equal_query(&field, c)
+                .evaluate_with(|q| Ok(oracle(q)))
+                .unwrap();
+            let expected = values.iter().filter(|&&v| v <= c).count() as f64 / 8.0;
+            assert!((got - expected).abs() < 1e-12, "c={c}");
+        }
+    }
+
+    #[test]
+    fn query_count_is_popcount() {
+        let field = IntField::new(0, 8);
+        assert_eq!(less_than_query(&field, 0b1011_0100).num_queries(), 4);
+        assert_eq!(less_than_query(&field, 0).num_queries(), 0);
+        assert_eq!(less_than_query(&field, 0xFF).num_queries(), 8);
+        // ≤ adds the equality query.
+        assert_eq!(less_equal_query(&field, 0b100).num_queries(), 2);
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let field = IntField::new(0, 5);
+        let values: Vec<u64> = (0..32).flat_map(|v| [v, v % 7]).collect();
+        let oracle = oracle_for(&values, &field);
+        for &(lo, hi) in &[(0u64, 31u64), (3, 9), (5, 5), (0, 0), (30, 31)] {
+            let got = range_query(&field, lo, hi)
+                .evaluate_with(|q| Ok(oracle(q)))
+                .unwrap();
+            let expected = values.iter().filter(|&&v| v >= lo && v <= hi).count() as f64
+                / values.len() as f64;
+            assert!((got - expected).abs() < 1e-12, "[{lo},{hi}]: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn required_subsets_are_prefixes() {
+        let field = IntField::new(4, 3);
+        let subs = interval_required_subsets(&field);
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].positions(), &[4]);
+        assert_eq!(subs[2].positions(), &[4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field range")]
+    fn threshold_out_of_range() {
+        let field = IntField::new(0, 3);
+        let _ = less_than_query(&field, 8);
+    }
+}

@@ -1,0 +1,60 @@
+//! # psketch-queries — the derived query layer (§4.1 + Appendix E)
+//!
+//! The paper's §4.1 shows that the basic conjunctive query is expressive:
+//! means, inner products, interval queries, combined constraints,
+//! conditional averages and decision trees all compile into *small*
+//! collections of conjunctive queries. This crate is that compiler plus an
+//! execution engine:
+//!
+//! * [`linear`] — the normal form: weighted sums of conjunctive
+//!   frequencies ([`LinearQuery`]);
+//! * [`conjunction`] — merging heterogeneous constraints into single
+//!   conjunctions on union subsets (the `I(A ∪ Bᵢ, …)` constructions);
+//! * [`mean`] — sums/means via bit decomposition (k single-bit queries);
+//! * [`product`] — inner products (k² two-bit queries) and mean squares;
+//! * [`interval`] — `a < c` / `a ≤ c` / ranges via popcount(c) prefix
+//!   conjunctions;
+//! * [`combined`] — `a = c ∧ b < d` and conditional sums;
+//! * [`tree`] — decision trees as sums over accepting paths;
+//! * [`bits`] — perturbed-bit tables and the unbiased product estimator
+//!   (the machinery behind Appendix E and the randomized-response
+//!   comparisons);
+//! * [`categorical`] — §3's non-binary mining: histograms, modes and
+//!   contingency cells over categorical attributes, one sketch per field;
+//! * [`sumlt`] — Appendix E's `a + b < 2^r` via XOR virtual bits, `r+1`
+//!   conjunctions instead of `2^{r+1} − 1`;
+//! * [`engine`] — evaluation of all of the above against a
+//!   [`SketchDb`](psketch_core::SketchDb).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod categorical;
+pub mod combined;
+pub mod conjunction;
+pub mod dnf;
+pub mod engine;
+pub mod interval;
+pub mod linear;
+pub mod mean;
+pub mod moment;
+pub mod product;
+pub mod sumlt;
+pub mod tree;
+
+pub use bits::PerturbedBitTable;
+pub use categorical::{CategoricalAttribute, CategoricalMiner, Histogram};
+pub use combined::{conditional_sum_query, conditional_sum_query_inclusive, eq_and_less_than};
+pub use conjunction::{merge_constraints, Constraint};
+pub use dnf::{dnf_query, dnf_required_subsets};
+pub use engine::{LinearAnswer, QueryEngine};
+pub use interval::{
+    interval_required_subsets, less_equal_query, less_than_query, range_query,
+};
+pub use linear::{LinearQuery, LinearTerm};
+pub use mean::{mean_query, mean_required_subsets};
+pub use moment::{moment_query, variance_queries};
+pub use product::{inner_product_query, mean_square_query};
+pub use sumlt::{naive_conjunction_count, sum_less_than_pow2, sum_lt_truth, SumLtEstimate};
+pub use tree::DecisionTree;

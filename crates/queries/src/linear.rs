@@ -1,0 +1,170 @@
+//! Linear combinations of conjunctive queries.
+//!
+//! Every derived query of §4.1 — sums, means, inner products, intervals,
+//! combined constraints, decision trees — reduces to a linear combination
+//! `Σ coeffⱼ · I(Bⱼ, vⱼ)/M` of conjunctive frequencies. [`LinearQuery`] is
+//! that normal form; the compilers in this crate produce it and the
+//! [`QueryEngine`](crate::engine::QueryEngine) evaluates it against a
+//! sketch database (or any other frequency oracle: ground truth, a
+//! randomized-response table, …).
+
+use psketch_core::{BitSubset, ConjunctiveQuery, Error};
+
+/// One weighted conjunctive term.
+#[derive(Debug, Clone)]
+pub struct LinearTerm {
+    /// The weight applied to the term's frequency.
+    pub coeff: f64,
+    /// The conjunctive query; `None` encodes a provably-unsatisfiable
+    /// conjunction whose frequency is exactly 0 (no query issued).
+    pub query: Option<ConjunctiveQuery>,
+}
+
+/// A linear combination of conjunctive frequencies, plus a constant.
+#[derive(Debug, Clone)]
+pub struct LinearQuery {
+    /// Human-readable description (reports/diagnostics).
+    pub description: String,
+    /// Constant offset added to the combination.
+    pub constant: f64,
+    terms: Vec<LinearTerm>,
+}
+
+impl LinearQuery {
+    /// Creates an empty query (value = `constant`).
+    #[must_use]
+    pub fn new(description: impl Into<String>) -> Self {
+        Self {
+            description: description.into(),
+            constant: 0.0,
+            terms: Vec::new(),
+        }
+    }
+
+    /// Appends a weighted conjunctive term.
+    pub fn push(&mut self, coeff: f64, query: ConjunctiveQuery) -> &mut Self {
+        self.terms.push(LinearTerm {
+            coeff,
+            query: Some(query),
+        });
+        self
+    }
+
+    /// Appends a term known to have zero frequency (unsatisfiable
+    /// conjunction): recorded for accounting but never evaluated.
+    pub fn push_zero(&mut self, coeff: f64) -> &mut Self {
+        self.terms.push(LinearTerm { coeff, query: None });
+        self
+    }
+
+    /// The terms.
+    #[must_use]
+    pub fn terms(&self) -> &[LinearTerm] {
+        &self.terms
+    }
+
+    /// Number of conjunctive queries that must actually be evaluated —
+    /// the paper's query-count accounting (e.g. "the number of queries we
+    /// need to ask is equal to how many '1's are in the binary
+    /// representation of c").
+    #[must_use]
+    pub fn num_queries(&self) -> usize {
+        self.terms.iter().filter(|t| t.query.is_some()).count()
+    }
+
+    /// Every distinct subset the query touches — the set of subsets users
+    /// must have sketched for the sketch-based evaluation to work.
+    #[must_use]
+    pub fn required_subsets(&self) -> Vec<BitSubset> {
+        let mut subsets: Vec<BitSubset> = self
+            .terms
+            .iter()
+            .filter_map(|t| t.query.as_ref().map(|q| q.subset().clone()))
+            .collect();
+        subsets.sort();
+        subsets.dedup();
+        subsets
+    }
+
+    /// Evaluates the combination against an arbitrary frequency oracle.
+    ///
+    /// The oracle maps a conjunctive query to an estimated (or exact)
+    /// frequency in `[0, 1]`-ish scale; this method handles weighting,
+    /// zero terms and the constant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle errors.
+    pub fn evaluate_with<F>(&self, mut oracle: F) -> Result<f64, Error>
+    where
+        F: FnMut(&ConjunctiveQuery) -> Result<f64, Error>,
+    {
+        let mut total = self.constant;
+        for term in &self.terms {
+            if let Some(query) = &term.query {
+                total += term.coeff * oracle(query)?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::BitString;
+
+    fn query(positions: &[u32], bits: &[bool]) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            BitSubset::new(positions.to_vec()).unwrap(),
+            BitString::from_bits(bits),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluates_weighted_sum() {
+        let mut lq = LinearQuery::new("test");
+        lq.constant = 1.0;
+        lq.push(2.0, query(&[0], &[true]));
+        lq.push(-1.0, query(&[1], &[false]));
+        lq.push_zero(100.0);
+        // Oracle: frequency 0.5 for everything.
+        let v = lq.evaluate_with(|_| Ok(0.5)).unwrap();
+        assert!((v - (1.0 + 1.0 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_terms_are_not_queried() {
+        let mut lq = LinearQuery::new("test");
+        lq.push_zero(5.0);
+        lq.push(1.0, query(&[0], &[true]));
+        let mut calls = 0;
+        let _ = lq
+            .evaluate_with(|_| {
+                calls += 1;
+                Ok(0.0)
+            })
+            .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(lq.num_queries(), 1);
+        assert_eq!(lq.terms().len(), 2);
+    }
+
+    #[test]
+    fn required_subsets_dedupes() {
+        let mut lq = LinearQuery::new("test");
+        lq.push(1.0, query(&[0, 1], &[true, true]));
+        lq.push(1.0, query(&[0, 1], &[true, false]));
+        lq.push(1.0, query(&[2], &[true]));
+        assert_eq!(lq.required_subsets().len(), 2);
+    }
+
+    #[test]
+    fn oracle_errors_propagate() {
+        let mut lq = LinearQuery::new("test");
+        lq.push(1.0, query(&[0], &[true]));
+        let r = lq.evaluate_with(|_| Err(Error::EmptyDatabase));
+        assert!(matches!(r, Err(Error::EmptyDatabase)));
+    }
+}
