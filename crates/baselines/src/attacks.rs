@@ -120,8 +120,7 @@ mod tests {
         // Bob knows Alice's value is one of 100 possibilities (§3).
         let publisher = HashPublisher::new(&GlobalKey::from_seed(9));
         let subset = BitSubset::range(0, 7);
-        let candidates: Vec<BitString> =
-            (0..100u64).map(|v| BitString::from_u64(v, 7)).collect();
+        let candidates: Vec<BitString> = (0..100u64).map(|v| BitString::from_u64(v, 7)).collect();
         let secret = BitString::from_u64(42, 7);
         let mut profile = Profile::zeros(7);
         for (i, b) in secret.iter().enumerate() {

@@ -59,12 +59,7 @@ impl HashPublisher {
     /// Exact query answering: the fraction of published hashes equal to
     /// the hash of `v` — noiseless, unlike every private scheme.
     #[must_use]
-    pub fn query(
-        &self,
-        published: &[(UserId, u64)],
-        subset: &BitSubset,
-        value: &BitString,
-    ) -> f64 {
+    pub fn query(&self, published: &[(UserId, u64)], subset: &BitSubset, value: &BitString) -> f64 {
         if published.is_empty() {
             return 0.0;
         }
@@ -92,7 +87,10 @@ mod tests {
             .collect();
         let v = BitString::from_bits(&[true, true, false, true]);
         let frac = publisher.query(&published, &subset, &v);
-        assert!((frac - 0.25).abs() < 1e-12, "hash queries are exact: {frac}");
+        assert!(
+            (frac - 0.25).abs() < 1e-12,
+            "hash queries are exact: {frac}"
+        );
     }
 
     #[test]

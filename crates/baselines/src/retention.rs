@@ -164,9 +164,7 @@ mod tests {
         let mut rng = Prg::seed_from_u64(102);
         let m = 60_000;
         // True values uniform on {0..7}: P[v ≤ 3] = 0.5.
-        let observed = (0..m)
-            .filter(|&i| ch.perturb(i % 8, &mut rng) <= 3)
-            .count();
+        let observed = (0..m).filter(|&i| ch.perturb(i % 8, &mut rng) <= 3).count();
         let est = ch.estimate_interval(observed as f64 / m as f64, 3);
         assert!((est - 0.5).abs() < 0.02, "interval estimate {est}");
     }

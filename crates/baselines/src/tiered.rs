@@ -139,14 +139,10 @@ mod tests {
         let profiles: Vec<Profile> = (0..m)
             .map(|i| Profile::from_bits(&[i % 4 == 0, i % 2 == 0]))
             .collect();
-        let truth = profiles
-            .iter()
-            .filter(|p| p.get(0) && p.get(1))
-            .count() as f64;
+        let truth = profiles.iter().filter(|p| p.get(0) && p.get(1)).count() as f64;
         let mut rng = Prg::seed_from_u64(92);
         let server =
-            TieredServer::new(profiles, params, std::slice::from_ref(&subset), &mut rng)
-                .unwrap();
+            TieredServer::new(profiles, params, std::slice::from_ref(&subset), &mut rng).unwrap();
         (server, subset, truth, rng)
     }
 

@@ -41,5 +41,10 @@ fn bench_recovery(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_transition_matrix, bench_lu_solve, bench_recovery);
+criterion_group!(
+    benches,
+    bench_transition_matrix,
+    bench_lu_solve,
+    bench_recovery
+);
 criterion_main!(benches);

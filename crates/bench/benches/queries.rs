@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use psketch_core::{
-    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb,
-    SketchParams, Sketcher, UserId,
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb, SketchParams,
+    Sketcher, UserId,
 };
 use psketch_data::{DemographicsModel, FieldDistribution};
 use psketch_prf::{GlobalKey, Prg};
@@ -19,7 +19,9 @@ fn build_db(m: u64, k: usize) -> (SketchParams, SketchDb, BitSubset) {
     let mut rng = Prg::seed_from_u64(8);
     for i in 0..m {
         let profile = Profile::from_bits(&vec![i % 3 == 0; k]);
-        let s = sketcher.sketch(UserId(i), &profile, &subset, &mut rng).unwrap();
+        let s = sketcher
+            .sketch(UserId(i), &profile, &subset, &mut rng)
+            .unwrap();
         db.insert(subset.clone(), UserId(i), s);
     }
     (params, db, subset)
@@ -32,8 +34,7 @@ fn bench_conjunctive_estimate(c: &mut Criterion) {
     for k in [2usize, 16] {
         let (params, db, subset) = build_db(m, k);
         let estimator = ConjunctiveEstimator::new(params);
-        let query =
-            ConjunctiveQuery::new(subset, BitString::from_bits(&vec![true; k])).unwrap();
+        let query = ConjunctiveQuery::new(subset, BitString::from_bits(&vec![true; k])).unwrap();
         group.bench_function(format!("10k_users_width_{k}"), |b| {
             b.iter(|| estimator.estimate(black_box(&db), &query).unwrap())
         });

@@ -40,7 +40,9 @@ fn bench_population_publish(c: &mut Criterion) {
             let db = psketch_core::SketchDb::new();
             for i in 0..m {
                 let profile = Profile::from_bits(&[i % 2 == 0; 8]);
-                let s = sketcher.sketch(UserId(i), &profile, &subset, &mut rng).unwrap();
+                let s = sketcher
+                    .sketch(UserId(i), &profile, &subset, &mut rng)
+                    .unwrap();
                 db.insert(subset.clone(), UserId(i), s);
             }
             db

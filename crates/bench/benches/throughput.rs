@@ -1,0 +1,97 @@
+//! Criterion: scalar vs batched Algorithm 2 over a million-sketch shard.
+//!
+//! The acceptance bar for the columnar/batched read path: at 1M records
+//! the batched scan must beat the pre-refactor scalar path (per-record
+//! encoder allocation + re-encoding) by ≥ 5x.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb, SketchParams,
+    Sketcher, UserId,
+};
+use psketch_prf::{GlobalKey, Prg};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const M: u64 = 1_000_000;
+const WIDTH: usize = 8;
+
+fn build_db(m: u64, k: usize) -> (SketchParams, SketchDb, BitSubset) {
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(20)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::range(0, k as u32);
+    let db = SketchDb::new();
+    let mut rng = Prg::seed_from_u64(21);
+    for i in 0..m {
+        let profile = Profile::from_bits(&vec![i % 3 == 0; k]);
+        let s = sketcher
+            .sketch(UserId(i), &profile, &subset, &mut rng)
+            .unwrap();
+        db.insert(subset.clone(), UserId(i), s);
+    }
+    (params, db, subset)
+}
+
+fn bench_scalar_vs_batched(c: &mut Criterion) {
+    let (params, db, subset) = build_db(M, WIDTH);
+    let estimator = ConjunctiveEstimator::new(params);
+    let query = ConjunctiveQuery::new(subset, BitString::from_bits(&[true; WIDTH])).unwrap();
+    // Publish the snapshot once so neither path pays it in the loop.
+    let warm = estimator.estimate(&db, &query).unwrap();
+    assert_eq!(
+        warm.raw.to_bits(),
+        estimator
+            .estimate_scalar(&db, &query)
+            .unwrap()
+            .raw
+            .to_bits(),
+        "scalar and batched paths must agree before timing them"
+    );
+
+    let mut group = c.benchmark_group("algorithm2_1M_width8");
+    group.throughput(Throughput::Elements(M));
+    group.bench_function("scalar", |b| {
+        b.iter(|| estimator.estimate_scalar(black_box(&db), &query).unwrap())
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| estimator.estimate(black_box(&db), &query).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_distribution_one_pass(c: &mut Criterion) {
+    let m = 100_000;
+    let k = 4usize;
+    let (params, db, subset) = build_db(m, k);
+    let estimator = ConjunctiveEstimator::new(params);
+    let _ = estimator.estimate_distribution(&db, &subset).unwrap();
+
+    let mut group = c.benchmark_group("distribution_100k_width4");
+    group.throughput(Throughput::Elements(m));
+    group.bench_function("one_pass", |b| {
+        b.iter(|| {
+            estimator
+                .estimate_distribution(black_box(&db), &subset)
+                .unwrap()
+        })
+    });
+    group.bench_function("per_value_scalar", |b| {
+        b.iter(|| {
+            (0..1u64 << k)
+                .map(|value| {
+                    let q = ConjunctiveQuery::new(subset.clone(), BitString::from_u64(value, k))
+                        .unwrap();
+                    estimator.estimate_scalar(black_box(&db), &q).unwrap().raw
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_vs_batched,
+    bench_distribution_one_pass
+);
+criterion_main!(benches);

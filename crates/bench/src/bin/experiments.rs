@@ -19,7 +19,11 @@ fn main() -> ExitCode {
         .filter(|a| !a.starts_with("--"))
         .map(|a| a.to_lowercase())
         .collect();
-    let cfg = if quick { Config::quick() } else { Config::full() };
+    let cfg = if quick {
+        Config::quick()
+    } else {
+        Config::full()
+    };
 
     let reg = registry();
     if ids.iter().any(|id| id == "list") {
@@ -55,7 +59,11 @@ fn main() -> ExitCode {
         for table in runner(&cfg) {
             table.print();
         }
-        println!("[{} finished in {:.2?}]", id.to_uppercase(), start.elapsed());
+        println!(
+            "[{} finished in {:.2?}]",
+            id.to_uppercase(),
+            start.elapsed()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -49,7 +49,9 @@ fn required_length_table() -> Table {
             ]);
         }
     }
-    t.note("paper: 'if p > 1/4, then a 10 bit sketch is sufficient for any foreseeable practical use'");
+    t.note(
+        "paper: 'if p > 1/4, then a 10 bit sketch is sufficient for any foreseeable practical use'",
+    );
     t.note("M*bound(l) <= tau everywhere; M*bound(l-1) > tau shows minimality");
     t
 }

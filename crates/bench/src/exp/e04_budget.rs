@@ -67,8 +67,14 @@ mod tests {
             let eps: f64 = row[0].parse().unwrap();
             let at_paper: f64 = row[3].parse().unwrap();
             let at_exact: f64 = row[5].parse().unwrap();
-            assert!(at_exact <= eps * 1.001, "exact p overspends: {at_exact} > {eps}");
-            assert!(at_paper >= at_exact - 1e-9, "paper p should spend at least as much");
+            assert!(
+                at_exact <= eps * 1.001,
+                "exact p overspends: {at_exact} > {eps}"
+            );
+            assert!(
+                at_paper >= at_exact - 1e-9,
+                "paper p should spend at least as much"
+            );
         }
     }
 }

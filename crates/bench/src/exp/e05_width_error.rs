@@ -31,19 +31,20 @@ fn one_rep(cfg: &Config, m: usize, k: usize, rep: u64) -> (f64, f64, f64) {
     let (db, _failures) = publish(&pop, &sketcher, std::slice::from_ref(&gen.subset), &mut rng);
     let estimator = ConjunctiveEstimator::new(params);
     let query = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).expect("widths");
-    let sketch_est = estimator.estimate(&db, &query).expect("populated db").fraction;
+    let sketch_est = estimator
+        .estimate(&db, &query)
+        .expect("populated db")
+        .fraction;
 
     // Randomized-response path (same population, same flip probability).
     let profiles: Vec<_> = (0..pop.len()).map(|i| pop.profile(i).clone()).collect();
     let rr = randomize_profiles(P, profiles, &mut rng).expect("valid RR database");
-    let product_est = rr.product_estimate(&gen.subset, &gen.value).expect("widths");
+    let product_est = rr
+        .product_estimate(&gen.subset, &gen.value)
+        .expect("widths");
     let matrix_est = rr.matrix_estimate(&gen.subset, &gen.value).expect("widths");
 
-    (
-        sketch_est - truth,
-        product_est - truth,
-        matrix_est - truth,
-    )
+    (sketch_est - truth, product_est - truth, matrix_est - truth)
 }
 
 /// RMS errors over repetitions, parallelized across reps.
@@ -52,7 +53,10 @@ fn rms_errors(cfg: &Config, m: usize, k: usize, reps: u64) -> (f64, f64, f64) {
         let handles: Vec<_> = (0..reps)
             .map(|rep| scope.spawn(move || one_rep(cfg, m, k, rep)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rep panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rep panicked"))
+            .collect()
     });
     let col = |i: usize| {
         rms(&results
@@ -76,7 +80,14 @@ pub fn run(cfg: &Config) -> Vec<Table> {
 fn width_table(cfg: &Config) -> Table {
     let mut t = Table::new(
         "E5a — RMS error vs conjunction width k (fixed M, p = 0.3, truth = 0.5)",
-        &["k", "M", "sketch", "RR product", "RR matrix", "RR var. inflation"],
+        &[
+            "k",
+            "M",
+            "sketch",
+            "RR product",
+            "RR matrix",
+            "RR var. inflation",
+        ],
     );
     let m = cfg.m(20_000);
     let reps = cfg.reps(12);

@@ -16,7 +16,14 @@ const EXP: u64 = 7;
 pub fn run(cfg: &Config) -> Vec<Table> {
     let mut t = Table::new(
         "E7 — Algorithm 1 iterations: measured vs theory",
-        &["p", "mean measured", "theory (1-p)/p", "p99", "max", "worst-case bound"],
+        &[
+            "p",
+            "mean measured",
+            "theory (1-p)/p",
+            "p99",
+            "max",
+            "worst-case bound",
+        ],
     );
     let trials = cfg.m(50_000) as u64;
     let subset = BitSubset::single(0);

@@ -20,7 +20,14 @@ const P: f64 = 0.1;
 pub fn run(cfg: &Config) -> Vec<Table> {
     let mut t = Table::new(
         "E11 — Appendix E: freq(a + b < 2^r) via XOR virtual bits (k = 6, p = 0.1)",
-        &["r", "queries used", "naive queries", "truth", "estimate", "|err|"],
+        &[
+            "r",
+            "queries used",
+            "naive queries",
+            "truth",
+            "estimate",
+            "|err|",
+        ],
     );
     let m = cfg.m(60_000);
     let mut model = DemographicsModel::new();
@@ -32,10 +39,8 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     let sketcher = Sketcher::new(params);
 
     // Publish single-bit sketches for every bit of both fields.
-    let columns: Vec<(BitSubset, BitString)> = bit_columns(&a)
-        .into_iter()
-        .chain(bit_columns(&b))
-        .collect();
+    let columns: Vec<(BitSubset, BitString)> =
+        bit_columns(&a).into_iter().chain(bit_columns(&b)).collect();
     let subsets: Vec<BitSubset> = columns.iter().map(|(s, _)| s.clone()).collect();
     let (db, _) = publish(&pop, &sketcher, &subsets, &mut rng);
     let table =

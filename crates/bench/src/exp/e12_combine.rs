@@ -60,9 +60,7 @@ fn accuracy_table(cfg: &Config) -> Table {
         let pop = planted_population(m, q, &mut rng);
         let params = cfg.params(P, 10, EXP);
         let sketcher = Sketcher::new(params);
-        let subsets: Vec<BitSubset> = (0..q)
-            .map(|j| BitSubset::range(2 * j as u32, 2))
-            .collect();
+        let subsets: Vec<BitSubset> = (0..q).map(|j| BitSubset::range(2 * j as u32, 2)).collect();
         let (db, _) = publish(&pop, &sketcher, &subsets, &mut rng);
         let estimator = CombinedEstimator::new(params);
         let components: Vec<ConjunctiveQuery> = subsets
@@ -88,7 +86,13 @@ fn accuracy_table(cfg: &Config) -> Table {
 fn conditioning_table() -> Table {
     let mut t = Table::new(
         "E12b — condition number κ₁(V) of the Appendix F recovery matrix",
-        &["k", "p=0.25", "p=0.35", "p=0.45", "growth @0.45 (κ(k)/κ(k-2))"],
+        &[
+            "k",
+            "p=0.25",
+            "p=0.35",
+            "p=0.45",
+            "growth @0.45 (κ(k)/κ(k-2))",
+        ],
     );
     let mut prev_45 = None;
     for &k in &[2usize, 4, 6, 8, 10, 12] {

@@ -33,8 +33,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     let budget = SulqServer::default_budget(noise_std, m);
     let profiles: Vec<_> = (0..pop.len()).map(|i| pop.profile(i).clone()).collect();
     let mut server = SulqServer::new(profiles, noise_std, budget).expect("non-empty");
-    let truth_count =
-        pop.true_fraction(&gen.subset, &gen.value) * m as f64;
+    let truth_count = pop.true_fraction(&gen.subset, &gen.value) * m as f64;
     let mut sulq_errs = Vec::new();
     let mut refused = 0u64;
     for _ in 0..query_stream {
@@ -113,23 +112,24 @@ fn tiered_table(cfg: &Config) -> Table {
     .expect("non-empty population");
     let truth = pop.true_fraction(&gen.subset, &gen.value) * m as f64;
     let budget = server.paid_remaining();
-    let mut record_phase = |label: &str, n: u64, server: &mut TieredServer, rng: &mut psketch_prf::Prg| {
-        let mut errs = Vec::new();
-        let mut tier = Tier::Paid;
-        for _ in 0..n {
-            let ans = server
-                .answer_count(&gen.subset, &gen.value, rng)
-                .expect("sketched subset");
-            errs.push(ans.count - truth);
-            tier = ans.tier;
-        }
-        t.row(vec![
-            label.to_string(),
-            n.to_string(),
-            format!("{tier:?}"),
-            f(crate::report::rms(&errs), 1),
-        ]);
-    };
+    let mut record_phase =
+        |label: &str, n: u64, server: &mut TieredServer, rng: &mut psketch_prf::Prg| {
+            let mut errs = Vec::new();
+            let mut tier = Tier::Paid;
+            for _ in 0..n {
+                let ans = server
+                    .answer_count(&gen.subset, &gen.value, rng)
+                    .expect("sketched subset");
+                errs.push(ans.count - truth);
+                tier = ans.tier;
+            }
+            t.row(vec![
+                label.to_string(),
+                n.to_string(),
+                format!("{tier:?}"),
+                f(crate::report::rms(&errs), 1),
+            ]);
+        };
     record_phase("within budget", budget, &mut server, &mut rng);
     record_phase("after budget", (m / 2) as u64, &mut server, &mut rng);
     t.note("one server, two tiers: noise stays O(sqrt(M)) across the hand-off, availability never ends");

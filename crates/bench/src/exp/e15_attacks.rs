@@ -35,10 +35,8 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             profile.set(j, b);
         }
         let published = publisher.publish(UserId(i), &subset, &profile);
-        let candidates: Vec<BitString> =
-            (0..100u64).map(|v| BitString::from_u64(v, 7)).collect();
-        let recovered =
-            dictionary_attack(&publisher, UserId(i), &subset, published, &candidates);
+        let candidates: Vec<BitString> = (0..100u64).map(|v| BitString::from_u64(v, 7)).collect();
+        let recovered = dictionary_attack(&publisher, UserId(i), &subset, published, &candidates);
         if recovered == vec![secret] {
             exact_hits += 1;
         }

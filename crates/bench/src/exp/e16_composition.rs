@@ -7,8 +7,7 @@
 use crate::common::Config;
 use crate::report::{f, Table};
 use psketch_core::composition::{
-    epsilon_advanced, epsilon_basic, max_sketches_advanced, max_sketches_basic,
-    per_sketch_epsilon,
+    epsilon_advanced, epsilon_basic, max_sketches_advanced, max_sketches_basic, per_sketch_epsilon,
 };
 
 /// Runs E16.
@@ -35,7 +34,9 @@ pub fn run(_cfg: &Config) -> Vec<Table> {
         ]);
     }
     t.note("paper §5: 'quadratically more sketches while giving essentially same privacy'");
-    t.note("gain ~ eps/(2 eps0 ln(1/δ)): each 10x smaller eps0 gives 10x more gain (quadratic law)");
+    t.note(
+        "gain ~ eps/(2 eps0 ln(1/δ)): each 10x smaller eps0 gives 10x more gain (quadratic law)",
+    );
     t.note("advanced pays a sqrt(2 ln 1/δ) entry fee, so it loses when eps0 is not tiny");
 
     let mut t2 = Table::new(

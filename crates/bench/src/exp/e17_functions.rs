@@ -32,9 +32,8 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     let estimator = FunctionEstimator::new(params);
 
     // f1: risk bucket = min(#risk factors among {hiv, inhaled, smoker}, 3).
-    let bucket = |p: &Profile| {
-        (u64::from(p.get(0)) + u64::from(p.get(2)) + u64::from(p.get(3))).min(3)
-    };
+    let bucket =
+        |p: &Profile| (u64::from(p.get(0)) + u64::from(p.get(2)) + u64::from(p.get(3))).min(3);
     // f2: "any health flag" threshold predicate.
     let any_flag = |p: &Profile| u64::from(p.get(0) || p.get(1));
     // f3: parity of the whole profile (a maximally non-conjunctive f).

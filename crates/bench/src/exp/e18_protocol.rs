@@ -57,7 +57,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             continue;
         }
         truth[level as usize] += 1;
-        let submission = agent.participate(&announcement, &mut rng).expect("in budget");
+        let submission = agent
+            .participate(&announcement, &mut rng)
+            .expect("in budget");
         coordinator.accept(&submission).expect("well-formed");
     }
 
@@ -74,15 +76,23 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         "eps per participant".into(),
         f(announcement.epsilon_cost(), 3),
     ]);
-    t.row(vec!["participants".into(), coordinator.participants().to_string()]);
+    t.row(vec![
+        "participants".into(),
+        coordinator.participants().to_string(),
+    ]);
     t.row(vec!["budget refusals".into(), refusals.to_string()]);
-    t.row(vec!["rejected submissions".into(), coordinator.rejected().to_string()]);
+    t.row(vec![
+        "rejected submissions".into(),
+        coordinator.rejected().to_string(),
+    ]);
     t.note("refusals are user-side: agents enforce Corollary 3.4 themselves");
 
     // The analyst mines the categorical histogram from the pool.
     let params = announcement.validate().expect("validated at build");
     let miner = CategoricalMiner::new(params);
-    let hist = miner.histogram(coordinator.pool(), &attr).expect("pool populated");
+    let hist = miner
+        .histogram(coordinator.pool(), &attr)
+        .expect("pool populated");
     let n_participants: u64 = truth.iter().sum();
     let mut t2 = Table::new(
         "E18b — categorical histogram mined from the public pool (6 levels)",
@@ -120,11 +130,7 @@ mod tests {
         // Refusals happened (the 10% low-budget cohort) and nothing bogus
         // got in.
         let metric = |name: &str| -> f64 {
-            tables[0]
-                .rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[1]
+            tables[0].rows.iter().find(|r| r[0] == name).unwrap()[1]
                 .parse()
                 .unwrap()
         };

@@ -39,10 +39,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
                 let truth = pop.true_fraction(&gen.subset, &gen.value);
                 let params = cfg.params(p, 12, EXP ^ rep);
                 let sketcher = Sketcher::new(params);
-                let (db, _) =
-                    publish(&pop, &sketcher, std::slice::from_ref(&gen.subset), &mut rng);
-                let q = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone())
-                    .expect("widths");
+                let (db, _) = publish(&pop, &sketcher, std::slice::from_ref(&gen.subset), &mut rng);
+                let q =
+                    ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).expect("widths");
                 ConjunctiveEstimator::new(params)
                     .estimate(&db, &q)
                     .expect("published")
@@ -76,7 +75,10 @@ mod tests {
         let bound: Vec<f64> = rows.iter().map(|r| r[4].parse().unwrap()).collect();
         // Privacy cost decreases with p; the theoretical error bound
         // increases with p.
-        assert!(eps.windows(2).all(|w| w[1] < w[0]), "eps not decreasing: {eps:?}");
+        assert!(
+            eps.windows(2).all(|w| w[1] < w[0]),
+            "eps not decreasing: {eps:?}"
+        );
         assert!(
             bound.windows(2).all(|w| w[1] > w[0]),
             "bound not increasing: {bound:?}"

@@ -1,0 +1,148 @@
+//! E20 — analyst read-path throughput: scalar vs batched Algorithm 2.
+//!
+//! The paper's mechanism is built for population scale, so the analyst
+//! pipeline must sustain shard scans over millions of sketches. This
+//! experiment measures queries/second of the pre-refactor scalar path
+//! (one input encoding and allocation per record) against the columnar
+//! batched pipeline (snapshot + template splicing + batch PRF), plus the
+//! one-pass distribution scan against 2^k independent scans.
+//!
+//! Besides the printed table it emits `BENCH_throughput.json` in the
+//! working directory so the numbers accumulate a performance trajectory
+//! across revisions.
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb, Sketcher,
+    UserId,
+};
+use std::time::Instant;
+
+const EXP: u64 = 20;
+
+/// Repetitions for one timing sample (the shard scan is measured
+/// `reps` times and the best rate is reported, minimizing scheduler
+/// noise).
+fn best_rate(reps: u64, records: usize, mut scan: impl FnMut()) -> f64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            scan();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Runs E20.
+///
+/// # Panics
+///
+/// Panics if `BENCH_throughput.json` cannot be written.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let m = cfg.m(1_000_000);
+    let k = 8usize;
+    let params = cfg.params(0.3, 10, EXP);
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::range(0, k as u32);
+    let db = SketchDb::new();
+    let mut rng = cfg.rng(EXP, 0);
+    for i in 0..m as u64 {
+        let profile = Profile::from_bits(&vec![i % 3 == 0; k]);
+        let sketch = sketcher
+            .sketch(UserId(i), &profile, &subset, &mut rng)
+            .expect("sketching at ell=10 cannot exhaust");
+        db.insert(subset.clone(), UserId(i), sketch);
+    }
+
+    let estimator = ConjunctiveEstimator::new(params);
+    let query = ConjunctiveQuery::new(subset.clone(), BitString::from_bits(&vec![true; k]))
+        .expect("widths match");
+    // Publish the snapshot once so neither contender pays it.
+    let warm = estimator.estimate(&db, &query).expect("database populated");
+    let reps = cfg.reps(5);
+
+    let scalar_rate = best_rate(reps, m, || {
+        let e = estimator.estimate_scalar(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), warm.raw.to_bits(), "scalar diverged");
+    });
+    let batched_rate = best_rate(reps, m, || {
+        let e = estimator.estimate(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), warm.raw.to_bits(), "batched diverged");
+    });
+
+    // Distribution scan over a narrower subset (2^4 values), one-pass vs
+    // 2^k scalar scans.
+    let dist_subset = BitSubset::range(0, 4);
+    let dist_m = cfg.m(200_000);
+    let dist_db = SketchDb::new();
+    for i in 0..dist_m as u64 {
+        let profile = Profile::from_bits(&[i % 5 == 0; 4]);
+        let sketch = sketcher
+            .sketch(UserId(i), &profile, &dist_subset, &mut rng)
+            .expect("sketching at ell=10 cannot exhaust");
+        dist_db.insert(dist_subset.clone(), UserId(i), sketch);
+    }
+    let _ = estimator
+        .estimate_distribution(&dist_db, &dist_subset)
+        .expect("populated");
+    let one_pass_rate = best_rate(reps, dist_m, || {
+        let _ = estimator
+            .estimate_distribution(&dist_db, &dist_subset)
+            .expect("populated");
+    });
+    let per_value_rate = best_rate(reps, dist_m, || {
+        for value in 0..16u64 {
+            let q = ConjunctiveQuery::new(dist_subset.clone(), BitString::from_u64(value, 4))
+                .expect("widths match");
+            let _ = estimator.estimate_scalar(&dist_db, &q).expect("populated");
+        }
+    });
+
+    let speedup = batched_rate / scalar_rate;
+    let mut t = Table::new(
+        format!("E20 — Algorithm 2 throughput at M = {m} (k = {k}, p = 0.3)"),
+        &["path", "records/s", "queries/s (1 conj.)", "speedup"],
+    );
+    t.row(vec![
+        "scalar (per-record encode)".into(),
+        f(scalar_rate, 0),
+        f(scalar_rate / m as f64, 2),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "batched (columnar + template)".into(),
+        f(batched_rate, 0),
+        f(batched_rate / m as f64, 2),
+        format!("{speedup:.2}x"),
+    ]);
+    t.note(format!(
+        "full 2^4-value distribution at M = {dist_m}: one-pass {} records/s \
+         vs 16 per-value scans {} records/s ({:.2}x)",
+        f(one_pass_rate, 0),
+        f(per_value_rate, 0),
+        one_pass_rate / per_value_rate,
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e20_throughput\",\n  \"records\": {m},\n  \"width\": {k},\n  \"p\": 0.3,\n  \
+         \"scalar_records_per_sec\": {scalar_rate:.1},\n  \"batched_records_per_sec\": {batched_rate:.1},\n  \
+         \"batched_speedup\": {speedup:.3},\n  \"scalar_queries_per_sec\": {:.3},\n  \
+         \"batched_queries_per_sec\": {:.3},\n  \"distribution_records\": {dist_m},\n  \
+         \"distribution_one_pass_records_per_sec\": {one_pass_rate:.1},\n  \
+         \"distribution_per_value_records_per_sec\": {per_value_rate:.1}\n}}\n",
+        scalar_rate / m as f64,
+        batched_rate / m as f64,
+    );
+    if cfg.quick {
+        // Quick mode runs tiny populations; don't clobber the committed
+        // full-scale trajectory numbers.
+        t.note("quick mode: BENCH_throughput.json not written");
+    } else {
+        std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+        t.note("wrote BENCH_throughput.json");
+    }
+
+    vec![t]
+}

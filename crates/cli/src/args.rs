@@ -40,11 +40,7 @@ impl Args {
                 let value = it
                     .next()
                     .ok_or_else(|| CliError(format!("--{name} requires a value")))?;
-                if args
-                    .flags
-                    .insert(name.to_string(), value.clone())
-                    .is_some()
-                {
+                if args.flags.insert(name.to_string(), value.clone()).is_some() {
                     return Err(CliError(format!("--{name} given twice")));
                 }
             } else {

@@ -20,12 +20,9 @@ mod args;
 use args::{Args, CliError};
 use psketch_core::codec::bundle_size_bytes;
 use psketch_core::composition::{epsilon_advanced, max_sketches_advanced, max_sketches_basic};
-use psketch_core::theory::{
-    epsilon_for, min_sketch_bits, privacy_ratio_bound, query_error_bound,
-};
+use psketch_core::theory::{epsilon_for, min_sketch_bits, privacy_ratio_bound, query_error_bound};
 use psketch_core::{
-    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, SketchDb, SketchParams,
-    Sketcher,
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, SketchDb, SketchParams, Sketcher,
 };
 use psketch_data::SurveyModel;
 use psketch_prf::{GlobalKey, Prg};
@@ -160,8 +157,8 @@ fn demo(args: &Args) -> Result<(), CliError> {
         .publish(&sketcher, &subset, &db, &mut rng)
         .map_err(|e| CliError(e.to_string()))?;
     let value = BitString::from_bits(&[true, false]);
-    let query =
-        ConjunctiveQuery::new(subset.clone(), value.clone()).map_err(|e| CliError(e.to_string()))?;
+    let query = ConjunctiveQuery::new(subset.clone(), value.clone())
+        .map_err(|e| CliError(e.to_string()))?;
     let est = ConjunctiveEstimator::new(params)
         .estimate(&db, &query)
         .map_err(|e| CliError(e.to_string()))?;
@@ -178,7 +175,10 @@ fn frontier(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["users"])?;
     let users: u64 = args.get_or("users", 20_000)?;
     println!("privacy-utility frontier at M = {users} (bounds; E19 measures it)");
-    println!("{:>6} {:>16} {:>18}", "p", "eps per sketch", "error bound (95%)");
+    println!(
+        "{:>6} {:>16} {:>18}",
+        "p", "eps per sketch", "error bound (95%)"
+    );
     for &p in &[0.05f64, 0.15, 0.25, 0.35, 0.45, 0.49] {
         println!(
             "{p:>6.2} {:>16.3} {:>18.4}",

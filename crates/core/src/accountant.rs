@@ -158,7 +158,8 @@ mod tests {
         for &(eps, l) in &[(0.1f64, 4u32), (0.5, 10), (0.2, 1), (2.0, 32)] {
             let mut a = PrivacyAccountant::plan(eps, l);
             // Exact planning guarantees the full planned count fits.
-            a.charge(l).unwrap_or_else(|e| panic!("plan(ε={eps}, l={l}) under-delivered: {e}"));
+            a.charge(l)
+                .unwrap_or_else(|e| panic!("plan(ε={eps}, l={l}) under-delivered: {e}"));
             // ... and lands exactly on the budget (up to rounding).
             assert!(
                 (a.spent_epsilon() - eps).abs() < 1e-9,

@@ -55,7 +55,10 @@ pub fn min_posterior(prior: f64, gamma: f64) -> f64 {
 /// Panics unless `0 < ρ₁ ≤ ρ₂ < 1`.
 #[must_use]
 pub fn breach_possible(gamma: f64, rho1: f64, rho2: f64) -> bool {
-    assert!(rho1 > 0.0 && rho1 <= rho2 && rho2 < 1.0, "need 0 < rho1 <= rho2 < 1");
+    assert!(
+        rho1 > 0.0 && rho1 <= rho2 && rho2 < 1.0,
+        "need 0 < rho1 <= rho2 < 1"
+    );
     max_posterior(rho1, gamma) >= rho2
 }
 
@@ -70,7 +73,10 @@ pub fn breach_possible(gamma: f64, rho1: f64, rho2: f64) -> bool {
 /// As [`breach_possible`].
 #[must_use]
 pub fn max_epsilon_preventing_breach(rho1: f64, rho2: f64) -> f64 {
-    assert!(rho1 > 0.0 && rho1 <= rho2 && rho2 < 1.0, "need 0 < rho1 <= rho2 < 1");
+    assert!(
+        rho1 > 0.0 && rho1 <= rho2 && rho2 < 1.0,
+        "need 0 < rho1 <= rho2 < 1"
+    );
     rho2 * (1.0 - rho1) / (rho1 * (1.0 - rho2)) - 1.0
 }
 

@@ -35,7 +35,10 @@ use std::collections::HashMap;
 /// Panics unless `0 ≤ flip_p ≤ 1`.
 #[must_use]
 pub fn transition_matrix(k: usize, flip_p: f64) -> Matrix {
-    assert!((0.0..=1.0).contains(&flip_p), "flip probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&flip_p),
+        "flip probability out of range"
+    );
     Matrix::from_fn(k + 1, k + 1, |l_prime, l| {
         // h = number of original ones flipped to zero.
         let mut total = 0.0;
@@ -192,12 +195,11 @@ impl CombinedEstimator {
         // Gather per-user virtual bits; join on user id across subsets.
         let mut per_user: HashMap<UserId, Vec<Option<bool>>> = HashMap::new();
         for (i, query) in components.iter().enumerate() {
-            let records = db.records(query.subset())?;
-            for rec in records {
-                let bit = self
-                    .h
-                    .eval(rec.id, query.subset(), query.value(), rec.sketch.key);
-                per_user.entry(rec.id).or_insert_with(|| vec![None; k])[i] = Some(bit);
+            let snapshot = db.snapshot(query.subset())?;
+            let mut prepared = self.h.prepare_query(query.subset(), query.value());
+            for rec in snapshot.records() {
+                prepared.set_record(rec.id.0, rec.sketch.key);
+                per_user.entry(rec.id).or_insert_with(|| vec![None; k])[i] = Some(prepared.eval());
             }
         }
         let rows: Vec<Vec<bool>> = per_user
@@ -298,7 +300,10 @@ mod tests {
         let k = 6;
         let far = transition_condition_number(k, 0.25);
         let near = transition_condition_number(k, 0.45);
-        assert!(near > 10.0 * far, "κ(p→1/2) should blow up: {far} vs {near}");
+        assert!(
+            near > 10.0 * far,
+            "κ(p→1/2) should blow up: {far} vs {near}"
+        );
     }
 
     #[test]
@@ -339,9 +344,21 @@ mod tests {
             })
             .collect();
         let est = recover_from_bits(2, p, rows).unwrap();
-        assert!((est.by_ones[0] - 0.2).abs() < 0.02, "x0 = {}", est.by_ones[0]);
-        assert!((est.by_ones[1] - 0.3).abs() < 0.02, "x1 = {}", est.by_ones[1]);
-        assert!((est.by_ones[2] - 0.5).abs() < 0.02, "x2 = {}", est.by_ones[2]);
+        assert!(
+            (est.by_ones[0] - 0.2).abs() < 0.02,
+            "x0 = {}",
+            est.by_ones[0]
+        );
+        assert!(
+            (est.by_ones[1] - 0.3).abs() < 0.02,
+            "x1 = {}",
+            est.by_ones[1]
+        );
+        assert!(
+            (est.by_ones[2] - 0.5).abs() < 0.02,
+            "x2 = {}",
+            est.by_ones[2]
+        );
     }
 
     #[test]

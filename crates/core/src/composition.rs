@@ -157,8 +157,14 @@ mod tests {
         let a2 = max_sketches_advanced(0.4995, eps, delta);
         let basic_scale = f64::from(b2) / f64::from(b1);
         let adv_scale = f64::from(a2) / f64::from(a1);
-        assert!((basic_scale - 10.0).abs() < 1.5, "basic scale {basic_scale}");
-        assert!(adv_scale > 50.0, "advanced scale {adv_scale} should be ~100");
+        assert!(
+            (basic_scale - 10.0).abs() < 1.5,
+            "basic scale {basic_scale}"
+        );
+        assert!(
+            adv_scale > 50.0,
+            "advanced scale {adv_scale} should be ~100"
+        );
     }
 
     #[test]

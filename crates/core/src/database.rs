@@ -1,16 +1,27 @@
 //! The analyst-side collection of published sketches.
 //!
 //! Once users publish sketches they become public; the analyst aggregates
-//! them per attribute subset. [`SketchDb`] is that aggregation: a map from
-//! [`BitSubset`] to the list of `(user, sketch)` records. It is internally
-//! synchronized (`parking_lot::RwLock`) so populations can publish from
-//! multiple threads in the experiment harness.
+//! them per attribute subset. [`SketchDb`] is that aggregation, stored
+//! **columnar**: each subset owns a shard holding the user-id column and
+//! the sketch-key column as plain `Vec<u64>`s, which is the layout the
+//! batched Algorithm 2 scan consumes directly.
+//!
+//! Reads and writes are decoupled snapshot-style: writers append into a
+//! shard's pending columns under a short mutex, while queries obtain an
+//! [`Arc`]-shared [`SubsetSnapshot`] of the columns. Taking a snapshot is
+//! an `Arc` clone whenever the shard is unchanged since the last snapshot;
+//! after new appends the next snapshot re-publishes the columns once
+//! (amortized over all subsequent queries). Queries therefore never
+//! deep-clone records, and ingestion never blocks readers holding a
+//! snapshot.
 
 use crate::params::Error;
 use crate::profile::{BitSubset, UserId};
 use crate::sketcher::Sketch;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// One published record: a user and the sketch they released.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,10 +32,119 @@ pub struct SketchRecord {
     pub sketch: Sketch,
 }
 
+/// The two columns of a shard, in insertion order.
+#[derive(Debug, Default, Clone)]
+struct Columns {
+    ids: Vec<u64>,
+    keys: Vec<u64>,
+}
+
+impl Columns {
+    fn push(&mut self, id: UserId, sketch: Sketch) {
+        self.ids.push(id.0);
+        self.keys.push(sketch.key);
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// One subset's columnar shard: pending (write-side) columns plus the
+/// last published snapshot.
+#[derive(Debug, Default)]
+struct Shard {
+    pending: Mutex<Columns>,
+    published: RwLock<Arc<Columns>>,
+    stale: AtomicBool,
+}
+
+impl Shard {
+    fn append(&self, id: UserId, sketch: Sketch) {
+        self.pending.lock().push(id, sketch);
+        self.stale.store(true, Ordering::Release);
+    }
+
+    fn append_batch(&self, records: impl IntoIterator<Item = SketchRecord>) {
+        let mut pending = self.pending.lock();
+        for rec in records {
+            pending.push(rec.id, rec.sketch);
+        }
+        drop(pending);
+        self.stale.store(true, Ordering::Release);
+    }
+
+    fn len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Publishes the pending columns if they changed, then hands out the
+    /// current snapshot (an `Arc` clone).
+    fn snapshot(&self) -> Arc<Columns> {
+        if self.stale.swap(false, Ordering::AcqRel) {
+            // Clone *and* publish while holding the pending mutex:
+            // appends and competing publishers serialize on it, so a
+            // slow publisher can never overwrite a newer snapshot with
+            // stale columns (published contents only ever grow).
+            let pending = self.pending.lock();
+            *self.published.write() = Arc::new(pending.clone());
+        }
+        self.published.read().clone()
+    }
+}
+
+/// An immutable, cheaply cloneable view of one subset's columns.
+///
+/// Holding a snapshot pins the column memory; concurrent appends publish
+/// new snapshots without disturbing existing ones.
+#[derive(Debug, Clone)]
+pub struct SubsetSnapshot {
+    columns: Arc<Columns>,
+}
+
+impl SubsetSnapshot {
+    /// The user-id column, in insertion order.
+    #[must_use]
+    pub fn ids(&self) -> &[u64] {
+        &self.columns.ids
+    }
+
+    /// The sketch-key column, aligned with [`SubsetSnapshot::ids`].
+    #[must_use]
+    pub fn keys(&self) -> &[u64] {
+        &self.columns.keys
+    }
+
+    /// Number of records in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the snapshot holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.ids.is_empty()
+    }
+
+    /// Row-oriented iteration for code that wants records; the columns
+    /// themselves are the primary interface.
+    pub fn records(&self) -> impl Iterator<Item = SketchRecord> + '_ {
+        self.columns
+            .ids
+            .iter()
+            .zip(&self.columns.keys)
+            .map(|(&id, &key)| SketchRecord {
+                id: UserId(id),
+                sketch: Sketch { key },
+            })
+    }
+}
+
 /// A database of published sketches, grouped by sketched subset.
 #[derive(Debug, Default)]
 pub struct SketchDb {
-    inner: RwLock<HashMap<BitSubset, Vec<SketchRecord>>>,
+    shards: RwLock<HashMap<BitSubset, Arc<Shard>>>,
 }
 
 impl SketchDb {
@@ -34,61 +154,81 @@ impl SketchDb {
         Self::default()
     }
 
+    fn shard(&self, subset: &BitSubset) -> Option<Arc<Shard>> {
+        self.shards.read().get(subset).cloned()
+    }
+
+    fn shard_or_insert(&self, subset: BitSubset) -> Arc<Shard> {
+        if let Some(shard) = self.shard(&subset) {
+            return shard;
+        }
+        Arc::clone(self.shards.write().entry(subset).or_default())
+    }
+
     /// Records a published sketch for `(id, subset)`.
     pub fn insert(&self, subset: BitSubset, id: UserId, sketch: Sketch) {
-        self.inner
-            .write()
-            .entry(subset)
-            .or_default()
-            .push(SketchRecord { id, sketch });
+        self.shard_or_insert(subset).append(id, sketch);
     }
 
-    /// Records many sketches for the same subset at once.
+    /// Records many sketches for the same subset at once, appending
+    /// directly into the subset's columns.
     pub fn insert_batch(&self, subset: BitSubset, records: impl IntoIterator<Item = SketchRecord>) {
-        self.inner
-            .write()
-            .entry(subset)
-            .or_default()
-            .extend(records);
+        self.shard_or_insert(subset).append_batch(records);
     }
 
-    /// Returns a copy of the records for `subset`.
+    /// Returns a columnar snapshot of the records for `subset`.
+    ///
+    /// This is the read path of Algorithm 2: an `Arc` clone when the
+    /// shard is unchanged since the previous snapshot, one column
+    /// republish right after writes.
     ///
     /// # Errors
     ///
     /// [`Error::UnknownSubset`] if nothing was published for `subset`.
-    pub fn records(&self, subset: &BitSubset) -> Result<Vec<SketchRecord>, Error> {
-        self.inner
-            .read()
-            .get(subset)
-            .cloned()
+    pub fn snapshot(&self, subset: &BitSubset) -> Result<SubsetSnapshot, Error> {
+        self.shard(subset)
+            .map(|shard| SubsetSnapshot {
+                columns: shard.snapshot(),
+            })
             .ok_or_else(|| Error::UnknownSubset {
                 subset: format!("{subset:?}"),
             })
     }
 
+    /// Returns a row-oriented copy of the records for `subset`.
+    ///
+    /// Compatibility/inspection helper: this materializes a fresh `Vec`
+    /// on every call. Query paths use [`SketchDb::snapshot`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSubset`] if nothing was published for `subset`.
+    pub fn records(&self, subset: &BitSubset) -> Result<Vec<SketchRecord>, Error> {
+        Ok(self.snapshot(subset)?.records().collect())
+    }
+
     /// Number of sketches recorded for `subset` (0 if unknown).
     #[must_use]
     pub fn count(&self, subset: &BitSubset) -> usize {
-        self.inner.read().get(subset).map_or(0, Vec::len)
+        self.shard(subset).map_or(0, |shard| shard.len())
     }
 
-    /// All subsets with at least one record, in unspecified order.
+    /// All subsets with at least one shard, in unspecified order.
     #[must_use]
     pub fn subsets(&self) -> Vec<BitSubset> {
-        self.inner.read().keys().cloned().collect()
+        self.shards.read().keys().cloned().collect()
     }
 
     /// Total number of records across all subsets.
     #[must_use]
     pub fn total_records(&self) -> usize {
-        self.inner.read().values().map(Vec::len).sum()
+        self.shards.read().values().map(|shard| shard.len()).sum()
     }
 
-    /// Whether the database holds no records at all.
+    /// Whether the database holds no shards at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.shards.read().is_empty()
     }
 }
 
@@ -117,6 +257,10 @@ mod tests {
         let db = SketchDb::new();
         assert!(matches!(
             db.records(&subset(&[7])),
+            Err(Error::UnknownSubset { .. })
+        ));
+        assert!(matches!(
+            db.snapshot(&subset(&[7])),
             Err(Error::UnknownSubset { .. })
         ));
         assert_eq!(db.count(&subset(&[7])), 0);
@@ -149,8 +293,48 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_exposes_columns_in_insertion_order() {
+        let db = SketchDb::new();
+        let b = subset(&[0]);
+        for i in 0..5u64 {
+            db.insert(b.clone(), UserId(10 + i), Sketch { key: i * 2 });
+        }
+        let snap = db.snapshot(&b).unwrap();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.ids(), &[10, 11, 12, 13, 14]);
+        assert_eq!(snap.keys(), &[0, 2, 4, 6, 8]);
+        let rows: Vec<SketchRecord> = snap.records().collect();
+        assert_eq!(rows[3].id, UserId(13));
+        assert_eq!(rows[3].sketch.key, 6);
+    }
+
+    #[test]
+    fn unchanged_shard_snapshots_share_columns() {
+        let db = SketchDb::new();
+        let b = subset(&[0]);
+        db.insert(b.clone(), UserId(1), Sketch { key: 1 });
+        let a = db.snapshot(&b).unwrap();
+        let c = db.snapshot(&b).unwrap();
+        // Same Arc: no copying happened for the second snapshot.
+        assert!(Arc::ptr_eq(&a.columns, &c.columns));
+    }
+
+    #[test]
+    fn snapshots_are_stable_under_later_writes() {
+        let db = SketchDb::new();
+        let b = subset(&[0]);
+        db.insert(b.clone(), UserId(1), Sketch { key: 1 });
+        let before = db.snapshot(&b).unwrap();
+        db.insert(b.clone(), UserId(2), Sketch { key: 2 });
+        let after = db.snapshot(&b).unwrap();
+        assert_eq!(before.len(), 1);
+        assert_eq!(after.len(), 2);
+        assert_eq!(before.ids(), &[1]);
+        assert_eq!(after.ids(), &[1, 2]);
+    }
+
+    #[test]
     fn concurrent_inserts_are_safe() {
-        use std::sync::Arc;
         let db = Arc::new(SketchDb::new());
         let b = subset(&[0]);
         let handles: Vec<_> = (0..8)
@@ -168,5 +352,33 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(db.count(&b), 800);
+        assert_eq!(db.snapshot(&b).unwrap().len(), 800);
+    }
+
+    #[test]
+    fn concurrent_reads_during_writes() {
+        let db = Arc::new(SketchDb::new());
+        let b = subset(&[3]);
+        db.insert(b.clone(), UserId(0), Sketch { key: 0 });
+        let writer = {
+            let db = Arc::clone(&db);
+            let b = b.clone();
+            std::thread::spawn(move || {
+                for i in 1..2000u64 {
+                    db.insert(b.clone(), UserId(i), Sketch { key: i % 16 });
+                }
+            })
+        };
+        // Readers observe monotonically growing, internally consistent
+        // snapshots while the writer runs.
+        let mut last = 0;
+        for _ in 0..200 {
+            let snap = db.snapshot(&b).unwrap();
+            assert_eq!(snap.ids().len(), snap.keys().len());
+            assert!(snap.len() >= last);
+            last = snap.len();
+        }
+        writer.join().unwrap();
+        assert_eq!(db.snapshot(&b).unwrap().len(), 2000);
     }
 }

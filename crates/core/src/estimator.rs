@@ -12,11 +12,16 @@
 //! `Pr[|r' − r| > ε] ≤ exp(−ε²(1−2p)²·M/4)`, independent of `|B|` — the
 //! paper's headline property.
 
-use crate::database::SketchDb;
+use crate::database::{SketchDb, SubsetSnapshot};
 use crate::hfun::HFunction;
 use crate::params::{Error, SketchParams};
 use crate::profile::{BitString, BitSubset};
 use serde::{Deserialize, Serialize};
+
+/// Below this record count the batched scan stays single-threaded: the
+/// per-thread setup (a template clone and a spawn) only pays for itself
+/// on large shards.
+const PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// A conjunctive query `d_B = v`: "what fraction of users has every
 /// attribute in `B` equal to the corresponding bit of `v`?"
@@ -136,7 +141,14 @@ impl ConjunctiveEstimator {
         &self.params
     }
 
-    /// Runs Algorithm 2 for `query` against `db`.
+    /// Runs Algorithm 2 for `query` against `db` — the batched path.
+    ///
+    /// Takes a columnar [`SubsetSnapshot`] (no record cloning), prepares
+    /// the PRF input template for `(B, v)` once, and streams the id/key
+    /// columns through the batch PRF entry point, splitting the columns
+    /// across threads for large shards. The result is bit-identical to
+    /// [`ConjunctiveEstimator::estimate_scalar`]: the per-record PRF
+    /// inputs are byte-equal and the one-counts are summed exactly.
     ///
     /// # Errors
     ///
@@ -144,6 +156,48 @@ impl ConjunctiveEstimator {
     ///   query's subset;
     /// * [`Error::EmptyDatabase`] if the subset exists but holds no records.
     pub fn estimate(&self, db: &SketchDb, query: &ConjunctiveQuery) -> Result<Estimate, Error> {
+        let snapshot = db.snapshot(query.subset())?;
+        if snapshot.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let ones = self.count_ones(&snapshot, query);
+        Ok(self.finish(ones, snapshot.len()))
+    }
+
+    /// Runs Algorithm 2 against an already-taken snapshot (lets callers
+    /// evaluate many queries against one consistent view of a shard).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] if the snapshot holds no records.
+    pub fn estimate_snapshot(
+        &self,
+        snapshot: &SubsetSnapshot,
+        query: &ConjunctiveQuery,
+    ) -> Result<Estimate, Error> {
+        if snapshot.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let ones = self.count_ones(snapshot, query);
+        Ok(self.finish(ones, snapshot.len()))
+    }
+
+    /// The pre-refactor scalar reference path: a row-oriented copy of the
+    /// records (the old `SketchDb::records` read) and one full input
+    /// encoding — with its allocations — per record.
+    ///
+    /// Kept as the correctness oracle for the batched path (the
+    /// equivalence property tests compare the two bit-for-bit) and as the
+    /// baseline in the throughput benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConjunctiveEstimator::estimate`].
+    pub fn estimate_scalar(
+        &self,
+        db: &SketchDb,
+        query: &ConjunctiveQuery,
+    ) -> Result<Estimate, Error> {
         let records = db.records(query.subset())?;
         if records.is_empty() {
             return Err(Error::EmptyDatabase);
@@ -155,23 +209,17 @@ impl ConjunctiveEstimator {
                     .eval(rec.id, query.subset(), query.value(), rec.sketch.key)
             })
             .count();
-        let n = records.len();
-        let raw = ones as f64 / n as f64;
-        let p = self.params.p();
-        Ok(Estimate {
-            fraction: (raw - p) / (1.0 - 2.0 * p),
-            raw,
-            sample_size: n,
-            p,
-        })
+        Ok(self.finish(ones, records.len()))
     }
 
-    /// Estimates all `2^k` value frequencies over one sketched subset.
+    /// Estimates all `2^k` value frequencies over one sketched subset in
+    /// a single pass.
     ///
-    /// Each user's sketch supports *every* value query on its subset, so a
-    /// single pass can price out the full distribution (used by non-binary
-    /// attribute mining and the experiment harness). Values are indexed by
-    /// their LSB-first integer encoding.
+    /// Each user's sketch supports *every* value query on its subset, so
+    /// one scan over the records suffices: per record, the encoded prefix
+    /// `domain ‖ id ‖ B` is reused across all `2^k` spliced values
+    /// instead of running `2^k` independent full scans. Values are
+    /// indexed by their LSB-first integer encoding.
     ///
     /// # Errors
     ///
@@ -186,15 +234,110 @@ impl ConjunctiveEstimator {
             subset.len() <= 20,
             "estimate_distribution supports at most 20-bit subsets"
         );
-        (0..(1u64 << subset.len()))
-            .map(|value| {
-                let q = ConjunctiveQuery::new(
-                    subset.clone(),
-                    BitString::from_u64(value, subset.len()),
-                )?;
-                self.estimate(db, &q)
-            })
-            .collect()
+        let snapshot = db.snapshot(subset)?;
+        if snapshot.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let values = 1usize << subset.len();
+        let n = snapshot.len();
+        let ids = snapshot.ids();
+        let keys = snapshot.keys();
+        let threads = self.thread_count(n.saturating_mul(values));
+        let ones: Vec<usize> = if threads <= 1 {
+            let mut prepared = self.h.prepare(subset, subset.len());
+            let mut ones = vec![0usize; values];
+            for (&id, &key) in ids.iter().zip(keys) {
+                prepared.tally_record(id, key, &mut ones);
+            }
+            ones
+        } else {
+            // Chunk the records; each thread tallies into its own vector
+            // and the tallies are summed — identical to the sequential
+            // counts because addition of exact counts commutes.
+            let chunk = n.div_ceil(threads);
+            let prepared = self.h.prepare(subset, subset.len());
+            let partials: Vec<Vec<usize>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .zip(keys.chunks(chunk))
+                    .map(|(ids, keys)| {
+                        let mut prepared = prepared.clone();
+                        scope.spawn(move || {
+                            let mut ones = vec![0usize; values];
+                            for (&id, &key) in ids.iter().zip(keys) {
+                                prepared.tally_record(id, key, &mut ones);
+                            }
+                            ones
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tally worker panicked"))
+                    .collect()
+            });
+            let mut ones = vec![0usize; values];
+            for partial in partials {
+                for (total, part) in ones.iter_mut().zip(partial) {
+                    *total += part;
+                }
+            }
+            ones
+        };
+        Ok(ones
+            .into_iter()
+            .map(|count| self.finish(count, n))
+            .collect())
+    }
+
+    /// Counts records with `H(id, B, v, s) = 1` over the snapshot's
+    /// columns, splitting across threads above [`PARALLEL_THRESHOLD`].
+    fn count_ones(&self, snapshot: &SubsetSnapshot, query: &ConjunctiveQuery) -> usize {
+        let ids = snapshot.ids();
+        let keys = snapshot.keys();
+        let threads = self.thread_count(ids.len());
+        let prepared = self.h.prepare_query(query.subset(), query.value());
+        if threads <= 1 {
+            return prepared.count_ones(ids, keys);
+        }
+        let chunk = ids.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .zip(keys.chunks(chunk))
+                .map(|(ids, keys)| {
+                    let prepared = &prepared;
+                    scope.spawn(move || prepared.count_ones(ids, keys))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("count worker panicked"))
+                .sum()
+        })
+    }
+
+    /// Number of worker threads for a scan of `work` PRF evaluations.
+    fn thread_count(&self, work: usize) -> usize {
+        if work < PARALLEL_THRESHOLD {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(work / PARALLEL_THRESHOLD + 1)
+    }
+
+    /// Step 2 of Algorithm 2: the unbiased inversion.
+    fn finish(&self, ones: usize, n: usize) -> Estimate {
+        let raw = ones as f64 / n as f64;
+        let p = self.params.p();
+        Estimate {
+            fraction: (raw - p) / (1.0 - 2.0 * p),
+            raw,
+            sample_size: n,
+            p,
+        }
     }
 }
 
@@ -261,8 +404,7 @@ mod tests {
         for k in [2usize, 8, 16] {
             let (db, subset) = build_db(p, k, m, 0.5);
             let est = ConjunctiveEstimator::new(params(p));
-            let q =
-                ConjunctiveQuery::new(subset, BitString::from_bits(&vec![true; k])).unwrap();
+            let q = ConjunctiveQuery::new(subset, BitString::from_bits(&vec![true; k])).unwrap();
             let e = est.estimate(&db, &q).unwrap();
             assert!(
                 (e.fraction - 0.5).abs() < 0.05,
@@ -303,8 +445,7 @@ mod tests {
     fn unknown_subset_surfaces() {
         let est = ConjunctiveEstimator::new(params(0.3));
         let db = SketchDb::new();
-        let q = ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
-            .unwrap();
+        let q = ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true])).unwrap();
         assert!(matches!(
             est.estimate(&db, &q),
             Err(Error::UnknownSubset { .. })
@@ -341,6 +482,67 @@ mod tests {
             p: 0.3,
         };
         assert!(mk(10_000).half_width(0.05) < mk(100).half_width(0.05) / 5.0);
+    }
+
+    #[test]
+    fn batched_equals_scalar_bitwise() {
+        // The acceptance bar for the batched pipeline: not "close", but
+        // bit-identical to the scalar reference path.
+        let p = 0.3;
+        let (db, subset) = build_db(p, 5, 3_000, 0.4);
+        let est = ConjunctiveEstimator::new(params(p));
+        for value in [0u64, 1, 17, 31] {
+            let q = ConjunctiveQuery::new(subset.clone(), BitString::from_u64(value, 5)).unwrap();
+            let batched = est.estimate(&db, &q).unwrap();
+            let scalar = est.estimate_scalar(&db, &q).unwrap();
+            assert_eq!(batched.fraction.to_bits(), scalar.fraction.to_bits());
+            assert_eq!(batched.raw.to_bits(), scalar.raw.to_bits());
+            assert_eq!(batched.sample_size, scalar.sample_size);
+        }
+    }
+
+    #[test]
+    fn snapshot_estimation_matches_db_estimation() {
+        let p = 0.25;
+        let (db, subset) = build_db(p, 3, 2_000, 0.5);
+        let est = ConjunctiveEstimator::new(params(p));
+        let snap = db.snapshot(&subset).unwrap();
+        let q = ConjunctiveQuery::new(subset, BitString::from_bits(&[true; 3])).unwrap();
+        assert_eq!(
+            est.estimate_snapshot(&snap, &q).unwrap(),
+            est.estimate(&db, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn one_pass_distribution_equals_scalar_scans() {
+        let p = 0.3;
+        let (db, subset) = build_db(p, 4, 1_500, 0.6);
+        let est = ConjunctiveEstimator::new(params(p));
+        let dist = est.estimate_distribution(&db, &subset).unwrap();
+        assert_eq!(dist.len(), 16);
+        for (value, batched) in dist.iter().enumerate() {
+            let q = ConjunctiveQuery::new(subset.clone(), BitString::from_u64(value as u64, 4))
+                .unwrap();
+            let scalar = est.estimate_scalar(&db, &q).unwrap();
+            assert_eq!(batched.fraction.to_bits(), scalar.fraction.to_bits());
+            assert_eq!(batched.raw.to_bits(), scalar.raw.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_chunking_is_exact() {
+        // Cross the parallel threshold and verify against the scalar path
+        // (chunked counts must sum to exactly the sequential count).
+        let p = 0.3;
+        let m = (super::PARALLEL_THRESHOLD + 1_000) as u64;
+        let (db, subset) = build_db(p, 2, m, 0.5);
+        let est = ConjunctiveEstimator::new(params(p));
+        let q = ConjunctiveQuery::new(subset, BitString::from_bits(&[true; 2])).unwrap();
+        let batched = est.estimate(&db, &q).unwrap();
+        let scalar = est.estimate_scalar(&db, &q).unwrap();
+        assert_eq!(batched.raw.to_bits(), scalar.raw.to_bits());
+        assert_eq!(batched.sample_size, m as usize);
     }
 
     #[test]

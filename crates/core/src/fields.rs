@@ -65,7 +65,11 @@ impl IntField {
     /// Panics unless `1 ≤ i ≤ width`.
     #[must_use]
     pub fn bit_position(&self, i: u32) -> u32 {
-        assert!(i >= 1 && i <= self.width, "bit index {i} out of [1, {}]", self.width);
+        assert!(
+            i >= 1 && i <= self.width,
+            "bit index {i} out of [1, {}]",
+            self.width
+        );
         self.offset + (i - 1)
     }
 
@@ -82,7 +86,11 @@ impl IntField {
     /// Panics unless `1 ≤ i ≤ width`.
     #[must_use]
     pub fn prefix_subset(&self, i: u32) -> BitSubset {
-        assert!(i >= 1 && i <= self.width, "prefix {i} out of [1, {}]", self.width);
+        assert!(
+            i >= 1 && i <= self.width,
+            "prefix {i} out of [1, {}]",
+            self.width
+        );
         BitSubset::range(self.offset, i)
     }
 

@@ -208,7 +208,10 @@ impl FunctionEstimator {
         function: FunctionId,
         records: &[FunctionRecord],
     ) -> Result<Vec<crate::estimator::Estimate>, Error> {
-        assert!(function.width <= 20, "distribution limited to 20-bit outputs");
+        assert!(
+            function.width <= 20,
+            "distribution limited to 20-bit outputs"
+        );
         (0..(1u64 << function.width))
             .map(|v| self.estimate(function, records, v))
             .collect()
@@ -298,11 +301,9 @@ mod tests {
         }
         // Value (1,1) ↔ integer 3 under LSB-first packing.
         let via_function = estimator.estimate(function, &records, 3).unwrap().fraction;
-        let q = crate::estimator::ConjunctiveQuery::new(
-            subset,
-            BitString::from_bits(&[true, true]),
-        )
-        .unwrap();
+        let q =
+            crate::estimator::ConjunctiveQuery::new(subset, BitString::from_bits(&[true, true]))
+                .unwrap();
         let via_subset = sub_estimator.estimate(&db, &q).unwrap().fraction;
         let truth = 0.25 * 0.5; // i%4==0 and i%2==0 coincide: actually i%4==0 ⊂ i%2==0
         let _ = truth;

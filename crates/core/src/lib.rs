@@ -84,11 +84,9 @@ pub use combine::{
     recover_from_bits, transition_condition_number, transition_matrix, CombinedEstimate,
     CombinedEstimator,
 };
+pub use composition::{epsilon_advanced, epsilon_basic, max_sketches_advanced, max_sketches_basic};
 pub use database::{SketchDb, SketchRecord};
 pub use estimator::{ConjunctiveEstimator, ConjunctiveQuery, Estimate};
-pub use composition::{
-    epsilon_advanced, epsilon_basic, max_sketches_advanced, max_sketches_basic,
-};
 pub use exact::{max_privacy_ratio, max_privacy_ratio_for, outcome_probs, OutcomeProbs};
 pub use fields::IntField;
 pub use funcsketch::{FunctionEstimator, FunctionId, FunctionRecord, FunctionSketcher};

@@ -183,7 +183,10 @@ impl fmt::Display for Error {
             ),
             Self::EmptyDatabase => write!(f, "no sketches available for the estimate"),
             Self::BudgetExceeded { spent, budget } => {
-                write!(f, "privacy budget exceeded: spent {spent:.4} of {budget:.4}")
+                write!(
+                    f,
+                    "privacy budget exceeded: spent {spent:.4} of {budget:.4}"
+                )
             }
             Self::Codec { reason } => write!(f, "sketch decode error: {reason}"),
         }
@@ -269,7 +272,10 @@ mod tests {
     fn error_display_is_informative() {
         let e = Error::KeySpaceExhausted { key_space: 16 };
         assert!(e.to_string().contains("16"));
-        let e = Error::WidthMismatch { subset: 3, value: 5 };
+        let e = Error::WidthMismatch {
+            subset: 3,
+            value: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
     }
 }

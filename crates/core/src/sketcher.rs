@@ -128,11 +128,16 @@ impl Sketcher {
     ) -> Result<SketchRun, Error> {
         let key_space = self.params.key_space();
         let mut sampler = WithoutReplacement::new(key_space);
+        // `(id, B, d_B)` is fixed for the whole rejection loop: encode it
+        // once and splice only the candidate key per iteration.
+        let mut prepared = self.h.prepare_query(subset, value);
+        prepared.set_id(id);
         let mut iterations = 0;
         while let Some(candidate) = sampler.draw(rng) {
             iterations += 1;
+            prepared.set_key(candidate);
             // Step 2: always accept a key that evaluates to 1.
-            if self.h.eval(id, subset, value, candidate) {
+            if prepared.eval() {
                 return Ok(SketchRun {
                     sketch: Sketch { key: candidate },
                     iterations,
@@ -150,26 +155,77 @@ impl Sketcher {
     }
 }
 
-/// Uniform sampling without replacement from `0..n` in O(draws) memory.
+/// Key spaces up to this size use the dense (`Vec`-backed) displacement
+/// store; larger spaces fall back to the sparse `HashMap`. Every
+/// Lemma 3.1-sized deployment (ℓ ≈ 10 bits) is comfortably dense.
+const DENSE_KEY_SPACE_LIMIT: u64 = 1 << 13;
+
+/// Displaced-entry storage for the lazy Fisher–Yates shuffle.
 ///
-/// A sparse Fisher–Yates shuffle: conceptually we shuffle the array
-/// `[0, 1, …, n−1]` lazily, storing only displaced entries. Each `draw`
-/// returns the next element of a uniformly random permutation, so the
-/// sequence of candidates matches Algorithm 1's "choose s uniformly at
-/// random without replacement" exactly.
+/// The dense variant is a zero-initialized `Vec` where slot `i` holds
+/// `0` for "still identity" or `value + 1` for a displaced entry: one
+/// cheap allocation per sketch instead of a `HashMap` with per-draw
+/// hashing (the previous implementation allocated and grew a fresh map
+/// on every sketch call, which dominated Algorithm 1's hot loop).
+#[derive(Debug)]
+enum Displaced {
+    Dense(Vec<u64>),
+    Sparse(HashMap<u64, u64>),
+}
+
+impl Displaced {
+    #[inline]
+    fn get(&self, i: u64) -> u64 {
+        match self {
+            Self::Dense(slots) => {
+                let s = slots[i as usize];
+                if s == 0 {
+                    i
+                } else {
+                    s - 1
+                }
+            }
+            Self::Sparse(map) => map.get(&i).copied().unwrap_or(i),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: u64, value: u64) {
+        match self {
+            Self::Dense(slots) => slots[i as usize] = value + 1,
+            Self::Sparse(map) => {
+                map.insert(i, value);
+            }
+        }
+    }
+}
+
+/// Uniform sampling without replacement from `0..n`.
+///
+/// A lazy Fisher–Yates shuffle: conceptually we shuffle the array
+/// `[0, 1, …, n−1]`, storing only displaced entries. Each `draw` returns
+/// the next element of a uniformly random permutation, so the sequence of
+/// candidates matches Algorithm 1's "choose s uniformly at random without
+/// replacement" exactly. Both storage variants consume identical
+/// randomness and produce identical permutations.
 #[derive(Debug)]
 struct WithoutReplacement {
     n: u64,
     next: u64,
-    displaced: HashMap<u64, u64>,
+    displaced: Displaced,
 }
 
 impl WithoutReplacement {
     fn new(n: u64) -> Self {
+        let displaced = if n <= DENSE_KEY_SPACE_LIMIT {
+            Displaced::Dense(vec![0; n as usize])
+        } else {
+            Displaced::Sparse(HashMap::new())
+        };
         Self {
             n,
             next: 0,
-            displaced: HashMap::new(),
+            displaced,
         }
     }
 
@@ -180,10 +236,10 @@ impl WithoutReplacement {
         // Pick a uniform index in [next, n) and swap it to the front.
         let span = self.n - self.next;
         let j = self.next + uniform_u64(rng, span);
-        let picked = self.displaced.remove(&j).unwrap_or(j);
+        let picked = self.displaced.get(j);
         if j != self.next {
-            let front = self.displaced.remove(&self.next).unwrap_or(self.next);
-            self.displaced.insert(j, front);
+            let front = self.displaced.get(self.next);
+            self.displaced.set(j, front);
         }
         self.next += 1;
         Some(picked)
@@ -287,7 +343,10 @@ mod tests {
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
-        assert!(saw_failure, "expected at least one exhaustion at p=0.05, ℓ=1");
+        assert!(
+            saw_failure,
+            "expected at least one exhaustion at p=0.05, ℓ=1"
+        );
     }
 
     #[test]
@@ -375,9 +434,50 @@ mod tests {
     }
 
     #[test]
+    fn without_replacement_dense_and_sparse_agree() {
+        // Both displacement stores must yield the identical permutation
+        // from the same randomness (determinism across the size cutoff).
+        let n = 64u64;
+        let mut dense = WithoutReplacement::new(n);
+        let mut sparse = WithoutReplacement {
+            n,
+            next: 0,
+            displaced: Displaced::Sparse(HashMap::new()),
+        };
+        assert!(matches!(dense.displaced, Displaced::Dense(_)));
+        let mut rng_a = Prg::seed_from_u64(9);
+        let mut rng_b = Prg::seed_from_u64(9);
+        for _ in 0..n {
+            assert_eq!(dense.draw(&mut rng_a), sparse.draw(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn large_key_spaces_use_sparse_storage() {
+        let sampler = WithoutReplacement::new(1 << 20);
+        assert!(matches!(sampler.displaced, Displaced::Sparse(_)));
+    }
+
+    #[test]
     fn sketches_are_serializable() {
+        // Real serde round trips (via the JSON front end), not a Debug
+        // smoke test: sketches and estimates are wire types.
         let s = Sketch { key: 9 };
-        let json = format!("{:?}", s);
-        assert!(json.contains('9'));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Sketch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+
+        let e = crate::estimator::Estimate {
+            fraction: (0.9 - 0.3) / (1.0 - 0.6),
+            raw: 0.9,
+            sample_size: 1234,
+            p: 0.3,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: crate::estimator::Estimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fraction.to_bits(), e.fraction.to_bits());
+        assert_eq!(back.raw.to_bits(), e.raw.to_bits());
+        assert_eq!(back.p.to_bits(), e.p.to_bits());
+        assert_eq!(back.sample_size, e.sample_size);
     }
 }

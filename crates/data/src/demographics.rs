@@ -109,7 +109,9 @@ impl DemographicsModel {
             }
             FieldDistribution::Bell => {
                 // Sum of `width` fair bits spread over the range.
-                let ones: u32 = (0..field.width()).map(|_| u32::from(rng.random::<bool>())).sum();
+                let ones: u32 = (0..field.width())
+                    .map(|_| u32::from(rng.random::<bool>()))
+                    .sum();
                 let span = field.max_value();
                 span * u64::from(ones) / u64::from(field.width())
             }

@@ -6,9 +6,7 @@
 //! experiment compares its privacy-preserving estimates. Ground-truth
 //! queries here are exact by construction.
 
-use psketch_core::{
-    BitString, BitSubset, Error, IntField, Profile, SketchDb, Sketcher, UserId,
-};
+use psketch_core::{BitString, BitSubset, Error, IntField, Profile, SketchDb, Sketcher, UserId};
 use rand::Rng;
 
 /// A population of users with known (non-private) profiles.
@@ -30,7 +28,9 @@ impl Population {
         assert!(!profiles.is_empty(), "population must be non-empty");
         let num_attributes = profiles[0].num_attributes();
         assert!(
-            profiles.iter().all(|p| p.num_attributes() == num_attributes),
+            profiles
+                .iter()
+                .all(|p| p.num_attributes() == num_attributes),
             "all profiles must have the same attribute count"
         );
         Self {

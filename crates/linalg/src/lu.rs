@@ -255,7 +255,9 @@ mod tests {
         // Deterministic pseudo-random diagonally dominant matrices.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             ((state >> 33) as f64) / f64::from(1u32 << 31) - 0.5
         };
         for n in [1usize, 2, 5, 9] {

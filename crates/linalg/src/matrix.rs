@@ -51,7 +51,10 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::ShapeMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} expected)"
+                )
             }
             Self::DimensionMismatch { left, right } => write!(
                 f,
@@ -62,7 +65,11 @@ impl fmt::Display for MatrixError {
                 write!(f, "matrix is singular at pivot column {pivot}")
             }
             Self::NotSquare { dims } => {
-                write!(f, "operation requires a square matrix, got {}x{}", dims.0, dims.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    dims.0, dims.1
+                )
             }
         }
     }
@@ -239,7 +246,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -247,7 +257,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -324,7 +337,10 @@ mod tests {
         let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         let ab = a.mul(&b).unwrap();
-        assert_eq!(ab, Matrix::from_rows(2, 2, vec![2.0, 1.0, 4.0, 3.0]).unwrap());
+        assert_eq!(
+            ab,
+            Matrix::from_rows(2, 2, vec![2.0, 1.0, 4.0, 3.0]).unwrap()
+        );
     }
 
     #[test]

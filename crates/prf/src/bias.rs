@@ -36,9 +36,7 @@ impl Bias {
     };
 
     /// Probability 1/2 exactly.
-    pub const HALF: Self = Self {
-        threshold: 1 << 63,
-    };
+    pub const HALF: Self = Self { threshold: 1 << 63 };
 
     /// Converts an `f64` probability to fixed point, clamping to `[0, 1)`.
     ///

@@ -106,6 +106,89 @@ impl InputEncoder {
     pub fn as_bytes(&self) -> &[u8] {
         &self.buf
     }
+
+    /// Number of bytes encoded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded (not even a domain tag).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Reusable-prefix API.
+    //
+    // Hot paths evaluate the PRF on many inputs sharing a common prefix
+    // (Algorithm 1 re-hashes the same `(id, B, v)` under many candidate
+    // keys; Algorithm 2 re-hashes the same `(B, v)` for every record in a
+    // shard). Instead of re-encoding the whole tuple per evaluation, a
+    // caller encodes the shared prefix once, records a [`mark`](Self::mark),
+    // and then either truncates back to the mark and appends a fresh
+    // suffix, or splices fixed-width fields in place. Both preserve the
+    // injectivity argument: the byte layout is identical to a fresh
+    // end-to-end encoding of the same field sequence.
+
+    /// Returns a position marker for the bytes encoded so far.
+    #[must_use]
+    pub fn mark(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pads with zero bytes until the encoded length is a multiple of
+    /// `align`. The pad length is a function of the current length, so
+    /// padding preserves injectivity (all real fields are framed).
+    ///
+    /// Hot paths align a shared prefix to the PRF's block size so that
+    /// per-evaluation suffix fields land on block boundaries.
+    pub fn pad_to(&mut self, align: usize) -> &mut Self {
+        debug_assert!(align.is_power_of_two());
+        while !self.buf.len().is_multiple_of(align) {
+            self.buf.push(0);
+        }
+        self
+    }
+
+    /// Rolls the encoding back to a previous [`mark`](Self::mark), keeping
+    /// the prefix and the buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` lies beyond the encoded length.
+    pub fn truncate(&mut self, mark: usize) -> &mut Self {
+        assert!(mark <= self.buf.len(), "mark beyond encoded length");
+        self.buf.truncate(mark);
+        self
+    }
+
+    /// Overwrites the fixed-width u64 previously written at byte offset
+    /// `at` (as by [`put_u64`](Self::put_u64)) without re-encoding the
+    /// rest of the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at + 8` exceeds the encoded length.
+    #[inline]
+    pub fn splice_u64(&mut self, at: usize, value: u64) -> &mut Self {
+        self.buf[at..at + 8].copy_from_slice(&value.to_le_bytes());
+        self
+    }
+
+    /// Overwrites `bytes.len()` bytes in place at offset `at`. The caller
+    /// must keep the replaced region's framing (length prefixes) intact —
+    /// this is for fixed-width payload regions only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region exceeds the encoded length.
+    #[inline]
+    pub fn splice_bytes(&mut self, at: usize, bytes: &[u8]) -> &mut Self {
+        self.buf[at..at + bytes.len()].copy_from_slice(bytes);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +231,56 @@ mod tests {
         let bits = [true; 9];
         enc.put_bits(&bits);
         assert_eq!(enc.as_bytes(), &[0, 9, 0, 0, 0, 0xFF, 0x01]);
+    }
+
+    #[test]
+    fn truncate_and_append_matches_fresh_encoding() {
+        // Prefix reuse must be byte-identical to end-to-end encoding.
+        let mut reused = InputEncoder::with_domain(7);
+        reused.put_u64(11).put_u32_seq(&[1, 2, 3]);
+        let mark = reused.mark();
+        for (bits, key) in [(vec![true, false], 5u64), (vec![false, false], 9)] {
+            reused.truncate(mark);
+            reused.put_bits(&bits).put_u64(key);
+
+            let mut fresh = InputEncoder::with_domain(7);
+            fresh
+                .put_u64(11)
+                .put_u32_seq(&[1, 2, 3])
+                .put_bits(&bits)
+                .put_u64(key);
+            assert_eq!(reused.as_bytes(), fresh.as_bytes());
+        }
+    }
+
+    #[test]
+    fn splice_u64_overwrites_in_place() {
+        let mut spliced = InputEncoder::with_domain(1);
+        let id_at = spliced.mark();
+        spliced.put_u64(0).put_bits(&[true]);
+        let key_at = spliced.mark();
+        spliced.put_u64(0);
+        spliced.splice_u64(id_at, 42).splice_u64(key_at, 99);
+
+        let mut fresh = InputEncoder::with_domain(1);
+        fresh.put_u64(42).put_bits(&[true]).put_u64(99);
+        assert_eq!(spliced.as_bytes(), fresh.as_bytes());
+    }
+
+    #[test]
+    fn splice_bytes_keeps_length() {
+        let mut enc = InputEncoder::with_domain(0);
+        enc.put_bytes(b"abcd");
+        let before = enc.len();
+        enc.splice_bytes(5, b"xy");
+        assert_eq!(enc.len(), before);
+        assert_eq!(&enc.as_bytes()[5..9], b"xycd".as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "mark beyond encoded length")]
+    fn truncate_past_end_panics() {
+        InputEncoder::with_domain(0).truncate(10);
     }
 
     proptest! {

@@ -31,5 +31,5 @@ pub mod siphash;
 
 pub use bias::Bias;
 pub use encode::InputEncoder;
-pub use prf::{AnyPrf, ChaChaPrf, GlobalKey, Prf, PrfKind, SipPrf};
+pub use prf::{AnyPrf, ChaChaPrf, GlobalKey, Prf, PrfKind, PrfPrefix, SipPrf};
 pub use prg::Prg;

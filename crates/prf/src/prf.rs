@@ -16,7 +16,8 @@
 
 use crate::bias::Bias;
 use crate::chacha::{chacha20_block, ChaChaKey};
-use crate::siphash::SipHash24;
+use crate::encode::InputEncoder;
+use crate::siphash::{SipHash24, SipState};
 
 /// A 256-bit global key for the database-wide pseudorandom function.
 ///
@@ -66,6 +67,49 @@ pub trait Prf: Send + Sync {
     /// paper's `p`-biased bit: true with probability `p`.
     fn eval_biased(&self, input: &[u8], bias: Bias) -> bool {
         bias.decide(self.eval_u64(input))
+    }
+
+    /// Batch evaluation: `n` biased bits over inputs assembled in one
+    /// shared [`InputEncoder`].
+    ///
+    /// Per input `i`, `fill(i, enc)` mutates the encoder in place
+    /// (typically via the reusable-prefix API: truncate-and-append or
+    /// fixed-width splices), then the PRF is evaluated on the encoder's
+    /// bytes and `sink(i, bit)` receives the biased outcome. Compared to
+    /// calling [`Prf::eval_biased`] in a loop this amortizes the encoder
+    /// allocation, the input re-encoding and — through the
+    /// [`AnyPrf`] override — the PRF-family dispatch across the whole
+    /// batch, which is what makes shard-wide Algorithm 2 scans cheap.
+    fn eval_biased_many<F, G>(
+        &self,
+        n: usize,
+        bias: Bias,
+        input: &mut InputEncoder,
+        fill: F,
+        sink: G,
+    ) where
+        Self: Sized,
+        F: FnMut(usize, &mut InputEncoder),
+        G: FnMut(usize, bool),
+    {
+        let mut fill = fill;
+        let mut sink = sink;
+        for i in 0..n {
+            fill(i, input);
+            sink(i, bias.decide(self.eval_u64(input.as_bytes())));
+        }
+    }
+
+    /// As [`Prf::eval_biased_many`], returning only the number of 1s —
+    /// the quantity Algorithm 2 needs.
+    fn count_biased_many<F>(&self, n: usize, bias: Bias, input: &mut InputEncoder, fill: F) -> usize
+    where
+        Self: Sized,
+        F: FnMut(usize, &mut InputEncoder),
+    {
+        let mut ones = 0usize;
+        self.eval_biased_many(n, bias, input, fill, |_, bit| ones += usize::from(bit));
+        ones
     }
 }
 
@@ -119,13 +163,19 @@ impl ChaChaPrf {
 impl Prf for ChaChaPrf {
     fn eval_u64(&self, input: &[u8]) -> u64 {
         let digest = self.compressor.hash128(input);
-        let lo = (digest & u128::from(u64::MAX)) as u64;
-        let hi = (digest >> 64) as u64;
-        let counter = lo as u32;
-        let nonce = [(lo >> 32) as u32, hi as u32, (hi >> 32) as u32];
-        let block = chacha20_block(&self.key, counter, nonce);
-        (u64::from(block[1]) << 32) | u64::from(block[0])
+        chacha_output(&self.key, digest)
     }
+}
+
+/// Expands a 128-bit compressed input into the ChaCha PRF's output word.
+#[inline]
+fn chacha_output(key: &ChaChaKey, digest: u128) -> u64 {
+    let lo = (digest & u128::from(u64::MAX)) as u64;
+    let hi = (digest >> 64) as u64;
+    let counter = lo as u32;
+    let nonce = [(lo >> 32) as u32, hi as u32, (hi >> 32) as u32];
+    let block = chacha20_block(key, counter, nonce);
+    (u64::from(block[1]) << 32) | u64::from(block[0])
 }
 
 /// The PRF family selector used throughout the workspace.
@@ -167,6 +217,304 @@ impl Prf for AnyPrf {
         match self {
             Self::Sip(p) => p.eval_u64(input),
             Self::ChaCha(p) => p.eval_u64(input),
+        }
+    }
+
+    /// Hoists the family dispatch out of the loop: the whole batch runs
+    /// monomorphized against the selected PRF.
+    fn eval_biased_many<F, G>(
+        &self,
+        n: usize,
+        bias: Bias,
+        input: &mut InputEncoder,
+        fill: F,
+        sink: G,
+    ) where
+        F: FnMut(usize, &mut InputEncoder),
+        G: FnMut(usize, bool),
+    {
+        match self {
+            Self::Sip(p) => p.eval_biased_many(n, bias, input, fill, sink),
+            Self::ChaCha(p) => p.eval_biased_many(n, bias, input, fill, sink),
+        }
+    }
+}
+
+impl AnyPrf {
+    /// Precomputes the PRF state over a shared input `prefix`.
+    ///
+    /// Evaluating `prefix ‖ suffix` through the returned [`PrfPrefix`]
+    /// equals [`Prf::eval_u64`] on the concatenated bytes, but the prefix
+    /// compression is paid once per batch instead of once per call — the
+    /// key amortization behind the shard-scale Algorithm 2 scan.
+    #[must_use]
+    pub fn begin_prefix(&self, prefix: &[u8]) -> PrfPrefix {
+        match self {
+            Self::Sip(p) => {
+                let mut state = p.sip.begin();
+                state.absorb(prefix);
+                PrfPrefix::Sip(state)
+            }
+            Self::ChaCha(p) => {
+                let mut lo = p.compressor.begin();
+                lo.absorb(prefix);
+                let mut hi = p.compressor.hi_lane().begin();
+                hi.absorb(prefix);
+                PrfPrefix::ChaCha { lo, hi, key: p.key }
+            }
+        }
+    }
+}
+
+/// A PRF evaluation state frozen after a shared input prefix.
+///
+/// Copy-cheap: every evaluation copies the small state, absorbs the
+/// suffix and finalizes, leaving the prefix state reusable.
+#[derive(Debug, Clone, Copy)]
+pub enum PrfPrefix {
+    /// SipHash lane state.
+    Sip(SipState),
+    /// Both SipHash compressor lanes plus the ChaCha key for expansion.
+    ChaCha {
+        /// Low compressor lane.
+        lo: SipState,
+        /// High (tweaked-key) compressor lane.
+        hi: SipState,
+        /// The 256-bit ChaCha expansion key.
+        key: ChaChaKey,
+    },
+}
+
+impl PrfPrefix {
+    /// Extends the prefix by `bytes`, returning the advanced state (the
+    /// original remains usable).
+    #[must_use]
+    pub fn advanced(&self, bytes: &[u8]) -> Self {
+        let mut next = *self;
+        match &mut next {
+            Self::Sip(state) => {
+                state.absorb(bytes);
+            }
+            Self::ChaCha { lo, hi, .. } => {
+                lo.absorb(bytes);
+                hi.absorb(bytes);
+            }
+        }
+        next
+    }
+
+    /// As [`PrfPrefix::advanced`] with two fixed-width u64 fields — the
+    /// per-record `(id, key)` pair, absorbed without touching memory.
+    #[must_use]
+    pub fn advanced_u64x2(&self, a: u64, b: u64) -> Self {
+        let mut next = *self;
+        match &mut next {
+            Self::Sip(state) => {
+                state.absorb_u64(a).absorb_u64(b);
+            }
+            Self::ChaCha { lo, hi, .. } => {
+                lo.absorb_u64(a).absorb_u64(b);
+                hi.absorb_u64(a).absorb_u64(b);
+            }
+        }
+        next
+    }
+
+    /// Evaluates the PRF on `prefix ‖ suffix`.
+    #[inline]
+    #[must_use]
+    pub fn eval_u64(&self, suffix: &[u8]) -> u64 {
+        match self {
+            Self::Sip(state) => {
+                let mut s = *state;
+                s.absorb(suffix);
+                s.finish()
+            }
+            Self::ChaCha { lo, hi, key } => {
+                let mut l = *lo;
+                l.absorb(suffix);
+                let mut h = *hi;
+                h.absorb(suffix);
+                let digest = (u128::from(h.finish()) << 64) | u128::from(l.finish());
+                chacha_output(key, digest)
+            }
+        }
+    }
+
+    /// Evaluates the biased bit on `prefix ‖ suffix`.
+    #[inline]
+    #[must_use]
+    pub fn eval_biased(&self, suffix: &[u8], bias: Bias) -> bool {
+        bias.decide(self.eval_u64(suffix))
+    }
+
+    /// Batch entry point over per-item suffixes assembled in a shared
+    /// scratch buffer: `fill(i, buf)` writes item `i`'s suffix fields in
+    /// place, `sink(i, bit)` receives the biased outcome. The family
+    /// dispatch is hoisted out of the loop.
+    pub fn eval_biased_suffixes<F, G>(
+        &self,
+        n: usize,
+        bias: Bias,
+        suffix: &mut [u8],
+        fill: F,
+        sink: G,
+    ) where
+        F: FnMut(usize, &mut [u8]),
+        G: FnMut(usize, bool),
+    {
+        let mut fill = fill;
+        let mut sink = sink;
+        match self {
+            Self::Sip(state) => {
+                for i in 0..n {
+                    fill(i, suffix);
+                    let mut s = *state;
+                    s.absorb(suffix);
+                    sink(i, bias.decide(s.finish()));
+                }
+            }
+            Self::ChaCha { lo, hi, key } => {
+                for i in 0..n {
+                    fill(i, suffix);
+                    let mut l = *lo;
+                    l.absorb(suffix);
+                    let mut h = *hi;
+                    h.absorb(suffix);
+                    let digest = (u128::from(h.finish()) << 64) | u128::from(l.finish());
+                    sink(i, bias.decide(chacha_output(key, digest)));
+                }
+            }
+        }
+    }
+
+    /// Counts biased-1 outcomes over `(id, key)` column pairs followed by
+    /// a constant `tail` (the encoded query value): the Algorithm 2 inner
+    /// loop. Equivalent to evaluating
+    /// `prefix ‖ id_i ‖ key_i ‖ tail` for every aligned column pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have different lengths.
+    #[must_use]
+    pub fn count_biased_columns(
+        &self,
+        ids: &[u64],
+        keys: &[u64],
+        tail: &[u8],
+        bias: Bias,
+    ) -> usize {
+        assert_eq!(ids.len(), keys.len(), "misaligned id/key columns");
+        let mut ones = 0usize;
+        match self {
+            Self::Sip(state) if state.is_block_aligned() && tail.len() < 8 => {
+                // Register-only inner loop: three compressions per record
+                // with the constant tail's final block precomputed. Four
+                // records are hashed per iteration — the hashes are
+                // independent, so the CPU overlaps their round chains
+                // (SipHash is latency-bound on a single stream).
+                let packed_tail = state.pack_short_tail(16, tail);
+                let mut id4 = ids.chunks_exact(4);
+                let mut key4 = keys.chunks_exact(4);
+                for (id, key) in (&mut id4).zip(&mut key4) {
+                    let r0 = state.finish_u64x2_then(id[0], key[0], packed_tail);
+                    let r1 = state.finish_u64x2_then(id[1], key[1], packed_tail);
+                    let r2 = state.finish_u64x2_then(id[2], key[2], packed_tail);
+                    let r3 = state.finish_u64x2_then(id[3], key[3], packed_tail);
+                    ones += usize::from(bias.decide(r0))
+                        + usize::from(bias.decide(r1))
+                        + usize::from(bias.decide(r2))
+                        + usize::from(bias.decide(r3));
+                }
+                for (&id, &key) in id4.remainder().iter().zip(key4.remainder()) {
+                    ones += usize::from(bias.decide(state.finish_u64x2_then(id, key, packed_tail)));
+                }
+            }
+            Self::Sip(state) => {
+                for (&id, &key) in ids.iter().zip(keys) {
+                    let mut s = *state;
+                    s.absorb_u64(id).absorb_u64(key).absorb(tail);
+                    ones += usize::from(bias.decide(s.finish()));
+                }
+            }
+            Self::ChaCha { lo, hi, key: ck } if lo.is_block_aligned() && tail.len() < 8 => {
+                let packed_lo = lo.pack_short_tail(16, tail);
+                let packed_hi = hi.pack_short_tail(16, tail);
+                for (&id, &key) in ids.iter().zip(keys) {
+                    let digest = (u128::from(hi.finish_u64x2_then(id, key, packed_hi)) << 64)
+                        | u128::from(lo.finish_u64x2_then(id, key, packed_lo));
+                    ones += usize::from(bias.decide(chacha_output(ck, digest)));
+                }
+            }
+            Self::ChaCha { lo, hi, key: ck } => {
+                for (&id, &key) in ids.iter().zip(keys) {
+                    let mut l = *lo;
+                    l.absorb_u64(id).absorb_u64(key).absorb(tail);
+                    let mut h = *hi;
+                    h.absorb_u64(id).absorb_u64(key).absorb(tail);
+                    let digest = (u128::from(h.finish()) << 64) | u128::from(l.finish());
+                    ones += usize::from(bias.decide(chacha_output(ck, digest)));
+                }
+            }
+        }
+        ones
+    }
+
+    /// Tallies the biased bit for every short constant-length tail in an
+    /// enumerated family: `sink(i, bit)` receives the outcome of
+    /// `prefix ‖ tails[i]` where `tails` is produced by `make_tail(i)`
+    /// returning the packed final block (see
+    /// [`SipState::pack_short_tail`] composition handled internally).
+    /// Used by distribution queries: one record state, `2^k` value tails.
+    ///
+    /// Falls back to [`PrfPrefix::eval_biased_suffixes`] when the state
+    /// is not block-aligned or the tail does not fit one block.
+    pub fn eval_biased_short_tails<G>(
+        &self,
+        n: usize,
+        bias: Bias,
+        tail_bytes: u32,
+        make_tail: impl Fn(usize) -> u64,
+        sink: G,
+    ) where
+        G: FnMut(usize, bool),
+    {
+        let mut sink = sink;
+        let zeros = [0u8; 8];
+        let zero_tail = &zeros[..tail_bytes as usize];
+        match self {
+            Self::Sip(state) => {
+                debug_assert!(state.is_block_aligned() && tail_bytes < 8);
+                let len_block = state.pack_short_tail(0, zero_tail);
+                for i in 0..n {
+                    let last = len_block | make_tail(i);
+                    sink(i, bias.decide(state.finish_then(last)));
+                }
+            }
+            Self::ChaCha { lo, hi, key: ck } => {
+                debug_assert!(lo.is_block_aligned() && tail_bytes < 8);
+                let len_lo = lo.pack_short_tail(0, zero_tail);
+                let len_hi = hi.pack_short_tail(0, zero_tail);
+                for i in 0..n {
+                    let t = make_tail(i);
+                    let digest = (u128::from(hi.finish_then(len_hi | t)) << 64)
+                        | u128::from(lo.finish_then(len_lo | t));
+                    sink(i, bias.decide(chacha_output(ck, digest)));
+                }
+            }
+        }
+    }
+
+    /// Whether the short-tail fast paths apply: the prefix sits on a
+    /// block boundary and `tail_bytes` fit one final block.
+    #[must_use]
+    pub fn supports_short_tail(&self, tail_bytes: usize) -> bool {
+        if tail_bytes >= 8 {
+            return false;
+        }
+        match self {
+            Self::Sip(state) => state.is_block_aligned(),
+            Self::ChaCha { lo, .. } => lo.is_block_aligned(),
         }
     }
 }
@@ -212,6 +560,139 @@ mod tests {
         let a = SipPrf::new(&GlobalKey::from_seed(1));
         let b = SipPrf::new(&GlobalKey::from_seed(2));
         assert_ne!(a.eval_u64(b"x"), b.eval_u64(b"x"));
+    }
+
+    #[test]
+    fn batch_eval_matches_scalar_eval() {
+        // The batch entry point must agree bit-for-bit with one-at-a-time
+        // evaluation on the same byte strings.
+        for kind in [PrfKind::Sip, PrfKind::ChaCha] {
+            let prf = AnyPrf::new(kind, &key());
+            let bias = Bias::from_prob(0.3);
+            let mut enc = InputEncoder::with_domain(9);
+            let mark = enc.mark();
+            let mut batch = Vec::new();
+            prf.eval_biased_many(
+                64,
+                bias,
+                &mut enc,
+                |i, e| {
+                    e.truncate(mark);
+                    e.put_u64(i as u64);
+                },
+                |_, bit| batch.push(bit),
+            );
+            let scalar: Vec<bool> = (0..64u64)
+                .map(|i| {
+                    let mut e = InputEncoder::with_domain(9);
+                    e.put_u64(i);
+                    prf.eval_biased(e.as_bytes(), bias)
+                })
+                .collect();
+            assert_eq!(batch, scalar, "{kind:?} batch/scalar divergence");
+        }
+    }
+
+    #[test]
+    fn prefix_evaluation_matches_one_shot() {
+        // prefix ‖ suffix through PrfPrefix must equal eval_u64 on the
+        // concatenation, for both families and every split shape.
+        for kind in [PrfKind::Sip, PrfKind::ChaCha] {
+            let prf = AnyPrf::new(kind, &key());
+            let msg: Vec<u8> = (0u8..48).map(|i| i.wrapping_mul(113)).collect();
+            let expected = prf.eval_u64(&msg);
+            for split in 0..=msg.len() {
+                let prefix = prf.begin_prefix(&msg[..split]);
+                assert_eq!(
+                    prefix.eval_u64(&msg[split..]),
+                    expected,
+                    "{kind:?} diverged at split {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advanced_and_columns_match_flat_eval() {
+        for kind in [PrfKind::Sip, PrfKind::ChaCha] {
+            let prf = AnyPrf::new(kind, &key());
+            let bias = Bias::from_prob(0.3);
+            let prefix_bytes = b"shared-prefix";
+            let tail = b"tail";
+            let ids: Vec<u64> = (0..200).map(|i| i * 3 + 1).collect();
+            let keys: Vec<u64> = (0..200).map(|i| i ^ 0x5555).collect();
+
+            let prefix = prf.begin_prefix(prefix_bytes);
+            let batched = prefix.count_biased_columns(&ids, &keys, tail, bias);
+
+            let scalar = ids
+                .iter()
+                .zip(&keys)
+                .filter(|&(&id, &k)| {
+                    let mut flat = prefix_bytes.to_vec();
+                    flat.extend_from_slice(&id.to_le_bytes());
+                    flat.extend_from_slice(&k.to_le_bytes());
+                    flat.extend_from_slice(tail);
+                    prf.eval_biased(&flat, bias)
+                })
+                .count();
+            assert_eq!(batched, scalar, "{kind:?} column count diverged");
+
+            // advanced / advanced_u64x2 compose the same stream.
+            let adv = prefix.advanced_u64x2(ids[0], keys[0]);
+            let mut flat = prefix_bytes.to_vec();
+            flat.extend_from_slice(&ids[0].to_le_bytes());
+            flat.extend_from_slice(&keys[0].to_le_bytes());
+            assert_eq!(adv.eval_u64(tail), prf.begin_prefix(&flat).eval_u64(tail));
+            assert_eq!(
+                prefix.advanced(b"xy").eval_u64(b"z"),
+                prf.eval_u64(&[prefix_bytes.as_slice(), b"xy", b"z"].concat())
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_batch_matches_scalar() {
+        let prf = AnyPrf::new(PrfKind::Sip, &key());
+        let bias = Bias::from_prob(0.4);
+        let prefix = prf.begin_prefix(b"p");
+        let mut suffix = [0u8; 8];
+        let mut batch = Vec::new();
+        prefix.eval_biased_suffixes(
+            64,
+            bias,
+            &mut suffix,
+            |i, buf| buf.copy_from_slice(&(i as u64).to_le_bytes()),
+            |_, bit| batch.push(bit),
+        );
+        let scalar: Vec<bool> = (0..64u64)
+            .map(|i| {
+                let mut flat = b"p".to_vec();
+                flat.extend_from_slice(&i.to_le_bytes());
+                prf.eval_biased(&flat, bias)
+            })
+            .collect();
+        assert_eq!(batch, scalar);
+    }
+
+    #[test]
+    fn count_biased_many_counts_ones() {
+        let prf = AnyPrf::new(PrfKind::Sip, &key());
+        let bias = Bias::from_prob(0.3);
+        let mut enc = InputEncoder::with_domain(9);
+        let mark = enc.mark();
+        let count = prf.count_biased_many(1000, bias, &mut enc, |i, e| {
+            e.truncate(mark);
+            e.put_u64(i as u64);
+        });
+        let expected = (0..1000u64)
+            .filter(|&i| {
+                let mut e = InputEncoder::with_domain(9);
+                e.put_u64(i);
+                prf.eval_biased(e.as_bytes(), bias)
+            })
+            .count();
+        assert_eq!(count, expected);
     }
 
     #[test]

@@ -101,15 +101,198 @@ impl SipHash24 {
     /// a ChaCha nonce+counter from an arbitrary-length input).
     #[must_use]
     pub fn hash128(&self, data: &[u8]) -> u128 {
-        // Tweak the key halves for the second lane; any fixed constant
-        // yields an independent-looking PRF lane.
         let lo = self.hash(data);
-        let hi = SipHash24::new(
+        let hi = self.hi_lane().hash(data);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    /// The tweaked-key instance producing the high 64 bits of
+    /// [`SipHash24::hash128`]. Any fixed constant tweak yields an
+    /// independent-looking PRF lane.
+    #[must_use]
+    pub const fn hi_lane(&self) -> Self {
+        Self::new(
             self.k0 ^ 0x5851_f42d_4c95_7f2d,
             self.k1 ^ 0x1405_7b7e_f767_814f,
         )
-        .hash(data);
-        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    /// Starts an incremental hash: absorb bytes with
+    /// [`SipState::absorb`], finish with [`SipState::finish`].
+    ///
+    /// The point of the incremental form is *prefix reuse*: a state
+    /// absorbed over a shared prefix can be copied and finished under
+    /// many different suffixes, paying the prefix compression once per
+    /// batch instead of once per evaluation. `begin().absorb(x).finish()`
+    /// equals `hash(x)` exactly for any split of `x`.
+    #[must_use]
+    pub fn begin(&self) -> SipState {
+        SipState {
+            v0: 0x736f_6d65_7073_6575_u64 ^ self.k0,
+            v1: 0x646f_7261_6e64_6f6d_u64 ^ self.k1,
+            v2: 0x6c79_6765_6e65_7261_u64 ^ self.k0,
+            v3: 0x7465_6462_7974_6573_u64 ^ self.k1,
+            len: 0,
+            tail: 0,
+            ntail: 0,
+        }
+    }
+}
+
+/// Incremental SipHash-2-4 state: the four lanes plus an unfilled block.
+///
+/// `Copy` by design — finishing copies the state, so one prefix state
+/// serves arbitrarily many suffixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SipState {
+    v0: u64,
+    v1: u64,
+    v2: u64,
+    v3: u64,
+    /// Total bytes absorbed (feeds the length byte of the final block).
+    len: u64,
+    /// Up to 7 residual bytes not yet compressed, packed LSB-first.
+    tail: u64,
+    ntail: u32,
+}
+
+impl SipState {
+    #[inline]
+    fn compress(&mut self, m: u64) {
+        self.v3 ^= m;
+        for _ in 0..C_ROUNDS {
+            sip_round(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        }
+        self.v0 ^= m;
+    }
+
+    /// Absorbs `data`, compressing every full 8-byte block.
+    pub fn absorb(&mut self, data: &[u8]) -> &mut Self {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.ntail > 0 {
+            let need = (8 - self.ntail) as usize;
+            if data.len() < need {
+                for (i, &b) in data.iter().enumerate() {
+                    self.tail |= u64::from(b) << (8 * (self.ntail as usize + i));
+                }
+                self.ntail += data.len() as u32;
+                return self;
+            }
+            for (i, &b) in data[..need].iter().enumerate() {
+                self.tail |= u64::from(b) << (8 * (self.ntail as usize + i));
+            }
+            let block = self.tail;
+            self.compress(block);
+            self.tail = 0;
+            self.ntail = 0;
+            data = &data[need..];
+        }
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.compress(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            self.tail |= u64::from(b) << (8 * i);
+        }
+        self.ntail = chunks.remainder().len() as u32;
+        self
+    }
+
+    /// Absorbs a little-endian `u64` (8 bytes) without touching memory —
+    /// the hot path for fixed-width record fields.
+    #[inline]
+    pub fn absorb_u64(&mut self, value: u64) -> &mut Self {
+        self.len = self.len.wrapping_add(8);
+        if self.ntail == 0 {
+            self.compress(value);
+        } else {
+            let shift = 8 * self.ntail;
+            let block = self.tail | (value << shift);
+            self.compress(block);
+            self.tail = value >> (64 - shift);
+        }
+        self
+    }
+
+    /// Finalizes and returns the 64-bit tag; `self` is unchanged (copy
+    /// semantics), so the same state can absorb further suffixes.
+    #[inline]
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        let mut s = *self;
+        let last = s.tail | (s.len << 56);
+        s.compress(last);
+        s.finalize_rounds()
+    }
+
+    /// Whether the state sits exactly on a block boundary (no residual
+    /// bytes) — the precondition for the register-only finishers below.
+    #[inline]
+    #[must_use]
+    pub fn is_block_aligned(&self) -> bool {
+        self.ntail == 0
+    }
+
+    /// Register-only hot path: equivalent to
+    /// `absorb_u64(a).absorb_u64(b).absorb(tail_bytes).finish()` for a
+    /// block-aligned state and a short tail, with the tail's final block
+    /// precomputed by [`SipState::pack_short_tail`]. No memory traffic,
+    /// no branches: exactly three compressions plus finalization.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts block alignment.
+    #[inline]
+    #[must_use]
+    pub fn finish_u64x2_then(&self, a: u64, b: u64, packed_tail: u64) -> u64 {
+        debug_assert!(self.ntail == 0, "state must be block-aligned");
+        let mut s = *self;
+        s.compress(a);
+        s.compress(b);
+        s.compress(packed_tail);
+        s.finalize_rounds()
+    }
+
+    /// As [`SipState::finish_u64x2_then`] without the two u64 fields:
+    /// one precomputed final block on top of a block-aligned state.
+    #[inline]
+    #[must_use]
+    pub fn finish_then(&self, packed_tail: u64) -> u64 {
+        debug_assert!(self.ntail == 0, "state must be block-aligned");
+        let mut s = *self;
+        s.compress(packed_tail);
+        s.finalize_rounds()
+    }
+
+    /// Packs a short (< 8 bytes) constant tail into the SipHash final
+    /// block for a message that will consist of this state's bytes plus
+    /// `extra` more fixed-width bytes plus the tail. Feed the result to
+    /// [`SipState::finish_u64x2_then`] (`extra = 16`) or
+    /// [`SipState::finish_then`] (`extra = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail` holds 8 or more bytes (it must fit the final
+    /// block alongside the length byte).
+    #[must_use]
+    pub fn pack_short_tail(&self, extra: u64, tail: &[u8]) -> u64 {
+        assert!(tail.len() < 8, "short tail must fit the final block");
+        let mut packed = 0u64;
+        for (i, &b) in tail.iter().enumerate() {
+            packed |= u64::from(b) << (8 * i);
+        }
+        let total = self.len.wrapping_add(extra).wrapping_add(tail.len() as u64);
+        packed | (total << 56)
+    }
+
+    #[inline]
+    fn finalize_rounds(mut self) -> u64 {
+        self.v2 ^= 0xff;
+        for _ in 0..D_ROUNDS {
+            sip_round(&mut self.v0, &mut self.v1, &mut self.v2, &mut self.v3);
+        }
+        self.v0 ^ self.v1 ^ self.v2 ^ self.v3
     }
 }
 
@@ -219,6 +402,74 @@ mod tests {
         // All 16 bytes: not in the table above but must be deterministic
         // and distinct from the 15-byte prefix.
         assert_ne!(sip.hash(&msg), sip.hash(&msg[..15]));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_for_every_split() {
+        let sip = reference_key();
+        let msg: Vec<u8> = (0u8..40).map(|i| i.wrapping_mul(37)).collect();
+        let expected = sip.hash(&msg);
+        for split in 0..=msg.len() {
+            let mut state = sip.begin();
+            state.absorb(&msg[..split]);
+            state.absorb(&msg[split..]);
+            assert_eq!(state.finish(), expected, "diverged at split {split}");
+        }
+        // Three-way splits with tiny fragments (exercise residual joins).
+        for a in 0..8 {
+            for b in a..12.min(msg.len()) {
+                let mut state = sip.begin();
+                state.absorb(&msg[..a]).absorb(&msg[a..b]).absorb(&msg[b..]);
+                assert_eq!(state.finish(), expected, "diverged at splits {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_vectors() {
+        let sip = reference_key();
+        let msg: Vec<u8> = (0u8..16).collect();
+        for (len, expected) in REFERENCE_VECTORS.iter().enumerate() {
+            let mut state = sip.begin();
+            for &b in &msg[..len] {
+                state.absorb(&[b]);
+            }
+            assert_eq!(state.finish(), *expected, "vector mismatch at length {len}");
+        }
+    }
+
+    #[test]
+    fn absorb_u64_matches_byte_absorb() {
+        let sip = reference_key();
+        for prefix_len in 0..9usize {
+            let prefix: Vec<u8> = (0..prefix_len as u8).collect();
+            let value = 0xDEAD_BEEF_CAFE_F00Du64;
+            let mut by_word = sip.begin();
+            by_word.absorb(&prefix).absorb_u64(value);
+            let mut by_bytes = sip.begin();
+            by_bytes.absorb(&prefix).absorb(&value.to_le_bytes());
+            assert_eq!(
+                by_word.finish(),
+                by_bytes.finish(),
+                "absorb_u64 diverged after {prefix_len}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn finish_is_non_destructive() {
+        let sip = reference_key();
+        let mut state = sip.begin();
+        state.absorb(b"shared prefix");
+        let first = state.finish();
+        assert_eq!(state.finish(), first);
+        // The same prefix state serves many suffixes.
+        let mut a = state;
+        a.absorb(b"-alpha");
+        let mut b = state;
+        b.absorb(b"-beta");
+        assert_eq!(a.finish(), sip.hash(b"shared prefix-alpha"));
+        assert_eq!(b.finish(), sip.hash(b"shared prefix-beta"));
     }
 
     #[test]

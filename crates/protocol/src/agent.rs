@@ -85,8 +85,7 @@ impl UserAgent {
         }
         // Charge the *whole* plan atomically before publishing anything:
         // a partial publication would still leak.
-        self.accountant
-            .charge(announcement.subsets.len() as u32)?;
+        self.accountant.charge(announcement.subsets.len() as u32)?;
 
         let sketcher = Sketcher::new(params);
         let mut sketches = Vec::with_capacity(announcement.subsets.len());
@@ -125,7 +124,12 @@ mod tests {
     }
 
     fn agent(budget: f64, p: f64) -> UserAgent {
-        UserAgent::new(UserId(3), Profile::from_bits(&[true, false, true, true]), p, budget)
+        UserAgent::new(
+            UserId(3),
+            Profile::from_bits(&[true, false, true, true]),
+            p,
+            budget,
+        )
     }
 
     #[test]

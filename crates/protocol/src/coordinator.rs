@@ -9,8 +9,8 @@
 use crate::messages::{Announcement, Submission};
 use parking_lot::Mutex;
 use psketch_core::theory::min_sketch_bits;
-use psketch_core::{BitSubset, Error, SketchDb, UserId};
-use std::collections::HashSet;
+use psketch_core::{BitSubset, Error, SketchDb, SketchRecord, UserId};
+use std::collections::{HashMap, HashSet};
 
 /// Builder for announcements.
 #[derive(Debug, Clone)]
@@ -90,6 +90,17 @@ impl AnnouncementBuilder {
     }
 }
 
+/// The result of a batch ingestion: how many submissions landed and how
+/// many were rejected (malformed or duplicate).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Submissions accepted into the pool.
+    pub accepted: usize,
+    /// Submissions rejected (also added to the coordinator's running
+    /// rejection counter).
+    pub rejected: usize,
+}
+
 /// The coordinator: holds the announcement and the public pool.
 #[derive(Debug)]
 pub struct Coordinator {
@@ -142,10 +153,71 @@ impl Coordinator {
                 });
             }
         }
-        for (subset, sketch) in records {
-            self.db.insert(subset, submission.user, sketch);
-        }
+        self.ingest(std::iter::once((submission.user, records)));
         Ok(())
+    }
+
+    /// Accepts a whole batch of submissions at once.
+    ///
+    /// Malformed or duplicate submissions are rejected (and counted)
+    /// individually without failing the batch — ingestion at scale must
+    /// not let one hostile bundle stall everyone else's. All decoded
+    /// records are grouped per subset and appended through the pool's
+    /// columnar batch insert, so a batch of `m` submissions over `k`
+    /// subsets costs `k` shard appends instead of `m·k` map probes.
+    pub fn accept_batch<'a, I>(&self, submissions: I) -> BatchOutcome
+    where
+        I: IntoIterator<Item = &'a Submission>,
+    {
+        let mut outcome = BatchOutcome::default();
+        // Decode outside any lock: bundle parsing is the expensive part
+        // and must not serialize concurrent ingestion.
+        let mut decoded: Vec<(UserId, Vec<(BitSubset, psketch_core::Sketch)>)> = Vec::new();
+        for submission in submissions {
+            match submission.decode(&self.announcement) {
+                Ok(records) => decoded.push((submission.user, records)),
+                Err(_) => {
+                    *self.rejected.lock() += 1;
+                    outcome.rejected += 1;
+                }
+            }
+        }
+        // Dedup under a short lock covering only the membership check.
+        {
+            let mut seen = self.seen.lock();
+            decoded.retain(|(user, _)| {
+                if seen.insert(*user) {
+                    true
+                } else {
+                    *self.rejected.lock() += 1;
+                    outcome.rejected += 1;
+                    false
+                }
+            });
+        }
+        outcome.accepted = decoded.len();
+        self.ingest(decoded);
+        outcome
+    }
+
+    /// Groups decoded records by subset and lands them in the pool's
+    /// columnar shards via `SketchDb::insert_batch`.
+    fn ingest<I>(&self, decoded: I)
+    where
+        I: IntoIterator<Item = (UserId, Vec<(BitSubset, psketch_core::Sketch)>)>,
+    {
+        let mut grouped: HashMap<BitSubset, Vec<SketchRecord>> = HashMap::new();
+        for (user, records) in decoded {
+            for (subset, sketch) in records {
+                grouped
+                    .entry(subset)
+                    .or_default()
+                    .push(SketchRecord { id: user, sketch });
+            }
+        }
+        for (subset, records) in grouped {
+            self.db.insert_batch(subset, records);
+        }
     }
 
     /// Number of accepted participants.
@@ -171,9 +243,7 @@ impl Coordinator {
 mod tests {
     use super::*;
     use crate::agent::UserAgent;
-    use psketch_core::{
-        BitString, ConjunctiveEstimator, ConjunctiveQuery, Profile,
-    };
+    use psketch_core::{BitString, ConjunctiveEstimator, ConjunctiveQuery, Profile};
     use psketch_prf::{GlobalKey, Prg};
     use rand::SeedableRng;
 
@@ -191,10 +261,7 @@ mod tests {
     fn builder_dedupes_and_sizes_sketches() {
         let ann = build_announcement();
         assert_eq!(ann.subsets.len(), 2);
-        assert_eq!(
-            ann.sketch_bits,
-            min_sketch_bits(10_000, 1e-6, 0.45)
-        );
+        assert_eq!(ann.sketch_bits, min_sketch_bits(10_000, 1e-6, 0.45));
     }
 
     #[test]
@@ -234,6 +301,69 @@ mod tests {
             "estimate {} strayed",
             est.fraction
         );
+    }
+
+    #[test]
+    fn batch_ingestion_matches_one_by_one() {
+        let ann = build_announcement();
+        let one_by_one = Coordinator::new(ann.clone());
+        let batched = Coordinator::new(ann.clone());
+        let mut rng = Prg::seed_from_u64(12);
+        let submissions: Vec<Submission> = (0..500u64)
+            .map(|i| {
+                let profile = Profile::from_bits(&[i % 4 == 0, i % 2 == 0]);
+                let mut agent = UserAgent::new(UserId(i), profile, 0.45, 1e6);
+                agent.participate(&ann, &mut rng).unwrap()
+            })
+            .collect();
+        for sub in &submissions {
+            one_by_one.accept(sub).unwrap();
+        }
+        let outcome = batched.accept_batch(&submissions);
+        assert_eq!(
+            outcome,
+            BatchOutcome {
+                accepted: 500,
+                rejected: 0
+            }
+        );
+        assert_eq!(batched.participants(), one_by_one.participants());
+
+        // Both pools answer identically: same records per subset (batch
+        // grouping must not lose or duplicate anything).
+        for subset in one_by_one.pool().subsets() {
+            let mut a = one_by_one.pool().records(&subset).unwrap();
+            let mut b = batched.pool().records(&subset).unwrap();
+            a.sort_by_key(|r| r.id);
+            b.sort_by_key(|r| r.id);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_submissions_without_failing() {
+        let ann = build_announcement();
+        let coordinator = Coordinator::new(ann.clone());
+        let mut rng = Prg::seed_from_u64(13);
+        let mut agent = UserAgent::new(UserId(1), Profile::from_bits(&[true, true]), 0.45, 1e6);
+        let good = agent.participate(&ann, &mut rng).unwrap();
+        let duplicate = good.clone();
+        let malformed = Submission {
+            user: UserId(2),
+            database_id: 999,
+            bundle: vec![1, 2, 3],
+            skipped: vec![],
+        };
+        let outcome = coordinator.accept_batch([&good, &duplicate, &malformed]);
+        assert_eq!(
+            outcome,
+            BatchOutcome {
+                accepted: 1,
+                rejected: 2
+            }
+        );
+        assert_eq!(coordinator.participants(), 1);
+        assert_eq!(coordinator.rejected(), 2);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Attack gallery: why hashing and retention replacement leak, and why
+//! sketches do not.
+//!
+//! Recreates §1's partial-knowledge attack on retention replacement, §3's
+//! dictionary attack on hashing, and then turns the *same* attackers loose
+//! on sketches — where the exact posterior provably stays near the prior.
+//!
+//! Run: `cargo run --release --example attack_gallery`
+
+use psketch::baselines::{
+    dictionary_attack, retention_posterior, sketch_posterior, HashPublisher, RetentionChannel,
+};
+use psketch::core::theory::privacy_ratio_bound;
+use psketch::{BitString, BitSubset, GlobalKey, Prg, Profile, SketchParams, Sketcher, UserId};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = Prg::seed_from_u64(99);
+
+    println!("=== 1. Hashing (§3 strawman) vs a dictionary attacker ===");
+    let publisher = HashPublisher::new(&GlobalKey::from_seed(5));
+    let subset = BitSubset::range(0, 7);
+    let secret = BitString::from_u64(42, 7);
+    let mut profile = Profile::zeros(7);
+    for (i, b) in secret.iter().enumerate() {
+        profile.set(i, b);
+    }
+    let published = publisher.publish(UserId(1), &subset, &profile);
+    let candidates: Vec<BitString> = (0..100u64).map(|v| BitString::from_u64(v, 7)).collect();
+    let recovered = dictionary_attack(&publisher, UserId(1), &subset, published, &candidates);
+    println!("Bob knows Alice's value is one of 100 candidates.");
+    println!("published hash: {published:#018x}");
+    println!("recovered: {recovered:?}  <- exact recovery\n");
+
+    println!("=== 2. Retention replacement vs the intro's partial-knowledge attack ===");
+    let channel = RetentionChannel::new(0.5, 10).unwrap();
+    let cand_a = vec![1u64, 1, 2, 2, 3, 3];
+    let cand_b = vec![4u64, 4, 5, 5, 6, 6];
+    let observed = channel.perturb_sequence(&cand_a, &mut rng);
+    let posterior = retention_posterior(&channel, &observed, &[cand_a.clone(), cand_b.clone()]);
+    println!("true value  <1,1,2,2,3,3>, alternative <4,4,5,5,6,6>");
+    println!("observed    {observed:?}");
+    println!(
+        "posterior   [{:.3}, {:.3}]  <- 'virtually reveals the exact private data'\n",
+        posterior[0], posterior[1]
+    );
+
+    println!("=== 3. The same 2-candidate attacker vs a sketch ===");
+    let p = 0.45;
+    let params = SketchParams::with_sip(p, 6, GlobalKey::from_seed(6)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let subset6 = BitSubset::range(0, 6);
+    let ca = BitString::from_u64(17, 6);
+    let cb = BitString::from_u64(44, 6);
+    let bound = privacy_ratio_bound(p);
+    println!(
+        "p = {p}: Lemma 3.3 caps any posterior at bound/(bound+1) = {:.3}",
+        bound / (bound + 1.0)
+    );
+    let mut worst: f64 = 0.0;
+    let mut total = 0.0;
+    let trials = 20;
+    for t in 0..trials {
+        let id = UserId(t);
+        let run = sketcher
+            .sketch_value_with_stats(id, &subset6, &ca, &mut rng)
+            .unwrap();
+        let post = sketch_posterior(&params, id, &subset6, run.sketch, &[ca.clone(), cb.clone()]);
+        worst = worst.max(post[0]);
+        total += post[0];
+        if t < 5 {
+            println!(
+                "  sketch {:>2}: posterior on truth = {:.3}",
+                run.sketch.key, post[0]
+            );
+        }
+    }
+    println!("  …");
+    println!(
+        "over {trials} fresh sketches: mean posterior {:.3}, worst {:.3} (cap {:.3})",
+        total / f64::from(trials as u32),
+        worst,
+        bound / (bound + 1.0)
+    );
+    println!("\nok: the attacker that broke both baselines learns almost nothing from a sketch");
+}

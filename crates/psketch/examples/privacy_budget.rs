@@ -1,0 +1,55 @@
+//! Privacy budgeting: how many sketches may one user release?
+//!
+//! Corollary 3.4 makes privacy a resource: each sketch multiplies the
+//! worst-case likelihood ratio by `((1−p)/p)⁴`. This example plans a bias
+//! for a release schedule, spends the budget sketch by sketch, and shows
+//! the refusal when the budget runs dry.
+//!
+//! Run: `cargo run --release --example privacy_budget`
+
+use psketch::core::theory::{epsilon_for, p_for_epsilon, privacy_ratio_bound};
+use psketch::core::PrivacyAccountant;
+
+fn main() {
+    println!("=== planning: bias for an ε-budget over l sketches (Cor 3.4) ===");
+    println!(
+        "{:>6} {:>5} {:>12} {:>12} {:>14}",
+        "eps", "l", "paper p", "exact p", "achieved eps"
+    );
+    for &(eps, l) in &[(0.5f64, 1u32), (0.5, 8), (0.5, 64), (0.1, 8), (2.0, 8)] {
+        let acct = PrivacyAccountant::plan(eps, l);
+        println!(
+            "{eps:>6.2} {l:>5} {:>12.6} {:>12.6} {:>14.4}",
+            p_for_epsilon(eps, l),
+            acct.p(),
+            epsilon_for(acct.p(), l),
+        );
+    }
+
+    println!("\n=== spending: a user with ε = 1.0 at p = 0.49 ===");
+    let mut acct = PrivacyAccountant::new(0.49, 1.0);
+    println!(
+        "per-sketch ratio ((1-p)/p)^4 = {:.4}; budget allows {} sketches",
+        privacy_ratio_bound(acct.p()),
+        acct.remaining_sketches()
+    );
+    let mut released = 0;
+    loop {
+        match acct.charge(1) {
+            Ok(()) => {
+                released += 1;
+                println!(
+                    "  sketch {released:>2}: spent eps = {:.4}, remaining releases = {}",
+                    acct.spent_epsilon(),
+                    acct.remaining_sketches()
+                );
+            }
+            Err(e) => {
+                println!("  refused: {e}");
+                break;
+            }
+        }
+    }
+    assert!(released > 0);
+    println!("\nok: the accountant stopped the user before the budget broke");
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the full sketch pipeline in ~60 lines.
+//!
+//! A population of users each holds three private bits. Everyone publishes
+//! one ~10-bit sketch; the analyst answers conjunctive queries — including
+//! negated attributes — without ever seeing a single true bit.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use psketch::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, GlobalKey, Prg, Profile,
+    SketchDb, SketchParams, Sketcher, UserId,
+};
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    // Public, database-wide parameters: bias p < 1/2, sketch length l,
+    // and the global key of the public pseudorandom function H.
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(2006)).unwrap();
+    println!(
+        "parameters: p = {}, sketch = {} bits",
+        params.p(),
+        params.sketch_bits()
+    );
+    println!(
+        "single-sketch privacy ratio bound ((1-p)/p)^4 = {:.2}",
+        psketch::core::theory::privacy_ratio_bound(params.p())
+    );
+
+    // --- User side -------------------------------------------------------
+    // 10,000 users; ~42% smoke (bit 0), ~25% inhale (bit 1), correlated
+    // third bit. Each runs Algorithm 1 with *their own* randomness.
+    let m = 10_000u64;
+    let subset = BitSubset::range(0, 3);
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    let mut rng = Prg::seed_from_u64(42);
+    let mut truth_count = 0u64;
+    for i in 0..m {
+        let smokes = rng.random::<f64>() < 0.42;
+        let inhaled = smokes && rng.random::<f64>() < 0.6;
+        let urban = rng.random::<f64>() < 0.5;
+        let profile = Profile::from_bits(&[smokes, inhaled, urban]);
+        // Ground truth for the demo query: smokes AND NOT inhaled.
+        if smokes && !inhaled {
+            truth_count += 1;
+        }
+        let sketch = sketcher
+            .sketch(UserId(i), &profile, &subset, &mut rng)
+            .unwrap();
+        db.insert(subset.clone(), UserId(i), sketch);
+    }
+    println!(
+        "\npublished {} sketches of {} bits each",
+        db.total_records(),
+        params.sketch_bits()
+    );
+
+    // --- Analyst side ------------------------------------------------------
+    // "What fraction smokes but never inhaled?" — a conjunction with a
+    // negated attribute, the paper's flagship query shape.
+    let estimator = ConjunctiveEstimator::new(params);
+    let query = ConjunctiveQuery::new(subset, BitString::from_bits(&[true, false, true])).unwrap();
+    // This asks: smokes ∧ ¬inhaled ∧ urban. Ask both urban variants and add.
+    let est_urban = estimator.estimate(&db, &query).unwrap();
+    let query2 = ConjunctiveQuery::new(
+        query.subset().clone(),
+        BitString::from_bits(&[true, false, false]),
+    )
+    .unwrap();
+    let est_rural = estimator.estimate(&db, &query2).unwrap();
+    let estimate = est_urban.fraction + est_rural.fraction;
+    let truth = truth_count as f64 / m as f64;
+
+    println!("\nquery: smokes AND NOT inhaled");
+    println!("  true fraction      : {truth:.4}");
+    println!("  sketch estimate    : {estimate:.4}");
+    println!(
+        "  95% half-width     : {:.4}",
+        est_urban.half_width(0.05) * 2.0
+    );
+    println!(
+        "  Lemma 4.1: P[err > 0.05] <= {:.4}",
+        est_urban.lemma41_failure_prob(0.05)
+    );
+    assert!(
+        (estimate - truth).abs() < 0.05,
+        "estimate strayed outside the bound band"
+    );
+    println!("\nok: estimate within the Lemma 4.1 band — no raw bit ever left a user's machine");
+}

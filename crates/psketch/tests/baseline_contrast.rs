@@ -1,0 +1,118 @@
+//! The paper's comparative claims as integration tests: sketches beat
+//! randomized response on wide conjunctions; retention replacement and
+//! hashing lose to attackers that sketches survive.
+
+use psketch::baselines::{randomize_profiles, RetentionChannel, WarnerChannel};
+use psketch::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, GlobalKey, Prg, SketchDb,
+    SketchParams, Sketcher,
+};
+use psketch_data::PlantedConjunction;
+use rand::SeedableRng;
+
+/// RMS error over repetitions for (sketch, rr-product) at width k.
+fn rms_pair(m: usize, k: usize, p: f64, reps: u64) -> (f64, f64) {
+    let mut sq_sketch = 0.0;
+    let mut sq_rr = 0.0;
+    for rep in 0..reps {
+        let mut rng = Prg::seed_from_u64(1000 + rep);
+        let gen = PlantedConjunction::all_ones(k, k, 0.5);
+        let pop = gen.generate(m, &mut rng);
+        let truth = pop.true_fraction(&gen.subset, &gen.value);
+
+        let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(rep)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        pop.publish(&sketcher, &gen.subset, &db, &mut rng).unwrap();
+        let est = ConjunctiveEstimator::new(params)
+            .estimate(
+                &db,
+                &ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).unwrap(),
+            )
+            .unwrap()
+            .fraction;
+        sq_sketch += (est - truth) * (est - truth);
+
+        let profiles: Vec<_> = (0..pop.len()).map(|i| pop.profile(i).clone()).collect();
+        let rr = randomize_profiles(p, profiles, &mut rng).unwrap();
+        let rr_est = rr.product_estimate(&gen.subset, &gen.value).unwrap();
+        sq_rr += (rr_est - truth) * (rr_est - truth);
+    }
+    (
+        (sq_sketch / reps as f64).sqrt(),
+        (sq_rr / reps as f64).sqrt(),
+    )
+}
+
+#[test]
+fn sketches_beat_randomized_response_on_wide_conjunctions() {
+    let (sketch_err, rr_err) = rms_pair(4_000, 12, 0.3, 6);
+    assert!(
+        rr_err > 5.0 * sketch_err,
+        "at width 12 RR should be far worse: sketch {sketch_err}, rr {rr_err}"
+    );
+    // And on width 1 they are comparable — RR is the paper's special case.
+    let (s1, r1) = rms_pair(4_000, 1, 0.3, 6);
+    assert!(
+        r1 < 3.0 * s1 + 0.02,
+        "at width 1 the methods should be comparable: {s1} vs {r1}"
+    );
+}
+
+#[test]
+fn warner_is_the_single_bit_special_case() {
+    // A single-bit sketch and a Warner flip answer the same query with
+    // similar accuracy at the same p.
+    let p = 0.3;
+    let m = 30_000u64;
+    let mut rng = Prg::seed_from_u64(77);
+    let channel = WarnerChannel::new(p).unwrap();
+    let true_fraction = 0.62;
+    let cutoff = (true_fraction * m as f64) as u64;
+
+    // Warner path.
+    let ones = (0..m)
+        .filter(|&i| channel.flip_bit(i < cutoff, &mut rng))
+        .count();
+    let warner_est = channel.estimate_single_bit(ones as f64 / m as f64);
+
+    // Sketch path on the same population.
+    let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(8)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    let subset = BitSubset::single(0);
+    for i in 0..m {
+        let profile = psketch::Profile::from_bits(&[i < cutoff]);
+        let s = sketcher
+            .sketch(psketch::UserId(i), &profile, &subset, &mut rng)
+            .unwrap();
+        db.insert(subset.clone(), psketch::UserId(i), s);
+    }
+    let sketch_est = ConjunctiveEstimator::new(params)
+        .estimate(
+            &db,
+            &ConjunctiveQuery::new(subset, BitString::from_bits(&[true])).unwrap(),
+        )
+        .unwrap()
+        .fraction;
+
+    assert!(
+        (warner_est - true_fraction).abs() < 0.02,
+        "warner {warner_est}"
+    );
+    assert!(
+        (sketch_est - true_fraction).abs() < 0.02,
+        "sketch {sketch_est}"
+    );
+}
+
+#[test]
+fn retention_privacy_ratio_dwarfs_sketch_bound() {
+    use psketch::core::theory::privacy_ratio_bound;
+    // At comparable utility (rho = 0.5 keeps half the signal; p = 0.25
+    // keeps denominator 0.5), retention's worst-case ratio grows with the
+    // domain while the sketch bound is a constant.
+    let sketch_bound = privacy_ratio_bound(0.25); // 81
+    let retention = RetentionChannel::new(0.5, 1 << 16).unwrap();
+    assert!(retention.privacy_ratio() > 800.0 * sketch_bound);
+}

@@ -1,0 +1,133 @@
+//! Appendix F across crates: sketch several subsets, glue them into
+//! union-conjunction and disjunction answers, and stress the transition
+//! system's invariants property-style.
+
+use proptest::prelude::*;
+use psketch::core::{
+    recover_from_bits, transition_condition_number, transition_matrix, CombinedEstimator,
+};
+use psketch::{
+    BitString, BitSubset, ConjunctiveQuery, GlobalKey, Prg, Profile, SketchDb, SketchParams,
+    Sketcher, UserId,
+};
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn union_conjunction_and_disjunction_from_glued_sketches() {
+    let p = 0.25;
+    let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(13)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    let b1 = BitSubset::range(0, 2);
+    let b2 = BitSubset::range(2, 2);
+    let b3 = BitSubset::range(4, 2);
+    let mut rng = Prg::seed_from_u64(14);
+    let m = 30_000u64;
+    // 25% satisfy all three (111111), 25% only b1, 50% none.
+    let mut all3 = 0u64;
+    let mut any = 0u64;
+    for i in 0..m {
+        let profile = match i % 4 {
+            0 => {
+                all3 += 1;
+                any += 1;
+                Profile::from_bits(&[true; 6])
+            }
+            1 => {
+                any += 1;
+                Profile::from_bits(&[true, true, false, false, false, false])
+            }
+            _ => Profile::from_bits(&[false; 6]),
+        };
+        for b in [&b1, &b2, &b3] {
+            let s = sketcher.sketch(UserId(i), &profile, b, &mut rng).unwrap();
+            db.insert(b.clone(), UserId(i), s);
+        }
+    }
+    let estimator = CombinedEstimator::new(params);
+    let components: Vec<ConjunctiveQuery> = [&b1, &b2, &b3]
+        .iter()
+        .map(|b| ConjunctiveQuery::new((*b).clone(), BitString::from_bits(&[true, true])).unwrap())
+        .collect();
+    let est = estimator.estimate(&db, &components).unwrap();
+    let truth_all = all3 as f64 / m as f64;
+    let truth_any = any as f64 / m as f64;
+    assert!(
+        (est.all_satisfied() - truth_all).abs() < 0.04,
+        "conjunction {} vs {truth_all}",
+        est.all_satisfied()
+    );
+    assert!(
+        (est.disjunction() - truth_any).abs() < 0.04,
+        "disjunction {} vs {truth_any}",
+        est.disjunction()
+    );
+    // §4.1's "exactly l of k" reading is available too.
+    assert!(
+        (est.exactly(1) - 0.25).abs() < 0.05,
+        "exactly-one {} vs 0.25",
+        est.exactly(1)
+    );
+}
+
+proptest! {
+    /// Transition matrices are column-stochastic for any (k, p).
+    #[test]
+    fn transition_matrix_is_stochastic(k in 1usize..10, p in 0.0f64..=1.0) {
+        let v = transition_matrix(k, p);
+        for l in 0..=k {
+            let col: f64 = (0..=k).map(|lp| v[(lp, l)]).sum();
+            prop_assert!((col - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Noiseless recovery is exact for arbitrary bit histograms.
+    #[test]
+    fn noiseless_recovery_roundtrips(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 4),
+            1..60,
+        ),
+    ) {
+        let est = recover_from_bits(4, 1e-12, rows.clone()).unwrap();
+        for l in 0..=4usize {
+            let truth = rows.iter().filter(|r| r.iter().filter(|&&b| b).count() == l).count()
+                as f64 / rows.len() as f64;
+            prop_assert!((est.by_ones[l] - truth).abs() < 1e-6);
+        }
+    }
+
+    /// The condition number grows monotonically towards p = 1/2.
+    #[test]
+    fn conditioning_monotone_in_p(k in 2usize..8) {
+        let k1 = transition_condition_number(k, 0.1);
+        let k2 = transition_condition_number(k, 0.3);
+        let k3 = transition_condition_number(k, 0.45);
+        prop_assert!(k1 <= k2 && k2 <= k3);
+    }
+}
+
+#[test]
+fn statistical_recovery_with_noise() {
+    // Flip 3 bits at p = 0.15 and recover a planted histogram.
+    let p = 0.15;
+    let mut rng = Prg::seed_from_u64(15);
+    let m = 50_000;
+    let rows: Vec<Vec<bool>> = (0..m)
+        .map(|i| {
+            let truth = match i % 5 {
+                0 | 1 => vec![true, true, true],
+                2 => vec![true, false, false],
+                _ => vec![false, false, false],
+            };
+            truth
+                .into_iter()
+                .map(|b| b ^ (rng.random::<f64>() < p))
+                .collect()
+        })
+        .collect();
+    let est = recover_from_bits(3, p, rows).unwrap();
+    assert!((est.by_ones[3] - 0.4).abs() < 0.02);
+    assert!((est.by_ones[1] - 0.2).abs() < 0.02);
+    assert!((est.by_ones[0] - 0.4).abs() < 0.02);
+}

@@ -1,0 +1,127 @@
+//! End-to-end pipeline: generate → publish → query → check against the
+//! Lemma 4.1 error band, across crates.
+
+use psketch::core::theory::query_error_bound;
+use psketch::{
+    BitString, ConjunctiveEstimator, ConjunctiveQuery, GlobalKey, Prg, SketchDb, SketchParams,
+    Sketcher,
+};
+use psketch_data::{BasketModel, PlantedConjunction, SurveyModel};
+use rand::SeedableRng;
+
+fn params(p: f64, seed: u64) -> SketchParams {
+    SketchParams::with_sip(p, 10, GlobalKey::from_seed(seed)).unwrap()
+}
+
+#[test]
+fn planted_fraction_recovered_within_lemma41_band() {
+    let p = 0.3;
+    let m = 30_000;
+    let params = params(p, 1);
+    let mut rng = Prg::seed_from_u64(2);
+    for &k in &[1usize, 4, 10] {
+        let gen = PlantedConjunction::all_ones(k.max(2), k, 0.35);
+        let pop = gen.generate(m, &mut rng);
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        pop.publish(&sketcher, &gen.subset, &db, &mut rng).unwrap();
+        let estimator = ConjunctiveEstimator::new(params);
+        let q = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).unwrap();
+        let est = estimator.estimate(&db, &q).unwrap();
+        let truth = pop.true_fraction(&gen.subset, &gen.value);
+        // δ = 1e-3 band: failures here are 1-in-a-thousand events per run;
+        // with fixed seeds this is deterministic and was verified green.
+        let band = query_error_bound(m as u64, p, 1e-3);
+        assert!(
+            (est.fraction - truth).abs() <= band,
+            "k={k}: |{} - {truth}| > band {band}",
+            est.fraction
+        );
+    }
+}
+
+#[test]
+fn survey_pipeline_answers_the_intro_query() {
+    let params = params(0.3, 3);
+    let mut rng = Prg::seed_from_u64(4);
+    let pop = SurveyModel::epidemiology().generate(50_000, &mut rng);
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    let health = psketch::BitSubset::new(vec![0, 1]).unwrap();
+    pop.publish(&sketcher, &health, &db, &mut rng).unwrap();
+    let estimator = ConjunctiveEstimator::new(params);
+    let q = ConjunctiveQuery::new(health.clone(), BitString::from_bits(&[true, false])).unwrap();
+    let est = estimator.estimate(&db, &q).unwrap();
+    let truth = pop.true_fraction(&health, &BitString::from_bits(&[true, false]));
+    assert!(
+        (est.fraction - truth).abs() < 0.02,
+        "hiv+ & !aids: {} vs {truth}",
+        est.fraction
+    );
+}
+
+#[test]
+fn basket_support_estimation() {
+    // Frequent-itemset mining, the paper's §2 framing: estimate the
+    // support of a planted 3-itemset from sketches of that subset.
+    let params = params(0.25, 5);
+    let mut rng = Prg::seed_from_u64(6);
+    let model = BasketModel::new(40, 0.02).with_itemset(vec![3, 7, 11], 0.22);
+    let pop = model.generate(30_000, &mut rng);
+    let subset = psketch::BitSubset::new(vec![3, 7, 11]).unwrap();
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    pop.publish(&sketcher, &subset, &db, &mut rng).unwrap();
+    let estimator = ConjunctiveEstimator::new(params);
+    let all_ones = BitString::from_bits(&[true; 3]);
+    let q = ConjunctiveQuery::new(subset.clone(), all_ones.clone()).unwrap();
+    let est = estimator.estimate(&db, &q).unwrap();
+    let truth = pop.true_fraction(&subset, &all_ones);
+    assert!(
+        (est.fraction - truth).abs() < 0.02,
+        "support: {} vs {truth}",
+        est.fraction
+    );
+}
+
+#[test]
+fn distribution_over_a_subset_sums_to_one() {
+    let params = params(0.3, 7);
+    let mut rng = Prg::seed_from_u64(8);
+    let gen = PlantedConjunction::all_ones(4, 3, 0.5);
+    let pop = gen.generate(20_000, &mut rng);
+    let sketcher = Sketcher::new(params);
+    let db = SketchDb::new();
+    pop.publish(&sketcher, &gen.subset, &db, &mut rng).unwrap();
+    let estimator = ConjunctiveEstimator::new(params);
+    let dist = estimator.estimate_distribution(&db, &gen.subset).unwrap();
+    let total: f64 = dist.iter().map(|e| e.fraction).sum();
+    assert!((total - 1.0).abs() < 0.06, "distribution sums to {total}");
+    // The planted all-ones cell dominates.
+    let max_idx = (0..dist.len())
+        .max_by(|&a, &b| dist[a].fraction.total_cmp(&dist[b].fraction))
+        .unwrap();
+    assert_eq!(max_idx, 7, "all-ones cell should dominate");
+}
+
+#[test]
+fn both_prf_families_agree_end_to_end() {
+    let mut rng = Prg::seed_from_u64(9);
+    let gen = PlantedConjunction::all_ones(4, 4, 0.4);
+    let pop = gen.generate(20_000, &mut rng);
+    let mut estimates = Vec::new();
+    for kind in [psketch::PrfKind::Sip, psketch::PrfKind::ChaCha] {
+        let params = SketchParams::new(0.3, 10, GlobalKey::from_seed(10), kind).unwrap();
+        let sketcher = Sketcher::new(params);
+        let db = SketchDb::new();
+        pop.publish(&sketcher, &gen.subset, &db, &mut rng).unwrap();
+        let estimator = ConjunctiveEstimator::new(params);
+        let q = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).unwrap();
+        estimates.push(estimator.estimate(&db, &q).unwrap().fraction);
+    }
+    assert!(
+        (estimates[0] - estimates[1]).abs() < 0.03,
+        "PRF families disagree: {estimates:?}"
+    );
+    assert!((estimates[0] - 0.4).abs() < 0.02);
+}

@@ -1,0 +1,147 @@
+//! Cross-crate tests for the Conclusions extensions and the protocol
+//! layer: function sketches keep the privacy bound, advanced composition
+//! delivers its quadratic gain, and the deployment round is airtight.
+
+use psketch::core::composition::{epsilon_advanced, max_sketches_advanced, max_sketches_basic};
+use psketch::core::theory::privacy_ratio_bound;
+use psketch::core::{FunctionEstimator, FunctionId, FunctionRecord, FunctionSketcher};
+use psketch::protocol::{AnnouncementBuilder, Coordinator, UserAgent};
+use psketch::{BitSubset, GlobalKey, Prg, Profile, SketchParams, UserId};
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn function_sketches_respect_the_privacy_ratio() {
+    // Empirical Pr[s | f(d) = a] vs Pr[s | f(d) = b] stays within the
+    // Lemma 3.3 bound — the Conclusions' "same privacy guarantees apply".
+    let p = 0.4;
+    let params = SketchParams::with_sip(p, 3, GlobalKey::from_seed(31)).unwrap();
+    let sketcher = FunctionSketcher::new(params);
+    let fid = FunctionId::new(5, 2);
+    let id = UserId(11);
+    let mut rng = Prg::seed_from_u64(32);
+    let l = params.key_space() as usize;
+    let trials = 40_000;
+    let mut counts = [vec![0u64; l], vec![0u64; l]];
+    for (slot, output) in [(0usize, 1u64), (1, 2)] {
+        for _ in 0..trials {
+            // At ℓ = 3 the key space is tiny; Algorithm 1 may legitimately
+            // exhaust it ("report failure and stop") — the ratio bound
+            // applies to the published sketches.
+            match sketcher.sketch(id, &Profile::zeros(1), fid, |_| output, &mut rng) {
+                Ok(s) => counts[slot][s.key as usize] += 1,
+                Err(psketch::Error::KeySpaceExhausted { .. }) => {}
+                Err(e) => panic!("unexpected sketching error: {e}"),
+            }
+        }
+    }
+    let bound = privacy_ratio_bound(p);
+    for (key, (&a, &b)) in counts[0].iter().zip(counts[1].iter()).enumerate() {
+        if a > 200 && b > 200 {
+            let ratio = a as f64 / b as f64;
+            assert!(
+                ratio < bound * 1.3 && ratio > 1.0 / (bound * 1.3),
+                "key {key}: ratio {ratio} breaks bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn advanced_composition_budget_is_honored_end_to_end() {
+    // Plan a release schedule under advanced composition and verify the
+    // achieved epsilon really stays under budget at the boundary count.
+    let (eps, delta) = (1.0, 1e-9);
+    for &p in &[0.4995f64, 0.49995] {
+        let l_adv = max_sketches_advanced(p, eps, delta);
+        let l_basic = max_sketches_basic(p, eps);
+        assert!(l_adv > l_basic, "p={p}: advanced should allow more");
+        assert!(epsilon_advanced(p, l_adv, delta) <= eps);
+        assert!(epsilon_advanced(p, l_adv + 1, delta) > eps);
+    }
+    // The quadratic law across a decade of eps0.
+    let a1 = f64::from(max_sketches_advanced(0.4995, eps, delta));
+    let a2 = f64::from(max_sketches_advanced(0.49995, eps, delta));
+    assert!(
+        a2 / a1 > 50.0,
+        "expected ~100x more sketches, got {}",
+        a2 / a1
+    );
+}
+
+#[test]
+fn protocol_round_is_consistent_with_direct_estimation() {
+    // The same population published (a) through the protocol layer and
+    // (b) directly into a SketchDb must produce identical estimator
+    // behaviour (the wire format is lossless).
+    let p = 0.3;
+    let m = 6_000u64;
+    let subset = BitSubset::new(vec![0, 1]).unwrap();
+    let announcement = AnnouncementBuilder::new(9, p, m, 1e-6)
+        .global_key(*GlobalKey::from_seed(77).as_bytes())
+        .subset(subset.clone())
+        .build()
+        .unwrap();
+    let params = announcement.validate().unwrap();
+    let coordinator = Coordinator::new(announcement.clone());
+    let direct_db = psketch::SketchDb::new();
+
+    let mut rng = Prg::seed_from_u64(78);
+    for i in 0..m {
+        let profile = Profile::from_bits(&[i % 3 == 0, rng.random()]);
+        let mut agent = UserAgent::new(UserId(i), profile, p, 1e6);
+        let submission = agent.participate(&announcement, &mut rng).unwrap();
+        // Decode the same bundle into the direct database.
+        for (sub, sketch) in submission.decode(&announcement).unwrap() {
+            direct_db.insert(sub, UserId(i), sketch);
+        }
+        coordinator.accept(&submission).unwrap();
+    }
+
+    let estimator = psketch::ConjunctiveEstimator::new(params);
+    let q = psketch::ConjunctiveQuery::new(subset, psketch::BitString::from_bits(&[true, true]))
+        .unwrap();
+    let via_protocol = estimator.estimate(coordinator.pool(), &q).unwrap();
+    let via_direct = estimator.estimate(&direct_db, &q).unwrap();
+    assert_eq!(
+        via_protocol.raw, via_direct.raw,
+        "wire format must be lossless"
+    );
+    assert_eq!(via_protocol.sample_size, via_direct.sample_size);
+}
+
+#[test]
+fn function_distribution_estimates_from_protocol_scale_population() {
+    // Function sketches + analyst distribution over a real generator.
+    let params = SketchParams::with_sip(0.25, 10, GlobalKey::from_seed(41)).unwrap();
+    let sketcher = FunctionSketcher::new(params);
+    let estimator = FunctionEstimator::new(params);
+    let fid = FunctionId::new(8, 2);
+    let mut rng = Prg::seed_from_u64(42);
+    let m = 25_000u64;
+    let f = |profile: &Profile| (profile.bits().count_ones() as u64).min(3);
+    let mut records = Vec::new();
+    let mut truth = [0u64; 4];
+    for i in 0..m {
+        let bits: Vec<bool> = (0..6).map(|_| rng.random::<f64>() < 0.25).collect();
+        let profile = Profile::from_bits(&bits);
+        truth[f(&profile) as usize] += 1;
+        let s = sketcher
+            .sketch(UserId(i), &profile, fid, f, &mut rng)
+            .unwrap();
+        records.push(FunctionRecord {
+            id: UserId(i),
+            sketch: s,
+        });
+    }
+    let dist = estimator.estimate_distribution(fid, &records).unwrap();
+    for v in 0..4usize {
+        let expected = truth[v] as f64 / m as f64;
+        assert!(
+            (dist[v].fraction - expected).abs() < 0.025,
+            "v={v}: {} vs {expected}",
+            dist[v].fraction
+        );
+    }
+    let total: f64 = dist.iter().map(|e| e.fraction).sum();
+    assert!((total - 1.0).abs() < 0.05);
+}

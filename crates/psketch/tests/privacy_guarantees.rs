@@ -1,0 +1,136 @@
+//! Cross-crate privacy assertions: the exact analysis, the live sketcher,
+//! the accountant and the attacker must tell one consistent story.
+
+use psketch::baselines::sketch_posterior;
+use psketch::core::exact::{max_privacy_ratio, outcome_probs};
+use psketch::core::theory::privacy_ratio_bound;
+use psketch::core::PrivacyAccountant;
+use psketch::{BitString, BitSubset, GlobalKey, Prg, SketchParams, Sketcher, UserId};
+use rand::SeedableRng;
+
+#[test]
+fn exact_ratio_below_bound_for_a_parameter_sweep() {
+    for &p in &[0.05f64, 0.2, 0.3, 0.45, 0.49] {
+        let r = (p / (1.0 - p)).powi(2);
+        for bits in 1..=10u8 {
+            let ratio = max_privacy_ratio(1 << bits, r);
+            assert!(
+                ratio <= privacy_ratio_bound(p) * (1.0 + 1e-9),
+                "p={p} bits={bits}: {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn posterior_cap_holds_for_every_candidate_pair() {
+    // Exhaustive over all pairs of 3-bit candidates and all sketch keys:
+    // the exact posterior from any observation is capped by the bound.
+    let p = 0.4;
+    let params = SketchParams::with_sip(p, 4, GlobalKey::from_seed(21)).unwrap();
+    let subset = BitSubset::range(0, 3);
+    let bound = privacy_ratio_bound(p);
+    let cap = bound / (bound + 1.0);
+    let id = UserId(77);
+    for a in 0..8u64 {
+        for b in 0..8u64 {
+            if a == b {
+                continue;
+            }
+            let ca = BitString::from_u64(a, 3);
+            let cb = BitString::from_u64(b, 3);
+            for key in 0..16u64 {
+                let post = sketch_posterior(
+                    &params,
+                    id,
+                    &subset,
+                    psketch::Sketch { key },
+                    &[ca.clone(), cb.clone()],
+                );
+                assert!(
+                    post[0] <= cap + 1e-9,
+                    "a={a} b={b} key={key}: posterior {} > cap {cap}",
+                    post[0]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn privacy_is_independent_of_the_global_key() {
+    // Lemma 3.3 holds for adversarial H: the empirical worst ratio must
+    // respect the bound under *every* key we try.
+    let p = 0.35;
+    let subset = BitSubset::range(0, 2);
+    let d1 = BitString::from_bits(&[false, false]);
+    let d2 = BitString::from_bits(&[true, true]);
+    let bound = privacy_ratio_bound(p);
+    for key_seed in 0..5u64 {
+        let params = SketchParams::with_sip(p, 3, GlobalKey::from_seed(key_seed)).unwrap();
+        let sketcher = Sketcher::new(params);
+        let mut rng = Prg::seed_from_u64(100 + key_seed);
+        let trials = 30_000;
+        let l = params.key_space() as usize;
+        let (mut c1, mut c2) = (vec![0u64; l], vec![0u64; l]);
+        for _ in 0..trials {
+            let id = UserId(5);
+            // ℓ = 3 keeps the key space tiny enough to occasionally
+            // exhaust (Algorithm 1's legitimate failure outcome); the
+            // ratio bound is over published sketches.
+            if let Ok(run) = sketcher.sketch_value_with_stats(id, &subset, &d1, &mut rng) {
+                c1[run.sketch.key as usize] += 1;
+            }
+            if let Ok(run) = sketcher.sketch_value_with_stats(id, &subset, &d2, &mut rng) {
+                c2[run.sketch.key as usize] += 1;
+            }
+        }
+        for s in 0..l {
+            if c1[s] > 100 && c2[s] > 100 {
+                let ratio = c1[s] as f64 / c2[s] as f64;
+                assert!(
+                    ratio < bound * 1.3 && ratio > 1.0 / (bound * 1.3),
+                    "key_seed {key_seed}, sketch {s}: ratio {ratio} vs bound {bound}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accountant_and_theory_agree() {
+    let p = 0.47;
+    let mut acct = PrivacyAccountant::new(p, 20.0);
+    for l in 1..=5u32 {
+        acct.charge(1).unwrap();
+        let expected = privacy_ratio_bound(p).powi(l as i32) - 1.0;
+        assert!(
+            (acct.spent_epsilon() - expected).abs() < 1e-9,
+            "l={l}: {} vs {expected}",
+            acct.spent_epsilon()
+        );
+    }
+}
+
+#[test]
+fn outcome_probabilities_are_consistent_with_failure_theory() {
+    use psketch::core::theory::failure_prob_exact;
+    // For the all-zero table, the exact module's failure probability must
+    // match theory::failure_prob_exact *conditioned on the table*: theory
+    // averages over H, exact fixes the table. All-zero table probability
+    // over H is (1-p)^L; failure given all-zero is (1-r)^L. Product equals
+    // the theory formula ((1-p)(1-r))^L.
+    let p = 0.3f64;
+    let r = (p / (1.0 - p)).powi(2);
+    for bits in 1..=6u8 {
+        let l = 1u64 << bits;
+        let failure_given_all_zero = outcome_probs(l, 0, r).failure;
+        let all_zero_prob = (1.0 - p).powi(l as i32);
+        let combined = failure_given_all_zero * all_zero_prob;
+        let theory = failure_prob_exact(bits, p);
+        assert!(
+            (combined - theory).abs() < 1e-12,
+            "bits={bits}: {combined} vs {theory}"
+        );
+    }
+}

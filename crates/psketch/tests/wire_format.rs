@@ -1,0 +1,95 @@
+//! The published artifact end to end: sketches survive the wire format
+//! and decode to something the estimator accepts unchanged.
+
+use proptest::prelude::*;
+use psketch::core::codec::{bundle_size_bytes, decode_bundle, encode_bundle};
+use psketch::core::theory::min_sketch_bits;
+use psketch::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, GlobalKey, Prg, SketchDb,
+    SketchParams, Sketcher, UserId,
+};
+use psketch_data::PlantedConjunction;
+use rand::SeedableRng;
+
+#[test]
+fn estimates_survive_an_encode_decode_roundtrip() {
+    let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(5)).unwrap();
+    let mut rng = Prg::seed_from_u64(6);
+    let gen = PlantedConjunction::all_ones(4, 4, 0.4);
+    let pop = gen.generate(10_000, &mut rng);
+    let sketcher = Sketcher::new(params);
+
+    // Users publish *bytes*; the analyst decodes and rebuilds the db.
+    let mut wire: Vec<(UserId, Vec<u8>)> = Vec::new();
+    for (id, profile) in pop.iter() {
+        let sketch = sketcher.sketch(id, profile, &gen.subset, &mut rng).unwrap();
+        let bytes = encode_bundle(params.sketch_bits(), &[sketch]);
+        wire.push((id, bytes.to_vec()));
+    }
+
+    let db = SketchDb::new();
+    for (id, bytes) in &wire {
+        let (bits, sketches) = decode_bundle(bytes).unwrap();
+        assert_eq!(bits, params.sketch_bits());
+        assert_eq!(sketches.len(), 1);
+        db.insert(gen.subset.clone(), *id, sketches[0]);
+    }
+
+    let estimator = ConjunctiveEstimator::new(params);
+    let q = ConjunctiveQuery::new(gen.subset.clone(), gen.value.clone()).unwrap();
+    let est = estimator.estimate(&db, &q).unwrap();
+    let truth = pop.true_fraction(&gen.subset, &gen.value);
+    assert!((est.fraction - truth).abs() < 0.03);
+
+    // And the paper's size claim holds on the wire.
+    let bytes_per_user = wire[0].1.len();
+    assert_eq!(bytes_per_user, bundle_size_bytes(10, 1));
+    assert!(
+        bytes_per_user <= 9,
+        "one sketch should cost ≤ 9 bytes on the wire"
+    );
+}
+
+#[test]
+fn lemma31_length_is_enough_in_practice() {
+    // Size the sketch for (M, tau) with Lemma 3.1 and verify zero failures
+    // across the whole population.
+    let m = 20_000u64;
+    let p = 0.3;
+    let bits = min_sketch_bits(m, 1e-6, p);
+    let params = SketchParams::with_sip(p, bits, GlobalKey::from_seed(9)).unwrap();
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    let mut rng = Prg::seed_from_u64(10);
+    let failures = (0..m)
+        .filter(|&i| {
+            sketcher
+                .sketch_value_with_stats(UserId(i), &subset, &value, &mut rng)
+                .is_err()
+        })
+        .count();
+    assert_eq!(
+        failures, 0,
+        "Lemma 3.1 length must avoid failures (p < 1e-6)"
+    );
+}
+
+proptest! {
+    /// Arbitrary bundles round-trip across crate boundaries.
+    #[test]
+    fn bundles_roundtrip(
+        bits in 1u8..=20,
+        keys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let sketches: Vec<psketch::Sketch> = keys
+            .iter()
+            .map(|&k| psketch::Sketch { key: k & ((1u64 << bits) - 1) })
+            .collect();
+        let encoded = encode_bundle(bits, &sketches);
+        prop_assert_eq!(encoded.len(), bundle_size_bytes(bits, sketches.len()));
+        let (decoded_bits, decoded) = decode_bundle(&encoded).unwrap();
+        prop_assert_eq!(decoded_bits, bits);
+        prop_assert_eq!(decoded, sketches);
+    }
+}

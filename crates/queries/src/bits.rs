@@ -16,8 +16,9 @@
 //! randomized-response style schemes, and the foil for its own
 //! width-independent sketches (experiment E5 measures both).
 
-use psketch_core::{BitSubset, BitString, ConjunctiveQuery, Error, HFunction, SketchDb,
-    SketchParams, UserId};
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveQuery, Error, HFunction, SketchDb, SketchParams, UserId,
+};
 use std::collections::HashMap;
 
 /// A table of perturbed bits: rows = users, columns = bits with known
@@ -187,9 +188,11 @@ impl PerturbedBitTable {
         for (i, (subset, value)) in columns.iter().enumerate() {
             // Validate widths through the query type.
             let _ = ConjunctiveQuery::new(subset.clone(), value.clone())?;
-            for rec in db.records(subset)? {
-                let bit = h.eval(rec.id, subset, value, rec.sketch.key);
-                per_user.entry(rec.id).or_insert_with(|| vec![None; k])[i] = Some(bit);
+            let snapshot = db.snapshot(subset)?;
+            let mut prepared = h.prepare_query(subset, value);
+            for rec in snapshot.records() {
+                prepared.set_record(rec.id.0, rec.sketch.key);
+                per_user.entry(rec.id).or_insert_with(|| vec![None; k])[i] = Some(prepared.eval());
             }
         }
         let mut table = Self::new(vec![params.p(); k]);
@@ -212,11 +215,7 @@ mod tests {
     use rand::{RngExt, SeedableRng};
 
     /// Builds a table by flipping planted truths.
-    fn planted_table(
-        truths: &[Vec<bool>],
-        flips: &[f64],
-        rng: &mut Prg,
-    ) -> PerturbedBitTable {
+    fn planted_table(truths: &[Vec<bool>], flips: &[f64], rng: &mut Prg) -> PerturbedBitTable {
         let mut t = PerturbedBitTable::new(flips.to_vec());
         for truth in truths {
             let row = truth
@@ -233,9 +232,7 @@ mod tests {
     fn product_estimator_is_unbiased() {
         let mut rng = Prg::seed_from_u64(50);
         // 60% of users have (1,1), 40% have (1,0).
-        let truths: Vec<Vec<bool>> = (0..50_000)
-            .map(|i| vec![true, i % 5 < 3])
-            .collect();
+        let truths: Vec<Vec<bool>> = (0..50_000).map(|i| vec![true, i % 5 < 3]).collect();
         let t = planted_table(&truths, &[0.2, 0.3], &mut rng);
         let est = t.estimate_conjunction(&[(0, true), (1, true)]).unwrap();
         assert!((est - 0.6).abs() < 0.02, "estimate {est}");

@@ -141,10 +141,7 @@ impl CategoricalMiner {
         level: u64,
     ) -> Result<f64, Error> {
         assert!(level < attr.levels, "level out of range");
-        let q = ConjunctiveQuery::new(
-            attr.field.subset(),
-            attr.field.full_value(level),
-        )?;
+        let q = ConjunctiveQuery::new(attr.field.subset(), attr.field.full_value(level))?;
         Ok(self.estimator.estimate(db, &q)?.fraction)
     }
 
@@ -161,10 +158,7 @@ impl CategoricalMiner {
         let mut frequencies = Vec::with_capacity(attr.levels as usize);
         let mut sample_size = 0;
         for level in 0..attr.levels {
-            let q = ConjunctiveQuery::new(
-                attr.field.subset(),
-                attr.field.full_value(level),
-            )?;
+            let q = ConjunctiveQuery::new(attr.field.subset(), attr.field.full_value(level))?;
             let est = self.estimator.estimate(db, &q)?;
             sample_size = est.sample_size;
             frequencies.push(est.fraction);
@@ -195,7 +189,10 @@ impl CategoricalMiner {
         b: &CategoricalAttribute,
         level_b: u64,
     ) -> Result<f64, Error> {
-        assert!(level_a < a.levels && level_b < b.levels, "level out of range");
+        assert!(
+            level_a < a.levels && level_b < b.levels,
+            "level out of range"
+        );
         let merged = crate::conjunction::merge_constraints(&[
             crate::conjunction::Constraint::new(a.field.subset(), a.field.full_value(level_a))?,
             crate::conjunction::Constraint::new(b.field.subset(), b.field.full_value(level_b))?,
@@ -212,7 +209,10 @@ mod tests {
     use psketch_prf::{GlobalKey, Prg};
     use rand::{RngExt, SeedableRng};
 
-    fn setup(levels: u64, weights: &[f64]) -> (SketchParams, SketchDb, CategoricalAttribute, Vec<f64>) {
+    fn setup(
+        levels: u64,
+        weights: &[f64],
+    ) -> (SketchParams, SketchDb, CategoricalAttribute, Vec<f64>) {
         let params = SketchParams::with_sip(0.3, 10, GlobalKey::from_seed(61)).unwrap();
         let field = IntField::new(0, 3);
         let attr = CategoricalAttribute::new(field, levels);
@@ -288,7 +288,9 @@ mod tests {
             let mut profile = Profile::zeros(4);
             fa.write(&mut profile, va);
             fb.write(&mut profile, vb);
-            let s = sketcher.sketch(UserId(i), &profile, &union, &mut rng).unwrap();
+            let s = sketcher
+                .sketch(UserId(i), &profile, &union, &mut rng)
+                .unwrap();
             db.insert(union.clone(), UserId(i), s);
         }
         let miner = CategoricalMiner::new(params);

@@ -43,8 +43,7 @@ pub fn eq_and_less_than(a: &IntField, c: u64, b: &IntField, d: u64) -> LinearQue
         }
         let mut prefix = b.prefix_value(d, i);
         prefix.set((i - 1) as usize, false);
-        let lt_constraint =
-            Constraint::new(b.prefix_subset(i), prefix).expect("widths match");
+        let lt_constraint = Constraint::new(b.prefix_subset(i), prefix).expect("widths match");
         match merge_constraints(&[eq_constraint.clone(), lt_constraint])
             .expect("non-empty constraints")
         {
@@ -73,11 +72,7 @@ pub fn conditional_sum_query(a: &IntField, c: u64, b: &IntField) -> LinearQuery 
         "fields must be disjoint"
     );
     let (ka, kb) = (a.width(), b.width());
-    let mut lq = LinearQuery::new(format!(
-        "E[b@{} * 1(a@{} < {c})]",
-        b.offset(),
-        a.offset()
-    ));
+    let mut lq = LinearQuery::new(format!("E[b@{} * 1(a@{} < {c})]", b.offset(), a.offset()));
     for j in 1..=ka {
         let cj = (c >> (ka - j)) & 1;
         if cj == 0 {
@@ -85,13 +80,11 @@ pub fn conditional_sum_query(a: &IntField, c: u64, b: &IntField) -> LinearQuery 
         }
         let mut prefix = a.prefix_value(c, j);
         prefix.set((j - 1) as usize, false);
-        let a_constraint =
-            Constraint::new(a.prefix_subset(j), prefix).expect("widths match");
+        let a_constraint = Constraint::new(a.prefix_subset(j), prefix).expect("widths match");
         for i in 1..=kb {
             let weight = (1u64 << (kb - i)) as f64;
             let b_constraint =
-                Constraint::new(b.bit_subset(i), BitString::from_bits(&[true]))
-                    .expect("width 1");
+                Constraint::new(b.bit_subset(i), BitString::from_bits(&[true])).expect("width 1");
             match merge_constraints(&[a_constraint.clone(), b_constraint])
                 .expect("non-empty constraints")
             {
@@ -117,8 +110,8 @@ pub fn conditional_sum_query_inclusive(a: &IntField, c: u64, b: &IntField) -> Li
     let eq_constraint = Constraint::new(a.subset(), a.full_value(c)).expect("widths match");
     for i in 1..=kb {
         let weight = (1u64 << (kb - i)) as f64;
-        let b_constraint = Constraint::new(b.bit_subset(i), BitString::from_bits(&[true]))
-            .expect("width 1");
+        let b_constraint =
+            Constraint::new(b.bit_subset(i), BitString::from_bits(&[true])).expect("width 1");
         match merge_constraints(&[eq_constraint.clone(), b_constraint])
             .expect("non-empty constraints")
         {
@@ -171,8 +164,7 @@ mod tests {
                 let got = eq_and_less_than(&a, c, &b, d)
                     .evaluate_with(|q| Ok(oracle(q)))
                     .unwrap();
-                let expected = pairs.iter().filter(|&&(x, y)| x == c && y < d).count()
-                    as f64
+                let expected = pairs.iter().filter(|&&(x, y)| x == c && y < d).count() as f64
                     / pairs.len() as f64;
                 assert!(
                     (got - expected).abs() < 1e-12,
@@ -186,8 +178,7 @@ mod tests {
     fn conditional_sum_matches_brute_force() {
         let a = IntField::new(0, 3);
         let b = IntField::new(3, 3);
-        let pairs: Vec<(u64, u64)> =
-            all_pairs(3).into_iter().filter(|&(x, y)| x != y).collect();
+        let pairs: Vec<(u64, u64)> = all_pairs(3).into_iter().filter(|&(x, y)| x != y).collect();
         let oracle = oracle_for(&pairs, &a, &b);
         for c in 0..8u64 {
             let got = conditional_sum_query(&a, c, &b)

@@ -38,7 +38,11 @@ pub fn dnf_query(clauses: &[ConjunctiveQuery]) -> Result<LinearQuery, Error> {
     let t = clauses.len();
     let mut lq = LinearQuery::new(format!("DNF of {t} clauses"));
     for mask in 1u32..(1 << t) {
-        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         let constraints: Vec<Constraint> = (0..t)
             .filter(|&i| mask & (1 << i) != 0)
             .map(|i| Constraint::new(clauses[i].subset().clone(), clauses[i].value().clone()))
@@ -95,9 +99,7 @@ mod tests {
 
     fn cube(bits: usize) -> Vec<Profile> {
         (0..1u64 << bits)
-            .map(|v| {
-                Profile::from_bits(&(0..bits).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>())
-            })
+            .map(|v| Profile::from_bits(&(0..bits).map(|i| (v >> i) & 1 == 1).collect::<Vec<_>>()))
             .collect()
     }
 
@@ -125,11 +127,7 @@ mod tests {
         let got = exact_eval(&dnf_query(&clauses).unwrap(), &profiles);
         let expected = profiles
             .iter()
-            .filter(|p| {
-                clauses
-                    .iter()
-                    .any(|c| p.satisfies(c.subset(), c.value()))
-            })
+            .filter(|p| clauses.iter().any(|c| p.satisfies(c.subset(), c.value())))
             .count() as f64
             / profiles.len() as f64;
         assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
@@ -189,8 +187,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "impractical")]
     fn too_many_clauses_rejected() {
-        let clauses: Vec<ConjunctiveQuery> =
-            (0..13u32).map(|i| clause(&[i], &[true])).collect();
+        let clauses: Vec<ConjunctiveQuery> = (0..13u32).map(|i| clause(&[i], &[true])).collect();
         let _ = dnf_query(&clauses);
     }
 }

@@ -6,8 +6,9 @@
 
 use crate::linear::LinearQuery;
 use psketch_core::{
-    ConjunctiveEstimator, ConjunctiveQuery, Error, SketchDb, SketchParams,
+    ConjunctiveEstimator, ConjunctiveQuery, Error, Estimate, SketchDb, SketchParams,
 };
+use std::collections::HashMap;
 
 /// The result of evaluating a linear query against sketches.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,27 +55,74 @@ impl QueryEngine {
     /// Evaluates a linear query: the weighted sum of unbiased conjunctive
     /// estimates plus the constant.
     ///
+    /// Duplicate conjunctive terms within the query are estimated once
+    /// and memoized — compiled queries (intervals, DNF expansions,
+    /// conditional means) routinely repeat terms, and each saved term is
+    /// a full shard scan.
+    ///
     /// # Errors
     ///
     /// Propagates estimation errors (unknown subsets, empty database).
     pub fn linear(&self, db: &SketchDb, lq: &LinearQuery) -> Result<LinearAnswer, Error> {
+        let mut memo = HashMap::new();
+        self.linear_memo(db, lq, &mut memo)
+    }
+
+    /// Evaluates several linear queries against one database, sharing the
+    /// term memo across the whole batch: a conjunctive term appearing in
+    /// any two of the queries is scanned once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation errors; answers are all-or-nothing.
+    pub fn linear_batch(
+        &self,
+        db: &SketchDb,
+        queries: &[LinearQuery],
+    ) -> Result<Vec<LinearAnswer>, Error> {
+        let mut memo = HashMap::new();
+        queries
+            .iter()
+            .map(|lq| self.linear_memo(db, lq, &mut memo))
+            .collect()
+    }
+
+    /// One linear evaluation against a shared memo. `queries_used` counts
+    /// the estimates actually performed by *this* evaluation (memo hits,
+    /// including those seeded by earlier queries in a batch, are free).
+    fn linear_memo(
+        &self,
+        db: &SketchDb,
+        lq: &LinearQuery,
+        memo: &mut HashMap<ConjunctiveQuery, Estimate>,
+    ) -> Result<LinearAnswer, Error> {
         let mut queries_used = 0;
         let mut min_sample = usize::MAX;
+        let mut saw_term = false;
         let value = lq.evaluate_with(|q| {
-            let e = self.estimator.estimate(db, q)?;
-            queries_used += 1;
+            let e = match memo.get(q) {
+                Some(e) => *e,
+                None => {
+                    let e = self.estimator.estimate(db, q)?;
+                    memo.insert(q.clone(), e);
+                    queries_used += 1;
+                    e
+                }
+            };
+            saw_term = true;
             min_sample = min_sample.min(e.sample_size);
             Ok(e.fraction)
         })?;
         Ok(LinearAnswer {
             value,
             queries_used,
-            min_sample_size: if queries_used == 0 { 0 } else { min_sample },
+            min_sample_size: if saw_term { min_sample } else { 0 },
         })
     }
 
     /// Evaluates a ratio of two linear queries (e.g. a conditional mean:
-    /// `E[b·1{a≤c}] / freq(a≤c)`).
+    /// `E[b·1{a≤c}] / freq(a≤c)`), sharing the term memo between
+    /// numerator and denominator.
     ///
     /// Returns `None` when the denominator estimate is not positive — the
     /// conditioning event looks empty at this noise level, so no
@@ -89,8 +137,9 @@ impl QueryEngine {
         numerator: &LinearQuery,
         denominator: &LinearQuery,
     ) -> Result<Option<f64>, Error> {
-        let num = self.linear(db, numerator)?;
-        let den = self.linear(db, denominator)?;
+        let mut memo = HashMap::new();
+        let num = self.linear_memo(db, numerator, &mut memo)?;
+        let den = self.linear_memo(db, denominator, &mut memo)?;
         if den.value <= 0.0 {
             return Ok(None);
         }
@@ -108,10 +157,7 @@ mod tests {
     use psketch_prf::{GlobalKey, Prg};
     use rand::SeedableRng;
 
-    fn setup(
-        p: f64,
-        m: usize,
-    ) -> (SketchParams, SketchDb, Population, IntField) {
+    fn setup(p: f64, m: usize) -> (SketchParams, SketchDb, Population, IntField) {
         let params = SketchParams::with_sip(p, 10, GlobalKey::from_seed(70)).unwrap();
         let mut model = DemographicsModel::new();
         let field = model.field("v", 6, FieldDistribution::Uniform { lo: 0, hi: 63 });
@@ -162,11 +208,7 @@ mod tests {
     fn fraction_passthrough() {
         let (params, db, pop, field) = setup(0.3, 10_000);
         let engine = QueryEngine::new(params);
-        let q = ConjunctiveQuery::new(
-            field.bit_subset(1),
-            BitString::from_bits(&[true]),
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::new(field.bit_subset(1), BitString::from_bits(&[true])).unwrap();
         let est = engine.fraction(&db, &q).unwrap();
         let truth = pop.true_fraction(&field.bit_subset(1), &BitString::from_bits(&[true]));
         assert!((est - truth).abs() < 0.05);
@@ -181,6 +223,51 @@ mod tests {
         let mut den = LinearQuery::new("empty event");
         den.constant = 0.0;
         assert_eq!(engine.ratio(&db, &num, &den).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_terms_are_memoized() {
+        let (params, db, _pop, field) = setup(0.3, 2_000);
+        let engine = QueryEngine::new(params);
+        let q = ConjunctiveQuery::new(field.bit_subset(1), BitString::from_bits(&[true])).unwrap();
+        let mut lq = LinearQuery::new("repeated term");
+        lq.push(1.0, q.clone());
+        lq.push(2.0, q.clone());
+        lq.push(-0.5, q);
+        let ans = engine.linear(&db, &lq).unwrap();
+        // Three terms, one estimator invocation.
+        assert_eq!(ans.queries_used, 1);
+        assert_eq!(ans.min_sample_size, 2_000);
+
+        // Memoization must not change the answer: 1 + 2 − 0.5 = 2.5× the
+        // single-term value.
+        let single = engine
+            .fraction(
+                &db,
+                &ConjunctiveQuery::new(field.bit_subset(1), BitString::from_bits(&[true])).unwrap(),
+            )
+            .unwrap();
+        assert!((ans.value - 2.5 * single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_batch_shares_memo_and_matches_single_evaluations() {
+        let (params, db, _pop, field) = setup(0.25, 4_000);
+        let engine = QueryEngine::new(params);
+        let mq = mean_query(&field);
+        let iq = less_equal_query(&field, 31);
+        let singles: Vec<f64> = [&mq, &iq]
+            .iter()
+            .map(|lq| engine.linear(&db, lq).unwrap().value)
+            .collect();
+        let batch = engine.linear_batch(&db, &[mq.clone(), iq, mq]).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!((batch[0].value - singles[0]).abs() < 1e-12);
+        assert!((batch[1].value - singles[1]).abs() < 1e-12);
+        // The repeated mean query is answered entirely from the memo.
+        assert_eq!(batch[2].queries_used, 0);
+        assert!((batch[2].value - singles[0]).abs() < 1e-12);
+        assert_eq!(batch[2].min_sample_size, 4_000);
     }
 
     #[test]

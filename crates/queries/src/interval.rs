@@ -86,7 +86,9 @@ pub fn range_query(field: &IntField, lo: u64, hi: u64) -> LinearQuery {
 /// which equals `A_k`).
 #[must_use]
 pub fn interval_required_subsets(field: &IntField) -> Vec<psketch_core::BitSubset> {
-    (1..=field.width()).map(|i| field.prefix_subset(i)).collect()
+    (1..=field.width())
+        .map(|i| field.prefix_subset(i))
+        .collect()
 }
 
 #[cfg(test)]
@@ -94,7 +96,10 @@ mod tests {
     use super::*;
     use psketch_core::Profile;
 
-    fn oracle_for<'a>(values: &'a [u64], field: &'a IntField) -> impl Fn(&ConjunctiveQuery) -> f64 + 'a {
+    fn oracle_for<'a>(
+        values: &'a [u64],
+        field: &'a IntField,
+    ) -> impl Fn(&ConjunctiveQuery) -> f64 + 'a {
         let width = field.end() as usize;
         move |q: &ConjunctiveQuery| {
             let hits = values
@@ -161,9 +166,12 @@ mod tests {
             let got = range_query(&field, lo, hi)
                 .evaluate_with(|q| Ok(oracle(q)))
                 .unwrap();
-            let expected = values.iter().filter(|&&v| v >= lo && v <= hi).count() as f64
-                / values.len() as f64;
-            assert!((got - expected).abs() < 1e-12, "[{lo},{hi}]: {got} vs {expected}");
+            let expected =
+                values.iter().filter(|&&v| v >= lo && v <= hi).count() as f64 / values.len() as f64;
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "[{lo},{hi}]: {got} vs {expected}"
+            );
         }
     }
 

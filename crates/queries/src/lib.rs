@@ -49,9 +49,7 @@ pub use combined::{conditional_sum_query, conditional_sum_query_inclusive, eq_an
 pub use conjunction::{merge_constraints, Constraint};
 pub use dnf::{dnf_query, dnf_required_subsets};
 pub use engine::{LinearAnswer, QueryEngine};
-pub use interval::{
-    interval_required_subsets, less_equal_query, less_than_query, range_query,
-};
+pub use interval::{interval_required_subsets, less_equal_query, less_than_query, range_query};
 pub use linear::{LinearQuery, LinearTerm};
 pub use mean::{mean_query, mean_required_subsets};
 pub use moment::{moment_query, variance_queries};

@@ -39,7 +39,10 @@ mod tests {
     use psketch_core::Profile;
 
     /// Ground-truth oracle over an explicit population of values.
-    fn oracle_for<'a>(values: &'a [u64], field: &'a IntField) -> impl Fn(&ConjunctiveQuery) -> f64 + 'a {
+    fn oracle_for<'a>(
+        values: &'a [u64],
+        field: &'a IntField,
+    ) -> impl Fn(&ConjunctiveQuery) -> f64 + 'a {
         let width = field.end() as usize;
         move |q: &ConjunctiveQuery| {
             let hits = values

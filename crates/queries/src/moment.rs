@@ -29,7 +29,10 @@ pub const MAX_MOMENT: u32 = 4;
 /// Panics unless `1 ≤ r ≤ MAX_MOMENT`.
 #[must_use]
 pub fn moment_query(field: &IntField, r: u32) -> LinearQuery {
-    assert!((1..=MAX_MOMENT).contains(&r), "moment order must be in [1, {MAX_MOMENT}]");
+    assert!(
+        (1..=MAX_MOMENT).contains(&r),
+        "moment order must be in [1, {MAX_MOMENT}]"
+    );
     let k = field.width();
     let total = (u64::from(k)).pow(r);
     assert!(

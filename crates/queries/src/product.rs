@@ -34,10 +34,8 @@ pub fn inner_product_query(a: &IntField, b: &IntField) -> LinearQuery {
         for j in 1..=kb {
             let weight = (1u128 << ((ka - i) + (kb - j))) as f64;
             let query = merge_constraints(&[
-                Constraint::new(a.bit_subset(i), BitString::from_bits(&[true]))
-                    .expect("width 1"),
-                Constraint::new(b.bit_subset(j), BitString::from_bits(&[true]))
-                    .expect("width 1"),
+                Constraint::new(a.bit_subset(i), BitString::from_bits(&[true])).expect("width 1"),
+                Constraint::new(b.bit_subset(j), BitString::from_bits(&[true])).expect("width 1"),
             ])
             .expect("non-empty")
             .expect("disjoint fields cannot contradict");
@@ -116,8 +114,7 @@ mod tests {
         let lq = inner_product_query(&a, &b);
         let oracle = oracle_for(&pairs, &a, &b);
         let got = lq.evaluate_with(|q| Ok(oracle(q))).unwrap();
-        let expected =
-            pairs.iter().map(|&(x, y)| (x * y) as f64).sum::<f64>() / pairs.len() as f64;
+        let expected = pairs.iter().map(|&(x, y)| (x * y) as f64).sum::<f64>() / pairs.len() as f64;
         assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
     }
 
@@ -136,8 +133,7 @@ mod tests {
         let lq = mean_square_query(&a);
         let oracle = oracle_for(&pairs, &a, &b);
         let got = lq.evaluate_with(|q| Ok(oracle(q))).unwrap();
-        let expected =
-            pairs.iter().map(|&(x, _)| (x * x) as f64).sum::<f64>() / pairs.len() as f64;
+        let expected = pairs.iter().map(|&(x, _)| (x * x) as f64).sum::<f64>() / pairs.len() as f64;
         assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
     }
 

@@ -161,8 +161,10 @@ mod tests {
         let (t, a_cols, b_cols) = table_for(&pairs, k, 1e-12, &mut rng);
         for r in 1..=4u32 {
             let est = sum_less_than_pow2(&t, &a_cols, &b_cols, r).unwrap();
-            let truth = pairs.iter().filter(|&&(a, b)| sum_lt_truth(a, b, r)).count()
-                as f64
+            let truth = pairs
+                .iter()
+                .filter(|&&(a, b)| sum_lt_truth(a, b, r))
+                .count() as f64
                 / pairs.len() as f64;
             assert!(
                 (est.fraction - truth).abs() < 1e-6,
@@ -185,7 +187,10 @@ mod tests {
         let (t, a_cols, b_cols) = table_for(&pairs, k, p, &mut rng);
         let r = 3u32;
         let est = sum_less_than_pow2(&t, &a_cols, &b_cols, r).unwrap();
-        let truth = pairs.iter().filter(|&&(a, b)| sum_lt_truth(a, b, r)).count() as f64
+        let truth = pairs
+            .iter()
+            .filter(|&&(a, b)| sum_lt_truth(a, b, r))
+            .count() as f64
             / pairs.len() as f64;
         assert!(
             (est.fraction - truth).abs() < 0.05,

@@ -190,17 +190,9 @@ mod tests {
             let tree = random_tree(&mut rng, 3, 4);
             let lq = tree.to_linear_query();
             let profiles: Vec<Profile> = (0..16u64)
-                .map(|v| {
-                    Profile::from_bits(&[
-                        v & 1 == 1,
-                        v & 2 == 2,
-                        v & 4 == 4,
-                        v & 8 == 8,
-                    ])
-                })
+                .map(|v| Profile::from_bits(&[v & 1 == 1, v & 2 == 2, v & 4 == 4, v & 8 == 8]))
                 .collect();
-            let expected =
-                profiles.iter().filter(|p| tree.evaluate(p)).count() as f64 / 16.0;
+            let expected = profiles.iter().filter(|p| tree.evaluate(p)).count() as f64 / 16.0;
             let got = lq
                 .evaluate_with(|q| {
                     Ok(profiles

@@ -1,0 +1,256 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the API surface
+//! this workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`Throughput`], [`Bencher::iter`]
+//! and [`Bencher::iter_batched`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical
+//! machinery it calibrates an iteration count to a target measurement
+//! window, takes several samples and reports the median ns/iteration
+//! (and element throughput when configured).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Number of samples per benchmark; the median is reported.
+const SAMPLES: usize = 5;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility;
+/// the shim re-runs setup per iteration outside the timed region).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Times closures and reports ns/iteration.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Measured median duration of one iteration, filled by `iter*`.
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it fills the sample window.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 30 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                64
+            } else {
+                (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = iters.saturating_mul(scale.clamp(2, 64));
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.nanos_per_iter = samples[SAMPLES / 2];
+    }
+
+    /// Benchmarks `routine` with a fresh `setup` value per call; setup
+    /// runs outside the timed region.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate on the routine alone.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            let scale = if elapsed.is_zero() {
+                64
+            } else {
+                (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = iters.saturating_mul(scale.clamp(2, 64));
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.nanos_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+/// The benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies a substring filter from the command line (`cargo bench --
+    /// <filter>`), as real criterion does.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args
+            .into_iter()
+            .find(|a| !a.starts_with("--") && a != "bench");
+        self
+    }
+
+    fn run_one(&mut self, id: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        let per_iter = b.nanos_per_iter;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  ({:.2} Melem/s)", n as f64 * 1e3 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 * 1e9 / per_iter / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{id:<50} {per_iter:>14.1} ns/iter{rate}");
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(id.as_ref(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks with an optional throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

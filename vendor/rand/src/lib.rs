@@ -1,0 +1,309 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates.io registry, so the workspace vendors the *exact* trait surface
+//! it consumes from `rand` 0.10: [`Rng`], [`RngExt`], [`SeedableRng`] and
+//! the fallible core traits under [`rand_core`]. Semantics follow the
+//! upstream crate: `random::<f64>()` is uniform in `[0, 1)` with 53 bits
+//! of precision, `random_range` is unbiased via rejection sampling, and
+//! `seed_from_u64` expands the seed with SplitMix64.
+//!
+//! Every RNG in the workspace is the deterministic ChaCha20 generator from
+//! `psketch-prf`, which implements [`rand_core::TryRng`]; the blanket impl
+//! here lifts it (and any other infallible generator) into [`Rng`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The fallible generator core: what concrete RNGs implement.
+pub mod rand_core {
+    pub use core::convert::Infallible;
+
+    /// A random generator that may fail on each draw.
+    ///
+    /// Deterministic in-memory generators use [`Infallible`] as the error
+    /// type and are lifted into [`crate::Rng`] automatically.
+    pub trait TryRng {
+        /// The error produced on a failed draw.
+        type Error;
+        /// Draws the next `u32`.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Draws the next `u64`.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Fills `dst` with random bytes.
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+    }
+
+    impl<R: TryRng + ?Sized> TryRng for &mut R {
+        type Error = R::Error;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            R::try_next_u32(self)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            R::try_next_u64(self)
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+            R::try_fill_bytes(self, dst)
+        }
+    }
+}
+
+use rand_core::{Infallible, TryRng};
+
+/// An infallible source of uniform random words.
+pub trait Rng {
+    /// The next uniform `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// The next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with uniform random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R> Rng for R
+where
+    R: TryRng<Error = Infallible> + ?Sized,
+{
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let Ok(v) = self.try_next_u32();
+        v
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let Ok(v) = self.try_next_u64();
+        v
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        let Ok(()) = self.try_fill_bytes(dst);
+    }
+}
+
+/// Sampling of a value from the "standard" distribution of its type:
+/// uniform over the full range for integers, uniform in `[0, 1)` for
+/// floats, a fair coin for `bool`.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uniform_small {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+standard_uniform_small!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_uniform_wide {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uniform_wide!(u64, i64, usize, isize);
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with the standard 53-bit construction.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Unbiased uniform integer in `[0, span)` by rejection sampling.
+#[inline]
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+/// A range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every word is in range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::sample_standard(rng) * (self.end - self.start)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the standard distribution of `T`.
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 and builds the
+    /// generator from it.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok(self.try_next_u64()? as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            // SplitMix64 so the stream looks uniform enough for tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Ok(z ^ (z >> 31))
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dst.chunks_mut(8) {
+                let w = self.try_next_u64()?.to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_rng_lift() {
+        let mut rng = Counter(0);
+        let _: u64 = rng.next_u64();
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(5u64..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = Counter(2);
+        let ones = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&ones), "ones = {ones}");
+    }
+}

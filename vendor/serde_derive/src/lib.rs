@@ -1,0 +1,206 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` shim's value-tree traits
+//! (`Serialize::to_value` / `Deserialize::from_value`) for plain structs —
+//! the only shapes this workspace derives. Implemented directly on
+//! `proc_macro` (no `syn`/`quote`, which are unavailable offline): the
+//! struct is parsed with a small token walker and the impl is emitted as a
+//! formatted string.
+//!
+//! Supported: unit structs, tuple structs (newtypes serialize
+//! transparently), and named-field structs, all without generics. Enums
+//! and generic types are rejected with a compile-time panic so a future
+//! use surfaces loudly instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the struct being derived.
+enum Fields {
+    Unit,
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct StructDef {
+    name: String,
+    fields: Fields,
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "struct" => break,
+                "enum" | "union" => {
+                    panic!("the offline serde derive supports plain structs only")
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut fields = Fields::Unit;
+    for tt in iter {
+        match tt {
+            TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("the offline serde derive does not support generic types")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = Fields::Named(named_fields(g.stream()));
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                fields = Fields::Tuple(tuple_arity(g.stream()));
+                break;
+            }
+            _ => {}
+        }
+    }
+    StructDef {
+        name: name.expect("derive input must name a struct"),
+        fields,
+    }
+}
+
+/// Extracts field names from the body of a braced struct: for each
+/// top-level `name: Type` pair, the identifier immediately preceding the
+/// first `:` after a separator. `,` inside angle brackets (generic
+/// arguments in field types) is not a separator.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut in_type = false;
+    let mut last_ident = None;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if !in_type && angle_depth == 0 => {
+                    // `::` never follows a bare field name at this point;
+                    // the first top-level `:` ends the name position.
+                    fields.push(
+                        last_ident
+                            .take()
+                            .expect("field name must precede `:` in struct body"),
+                    );
+                    in_type = true;
+                }
+                ',' if angle_depth == 0 => {
+                    in_type = false;
+                    last_ident = None;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if !in_type => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct body (top-level commas + 1).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in body {
+        any = true;
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+/// `#[derive(Serialize)]` — implements the shim's `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        def.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — implements the shim's `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let name = &def.name;
+    let body = match &def.fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(::serde::seq_item(v, {i})?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_field(v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}

@@ -1,0 +1,340 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Prints and parses the vendored `serde` shim's [`Value`] tree as JSON.
+//! Floating-point numbers are rendered with Rust's shortest-round-trip
+//! `{:?}` formatting, so every finite `f64` survives a round trip
+//! bit-for-bit — the property the workspace's serialization tests rely
+//! on. Non-finite floats are rejected at serialization time, as in real
+//! JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes a value to a JSON string.
+///
+/// # Errors
+///
+/// If the value contains a non-finite float (JSON has no representation
+/// for NaN or infinities).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// On malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error::msg("trailing characters after JSON value"));
+    }
+    T::from_value(&v)
+}
+
+fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::msg("JSON cannot represent non-finite floats"));
+            }
+            // `{:?}` is Rust's shortest representation that parses back to
+            // the identical f64; it always contains '.' or 'e', keeping
+            // floats distinguishable from integers on the wire.
+            let _ = write!(out, "{x:?}");
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.s.get(self.i) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::msg("unexpected end of JSON input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::msg("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::msg("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::msg("unterminated string"))?;
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err(Error::msg("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(Error::msg("unknown escape sequence")),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char at i-1.
+                    let start = self.i - 1;
+                    let tail = std::str::from_utf8(&self.s[start..])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = tail.chars().next().unwrap();
+                    self.i = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let tok = std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if tok.is_empty() {
+            return Err(Error::msg(format!("unexpected character at byte {start}")));
+        }
+        let is_float = tok.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Some(rest) = tok.strip_prefix('-') {
+                if let Ok(mag) = rest.parse::<u64>() {
+                    if mag <= i64::MAX as u64 {
+                        return Ok(Value::I64(-(mag as i64)));
+                    }
+                }
+            } else if let Ok(n) = tok.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        tok.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number `{tok}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+        assert_eq!(from_str::<u64>("7").unwrap(), 7);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>(" false ").unwrap());
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.3f64, 1.0 / 3.0, -2.5e-7, 0.1 + 0.2, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap().to_bits(), x.to_bits(), "{s}");
+        }
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}é".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn vectors_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>("[1, 2, 3]").unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("7 8").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+}
