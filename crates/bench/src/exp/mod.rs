@@ -20,6 +20,7 @@ pub mod e17_functions;
 pub mod e18_protocol;
 pub mod e19_frontier;
 pub mod e20_throughput;
+pub mod e21_service;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -115,6 +116,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Throughput: scalar vs batched Algorithm 2 at 1M sketches",
             e20_throughput::run,
         ),
+        (
+            "e21",
+            "Service: loopback TCP ingest + query throughput, WAL fidelity",
+            e21_service::run,
+        ),
     ]
 }
 
@@ -125,9 +131,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 20);
+        assert_eq!(reg.len(), 21);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 }

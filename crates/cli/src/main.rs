@@ -16,6 +16,7 @@
 //! ```
 
 mod args;
+mod service;
 
 use args::{Args, CliError};
 use psketch_core::codec::bundle_size_bytes;
@@ -47,12 +48,15 @@ fn run(raw: &[String]) -> Result<(), CliError> {
         Some("plan") => plan(&args),
         Some("demo") => demo(&args),
         Some("frontier") => frontier(&args),
+        Some("serve") => service::serve(&args),
+        Some("submit") => service::submit(&args),
+        Some("query") => service::query(&args),
         Some("help") | None => {
             print_help();
             Ok(())
         }
         Some(other) => Err(CliError(format!(
-            "unknown command '{other}' (try plan, demo, frontier, help)"
+            "unknown command '{other}' (try plan, demo, frontier, serve, submit, query, help)"
         ))),
     }
 }
@@ -67,6 +71,13 @@ fn print_help() {
     println!("  demo      run an end-to-end synthetic-survey pipeline");
     println!("            [--users 20000] [--p 0.3] [--seed 7]");
     println!("  frontier  print the privacy-utility bound table over p [--users 20000]");
+    println!("  serve     run the sketch-pool server");
+    println!("            [--addr 127.0.0.1:7171] [--users 100000] [--p 0.3] [--width 2]");
+    println!("            [--workers 8] [--wal DIR] [--compact-bytes N]");
+    println!("  submit    simulate user agents against a running server");
+    println!("            [--addr …] [--users 1000] [--seed 1] [--id-base 0] [--batch 500]");
+    println!("  query     ask a running server: conj --subset 0,1 --value 10 | dist");
+    println!("            --subset 0,1 | stats | ping   (all take [--addr …] [--timeout 10])");
     println!("  help      this message");
 }
 

@@ -1,0 +1,412 @@
+//! The `serve`, `submit` and `query` subcommands: the CLI face of the
+//! networked sketch-pool service.
+//!
+//! ```text
+//! psketch serve  [--addr 127.0.0.1:7171] [--db-id 1] [--users 100000]
+//!                [--tau 1e-6] [--p 0.3] [--width 2] [--key-seed 7]
+//!                [--workers 8] [--wal DIR] [--compact-bytes 67108864]
+//!     Publish an announcement and serve the pool over TCP. With --wal,
+//!     every accepted batch is fsync'd to DIR before it is acknowledged
+//!     and the pool is recovered from DIR on restart.
+//!
+//! psketch submit [--addr …] [--users 1000] [--seed 1] [--id-base 0]
+//!                [--batch 500] [--timeout 10]
+//!     Simulate N user agents: fetch the announcement, sketch synthetic
+//!     profiles with seeded randomness, submit in batches.
+//!
+//! psketch query conj  --subset 0,1 --value 10 [--addr …] [--timeout 10]
+//! psketch query dist  --subset 0,1            [--addr …]
+//! psketch query stats                         [--addr …]
+//! psketch query ping                          [--addr …]
+//!     Analyst queries against a running server.
+//! ```
+//!
+//! Every failure (unreachable server, bad flags, server-side error
+//! frame) is reported on stderr with a non-zero exit code — these
+//! commands are meant to be scripted.
+
+use crate::args::{Args, CliError};
+use psketch_core::{BitString, BitSubset, Profile, UserId};
+use psketch_prf::{GlobalKey, Prg};
+use psketch_protocol::{Announcement, AnnouncementBuilder, Submission, UserAgent};
+use psketch_server::wal::WalConfig;
+use psketch_server::{Client, Server, ServerConfig};
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// Default service address shared by all three subcommands.
+const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+fn err(e: impl std::fmt::Display) -> CliError {
+    CliError(e.to_string())
+}
+
+fn connect(args: &Args) -> Result<Client, CliError> {
+    let addr: String = args.get_or("addr", DEFAULT_ADDR.to_string())?;
+    let timeout: f64 = args.get_or("timeout", 10.0)?;
+    if !timeout.is_finite() || timeout <= 0.0 {
+        return Err(CliError(format!("--timeout {timeout} must be positive")));
+    }
+    Client::connect(addr.as_str(), Duration::from_secs_f64(timeout))
+        .map_err(|e| CliError(format!("cannot reach server at {addr}: {e}")))
+}
+
+/// `psketch serve`: announce and serve until killed.
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "addr",
+        "db-id",
+        "users",
+        "tau",
+        "p",
+        "width",
+        "key-seed",
+        "workers",
+        "wal",
+        "compact-bytes",
+    ])?;
+    let addr: String = args.get_or("addr", DEFAULT_ADDR.to_string())?;
+    let announcement = build_announcement(args)?;
+    let workers: usize = args.get_or("workers", 8)?;
+    let wal = match args.get_or("wal", String::new())? {
+        dir if dir.is_empty() => None,
+        dir => {
+            let mut config = WalConfig::new(dir);
+            config.compact_threshold_bytes =
+                args.get_or("compact-bytes", config.compact_threshold_bytes)?;
+            Some(config)
+        }
+    };
+    let durable = wal.is_some();
+
+    let server = Server::start(addr.as_str(), announcement, ServerConfig { workers, wal })
+        .map_err(|e| CliError(format!("cannot serve on {addr}: {e}")))?;
+    let ann = server.coordinator().announcement();
+    println!(
+        "announcement: db {} | p = {} | {} bits/sketch | {} subsets | eps = {:.4}/user",
+        ann.database_id,
+        ann.p,
+        ann.sketch_bits,
+        ann.subsets.len(),
+        ann.epsilon_cost()
+    );
+    println!(
+        "recovered: {} submissions, {} records",
+        server.coordinator().stats().accepted,
+        server.coordinator().stats().records
+    );
+    println!(
+        "listening on {} ({} workers, wal {})",
+        server.local_addr(),
+        workers.max(1),
+        if durable { "on" } else { "off" }
+    );
+    // Make the readiness lines visible to process supervisors
+    // immediately (CI smoke tests wait for them).
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until the process is killed; the worker threads carry the
+    // actual traffic.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Builds the announced sketching plan: every singleton attribute plus
+/// the full `width`-bit subset (so both marginal and joint conjunctive
+/// queries are answerable).
+fn build_announcement(args: &Args) -> Result<Announcement, CliError> {
+    let db_id: u64 = args.get_or("db-id", 1)?;
+    let users: u64 = args.get_or("users", 100_000)?;
+    let tau: f64 = args.get_or("tau", 1e-6)?;
+    let p: f64 = args.get_or("p", 0.3)?;
+    let width: u32 = args.get_or("width", 2)?;
+    let key_seed: u64 = args.get_or("key-seed", 7)?;
+    if !(p > 0.0 && p < 0.5) {
+        return Err(CliError(format!("--p {p} must be in (0, 1/2)")));
+    }
+    if !(tau > 0.0 && tau < 1.0) {
+        return Err(CliError(format!("--tau {tau} must be in (0, 1)")));
+    }
+    if users == 0 || width == 0 {
+        return Err(CliError("--users and --width must be positive".into()));
+    }
+    if width > 16 {
+        return Err(CliError(format!(
+            "--width {width} too wide (joint subset capped at 16 bits)"
+        )));
+    }
+    let mut builder = AnnouncementBuilder::new(db_id, p, users, tau)
+        .global_key(*GlobalKey::from_seed(key_seed).as_bytes())
+        .subsets((0..width).map(BitSubset::single));
+    if width > 1 {
+        builder = builder.subset(BitSubset::range(0, width));
+    }
+    builder.build().map_err(err)
+}
+
+/// `psketch submit`: simulate user agents against a live server.
+pub fn submit(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["addr", "timeout", "users", "seed", "id-base", "batch"])?;
+    let users: u64 = args.get_or("users", 1_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let id_base: u64 = args.get_or("id-base", 0)?;
+    let batch: usize = args.get_or("batch", 500)?;
+    if users == 0 || batch == 0 {
+        return Err(CliError("--users and --batch must be positive".into()));
+    }
+
+    let mut client = connect(args)?;
+    let ann = client.announcement().map_err(err)?;
+    let width = ann
+        .subsets
+        .iter()
+        .flat_map(|s| s.positions().iter().copied())
+        .max()
+        .map_or(1, |max| max as usize + 1);
+
+    // Generate and submit one batch at a time: memory stays flat at the
+    // batch size and the pipeline starts immediately, whatever --users
+    // is.
+    let mut rng = Prg::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut next = 0u64;
+    while next < users {
+        let chunk_end = (next + batch as u64).min(users);
+        let submissions: Vec<Submission> = (next..chunk_end)
+            .map(|i| {
+                // Synthetic correlated profile: bit j true w.p. 1/(j+2),
+                // so marginals differ across attributes and queries have
+                // nontrivial answers.
+                let bits: Vec<bool> = (0..width)
+                    .map(|j| rng.random_bool(1.0 / (j as f64 + 2.0)))
+                    .collect();
+                let mut agent = UserAgent::new(
+                    UserId(id_base + i),
+                    Profile::from_bits(&bits),
+                    ann.p,
+                    f64::MAX,
+                );
+                agent.participate(&ann, &mut rng).map_err(err)
+            })
+            .collect::<Result<_, _>>()?;
+        let ack = client.submit_batch(&submissions).map_err(err)?;
+        accepted += ack.accepted;
+        rejected += ack.rejected;
+        next = chunk_end;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "submitted {users} users in batches of {batch}: accepted {accepted}, \
+         rejected {rejected} ({:.0} submissions/s)",
+        accepted as f64 / secs.max(1e-9),
+    );
+    if rejected > 0 {
+        return Err(CliError(format!(
+            "{rejected} submissions rejected (duplicate ids? try --id-base)"
+        )));
+    }
+    Ok(())
+}
+
+/// `psketch query <conj|dist|stats|ping>`: analyst queries.
+pub fn query(args: &Args) -> Result<(), CliError> {
+    let kind = args
+        .positional()
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError("usage: psketch query <conj|dist|stats|ping> …".into()))?;
+    match kind {
+        "conj" => {
+            args.reject_unknown(&["addr", "timeout", "subset", "value"])?;
+            let subset = parse_subset(&args.require::<String>("subset")?)?;
+            let value = parse_value(&args.require::<String>("value")?, subset.len())?;
+            let mut client = connect(args)?;
+            let est = client.conjunctive(subset, value).map_err(err)?;
+            println!(
+                "estimate: {:.6} (raw {:.6}, n = {}, 95% +/- {:.6})",
+                est.fraction,
+                est.raw,
+                est.sample_size,
+                est.half_width(0.05)
+            );
+        }
+        "dist" => {
+            args.reject_unknown(&["addr", "timeout", "subset"])?;
+            let subset = parse_subset(&args.require::<String>("subset")?)?;
+            let width = subset.len();
+            let mut client = connect(args)?;
+            let dist = client.distribution(subset).map_err(err)?;
+            println!(
+                "{:>width$}  {:>10}  {:>8}",
+                "value",
+                "estimate",
+                "n",
+                width = width.max(5)
+            );
+            for (v, est) in dist.iter().enumerate() {
+                let bits: String = (0..width)
+                    .map(|b| if (v >> b) & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                println!(
+                    "{bits:>w$}  {:>10.6}  {:>8}",
+                    est.fraction,
+                    est.sample_size,
+                    w = width.max(5)
+                );
+            }
+        }
+        "stats" => {
+            args.reject_unknown(&["addr", "timeout"])?;
+            let mut client = connect(args)?;
+            let stats = client.stats().map_err(err)?;
+            println!(
+                "accepted {}  duplicates {}  malformed {}  records {}",
+                stats.accepted, stats.duplicates, stats.malformed, stats.records
+            );
+        }
+        "ping" => {
+            args.reject_unknown(&["addr", "timeout"])?;
+            let mut client = connect(args)?;
+            client.ping().map_err(err)?;
+            println!("pong");
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown query kind '{other}' (try conj, dist, stats, ping)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses `0,1,4` into a subset.
+fn parse_subset(raw: &str) -> Result<BitSubset, CliError> {
+    let positions: Vec<u32> = raw
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map_err(|_| CliError(format!("--subset: cannot parse position '{tok}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    BitSubset::new(positions).map_err(|e| CliError(format!("--subset: {e}")))
+}
+
+/// Parses a bit literal like `10` (first character = first subset
+/// position) into a value of the given width.
+fn parse_value(raw: &str, width: usize) -> Result<BitString, CliError> {
+    if raw.len() != width {
+        return Err(CliError(format!(
+            "--value '{raw}' has {} bits, subset has {width}",
+            raw.len()
+        )));
+    }
+    let bits: Vec<bool> = raw
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(CliError(format!("--value: '{other}' is not a bit"))),
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(BitString::from_bits(&bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn subset_and_value_parsing() {
+        let s = parse_subset("0, 2,5").unwrap();
+        assert_eq!(s.positions(), &[0, 2, 5]);
+        assert!(parse_subset("0,x").is_err());
+        assert!(parse_subset("0,0").is_err());
+        let v = parse_value("101", 3).unwrap();
+        assert!(v.get(0) && !v.get(1) && v.get(2));
+        assert!(parse_value("10", 3).is_err());
+        assert!(parse_value("1a1", 3).is_err());
+    }
+
+    #[test]
+    fn connection_failures_are_errors_not_panics() {
+        // Nothing listens on a fresh ephemeral port's address; connect
+        // must fail fast with a message, not panic.
+        let args = parse(&[
+            "query",
+            "stats",
+            "--addr",
+            "127.0.0.1:9",
+            "--timeout",
+            "0.2",
+        ]);
+        let e = query(&args).unwrap_err();
+        assert!(e.0.contains("cannot reach server"), "{e}");
+        let args = parse(&["submit", "--addr", "127.0.0.1:9", "--timeout", "0.2"]);
+        assert!(submit(&args).is_err());
+    }
+
+    #[test]
+    fn flag_validation() {
+        assert!(query(&parse(&["query"])).is_err());
+        assert!(query(&parse(&["query", "bogus"])).is_err());
+        assert!(query(&parse(&["query", "conj", "--subset", "0,1"])).is_err()); // missing --value
+        assert!(submit(&parse(&["submit", "--users", "0"])).is_err());
+        assert!(submit(&parse(&["submit", "--timeout", "-1"])).is_err());
+        assert!(serve(&parse(&["serve", "--p", "0.8"])).is_err());
+        assert!(serve(&parse(&["serve", "--width", "0"])).is_err());
+        assert!(serve(&parse(&["serve", "--width", "40"])).is_err());
+        assert!(serve(&parse(&["serve", "--bogus", "1"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_submit_and_query_through_the_cli_layer() {
+        // Drive the real subcommand functions against an in-process
+        // server (the CI smoke test does the same via the binary).
+        let ann =
+            build_announcement(&parse(&["serve", "--users", "5000", "--width", "2"])).unwrap();
+        let server = Server::start("127.0.0.1:0", ann, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        submit(&parse(&[
+            "submit", "--addr", &addr, "--users", "400", "--batch", "100",
+        ]))
+        .unwrap();
+        // Duplicate ids rejected → non-zero exit path.
+        assert!(submit(&parse(&["submit", "--addr", &addr, "--users", "10"])).is_err());
+        // Fresh ids fine.
+        submit(&parse(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--users",
+            "10",
+            "--id-base",
+            "400",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query", "conj", "--addr", &addr, "--subset", "0,1", "--value", "10",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query", "dist", "--addr", &addr, "--subset", "0,1",
+        ]))
+        .unwrap();
+        query(&parse(&["query", "stats", "--addr", &addr])).unwrap();
+        query(&parse(&["query", "ping", "--addr", &addr])).unwrap();
+        // Unknown subset → error frame → CLI error.
+        assert!(query(&parse(&[
+            "query", "conj", "--addr", &addr, "--subset", "7", "--value", "1",
+        ]))
+        .is_err());
+        server.shutdown();
+    }
+}

@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use psketch_core::theory::min_sketch_bits;
 use psketch_core::{BitSubset, Error, SketchDb, SketchRecord, UserId};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Builder for announcements.
 #[derive(Debug, Clone)]
@@ -101,13 +102,64 @@ pub struct BatchOutcome {
     pub rejected: usize,
 }
 
+/// A point-in-time snapshot of the coordinator's ingestion counters —
+/// the observability surface reported by the server's Stats frame.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Submissions accepted into the pool.
+    pub accepted: u64,
+    /// Submissions rejected because the user already submitted.
+    pub duplicates: u64,
+    /// Submissions rejected because the bundle failed to decode.
+    pub malformed: u64,
+    /// Individual sketch records ingested across all subsets.
+    pub records: u64,
+}
+
+impl CoordinatorStats {
+    /// Total rejected submissions (duplicates + malformed).
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.duplicates + self.malformed
+    }
+}
+
+/// Lock-free running counters behind [`CoordinatorStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    duplicates: AtomicU64,
+    malformed: AtomicU64,
+    records: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CoordinatorStats {
+        CoordinatorStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(stats: CoordinatorStats) -> Self {
+        Self {
+            accepted: AtomicU64::new(stats.accepted),
+            duplicates: AtomicU64::new(stats.duplicates),
+            malformed: AtomicU64::new(stats.malformed),
+            records: AtomicU64::new(stats.records),
+        }
+    }
+}
+
 /// The coordinator: holds the announcement and the public pool.
 #[derive(Debug)]
 pub struct Coordinator {
     announcement: Announcement,
     db: SketchDb,
     seen: Mutex<HashSet<UserId>>,
-    rejected: Mutex<u64>,
+    counters: Counters,
 }
 
 impl Coordinator {
@@ -118,7 +170,28 @@ impl Coordinator {
             announcement,
             db: SketchDb::new(),
             seen: Mutex::new(HashSet::new()),
-            rejected: Mutex::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Rebuilds a coordinator from previously persisted state (a snapshot
+    /// file): the announcement, the set of users already accepted, the
+    /// restored pool, and the counter values at snapshot time.
+    ///
+    /// The restored coordinator keeps rejecting duplicates of every user
+    /// in `seen`, exactly as the original would have.
+    #[must_use]
+    pub fn restore(
+        announcement: Announcement,
+        seen: impl IntoIterator<Item = UserId>,
+        db: SketchDb,
+        stats: CoordinatorStats,
+    ) -> Self {
+        Self {
+            announcement,
+            db,
+            seen: Mutex::new(seen.into_iter().collect()),
+            counters: Counters::restore(stats),
         }
     }
 
@@ -140,19 +213,20 @@ impl Coordinator {
         let records = match submission.decode(&self.announcement) {
             Ok(r) => r,
             Err(e) => {
-                *self.rejected.lock() += 1;
+                self.counters.malformed.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
         };
         {
             let mut seen = self.seen.lock();
             if !seen.insert(submission.user) {
-                *self.rejected.lock() += 1;
+                self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
                 return Err(Error::Codec {
                     reason: format!("duplicate submission from {}", submission.user),
                 });
             }
         }
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
         self.ingest(std::iter::once((submission.user, records)));
         Ok(())
     }
@@ -177,7 +251,7 @@ impl Coordinator {
             match submission.decode(&self.announcement) {
                 Ok(records) => decoded.push((submission.user, records)),
                 Err(_) => {
-                    *self.rejected.lock() += 1;
+                    self.counters.malformed.fetch_add(1, Ordering::Relaxed);
                     outcome.rejected += 1;
                 }
             }
@@ -189,13 +263,16 @@ impl Coordinator {
                 if seen.insert(*user) {
                     true
                 } else {
-                    *self.rejected.lock() += 1;
+                    self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
                     outcome.rejected += 1;
                     false
                 }
             });
         }
         outcome.accepted = decoded.len();
+        self.counters
+            .accepted
+            .fetch_add(outcome.accepted as u64, Ordering::Relaxed);
         self.ingest(decoded);
         outcome
     }
@@ -207,14 +284,17 @@ impl Coordinator {
         I: IntoIterator<Item = (UserId, Vec<(BitSubset, psketch_core::Sketch)>)>,
     {
         let mut grouped: HashMap<BitSubset, Vec<SketchRecord>> = HashMap::new();
+        let mut total = 0u64;
         for (user, records) in decoded {
             for (subset, sketch) in records {
+                total += 1;
                 grouped
                     .entry(subset)
                     .or_default()
                     .push(SketchRecord { id: user, sketch });
             }
         }
+        self.counters.records.fetch_add(total, Ordering::Relaxed);
         for (subset, records) in grouped {
             self.db.insert_batch(subset, records);
         }
@@ -226,10 +306,23 @@ impl Coordinator {
         self.seen.lock().len()
     }
 
-    /// Number of rejected submissions.
+    /// Number of rejected submissions (duplicates + malformed).
     #[must_use]
     pub fn rejected(&self) -> u64 {
-        *self.rejected.lock()
+        self.stats().rejected()
+    }
+
+    /// A point-in-time snapshot of the ingestion counters.
+    #[must_use]
+    pub fn stats(&self) -> CoordinatorStats {
+        self.counters.snapshot()
+    }
+
+    /// The users accepted so far, in unspecified order — what a snapshot
+    /// file persists so a restored coordinator keeps deduplicating.
+    #[must_use]
+    pub fn seen_users(&self) -> Vec<UserId> {
+        self.seen.lock().iter().copied().collect()
     }
 
     /// The public sketch pool (what analysts query).
@@ -377,6 +470,69 @@ mod tests {
         assert!(coordinator.accept(&sub).is_err());
         assert_eq!(coordinator.participants(), 1);
         assert_eq!(coordinator.rejected(), 1);
+    }
+
+    #[test]
+    fn stats_track_every_outcome() {
+        let ann = build_announcement();
+        let coordinator = Coordinator::new(ann.clone());
+        let mut rng = Prg::seed_from_u64(14);
+        let mut agent = UserAgent::new(UserId(1), Profile::from_bits(&[true, false]), 0.45, 1e6);
+        let good = agent.participate(&ann, &mut rng).unwrap();
+        let malformed = Submission {
+            user: UserId(2),
+            database_id: 999,
+            bundle: vec![0xAB],
+            skipped: vec![],
+        };
+        coordinator.accept(&good).unwrap();
+        assert!(coordinator.accept(&good).is_err()); // duplicate
+        assert!(coordinator.accept(&malformed).is_err());
+        let stats = coordinator.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.rejected(), 2);
+        // Two subsets announced, none skipped: 2 records ingested.
+        assert_eq!(stats.records, 2);
+        assert_eq!(coordinator.rejected(), 2);
+    }
+
+    #[test]
+    fn restore_preserves_dedup_pool_and_counters() {
+        let ann = build_announcement();
+        let original = Coordinator::new(ann.clone());
+        let mut rng = Prg::seed_from_u64(15);
+        let submissions: Vec<Submission> = (0..50u64)
+            .map(|i| {
+                let profile = Profile::from_bits(&[i % 4 == 0, i % 2 == 0]);
+                let mut agent = UserAgent::new(UserId(i), profile, 0.45, 1e6);
+                agent.participate(&ann, &mut rng).unwrap()
+            })
+            .collect();
+        original.accept_batch(&submissions);
+
+        // Persist (announcement, seen, pool columns, stats) and restore.
+        let db = psketch_core::SketchDb::from_columns(original.pool().subsets().into_iter().map(
+            |subset| {
+                let snap = original.pool().snapshot(&subset).unwrap();
+                (subset, snap.ids().to_vec(), snap.keys().to_vec())
+            },
+        ));
+        let restored = Coordinator::restore(ann, original.seen_users(), db, original.stats());
+        assert_eq!(restored.participants(), 50);
+        assert_eq!(restored.stats(), original.stats());
+        // A replayed submission is still a duplicate.
+        assert!(restored.accept(&submissions[0]).is_err());
+        assert_eq!(restored.stats().duplicates, 1);
+        // Pools answer identically.
+        for subset in original.pool().subsets() {
+            let mut a = original.pool().records(&subset).unwrap();
+            let mut b = restored.pool().records(&subset).unwrap();
+            a.sort_by_key(|r| r.id);
+            b.sort_by_key(|r| r.id);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

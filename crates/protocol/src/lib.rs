@@ -28,5 +28,5 @@ pub mod coordinator;
 pub mod messages;
 
 pub use agent::UserAgent;
-pub use coordinator::{AnnouncementBuilder, Coordinator};
+pub use coordinator::{AnnouncementBuilder, BatchOutcome, Coordinator, CoordinatorStats};
 pub use messages::{Announcement, Submission};

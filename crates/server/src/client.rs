@@ -1,0 +1,262 @@
+//! The blocking client library.
+//!
+//! A [`Client`] owns one TCP connection and reuses it across requests —
+//! the frame protocol is strictly request/response, so connection reuse
+//! is just "write a frame, read a frame". User agents submit in batches
+//! ([`Client::submit_batch`] / [`Client::submit_chunked`]); analysts
+//! query with [`Client::conjunctive`], [`Client::distribution`] and
+//! [`Client::linear`].
+
+use crate::wire::{self, LinearTermWire, Request, Response};
+use psketch_core::{BitString, BitSubset, Estimate};
+use psketch_protocol::{Announcement, CoordinatorStats, Submission};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors from the client side of the protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure.
+    Io(io::Error),
+    /// The server's bytes could not be decoded, or the response kind
+    /// did not match the request.
+    Protocol(String),
+    /// The server answered with an error frame (see [`wire::codes`]).
+    Server {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "connection error: {e}"),
+            Self::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            Self::Server { code, message } => write!(f, "server error {code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The outcome of a batch submission, as acknowledged by the server
+/// *after* the batch is durable (when the server runs a WAL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitAck {
+    /// Submissions accepted into the pool.
+    pub accepted: u64,
+    /// Submissions rejected (malformed or duplicate).
+    pub rejected: u64,
+}
+
+/// A blocking connection to a sketch-pool server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Cleared after a transport/decode failure mid-exchange: the
+    /// stream may hold a stale response, so request/response pairing
+    /// can no longer be trusted and the connection refuses further use.
+    healthy: bool,
+}
+
+impl Client {
+    /// Connects with a timeout that also bounds each subsequent read
+    /// and write.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution and connection failures.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self, ClientError> {
+        let mut last_err: Option<io::Error> = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Ok(Self {
+                        stream,
+                        healthy: true,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+
+    /// One request/response round trip on the shared connection.
+    ///
+    /// Any transport or decode failure poisons the connection: the
+    /// server's response may still be in flight, so a retry on the same
+    /// stream would read the *previous* exchange's answer. Callers must
+    /// reconnect after such an error (server-side error frames are a
+    /// completed exchange and do not poison).
+    fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if !self.healthy {
+            return Err(ClientError::Protocol(
+                "connection poisoned by an earlier failed exchange; reconnect".into(),
+            ));
+        }
+        self.healthy = false;
+        let resp = self.exchange(req)?;
+        self.healthy = true;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, ClientError> {
+        wire::write_frame(&mut self.stream, &req.encode())?;
+        let payload = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Protocol("server closed the connection mid request".into())
+        })?;
+        Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn unexpected<T>(resp: &Response) -> Result<T, ClientError> {
+        Err(ClientError::Protocol(format!(
+            "unexpected response kind: {resp:?}"
+        )))
+    }
+
+    /// Fetches the coordinator's public announcement.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn announcement(&mut self) -> Result<Announcement, ClientError> {
+        match self.request(&Request::FetchAnnouncement)? {
+            Response::Announcement(ann) => Ok(ann),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Submits one batch and waits for the (durability-backed) ack.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn submit_batch(&mut self, subs: &[Submission]) -> Result<SubmitAck, ClientError> {
+        match self.request(&Request::SubmitBatch(subs.to_vec()))? {
+            Response::SubmitAck { accepted, rejected } => Ok(SubmitAck { accepted, rejected }),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Submits a large set in chunks of `batch_size`, summing the acks —
+    /// keeps every frame under the wire limit regardless of input size.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors; already-acked chunks stay
+    /// ingested.
+    pub fn submit_chunked(
+        &mut self,
+        subs: &[Submission],
+        batch_size: usize,
+    ) -> Result<SubmitAck, ClientError> {
+        let mut total = SubmitAck::default();
+        for chunk in subs.chunks(batch_size.max(1)) {
+            let ack = self.submit_batch(chunk)?;
+            total.accepted += ack.accepted;
+            total.rejected += ack.rejected;
+        }
+        Ok(total)
+    }
+
+    /// Estimates one conjunctive frequency.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors (e.g. unknown subset).
+    pub fn conjunctive(
+        &mut self,
+        subset: BitSubset,
+        value: BitString,
+    ) -> Result<Estimate, ClientError> {
+        match self.request(&Request::Conjunctive { subset, value })? {
+            Response::Estimate(e) => Ok(e.into()),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Estimates the full `2^k` distribution over one subset, indexed
+    /// by the LSB-first integer encoding of the value.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn distribution(&mut self, subset: BitSubset) -> Result<Vec<Estimate>, ClientError> {
+        match self.request(&Request::Distribution { subset })? {
+            Response::Distribution(es) => Ok(es.into_iter().map(Into::into).collect()),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Evaluates `constant + Σ coeffᵢ · freq(subsetᵢ, valueᵢ)` on the
+    /// server. Returns `(value, queries_used, min_sample_size)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn linear(
+        &mut self,
+        constant: f64,
+        terms: Vec<(f64, BitSubset, BitString)>,
+    ) -> Result<(f64, u64, u64), ClientError> {
+        let terms = terms
+            .into_iter()
+            .map(|(coeff, subset, value)| LinearTermWire {
+                coeff,
+                subset,
+                value,
+            })
+            .collect();
+        match self.request(&Request::Linear { constant, terms })? {
+            Response::Linear {
+                value,
+                queries_used,
+                min_sample_size,
+            } => Ok((value, queries_used, min_sample_size)),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Fetches the coordinator's ingestion counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn stats(&mut self) -> Result<CoordinatorStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Self::unexpected(&other),
+        }
+    }
+}

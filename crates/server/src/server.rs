@@ -1,0 +1,517 @@
+//! The threaded TCP sketch-pool server.
+//!
+//! Architecture: one accept thread hands connections to a **fixed pool
+//! of worker threads** over a channel; each worker owns one connection
+//! at a time and serves its frames until the peer hangs up. Ingestion
+//! routes through [`Coordinator::accept_batch`] behind the WAL lock
+//! (append → fsync → apply → ack), while queries run off
+//! [`psketch_core::SketchDb`] `Arc` snapshots — readers never block
+//! writers and a long analyst scan never stalls ingestion.
+//!
+//! Shutdown is graceful: in-flight requests complete, idle workers exit
+//! at their next poll tick, and the accept thread is woken with a
+//! loopback connection so nothing blocks forever.
+
+use crate::wal::{Wal, WalConfig, WalError};
+use crate::wire::{self, codes, EstimateWire, Request, Response, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use psketch_core::{ConjunctiveQuery, Error};
+use psketch_protocol::{Announcement, Coordinator};
+use psketch_queries::{LinearQuery, QueryEngine};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Distribution queries wider than this are refused: the response holds
+/// `2^k` estimates and must fit comfortably in one frame.
+const MAX_DISTRIBUTION_WIDTH: usize = 16;
+
+/// How often an idle worker wakes up to check for shutdown.
+const POLL_TICK: Duration = Duration::from_millis(200);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Durability: `Some` opens (or recovers) a WAL-backed store.
+    pub wal: Option<WalConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            wal: None,
+        }
+    }
+}
+
+/// Errors from starting the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup failure.
+    Io(io::Error),
+    /// Durability layer failure.
+    Wal(WalError),
+    /// The announcement failed parameter validation.
+    Params(Error),
+    /// The WAL store was created under a different announcement than
+    /// the one passed in (refusing to mix pools).
+    AnnouncementMismatch,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "server i/o error: {e}"),
+            Self::Wal(e) => write!(f, "{e}"),
+            Self::Params(e) => write!(f, "invalid announcement: {e}"),
+            Self::AnnouncementMismatch => write!(
+                f,
+                "store was initialized with a different announcement; \
+                 refusing to mix sketch pools"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
+    }
+}
+
+/// Shared service state: the live pool plus the query engine and the
+/// (optional) durability layer.
+struct ServiceState {
+    coordinator: Coordinator,
+    engine: QueryEngine,
+    /// Lock ordering the WAL append and the pool apply of each batch —
+    /// a batch is acknowledged only after both. `None` (durability off)
+    /// skips the lock entirely: `accept_batch` is internally
+    /// synchronized, so concurrent batches then decode in parallel.
+    wal: Option<Mutex<Wal>>,
+}
+
+/// A running sketch-pool server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting, drains in-flight requests and
+/// joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<ServiceState>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr` and starts serving `announcement`'s pool.
+    ///
+    /// With a WAL configured, previously persisted state is recovered
+    /// first: the snapshot is loaded, the log replayed (tolerating a
+    /// torn final record), and the server resumes exactly where the
+    /// last process stopped. A fresh store is initialized with the
+    /// announcement (which becomes the store's identity: restarting
+    /// with a different one is refused).
+    ///
+    /// # Errors
+    ///
+    /// Socket, WAL recovery, or announcement validation failures.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        announcement: Announcement,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        let params = announcement.validate().map_err(ServeError::Params)?;
+        let (wal, coordinator) = match &config.wal {
+            Some(wal_config) => {
+                let (mut wal, recovered) = Wal::open(wal_config)?;
+                let coordinator = match recovered {
+                    Some(c) => {
+                        if c.announcement() != &announcement {
+                            return Err(ServeError::AnnouncementMismatch);
+                        }
+                        c
+                    }
+                    None => {
+                        wal.record_announcement(&announcement)?;
+                        Coordinator::new(announcement)
+                    }
+                };
+                (Some(wal), coordinator)
+            }
+            None => (None, Coordinator::new(announcement)),
+        };
+        let state = Arc::new(ServiceState {
+            coordinator,
+            engine: QueryEngine::new(params),
+            wal: wal.map(Mutex::new),
+        });
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || worker_loop(&rx, &state, &shutdown))
+            })
+            .collect();
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // tx drops here: idle workers see a closed channel.
+            })
+        };
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            state,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live pool's coordinator (for in-process inspection).
+    #[must_use]
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.state.coordinator
+    }
+
+    /// Stops accepting, lets in-flight requests finish, joins every
+    /// thread. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept thread: it blocks in accept(), so poke it with
+        // a throwaway connection. An unspecified bind address (0.0.0.0,
+        // ::) is not connectable everywhere — aim at loopback instead.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let woke = TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok();
+        if let Some(t) = self.accept_thread.take() {
+            if woke {
+                let _ = t.join();
+            }
+            // If the wake connect failed, the accept thread may stay
+            // parked in accept() until the process exits; detach it
+            // rather than hanging shutdown. Workers still drain: they
+            // poll the shutdown flag on their receive tick.
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, state: &ServiceState, shutdown: &AtomicBool) {
+    loop {
+        // Hold the receiver lock only for the poll itself, so workers
+        // take turns pulling connections.
+        let conn = rx.lock().recv_timeout(POLL_TICK);
+        match conn {
+            Ok(stream) => {
+                let _ = serve_connection(stream, state, shutdown);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection until EOF, a fatal I/O error, or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ServiceState,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    loop {
+        let Some(len) = read_len_prefix(&mut stream, shutdown)? else {
+            return Ok(()); // peer hung up between frames, or shutdown
+        };
+        if len as usize > wire::MAX_FRAME_BYTES {
+            // Unrecoverable: the stream position is ahead of a payload
+            // we refuse to read, so answer and hang up.
+            let resp = Response::Error {
+                code: codes::MALFORMED,
+                message: format!("declared frame length {len} exceeds limit"),
+            };
+            let _ = wire::write_frame(&mut stream, &resp.encode());
+            return Ok(());
+        }
+        let mut payload = vec![0u8; len as usize];
+        read_exact_patient(&mut stream, &mut payload, shutdown)?;
+        let response = handle_frame(state, &payload);
+        wire::write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+/// Reads the 4-byte length prefix, waking every [`POLL_TICK`] to check
+/// for shutdown. `Ok(None)` means clean EOF or shutdown — a peer that
+/// stalled mid-prefix cannot wedge shutdown; its half-frame is dropped.
+fn read_len_prefix(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<Option<u32>> {
+    let mut buf = [0u8; 4];
+    let mut filled = 0usize;
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "connection closed mid length prefix",
+                    ))
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                if filled == 4 {
+                    return Ok(Some(u32::from_le_bytes(buf)));
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `read_exact` that tolerates the poll-tick read timeout mid-frame but
+/// gives up on shutdown.
+fn read_exact_patient(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "connection closed mid frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "server shutting down",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn query_error(e: &Error) -> Response {
+    Response::Error {
+        code: codes::QUERY,
+        message: e.to_string(),
+    }
+}
+
+/// Decodes and dispatches one frame. Never panics on client input; all
+/// failures become error frames.
+fn handle_frame(state: &ServiceState, payload: &[u8]) -> Response {
+    match wire::frame_version(payload) {
+        Ok(v) if v != PROTOCOL_VERSION => {
+            return Response::Error {
+                code: codes::UNSUPPORTED_VERSION,
+                message: format!("server speaks protocol {PROTOCOL_VERSION}, frame declares {v}"),
+            };
+        }
+        Err(e) => {
+            return Response::Error {
+                code: codes::MALFORMED,
+                message: e.to_string(),
+            };
+        }
+        Ok(_) => {}
+    }
+    let request = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Error {
+                code: codes::MALFORMED,
+                message: e.to_string(),
+            };
+        }
+    };
+    handle_request(state, request)
+}
+
+fn handle_request(state: &ServiceState, request: Request) -> Response {
+    match request {
+        Request::FetchAnnouncement => {
+            Response::Announcement(state.coordinator.announcement().clone())
+        }
+        Request::SubmitBatch(subs) => ingest(state, &subs),
+        Request::Conjunctive { subset, value } => {
+            let query = match ConjunctiveQuery::new(subset, value) {
+                Ok(q) => q,
+                Err(e) => return query_error(&e),
+            };
+            match state
+                .engine
+                .estimator()
+                .estimate(state.coordinator.pool(), &query)
+            {
+                Ok(e) => Response::Estimate(EstimateWire::from(e)),
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Distribution { subset } => {
+            if subset.len() > MAX_DISTRIBUTION_WIDTH {
+                return Response::Error {
+                    code: codes::BAD_REQUEST,
+                    message: format!(
+                        "distribution width {} exceeds server cap {MAX_DISTRIBUTION_WIDTH}",
+                        subset.len()
+                    ),
+                };
+            }
+            match state
+                .engine
+                .estimator()
+                .estimate_distribution(state.coordinator.pool(), &subset)
+            {
+                Ok(es) => Response::Distribution(es.into_iter().map(EstimateWire::from).collect()),
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Linear { constant, terms } => {
+            let mut lq = LinearQuery::new("wire linear query");
+            lq.constant = constant;
+            for term in terms {
+                let query = match ConjunctiveQuery::new(term.subset, term.value) {
+                    Ok(q) => q,
+                    Err(e) => return query_error(&e),
+                };
+                lq.push(term.coeff, query);
+            }
+            match state.engine.linear(state.coordinator.pool(), &lq) {
+                Ok(a) => Response::Linear {
+                    value: a.value,
+                    queries_used: a.queries_used as u64,
+                    min_sample_size: a.min_sample_size as u64,
+                },
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::Stats => Response::Stats(state.coordinator.stats()),
+        Request::Ping => Response::Pong,
+    }
+}
+
+/// Ingests one batch: WAL append + fsync first, then the pool apply,
+/// then (still under the lock, so replay order matches apply order) a
+/// compaction check. Only after all of that is the client acked. With
+/// durability off there is no lock at all — batches from concurrent
+/// clients decode and land in parallel.
+fn ingest(state: &ServiceState, subs: &[psketch_protocol::Submission]) -> Response {
+    let outcome = match &state.wal {
+        None => state.coordinator.accept_batch(subs.iter()),
+        Some(wal_mutex) => {
+            let mut wal = wal_mutex.lock();
+            if let Err(e) = wal.record_batch(subs) {
+                return Response::Error {
+                    code: codes::INTERNAL,
+                    message: format!("write-ahead log append failed: {e}"),
+                };
+            }
+            let outcome = state.coordinator.accept_batch(subs.iter());
+            if wal.should_compact() {
+                if let Err(e) = wal.compact(&state.coordinator) {
+                    // The log still holds everything; compaction failure
+                    // is not a durability loss, so the batch is still
+                    // acked.
+                    eprintln!("wal compaction failed (will retry): {e}");
+                }
+            }
+            outcome
+        }
+    };
+    Response::SubmitAck {
+        accepted: outcome.accepted as u64,
+        rejected: outcome.rejected as u64,
+    }
+}

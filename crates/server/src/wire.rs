@@ -1,0 +1,993 @@
+//! The framed binary wire protocol.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! u32 LE payload length  (≤ MAX_FRAME_BYTES)
+//! payload:
+//!     u8 protocol version (= PROTOCOL_VERSION)
+//!     u8 message kind
+//!     body…                (kind-specific)
+//! ```
+//!
+//! The payload carries the existing [`psketch_protocol::messages`] types
+//! in a compact hand-rolled binary encoding (the container has no serde
+//! binary backend): integers little-endian, `f64` as IEEE-754 bits,
+//! byte strings and lists length-prefixed with `u32`. Requests flow
+//! client → server, responses flow back; a server that cannot parse or
+//! serve a request answers with an [`Response::Error`] frame instead of
+//! dropping the connection, so one bad query never costs a client its
+//! warm connection.
+//!
+//! Versioning: the version byte sits *outside* the kind so a server can
+//! reject a frame from the future (or the past) with
+//! [`codes::UNSUPPORTED_VERSION`] without guessing at its body layout.
+
+use psketch_core::{BitString, BitSubset, Error, Estimate, UserId};
+use psketch_protocol::{Announcement, CoordinatorStats, Submission};
+use std::io::{self, Read, Write};
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame payload; larger length prefixes are treated
+/// as malformed (they are far more likely garbage or abuse than a real
+/// message, and pre-allocating from an attacker-supplied length is a
+/// classic memory DoS).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Error codes carried by [`Response::Error`] frames.
+pub mod codes {
+    /// The request frame declared a protocol version this server does
+    /// not speak.
+    pub const UNSUPPORTED_VERSION: u16 = 1;
+    /// The request frame could not be decoded.
+    pub const MALFORMED: u16 = 2;
+    /// The query was well-formed but could not be answered (unknown
+    /// subset, empty pool, width mismatch…).
+    pub const QUERY: u16 = 3;
+    /// The request was well-formed but invalid (e.g. wrong database id).
+    pub const BAD_REQUEST: u16 = 4;
+    /// The server failed internally.
+    pub const INTERNAL: u16 = 5;
+}
+
+// Message kind bytes. Requests use the low range, responses the high
+// range, so a stray response can never parse as a request.
+const REQ_ANNOUNCEMENT: u8 = 0x01;
+const REQ_SUBMIT: u8 = 0x02;
+const REQ_CONJUNCTIVE: u8 = 0x03;
+const REQ_DISTRIBUTION: u8 = 0x04;
+const REQ_LINEAR: u8 = 0x05;
+const REQ_STATS: u8 = 0x06;
+const REQ_PING: u8 = 0x07;
+const RESP_ANNOUNCEMENT: u8 = 0x81;
+const RESP_SUBMIT_ACK: u8 = 0x82;
+const RESP_ESTIMATE: u8 = 0x83;
+const RESP_DISTRIBUTION: u8 = 0x84;
+const RESP_LINEAR: u8 = 0x85;
+const RESP_STATS: u8 = 0x86;
+const RESP_PONG: u8 = 0x87;
+const RESP_ERROR: u8 = 0xFF;
+
+/// One weighted conjunctive term of a wire-level linear query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTermWire {
+    /// The weight applied to the term's estimated frequency.
+    pub coeff: f64,
+    /// The queried subset.
+    pub subset: BitSubset,
+    /// The queried value (same width as `subset`).
+    pub value: BitString,
+}
+
+/// A client → server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Fetch the coordinator's public announcement.
+    FetchAnnouncement,
+    /// Submit a batch of user submissions for ingestion.
+    SubmitBatch(Vec<Submission>),
+    /// Estimate one conjunctive frequency.
+    Conjunctive {
+        /// The queried subset.
+        subset: BitSubset,
+        /// The queried value.
+        value: BitString,
+    },
+    /// Estimate the full `2^k` value distribution over one subset.
+    Distribution {
+        /// The queried subset.
+        subset: BitSubset,
+    },
+    /// Evaluate a linear combination of conjunctive frequencies.
+    Linear {
+        /// Constant offset added to the combination.
+        constant: f64,
+        /// The weighted conjunctive terms.
+        terms: Vec<LinearTermWire>,
+    },
+    /// Fetch the coordinator's ingestion counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// A wire-level estimate (mirrors [`psketch_core::Estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateWire {
+    /// The unbiased estimate `r'`.
+    pub fraction: f64,
+    /// The raw one-fraction `r̃`.
+    pub raw: f64,
+    /// Number of sketches aggregated.
+    pub sample_size: u64,
+    /// The bias used for inversion.
+    pub p: f64,
+}
+
+impl From<Estimate> for EstimateWire {
+    fn from(e: Estimate) -> Self {
+        Self {
+            fraction: e.fraction,
+            raw: e.raw,
+            sample_size: e.sample_size as u64,
+            p: e.p,
+        }
+    }
+}
+
+impl From<EstimateWire> for Estimate {
+    fn from(e: EstimateWire) -> Self {
+        Self {
+            fraction: e.fraction,
+            raw: e.raw,
+            sample_size: usize::try_from(e.sample_size).unwrap_or(usize::MAX),
+            p: e.p,
+        }
+    }
+}
+
+/// A server → client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The public announcement.
+    Announcement(Announcement),
+    /// Outcome of a [`Request::SubmitBatch`].
+    SubmitAck {
+        /// Submissions accepted into the pool.
+        accepted: u64,
+        /// Submissions rejected (malformed or duplicate).
+        rejected: u64,
+    },
+    /// Answer to a [`Request::Conjunctive`].
+    Estimate(EstimateWire),
+    /// Answer to a [`Request::Distribution`], indexed by the LSB-first
+    /// integer encoding of the value.
+    Distribution(Vec<EstimateWire>),
+    /// Answer to a [`Request::Linear`].
+    Linear {
+        /// The estimated value of the combination.
+        value: f64,
+        /// Conjunctive estimates actually performed.
+        queries_used: u64,
+        /// Smallest sample size among the underlying estimates.
+        min_sample_size: u64,
+    },
+    /// Answer to a [`Request::Stats`].
+    Stats(CoordinatorStats),
+    /// Answer to a [`Request::Ping`].
+    Pong,
+    /// The request failed; see [`codes`].
+    Error {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoding helpers.
+// ---------------------------------------------------------------------
+
+fn codec_err(reason: impl Into<String>) -> Error {
+    Error::Codec {
+        reason: reason.into(),
+    }
+}
+
+/// Byte-slice cursor with length-checked little-endian reads.
+struct Dec<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.data.len() < n {
+            return Err(codec_err(format!(
+                "truncated message: wanted {n} bytes, {} left",
+                self.data.len()
+            )));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, Error> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32` meant to size an upcoming allocation; bounded by what the
+    /// remaining input could possibly hold (each element ≥ `elem_bytes`).
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, Error> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes.max(1)) > self.data.len() {
+            return Err(codec_err(format!(
+                "declared count {n} exceeds remaining {} bytes",
+                self.data.len()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, Error> {
+        let n = self.count(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        String::from_utf8(self.bytes()?).map_err(|_| codec_err("invalid utf-8 string"))
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(codec_err(format!(
+                "{} trailing bytes after message",
+                self.data.len()
+            )))
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_len(buf: &mut Vec<u8>, n: usize) {
+    put_u32(buf, u32::try_from(n).expect("list longer than u32::MAX"));
+}
+
+fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    put_len(buf, data.len());
+    buf.extend_from_slice(data);
+}
+
+// ---------------------------------------------------------------------
+// Domain-type encoding.
+// ---------------------------------------------------------------------
+
+fn put_subset(buf: &mut Vec<u8>, subset: &BitSubset) {
+    put_len(buf, subset.len());
+    for &pos in subset.positions() {
+        put_u32(buf, pos);
+    }
+}
+
+fn get_subset(dec: &mut Dec<'_>) -> Result<BitSubset, Error> {
+    let n = dec.count(4)?;
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        positions.push(dec.u32()?);
+    }
+    BitSubset::new(positions).map_err(Error::Subset)
+}
+
+fn put_bitstring(buf: &mut Vec<u8>, value: &BitString) {
+    put_len(buf, value.len());
+    let mut byte = 0u8;
+    for i in 0..value.len() {
+        if value.get(i) {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            buf.push(byte);
+            byte = 0;
+        }
+    }
+    if !value.len().is_multiple_of(8) {
+        buf.push(byte);
+    }
+}
+
+fn get_bitstring(dec: &mut Dec<'_>) -> Result<BitString, Error> {
+    let bits = dec.u32()? as usize;
+    if bits > 1 << 20 {
+        return Err(codec_err("bit string implausibly long"));
+    }
+    let bytes = dec.take(bits.div_ceil(8))?;
+    let mut out = BitString::zeros(bits);
+    for i in 0..bits {
+        out.set(i, (bytes[i / 8] >> (i % 8)) & 1 == 1);
+    }
+    Ok(out)
+}
+
+/// Encodes an announcement body (shared by frames and WAL records).
+pub(crate) fn put_announcement(buf: &mut Vec<u8>, ann: &Announcement) {
+    put_u64(buf, ann.database_id);
+    put_f64(buf, ann.p);
+    buf.push(ann.sketch_bits);
+    buf.extend_from_slice(&ann.global_key);
+    put_len(buf, ann.subsets.len());
+    for subset in &ann.subsets {
+        put_subset(buf, subset);
+    }
+}
+
+/// Decodes an announcement body.
+fn get_announcement(dec: &mut Dec<'_>) -> Result<Announcement, Error> {
+    let database_id = dec.u64()?;
+    let p = dec.f64()?;
+    let sketch_bits = dec.u8()?;
+    let global_key: [u8; 32] = dec.take(32)?.try_into().unwrap();
+    let n = dec.count(4)?;
+    let mut subsets = Vec::with_capacity(n);
+    for _ in 0..n {
+        subsets.push(get_subset(dec)?);
+    }
+    Ok(Announcement {
+        database_id,
+        p,
+        sketch_bits,
+        global_key,
+        subsets,
+    })
+}
+
+pub(crate) fn put_submission(buf: &mut Vec<u8>, sub: &Submission) {
+    put_u64(buf, sub.user.0);
+    put_u64(buf, sub.database_id);
+    put_bytes(buf, &sub.bundle);
+    put_len(buf, sub.skipped.len());
+    for &i in &sub.skipped {
+        put_u32(buf, i);
+    }
+}
+
+fn get_submission(dec: &mut Dec<'_>) -> Result<Submission, Error> {
+    let user = UserId(dec.u64()?);
+    let database_id = dec.u64()?;
+    let bundle = dec.bytes()?;
+    let n = dec.count(4)?;
+    let mut skipped = Vec::with_capacity(n);
+    for _ in 0..n {
+        skipped.push(dec.u32()?);
+    }
+    Ok(Submission {
+        user,
+        database_id,
+        bundle,
+        skipped,
+    })
+}
+
+pub(crate) fn put_submissions(buf: &mut Vec<u8>, subs: &[Submission]) {
+    put_len(buf, subs.len());
+    for sub in subs {
+        put_submission(buf, sub);
+    }
+}
+
+fn get_submissions(dec: &mut Dec<'_>) -> Result<Vec<Submission>, Error> {
+    let n = dec.count(8)?;
+    let mut subs = Vec::with_capacity(n);
+    for _ in 0..n {
+        subs.push(get_submission(dec)?);
+    }
+    Ok(subs)
+}
+
+fn put_estimate(buf: &mut Vec<u8>, e: &EstimateWire) {
+    put_f64(buf, e.fraction);
+    put_f64(buf, e.raw);
+    put_u64(buf, e.sample_size);
+    put_f64(buf, e.p);
+}
+
+fn get_estimate(dec: &mut Dec<'_>) -> Result<EstimateWire, Error> {
+    Ok(EstimateWire {
+        fraction: dec.f64()?,
+        raw: dec.f64()?,
+        sample_size: dec.u64()?,
+        p: dec.f64()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Message payloads.
+// ---------------------------------------------------------------------
+
+fn payload(kind: u8) -> Vec<u8> {
+    vec![PROTOCOL_VERSION, kind]
+}
+
+/// Splits a frame payload into `(version, kind, body)`.
+fn open_payload(payload: &[u8]) -> Result<(u8, u8, Dec<'_>), Error> {
+    if payload.len() < 2 {
+        return Err(codec_err("frame payload shorter than its header"));
+    }
+    Ok((payload[0], payload[1], Dec::new(&payload[2..])))
+}
+
+/// The protocol version a frame payload declares (for pre-dispatch
+/// version checks without decoding the body).
+pub fn frame_version(payload: &[u8]) -> Result<u8, Error> {
+    payload
+        .first()
+        .copied()
+        .ok_or_else(|| codec_err("empty frame payload"))
+}
+
+impl Request {
+    /// Encodes the request as a frame payload (version + kind + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Self::FetchAnnouncement => payload(REQ_ANNOUNCEMENT),
+            Self::SubmitBatch(subs) => {
+                let mut buf = payload(REQ_SUBMIT);
+                put_submissions(&mut buf, subs);
+                buf
+            }
+            Self::Conjunctive { subset, value } => {
+                let mut buf = payload(REQ_CONJUNCTIVE);
+                put_subset(&mut buf, subset);
+                put_bitstring(&mut buf, value);
+                buf
+            }
+            Self::Distribution { subset } => {
+                let mut buf = payload(REQ_DISTRIBUTION);
+                put_subset(&mut buf, subset);
+                buf
+            }
+            Self::Linear { constant, terms } => {
+                let mut buf = payload(REQ_LINEAR);
+                put_f64(&mut buf, *constant);
+                put_len(&mut buf, terms.len());
+                for t in terms {
+                    put_f64(&mut buf, t.coeff);
+                    put_subset(&mut buf, &t.subset);
+                    put_bitstring(&mut buf, &t.value);
+                }
+                buf
+            }
+            Self::Stats => payload(REQ_STATS),
+            Self::Ping => payload(REQ_PING),
+        }
+    }
+
+    /// Decodes a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Codec`] on wrong version, unknown kind, truncation or
+    /// trailing bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, Error> {
+        let (version, kind, mut dec) = open_payload(data)?;
+        if version != PROTOCOL_VERSION {
+            return Err(codec_err(format!(
+                "unsupported protocol version {version} (this side speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let req = match kind {
+            REQ_ANNOUNCEMENT => Self::FetchAnnouncement,
+            REQ_SUBMIT => Self::SubmitBatch(get_submissions(&mut dec)?),
+            REQ_CONJUNCTIVE => Self::Conjunctive {
+                subset: get_subset(&mut dec)?,
+                value: get_bitstring(&mut dec)?,
+            },
+            REQ_DISTRIBUTION => Self::Distribution {
+                subset: get_subset(&mut dec)?,
+            },
+            REQ_LINEAR => {
+                let constant = dec.f64()?;
+                let n = dec.count(8)?;
+                let mut terms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    terms.push(LinearTermWire {
+                        coeff: dec.f64()?,
+                        subset: get_subset(&mut dec)?,
+                        value: get_bitstring(&mut dec)?,
+                    });
+                }
+                Self::Linear { constant, terms }
+            }
+            REQ_STATS => Self::Stats,
+            REQ_PING => Self::Ping,
+            other => return Err(codec_err(format!("unknown request kind {other:#04x}"))),
+        };
+        dec.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload (version + kind + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Self::Announcement(ann) => {
+                let mut buf = payload(RESP_ANNOUNCEMENT);
+                put_announcement(&mut buf, ann);
+                buf
+            }
+            Self::SubmitAck { accepted, rejected } => {
+                let mut buf = payload(RESP_SUBMIT_ACK);
+                put_u64(&mut buf, *accepted);
+                put_u64(&mut buf, *rejected);
+                buf
+            }
+            Self::Estimate(e) => {
+                let mut buf = payload(RESP_ESTIMATE);
+                put_estimate(&mut buf, e);
+                buf
+            }
+            Self::Distribution(es) => {
+                let mut buf = payload(RESP_DISTRIBUTION);
+                put_len(&mut buf, es.len());
+                for e in es {
+                    put_estimate(&mut buf, e);
+                }
+                buf
+            }
+            Self::Linear {
+                value,
+                queries_used,
+                min_sample_size,
+            } => {
+                let mut buf = payload(RESP_LINEAR);
+                put_f64(&mut buf, *value);
+                put_u64(&mut buf, *queries_used);
+                put_u64(&mut buf, *min_sample_size);
+                buf
+            }
+            Self::Stats(stats) => {
+                let mut buf = payload(RESP_STATS);
+                put_u64(&mut buf, stats.accepted);
+                put_u64(&mut buf, stats.duplicates);
+                put_u64(&mut buf, stats.malformed);
+                put_u64(&mut buf, stats.records);
+                buf
+            }
+            Self::Pong => payload(RESP_PONG),
+            Self::Error { code, message } => {
+                let mut buf = payload(RESP_ERROR);
+                put_u16(&mut buf, *code);
+                put_bytes(&mut buf, message.as_bytes());
+                buf
+            }
+        }
+    }
+
+    /// Decodes a frame payload into a response.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Codec`] on wrong version, unknown kind, truncation or
+    /// trailing bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, Error> {
+        let (version, kind, mut dec) = open_payload(data)?;
+        if version != PROTOCOL_VERSION {
+            return Err(codec_err(format!(
+                "unsupported protocol version {version} (this side speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let resp = match kind {
+            RESP_ANNOUNCEMENT => Self::Announcement(get_announcement(&mut dec)?),
+            RESP_SUBMIT_ACK => Self::SubmitAck {
+                accepted: dec.u64()?,
+                rejected: dec.u64()?,
+            },
+            RESP_ESTIMATE => Self::Estimate(get_estimate(&mut dec)?),
+            RESP_DISTRIBUTION => {
+                let n = dec.count(32)?;
+                let mut es = Vec::with_capacity(n);
+                for _ in 0..n {
+                    es.push(get_estimate(&mut dec)?);
+                }
+                Self::Distribution(es)
+            }
+            RESP_LINEAR => Self::Linear {
+                value: dec.f64()?,
+                queries_used: dec.u64()?,
+                min_sample_size: dec.u64()?,
+            },
+            RESP_STATS => Self::Stats(CoordinatorStats {
+                accepted: dec.u64()?,
+                duplicates: dec.u64()?,
+                malformed: dec.u64()?,
+                records: dec.u64()?,
+            }),
+            RESP_PONG => Self::Pong,
+            RESP_ERROR => Self::Error {
+                code: dec.u16()?,
+                message: dec.string()?,
+            },
+            other => return Err(codec_err(format!("unknown response kind {other:#04x}"))),
+        };
+        dec.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O.
+// ---------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates write failures; rejects payloads over [`MAX_FRAME_BYTES`]
+/// with [`io::ErrorKind::InvalidInput`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds limit", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer hung
+/// up between messages). A length prefix over [`MAX_FRAME_BYTES`] or an
+/// EOF mid-frame yields [`io::ErrorKind::InvalidData`].
+///
+/// # Errors
+///
+/// Propagates read failures.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "connection closed mid length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("declared frame length {len} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(io::ErrorKind::InvalidData, "connection closed mid frame")
+        } else {
+            e
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Decodes an announcement from a standalone buffer (WAL use).
+pub(crate) fn decode_announcement(data: &[u8]) -> Result<Announcement, Error> {
+    let mut dec = Dec::new(data);
+    let ann = get_announcement(&mut dec)?;
+    dec.finish()?;
+    Ok(ann)
+}
+
+/// Decodes an announcement from the *front* of a buffer, returning the
+/// number of bytes consumed (snapshot use, where fields follow it).
+pub(crate) fn decode_announcement_prefix(data: &[u8]) -> Result<(Announcement, usize), Error> {
+    let mut dec = Dec::new(data);
+    let ann = get_announcement(&mut dec)?;
+    let consumed = data.len() - dec.data.len();
+    Ok((ann, consumed))
+}
+
+/// Encodes one subset (snapshot use).
+pub(crate) fn put_announcement_subset(buf: &mut Vec<u8>, subset: &BitSubset) {
+    put_subset(buf, subset);
+}
+
+/// Decodes one subset from the front of a buffer, returning the number
+/// of bytes consumed (snapshot use).
+pub(crate) fn decode_subset_prefix(data: &[u8]) -> Result<(BitSubset, usize), Error> {
+    let mut dec = Dec::new(data);
+    let subset = get_subset(&mut dec)?;
+    let consumed = data.len() - dec.data.len();
+    Ok((subset, consumed))
+}
+
+/// Decodes a submission batch from a standalone buffer (WAL use).
+pub(crate) fn decode_submissions(data: &[u8]) -> Result<Vec<Submission>, Error> {
+    let mut dec = Dec::new(data);
+    let subs = get_submissions(&mut dec)?;
+    dec.finish()?;
+    Ok(subs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn announcement(subsets: usize) -> Announcement {
+        Announcement {
+            database_id: 42,
+            p: 0.3,
+            sketch_bits: 10,
+            global_key: [7; 32],
+            subsets: (0..subsets as u32).map(BitSubset::single).collect(),
+        }
+    }
+
+    fn roundtrip_request(req: &Request) {
+        let payload = req.encode();
+        assert_eq!(&Request::decode(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let payload = resp.encode();
+        assert_eq!(&Response::decode(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_request_kinds_roundtrip() {
+        roundtrip_request(&Request::FetchAnnouncement);
+        roundtrip_request(&Request::SubmitBatch(vec![Submission {
+            user: UserId(9),
+            database_id: 42,
+            bundle: vec![1, 2, 3],
+            skipped: vec![0, 2],
+        }]));
+        roundtrip_request(&Request::Conjunctive {
+            subset: BitSubset::new(vec![0, 3]).unwrap(),
+            value: BitString::from_bits(&[true, false]),
+        });
+        roundtrip_request(&Request::Distribution {
+            subset: BitSubset::range(0, 4),
+        });
+        roundtrip_request(&Request::Linear {
+            constant: -0.5,
+            terms: vec![LinearTermWire {
+                coeff: 2.0,
+                subset: BitSubset::single(1),
+                value: BitString::from_bits(&[true]),
+            }],
+        });
+        roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Ping);
+    }
+
+    #[test]
+    fn all_response_kinds_roundtrip() {
+        roundtrip_response(&Response::Announcement(announcement(3)));
+        roundtrip_response(&Response::SubmitAck {
+            accepted: 10,
+            rejected: 2,
+        });
+        let e = EstimateWire {
+            fraction: 0.25,
+            raw: 0.4,
+            sample_size: 1000,
+            p: 0.3,
+        };
+        roundtrip_response(&Response::Estimate(e));
+        roundtrip_response(&Response::Distribution(vec![e; 4]));
+        roundtrip_response(&Response::Linear {
+            value: 1.5,
+            queries_used: 3,
+            min_sample_size: 500,
+        });
+        roundtrip_response(&Response::Stats(CoordinatorStats {
+            accepted: 1,
+            duplicates: 2,
+            malformed: 3,
+            records: 4,
+        }));
+        roundtrip_response(&Response::Pong);
+        roundtrip_response(&Response::Error {
+            code: codes::QUERY,
+            message: "no such subset".into(),
+        });
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut payload = Request::Ping.encode();
+        payload[0] = 99;
+        assert!(Request::decode(&payload).is_err());
+        assert_eq!(frame_version(&payload).unwrap(), 99);
+        let mut payload = Response::Pong.encode();
+        payload[0] = 0;
+        assert!(Response::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_and_trailing_bytes_rejected() {
+        assert!(Request::decode(&[PROTOCOL_VERSION, 0x7E]).is_err());
+        assert!(Response::decode(&[PROTOCOL_VERSION, 0x01]).is_err());
+        let mut payload = Request::Ping.encode();
+        payload.push(0);
+        assert!(Request::decode(&payload).is_err());
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn frame_io_roundtrips() {
+        let payload = Request::FetchAnnouncement.encode();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_rejected_both_ways() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(write_frame(&mut sink, &huge).is_err());
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        let mut cursor = std::io::Cursor::new(wire);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let payload = Response::Pong.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        // Cut mid length prefix and mid payload.
+        for cut in [1, 3, wire.len() - 1] {
+            let mut cursor = std::io::Cursor::new(wire[..cut].to_vec());
+            assert!(read_frame(&mut cursor).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // A submit frame declaring u32::MAX submissions but carrying no
+        // bytes must fail fast instead of reserving gigabytes.
+        let mut payload = vec![PROTOCOL_VERSION, 0x02];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn request_submit_roundtrip_property(
+            users in proptest::collection::vec(any::<u64>(), 0..20),
+            bundle in proptest::collection::vec(any::<u8>(), 0..64),
+            db_id in any::<u64>(),
+        ) {
+            let subs: Vec<Submission> = users
+                .iter()
+                .map(|&u| Submission {
+                    user: UserId(u),
+                    database_id: db_id,
+                    bundle: bundle.clone(),
+                    skipped: vec![u as u32 % 7],
+                })
+                .collect();
+            let req = Request::SubmitBatch(subs);
+            let payload = req.encode();
+            prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+        }
+
+        #[test]
+        fn conjunctive_roundtrip_property(
+            positions in proptest::collection::vec(0u32..4096, 1..24),
+            value_bits in proptest::collection::vec(any::<u64>(), 1..2),
+        ) {
+            let mut sorted = positions.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let width = sorted.len();
+            let subset = BitSubset::new(sorted).unwrap();
+            let value = BitString::from_u64(value_bits[0], width);
+            let req = Request::Conjunctive { subset, value };
+            let payload = req.encode();
+            prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+        }
+
+        #[test]
+        fn truncation_never_roundtrips_property(
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let resp = Response::Announcement(Announcement {
+                database_id: 7,
+                p: 0.25,
+                sketch_bits: 12,
+                global_key: [9; 32],
+                subsets: vec![BitSubset::range(0, 8), BitSubset::single(3)],
+            });
+            let payload = resp.encode();
+            let cut = ((payload.len() - 1) as f64 * cut_frac) as usize;
+            // Any strict prefix must fail to decode (no silent truncation).
+            prop_assert!(Response::decode(&payload[..cut]).is_err());
+        }
+
+        #[test]
+        fn estimate_roundtrip_property(
+            fraction_bits in any::<u64>(),
+            sample in any::<u64>(),
+        ) {
+            // Estimates must survive bit-exactly, including weird floats.
+            let e = EstimateWire {
+                fraction: f64::from_bits(fraction_bits),
+                raw: 0.5,
+                sample_size: sample,
+                p: 0.3,
+            };
+            let payload = Response::Estimate(e).encode();
+            match Response::decode(&payload).unwrap() {
+                Response::Estimate(d) => {
+                    prop_assert_eq!(d.fraction.to_bits(), e.fraction.to_bits());
+                    prop_assert_eq!(d.sample_size, e.sample_size);
+                }
+                other => prop_assert!(false, "wrong kind: {:?}", other),
+            }
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! End-to-end tests: loopback TCP service, WAL crash recovery, restart
+//! fidelity, and protocol error handling.
+
+use psketch_core::{BitString, BitSubset, ConjunctiveEstimator, Profile, UserId};
+use psketch_prf::{GlobalKey, Prg};
+use psketch_protocol::{Announcement, AnnouncementBuilder, Coordinator, Submission, UserAgent};
+use psketch_server::wal::{Wal, WalConfig};
+use psketch_server::{Client, ClientError, Server, ServerConfig};
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "psketch-server-test-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn announcement() -> Announcement {
+    AnnouncementBuilder::new(77, 0.45, 10_000, 1e-6)
+        .global_key(*GlobalKey::from_seed(5).as_bytes())
+        .subset(BitSubset::range(0, 2))
+        .subset(BitSubset::single(0))
+        .subset(BitSubset::single(1))
+        .build()
+        .unwrap()
+}
+
+fn submissions(ann: &Announcement, ids: std::ops::Range<u64>, seed: u64) -> Vec<Submission> {
+    let mut rng = Prg::seed_from_u64(seed);
+    ids.map(|i| {
+        let profile = Profile::from_bits(&[i % 4 == 0, i % 2 == 0]);
+        let mut agent = UserAgent::new(UserId(i), profile, 0.45, 1e6);
+        agent.participate(ann, &mut rng).unwrap()
+    })
+    .collect()
+}
+
+/// The in-process oracle: the same submissions ingested directly.
+fn oracle(ann: &Announcement, subs: &[Submission]) -> Coordinator {
+    let c = Coordinator::new(ann.clone());
+    c.accept_batch(subs.iter());
+    c
+}
+
+#[test]
+fn loopback_concurrent_clients_match_oracle() {
+    let ann = announcement();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            workers: 6,
+            wal: None,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Four concurrent submitters, disjoint user-id ranges, plus an
+    // analyst hammering queries mid-ingest (answers may be partial but
+    // must never error out the connection or crash the server).
+    let n_clients = 4u64;
+    let per_client = 250u64;
+    let all_subs: Vec<Vec<Submission>> = (0..n_clients)
+        .map(|c| submissions(&ann, c * per_client..(c + 1) * per_client, 100 + c))
+        .collect();
+    std::thread::scope(|scope| {
+        for subs in &all_subs {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr, TIMEOUT).unwrap();
+                let ack = client.submit_chunked(subs, 64).unwrap();
+                assert_eq!(ack.accepted, per_client);
+                assert_eq!(ack.rejected, 0);
+            });
+        }
+        scope.spawn(|| {
+            let mut client = Client::connect(addr, TIMEOUT).unwrap();
+            let subset = BitSubset::range(0, 2);
+            for _ in 0..50 {
+                match client.conjunctive(subset.clone(), BitString::from_bits(&[true, true])) {
+                    Ok(e) => assert!(e.sample_size > 0),
+                    // Empty pool before the first batch lands.
+                    Err(ClientError::Server { .. }) => {}
+                    Err(other) => panic!("analyst connection died: {other}"),
+                }
+            }
+        });
+    });
+
+    let flat: Vec<Submission> = all_subs.into_iter().flatten().collect();
+    let oracle = oracle(&ann, &flat);
+    let params = ann.validate().unwrap();
+    let estimator = ConjunctiveEstimator::new(params);
+
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    // Conjunctive and linear answers match the in-process estimator
+    // bit-for-bit on every announced subset.
+    for subset in [BitSubset::range(0, 2), BitSubset::single(0)] {
+        let width = subset.len();
+        for value in 0..(1u64 << width) {
+            let value = BitString::from_u64(value, width);
+            let served = client.conjunctive(subset.clone(), value.clone()).unwrap();
+            let q = psketch_core::ConjunctiveQuery::new(subset.clone(), value).unwrap();
+            let local = estimator.estimate(oracle.pool(), &q).unwrap();
+            assert_eq!(served.fraction.to_bits(), local.fraction.to_bits());
+            assert_eq!(served.sample_size, local.sample_size);
+        }
+    }
+    // Distribution over the pair subset: 4 bit-identical estimates.
+    let subset = BitSubset::range(0, 2);
+    let served = client.distribution(subset.clone()).unwrap();
+    let local = estimator
+        .estimate_distribution(oracle.pool(), &subset)
+        .unwrap();
+    assert_eq!(served.len(), local.len());
+    for (s, l) in served.iter().zip(&local) {
+        assert_eq!(s.fraction.to_bits(), l.fraction.to_bits());
+    }
+    // A linear query (P[b0] + P[b1] − 1, say) matches the engine.
+    let (value, used, min_n) = client
+        .linear(
+            -1.0,
+            vec![
+                (1.0, BitSubset::single(0), BitString::from_bits(&[true])),
+                (1.0, BitSubset::single(1), BitString::from_bits(&[true])),
+            ],
+        )
+        .unwrap();
+    assert_eq!(used, 2);
+    assert_eq!(min_n, 1000);
+    let e0 = client
+        .conjunctive(BitSubset::single(0), BitString::from_bits(&[true]))
+        .unwrap();
+    let e1 = client
+        .conjunctive(BitSubset::single(1), BitString::from_bits(&[true]))
+        .unwrap();
+    assert!((value - (e0.fraction + e1.fraction - 1.0)).abs() < 1e-12);
+
+    // Stats reflect everything the four clients pushed.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.accepted, n_clients * per_client);
+    assert_eq!(stats.rejected(), 0);
+    assert_eq!(stats.records, n_clients * per_client * 3);
+
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_submissions_rejected_across_clients() {
+    let ann = announcement();
+    let server = Server::start("127.0.0.1:0", ann.clone(), ServerConfig::default()).unwrap();
+    let subs = submissions(&ann, 0..20, 7);
+    let mut a = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    let mut b = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    assert_eq!(a.submit_batch(&subs).unwrap().accepted, 20);
+    let ack = b.submit_batch(&subs).unwrap();
+    assert_eq!(ack.accepted, 0);
+    assert_eq!(ack.rejected, 20);
+    let stats = b.stats().unwrap();
+    assert_eq!(stats.duplicates, 20);
+    server.shutdown();
+}
+
+#[test]
+fn wal_replay_tolerates_torn_tail() {
+    let dir = temp_dir("torn");
+    let config = WalConfig::new(&dir);
+    let ann = announcement();
+
+    let batch_size = 10u64;
+    {
+        let (mut wal, recovered) = Wal::open(&config).unwrap();
+        assert!(recovered.is_none());
+        wal.record_announcement(&ann).unwrap();
+        for b in 0..5u64 {
+            let subs = submissions(&ann, b * batch_size..(b + 1) * batch_size, 200 + b);
+            wal.record_batch(&subs).unwrap();
+        }
+    }
+
+    // Tear the final record: the crash happened mid-append.
+    let log_path = dir.join("wal.log");
+    let bytes = std::fs::read(&log_path).unwrap();
+    std::fs::write(&log_path, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (mut wal, recovered) = Wal::open(&config).unwrap();
+    let coordinator = recovered.expect("announcement + batches recovered");
+    // Batches 0..4 were committed whole; the torn batch 4 is dropped.
+    assert_eq!(coordinator.participants(), 4 * batch_size as usize);
+    // The log was truncated back to a record boundary: appending and
+    // reopening recovers the new batch on top.
+    let extra = submissions(&ann, 100..110, 300);
+    wal.record_batch(&extra).unwrap();
+    drop(wal);
+    let (_, recovered) = Wal::open(&config).unwrap();
+    assert_eq!(recovered.unwrap().participants(), 5 * batch_size as usize);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_rejects_corruption_before_the_tail() {
+    let dir = temp_dir("corrupt");
+    let config = WalConfig::new(&dir);
+    let ann = announcement();
+    {
+        let (mut wal, _) = Wal::open(&config).unwrap();
+        wal.record_announcement(&ann).unwrap();
+        wal.record_batch(&submissions(&ann, 0..10, 1)).unwrap();
+        wal.record_batch(&submissions(&ann, 10..20, 2)).unwrap();
+    }
+    // Flip a payload byte inside the FIRST record: CRC fails there, but
+    // intact committed records follow, so this is mid-log corruption —
+    // open() must refuse to load rather than silently truncating away
+    // the committed batches behind the damage.
+    let log_path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    bytes[10] ^= 0xFF;
+    std::fs::write(&log_path, &bytes).unwrap();
+    match Wal::open(&config) {
+        Err(psketch_server::WalError::Corrupt(reason)) => {
+            assert!(reason.contains("refusing to truncate"), "{reason}");
+        }
+        other => panic!("expected corruption refusal, got {other:?}"),
+    }
+    // The damaged file was left untouched for inspection.
+    assert_eq!(std::fs::read(&log_path).unwrap(), bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_log_after_compaction_crash_is_harmless() {
+    // Simulate a crash in compact() between the snapshot rename and the
+    // log truncation: the new snapshot and the full pre-compaction log
+    // coexist. Replay must treat the stale records (announcement
+    // included) as no-ops, not corruption.
+    let dir = temp_dir("stale");
+    let config = WalConfig::new(&dir);
+    let ann = announcement();
+    {
+        let (mut wal, _) = Wal::open(&config).unwrap();
+        wal.record_announcement(&ann).unwrap();
+        for b in 0..3u64 {
+            wal.record_batch(&submissions(&ann, b * 10..(b + 1) * 10, 400 + b))
+                .unwrap();
+        }
+    }
+    let stale_log = std::fs::read(dir.join("wal.log")).unwrap();
+    let (mut wal, recovered) = Wal::open(&config).unwrap();
+    let coordinator = recovered.unwrap();
+    wal.compact(&coordinator).unwrap();
+    drop(wal);
+    // The crash: the truncation never happened.
+    std::fs::write(dir.join("wal.log"), &stale_log).unwrap();
+
+    let (_, recovered) = Wal::open(&config).unwrap();
+    let restored = recovered.expect("snapshot + stale log must load");
+    assert_eq!(restored.participants(), 30);
+    assert_eq!(restored.stats().accepted, 30);
+    // The stale batches replayed as duplicates — the pool is unchanged.
+    assert_eq!(restored.stats().duplicates, 30);
+    for subset in coordinator.pool().subsets() {
+        let mut a = coordinator.pool().records(&subset).unwrap();
+        let mut b = restored.pool().records(&subset).unwrap();
+        a.sort_by_key(|r| r.id);
+        b.sort_by_key(|r| r.id);
+        assert_eq!(a, b);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_restart_serves_identical_answers() {
+    let dir = temp_dir("restart");
+    let ann = announcement();
+    let config = || ServerConfig {
+        workers: 2,
+        wal: Some(WalConfig::new(&dir)),
+    };
+    let subset = BitSubset::range(0, 2);
+    let value = BitString::from_bits(&[true, false]);
+
+    let (before_conj, before_dist) = {
+        let server = Server::start("127.0.0.1:0", ann.clone(), config()).unwrap();
+        let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+        let subs = submissions(&ann, 0..300, 42);
+        assert_eq!(client.submit_chunked(&subs, 50).unwrap().accepted, 300);
+        let conj = client.conjunctive(subset.clone(), value.clone()).unwrap();
+        let dist = client.distribution(subset.clone()).unwrap();
+        server.shutdown();
+        (conj, dist)
+    };
+
+    // Hard restart: a brand-new process image would see exactly these
+    // files; replay must reproduce the pool bit-for-bit.
+    let server = Server::start("127.0.0.1:0", ann.clone(), config()).unwrap();
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    let after_conj = client.conjunctive(subset.clone(), value.clone()).unwrap();
+    let after_dist = client.distribution(subset.clone()).unwrap();
+    assert_eq!(
+        before_conj.fraction.to_bits(),
+        after_conj.fraction.to_bits()
+    );
+    assert_eq!(before_conj.sample_size, after_conj.sample_size);
+    assert_eq!(before_dist.len(), after_dist.len());
+    for (b, a) in before_dist.iter().zip(&after_dist) {
+        assert_eq!(b.fraction.to_bits(), a.fraction.to_bits());
+    }
+    // Replay restored the dedup set: resubmitting is rejected.
+    let subs = submissions(&ann, 0..10, 42);
+    let ack = client.submit_batch(&subs).unwrap();
+    assert_eq!(ack.accepted, 0);
+    assert_eq!(ack.rejected, 10);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_snapshot_restores_identically() {
+    let dir = temp_dir("compact");
+    let ann = announcement();
+    let wal_config = WalConfig {
+        dir: dir.clone(),
+        compact_threshold_bytes: 512, // force compaction every few batches
+    };
+    let config = || ServerConfig {
+        workers: 2,
+        wal: Some(wal_config.clone()),
+    };
+    let subset = BitSubset::range(0, 2);
+    let value = BitString::from_bits(&[true, true]);
+
+    let before = {
+        let server = Server::start("127.0.0.1:0", ann.clone(), config()).unwrap();
+        let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+        let subs = submissions(&ann, 0..200, 9);
+        assert_eq!(client.submit_chunked(&subs, 20).unwrap().accepted, 200);
+        let e = client.conjunctive(subset.clone(), value.clone()).unwrap();
+        server.shutdown();
+        e
+    };
+    assert!(
+        dir.join("snapshot.bin").exists(),
+        "threshold forces at least one compaction"
+    );
+
+    let server = Server::start("127.0.0.1:0", ann.clone(), config()).unwrap();
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    let after = client.conjunctive(subset, value).unwrap();
+    assert_eq!(before.fraction.to_bits(), after.fraction.to_bits());
+    assert_eq!(before.sample_size, after.sample_size);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.accepted, 200);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_with_different_announcement_is_refused() {
+    let dir = temp_dir("mismatch");
+    let ann = announcement();
+    let config = || ServerConfig {
+        workers: 1,
+        wal: Some(WalConfig::new(&dir)),
+    };
+    let server = Server::start("127.0.0.1:0", ann, config()).unwrap();
+    server.shutdown();
+    let other = AnnouncementBuilder::new(78, 0.45, 10_000, 1e-6)
+        .subset(BitSubset::single(0))
+        .build()
+        .unwrap();
+    match Server::start("127.0.0.1:0", other, config()) {
+        Err(psketch_server::ServeError::AnnouncementMismatch) => {}
+        other => panic!("expected announcement mismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_frames_get_error_responses_and_connection_survives() {
+    use psketch_server::wire;
+    use std::io::Write;
+
+    let ann = announcement();
+    let server = Server::start("127.0.0.1:0", ann, ServerConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // Future protocol version.
+    wire::write_frame(&mut stream, &[99, 0x07]).unwrap();
+    let payload = wire::read_frame(&mut stream).unwrap().unwrap();
+    match wire::Response::decode(&payload).unwrap() {
+        wire::Response::Error { code, .. } => {
+            assert_eq!(code, wire::codes::UNSUPPORTED_VERSION);
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // Unknown kind.
+    wire::write_frame(&mut stream, &[wire::PROTOCOL_VERSION, 0x6F]).unwrap();
+    let payload = wire::read_frame(&mut stream).unwrap().unwrap();
+    match wire::Response::decode(&payload).unwrap() {
+        wire::Response::Error { code, .. } => assert_eq!(code, wire::codes::MALFORMED),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // Truncated body for a known kind.
+    let mut garbled = wire::Request::Distribution {
+        subset: BitSubset::range(0, 4),
+    }
+    .encode();
+    garbled.truncate(garbled.len() - 2);
+    wire::write_frame(&mut stream, &garbled).unwrap();
+    let payload = wire::read_frame(&mut stream).unwrap().unwrap();
+    match wire::Response::decode(&payload).unwrap() {
+        wire::Response::Error { code, .. } => assert_eq!(code, wire::codes::MALFORMED),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // The same connection still answers a proper request afterwards.
+    wire::write_frame(&mut stream, &wire::Request::Ping.encode()).unwrap();
+    let payload = wire::read_frame(&mut stream).unwrap().unwrap();
+    assert_eq!(
+        wire::Response::decode(&payload).unwrap(),
+        wire::Response::Pong
+    );
+    // An over-limit length prefix is answered then the server hangs up.
+    stream.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+    let payload = wire::read_frame(&mut stream).unwrap().unwrap();
+    match wire::Response::decode(&payload).unwrap() {
+        wire::Response::Error { code, .. } => assert_eq!(code, wire::codes::MALFORMED),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn query_errors_are_frames_not_hangups() {
+    let ann = announcement();
+    let server = Server::start("127.0.0.1:0", ann, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    // Unknown subset: the pool has nothing for positions {5}.
+    match client.conjunctive(BitSubset::single(5), BitString::from_bits(&[true])) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, psketch_server::wire::codes::QUERY);
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Width mismatch caught server-side.
+    match client.conjunctive(BitSubset::range(0, 2), BitString::from_bits(&[true])) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, psketch_server::wire::codes::QUERY);
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Distribution wider than the server cap.
+    match client.distribution(BitSubset::range(0, 17)) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, psketch_server::wire::codes::BAD_REQUEST);
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Connection still alive.
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_prompt_with_idle_connections() {
+    let ann = announcement();
+    let server = Server::start("127.0.0.1:0", ann, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr, TIMEOUT).unwrap();
+    client.ping().unwrap();
+    let start = std::time::Instant::now();
+    server.shutdown(); // must not hang on the idle connection
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert!(client.ping().is_err());
+}
