@@ -90,6 +90,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         ServerConfig {
             workers: clients + 2,
             wal: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
@@ -139,6 +140,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     let wal_config = || ServerConfig {
         workers: clients + 2,
         wal: Some(WalConfig::new(&wal_dir)),
+        ..ServerConfig::default()
     };
     let server = Server::start("127.0.0.1:0", ann.clone(), wal_config()).expect("bind loopback");
     let wal_subs_per_sec = ingest_rate(server.local_addr(), &subs, clients);

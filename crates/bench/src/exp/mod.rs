@@ -21,6 +21,7 @@ pub mod e18_protocol;
 pub mod e19_frontier;
 pub mod e20_throughput;
 pub mod e21_service;
+pub mod e22_cluster;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Service: loopback TCP ingest + query throughput, WAL fidelity",
             e21_service::run,
         ),
+        (
+            "e22",
+            "Cluster: sharded scatter-gather throughput at 1/2/4 shards",
+            e22_cluster::run,
+        ),
     ]
 }
 
@@ -131,9 +137,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 21);
+        assert_eq!(reg.len(), 22);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 }

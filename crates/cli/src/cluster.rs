@@ -1,0 +1,523 @@
+//! The `cluster` subcommand family: the CLI face of the sharded pool.
+//!
+//! ```text
+//! psketch cluster serve  --shards 3 [--base-port 7180] [--map-out FILE]
+//!                        [announcement flags] [--workers 4]
+//!                        [--wal-root DIR] [--budget EPS]
+//!     Spawn N shard nodes in one process (ports base-port..base-port+N,
+//!     or ephemeral with --base-port 0), print the shard map JSON (and
+//!     write it to --map-out), serve until killed. For independently
+//!     killable nodes, run `psketch serve --shard i/N` per node instead.
+//!
+//! psketch cluster submit (--map FILE | --addrs a,b,c) [--users 1000]
+//!                        [--seed 1] [--id-base 0] [--batch 500]
+//!     Simulate user agents against the cluster: every submission is
+//!     routed to its user's shard in parallel.
+//!
+//! psketch cluster query conj --subset 0,1 --value 10 (--map|--addrs)
+//! psketch cluster query dist --subset 0,1            (--map|--addrs)
+//! psketch cluster query ping                         (--map|--addrs)
+//!     Scatter-gather analyst queries. Answers over a degraded cluster
+//!     say exactly which shards are missing instead of silently
+//!     skewing the estimate.
+//!
+//! psketch cluster status (--map|--addrs)
+//!     Per-shard coordinator + server counters and the exact merge.
+//! ```
+
+use crate::args::{Args, CliError};
+use crate::service::{
+    announced_width, build_announcement, parse_subset, parse_value, synthetic_submissions,
+};
+use psketch_cluster::{parallel_ingest, Coverage, Router, RouterConfig, ShardMap};
+use psketch_prf::Prg;
+use psketch_protocol::ShardIdentity;
+use psketch_server::wal::WalConfig;
+use psketch_server::{wire, Server, ServerConfig};
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn err(e: impl std::fmt::Display) -> CliError {
+    CliError(e.to_string())
+}
+
+/// Dispatches `psketch cluster <serve|submit|query|status>`.
+pub fn cluster(args: &Args) -> Result<(), CliError> {
+    let kind = args
+        .positional()
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError("usage: psketch cluster <serve|submit|query|status> …".into()))?;
+    match kind {
+        "serve" => serve(args),
+        "submit" => submit(args),
+        "query" => query(args),
+        "status" => status(args),
+        other => Err(CliError(format!(
+            "unknown cluster command '{other}' (try serve, submit, query, status)"
+        ))),
+    }
+}
+
+/// Loads the shard map from `--map FILE` or `--addrs a,b,c`.
+fn load_map(args: &Args) -> Result<ShardMap, CliError> {
+    let map_file: String = args.get_or("map", String::new())?;
+    if !map_file.is_empty() {
+        let raw = std::fs::read_to_string(&map_file)
+            .map_err(|e| CliError(format!("cannot read --map {map_file}: {e}")))?;
+        return ShardMap::from_json(&raw).map_err(err);
+    }
+    let addrs: String = args.get_or("addrs", String::new())?;
+    if addrs.is_empty() {
+        return Err(CliError(
+            "need --map FILE or --addrs host:port,host:port,…".into(),
+        ));
+    }
+    ShardMap::new(0, addrs.split(',').map(str::trim)).map_err(err)
+}
+
+fn router(args: &Args) -> Result<Router, CliError> {
+    let timeout: f64 = args.get_or("timeout", 10.0)?;
+    if !timeout.is_finite() || timeout <= 0.0 {
+        return Err(CliError(format!("--timeout {timeout} must be positive")));
+    }
+    let retries: u32 = args.get_or("retries", 2)?;
+    let analyst: u64 = args.get_or("analyst", 0)?;
+    let map = load_map(args)?;
+    Router::new(
+        map,
+        RouterConfig {
+            timeout: Duration::from_secs_f64(timeout),
+            retries,
+            analyst,
+            ..RouterConfig::default()
+        },
+    )
+    .map_err(err)
+}
+
+/// Renders an answer's coverage; degraded answers name their missing
+/// shards (scripts and the CI smoke test grep for "missing shard").
+fn print_coverage(coverage: &Coverage) {
+    if coverage.is_complete() {
+        println!(
+            "coverage: {}/{} shards, population {}",
+            coverage.responding.len(),
+            coverage.total_shards,
+            coverage.population
+        );
+        return;
+    }
+    let missing: Vec<String> = coverage
+        .missing
+        .iter()
+        .map(|o| o.shard.to_string())
+        .collect();
+    let known = match coverage.missing_fraction() {
+        Some(f) => format!("{:.1}% of known users missing", f * 100.0),
+        None => "missing population unknown".into(),
+    };
+    println!(
+        "degraded: missing shard(s) {} of {} ({known}); answer covers population {}",
+        missing.join(","),
+        coverage.total_shards,
+        coverage.population
+    );
+    for outage in &coverage.missing {
+        eprintln!("  shard {}: {}", outage.shard, outage.error);
+    }
+}
+
+/// `psketch cluster serve`: spawn N shard nodes in one process.
+fn serve(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "shards",
+        "base-port",
+        "map-out",
+        "db-id",
+        "users",
+        "tau",
+        "p",
+        "width",
+        "key-seed",
+        "workers",
+        "wal-root",
+        "budget",
+    ])?;
+    let shards: u32 = args.get_or("shards", 3)?;
+    if shards == 0 || shards > 64 {
+        return Err(CliError(format!("--shards {shards} must be in 1..=64")));
+    }
+    let base_port: u16 = args.get_or("base-port", 7180)?;
+    let workers: usize = args.get_or("workers", 4)?;
+    let wal_root: String = args.get_or("wal-root", String::new())?;
+    let budget = match args.get_or("budget", f64::NAN)? {
+        eps if eps.is_nan() => None,
+        eps => Some(eps),
+    };
+    let announcement = build_announcement(args)?;
+
+    let mut servers = Vec::with_capacity(shards as usize);
+    for shard_id in 0..shards {
+        let addr = if base_port == 0 {
+            "127.0.0.1:0".to_string()
+        } else {
+            format!("127.0.0.1:{}", base_port + shard_id as u16)
+        };
+        let wal = if wal_root.is_empty() {
+            None
+        } else {
+            Some(WalConfig::new(format!("{wal_root}/shard-{shard_id}")))
+        };
+        let server = Server::start(
+            addr.as_str(),
+            announcement.clone(),
+            ServerConfig {
+                workers,
+                wal,
+                shard: Some(ShardIdentity {
+                    shard_id,
+                    shard_count: shards,
+                }),
+                analyst_budget: budget,
+            },
+        )
+        .map_err(|e| CliError(format!("cannot serve shard {shard_id} on {addr}: {e}")))?;
+        println!(
+            "shard {shard_id}/{shards} listening on {} (recovered {} submissions)",
+            server.local_addr(),
+            server.coordinator().stats().accepted
+        );
+        servers.push(server);
+    }
+
+    let map =
+        ShardMap::new(1, servers.iter().map(|s| s.local_addr().to_string())).expect("shards >= 1");
+    let json = map.to_json();
+    println!("shard map: {json}");
+    let map_out: String = args.get_or("map-out", String::new())?;
+    if !map_out.is_empty() {
+        std::fs::write(&map_out, format!("{json}\n"))
+            .map_err(|e| CliError(format!("cannot write --map-out {map_out}: {e}")))?;
+        println!("wrote shard map to {map_out}");
+    }
+    println!(
+        "cluster listening ({shards} shards, eps = {:.4}/user)",
+        announcement.epsilon_cost()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `psketch cluster submit`: simulate user agents, routed by shard.
+fn submit(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&[
+        "map", "addrs", "timeout", "retries", "analyst", "users", "seed", "id-base", "batch",
+    ])?;
+    let users: u64 = args.get_or("users", 1_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let id_base: u64 = args.get_or("id-base", 0)?;
+    let batch: usize = args.get_or("batch", 500)?;
+    if users == 0 || batch == 0 {
+        return Err(CliError("--users and --batch must be positive".into()));
+    }
+    let timeout: f64 = args.get_or("timeout", 10.0)?;
+    let mut router = router(args)?;
+    let ann = router.announcement().map_err(err)?;
+    let width = announced_width(&ann);
+
+    // Generate and ingest one chunk at a time so memory stays flat
+    // whatever --users is; chunks are several batches per shard so the
+    // per-chunk reconnect amortizes.
+    let chunk = (batch * router.map().len() * 8).max(batch) as u64;
+    let mut rng = Prg::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut next = 0u64;
+    while next < users {
+        let chunk_end = (next + chunk).min(users);
+        let submissions =
+            synthetic_submissions(&ann, width, &mut rng, id_base + next..id_base + chunk_end)?;
+        let (a, r) = parallel_ingest(
+            router.map(),
+            &submissions,
+            Duration::from_secs_f64(timeout),
+            batch,
+        )
+        .map_err(CliError)?;
+        accepted += a;
+        rejected += r;
+        next = chunk_end;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "submitted {users} users across {} shards: accepted {accepted}, rejected {rejected} \
+         ({:.0} submissions/s)",
+        router.map().len(),
+        accepted as f64 / secs.max(1e-9),
+    );
+    if rejected > 0 {
+        return Err(CliError(format!(
+            "{rejected} submissions rejected (duplicate ids? try --id-base)"
+        )));
+    }
+    Ok(())
+}
+
+/// `psketch cluster query <conj|dist|ping>`: scatter-gather queries.
+fn query(args: &Args) -> Result<(), CliError> {
+    let kind = args
+        .positional()
+        .get(2)
+        .map(String::as_str)
+        .ok_or_else(|| CliError("usage: psketch cluster query <conj|dist|ping> …".into()))?;
+    match kind {
+        "conj" => {
+            args.reject_unknown(&[
+                "map", "addrs", "timeout", "retries", "analyst", "subset", "value",
+            ])?;
+            let subset = parse_subset(&args.require::<String>("subset")?)?;
+            let value = parse_value(&args.require::<String>("value")?, subset.len())?;
+            let mut router = router(args)?;
+            let answer = router.conjunctive(subset, value).map_err(err)?;
+            println!(
+                "estimate: {:.6} (raw {:.6}, n = {}, 95% +/- {:.6})",
+                answer.estimate.fraction,
+                answer.estimate.raw,
+                answer.estimate.sample_size,
+                answer.estimate.half_width(0.05)
+            );
+            print_coverage(&answer.coverage);
+        }
+        "dist" => {
+            args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst", "subset"])?;
+            let subset = parse_subset(&args.require::<String>("subset")?)?;
+            let width = subset.len();
+            let mut router = router(args)?;
+            let answer = router.distribution(subset).map_err(err)?;
+            println!(
+                "{:>width$}  {:>10}  {:>8}",
+                "value",
+                "estimate",
+                "n",
+                width = width.max(5)
+            );
+            for (v, est) in answer.estimates.iter().enumerate() {
+                let bits: String = (0..width)
+                    .map(|b| if (v >> b) & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                println!(
+                    "{bits:>w$}  {:>10.6}  {:>8}",
+                    est.fraction,
+                    est.sample_size,
+                    w = width.max(5)
+                );
+            }
+            print_coverage(&answer.coverage);
+        }
+        "ping" => {
+            args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst"])?;
+            let mut router = router(args)?;
+            let outages = router.ping().map_err(err)?;
+            let total = router.map().len();
+            if outages.is_empty() {
+                println!("pong from all {total} shards");
+            } else {
+                let missing: Vec<String> = outages.iter().map(|o| o.shard.to_string()).collect();
+                println!(
+                    "degraded: missing shard(s) {} of {total}",
+                    missing.join(",")
+                );
+                return Err(CliError(format!(
+                    "{} of {total} shards unreachable",
+                    outages.len()
+                )));
+            }
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown cluster query kind '{other}' (try conj, dist, ping)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `psketch cluster status`: per-shard counters plus the exact merge.
+fn status(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst"])?;
+    let mut router = router(args)?;
+    let status = router.status().map_err(err)?;
+    let mut up = 0usize;
+    for row in &status.per_shard {
+        match &row.status {
+            Ok((coordinator, server)) => {
+                up += 1;
+                let requests = server.total_requests();
+                let top: Vec<String> = server
+                    .frames
+                    .iter()
+                    .map(|&(kind, count)| {
+                        format!(
+                            "{} {count}",
+                            wire::request_kind_name(kind).unwrap_or("unknown")
+                        )
+                    })
+                    .collect();
+                println!(
+                    "shard {} @ {}: up {}s | accepted {} | rejected {} | records {} | \
+                     {requests} requests ({})",
+                    row.shard,
+                    row.addr,
+                    server.uptime_secs,
+                    coordinator.accepted,
+                    coordinator.rejected(),
+                    coordinator.records,
+                    top.join(", ")
+                );
+            }
+            Err(error) => {
+                println!("shard {} @ {}: DOWN ({error})", row.shard, row.addr);
+            }
+        }
+    }
+    println!(
+        "cluster: {up}/{} shards up | accepted {} | duplicates {} | malformed {} | records {}",
+        status.per_shard.len(),
+        status.merged.accepted,
+        status.merged.duplicates,
+        status.merged.malformed,
+        status.merged.records
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::BitSubset;
+    use psketch_prf::GlobalKey;
+    use psketch_protocol::AnnouncementBuilder;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn start_test_cluster(shards: u32) -> (Vec<Server>, String) {
+        let ann = AnnouncementBuilder::new(9, 0.45, 5_000, 1e-6)
+            .global_key(*GlobalKey::from_seed(2).as_bytes())
+            .subset(BitSubset::single(0))
+            .subset(BitSubset::single(1))
+            .subset(BitSubset::range(0, 2))
+            .build()
+            .unwrap();
+        let servers: Vec<Server> = (0..shards)
+            .map(|shard_id| {
+                Server::start(
+                    "127.0.0.1:0",
+                    ann.clone(),
+                    ServerConfig {
+                        workers: 2,
+                        shard: Some(ShardIdentity {
+                            shard_id,
+                            shard_count: shards,
+                        }),
+                        ..ServerConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        (servers, addrs.join(","))
+    }
+
+    #[test]
+    fn map_loading_and_validation() {
+        let args = parse(&["cluster", "status"]);
+        assert!(load_map(&args).is_err()); // neither --map nor --addrs
+        let args = parse(&["cluster", "status", "--addrs", "a:1,b:2,c:3"]);
+        let map = load_map(&args).unwrap();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.addr_of(1), "b:2");
+        let args = parse(&["cluster", "status", "--map", "/nonexistent/map.json"]);
+        assert!(load_map(&args).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommands_and_flags_rejected() {
+        assert!(cluster(&parse(&["cluster"])).is_err());
+        assert!(cluster(&parse(&["cluster", "bogus"])).is_err());
+        assert!(cluster(&parse(&["cluster", "query"])).is_err());
+        assert!(cluster(&parse(&["cluster", "query", "bogus", "--addrs", "a:1"])).is_err());
+        assert!(cluster(&parse(&["cluster", "serve", "--shards", "0"])).is_err());
+        assert!(cluster(&parse(&[
+            "cluster", "submit", "--bogus", "1", "--addrs", "a:1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn end_to_end_cluster_cli_against_in_process_nodes() {
+        let (servers, addrs) = start_test_cluster(3);
+        submit(&parse(&[
+            "cluster", "submit", "--addrs", &addrs, "--users", "300", "--batch", "100",
+        ]))
+        .unwrap();
+        // Duplicates rejected through the cluster path too.
+        assert!(submit(&parse(&[
+            "cluster", "submit", "--addrs", &addrs, "--users", "10",
+        ]))
+        .is_err());
+        query(&parse(&[
+            "cluster", "query", "conj", "--addrs", &addrs, "--subset", "0,1", "--value", "10",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "cluster", "query", "dist", "--addrs", &addrs, "--subset", "0,1",
+        ]))
+        .unwrap();
+        query(&parse(&["cluster", "query", "ping", "--addrs", &addrs])).unwrap();
+        status(&parse(&["cluster", "status", "--addrs", &addrs])).unwrap();
+
+        // Kill one node: ping degrades to an error, queries stay
+        // answerable and status shows the outage.
+        let mut servers = servers;
+        servers.remove(1).shutdown();
+        let fast = format!("--addrs {addrs} --timeout 2 --retries 0");
+        let fast: Vec<&str> = fast.split(' ').collect();
+        let mut ping_args = vec!["cluster", "query", "ping"];
+        ping_args.extend(&fast);
+        assert!(query(&parse(&ping_args)).is_err());
+        let mut conj_args = vec![
+            "cluster", "query", "conj", "--subset", "0,1", "--value", "11",
+        ];
+        conj_args.extend(&fast);
+        query(&parse(&conj_args)).unwrap();
+        let mut status_args = vec!["cluster", "status"];
+        status_args.extend(&fast);
+        status(&parse(&status_args)).unwrap();
+        for server in servers {
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn map_file_roundtrip_through_query() {
+        let (servers, addrs) = start_test_cluster(2);
+        let map = ShardMap::new(3, addrs.split(',')).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("psketch-cli-map-{}.json", std::process::id()));
+        std::fs::write(&path, map.to_json()).unwrap();
+        let path_str = path.to_str().unwrap();
+        query(&parse(&["cluster", "query", "ping", "--map", path_str])).unwrap();
+        let _ = std::fs::remove_file(&path);
+        for server in servers {
+            server.shutdown();
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! ```
 
 mod args;
+mod cluster;
 mod service;
 
 use args::{Args, CliError};
@@ -51,12 +52,14 @@ fn run(raw: &[String]) -> Result<(), CliError> {
         Some("serve") => service::serve(&args),
         Some("submit") => service::submit(&args),
         Some("query") => service::query(&args),
+        Some("cluster") => cluster::cluster(&args),
         Some("help") | None => {
             print_help();
             Ok(())
         }
         Some(other) => Err(CliError(format!(
-            "unknown command '{other}' (try plan, demo, frontier, serve, submit, query, help)"
+            "unknown command '{other}' (try plan, demo, frontier, serve, submit, query, \
+             cluster, help)"
         ))),
     }
 }
@@ -73,11 +76,15 @@ fn print_help() {
     println!("  frontier  print the privacy-utility bound table over p [--users 20000]");
     println!("  serve     run the sketch-pool server");
     println!("            [--addr 127.0.0.1:7171] [--users 100000] [--p 0.3] [--width 2]");
-    println!("            [--workers 8] [--wal DIR] [--compact-bytes N]");
+    println!("            [--workers 8] [--wal DIR] [--compact-bytes N] [--shard i/N]");
+    println!("            [--budget EPS]");
     println!("  submit    simulate user agents against a running server");
     println!("            [--addr …] [--users 1000] [--seed 1] [--id-base 0] [--batch 500]");
     println!("  query     ask a running server: conj --subset 0,1 --value 10 | dist");
     println!("            --subset 0,1 | stats | ping   (all take [--addr …] [--timeout 10])");
+    println!("  cluster   sharded multi-node pool: serve --shards 3 [--wal-root DIR] |");
+    println!("            submit | query conj/dist/ping | status");
+    println!("            (submit/query/status take --map FILE or --addrs a,b,c)");
     println!("  help      this message");
 }
 

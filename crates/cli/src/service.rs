@@ -64,6 +64,8 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         "workers",
         "wal",
         "compact-bytes",
+        "shard",
+        "budget",
     ])?;
     let addr: String = args.get_or("addr", DEFAULT_ADDR.to_string())?;
     let announcement = build_announcement(args)?;
@@ -78,9 +80,26 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         }
     };
     let durable = wal.is_some();
+    let shard = match args.get_or("shard", String::new())? {
+        raw if raw.is_empty() => None,
+        raw => Some(parse_shard(&raw)?),
+    };
+    let analyst_budget = match args.get_or("budget", f64::NAN)? {
+        eps if eps.is_nan() => None,
+        eps => Some(eps),
+    };
 
-    let server = Server::start(addr.as_str(), announcement, ServerConfig { workers, wal })
-        .map_err(|e| CliError(format!("cannot serve on {addr}: {e}")))?;
+    let server = Server::start(
+        addr.as_str(),
+        announcement,
+        ServerConfig {
+            workers,
+            wal,
+            shard,
+            analyst_budget,
+        },
+    )
+    .map_err(|e| CliError(format!("cannot serve on {addr}: {e}")))?;
     let ann = server.coordinator().announcement();
     println!(
         "announcement: db {} | p = {} | {} bits/sketch | {} subsets | eps = {:.4}/user",
@@ -95,6 +114,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         server.coordinator().stats().accepted,
         server.coordinator().stats().records
     );
+    if let Some(identity) = shard {
+        println!("shard: {identity}");
+    }
     println!(
         "listening on {} ({} workers, wal {})",
         server.local_addr(),
@@ -116,7 +138,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
 /// Builds the announced sketching plan: every singleton attribute plus
 /// the full `width`-bit subset (so both marginal and joint conjunctive
 /// queries are answerable).
-fn build_announcement(args: &Args) -> Result<Announcement, CliError> {
+pub fn build_announcement(args: &Args) -> Result<Announcement, CliError> {
     let db_id: u64 = args.get_or("db-id", 1)?;
     let users: u64 = args.get_or("users", 100_000)?;
     let tau: f64 = args.get_or("tau", 1e-6)?;
@@ -146,6 +168,37 @@ fn build_announcement(args: &Args) -> Result<Announcement, CliError> {
     builder.build().map_err(err)
 }
 
+/// The attribute width a sketching plan covers (highest announced
+/// position + 1).
+pub fn announced_width(ann: &Announcement) -> usize {
+    ann.subsets
+        .iter()
+        .flat_map(|s| s.positions().iter().copied())
+        .max()
+        .map_or(1, |max| max as usize + 1)
+}
+
+/// Generates synthetic submissions for the given user-id range:
+/// profile bit `j` is true w.p. `1/(j+2)`, so marginals differ across
+/// attributes and queries have nontrivial answers. Shared by `submit`
+/// and `cluster submit` so the two commands simulate the same
+/// population.
+pub fn synthetic_submissions(
+    ann: &Announcement,
+    width: usize,
+    rng: &mut Prg,
+    ids: std::ops::Range<u64>,
+) -> Result<Vec<Submission>, CliError> {
+    ids.map(|i| {
+        let bits: Vec<bool> = (0..width)
+            .map(|j| rng.random_bool(1.0 / (j as f64 + 2.0)))
+            .collect();
+        let mut agent = UserAgent::new(UserId(i), Profile::from_bits(&bits), ann.p, f64::MAX);
+        agent.participate(ann, rng).map_err(err)
+    })
+    .collect()
+}
+
 /// `psketch submit`: simulate user agents against a live server.
 pub fn submit(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&["addr", "timeout", "users", "seed", "id-base", "batch"])?;
@@ -159,12 +212,7 @@ pub fn submit(args: &Args) -> Result<(), CliError> {
 
     let mut client = connect(args)?;
     let ann = client.announcement().map_err(err)?;
-    let width = ann
-        .subsets
-        .iter()
-        .flat_map(|s| s.positions().iter().copied())
-        .max()
-        .map_or(1, |max| max as usize + 1);
+    let width = announced_width(&ann);
 
     // Generate and submit one batch at a time: memory stays flat at the
     // batch size and the pipeline starts immediately, whatever --users
@@ -176,23 +224,8 @@ pub fn submit(args: &Args) -> Result<(), CliError> {
     let mut next = 0u64;
     while next < users {
         let chunk_end = (next + batch as u64).min(users);
-        let submissions: Vec<Submission> = (next..chunk_end)
-            .map(|i| {
-                // Synthetic correlated profile: bit j true w.p. 1/(j+2),
-                // so marginals differ across attributes and queries have
-                // nontrivial answers.
-                let bits: Vec<bool> = (0..width)
-                    .map(|j| rng.random_bool(1.0 / (j as f64 + 2.0)))
-                    .collect();
-                let mut agent = UserAgent::new(
-                    UserId(id_base + i),
-                    Profile::from_bits(&bits),
-                    ann.p,
-                    f64::MAX,
-                );
-                agent.participate(&ann, &mut rng).map_err(err)
-            })
-            .collect::<Result<_, _>>()?;
+        let submissions =
+            synthetic_submissions(&ann, width, &mut rng, id_base + next..id_base + chunk_end)?;
         let ack = client.submit_batch(&submissions).map_err(err)?;
         accepted += ack.accepted;
         rejected += ack.rejected;
@@ -283,8 +316,24 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses a shard identity literal `i/N` (e.g. `0/3`).
+pub fn parse_shard(raw: &str) -> Result<psketch_protocol::ShardIdentity, CliError> {
+    let err = || CliError(format!("--shard '{raw}' must look like i/N, e.g. 0/3"));
+    let (id, count) = raw.split_once('/').ok_or_else(err)?;
+    let identity = psketch_protocol::ShardIdentity {
+        shard_id: id.trim().parse().map_err(|_| err())?,
+        shard_count: count.trim().parse().map_err(|_| err())?,
+    };
+    if identity.shard_id >= identity.shard_count {
+        return Err(CliError(format!(
+            "--shard {identity}: shard id must be below the shard count"
+        )));
+    }
+    Ok(identity)
+}
+
 /// Parses `0,1,4` into a subset.
-fn parse_subset(raw: &str) -> Result<BitSubset, CliError> {
+pub fn parse_subset(raw: &str) -> Result<BitSubset, CliError> {
     let positions: Vec<u32> = raw
         .split(',')
         .map(|tok| {
@@ -298,7 +347,7 @@ fn parse_subset(raw: &str) -> Result<BitSubset, CliError> {
 
 /// Parses a bit literal like `10` (first character = first subset
 /// position) into a value of the given width.
-fn parse_value(raw: &str, width: usize) -> Result<BitString, CliError> {
+pub fn parse_value(raw: &str, width: usize) -> Result<BitString, CliError> {
     if raw.len() != width {
         return Err(CliError(format!(
             "--value '{raw}' has {} bits, subset has {width}",

@@ -1,0 +1,39 @@
+//! # psketch-cluster — the sharded multi-node sketch pool
+//!
+//! The paper's utility bound (Lemma 4.1) improves with the population
+//! size `M`, and a real deployment serves millions of users — more than
+//! one `psketch-server` process should hold. This crate scales the
+//! service horizontally without changing a single answer:
+//!
+//! * [`shard`] — a versioned, serializable [`ShardMap`] partitioning
+//!   users across `N` independent server nodes (each with its own WAL)
+//!   by a stable public hash of the user id;
+//! * [`router`] — a [`Router`] that fans ingest out by shard and serves
+//!   analyst queries by **scatter-gather over exact partial counts**:
+//!   every shard reports integer `(ones, population)` pairs, the router
+//!   sums them (integer addition — exact in any order), and the
+//!   Algorithm 2 float inversion runs once on the merged sums.
+//!
+//! Because the conjunctive estimator is a pure counting scan, cluster
+//! answers are **bit-identical** to a single node holding the union of
+//! the records — the property tests in `tests/cluster.rs` verify this
+//! for conjunctive, distribution and linear queries over random shard
+//! splits.
+//!
+//! Node failures degrade instead of skewing: an unreachable shard is
+//! retried with backoff, then reported in the answer's
+//! [`router::Coverage`] (which shards are missing, and what fraction of
+//! the known population they held) while the estimate covers exactly
+//! the responding population.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod shard;
+
+pub use router::{
+    parallel_ingest, ClusterDistribution, ClusterError, ClusterEstimate, ClusterLinear,
+    ClusterStatus, ClusterSubmitReport, Coverage, Router, RouterConfig, ShardOutage, ShardStatus,
+};
+pub use shard::{splitmix64, ShardMap, ShardMapError, ShardNode};

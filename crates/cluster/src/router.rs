@@ -1,0 +1,732 @@
+//! The cluster router: scatter-gather over shard nodes.
+//!
+//! A [`Router`] owns one connection per shard (lazily opened, hello
+//! handshake verified against the [`ShardMap`]) and serves the same
+//! analyst surface a single node does — conjunctive, distribution and
+//! linear queries plus ingest and status — by **merging exact partial
+//! counts** instead of estimates:
+//!
+//! 1. every shard reports integer `(ones, population)` counts for the
+//!    query (a shard holding none of the subset's records reports
+//!    `(0, 0)`);
+//! 2. the router sums them — integer addition, exact in any order;
+//! 3. the Algorithm 2 float inversion runs **once**, on the merged
+//!    sums, via the same [`psketch_core::Estimate::from_counts`] a
+//!    single node uses.
+//!
+//! Cluster answers are therefore bit-identical to a single node holding
+//! the union of the records (the property tests in this crate pin that
+//! down).
+//!
+//! # Failure handling
+//!
+//! Transport failures are retried per shard with exponential backoff;
+//! a shard that stays unreachable is reported as **missing** in the
+//! answer's [`Coverage`] rather than silently skewing `r'`: the
+//! estimate then covers exactly the responding shards' population, and
+//! the caller can see which shards — and, when a prior
+//! [`Router::status`] sweep recorded their size, what fraction of the
+//! known user population — the answer excludes. Deterministic server
+//! refusals (budget exhausted, malformed query) are never retried and
+//! fail the whole query, because every shard would refuse identically.
+
+use crate::shard::{ShardMap, ShardMapError};
+use psketch_core::{BitString, BitSubset, Estimate};
+use psketch_protocol::{Announcement, CoordinatorStats, ShardIdentity, Submission};
+use psketch_queries::{
+    CountAccumulator, DistributionAccumulator, LinearAccumulator, LinearAnswer, LinearQuery,
+};
+use psketch_server::{Client, ClientError, ServerStats};
+use std::time::Duration;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Connect/read/write timeout for every shard connection.
+    pub timeout: Duration,
+    /// Extra attempts per shard operation after the first failure.
+    pub retries: u32,
+    /// Base backoff slept before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// The analyst identity declared to every shard (budget accounting).
+    pub analyst: u64,
+    /// Chunk size for batch submissions (bounds frame sizes).
+    pub submit_chunk: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            analyst: 0,
+            submit_chunk: 500,
+        }
+    }
+}
+
+/// Why a shard is missing from an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutage {
+    /// The unreachable shard.
+    pub shard: u32,
+    /// The last transport error observed (after all retries).
+    pub error: String,
+}
+
+/// Which part of the population an answer covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// Total shards in the map.
+    pub total_shards: u32,
+    /// Shards that contributed to the answer.
+    pub responding: Vec<u32>,
+    /// Shards that stayed unreachable after retries.
+    pub missing: Vec<ShardOutage>,
+    /// Records merged into the answer (the estimate's sample size).
+    pub population: u64,
+    /// Accepted users on the missing shards, summed from the most
+    /// recent successful [`Router::status`] sweep; `None` if any
+    /// missing shard has never been seen.
+    pub missing_users: Option<u64>,
+}
+
+impl Coverage {
+    /// Whether every shard contributed (a full-population answer).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// The fraction of the *known* user population the answer misses:
+    /// `missing / (covered + missing)`. `None` until a status sweep has
+    /// sized every missing shard.
+    #[must_use]
+    pub fn missing_fraction(&self) -> Option<f64> {
+        if self.missing.is_empty() {
+            return Some(0.0);
+        }
+        let missing = self.missing_users? as f64;
+        let total = self.population as f64 + missing;
+        if total == 0.0 {
+            return None;
+        }
+        Some(missing / total)
+    }
+}
+
+/// A cluster conjunctive answer: the merged estimate plus coverage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEstimate {
+    /// The merged estimate (bit-identical to a single node over the
+    /// responding shards' records).
+    pub estimate: Estimate,
+    /// Which shards the answer covers.
+    pub coverage: Coverage,
+}
+
+/// A cluster distribution answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterDistribution {
+    /// Per-value merged estimates, indexed by the LSB-first integer
+    /// encoding of the value.
+    pub estimates: Vec<Estimate>,
+    /// Which shards the answer covers.
+    pub coverage: Coverage,
+}
+
+/// A cluster linear-query answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterLinear {
+    /// The merged answer.
+    pub answer: LinearAnswer,
+    /// Which shards the answer covers.
+    pub coverage: Coverage,
+}
+
+/// The outcome of a cluster batch submission.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterSubmitReport {
+    /// Submissions accepted across all shards.
+    pub accepted: u64,
+    /// Submissions rejected (malformed or duplicate) across all shards.
+    pub rejected: u64,
+    /// `(shard, submissions not ingested, error)` for shards that
+    /// stayed unreachable; their users were **not** durably submitted.
+    pub failed: Vec<(u32, usize, String)>,
+}
+
+impl ClusterSubmitReport {
+    /// Whether every submission reached its shard.
+    #[must_use]
+    pub fn fully_ingested(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// One shard's row of a cluster status sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The shard.
+    pub shard: u32,
+    /// The address serving it.
+    pub addr: String,
+    /// Its counters, or the transport error that kept it unreachable.
+    pub status: Result<(CoordinatorStats, ServerStats), String>,
+}
+
+/// A cluster status sweep: per-shard counters plus the exact merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStatus {
+    /// One row per shard.
+    pub per_shard: Vec<ShardStatus>,
+    /// Coordinator counters summed over the responding shards (shards
+    /// partition the population, so this is the single-node total).
+    pub merged: CoordinatorStats,
+}
+
+/// Errors from cluster operations.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The shard map failed validation.
+    Map(ShardMapError),
+    /// Every shard stayed unreachable after retries.
+    AllShardsDown(Vec<ShardOutage>),
+    /// A shard answered with a deterministic refusal (budget exhausted,
+    /// malformed query, …) — retrying or failing over cannot help,
+    /// every shard would refuse identically.
+    Refused {
+        /// The refusing shard.
+        shard: u32,
+        /// The wire error code (see `psketch_server::wire::codes`).
+        code: u16,
+        /// The server's message.
+        message: String,
+    },
+    /// The hello handshake found the wrong node behind a mapped
+    /// address (stale map or misconfigured node) — merging its counts
+    /// would corrupt answers, so this is fatal rather than degraded.
+    Misrouted {
+        /// The shard the map expects at the address.
+        shard: u32,
+        /// What the node actually reported.
+        found: Option<ShardIdentity>,
+    },
+    /// Two responding shards publish different announcements.
+    AnnouncementMismatch {
+        /// The disagreeing shard.
+        shard: u32,
+    },
+    /// The merged counts could not be turned into an answer (e.g. no
+    /// responding shard holds any records for the subset).
+    Estimation(psketch_core::Error),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Map(e) => write!(f, "{e}"),
+            Self::AllShardsDown(outages) => {
+                write!(f, "all {} shards unreachable: ", outages.len())?;
+                for o in outages {
+                    write!(f, "[shard {}: {}] ", o.shard, o.error)?;
+                }
+                Ok(())
+            }
+            Self::Refused {
+                shard,
+                code,
+                message,
+            } => write!(f, "shard {shard} refused (code {code}): {message}"),
+            Self::Misrouted { shard, found } => match found {
+                Some(identity) => write!(
+                    f,
+                    "address mapped to shard {shard} is actually serving shard {identity}"
+                ),
+                None => write!(
+                    f,
+                    "address mapped to shard {shard} is serving an unsharded node"
+                ),
+            },
+            Self::AnnouncementMismatch { shard } => write!(
+                f,
+                "shard {shard} publishes a different announcement than shard 0; \
+                 refusing to merge pools"
+            ),
+            Self::Estimation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<ShardMapError> for ClusterError {
+    fn from(e: ShardMapError) -> Self {
+        Self::Map(e)
+    }
+}
+
+impl From<psketch_core::Error> for ClusterError {
+    fn from(e: psketch_core::Error) -> Self {
+        Self::Estimation(e)
+    }
+}
+
+/// Successful scatter results (per responding shard) plus outages.
+type Gathered<T> = (Vec<(u32, T)>, Vec<ShardOutage>);
+
+/// Outcome of one shard operation after retries.
+enum ShardAttempt<T> {
+    Ok(T),
+    /// Transport-level failure: the shard may be down; degrade.
+    Down(String),
+    /// Deterministic server refusal: fail the whole operation.
+    Refused {
+        code: u16,
+        message: String,
+    },
+    /// Wrong node behind the address: fail the whole operation.
+    Misrouted(Option<ShardIdentity>),
+}
+
+/// A scatter-gather router over a shard map.
+pub struct Router {
+    map: ShardMap,
+    config: RouterConfig,
+    conns: Vec<Option<Client>>,
+    /// Last-known accepted-user count per shard (status sweeps).
+    known_users: Vec<Option<u64>>,
+    announcement: Option<Announcement>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("shards", &self.map.len())
+            .field("version", &self.map.version)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Builds a router over a validated map. No connections are opened
+    /// until the first operation needs them.
+    ///
+    /// # Errors
+    ///
+    /// Shard-map validation errors.
+    pub fn new(map: ShardMap, config: RouterConfig) -> Result<Self, ClusterError> {
+        map.validate()?;
+        let n = map.len();
+        Ok(Self {
+            map,
+            config,
+            conns: (0..n).map(|_| None).collect(),
+            known_users: vec![None; n],
+            announcement: None,
+        })
+    }
+
+    /// The shard map in force.
+    #[must_use]
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Ensures a verified connection to `shard`, running the hello
+    /// handshake on fresh connects.
+    fn connect(&mut self, shard: u32) -> Result<&mut Client, ShardAttempt<()>> {
+        let slot = shard as usize;
+        if self.conns[slot].is_none() {
+            let addr = self.map.addr_of(shard).to_string();
+            let mut client = Client::connect(addr.as_str(), self.config.timeout)
+                .map_err(|e| ShardAttempt::Down(e.to_string()))?;
+            let identity = match client.hello(self.config.analyst) {
+                Ok(identity) => identity,
+                Err(ClientError::Server { code, message }) => {
+                    return Err(ShardAttempt::Refused { code, message });
+                }
+                Err(e) => return Err(ShardAttempt::Down(e.to_string())),
+            };
+            let expected = ShardIdentity {
+                shard_id: shard,
+                shard_count: self.map.len() as u32,
+            };
+            match identity {
+                Some(found) if found == expected => {}
+                // A standalone node is acceptable only as a 1-shard map.
+                None if self.map.len() == 1 => {}
+                other => return Err(ShardAttempt::Misrouted(other)),
+            }
+            self.conns[slot] = Some(client);
+        }
+        Ok(self.conns[slot].as_mut().expect("connection just ensured"))
+    }
+
+    /// Runs one operation against one shard with retry + backoff.
+    /// Transport failures retry (reconnecting each time); server error
+    /// frames don't.
+    fn try_shard<T>(
+        &mut self,
+        shard: u32,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> ShardAttempt<T> {
+        let mut last_err = String::new();
+        for attempt in 0..=self.config.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.config.backoff * (1 << (attempt - 1)));
+            }
+            let client = match self.connect(shard) {
+                Ok(client) => client,
+                Err(ShardAttempt::Down(e)) => {
+                    last_err = e;
+                    continue;
+                }
+                Err(ShardAttempt::Refused { code, message }) => {
+                    return ShardAttempt::Refused { code, message };
+                }
+                Err(ShardAttempt::Misrouted(found)) => return ShardAttempt::Misrouted(found),
+                Err(ShardAttempt::Ok(())) => unreachable!("connect never yields Ok"),
+            };
+            match op(client) {
+                Ok(value) => return ShardAttempt::Ok(value),
+                Err(ClientError::Server { code, message }) => {
+                    return ShardAttempt::Refused { code, message };
+                }
+                Err(e) => {
+                    // The connection is poisoned or gone; reconnect on
+                    // the next attempt.
+                    last_err = e.to_string();
+                    self.conns[shard as usize] = None;
+                }
+            }
+        }
+        ShardAttempt::Down(last_err)
+    }
+
+    /// Scatters one operation over every shard, gathering successes and
+    /// outages. Deterministic refusals and misrouted nodes abort.
+    fn scatter<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<Gathered<T>, ClusterError> {
+        let mut gathered = Vec::new();
+        let mut outages = Vec::new();
+        for shard in 0..self.map.len() as u32 {
+            match self.try_shard(shard, &mut op) {
+                ShardAttempt::Ok(value) => gathered.push((shard, value)),
+                ShardAttempt::Down(error) => outages.push(ShardOutage { shard, error }),
+                ShardAttempt::Refused { code, message } => {
+                    return Err(ClusterError::Refused {
+                        shard,
+                        code,
+                        message,
+                    });
+                }
+                ShardAttempt::Misrouted(found) => {
+                    return Err(ClusterError::Misrouted { shard, found });
+                }
+            }
+        }
+        if gathered.is_empty() {
+            return Err(ClusterError::AllShardsDown(outages));
+        }
+        Ok((gathered, outages))
+    }
+
+    fn coverage(
+        &self,
+        responding: Vec<u32>,
+        missing: Vec<ShardOutage>,
+        population: u64,
+    ) -> Coverage {
+        let missing_users = missing
+            .iter()
+            .map(|o| self.known_users[o.shard as usize])
+            .sum::<Option<u64>>();
+        Coverage {
+            total_shards: self.map.len() as u32,
+            responding,
+            missing,
+            population,
+            missing_users,
+        }
+    }
+
+    /// The deployment's announcement: fetched from the first responding
+    /// shard and verified identical on every other responding shard
+    /// (then cached).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors on all shards, or an announcement mismatch.
+    pub fn announcement(&mut self) -> Result<Announcement, ClusterError> {
+        if let Some(ann) = &self.announcement {
+            return Ok(ann.clone());
+        }
+        let (gathered, _) = self.scatter(Client::announcement)?;
+        let (first_shard, reference) = &gathered[0];
+        debug_assert!(first_shard < &(self.map.len() as u32));
+        for (shard, ann) in &gathered[1..] {
+            if ann != reference {
+                return Err(ClusterError::AnnouncementMismatch { shard: *shard });
+            }
+        }
+        self.announcement = Some(reference.clone());
+        Ok(reference.clone())
+    }
+
+    /// The bias the merged-count inversion must use: the **quantized**
+    /// `SketchParams::p()`, exactly as the shards' own estimators use it
+    /// — the raw `announcement.p` can differ in the low mantissa bits
+    /// after `Bias` fixed-point quantization, which would break
+    /// bit-identity with single-node answers.
+    fn bias(&mut self) -> Result<f64, ClusterError> {
+        let params = self.announcement()?.validate()?;
+        Ok(params.p())
+    }
+
+    /// Submits a batch, fanned out by each user's shard. Shards that
+    /// stay unreachable are reported in the outcome (those users are
+    /// *not* ingested); reachable shards are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Refused`] if a shard rejects a batch frame
+    /// outright, [`ClusterError::Misrouted`] on map/node disagreement.
+    pub fn submit_batch(
+        &mut self,
+        subs: &[Submission],
+    ) -> Result<ClusterSubmitReport, ClusterError> {
+        let mut per_shard: Vec<Vec<Submission>> = (0..self.map.len()).map(|_| Vec::new()).collect();
+        for sub in subs {
+            per_shard[self.map.shard_of(sub.user) as usize].push(sub.clone());
+        }
+        let chunk = self.config.submit_chunk.max(1);
+        let mut report = ClusterSubmitReport::default();
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let shard = shard as u32;
+            match self.try_shard(shard, |client| client.submit_chunked(&batch, chunk)) {
+                ShardAttempt::Ok(ack) => {
+                    report.accepted += ack.accepted;
+                    report.rejected += ack.rejected;
+                }
+                ShardAttempt::Down(error) => report.failed.push((shard, batch.len(), error)),
+                ShardAttempt::Refused { code, message } => {
+                    return Err(ClusterError::Refused {
+                        shard,
+                        code,
+                        message,
+                    });
+                }
+                ShardAttempt::Misrouted(found) => {
+                    return Err(ClusterError::Misrouted { shard, found });
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Estimates one conjunctive frequency by merging per-shard counts.
+    ///
+    /// # Errors
+    ///
+    /// All-shards-down, refusals, or estimation failure (no responding
+    /// shard holds records for the subset).
+    pub fn conjunctive(
+        &mut self,
+        subset: BitSubset,
+        value: BitString,
+    ) -> Result<ClusterEstimate, ClusterError> {
+        let p = self.bias()?;
+        let (gathered, outages) =
+            self.scatter(|client| client.partial_counts(vec![(subset.clone(), value.clone())]))?;
+        let mut acc = CountAccumulator::new();
+        let mut responding = Vec::with_capacity(gathered.len());
+        for (shard, counts) in gathered {
+            // A reply of the wrong shape is a protocol violation, not an
+            // empty share — merging a default would silently drop the
+            // shard's population from a "complete" answer.
+            let [c] = counts.as_slice() else {
+                return Err(ClusterError::Estimation(psketch_core::Error::Codec {
+                    reason: format!(
+                        "shard {shard} answered {} counts to a 1-query batch",
+                        counts.len()
+                    ),
+                }));
+            };
+            acc.absorb(c.ones, c.population);
+            responding.push(shard);
+        }
+        let estimate = acc.finish(p)?;
+        let coverage = self.coverage(responding, outages, acc.population());
+        Ok(ClusterEstimate { estimate, coverage })
+    }
+
+    /// Estimates a full `2^k` distribution by merging per-value counts.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::conjunctive`].
+    pub fn distribution(&mut self, subset: BitSubset) -> Result<ClusterDistribution, ClusterError> {
+        let p = self.bias()?;
+        let (gathered, outages) =
+            self.scatter(|client| client.partial_distribution(subset.clone()))?;
+        let mut acc = DistributionAccumulator::new(subset.len());
+        let mut responding = Vec::with_capacity(gathered.len());
+        for (shard, partial) in gathered {
+            acc.absorb(&partial.ones, partial.population)?;
+            responding.push(shard);
+        }
+        let estimates = acc.finish(p)?;
+        let coverage = self.coverage(responding, outages, acc.population());
+        Ok(ClusterDistribution {
+            estimates,
+            coverage,
+        })
+    }
+
+    /// Evaluates a linear query: each shard counts the query's distinct
+    /// conjunctive terms in one round trip, and the merged counts are
+    /// combined exactly as the single-node engine would (memoized
+    /// duplicates, original term order).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::conjunctive`]; additionally fails if any term's
+    /// merged population is zero.
+    pub fn linear(&mut self, lq: &LinearQuery) -> Result<ClusterLinear, ClusterError> {
+        let p = self.bias()?;
+        let mut acc = LinearAccumulator::for_query(lq);
+        let wire_terms: Vec<(BitSubset, BitString)> = acc
+            .distinct_queries()
+            .iter()
+            .map(|q| (q.subset().clone(), q.value().clone()))
+            .collect();
+        let (gathered, outages) =
+            self.scatter(|client| client.partial_counts(wire_terms.clone()))?;
+        let mut responding = Vec::with_capacity(gathered.len());
+        for (shard, counts) in gathered {
+            let pairs: Vec<(u64, u64)> = counts.iter().map(|c| (c.ones, c.population)).collect();
+            acc.absorb(&pairs)?;
+            responding.push(shard);
+        }
+        let answer = acc.finish(p)?;
+        // The binding population for a linear answer is its smallest
+        // term's merged sample.
+        let population = u64::try_from(answer.min_sample_size).unwrap_or(u64::MAX);
+        let coverage = self.coverage(responding, outages, population);
+        Ok(ClusterLinear { answer, coverage })
+    }
+
+    /// Sweeps every shard for coordinator + server stats, refreshing the
+    /// per-shard population cache used for degraded-answer reporting.
+    ///
+    /// Unreachable shards appear with their error instead of counters —
+    /// a status sweep never fails outright unless *all* shards are down.
+    ///
+    /// # Errors
+    ///
+    /// All-shards-down, refusals, misrouted nodes.
+    pub fn status(&mut self) -> Result<ClusterStatus, ClusterError> {
+        let (gathered, outages) = self.scatter(|client| {
+            let coordinator = client.stats()?;
+            let server = client.server_stats()?;
+            Ok((coordinator, server))
+        })?;
+        let mut per_shard: Vec<ShardStatus> = Vec::with_capacity(self.map.len());
+        let mut merged = CoordinatorStats::default();
+        for (shard, (coordinator, server)) in gathered {
+            self.known_users[shard as usize] = Some(coordinator.accepted);
+            merged.merge(&coordinator);
+            per_shard.push(ShardStatus {
+                shard,
+                addr: self.map.addr_of(shard).to_string(),
+                status: Ok((coordinator, server)),
+            });
+        }
+        for outage in outages {
+            per_shard.push(ShardStatus {
+                shard: outage.shard,
+                addr: self.map.addr_of(outage.shard).to_string(),
+                status: Err(outage.error),
+            });
+        }
+        per_shard.sort_by_key(|s| s.shard);
+        Ok(ClusterStatus { per_shard, merged })
+    }
+
+    /// Pings every shard; returns the set of unreachable shards.
+    ///
+    /// # Errors
+    ///
+    /// Refusals and misrouted nodes only (a fully down cluster is a
+    /// full outage list, not an error).
+    pub fn ping(&mut self) -> Result<Vec<ShardOutage>, ClusterError> {
+        match self.scatter(Client::ping) {
+            Ok((_, outages)) => Ok(outages),
+            Err(ClusterError::AllShardsDown(outages)) => Ok(outages),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Ingests a submission set through one independent connection per
+/// shard, in parallel — the scale-out ingest path (a [`Router`] fans
+/// out sequentially, which measures scatter latency, not throughput).
+///
+/// Every submission is routed by the map's placement hash; chunking
+/// bounds frame sizes. Returns `(accepted, rejected)` summed over
+/// shards.
+///
+/// # Errors
+///
+/// The first shard error encountered, as a string (all shards are
+/// attempted regardless).
+pub fn parallel_ingest(
+    map: &ShardMap,
+    subs: &[Submission],
+    timeout: Duration,
+    chunk: usize,
+) -> Result<(u64, u64), String> {
+    let mut per_shard: Vec<Vec<Submission>> = (0..map.len()).map(|_| Vec::new()).collect();
+    for sub in subs {
+        per_shard[map.shard_of(sub.user) as usize].push(sub.clone());
+    }
+    let results: Vec<Result<(u64, u64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_shard
+            .iter()
+            .enumerate()
+            .map(|(shard, batch)| {
+                let addr = map.addr_of(shard as u32).to_string();
+                scope.spawn(move || {
+                    if batch.is_empty() {
+                        return Ok((0, 0));
+                    }
+                    let mut client = Client::connect(addr.as_str(), timeout)
+                        .map_err(|e| format!("shard {shard}: {e}"))?;
+                    let ack = client
+                        .submit_chunked(batch, chunk.max(1))
+                        .map_err(|e| format!("shard {shard}: {e}"))?;
+                    Ok((ack.accepted, ack.rejected))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest worker panicked"))
+            .collect()
+    });
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for result in results {
+        let (a, r) = result?;
+        accepted += a;
+        rejected += r;
+    }
+    Ok((accepted, rejected))
+}

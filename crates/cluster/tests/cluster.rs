@@ -1,0 +1,415 @@
+//! Cluster end-to-end tests over loopback TCP: bit-identical
+//! scatter-gather answers, degraded-mode behavior when a node dies, and
+//! recovery when it comes back.
+
+use proptest::prelude::*;
+use psketch_cluster::{ClusterError, Router, RouterConfig, ShardMap};
+use psketch_core::{BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, UserId};
+use psketch_prf::{GlobalKey, Prg};
+use psketch_protocol::{
+    Announcement, AnnouncementBuilder, Coordinator, ShardIdentity, Submission, UserAgent,
+};
+use psketch_queries::{LinearQuery, QueryEngine};
+use psketch_server::{Server, ServerConfig};
+use rand::SeedableRng;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn announcement(seed: u64) -> Announcement {
+    AnnouncementBuilder::new(4242, 0.45, 10_000, 1e-6)
+        .global_key(*GlobalKey::from_seed(seed).as_bytes())
+        .subset(BitSubset::range(0, 2))
+        .subset(BitSubset::single(0))
+        .subset(BitSubset::single(1))
+        .build()
+        .unwrap()
+}
+
+fn submissions(ann: &Announcement, ids: &[u64], seed: u64) -> Vec<Submission> {
+    let mut rng = Prg::seed_from_u64(seed);
+    ids.iter()
+        .map(|&i| {
+            let profile = Profile::from_bits(&[i % 3 == 0, i % 2 == 0]);
+            let mut agent = UserAgent::new(UserId(i), profile, ann.p, 1e9);
+            agent.participate(ann, &mut rng).unwrap()
+        })
+        .collect()
+}
+
+/// Starts one server per shard and returns (servers, map).
+fn start_cluster(ann: &Announcement, shards: u32) -> (Vec<Server>, ShardMap) {
+    let servers: Vec<Server> = (0..shards)
+        .map(|shard_id| {
+            Server::start(
+                "127.0.0.1:0",
+                ann.clone(),
+                ServerConfig {
+                    workers: 2,
+                    shard: Some(ShardIdentity {
+                        shard_id,
+                        shard_count: shards,
+                    }),
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let map = ShardMap::new(1, servers.iter().map(|s| s.local_addr().to_string())).unwrap();
+    (servers, map)
+}
+
+fn fast_router(map: ShardMap) -> Router {
+    Router::new(
+        map,
+        RouterConfig {
+            timeout: TIMEOUT,
+            retries: 1,
+            backoff: Duration::from_millis(10),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The core acceptance property: a cluster over any shard count answers
+/// conjunctive, distribution and linear queries bit-identically to one
+/// node (the oracle) ingesting the same records.
+fn assert_cluster_matches_oracle(user_ids: &[u64], shards: u32, seed: u64) {
+    let ann = announcement(seed);
+    let subs = submissions(&ann, user_ids, seed ^ 0x5EED);
+
+    // Single-node oracle.
+    let oracle = Coordinator::new(ann.clone());
+    oracle.accept_batch(&subs);
+    let params = ann.validate().unwrap();
+    let estimator = ConjunctiveEstimator::new(params);
+    let engine = QueryEngine::new(params);
+
+    // Cluster over the same records.
+    let (servers, map) = start_cluster(&ann, shards);
+    let mut router = fast_router(map);
+    let report = router.submit_batch(&subs).unwrap();
+    assert!(report.fully_ingested());
+    assert_eq!(report.accepted, subs.len() as u64);
+    assert_eq!(report.rejected, 0);
+
+    // Conjunctive: every value of the pair subset.
+    let pair = BitSubset::range(0, 2);
+    for value in 0..4u64 {
+        let value = BitString::from_u64(value, 2);
+        let clustered = router.conjunctive(pair.clone(), value.clone()).unwrap();
+        assert!(clustered.coverage.is_complete());
+        let q = ConjunctiveQuery::new(pair.clone(), value).unwrap();
+        let local = estimator.estimate(oracle.pool(), &q).unwrap();
+        assert_eq!(
+            clustered.estimate.fraction.to_bits(),
+            local.fraction.to_bits(),
+            "conjunctive diverged at {shards} shards"
+        );
+        assert_eq!(clustered.estimate.raw.to_bits(), local.raw.to_bits());
+        assert_eq!(clustered.estimate.sample_size, local.sample_size);
+    }
+
+    // Distribution over the pair subset.
+    let clustered = router.distribution(pair.clone()).unwrap();
+    let local = estimator
+        .estimate_distribution(oracle.pool(), &pair)
+        .unwrap();
+    assert_eq!(clustered.estimates.len(), local.len());
+    for (c, l) in clustered.estimates.iter().zip(&local) {
+        assert_eq!(
+            c.fraction.to_bits(),
+            l.fraction.to_bits(),
+            "distribution diverged at {shards} shards"
+        );
+    }
+
+    // Linear with a duplicate term and a constant.
+    let q0 = ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true])).unwrap();
+    let q1 = ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true])).unwrap();
+    let mut lq = LinearQuery::new("cluster test");
+    lq.constant = -0.25;
+    lq.push(1.5, q0.clone());
+    lq.push(-2.0, q1);
+    lq.push(0.5, q0);
+    let clustered = router.linear(&lq).unwrap();
+    let local = engine.linear(oracle.pool(), &lq).unwrap();
+    assert_eq!(
+        clustered.answer.value.to_bits(),
+        local.value.to_bits(),
+        "linear diverged at {shards} shards"
+    );
+    assert_eq!(clustered.answer.queries_used, local.queries_used);
+    assert_eq!(clustered.answer.min_sample_size, local.min_sample_size);
+
+    // Merged status equals the oracle's counters.
+    let status = router.status().unwrap();
+    assert_eq!(status.merged, oracle.stats());
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+proptest! {
+    /// Random user-id sets (sparse, duplicate-free, arbitrary ranges)
+    /// over random shard counts: the cluster answer is always
+    /// bit-identical to the single-node oracle.
+    #[test]
+    fn cluster_answers_bit_identical_to_oracle(
+        user_ids in proptest::collection::vec(any::<u64>(), 30..80),
+        shard_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut user_ids = user_ids;
+        user_ids.sort_unstable();
+        user_ids.dedup();
+        let shards = (shard_pick % 4 + 1) as u32;
+        assert_cluster_matches_oracle(&user_ids, shards, seed);
+    }
+}
+
+#[test]
+fn three_shard_split_matches_oracle() {
+    // The deterministic anchor for the proptest (fast to re-run alone).
+    let ids: Vec<u64> = (0..600).collect();
+    assert_cluster_matches_oracle(&ids, 3, 7);
+}
+
+#[test]
+fn killing_a_node_degrades_answers_and_recovery_restores_them() {
+    let ann = announcement(11);
+    let ids: Vec<u64> = (0..900).collect();
+    let subs = submissions(&ann, &ids, 23);
+    let (mut servers, map) = start_cluster(&ann, 3);
+    let mut router = fast_router(map.clone());
+    router.submit_batch(&subs).unwrap();
+    // Size every shard while all are up (degraded answers report the
+    // missing fraction from this sweep).
+    let status = router.status().unwrap();
+    assert_eq!(status.merged.accepted, 900);
+    let per_shard_accepted: Vec<u64> = status
+        .per_shard
+        .iter()
+        .map(|s| s.status.as_ref().unwrap().0.accepted)
+        .collect();
+
+    let pair = BitSubset::range(0, 2);
+    let value = BitString::from_bits(&[true, true]);
+    let full = router.conjunctive(pair.clone(), value.clone()).unwrap();
+    assert!(full.coverage.is_complete());
+    assert_eq!(full.estimate.sample_size as u64, 900);
+
+    // Kill shard 1. Its records drop out of answers; the router reports
+    // exactly which shard (and how many known users) went missing.
+    servers.remove(1).shutdown();
+    let degraded = router.conjunctive(pair.clone(), value.clone()).unwrap();
+    assert!(!degraded.coverage.is_complete());
+    assert_eq!(
+        degraded
+            .coverage
+            .missing
+            .iter()
+            .map(|o| o.shard)
+            .collect::<Vec<_>>(),
+        vec![1]
+    );
+    assert_eq!(degraded.coverage.responding, vec![0, 2]);
+    assert_eq!(degraded.coverage.missing_users, Some(per_shard_accepted[1]));
+    let fraction = degraded.coverage.missing_fraction().unwrap();
+    assert!(
+        (fraction - per_shard_accepted[1] as f64 / 900.0).abs() < 1e-12,
+        "missing fraction {fraction}"
+    );
+    // The degraded estimate covers exactly the surviving population.
+    assert_eq!(
+        degraded.estimate.sample_size as u64,
+        900 - per_shard_accepted[1]
+    );
+
+    // A status sweep keeps working, reporting the outage in its row.
+    let status = router.status().unwrap();
+    let row = &status.per_shard[1];
+    assert!(row.status.is_err());
+    assert_eq!(status.merged.accepted, 900 - per_shard_accepted[1]);
+
+    // Restart shard 1 empty at the same address: the map still routes
+    // to it, and re-submitting restores the full bit-identical answer.
+    let addr = map.addr_of(1).to_string();
+    let restarted = Server::start(
+        addr.as_str(),
+        ann.clone(),
+        ServerConfig {
+            workers: 2,
+            shard: Some(ShardIdentity {
+                shard_id: 1,
+                shard_count: 3,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // Re-submit everything; surviving shards reject duplicates, shard 1
+    // re-ingests its users.
+    let report = router.submit_batch(&subs).unwrap();
+    assert!(report.fully_ingested());
+    assert_eq!(report.accepted, per_shard_accepted[1]);
+    let restored = router.conjunctive(pair, value).unwrap();
+    assert!(restored.coverage.is_complete());
+    assert_eq!(
+        restored.estimate.fraction.to_bits(),
+        full.estimate.fraction.to_bits(),
+        "recovered cluster must answer bit-identically to the pre-kill cluster"
+    );
+    restarted.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn all_nodes_down_is_an_error_not_a_zero() {
+    let ann = announcement(5);
+    let (servers, map) = start_cluster(&ann, 2);
+    for server in servers {
+        server.shutdown();
+    }
+    let mut router = Router::new(
+        map,
+        RouterConfig {
+            timeout: Duration::from_millis(300),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    match router.conjunctive(BitSubset::single(0), BitString::from_bits(&[true])) {
+        Err(ClusterError::AllShardsDown(outages)) => assert_eq!(outages.len(), 2),
+        other => panic!("expected AllShardsDown, got {other:?}"),
+    }
+}
+
+#[test]
+fn misrouted_nodes_are_rejected_not_merged() {
+    let ann = announcement(9);
+    // A node claiming shard 1/3 behind an address mapped as shard 0/2.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            shard: Some(ShardIdentity {
+                shard_id: 1,
+                shard_count: 3,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let other = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            shard: Some(ShardIdentity {
+                shard_id: 1,
+                shard_count: 2,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let map = ShardMap::new(
+        1,
+        [
+            server.local_addr().to_string(),
+            other.local_addr().to_string(),
+        ],
+    )
+    .unwrap();
+    let mut router = fast_router(map);
+    match router.ping() {
+        Err(ClusterError::Misrouted { shard: 0, found }) => {
+            assert_eq!(
+                found,
+                Some(ShardIdentity {
+                    shard_id: 1,
+                    shard_count: 3
+                })
+            );
+        }
+        other => panic!("expected Misrouted, got {other:?}"),
+    }
+    server.shutdown();
+    other.shutdown();
+
+    // An unsharded node is fine behind a single-entry map...
+    let standalone = Server::start("127.0.0.1:0", ann.clone(), ServerConfig::default()).unwrap();
+    let map = ShardMap::new(1, [standalone.local_addr().to_string()]).unwrap();
+    let mut router = fast_router(map);
+    router.ping().unwrap();
+    // ...but not behind a multi-shard map (it would be double-counted).
+    let map = ShardMap::new(
+        1,
+        [
+            standalone.local_addr().to_string(),
+            standalone.local_addr().to_string(),
+        ],
+    )
+    .unwrap();
+    let mut router = fast_router(map);
+    assert!(matches!(
+        router.ping(),
+        Err(ClusterError::Misrouted { found: None, .. })
+    ));
+    standalone.shutdown();
+}
+
+#[test]
+fn budget_refusals_propagate_and_are_not_retried() {
+    use psketch_server::wire::codes;
+    let ann = announcement(13);
+    // Per-analyst budget that affords one estimate per shard at p=0.45.
+    let servers: Vec<Server> = (0..2)
+        .map(|shard_id| {
+            Server::start(
+                "127.0.0.1:0",
+                ann.clone(),
+                ServerConfig {
+                    workers: 2,
+                    shard: Some(ShardIdentity {
+                        shard_id,
+                        shard_count: 2,
+                    }),
+                    analyst_budget: Some(3.0),
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let map = ShardMap::new(1, servers.iter().map(|s| s.local_addr().to_string())).unwrap();
+    let ids: Vec<u64> = (0..100).collect();
+    let subs = submissions(&ann, &ids, 3);
+    let mut router = Router::new(
+        map,
+        RouterConfig {
+            timeout: TIMEOUT,
+            analyst: 42,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    router.submit_batch(&subs).unwrap();
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    router.conjunctive(subset.clone(), value.clone()).unwrap();
+    match router.conjunctive(subset, value) {
+        Err(ClusterError::Refused { code, .. }) => assert_eq!(code, codes::BUDGET),
+        other => panic!("expected a budget refusal, got {other:?}"),
+    }
+    for server in servers {
+        server.shutdown();
+    }
+}

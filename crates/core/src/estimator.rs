@@ -84,6 +84,25 @@ pub struct Estimate {
 }
 
 impl Estimate {
+    /// Runs step 2 of Algorithm 2 on raw satisfying counts: `r̃ = ones/n`,
+    /// `r' = (r̃ − p)/(1 − 2p)`.
+    ///
+    /// This is the *only* place the count→estimate float arithmetic
+    /// lives: the estimator's scan paths and the cluster router's
+    /// merged-count path both call it, so an estimate computed from
+    /// exactly-summed per-shard counts is bit-identical to the one a
+    /// single node computes over the same records.
+    #[must_use]
+    pub fn from_counts(ones: u64, n: u64, p: f64) -> Self {
+        let raw = ones as f64 / n as f64;
+        Self {
+            fraction: (raw - p) / (1.0 - 2.0 * p),
+            raw,
+            sample_size: usize::try_from(n).unwrap_or(usize::MAX),
+            p,
+        }
+    }
+
     /// The estimate clamped to the feasible range `[0, 1]`.
     #[must_use]
     pub fn clamped(&self) -> f64 {
@@ -182,6 +201,55 @@ impl ConjunctiveEstimator {
         Ok(self.finish(ones, snapshot.len()))
     }
 
+    /// The raw satisfying count behind [`ConjunctiveEstimator::estimate`]:
+    /// `(ones, population)` where `ones` is the number of records with
+    /// `H(id, B, v, s) = 1` and `population` the shard's record count.
+    ///
+    /// These are exact integers, so counts taken on disjoint partitions
+    /// of a pool sum to exactly the whole-pool counts — the primitive a
+    /// sharded deployment merges before one call to
+    /// [`Estimate::from_counts`] reproduces the single-node answer
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConjunctiveEstimator::estimate`].
+    pub fn count(&self, db: &SketchDb, query: &ConjunctiveQuery) -> Result<(u64, u64), Error> {
+        let snapshot = db.snapshot(query.subset())?;
+        if snapshot.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let ones = self.count_ones(&snapshot, query);
+        Ok((ones as u64, snapshot.len() as u64))
+    }
+
+    /// The raw per-value satisfying counts behind
+    /// [`ConjunctiveEstimator::estimate_distribution`]: one count per
+    /// LSB-first value of the subset, plus the shard population.
+    ///
+    /// # Errors
+    ///
+    /// As [`ConjunctiveEstimator::estimate_distribution`].
+    pub fn count_distribution(
+        &self,
+        db: &SketchDb,
+        subset: &BitSubset,
+    ) -> Result<(Vec<u64>, u64), Error> {
+        assert!(
+            subset.len() <= 20,
+            "count_distribution supports at most 20-bit subsets"
+        );
+        let snapshot = db.snapshot(subset)?;
+        if snapshot.is_empty() {
+            return Err(Error::EmptyDatabase);
+        }
+        let ones = self.distribution_ones(&snapshot, subset);
+        Ok((
+            ones.into_iter().map(|c| c as u64).collect(),
+            snapshot.len() as u64,
+        ))
+    }
+
     /// The pre-refactor scalar reference path: a row-oriented copy of the
     /// records (the old `SketchDb::records` read) and one full input
     /// encoding — with its allocations — per record.
@@ -238,12 +306,23 @@ impl ConjunctiveEstimator {
         if snapshot.is_empty() {
             return Err(Error::EmptyDatabase);
         }
+        let n = snapshot.len();
+        let ones = self.distribution_ones(&snapshot, subset);
+        Ok(ones
+            .into_iter()
+            .map(|count| self.finish(count, n))
+            .collect())
+    }
+
+    /// One-pass per-value satisfying counts over a snapshot (the shared
+    /// scan behind `estimate_distribution` and `count_distribution`).
+    fn distribution_ones(&self, snapshot: &SubsetSnapshot, subset: &BitSubset) -> Vec<usize> {
         let values = 1usize << subset.len();
         let n = snapshot.len();
         let ids = snapshot.ids();
         let keys = snapshot.keys();
         let threads = self.thread_count(n.saturating_mul(values));
-        let ones: Vec<usize> = if threads <= 1 {
+        if threads <= 1 {
             let mut prepared = self.h.prepare(subset, subset.len());
             let mut ones = vec![0usize; values];
             for (&id, &key) in ids.iter().zip(keys) {
@@ -283,11 +362,7 @@ impl ConjunctiveEstimator {
                 }
             }
             ones
-        };
-        Ok(ones
-            .into_iter()
-            .map(|count| self.finish(count, n))
-            .collect())
+        }
     }
 
     /// Counts records with `H(id, B, v, s) = 1` over the snapshot's
@@ -330,14 +405,7 @@ impl ConjunctiveEstimator {
 
     /// Step 2 of Algorithm 2: the unbiased inversion.
     fn finish(&self, ones: usize, n: usize) -> Estimate {
-        let raw = ones as f64 / n as f64;
-        let p = self.params.p();
-        Estimate {
-            fraction: (raw - p) / (1.0 - 2.0 * p),
-            raw,
-            sample_size: n,
-            p,
-        }
+        Estimate::from_counts(ones as u64, n as u64, self.params.p())
     }
 }
 
@@ -543,6 +611,61 @@ mod tests {
         let scalar = est.estimate_scalar(&db, &q).unwrap();
         assert_eq!(batched.raw.to_bits(), scalar.raw.to_bits());
         assert_eq!(batched.sample_size, m as usize);
+    }
+
+    #[test]
+    fn counts_invert_to_the_estimate_bitwise() {
+        let p = 0.3;
+        let (db, subset) = build_db(p, 4, 2_500, 0.35);
+        let est = ConjunctiveEstimator::new(params(p));
+        let q = ConjunctiveQuery::new(subset.clone(), BitString::from_bits(&[true; 4])).unwrap();
+        let (ones, n) = est.count(&db, &q).unwrap();
+        assert_eq!(n, 2_500);
+        let from_counts = Estimate::from_counts(ones, n, p);
+        let scanned = est.estimate(&db, &q).unwrap();
+        assert_eq!(from_counts.fraction.to_bits(), scanned.fraction.to_bits());
+        assert_eq!(from_counts.raw.to_bits(), scanned.raw.to_bits());
+        assert_eq!(from_counts.sample_size, scanned.sample_size);
+
+        let (dist_ones, dist_n) = est.count_distribution(&db, &subset).unwrap();
+        let dist = est.estimate_distribution(&db, &subset).unwrap();
+        assert_eq!(dist_ones.len(), 16);
+        for (count, scanned) in dist_ones.iter().zip(&dist) {
+            let e = Estimate::from_counts(*count, dist_n, p);
+            assert_eq!(e.fraction.to_bits(), scanned.fraction.to_bits());
+        }
+    }
+
+    #[test]
+    fn partitioned_counts_sum_to_whole_pool_counts() {
+        // The sharding invariant: counts over any partition of the
+        // records sum to exactly the whole-pool counts.
+        let p = 0.25;
+        let params = params(p);
+        let sketcher = Sketcher::new(params);
+        let subset = BitSubset::range(0, 3);
+        let whole = SketchDb::new();
+        let shards = [SketchDb::new(), SketchDb::new(), SketchDb::new()];
+        let mut rng = Prg::seed_from_u64(99);
+        for i in 0..3_000u64 {
+            let profile = Profile::from_bits(&[i % 2 == 0, i % 3 == 0, i % 5 == 0]);
+            let s = sketcher
+                .sketch(UserId(i), &profile, &subset, &mut rng)
+                .unwrap();
+            whole.insert(subset.clone(), UserId(i), s);
+            shards[(i % 3) as usize].insert(subset.clone(), UserId(i), s);
+        }
+        let est = ConjunctiveEstimator::new(params);
+        let q = ConjunctiveQuery::new(subset.clone(), BitString::from_bits(&[true; 3])).unwrap();
+        let (whole_ones, whole_n) = est.count(&whole, &q).unwrap();
+        let mut ones = 0;
+        let mut n = 0;
+        for shard in &shards {
+            let (o, m) = est.count(shard, &q).unwrap();
+            ones += o;
+            n += m;
+        }
+        assert_eq!((ones, n), (whole_ones, whole_n));
     }
 
     #[test]

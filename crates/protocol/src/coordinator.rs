@@ -122,6 +122,27 @@ impl CoordinatorStats {
     pub fn rejected(&self) -> u64 {
         self.duplicates + self.malformed
     }
+
+    /// Adds another node's counters into this one. Shards partition the
+    /// user population, so per-shard counters sum to exactly the
+    /// counters a single node ingesting the same records would hold —
+    /// this is the cluster-status merge.
+    pub fn merge(&mut self, other: &CoordinatorStats) {
+        self.accepted += other.accepted;
+        self.duplicates += other.duplicates;
+        self.malformed += other.malformed;
+        self.records += other.records;
+    }
+
+    /// Sums a set of per-shard counter snapshots.
+    #[must_use]
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a CoordinatorStats>) -> CoordinatorStats {
+        let mut total = CoordinatorStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
 }
 
 /// Lock-free running counters behind [`CoordinatorStats`].
@@ -496,6 +517,29 @@ mod tests {
         // Two subsets announced, none skipped: 2 records ingested.
         assert_eq!(stats.records, 2);
         assert_eq!(coordinator.rejected(), 2);
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = CoordinatorStats {
+            accepted: 10,
+            duplicates: 1,
+            malformed: 2,
+            records: 30,
+        };
+        let b = CoordinatorStats {
+            accepted: 5,
+            duplicates: 0,
+            malformed: 4,
+            records: 15,
+        };
+        let merged = CoordinatorStats::merged([&a, &b]);
+        assert_eq!(merged.accepted, 15);
+        assert_eq!(merged.duplicates, 1);
+        assert_eq!(merged.malformed, 6);
+        assert_eq!(merged.records, 45);
+        assert_eq!(merged.rejected(), 7);
+        assert_eq!(CoordinatorStats::merged([]), CoordinatorStats::default());
     }
 
     #[test]

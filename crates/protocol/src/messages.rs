@@ -52,6 +52,52 @@ impl Announcement {
     }
 }
 
+/// A node's place in a sharded deployment: which shard of how many this
+/// server holds. Exchanged in the wire-level hello handshake so a router
+/// can verify it is talking to the shard its map says lives at an
+/// address before trusting partial counts from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardIdentity {
+    /// This node's shard index, in `0..shard_count`.
+    pub shard_id: u32,
+    /// Total number of shards in the deployment.
+    pub shard_count: u32,
+}
+
+impl std::fmt::Display for ShardIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.shard_id, self.shard_count)
+    }
+}
+
+/// One shard's partial answer to a conjunctive query: the exact number
+/// of its records with `H(id, B, v, s) = 1` and its record count for the
+/// subset. Counts from disjoint shards sum exactly, so a router merging
+/// them reproduces the single-node estimate bit-for-bit (the float
+/// inversion happens once, after the integer merge).
+///
+/// A shard holding no sketches for the queried subset reports `(0, 0)` —
+/// its share of the pool is genuinely empty, and merging zeros is a
+/// no-op rather than an error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryCounts {
+    /// Records whose PRF evaluated to 1 for the queried `(B, v)`.
+    pub ones: u64,
+    /// Records the shard holds for the queried subset.
+    pub population: u64,
+}
+
+/// One shard's partial answer to a distribution query: per-value
+/// satisfying counts (indexed by the LSB-first integer encoding of the
+/// value) over one shared population.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialDistribution {
+    /// `2^k` per-value satisfying counts.
+    pub ones: Vec<u64>,
+    /// Records the shard holds for the queried subset.
+    pub population: u64,
+}
+
 /// One user's submission: their id and a bit-packed sketch bundle with
 /// one sketch per announced subset, in announcement order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -191,6 +237,32 @@ mod tests {
         assert_eq!(decoded.len(), 2);
         assert_eq!(decoded[0].0, ann.subsets[0]);
         assert_eq!(decoded[1].0, ann.subsets[2]);
+    }
+
+    #[test]
+    fn partial_results_roundtrip_serde() {
+        let counts = QueryCounts {
+            ones: 42,
+            population: 1000,
+        };
+        let json = serde_json::to_string(&counts).unwrap();
+        assert_eq!(serde_json::from_str::<QueryCounts>(&json).unwrap(), counts);
+        let dist = PartialDistribution {
+            ones: vec![1, 2, 3, 4],
+            population: 10,
+        };
+        let json = serde_json::to_string(&dist).unwrap();
+        assert_eq!(
+            serde_json::from_str::<PartialDistribution>(&json).unwrap(),
+            dist
+        );
+        let shard = ShardIdentity {
+            shard_id: 2,
+            shard_count: 5,
+        };
+        assert_eq!(shard.to_string(), "2/5");
+        let json = serde_json::to_string(&shard).unwrap();
+        assert_eq!(serde_json::from_str::<ShardIdentity>(&json).unwrap(), shard);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod interval;
 pub mod linear;
 pub mod mean;
 pub mod moment;
+pub mod partial;
 pub mod product;
 pub mod sumlt;
 pub mod tree;
@@ -53,6 +54,7 @@ pub use interval::{interval_required_subsets, less_equal_query, less_than_query,
 pub use linear::{LinearQuery, LinearTerm};
 pub use mean::{mean_query, mean_required_subsets};
 pub use moment::{moment_query, variance_queries};
+pub use partial::{CountAccumulator, DistributionAccumulator, LinearAccumulator};
 pub use product::{inner_product_query, mean_square_query};
 pub use sumlt::{naive_conjunction_count, sum_less_than_pow2, sum_lt_truth, SumLtEstimate};
 pub use tree::DecisionTree;

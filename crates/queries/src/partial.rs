@@ -1,0 +1,401 @@
+//! Mergeable partial-result accumulators for sharded estimation.
+//!
+//! The conjunctive estimator is a pure counting scan: an estimate is
+//! `r' = (r̃ − p)/(1 − 2p)` with `r̃ = ones/n`, where `ones` and `n` are
+//! exact integers. Counts taken over disjoint partitions of a pool
+//! therefore sum to exactly the whole-pool counts, and one inversion via
+//! [`Estimate::from_counts`] on the merged sums reproduces the
+//! single-node answer **bit-for-bit** — no floating-point reassociation
+//! ever happens across shards.
+//!
+//! These accumulators are the merge side of that argument. A router
+//! scatter-gathers per-shard `(ones, population)` pairs, absorbs them
+//! here (any absorption order — integer addition commutes), and
+//! finishes once:
+//!
+//! * [`CountAccumulator`] — one conjunctive query;
+//! * [`DistributionAccumulator`] — all `2^k` values of one subset;
+//! * [`LinearAccumulator`] — a weighted combination of conjunctive
+//!   terms, deduplicated exactly like the engine's memoized evaluation.
+
+use crate::engine::LinearAnswer;
+use crate::linear::LinearQuery;
+use psketch_core::{ConjunctiveQuery, Error, Estimate};
+
+fn merge_err(reason: impl Into<String>) -> Error {
+    Error::Codec {
+        reason: reason.into(),
+    }
+}
+
+/// Accumulates per-shard `(ones, population)` counts for one conjunctive
+/// query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountAccumulator {
+    ones: u64,
+    population: u64,
+}
+
+impl CountAccumulator {
+    /// An empty accumulator (no shards absorbed yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one shard's counts. A shard that holds no sketches for
+    /// the subset contributes `(0, 0)` — exactly its share of the pool.
+    pub fn absorb(&mut self, ones: u64, population: u64) {
+        self.ones += ones;
+        self.population += population;
+    }
+
+    /// Total satisfying count so far.
+    #[must_use]
+    pub fn ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Total population so far.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// The Algorithm 2 inversion over the merged counts.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] if no shard contributed any records.
+    pub fn finish(&self, p: f64) -> Result<Estimate, Error> {
+        if self.population == 0 {
+            return Err(Error::EmptyDatabase);
+        }
+        Ok(Estimate::from_counts(self.ones, self.population, p))
+    }
+}
+
+/// Accumulates per-shard per-value counts for a full `2^k` distribution
+/// over one subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributionAccumulator {
+    ones: Vec<u64>,
+    population: u64,
+}
+
+impl DistributionAccumulator {
+    /// An empty accumulator for a `width`-bit subset (`2^width` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics for widths above 20 (mirrors the estimator's cap).
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width <= 20, "distribution accumulator capped at 20 bits");
+        Self {
+            ones: vec![0; 1 << width],
+            population: 0,
+        }
+    }
+
+    /// Absorbs one shard's per-value counts.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Codec`] if the shard reported a different value count
+    /// than this accumulator holds (a shard disagreeing about the subset
+    /// width must not be merged silently).
+    pub fn absorb(&mut self, ones: &[u64], population: u64) -> Result<(), Error> {
+        if ones.len() != self.ones.len() {
+            return Err(merge_err(format!(
+                "shard reported {} distribution values, expected {}",
+                ones.len(),
+                self.ones.len()
+            )));
+        }
+        for (total, part) in self.ones.iter_mut().zip(ones) {
+            *total += part;
+        }
+        self.population += population;
+        Ok(())
+    }
+
+    /// Total population so far.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.population
+    }
+
+    /// The per-value inversions over the merged counts, indexed by the
+    /// LSB-first integer encoding of the value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] if no shard contributed any records.
+    pub fn finish(&self, p: f64) -> Result<Vec<Estimate>, Error> {
+        if self.population == 0 {
+            return Err(Error::EmptyDatabase);
+        }
+        Ok(self
+            .ones
+            .iter()
+            .map(|&ones| Estimate::from_counts(ones, self.population, p))
+            .collect())
+    }
+}
+
+/// Accumulates per-shard counts for every *distinct* conjunctive term of
+/// a linear query, then evaluates the combination exactly as
+/// [`QueryEngine::linear`](crate::engine::QueryEngine::linear) would:
+/// duplicate terms share one estimate (the engine's memoization), terms
+/// are weighted in their original order, and the constant is the
+/// starting value of the accumulation.
+#[derive(Debug, Clone)]
+pub struct LinearAccumulator {
+    constant: f64,
+    /// `(coeff, index into `distinct`)` for every evaluated term, in
+    /// original term order. Zero-frequency terms (`push_zero`) are
+    /// dropped exactly as the engine drops them.
+    terms: Vec<(f64, usize)>,
+    distinct: Vec<ConjunctiveQuery>,
+    counts: Vec<CountAccumulator>,
+}
+
+impl LinearAccumulator {
+    /// Plans the accumulator for a linear query: deduplicates its
+    /// conjunctive terms (these are what each shard must count) and
+    /// records the evaluation order.
+    #[must_use]
+    pub fn for_query(lq: &LinearQuery) -> Self {
+        let mut distinct: Vec<ConjunctiveQuery> = Vec::new();
+        let mut terms = Vec::new();
+        for term in lq.terms() {
+            let Some(query) = &term.query else { continue };
+            let slot = match distinct.iter().position(|q| q == query) {
+                Some(i) => i,
+                None => {
+                    distinct.push(query.clone());
+                    distinct.len() - 1
+                }
+            };
+            terms.push((term.coeff, slot));
+        }
+        let counts = vec![CountAccumulator::new(); distinct.len()];
+        Self {
+            constant: lq.constant,
+            terms,
+            distinct,
+            counts,
+        }
+    }
+
+    /// The deduplicated conjunctive terms — the exact list of counts to
+    /// request from every shard, in this order.
+    #[must_use]
+    pub fn distinct_queries(&self) -> &[ConjunctiveQuery] {
+        &self.distinct
+    }
+
+    /// Absorbs one shard's `(ones, population)` pairs, aligned with
+    /// [`LinearAccumulator::distinct_queries`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Codec`] if the shard reported the wrong number of pairs.
+    pub fn absorb(&mut self, per_query: &[(u64, u64)]) -> Result<(), Error> {
+        if per_query.len() != self.counts.len() {
+            return Err(merge_err(format!(
+                "shard reported {} term counts, expected {}",
+                per_query.len(),
+                self.counts.len()
+            )));
+        }
+        for (acc, &(ones, population)) in self.counts.iter_mut().zip(per_query) {
+            acc.absorb(ones, population);
+        }
+        Ok(())
+    }
+
+    /// Evaluates the combination over the merged counts.
+    ///
+    /// `queries_used` is the number of distinct terms (the engine's
+    /// count of estimator invocations under memoization);
+    /// `min_sample_size` the smallest merged population among them.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDatabase`] if any term's merged population is zero
+    /// (the single-node engine would have failed the same way).
+    pub fn finish(&self, p: f64) -> Result<LinearAnswer, Error> {
+        let estimates: Vec<Estimate> = self
+            .counts
+            .iter()
+            .map(|acc| acc.finish(p))
+            .collect::<Result<_, _>>()?;
+        let mut value = self.constant;
+        let mut min_sample = usize::MAX;
+        for &(coeff, slot) in &self.terms {
+            value += coeff * estimates[slot].fraction;
+            min_sample = min_sample.min(estimates[slot].sample_size);
+        }
+        Ok(LinearAnswer {
+            value,
+            queries_used: self.distinct.len(),
+            min_sample_size: if self.terms.is_empty() { 0 } else { min_sample },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use psketch_core::{BitString, BitSubset, Profile, SketchDb, SketchParams, Sketcher, UserId};
+    use psketch_prf::{GlobalKey, Prg};
+    use rand::SeedableRng;
+
+    fn params(p: f64) -> SketchParams {
+        SketchParams::with_sip(p, 10, GlobalKey::from_seed(33)).unwrap()
+    }
+
+    /// One pool plus a 3-way partition of the same records.
+    fn whole_and_shards(p: f64, m: u64) -> (SketchDb, Vec<SketchDb>, BitSubset) {
+        let params = params(p);
+        let sketcher = Sketcher::new(params);
+        let subset = BitSubset::range(0, 3);
+        let whole = SketchDb::new();
+        let shards: Vec<SketchDb> = (0..3).map(|_| SketchDb::new()).collect();
+        let mut rng = Prg::seed_from_u64(44);
+        for i in 0..m {
+            let profile = Profile::from_bits(&[i % 2 == 0, i % 3 == 0, i % 7 == 0]);
+            let s = sketcher
+                .sketch(UserId(i), &profile, &subset, &mut rng)
+                .unwrap();
+            whole.insert(subset.clone(), UserId(i), s);
+            // Deliberately uneven split.
+            shards[(i % 5).min(2) as usize].insert(subset.clone(), UserId(i), s);
+        }
+        (whole, shards, subset)
+    }
+
+    #[test]
+    fn merged_conjunctive_matches_whole_pool_bitwise() {
+        let p = 0.3;
+        let (whole, shards, subset) = whole_and_shards(p, 2_000);
+        let est = psketch_core::ConjunctiveEstimator::new(params(p));
+        for value in 0..8u64 {
+            let q = ConjunctiveQuery::new(subset.clone(), BitString::from_u64(value, 3)).unwrap();
+            let mut acc = CountAccumulator::new();
+            for shard in &shards {
+                let (ones, n) = est.count(shard, &q).unwrap();
+                acc.absorb(ones, n);
+            }
+            let merged = acc.finish(p).unwrap();
+            let single = est.estimate(&whole, &q).unwrap();
+            assert_eq!(merged.fraction.to_bits(), single.fraction.to_bits());
+            assert_eq!(merged.raw.to_bits(), single.raw.to_bits());
+            assert_eq!(merged.sample_size, single.sample_size);
+        }
+    }
+
+    #[test]
+    fn merged_distribution_matches_whole_pool_bitwise() {
+        let p = 0.25;
+        let (whole, shards, subset) = whole_and_shards(p, 1_500);
+        let est = psketch_core::ConjunctiveEstimator::new(params(p));
+        let mut acc = DistributionAccumulator::new(subset.len());
+        for shard in &shards {
+            let (ones, n) = est.count_distribution(shard, &subset).unwrap();
+            acc.absorb(&ones, n).unwrap();
+        }
+        let merged = acc.finish(p).unwrap();
+        let single = est.estimate_distribution(&whole, &subset).unwrap();
+        assert_eq!(merged.len(), single.len());
+        for (m, s) in merged.iter().zip(&single) {
+            assert_eq!(m.fraction.to_bits(), s.fraction.to_bits());
+        }
+    }
+
+    #[test]
+    fn merged_linear_matches_engine_bitwise() {
+        let p = 0.3;
+        let (whole, shards, subset) = whole_and_shards(p, 1_800);
+        let est = psketch_core::ConjunctiveEstimator::new(params(p));
+        let engine = QueryEngine::new(params(p));
+
+        let q1 = ConjunctiveQuery::new(subset.clone(), BitString::from_u64(5, 3)).unwrap();
+        let q2 = ConjunctiveQuery::new(subset.clone(), BitString::from_u64(2, 3)).unwrap();
+        let mut lq = LinearQuery::new("merged linear");
+        lq.constant = 0.75;
+        lq.push(2.0, q1.clone());
+        lq.push(-0.5, q2);
+        lq.push(3.0, q1); // duplicate: must be memoized, not double-counted
+        lq.push_zero(10.0);
+
+        let mut acc = LinearAccumulator::for_query(&lq);
+        assert_eq!(acc.distinct_queries().len(), 2);
+        for shard in &shards {
+            let counts: Vec<(u64, u64)> = acc
+                .distinct_queries()
+                .iter()
+                .map(|q| est.count(shard, q).unwrap())
+                .collect();
+            acc.absorb(&counts).unwrap();
+        }
+        let merged = acc.finish(p).unwrap();
+        let single = engine.linear(&whole, &lq).unwrap();
+        assert_eq!(merged.value.to_bits(), single.value.to_bits());
+        assert_eq!(merged.queries_used, single.queries_used);
+        assert_eq!(merged.min_sample_size, single.min_sample_size);
+    }
+
+    #[test]
+    fn empty_merges_are_rejected() {
+        assert!(matches!(
+            CountAccumulator::new().finish(0.3),
+            Err(Error::EmptyDatabase)
+        ));
+        assert!(matches!(
+            DistributionAccumulator::new(2).finish(0.3),
+            Err(Error::EmptyDatabase)
+        ));
+        let lq = LinearQuery::new("empty");
+        // No terms: the value is just the constant, population 0 is fine.
+        let acc = LinearAccumulator::for_query(&lq);
+        let ans = acc.finish(0.3).unwrap();
+        assert_eq!(ans.value, 0.0);
+        assert_eq!(ans.min_sample_size, 0);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let mut acc = DistributionAccumulator::new(2);
+        assert!(acc.absorb(&[1, 2, 3], 10).is_err());
+        let q = ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true])).unwrap();
+        let mut lq = LinearQuery::new("one term");
+        lq.push(1.0, q);
+        let mut acc = LinearAccumulator::for_query(&lq);
+        assert!(acc.absorb(&[(1, 2), (3, 4)]).is_err());
+        assert!(acc.absorb(&[(1, 2)]).is_ok());
+    }
+
+    #[test]
+    fn zero_count_shards_do_not_change_the_answer() {
+        // A shard with no sketches for the subset reports (0, 0); merging
+        // it is a no-op.
+        let p = 0.3;
+        let (whole, shards, subset) = whole_and_shards(p, 600);
+        let est = psketch_core::ConjunctiveEstimator::new(params(p));
+        let q = ConjunctiveQuery::new(subset, BitString::from_u64(7, 3)).unwrap();
+        let mut acc = CountAccumulator::new();
+        acc.absorb(0, 0);
+        for shard in &shards {
+            let (ones, n) = est.count(shard, &q).unwrap();
+            acc.absorb(ones, n);
+        }
+        acc.absorb(0, 0);
+        let merged = acc.finish(p).unwrap();
+        let single = est.estimate(&whole, &q).unwrap();
+        assert_eq!(merged.fraction.to_bits(), single.fraction.to_bits());
+    }
+}

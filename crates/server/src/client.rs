@@ -7,9 +7,11 @@
 //! query with [`Client::conjunctive`], [`Client::distribution`] and
 //! [`Client::linear`].
 
-use crate::wire::{self, LinearTermWire, Request, Response};
+use crate::wire::{self, ConjunctiveWire, LinearTermWire, Request, Response, ServerStats};
 use psketch_core::{BitString, BitSubset, Estimate};
-use psketch_protocol::{Announcement, CoordinatorStats, Submission};
+use psketch_protocol::{
+    Announcement, CoordinatorStats, PartialDistribution, QueryCounts, ShardIdentity, Submission,
+};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -256,6 +258,71 @@ impl Client {
     pub fn ping(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Ping)? {
             Response::Pong => Ok(()),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Connection handshake: declares the analyst identity this
+    /// connection acts for (budget accounting) and returns the server's
+    /// shard identity (`None` for a standalone server).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn hello(&mut self, analyst: u64) -> Result<Option<ShardIdentity>, ClientError> {
+        match self.request(&Request::Hello { analyst })? {
+            Response::Hello { shard } => Ok(shard),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Fetches raw `(ones, population)` satisfying counts for a batch of
+    /// conjunctive queries — the scatter half of a router's
+    /// scatter-gather. A shard holding no sketches for a queried subset
+    /// reports `(0, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn partial_counts(
+        &mut self,
+        queries: Vec<(BitSubset, BitString)>,
+    ) -> Result<Vec<QueryCounts>, ClientError> {
+        let queries = queries
+            .into_iter()
+            .map(|(subset, value)| ConjunctiveWire { subset, value })
+            .collect();
+        match self.request(&Request::PartialCounts { queries })? {
+            Response::PartialCounts(counts) => Ok(counts),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Fetches raw per-value satisfying counts for one subset's full
+    /// `2^k` distribution.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn partial_distribution(
+        &mut self,
+        subset: BitSubset,
+    ) -> Result<PartialDistribution, ClientError> {
+        match self.request(&Request::PartialDistribution { subset })? {
+            Response::PartialDistribution(partial) => Ok(partial),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Fetches server-level observability counters (uptime, per-frame
+    /// request counts).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn server_stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::ServerStats)? {
+            Response::ServerStats(stats) => Ok(stats),
             other => Self::unexpected(&other),
         }
     }

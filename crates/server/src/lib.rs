@@ -34,4 +34,6 @@ pub mod wire;
 pub use client::{Client, ClientError, SubmitAck};
 pub use server::{ServeError, Server, ServerConfig};
 pub use wal::{Wal, WalConfig, WalError};
-pub use wire::{Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use wire::{
+    ConjunctiveWire, Request, Response, ServerStats, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};

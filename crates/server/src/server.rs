@@ -15,15 +15,18 @@
 use crate::wal::{Wal, WalConfig, WalError};
 use crate::wire::{self, codes, EstimateWire, Request, Response, PROTOCOL_VERSION};
 use parking_lot::Mutex;
-use psketch_core::{ConjunctiveQuery, Error};
-use psketch_protocol::{Announcement, Coordinator};
+use psketch_core::{ConjunctiveQuery, Error, PrivacyAccountant};
+use psketch_protocol::{
+    Announcement, Coordinator, PartialDistribution, QueryCounts, ShardIdentity,
+};
 use psketch_queries::{LinearQuery, QueryEngine};
+use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Distribution queries wider than this are refused: the response holds
 /// `2^k` estimates and must fit comfortably in one frame.
@@ -39,6 +42,16 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Durability: `Some` opens (or recovers) a WAL-backed store.
     pub wal: Option<WalConfig>,
+    /// This node's place in a sharded deployment, reported in the hello
+    /// handshake so routers can verify their shard map. `None` for a
+    /// standalone server.
+    pub shard: Option<ShardIdentity>,
+    /// Per-analyst ε-budget enforced at the query boundary (Corollary
+    /// 3.4 accounting): each conjunctive estimate served charges one
+    /// release at the announcement's bias, and an analyst whose spend
+    /// would exceed the budget gets a [`codes::BUDGET`] error frame.
+    /// `None` disables accounting.
+    pub analyst_budget: Option<f64>,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +59,8 @@ impl Default for ServerConfig {
         Self {
             workers: 8,
             wal: None,
+            shard: None,
+            analyst_budget: None,
         }
     }
 }
@@ -62,6 +77,10 @@ pub enum ServeError {
     /// The WAL store was created under a different announcement than
     /// the one passed in (refusing to mix pools).
     AnnouncementMismatch,
+    /// The configured analyst budget is not a positive finite ε.
+    InvalidBudget(f64),
+    /// The configured shard identity is not a valid `id < count`.
+    InvalidShard(ShardIdentity),
 }
 
 impl std::fmt::Display for ServeError {
@@ -75,6 +94,12 @@ impl std::fmt::Display for ServeError {
                 "store was initialized with a different announcement; \
                  refusing to mix sketch pools"
             ),
+            Self::InvalidBudget(eps) => {
+                write!(f, "analyst budget {eps} must be a positive finite epsilon")
+            }
+            Self::InvalidShard(identity) => {
+                write!(f, "shard identity {identity} must satisfy id < count")
+            }
         }
     }
 }
@@ -93,6 +118,73 @@ impl From<WalError> for ServeError {
     }
 }
 
+/// Per-analyst ε ledgers (Corollary 3.4 accounting at the service
+/// boundary). Every conjunctive estimate the server computes on an
+/// analyst's behalf is one "release" at the announcement's bias; the
+/// multiplicative ratio bound is tracked by [`PrivacyAccountant`] and a
+/// charge that would exceed the budget is refused *before* the scan.
+struct BudgetBook {
+    epsilon: f64,
+    p: f64,
+    ledgers: Mutex<HashMap<u64, PrivacyAccountant>>,
+}
+
+impl BudgetBook {
+    fn charge(&self, analyst: u64, estimates: u32) -> Result<(), Error> {
+        let mut ledgers = self.ledgers.lock();
+        let account = ledgers
+            .entry(analyst)
+            .or_insert_with(|| PrivacyAccountant::new(self.p, self.epsilon));
+        account.charge(estimates)
+    }
+}
+
+/// Lock-free per-request-kind counters (the `ServerStats` surface).
+struct FrameCounters {
+    /// Indexed by request kind byte − 1.
+    kinds: [AtomicU64; wire::MAX_REQUEST_KIND as usize],
+    /// Frames whose kind could not be trusted (decode failures).
+    malformed: AtomicU64,
+}
+
+impl FrameCounters {
+    fn new() -> Self {
+        Self {
+            kinds: std::array::from_fn(|_| AtomicU64::new(0)),
+            malformed: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, kind: u8) {
+        if (1..=wire::MAX_REQUEST_KIND).contains(&kind) {
+            self.kinds[kind as usize - 1].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.malformed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, uptime: Duration) -> wire::ServerStats {
+        let frames = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, counter)| {
+                let count = counter.load(Ordering::Relaxed);
+                (count > 0).then_some((i as u8 + 1, count))
+            })
+            .collect();
+        wire::ServerStats {
+            uptime_secs: uptime.as_secs(),
+            frames,
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shared service state: the live pool plus the query engine and the
 /// (optional) durability layer.
 struct ServiceState {
@@ -103,6 +195,22 @@ struct ServiceState {
     /// skips the lock entirely: `accept_batch` is internally
     /// synchronized, so concurrent batches then decode in parallel.
     wal: Option<Mutex<Wal>>,
+    /// This node's shard identity (hello handshake).
+    shard: Option<ShardIdentity>,
+    /// Per-analyst ε accounting; `None` disables it.
+    budget: Option<BudgetBook>,
+    /// Server start time (uptime reporting).
+    started: Instant,
+    /// Per-frame-kind request counters.
+    frames: FrameCounters,
+}
+
+/// Per-connection protocol state, established by the hello handshake.
+#[derive(Default)]
+struct ConnState {
+    /// The analyst this connection acts for; 0 (anonymous) until a
+    /// [`Request::Hello`] declares otherwise.
+    analyst: u64,
 }
 
 /// A running sketch-pool server. Dropping it (or calling
@@ -144,6 +252,17 @@ impl Server {
         config: ServerConfig,
     ) -> Result<Self, ServeError> {
         let params = announcement.validate().map_err(ServeError::Params)?;
+        let announcement_p = announcement.p;
+        if let Some(eps) = config.analyst_budget {
+            if !(eps.is_finite() && eps > 0.0) {
+                return Err(ServeError::InvalidBudget(eps));
+            }
+        }
+        if let Some(identity) = config.shard {
+            if identity.shard_id >= identity.shard_count {
+                return Err(ServeError::InvalidShard(identity));
+            }
+        }
         let (wal, coordinator) = match &config.wal {
             Some(wal_config) => {
                 let (mut wal, recovered) = Wal::open(wal_config)?;
@@ -167,6 +286,14 @@ impl Server {
             coordinator,
             engine: QueryEngine::new(params),
             wal: wal.map(Mutex::new),
+            shard: config.shard,
+            budget: config.analyst_budget.map(|epsilon| BudgetBook {
+                epsilon,
+                p: announcement_p,
+                ledgers: Mutex::new(HashMap::new()),
+            }),
+            started: Instant::now(),
+            frames: FrameCounters::new(),
         });
 
         let listener = TcpListener::bind(addr)?;
@@ -290,6 +417,7 @@ fn serve_connection(
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_TICK))?;
+    let mut conn = ConnState::default();
     loop {
         let Some(len) = read_len_prefix(&mut stream, shutdown)? else {
             return Ok(()); // peer hung up between frames, or shutdown
@@ -297,6 +425,7 @@ fn serve_connection(
         if len as usize > wire::MAX_FRAME_BYTES {
             // Unrecoverable: the stream position is ahead of a payload
             // we refuse to read, so answer and hang up.
+            state.frames.record_malformed();
             let resp = Response::Error {
                 code: codes::MALFORMED,
                 message: format!("declared frame length {len} exceeds limit"),
@@ -306,7 +435,7 @@ fn serve_connection(
         }
         let mut payload = vec![0u8; len as usize];
         read_exact_patient(&mut stream, &mut payload, shutdown)?;
-        let response = handle_frame(state, &payload);
+        let response = handle_frame(state, &mut conn, &payload);
         wire::write_frame(&mut stream, &response.encode())?;
     }
 }
@@ -389,17 +518,31 @@ fn query_error(e: &Error) -> Response {
     }
 }
 
+/// Maps a budget charge outcome to an error frame, if over budget.
+fn charge_budget(state: &ServiceState, conn: &ConnState, estimates: u32) -> Option<Response> {
+    let book = state.budget.as_ref()?;
+    match book.charge(conn.analyst, estimates) {
+        Ok(()) => None,
+        Err(e) => Some(Response::Error {
+            code: codes::BUDGET,
+            message: format!("analyst {}: {e}", conn.analyst),
+        }),
+    }
+}
+
 /// Decodes and dispatches one frame. Never panics on client input; all
 /// failures become error frames.
-fn handle_frame(state: &ServiceState, payload: &[u8]) -> Response {
+fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> Response {
     match wire::frame_version(payload) {
         Ok(v) if v != PROTOCOL_VERSION => {
+            state.frames.record_malformed();
             return Response::Error {
                 code: codes::UNSUPPORTED_VERSION,
                 message: format!("server speaks protocol {PROTOCOL_VERSION}, frame declares {v}"),
             };
         }
         Err(e) => {
+            state.frames.record_malformed();
             return Response::Error {
                 code: codes::MALFORMED,
                 message: e.to_string(),
@@ -410,16 +553,20 @@ fn handle_frame(state: &ServiceState, payload: &[u8]) -> Response {
     let request = match Request::decode(payload) {
         Ok(r) => r,
         Err(e) => {
+            state.frames.record_malformed();
             return Response::Error {
                 code: codes::MALFORMED,
                 message: e.to_string(),
             };
         }
     };
-    handle_request(state, request)
+    // The kind byte is trusted only after a full decode succeeded.
+    state.frames.record(payload[1]);
+    handle_request(state, conn, request)
 }
 
-fn handle_request(state: &ServiceState, request: Request) -> Response {
+#[allow(clippy::too_many_lines)]
+fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) -> Response {
     match request {
         Request::FetchAnnouncement => {
             Response::Announcement(state.coordinator.announcement().clone())
@@ -430,6 +577,9 @@ fn handle_request(state: &ServiceState, request: Request) -> Response {
                 Ok(q) => q,
                 Err(e) => return query_error(&e),
             };
+            if let Some(refusal) = charge_budget(state, conn, 1) {
+                return refusal;
+            }
             match state
                 .engine
                 .estimator()
@@ -448,6 +598,9 @@ fn handle_request(state: &ServiceState, request: Request) -> Response {
                         subset.len()
                     ),
                 };
+            }
+            if let Some(refusal) = charge_budget(state, conn, 1u32 << subset.len()) {
+                return refusal;
             }
             match state
                 .engine
@@ -468,6 +621,14 @@ fn handle_request(state: &ServiceState, request: Request) -> Response {
                 };
                 lq.push(term.coeff, query);
             }
+            // Memoized evaluation scans each distinct term once; that is
+            // also what the analyst is charged for.
+            let distinct: std::collections::HashSet<&ConjunctiveQuery> =
+                lq.terms().iter().filter_map(|t| t.query.as_ref()).collect();
+            let distinct = u32::try_from(distinct.len()).unwrap_or(u32::MAX);
+            if let Some(refusal) = charge_budget(state, conn, distinct) {
+                return refusal;
+            }
             match state.engine.linear(state.coordinator.pool(), &lq) {
                 Ok(a) => Response::Linear {
                     value: a.value,
@@ -479,6 +640,74 @@ fn handle_request(state: &ServiceState, request: Request) -> Response {
         }
         Request::Stats => Response::Stats(state.coordinator.stats()),
         Request::Ping => Response::Pong,
+        Request::Hello { analyst } => {
+            conn.analyst = analyst;
+            Response::Hello { shard: state.shard }
+        }
+        Request::PartialCounts { queries } => {
+            // Validate every query before charging: a malformed batch
+            // must cost nothing (mirrors the Conjunctive arm's
+            // validate-then-charge order).
+            let mut parsed = Vec::with_capacity(queries.len());
+            for q in queries {
+                match ConjunctiveQuery::new(q.subset, q.value) {
+                    Ok(query) => parsed.push(query),
+                    Err(e) => return query_error(&e),
+                }
+            }
+            let charge = u32::try_from(parsed.len()).unwrap_or(u32::MAX);
+            if let Some(refusal) = charge_budget(state, conn, charge) {
+                return refusal;
+            }
+            let estimator = state.engine.estimator();
+            let mut counts = Vec::with_capacity(parsed.len());
+            for query in &parsed {
+                match estimator.count(state.coordinator.pool(), query) {
+                    Ok((ones, population)) => counts.push(QueryCounts { ones, population }),
+                    // This shard simply holds no records for the subset:
+                    // its share of the pool is empty, which merges as a
+                    // no-op instead of failing the whole scatter.
+                    Err(Error::UnknownSubset { .. } | Error::EmptyDatabase) => {
+                        counts.push(QueryCounts::default());
+                    }
+                    Err(e) => return query_error(&e),
+                }
+            }
+            Response::PartialCounts(counts)
+        }
+        Request::PartialDistribution { subset } => {
+            if subset.len() > MAX_DISTRIBUTION_WIDTH {
+                return Response::Error {
+                    code: codes::BAD_REQUEST,
+                    message: format!(
+                        "distribution width {} exceeds server cap {MAX_DISTRIBUTION_WIDTH}",
+                        subset.len()
+                    ),
+                };
+            }
+            if let Some(refusal) = charge_budget(state, conn, 1u32 << subset.len()) {
+                return refusal;
+            }
+            match state
+                .engine
+                .estimator()
+                .count_distribution(state.coordinator.pool(), &subset)
+            {
+                Ok((ones, population)) => {
+                    Response::PartialDistribution(PartialDistribution { ones, population })
+                }
+                Err(Error::UnknownSubset { .. } | Error::EmptyDatabase) => {
+                    Response::PartialDistribution(PartialDistribution {
+                        ones: vec![0; 1 << subset.len()],
+                        population: 0,
+                    })
+                }
+                Err(e) => query_error(&e),
+            }
+        }
+        Request::ServerStats => {
+            Response::ServerStats(state.frames.snapshot(state.started.elapsed()))
+        }
     }
 }
 

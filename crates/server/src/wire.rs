@@ -24,11 +24,21 @@
 //! [`codes::UNSUPPORTED_VERSION`] without guessing at its body layout.
 
 use psketch_core::{BitString, BitSubset, Error, Estimate, UserId};
-use psketch_protocol::{Announcement, CoordinatorStats, Submission};
+use psketch_protocol::{
+    Announcement, CoordinatorStats, PartialDistribution, QueryCounts, ShardIdentity, Submission,
+};
 use std::io::{self, Read, Write};
 
 /// Current protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history:
+/// * 1 — the original single-node protocol (announcement, submit,
+///   conjunctive/distribution/linear estimates, stats, ping).
+/// * 2 — the cluster revision: hello handshake (analyst identity +
+///   shard identity), partial-count query frames for scatter-gather
+///   routers, server stats (uptime + per-frame-kind counters), and the
+///   budget-exhausted error code.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame payload; larger length prefixes are treated
 /// as malformed (they are far more likely garbage or abuse than a real
@@ -50,6 +60,12 @@ pub mod codes {
     pub const BAD_REQUEST: u16 = 4;
     /// The server failed internally.
     pub const INTERNAL: u16 = 5;
+    /// The analyst's ε-budget is exhausted (Corollary 3.4 accounting at
+    /// the service boundary); the query was refused before evaluation.
+    pub const BUDGET: u16 = 6;
+    /// The connection handshake declared a shard identity the server
+    /// does not hold (a misrouted connection in a sharded deployment).
+    pub const WRONG_SHARD: u16 = 7;
 }
 
 // Message kind bytes. Requests use the low range, responses the high
@@ -61,6 +77,10 @@ const REQ_DISTRIBUTION: u8 = 0x04;
 const REQ_LINEAR: u8 = 0x05;
 const REQ_STATS: u8 = 0x06;
 const REQ_PING: u8 = 0x07;
+const REQ_HELLO: u8 = 0x08;
+const REQ_PARTIAL_COUNTS: u8 = 0x09;
+const REQ_PARTIAL_DISTRIBUTION: u8 = 0x0A;
+const REQ_SERVER_STATS: u8 = 0x0B;
 const RESP_ANNOUNCEMENT: u8 = 0x81;
 const RESP_SUBMIT_ACK: u8 = 0x82;
 const RESP_ESTIMATE: u8 = 0x83;
@@ -68,7 +88,74 @@ const RESP_DISTRIBUTION: u8 = 0x84;
 const RESP_LINEAR: u8 = 0x85;
 const RESP_STATS: u8 = 0x86;
 const RESP_PONG: u8 = 0x87;
+const RESP_HELLO: u8 = 0x88;
+const RESP_PARTIAL_COUNTS: u8 = 0x89;
+const RESP_PARTIAL_DISTRIBUTION: u8 = 0x8A;
+const RESP_SERVER_STATS: u8 = 0x8B;
 const RESP_ERROR: u8 = 0xFF;
+
+/// Highest request kind byte (the server keeps one per-kind request
+/// counter for each of `0x01..=MAX_REQUEST_KIND`).
+pub const MAX_REQUEST_KIND: u8 = REQ_SERVER_STATS;
+
+/// Human-readable name of a request kind byte (for stats display).
+#[must_use]
+pub fn request_kind_name(kind: u8) -> Option<&'static str> {
+    Some(match kind {
+        REQ_ANNOUNCEMENT => "announcement",
+        REQ_SUBMIT => "submit",
+        REQ_CONJUNCTIVE => "conjunctive",
+        REQ_DISTRIBUTION => "distribution",
+        REQ_LINEAR => "linear",
+        REQ_STATS => "stats",
+        REQ_PING => "ping",
+        REQ_HELLO => "hello",
+        REQ_PARTIAL_COUNTS => "partial-counts",
+        REQ_PARTIAL_DISTRIBUTION => "partial-distribution",
+        REQ_SERVER_STATS => "server-stats",
+        _ => return None,
+    })
+}
+
+/// One `(B, v)` conjunctive query of a wire-level partial-counts batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConjunctiveWire {
+    /// The queried subset.
+    pub subset: BitSubset,
+    /// The queried value (same width as `subset`).
+    pub value: BitString,
+}
+
+/// Server-level observability counters: process uptime plus one request
+/// counter per frame kind (malformed frames land in the dedicated
+/// `malformed` bucket because they have no trustworthy kind byte).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// `(request kind byte, requests served)` pairs, ascending by kind,
+    /// zero-count kinds omitted.
+    pub frames: Vec<(u8, u64)>,
+    /// Frames that could not be decoded (no kind attributable).
+    pub malformed: u64,
+}
+
+impl ServerStats {
+    /// Total well-formed requests served across all kinds.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.frames.iter().map(|&(_, count)| count).sum()
+    }
+
+    /// The count for one request kind.
+    #[must_use]
+    pub fn count_for(&self, kind: u8) -> u64 {
+        self.frames
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map_or(0, |&(_, count)| count)
+    }
+}
 
 /// One weighted conjunctive term of a wire-level linear query.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +198,27 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Connection handshake: declares the analyst identity for budget
+    /// accounting and asks the server for its shard identity.
+    Hello {
+        /// The analyst this connection acts for (0 = anonymous).
+        analyst: u64,
+    },
+    /// Raw satisfying counts for a batch of conjunctive queries — the
+    /// scatter half of a router's scatter-gather. One batch answers a
+    /// whole linear query's distinct terms in one round trip.
+    PartialCounts {
+        /// The queries to count, answered positionally.
+        queries: Vec<ConjunctiveWire>,
+    },
+    /// Raw per-value satisfying counts for one subset's distribution.
+    PartialDistribution {
+        /// The queried subset.
+        subset: BitSubset,
+    },
+    /// Fetch server-level observability counters (uptime, per-frame-kind
+    /// request counts).
+    ServerStats,
 }
 
 /// A wire-level estimate (mirrors [`psketch_core::Estimate`]).
@@ -178,6 +286,19 @@ pub enum Response {
     Stats(CoordinatorStats),
     /// Answer to a [`Request::Ping`].
     Pong,
+    /// Answer to a [`Request::Hello`]: the server's shard identity, if
+    /// it is part of a sharded deployment.
+    Hello {
+        /// `None` for a standalone (unsharded) server.
+        shard: Option<ShardIdentity>,
+    },
+    /// Answer to a [`Request::PartialCounts`], aligned positionally with
+    /// the request's queries.
+    PartialCounts(Vec<QueryCounts>),
+    /// Answer to a [`Request::PartialDistribution`].
+    PartialDistribution(PartialDistribution),
+    /// Answer to a [`Request::ServerStats`].
+    ServerStats(ServerStats),
     /// The request failed; see [`codes`].
     Error {
         /// Machine-readable error code.
@@ -499,6 +620,26 @@ impl Request {
             }
             Self::Stats => payload(REQ_STATS),
             Self::Ping => payload(REQ_PING),
+            Self::Hello { analyst } => {
+                let mut buf = payload(REQ_HELLO);
+                put_u64(&mut buf, *analyst);
+                buf
+            }
+            Self::PartialCounts { queries } => {
+                let mut buf = payload(REQ_PARTIAL_COUNTS);
+                put_len(&mut buf, queries.len());
+                for q in queries {
+                    put_subset(&mut buf, &q.subset);
+                    put_bitstring(&mut buf, &q.value);
+                }
+                buf
+            }
+            Self::PartialDistribution { subset } => {
+                let mut buf = payload(REQ_PARTIAL_DISTRIBUTION);
+                put_subset(&mut buf, subset);
+                buf
+            }
+            Self::ServerStats => payload(REQ_SERVER_STATS),
         }
     }
 
@@ -540,6 +681,24 @@ impl Request {
             }
             REQ_STATS => Self::Stats,
             REQ_PING => Self::Ping,
+            REQ_HELLO => Self::Hello {
+                analyst: dec.u64()?,
+            },
+            REQ_PARTIAL_COUNTS => {
+                let n = dec.count(8)?;
+                let mut queries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    queries.push(ConjunctiveWire {
+                        subset: get_subset(&mut dec)?,
+                        value: get_bitstring(&mut dec)?,
+                    });
+                }
+                Self::PartialCounts { queries }
+            }
+            REQ_PARTIAL_DISTRIBUTION => Self::PartialDistribution {
+                subset: get_subset(&mut dec)?,
+            },
+            REQ_SERVER_STATS => Self::ServerStats,
             other => return Err(codec_err(format!("unknown request kind {other:#04x}"))),
         };
         dec.finish()?;
@@ -596,6 +755,47 @@ impl Response {
                 buf
             }
             Self::Pong => payload(RESP_PONG),
+            Self::Hello { shard } => {
+                let mut buf = payload(RESP_HELLO);
+                match shard {
+                    None => buf.push(0),
+                    Some(identity) => {
+                        buf.push(1);
+                        put_u32(&mut buf, identity.shard_id);
+                        put_u32(&mut buf, identity.shard_count);
+                    }
+                }
+                buf
+            }
+            Self::PartialCounts(counts) => {
+                let mut buf = payload(RESP_PARTIAL_COUNTS);
+                put_len(&mut buf, counts.len());
+                for c in counts {
+                    put_u64(&mut buf, c.ones);
+                    put_u64(&mut buf, c.population);
+                }
+                buf
+            }
+            Self::PartialDistribution(partial) => {
+                let mut buf = payload(RESP_PARTIAL_DISTRIBUTION);
+                put_len(&mut buf, partial.ones.len());
+                for &ones in &partial.ones {
+                    put_u64(&mut buf, ones);
+                }
+                put_u64(&mut buf, partial.population);
+                buf
+            }
+            Self::ServerStats(stats) => {
+                let mut buf = payload(RESP_SERVER_STATS);
+                put_u64(&mut buf, stats.uptime_secs);
+                put_len(&mut buf, stats.frames.len());
+                for &(kind, count) in &stats.frames {
+                    buf.push(kind);
+                    put_u64(&mut buf, count);
+                }
+                put_u64(&mut buf, stats.malformed);
+                buf
+            }
             Self::Error { code, message } => {
                 let mut buf = payload(RESP_ERROR);
                 put_u16(&mut buf, *code);
@@ -645,6 +845,55 @@ impl Response {
                 records: dec.u64()?,
             }),
             RESP_PONG => Self::Pong,
+            RESP_HELLO => {
+                let shard = match dec.u8()? {
+                    0 => None,
+                    1 => Some(ShardIdentity {
+                        shard_id: dec.u32()?,
+                        shard_count: dec.u32()?,
+                    }),
+                    other => {
+                        return Err(codec_err(format!("invalid shard-presence byte {other}")));
+                    }
+                };
+                Self::Hello { shard }
+            }
+            RESP_PARTIAL_COUNTS => {
+                let n = dec.count(16)?;
+                let mut counts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    counts.push(QueryCounts {
+                        ones: dec.u64()?,
+                        population: dec.u64()?,
+                    });
+                }
+                Self::PartialCounts(counts)
+            }
+            RESP_PARTIAL_DISTRIBUTION => {
+                let n = dec.count(8)?;
+                let mut ones = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ones.push(dec.u64()?);
+                }
+                Self::PartialDistribution(PartialDistribution {
+                    ones,
+                    population: dec.u64()?,
+                })
+            }
+            RESP_SERVER_STATS => {
+                let uptime_secs = dec.u64()?;
+                let n = dec.count(9)?;
+                let mut frames = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let kind = dec.u8()?;
+                    frames.push((kind, dec.u64()?));
+                }
+                Self::ServerStats(ServerStats {
+                    uptime_secs,
+                    frames,
+                    malformed: dec.u64()?,
+                })
+            }
             RESP_ERROR => Self::Error {
                 code: dec.u16()?,
                 message: dec.string()?,
@@ -811,6 +1060,23 @@ mod tests {
         });
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Ping);
+        roundtrip_request(&Request::Hello { analyst: 99 });
+        roundtrip_request(&Request::PartialCounts {
+            queries: vec![
+                ConjunctiveWire {
+                    subset: BitSubset::new(vec![0, 3]).unwrap(),
+                    value: BitString::from_bits(&[true, false]),
+                },
+                ConjunctiveWire {
+                    subset: BitSubset::single(1),
+                    value: BitString::from_bits(&[true]),
+                },
+            ],
+        });
+        roundtrip_request(&Request::PartialDistribution {
+            subset: BitSubset::range(0, 3),
+        });
+        roundtrip_request(&Request::ServerStats);
     }
 
     #[test]
@@ -840,10 +1106,50 @@ mod tests {
             records: 4,
         }));
         roundtrip_response(&Response::Pong);
+        roundtrip_response(&Response::Hello { shard: None });
+        roundtrip_response(&Response::Hello {
+            shard: Some(ShardIdentity {
+                shard_id: 2,
+                shard_count: 5,
+            }),
+        });
+        roundtrip_response(&Response::PartialCounts(vec![
+            QueryCounts {
+                ones: 17,
+                population: 100,
+            },
+            QueryCounts {
+                ones: 0,
+                population: 0,
+            },
+        ]));
+        roundtrip_response(&Response::PartialDistribution(PartialDistribution {
+            ones: vec![1, 2, 3, 4],
+            population: 10,
+        }));
+        roundtrip_response(&Response::ServerStats(ServerStats {
+            uptime_secs: 3600,
+            frames: vec![(0x03, 12), (0x09, 4)],
+            malformed: 2,
+        }));
         roundtrip_response(&Response::Error {
             code: codes::QUERY,
             message: "no such subset".into(),
         });
+    }
+
+    #[test]
+    fn server_stats_accessors() {
+        let stats = ServerStats {
+            uptime_secs: 1,
+            frames: vec![(0x03, 12), (0x09, 4)],
+            malformed: 0,
+        };
+        assert_eq!(stats.total_requests(), 16);
+        assert_eq!(stats.count_for(0x09), 4);
+        assert_eq!(stats.count_for(0x05), 0);
+        assert_eq!(request_kind_name(0x09), Some("partial-counts"));
+        assert_eq!(request_kind_name(0x7F), None);
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn loopback_concurrent_clients_match_oracle() {
         ServerConfig {
             workers: 6,
             wal: None,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
@@ -284,6 +285,7 @@ fn server_restart_serves_identical_answers() {
     let config = || ServerConfig {
         workers: 2,
         wal: Some(WalConfig::new(&dir)),
+        ..ServerConfig::default()
     };
     let subset = BitSubset::range(0, 2);
     let value = BitString::from_bits(&[true, false]);
@@ -334,6 +336,7 @@ fn compaction_snapshot_restores_identically() {
     let config = || ServerConfig {
         workers: 2,
         wal: Some(wal_config.clone()),
+        ..ServerConfig::default()
     };
     let subset = BitSubset::range(0, 2);
     let value = BitString::from_bits(&[true, true]);
@@ -370,6 +373,7 @@ fn restart_with_different_announcement_is_refused() {
     let config = || ServerConfig {
         workers: 1,
         wal: Some(WalConfig::new(&dir)),
+        ..ServerConfig::default()
     };
     let server = Server::start("127.0.0.1:0", ann, config()).unwrap();
     server.shutdown();
@@ -483,4 +487,211 @@ fn shutdown_is_prompt_with_idle_connections() {
     server.shutdown(); // must not hang on the idle connection
     assert!(start.elapsed() < Duration::from_secs(5));
     assert!(client.ping().is_err());
+}
+
+#[test]
+fn hello_handshake_reports_shard_identity_and_partials_match_counts() {
+    use psketch_protocol::ShardIdentity;
+    let ann = announcement();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            shard: Some(ShardIdentity {
+                shard_id: 1,
+                shard_count: 3,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let subs = submissions(&ann, 0..300, 42);
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    assert_eq!(
+        client.hello(7).unwrap(),
+        Some(ShardIdentity {
+            shard_id: 1,
+            shard_count: 3
+        })
+    );
+    client.submit_batch(&subs).unwrap();
+
+    // Partial counts invert to exactly the served estimate.
+    let subset = BitSubset::range(0, 2);
+    let value = BitString::from_bits(&[true, false]);
+    let counts = client
+        .partial_counts(vec![(subset.clone(), value.clone())])
+        .unwrap();
+    assert_eq!(counts.len(), 1);
+    assert_eq!(counts[0].population, 300);
+    let served = client.conjunctive(subset.clone(), value).unwrap();
+    let inverted = psketch_core::Estimate::from_counts(counts[0].ones, counts[0].population, ann.p);
+    assert_eq!(inverted.fraction.to_bits(), served.fraction.to_bits());
+
+    // Partial distribution counts invert to the served distribution.
+    let partial = client.partial_distribution(subset.clone()).unwrap();
+    assert_eq!(partial.ones.len(), 4);
+    assert_eq!(partial.population, 300);
+    let served = client.distribution(subset.clone()).unwrap();
+    for (ones, s) in partial.ones.iter().zip(&served) {
+        let e = psketch_core::Estimate::from_counts(*ones, partial.population, ann.p);
+        assert_eq!(e.fraction.to_bits(), s.fraction.to_bits());
+    }
+
+    // An unknown subset is an *empty share*, not an error, on the
+    // partial path (a shard may simply hold none of those records).
+    let unknown = BitSubset::new(vec![40, 41]).unwrap();
+    let counts = client
+        .partial_counts(vec![(unknown.clone(), BitString::from_bits(&[true, true]))])
+        .unwrap();
+    assert_eq!((counts[0].ones, counts[0].population), (0, 0));
+    let partial = client.partial_distribution(unknown).unwrap();
+    assert_eq!(partial.population, 0);
+    assert_eq!(partial.ones, vec![0, 0, 0, 0]);
+    server.shutdown();
+}
+
+#[test]
+fn standalone_server_reports_no_shard() {
+    let ann = announcement();
+    let server = Server::start("127.0.0.1:0", ann, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    assert_eq!(client.hello(0).unwrap(), None);
+    server.shutdown();
+}
+
+#[test]
+fn analyst_budget_is_enforced_with_a_dedicated_error_frame() {
+    use psketch_server::wire::codes;
+    let ann = announcement();
+    // At p = 0.45 one estimate costs ε₁ = (11/9)⁴ − 1 ≈ 1.23 and two
+    // compose to ε₂ = (11/9)⁸ − 1 ≈ 3.98, so a budget of 3.0 affords
+    // exactly one conjunctive estimate per analyst.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            analyst_budget: Some(3.0),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let subs = submissions(&ann, 0..100, 9);
+    let mut ingest = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    ingest.submit_batch(&subs).unwrap();
+
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+
+    // Analyst 1: first query fine, second refused with the BUDGET code.
+    let mut analyst = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    analyst.hello(1).unwrap();
+    analyst.conjunctive(subset.clone(), value.clone()).unwrap();
+    match analyst.conjunctive(subset.clone(), value.clone()) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, codes::BUDGET);
+            assert!(message.contains("analyst 1"), "{message}");
+        }
+        other => panic!("expected budget refusal, got {other:?}"),
+    }
+    // The refusal is not a transport failure: the connection stays warm
+    // and budget-free requests still work.
+    analyst.ping().unwrap();
+    assert_eq!(analyst.stats().unwrap().accepted, 100);
+
+    // The ledger follows the analyst identity, not the connection: a
+    // fresh connection declaring the same analyst is still exhausted...
+    let mut same = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    same.hello(1).unwrap();
+    assert!(matches!(
+        same.conjunctive(subset.clone(), value.clone()),
+        Err(ClientError::Server { code, .. }) if code == codes::BUDGET
+    ));
+    // ...while a different analyst has their own fresh budget.
+    let mut other = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    other.hello(2).unwrap();
+    other.conjunctive(subset.clone(), value.clone()).unwrap();
+
+    // A 2-bit distribution charges 4 estimates at once: refused for a
+    // fresh analyst whose budget affords only one.
+    let mut wide = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    wide.hello(3).unwrap();
+    assert!(matches!(
+        wide.distribution(BitSubset::range(0, 2)),
+        Err(ClientError::Server { code, .. }) if code == codes::BUDGET
+    ));
+
+    // A malformed partial batch (width mismatch) is rejected *before*
+    // the charge: the analyst's budget still affords a valid query.
+    let mut careless = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    careless.hello(4).unwrap();
+    assert!(matches!(
+        careless.partial_counts(vec![(BitSubset::range(0, 2), BitString::from_bits(&[true]))]),
+        Err(ClientError::Server { code, .. }) if code == codes::QUERY
+    ));
+    careless
+        .partial_counts(vec![(subset.clone(), value.clone())])
+        .unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn server_stats_count_frames_by_kind() {
+    let ann = announcement();
+    let server = Server::start("127.0.0.1:0", ann.clone(), ServerConfig::default()).unwrap();
+    let subs = submissions(&ann, 0..50, 11);
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    client.hello(0).unwrap();
+    client.submit_batch(&subs).unwrap();
+    client.ping().unwrap();
+    client.ping().unwrap();
+    client
+        .conjunctive(BitSubset::single(0), BitString::from_bits(&[true]))
+        .unwrap();
+    let stats = client.server_stats().unwrap();
+    // Kinds: hello 0x08 ×1, submit 0x02 ×1, ping 0x07 ×2, conjunctive
+    // 0x03 ×1, server-stats 0x0B ×1 (this very request).
+    assert_eq!(stats.count_for(0x08), 1);
+    assert_eq!(stats.count_for(0x02), 1);
+    assert_eq!(stats.count_for(0x07), 2);
+    assert_eq!(stats.count_for(0x03), 1);
+    assert_eq!(stats.count_for(0x0B), 1);
+    assert_eq!(stats.malformed, 0);
+    assert_eq!(stats.total_requests(), 6);
+
+    // A second snapshot sees a monotonically increasing counter and a
+    // sane uptime.
+    let again = client.server_stats().unwrap();
+    assert_eq!(again.count_for(0x0B), 2);
+    assert!(again.uptime_secs < 3600);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_budget_and_shard_configs_are_rejected() {
+    use psketch_protocol::ShardIdentity;
+    let ann = announcement();
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        assert!(Server::start(
+            "127.0.0.1:0",
+            ann.clone(),
+            ServerConfig {
+                analyst_budget: Some(bad),
+                ..ServerConfig::default()
+            },
+        )
+        .is_err());
+    }
+    assert!(Server::start(
+        "127.0.0.1:0",
+        ann,
+        ServerConfig {
+            shard: Some(ShardIdentity {
+                shard_id: 3,
+                shard_count: 3
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .is_err());
 }
