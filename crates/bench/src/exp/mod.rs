@@ -22,6 +22,7 @@ pub mod e19_frontier;
 pub mod e20_throughput;
 pub mod e21_service;
 pub mod e22_cluster;
+pub mod e23_plans;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -127,6 +128,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Cluster: sharded scatter-gather throughput at 1/2/4 shards",
             e22_cluster::run,
         ),
+        (
+            "e23",
+            "Query plans: plan-path vs legacy-path per family, 1/2/4 shards",
+            e23_plans::run,
+        ),
     ]
 }
 
@@ -137,9 +143,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 22);
+        assert_eq!(reg.len(), 23);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
     }
 }

@@ -6,6 +6,9 @@
 
 use std::collections::BTreeMap;
 
+/// Flags that take no value (presence means `true`).
+const BOOLEAN_FLAGS: &[&str] = &["json"];
+
 /// Parsed flags: `--key value` pairs plus positional arguments.
 #[derive(Debug, Default, Clone)]
 pub struct Args {
@@ -28,19 +31,28 @@ impl std::error::Error for CliError {}
 impl Args {
     /// Parses raw arguments (without the program name).
     ///
+    /// Flags in [`BOOLEAN_FLAGS`] take no value and store `"true"`
+    /// (`--json` needs no explicit literal); every other flag requires
+    /// a following value — a forgotten value stays a fail-fast error,
+    /// never a silently-misparsed `"true"`.
+    ///
     /// # Errors
     ///
-    /// Returns an error for a `--flag` with no following value or a
-    /// repeated flag.
+    /// Returns an error for a valued `--flag` with no following value
+    /// or a repeated flag.
     pub fn parse(raw: &[String]) -> Result<Self, CliError> {
         let mut args = Self::default();
         let mut it = raw.iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| CliError(format!("--{name} requires a value")))?;
-                if args.flags.insert(name.to_string(), value.clone()).is_some() {
+                let value = if BOOLEAN_FLAGS.contains(&name) {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| CliError(format!("--{name} requires a value")))?
+                        .clone()
+                };
+                if args.flags.insert(name.to_string(), value).is_some() {
                     return Err(CliError(format!("--{name} given twice")));
                 }
             } else {
@@ -126,9 +138,21 @@ mod tests {
     }
 
     #[test]
-    fn rejects_flag_without_value_and_duplicates() {
-        assert!(parse(&["--users"]).is_err());
+    fn rejects_duplicates_and_supports_boolean_flags() {
         assert!(parse(&["--p", "0.3", "--p", "0.4"]).is_err());
+        // `--json` is a declared boolean flag and consumes no value.
+        let args = parse(&["--json", "--users", "7"]).unwrap();
+        assert!(args.get_or("json", false).unwrap());
+        assert_eq!(args.require::<u64>("users").unwrap(), 7);
+        let args = parse(&["--users", "7", "--json"]).unwrap();
+        assert!(args.get_or("json", false).unwrap());
+        let args = parse(&["--users", "7"]).unwrap();
+        assert!(!args.get_or("json", false).unwrap());
+        // Valued flags still fail fast when the value is forgotten.
+        assert!(parse(&["--users"]).is_err());
+        let e = parse(&["--wal", "--users", "100"]);
+        assert!(e.is_ok()); // "--users" becomes --wal's value…
+        assert!(e.unwrap().require::<u64>("wal").is_err()); // …and fails typed parsing
     }
 
     #[test]

@@ -16,10 +16,17 @@
 //!
 //! psketch cluster query conj --subset 0,1 --value 10 (--map|--addrs)
 //! psketch cluster query dist --subset 0,1            (--map|--addrs)
+//! psketch cluster query mean     --field 0:4         (--map|--addrs)
+//! psketch cluster query interval --field 0:4 --le 9  (--map|--addrs)
+//! psketch cluster query dnf      --clauses "0=1;1=1" (--map|--addrs)
+//! psketch cluster query tree     --tree "0?(1?1:0):0"(--map|--addrs)
+//! psketch cluster query moment   --field 0:4 --order 2
 //! psketch cluster query ping                         (--map|--addrs)
-//!     Scatter-gather analyst queries. Answers over a degraded cluster
-//!     say exactly which shards are missing instead of silently
-//!     skewing the estimate.
+//!     Scatter-gather analyst queries: every kind compiles to one
+//!     query plan and merges exact per-shard term counts (--json for
+//!     machine-readable output). Answers over a degraded cluster say
+//!     exactly which shards are missing instead of silently skewing
+//!     the estimate.
 //!
 //! psketch cluster status (--map|--addrs)
 //!     Per-shard coordinator + server counters and the exact merge.
@@ -268,22 +275,71 @@ fn submit(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `psketch cluster query <conj|dist|ping>`: scatter-gather queries.
+/// `psketch cluster query <conj|dist|mean|interval|dnf|tree|moment|ping>`:
+/// scatter-gather queries. Every kind (bar `ping`) compiles to a
+/// [`TermPlan`](psketch_queries::TermPlan) and merges exact per-shard
+/// term counts; `--json` switches to machine-readable output including
+/// the degraded-coverage fields.
 fn query(args: &Args) -> Result<(), CliError> {
     let kind = args
         .positional()
         .get(2)
         .map(String::as_str)
-        .ok_or_else(|| CliError("usage: psketch cluster query <conj|dist|ping> …".into()))?;
+        .ok_or_else(|| {
+            CliError(
+                "usage: psketch cluster query \
+                 <conj|dist|mean|interval|dnf|tree|moment|ping> …"
+                    .into(),
+            )
+        })?;
+    if crate::families::PLAN_KINDS.contains(&kind) {
+        let mut known = vec!["map", "addrs", "timeout", "retries", "analyst"];
+        known.extend_from_slice(crate::families::kind_flags(kind));
+        args.reject_unknown(&known)?;
+        let plan = crate::families::family_plan(kind, args)?;
+        let json: bool = args.get_or("json", false)?;
+        let mut router = router(args)?;
+        let answer = router.execute_plan(&plan).map_err(err)?;
+        if json {
+            println!(
+                "{}",
+                crate::families::json_cluster_plan_document(
+                    kind,
+                    &plan,
+                    &answer.outputs,
+                    &answer.coverage
+                )
+            );
+        } else {
+            println!("{} ({} plan terms)", plan.description(), plan.cost());
+            for (output, ans) in plan.outputs().iter().zip(&answer.outputs) {
+                println!(
+                    "  {}: {:.6} (terms {}, min n {})",
+                    output.label, ans.value, ans.queries_used, ans.min_sample_size
+                );
+            }
+            print_coverage(&answer.coverage);
+        }
+        return Ok(());
+    }
     match kind {
         "conj" => {
             args.reject_unknown(&[
-                "map", "addrs", "timeout", "retries", "analyst", "subset", "value",
+                "map", "addrs", "timeout", "retries", "analyst", "subset", "value", "json",
             ])?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let value = parse_value(&args.require::<String>("value")?, subset.len())?;
+            let json: bool = args.get_or("json", false)?;
             let mut router = router(args)?;
             let answer = router.conjunctive(subset, value).map_err(err)?;
+            if json {
+                println!(
+                    "{{\"query\":\"conj\",\"estimate\":{},\"coverage\":{}}}",
+                    crate::families::json_estimate(&answer.estimate),
+                    crate::families::json_coverage(&answer.coverage)
+                );
+                return Ok(());
+            }
             println!(
                 "estimate: {:.6} (raw {:.6}, n = {}, 95% +/- {:.6})",
                 answer.estimate.fraction,
@@ -294,11 +350,33 @@ fn query(args: &Args) -> Result<(), CliError> {
             print_coverage(&answer.coverage);
         }
         "dist" => {
-            args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst", "subset"])?;
+            args.reject_unknown(&[
+                "map", "addrs", "timeout", "retries", "analyst", "subset", "json",
+            ])?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let width = subset.len();
+            let json: bool = args.get_or("json", false)?;
             let mut router = router(args)?;
             let answer = router.distribution(subset).map_err(err)?;
+            if json {
+                let cells: Vec<String> = answer
+                    .estimates
+                    .iter()
+                    .enumerate()
+                    .map(|(v, est)| {
+                        format!(
+                            "{{\"value\":{v},\"estimate\":{}}}",
+                            crate::families::json_estimate(est)
+                        )
+                    })
+                    .collect();
+                println!(
+                    "{{\"query\":\"dist\",\"estimates\":[{}],\"coverage\":{}}}",
+                    cells.join(","),
+                    crate::families::json_coverage(&answer.coverage)
+                );
+                return Ok(());
+            }
             println!(
                 "{:>width$}  {:>10}  {:>8}",
                 "value",
@@ -340,7 +418,8 @@ fn query(args: &Args) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError(format!(
-                "unknown cluster query kind '{other}' (try conj, dist, ping)"
+                "unknown cluster query kind '{other}' (try conj, dist, mean, interval, dnf, \
+                 tree, moment, ping)"
             )));
         }
     }
@@ -370,14 +449,17 @@ fn status(args: &Args) -> Result<(), CliError> {
                     .collect();
                 println!(
                     "shard {} @ {}: up {}s | accepted {} | rejected {} | records {} | \
-                     {requests} requests ({})",
+                     {requests} requests ({}) | plans {} (terms scanned {}, reused {})",
                     row.shard,
                     row.addr,
                     server.uptime_secs,
                     coordinator.accepted,
                     coordinator.rejected(),
                     coordinator.records,
-                    top.join(", ")
+                    top.join(", "),
+                    server.plans.plans_executed,
+                    server.plans.terms_scanned,
+                    server.plans.terms_reused
                 );
             }
             Err(error) => {
@@ -479,6 +561,39 @@ mod tests {
         .unwrap();
         query(&parse(&[
             "cluster", "query", "dist", "--addrs", &addrs, "--subset", "0,1",
+        ]))
+        .unwrap();
+        // Plan-backed families against the live cluster.
+        query(&parse(&[
+            "cluster", "query", "mean", "--addrs", &addrs, "--field", "0:2",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "cluster", "query", "interval", "--addrs", &addrs, "--field", "0:2", "--le", "1",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "cluster",
+            "query",
+            "dnf",
+            "--addrs",
+            &addrs,
+            "--clauses",
+            "0=1;1=1",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "cluster",
+            "query",
+            "tree",
+            "--addrs",
+            &addrs,
+            "--tree",
+            "0?(1?1:0):0",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "cluster", "query", "mean", "--addrs", &addrs, "--field", "0:2", "--json",
         ]))
         .unwrap();
         query(&parse(&["cluster", "query", "ping", "--addrs", &addrs])).unwrap();

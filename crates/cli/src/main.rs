@@ -17,6 +17,7 @@
 
 mod args;
 mod cluster;
+mod families;
 mod service;
 
 use args::{Args, CliError};
@@ -81,10 +82,14 @@ fn print_help() {
     println!("  submit    simulate user agents against a running server");
     println!("            [--addr …] [--users 1000] [--seed 1] [--id-base 0] [--batch 500]");
     println!("  query     ask a running server: conj --subset 0,1 --value 10 | dist");
-    println!("            --subset 0,1 | stats | ping   (all take [--addr …] [--timeout 10])");
+    println!("            --subset 0,1 | mean --field 0:4 | interval --field 0:4");
+    println!("            (--lt C | --le C | --range LO:HI) | dnf --clauses \"0=1;1,2=10\" |");
+    println!("            tree --tree \"0?(2?1:0):1\" | moment --field 0:4 [--order 2] |");
+    println!("            stats | ping   (all take [--addr …] [--timeout 10] [--json])");
     println!("  cluster   sharded multi-node pool: serve --shards 3 [--wal-root DIR] |");
-    println!("            submit | query conj/dist/ping | status");
-    println!("            (submit/query/status take --map FILE or --addrs a,b,c)");
+    println!("            submit | query conj/dist/mean/interval/dnf/tree/moment/ping |");
+    println!("            status   (submit/query/status take --map FILE or --addrs a,b,c;");
+    println!("            query kinds accept the same family flags and --json as `query`)");
     println!("  help      this message");
 }
 

@@ -245,34 +245,91 @@ pub fn submit(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `psketch query <conj|dist|stats|ping>`: analyst queries.
+/// `psketch query <conj|dist|mean|interval|dnf|tree|moment|stats|ping>`:
+/// analyst queries. The plan-backed kinds compile to a [`TermPlan`] and
+/// execute server-side through the `Plan` frame; `--json` switches every
+/// query kind to machine-readable output.
+///
+/// [`TermPlan`]: psketch_queries::TermPlan
 pub fn query(args: &Args) -> Result<(), CliError> {
     let kind = args
         .positional()
         .get(1)
         .map(String::as_str)
-        .ok_or_else(|| CliError("usage: psketch query <conj|dist|stats|ping> …".into()))?;
+        .ok_or_else(|| {
+            CliError(
+                "usage: psketch query <conj|dist|mean|interval|dnf|tree|moment|stats|ping> …"
+                    .into(),
+            )
+        })?;
+    if crate::families::PLAN_KINDS.contains(&kind) {
+        let mut known = vec!["addr", "timeout"];
+        known.extend_from_slice(crate::families::kind_flags(kind));
+        args.reject_unknown(&known)?;
+        let plan = crate::families::family_plan(kind, args)?;
+        let json: bool = args.get_or("json", false)?;
+        let mut client = connect(args)?;
+        let answers = client.execute_plan(&plan).map_err(err)?;
+        if json {
+            println!(
+                "{}",
+                crate::families::json_plan_document(kind, &plan, &answers)
+            );
+        } else {
+            println!("{} ({} plan terms)", plan.description(), plan.cost());
+            for (output, answer) in plan.outputs().iter().zip(&answers) {
+                println!(
+                    "  {}: {:.6} (terms {}, min n {})",
+                    output.label, answer.value, answer.queries_used, answer.min_sample_size
+                );
+            }
+        }
+        return Ok(());
+    }
     match kind {
         "conj" => {
-            args.reject_unknown(&["addr", "timeout", "subset", "value"])?;
+            args.reject_unknown(&["addr", "timeout", "subset", "value", "json"])?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let value = parse_value(&args.require::<String>("value")?, subset.len())?;
+            let json: bool = args.get_or("json", false)?;
             let mut client = connect(args)?;
             let est = client.conjunctive(subset, value).map_err(err)?;
-            println!(
-                "estimate: {:.6} (raw {:.6}, n = {}, 95% +/- {:.6})",
-                est.fraction,
-                est.raw,
-                est.sample_size,
-                est.half_width(0.05)
-            );
+            if json {
+                println!(
+                    "{{\"query\":\"conj\",\"estimate\":{}}}",
+                    crate::families::json_estimate(&est)
+                );
+            } else {
+                println!(
+                    "estimate: {:.6} (raw {:.6}, n = {}, 95% +/- {:.6})",
+                    est.fraction,
+                    est.raw,
+                    est.sample_size,
+                    est.half_width(0.05)
+                );
+            }
         }
         "dist" => {
-            args.reject_unknown(&["addr", "timeout", "subset"])?;
+            args.reject_unknown(&["addr", "timeout", "subset", "json"])?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let width = subset.len();
+            let json: bool = args.get_or("json", false)?;
             let mut client = connect(args)?;
             let dist = client.distribution(subset).map_err(err)?;
+            if json {
+                let cells: Vec<String> = dist
+                    .iter()
+                    .enumerate()
+                    .map(|(v, est)| {
+                        format!(
+                            "{{\"value\":{v},\"estimate\":{}}}",
+                            crate::families::json_estimate(est)
+                        )
+                    })
+                    .collect();
+                println!("{{\"query\":\"dist\",\"estimates\":[{}]}}", cells.join(","));
+                return Ok(());
+            }
             println!(
                 "{:>width$}  {:>10}  {:>8}",
                 "value",
@@ -309,7 +366,8 @@ pub fn query(args: &Args) -> Result<(), CliError> {
         }
         other => {
             return Err(CliError(format!(
-                "unknown query kind '{other}' (try conj, dist, stats, ping)"
+                "unknown query kind '{other}' (try conj, dist, mean, interval, dnf, tree, \
+                 moment, stats, ping)"
             )));
         }
     }
@@ -451,9 +509,61 @@ mod tests {
         .unwrap();
         query(&parse(&["query", "stats", "--addr", &addr])).unwrap();
         query(&parse(&["query", "ping", "--addr", &addr])).unwrap();
-        // Unknown subset → error frame → CLI error.
+        // Plan-backed families against the live server (width-2 pool:
+        // singles {0}, {1} and the pair {0,1} are sketched, which covers
+        // means, intervals, DNF and trees over those attributes).
+        query(&parse(&[
+            "query", "mean", "--addr", &addr, "--field", "0:2",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query", "interval", "--addr", &addr, "--field", "0:2", "--le", "1",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query",
+            "dnf",
+            "--addr",
+            &addr,
+            "--clauses",
+            "0=1;1=1",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query",
+            "tree",
+            "--addr",
+            &addr,
+            "--tree",
+            "0?(1?1:0):0",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query", "moment", "--addr", &addr, "--field", "0:2", "--order", "2",
+        ]))
+        .unwrap();
+        // Machine-readable output flag parses and executes.
+        query(&parse(&[
+            "query", "mean", "--addr", &addr, "--field", "0:2", "--json",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query", "conj", "--addr", &addr, "--subset", "0,1", "--value", "10", "--json",
+        ]))
+        .unwrap();
+        // Unknown subset → error frame → CLI error (direct and plan paths).
         assert!(query(&parse(&[
             "query", "conj", "--addr", &addr, "--subset", "7", "--value", "1",
+        ]))
+        .is_err());
+        assert!(query(&parse(&[
+            "query", "mean", "--addr", &addr, "--field", "5:2",
+        ]))
+        .is_err());
+        // A different family's flag on a plan kind is rejected, not
+        // silently ignored.
+        assert!(query(&parse(&[
+            "query", "mean", "--addr", &addr, "--field", "0:2", "--le", "1",
         ]))
         .is_err());
         server.shutdown();

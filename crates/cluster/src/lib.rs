@@ -10,15 +10,18 @@
 //!   by a stable public hash of the user id;
 //! * [`router`] — a [`Router`] that fans ingest out by shard and serves
 //!   analyst queries by **scatter-gather over exact partial counts**:
-//!   every shard reports integer `(ones, population)` pairs, the router
+//!   every query family compiles to a
+//!   [`TermPlan`](psketch_queries::TermPlan), every shard reports
+//!   integer `(ones, population)` pairs for the plan's deduplicated
+//!   terms through one generic `PartialTermCounts` frame, the router
 //!   sums them (integer addition — exact in any order), and the
-//!   Algorithm 2 float inversion runs once on the merged sums.
+//!   Algorithm 2 float inversion plus the plan's post-combination run
+//!   once on the merged sums.
 //!
 //! Because the conjunctive estimator is a pure counting scan, cluster
 //! answers are **bit-identical** to a single node holding the union of
 //! the records — the property tests in `tests/cluster.rs` verify this
-//! for conjunctive, distribution and linear queries over random shard
-//! splits.
+//! for every query family over random shard splits.
 //!
 //! Node failures degrade instead of skewing: an unreachable shard is
 //! retried with backoff, then reported in the answer's
@@ -34,6 +37,7 @@ pub mod shard;
 
 pub use router::{
     parallel_ingest, ClusterDistribution, ClusterError, ClusterEstimate, ClusterLinear,
-    ClusterStatus, ClusterSubmitReport, Coverage, Router, RouterConfig, ShardOutage, ShardStatus,
+    ClusterPlanAnswer, ClusterStatus, ClusterSubmitReport, Coverage, Router, RouterConfig,
+    ShardOutage, ShardStatus,
 };
 pub use shard::{splitmix64, ShardMap, ShardMapError, ShardNode};

@@ -2,21 +2,26 @@
 //!
 //! A [`Router`] owns one connection per shard (lazily opened, hello
 //! handshake verified against the [`ShardMap`]) and serves the same
-//! analyst surface a single node does — conjunctive, distribution and
-//! linear queries plus ingest and status — by **merging exact partial
-//! counts** instead of estimates:
+//! analyst surface a single node does — **any compiled
+//! [`TermPlan`]**, which covers every query family (conjunctions, DNF,
+//! intervals, means, moments, trees, histograms, linear combinations) —
+//! plus ingest and status, by **merging exact partial counts** instead
+//! of estimates:
 //!
-//! 1. every shard reports integer `(ones, population)` counts for the
-//!    query (a shard holding none of the subset's records reports
+//! 1. every shard answers one generic `PartialTermCounts` frame with
+//!    integer `(ones, population)` counts for the plan's deduplicated
+//!    terms (a shard holding none of a subset's records reports
 //!    `(0, 0)`);
-//! 2. the router sums them — integer addition, exact in any order;
-//! 3. the Algorithm 2 float inversion runs **once**, on the merged
-//!    sums, via the same [`psketch_core::Estimate::from_counts`] a
-//!    single node uses.
+//! 2. the router sums them ([`PlanAccumulator`]) — integer addition,
+//!    exact in any order;
+//! 3. the Algorithm 2 float inversion runs **once per term**, on the
+//!    merged sums, via the same [`psketch_core::Estimate::from_counts`]
+//!    a single node uses, and [`TermPlan::evaluate`] replays the
+//!    compiler's combination order.
 //!
 //! Cluster answers are therefore bit-identical to a single node holding
 //! the union of the records (the property tests in this crate pin that
-//! down).
+//! down, family by family).
 //!
 //! # Failure handling
 //!
@@ -31,11 +36,9 @@
 //! fail the whole query, because every shard would refuse identically.
 
 use crate::shard::{ShardMap, ShardMapError};
-use psketch_core::{BitString, BitSubset, Estimate};
+use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
 use psketch_protocol::{Announcement, CoordinatorStats, ShardIdentity, Submission};
-use psketch_queries::{
-    CountAccumulator, DistributionAccumulator, LinearAccumulator, LinearAnswer, LinearQuery,
-};
+use psketch_queries::{LinearAnswer, LinearQuery, PlanAccumulator, TermPlan};
 use psketch_server::{Client, ClientError, ServerStats};
 use std::time::Duration;
 
@@ -141,6 +144,21 @@ pub struct ClusterDistribution {
 pub struct ClusterLinear {
     /// The merged answer.
     pub answer: LinearAnswer,
+    /// Which shards the answer covers.
+    pub coverage: Coverage,
+}
+
+/// A cluster plan answer: one output answer per plan output plus the
+/// merged per-term estimates (each bit-identical to a single node over
+/// the responding shards' records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterPlanAnswer {
+    /// One answer per plan output, in plan order.
+    pub outputs: Vec<LinearAnswer>,
+    /// The merged estimate of every plan term, aligned with the plan's
+    /// term list (richer than the outputs: raw fractions and sample
+    /// sizes survive for single-term outputs like distributions).
+    pub term_estimates: Vec<Estimate>,
     /// Which shards the answer covers.
     pub coverage: Coverage,
 }
@@ -531,96 +549,102 @@ impl Router {
         Ok(report)
     }
 
-    /// Estimates one conjunctive frequency by merging per-shard counts.
+    /// Executes a compiled [`TermPlan`] across the cluster — the one
+    /// distributed query path every family routes through. Each shard
+    /// counts the plan's deduplicated terms in a single generic
+    /// `PartialTermCounts` round trip; the router merges the integer
+    /// counts, inverts once per term, and runs the plan's
+    /// post-combination exactly as the single-node engine would.
     ///
     /// # Errors
     ///
-    /// All-shards-down, refusals, or estimation failure (no responding
-    /// shard holds records for the subset).
-    pub fn conjunctive(
-        &mut self,
-        subset: BitSubset,
-        value: BitString,
-    ) -> Result<ClusterEstimate, ClusterError> {
+    /// All-shards-down, refusals, or estimation failure (a term whose
+    /// merged population is zero — no responding shard holds records
+    /// for its subset).
+    pub fn execute_plan(&mut self, plan: &TermPlan) -> Result<ClusterPlanAnswer, ClusterError> {
         let p = self.bias()?;
-        let (gathered, outages) =
-            self.scatter(|client| client.partial_counts(vec![(subset.clone(), value.clone())]))?;
-        let mut acc = CountAccumulator::new();
+        let terms: Vec<ConjunctiveQuery> = plan.terms().to_vec();
+        let expected = terms.len();
+        let (gathered, outages) = self.scatter(|client| client.partial_term_counts(&terms))?;
+        let mut acc = PlanAccumulator::for_plan(plan);
         let mut responding = Vec::with_capacity(gathered.len());
         for (shard, counts) in gathered {
             // A reply of the wrong shape is a protocol violation, not an
             // empty share — merging a default would silently drop the
             // shard's population from a "complete" answer.
-            let [c] = counts.as_slice() else {
+            if counts.len() != expected {
                 return Err(ClusterError::Estimation(psketch_core::Error::Codec {
                     reason: format!(
-                        "shard {shard} answered {} counts to a 1-query batch",
+                        "shard {shard} answered {} counts to a {expected}-term plan",
                         counts.len()
                     ),
                 }));
-            };
-            acc.absorb(c.ones, c.population);
-            responding.push(shard);
-        }
-        let estimate = acc.finish(p)?;
-        let coverage = self.coverage(responding, outages, acc.population());
-        Ok(ClusterEstimate { estimate, coverage })
-    }
-
-    /// Estimates a full `2^k` distribution by merging per-value counts.
-    ///
-    /// # Errors
-    ///
-    /// As [`Router::conjunctive`].
-    pub fn distribution(&mut self, subset: BitSubset) -> Result<ClusterDistribution, ClusterError> {
-        let p = self.bias()?;
-        let (gathered, outages) =
-            self.scatter(|client| client.partial_distribution(subset.clone()))?;
-        let mut acc = DistributionAccumulator::new(subset.len());
-        let mut responding = Vec::with_capacity(gathered.len());
-        for (shard, partial) in gathered {
-            acc.absorb(&partial.ones, partial.population)?;
-            responding.push(shard);
-        }
-        let estimates = acc.finish(p)?;
-        let coverage = self.coverage(responding, outages, acc.population());
-        Ok(ClusterDistribution {
-            estimates,
-            coverage,
-        })
-    }
-
-    /// Evaluates a linear query: each shard counts the query's distinct
-    /// conjunctive terms in one round trip, and the merged counts are
-    /// combined exactly as the single-node engine would (memoized
-    /// duplicates, original term order).
-    ///
-    /// # Errors
-    ///
-    /// As [`Router::conjunctive`]; additionally fails if any term's
-    /// merged population is zero.
-    pub fn linear(&mut self, lq: &LinearQuery) -> Result<ClusterLinear, ClusterError> {
-        let p = self.bias()?;
-        let mut acc = LinearAccumulator::for_query(lq);
-        let wire_terms: Vec<(BitSubset, BitString)> = acc
-            .distinct_queries()
-            .iter()
-            .map(|q| (q.subset().clone(), q.value().clone()))
-            .collect();
-        let (gathered, outages) =
-            self.scatter(|client| client.partial_counts(wire_terms.clone()))?;
-        let mut responding = Vec::with_capacity(gathered.len());
-        for (shard, counts) in gathered {
+            }
             let pairs: Vec<(u64, u64)> = counts.iter().map(|c| (c.ones, c.population)).collect();
             acc.absorb(&pairs)?;
             responding.push(shard);
         }
-        let answer = acc.finish(p)?;
+        let term_estimates = acc.finish(p)?;
+        let outputs = plan.evaluate(&term_estimates)?;
+        let coverage = self.coverage(responding, outages, acc.max_population());
+        Ok(ClusterPlanAnswer {
+            outputs,
+            term_estimates,
+            coverage,
+        })
+    }
+
+    /// Estimates one conjunctive frequency (a single-term plan).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::execute_plan`].
+    pub fn conjunctive(
+        &mut self,
+        subset: BitSubset,
+        value: BitString,
+    ) -> Result<ClusterEstimate, ClusterError> {
+        let query = ConjunctiveQuery::new(subset, value).map_err(ClusterError::Estimation)?;
+        let answer = self.execute_plan(&TermPlan::for_conjunctive(query))?;
+        Ok(ClusterEstimate {
+            estimate: answer.term_estimates[0],
+            coverage: answer.coverage,
+        })
+    }
+
+    /// Estimates a full `2^k` distribution (a `2^k`-term plan, indexed
+    /// by the LSB-first integer encoding of the value).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::execute_plan`].
+    pub fn distribution(&mut self, subset: BitSubset) -> Result<ClusterDistribution, ClusterError> {
+        let answer = self.execute_plan(&TermPlan::for_distribution(&subset))?;
+        Ok(ClusterDistribution {
+            estimates: answer.term_estimates,
+            coverage: answer.coverage,
+        })
+    }
+
+    /// Evaluates a linear query (a single-output plan): each shard
+    /// counts the query's distinct conjunctive terms in one round trip,
+    /// and the merged counts are combined exactly as the single-node
+    /// engine would (memoized duplicates, original term order).
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::execute_plan`].
+    pub fn linear(&mut self, lq: &LinearQuery) -> Result<ClusterLinear, ClusterError> {
+        let plan = TermPlan::compile(lq);
+        let mut answer = self.execute_plan(&plan)?;
+        let output = answer.outputs.remove(0);
         // The binding population for a linear answer is its smallest
         // term's merged sample.
-        let population = u64::try_from(answer.min_sample_size).unwrap_or(u64::MAX);
-        let coverage = self.coverage(responding, outages, population);
-        Ok(ClusterLinear { answer, coverage })
+        answer.coverage.population = u64::try_from(output.min_sample_size).unwrap_or(u64::MAX);
+        Ok(ClusterLinear {
+            answer: output,
+            coverage: answer.coverage,
+        })
     }
 
     /// Sweeps every shard for coordinator + server stats, refreshing the

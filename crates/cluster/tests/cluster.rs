@@ -169,6 +169,229 @@ proptest! {
         let shards = (shard_pick % 4 + 1) as u32;
         assert_cluster_matches_oracle(&user_ids, shards, seed);
     }
+
+    /// Every query family, plan-compiled, answers bit-identically to
+    /// the pre-refactor direct path over random populations and shard
+    /// counts.
+    #[test]
+    fn plan_families_bit_identical_to_direct_paths(
+        m in 60u64..160,
+        shard_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let shards = (shard_pick % 4 + 1) as u32;
+        assert_families_match_direct_paths(m, shards, seed);
+    }
+}
+
+/// Compiles one plan per query family over two 2-bit fields
+/// (`a` at bits 0–1, `b` at bits 2–3), executes each three ways —
+/// legacy direct path, local plan path, clustered plan path — and
+/// asserts float-bit identity throughout.
+#[allow(clippy::too_many_lines)]
+fn assert_families_match_direct_paths(m: u64, shards: u32, seed: u64) {
+    use psketch_core::IntField;
+    use psketch_queries as q;
+
+    let a = IntField::new(0, 2);
+    let b = IntField::new(2, 2);
+    let attr = q::CategoricalAttribute::new(a, 3);
+
+    // One plan per family (descriptive label, plan, the LinearQuery
+    // oracle when the direct path is an engine evaluation).
+    let clause0 =
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
+            .unwrap();
+    let clause1 = psketch_core::ConjunctiveQuery::new(
+        BitSubset::new(vec![1, 2]).unwrap(),
+        BitString::from_bits(&[true, false]),
+    )
+    .unwrap();
+    let tree = psketch_queries::DecisionTree::split(
+        0,
+        psketch_queries::DecisionTree::split(
+            2,
+            psketch_queries::DecisionTree::Leaf(true),
+            psketch_queries::DecisionTree::Leaf(false),
+        ),
+        psketch_queries::DecisionTree::split(
+            1,
+            psketch_queries::DecisionTree::Leaf(false),
+            psketch_queries::DecisionTree::Leaf(true),
+        ),
+    );
+    let mut custom = q::LinearQuery::new("linear family");
+    custom.constant = -0.25;
+    custom.push(1.5, clause0.clone());
+    custom.push(0.5, clause0.clone());
+    custom.push(-2.0, clause1.clone());
+    let bits_columns = vec![
+        (BitSubset::single(0), BitString::from_bits(&[true])),
+        (BitSubset::single(3), BitString::from_bits(&[false])),
+    ];
+
+    let families: Vec<(&str, q::TermPlan, Option<q::LinearQuery>)> = vec![
+        (
+            "conjunction",
+            q::TermPlan::for_conjunctive(clause1.clone()),
+            None,
+        ),
+        ("linear", q::TermPlan::compile(&custom), Some(custom)),
+        (
+            "dnf",
+            q::dnf_plan(&[clause0.clone(), clause1.clone()]).unwrap(),
+            Some(q::dnf_query(&[clause0, clause1]).unwrap()),
+        ),
+        (
+            "interval",
+            q::range_plan(&a, 1, 2),
+            Some(q::range_query(&a, 1, 2)),
+        ),
+        ("mean", q::mean_plan(&a), Some(q::mean_query(&a))),
+        (
+            "moment",
+            q::moment_plan(&a, 2),
+            Some(q::moment_query(&a, 2)),
+        ),
+        (
+            "product",
+            q::inner_product_plan(&a, &b),
+            Some(q::inner_product_query(&a, &b)),
+        ),
+        (
+            "combined",
+            q::eq_and_less_than_plan(&a, 2, &b, 3),
+            Some(q::eq_and_less_than(&a, 2, &b, 3)),
+        ),
+        ("tree", tree.to_plan(), Some(tree.to_linear_query())),
+        ("sumlt", q::sum_lt_plan(&a, &b, 2), None),
+        ("categorical", q::histogram_plan(&attr), None),
+        (
+            "bits",
+            q::perturbed_conjunction_plan(&bits_columns).unwrap(),
+            None,
+        ),
+        // Multi-output families: variance and the conditional mean
+        // share terms across outputs.
+        ("variance", q::variance_plan(&a), None),
+        (
+            "conditional-mean",
+            q::conditional_mean_plan(&a, 2, &b),
+            None,
+        ),
+    ];
+
+    // The announcement sketches exactly what the plans need.
+    let mut subsets: Vec<BitSubset> = families
+        .iter()
+        .flat_map(|(_, plan, _)| plan.required_subsets())
+        .collect();
+    subsets.sort();
+    subsets.dedup();
+    let mut builder = psketch_protocol::AnnouncementBuilder::new(777, 0.45, 10_000, 1e-6)
+        .global_key(*GlobalKey::from_seed(seed).as_bytes());
+    for subset in subsets {
+        builder = builder.subset(subset);
+    }
+    let ann = builder.build().unwrap();
+
+    let ids: Vec<u64> = (0..m).map(|i| i.wrapping_mul(0x9E37) ^ seed).collect();
+    let mut ids = ids;
+    ids.sort_unstable();
+    ids.dedup();
+    // 4-bit profiles covering both fields (the shared helper's profiles
+    // are only 2 bits wide).
+    let mut rng = Prg::seed_from_u64(seed ^ 0xFA91);
+    let subs: Vec<Submission> = ids
+        .iter()
+        .map(|&i| {
+            let profile = Profile::from_bits(&[i % 3 == 0, i % 2 == 0, i % 5 < 2, i % 7 < 3]);
+            let mut agent = UserAgent::new(UserId(i), profile, ann.p, 1e12);
+            agent.participate(&ann, &mut rng).unwrap()
+        })
+        .collect();
+
+    // Single-node oracle.
+    let oracle = Coordinator::new(ann.clone());
+    oracle.accept_batch(&subs);
+    let params = ann.validate().unwrap();
+    let engine = QueryEngine::new(params);
+
+    // Cluster over the same records.
+    let (servers, map) = start_cluster(&ann, shards);
+    let mut router = fast_router(map);
+    let report = router.submit_batch(&subs).unwrap();
+    assert!(report.fully_ingested());
+
+    for (family, plan, direct) in &families {
+        // Local plan path vs legacy direct path.
+        let local = engine.execute_plan(oracle.pool(), plan).unwrap();
+        if let Some(lq) = direct {
+            let legacy = engine.linear(oracle.pool(), lq).unwrap();
+            assert_eq!(
+                local[0].value.to_bits(),
+                legacy.value.to_bits(),
+                "{family}: plan diverged from the direct engine path"
+            );
+            assert_eq!(local[0].queries_used, legacy.queries_used, "{family}");
+            assert_eq!(local[0].min_sample_size, legacy.min_sample_size, "{family}");
+        }
+        // Clustered plan path vs local plan path, output by output.
+        let clustered = router.execute_plan(plan).unwrap();
+        assert!(clustered.coverage.is_complete());
+        assert_eq!(clustered.outputs.len(), local.len(), "{family}");
+        for (c, l) in clustered.outputs.iter().zip(&local) {
+            assert_eq!(
+                c.value.to_bits(),
+                l.value.to_bits(),
+                "{family}: cluster diverged from local at {shards} shards"
+            );
+            assert_eq!(c.queries_used, l.queries_used, "{family}");
+            assert_eq!(c.min_sample_size, l.min_sample_size, "{family}");
+        }
+    }
+
+    // The categorical direct path goes through the miner, not the
+    // engine: check it against the histogram plan explicitly.
+    let miner = q::CategoricalMiner::new(params);
+    let hist = miner.histogram(oracle.pool(), &attr).unwrap();
+    let plan = q::histogram_plan(&attr);
+    let clustered = router.execute_plan(&plan).unwrap();
+    for (level, direct) in hist.frequencies.iter().enumerate() {
+        assert_eq!(
+            clustered.outputs[level].value.to_bits(),
+            direct.to_bits(),
+            "histogram level {level} diverged"
+        );
+    }
+
+    // The conditional-mean ratio matches the engine's ratio path.
+    let num = q::conditional_sum_query_inclusive(&a, 2, &b);
+    let den = q::less_equal_query(&a, 2);
+    let direct_ratio = engine.ratio(oracle.pool(), &num, &den).unwrap();
+    let cm = router
+        .execute_plan(&q::conditional_mean_plan(&a, 2, &b))
+        .unwrap();
+    let plan_ratio = if cm.outputs[1].value <= 0.0 {
+        None
+    } else {
+        Some(cm.outputs[0].value / cm.outputs[1].value)
+    };
+    match (direct_ratio, plan_ratio) {
+        (None, None) => {}
+        (Some(d), Some(p)) => assert_eq!(d.to_bits(), p.to_bits(), "conditional mean diverged"),
+        other => panic!("ratio availability diverged: {other:?}"),
+    }
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn plan_families_three_shard_anchor() {
+    // The deterministic anchor for the family proptest.
+    assert_families_match_direct_paths(120, 3, 2026);
 }
 
 #[test]

@@ -250,6 +250,100 @@ impl ConjunctiveEstimator {
         ))
     }
 
+    /// Batched raw counts for a *plan's term list*: one `(ones,
+    /// population)` pair per query, in input order.
+    ///
+    /// This is the batch entry point plan executors drive. Terms are
+    /// grouped by subset so each distinct subset's snapshot is taken
+    /// once and every term on it scans the same consistent columns; a
+    /// group that covers most of a narrow subset's `2^k` value space is
+    /// answered by the one-pass distribution tally instead of per-term
+    /// scans (the counts are identical either way — both are exact
+    /// integer tallies over the same records).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSubset`] if any term's subset has no sketches —
+    /// the local-engine semantics, matching what a per-term
+    /// [`ConjunctiveEstimator::estimate`] loop would report.
+    pub fn count_terms(
+        &self,
+        db: &SketchDb,
+        queries: &[ConjunctiveQuery],
+    ) -> Result<Vec<(u64, u64)>, Error> {
+        self.count_terms_impl(db, queries, true)
+    }
+
+    /// As [`ConjunctiveEstimator::count_terms`], but a subset this pool
+    /// holds no sketches for reports `(0, 0)` instead of failing — the
+    /// *shard* semantics: a shard's share of an unknown subset is
+    /// genuinely empty and merges as a no-op, which must not fail the
+    /// whole scatter.
+    #[must_use]
+    pub fn count_terms_partial(
+        &self,
+        db: &SketchDb,
+        queries: &[ConjunctiveQuery],
+    ) -> Vec<(u64, u64)> {
+        self.count_terms_impl(db, queries, false)
+            .expect("infallible without strict subset checks")
+    }
+
+    fn count_terms_impl(
+        &self,
+        db: &SketchDb,
+        queries: &[ConjunctiveQuery],
+        strict: bool,
+    ) -> Result<Vec<(u64, u64)>, Error> {
+        let mut counts = vec![(0u64, 0u64); queries.len()];
+        // Group term indices by subset (order-preserving).
+        let mut groups: Vec<(&BitSubset, Vec<usize>)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            match groups.iter_mut().find(|(s, _)| *s == q.subset()) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((q.subset(), vec![i])),
+            }
+        }
+        for (subset, idxs) in groups {
+            let snapshot = match db.snapshot(subset) {
+                Ok(s) => s,
+                Err(e @ Error::UnknownSubset { .. }) => {
+                    if strict {
+                        return Err(e);
+                    }
+                    continue; // empty share: (0, 0) for every term
+                }
+                Err(e) => return Err(e),
+            };
+            let n = snapshot.len() as u64;
+            let k = subset.len();
+            // Dense groups over a narrow subset: one distribution pass.
+            if k <= 16 && idxs.len() as u64 > (1u64 << k) / 2 && !snapshot.is_empty() {
+                let ones = self.distribution_ones(&snapshot, subset);
+                for &i in &idxs {
+                    let value = queries[i].value();
+                    let mut index = 0usize;
+                    for b in 0..k {
+                        if value.get(b) {
+                            index |= 1 << b;
+                        }
+                    }
+                    counts[i] = (ones[index] as u64, n);
+                }
+                continue;
+            }
+            for &i in &idxs {
+                let ones = if snapshot.is_empty() {
+                    0
+                } else {
+                    self.count_ones(&snapshot, &queries[i])
+                };
+                counts[i] = (ones as u64, n);
+            }
+        }
+        Ok(counts)
+    }
+
     /// The pre-refactor scalar reference path: a row-oriented copy of the
     /// records (the old `SketchDb::records` read) and one full input
     /// encoding — with its allocations — per record.
@@ -634,6 +728,39 @@ mod tests {
             let e = Estimate::from_counts(*count, dist_n, p);
             assert_eq!(e.fraction.to_bits(), scanned.fraction.to_bits());
         }
+    }
+
+    #[test]
+    fn count_terms_matches_per_term_counts() {
+        let p = 0.3;
+        let (db, subset) = build_db(p, 4, 2_000, 0.4);
+        let est = ConjunctiveEstimator::new(params(p));
+        // A sparse mix (per-term scan path) plus the full value space
+        // (the one-pass distribution path) — both must match the
+        // per-term oracle exactly.
+        let sparse: Vec<ConjunctiveQuery> = [3u64, 9]
+            .iter()
+            .map(|&v| ConjunctiveQuery::new(subset.clone(), BitString::from_u64(v, 4)).unwrap())
+            .collect();
+        let dense: Vec<ConjunctiveQuery> = (0..16u64)
+            .map(|v| ConjunctiveQuery::new(subset.clone(), BitString::from_u64(v, 4)).unwrap())
+            .collect();
+        for queries in [&sparse, &dense] {
+            let batched = est.count_terms(&db, queries).unwrap();
+            let partial = est.count_terms_partial(&db, queries);
+            assert_eq!(batched, partial);
+            for (q, &(ones, n)) in queries.iter().zip(&batched) {
+                assert_eq!((ones, n), est.count(&db, q).unwrap());
+            }
+        }
+        // Unknown subsets: strict errors, partial reports empty shares.
+        let unknown =
+            ConjunctiveQuery::new(BitSubset::single(40), BitString::from_bits(&[true])).unwrap();
+        assert!(matches!(
+            est.count_terms(&db, std::slice::from_ref(&unknown)),
+            Err(Error::UnknownSubset { .. })
+        ));
+        assert_eq!(est.count_terms_partial(&db, &[unknown]), vec![(0, 0)]);
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod messages;
 
 pub use agent::UserAgent;
 pub use coordinator::{AnnouncementBuilder, BatchOutcome, Coordinator, CoordinatorStats};
-pub use messages::{Announcement, PartialDistribution, QueryCounts, ShardIdentity, Submission};
+pub use messages::{Announcement, QueryCounts, ShardIdentity, Submission};

@@ -70,11 +70,13 @@ impl std::fmt::Display for ShardIdentity {
     }
 }
 
-/// One shard's partial answer to a conjunctive query: the exact number
-/// of its records with `H(id, B, v, s) = 1` and its record count for the
-/// subset. Counts from disjoint shards sum exactly, so a router merging
-/// them reproduces the single-node estimate bit-for-bit (the float
-/// inversion happens once, after the integer merge).
+/// One shard's partial answer to one conjunctive *term* of a query
+/// plan: the exact number of its records with `H(id, B, v, s) = 1` and
+/// its record count for the term's subset. Counts from disjoint shards
+/// sum exactly, so a router merging them reproduces the single-node
+/// estimate bit-for-bit (the float inversion happens once, after the
+/// integer merge). This is the **only** partial-result shape the wire
+/// carries — every query family's plan scatters as a batch of these.
 ///
 /// A shard holding no sketches for the queried subset reports `(0, 0)` —
 /// its share of the pool is genuinely empty, and merging zeros is a
@@ -83,17 +85,6 @@ impl std::fmt::Display for ShardIdentity {
 pub struct QueryCounts {
     /// Records whose PRF evaluated to 1 for the queried `(B, v)`.
     pub ones: u64,
-    /// Records the shard holds for the queried subset.
-    pub population: u64,
-}
-
-/// One shard's partial answer to a distribution query: per-value
-/// satisfying counts (indexed by the LSB-first integer encoding of the
-/// value) over one shared population.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PartialDistribution {
-    /// `2^k` per-value satisfying counts.
-    pub ones: Vec<u64>,
     /// Records the shard holds for the queried subset.
     pub population: u64,
 }
@@ -247,15 +238,6 @@ mod tests {
         };
         let json = serde_json::to_string(&counts).unwrap();
         assert_eq!(serde_json::from_str::<QueryCounts>(&json).unwrap(), counts);
-        let dist = PartialDistribution {
-            ones: vec![1, 2, 3, 4],
-            population: 10,
-        };
-        let json = serde_json::to_string(&dist).unwrap();
-        assert_eq!(
-            serde_json::from_str::<PartialDistribution>(&json).unwrap(),
-            dist
-        );
         let shard = ShardIdentity {
             shard_id: 2,
             shard_count: 5,

@@ -208,6 +208,40 @@ impl PerturbedBitTable {
     }
 }
 
+/// Compiles a conjunction over sketch-backed perturbed-bit columns into
+/// a [`TermPlan`](crate::plan::TermPlan).
+///
+/// The product estimator answers `freq(∧ᵢ d_{Bᵢ} = vᵢ)` from
+/// heterogeneous per-column tables; when every column is a *sketched*
+/// indicator, the same question is a single conjunctive query on the
+/// **merged** subset — one term, one scan, width-independent error
+/// (Lemma 4.1) instead of the product estimator's
+/// `Π (1−2pᵢ)⁻²` variance inflation. Contradictory columns compile to a
+/// constant-zero output, exactly as the table's conjunction would be
+/// empty.
+///
+/// # Errors
+///
+/// [`Error::WidthMismatch`] if a column's value width disagrees with
+/// its subset.
+pub fn perturbed_conjunction_plan(
+    columns: &[(BitSubset, BitString)],
+) -> Result<crate::plan::TermPlan, Error> {
+    let constraints: Vec<crate::conjunction::Constraint> = columns
+        .iter()
+        .map(|(subset, value)| crate::conjunction::Constraint::new(subset.clone(), value.clone()))
+        .collect::<Result<_, _>>()?;
+    let mut plan = crate::plan::TermPlan::new(format!(
+        "conjunction over {} perturbed-bit columns",
+        columns.len()
+    ));
+    plan.begin_output("frequency", 0.0);
+    if let Some(query) = crate::conjunction::merge_constraints(&constraints)? {
+        plan.push_term(1.0, query);
+    }
+    Ok(plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

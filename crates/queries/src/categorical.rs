@@ -110,6 +110,56 @@ impl Histogram {
     }
 }
 
+/// Compiles a full histogram over a categorical attribute into a
+/// [`TermPlan`](crate::plan::TermPlan): one unit-weight output per
+/// level, each a point query on the attribute's field subset. Output
+/// `i` is level `i`'s estimated frequency — the plan-IR form of
+/// [`CategoricalMiner::histogram`], executable against a cluster.
+#[must_use]
+pub fn histogram_plan(attr: &CategoricalAttribute) -> crate::plan::TermPlan {
+    let mut plan = crate::plan::TermPlan::new(format!(
+        "histogram over {}-level attribute @{}",
+        attr.levels,
+        attr.field.offset()
+    ));
+    for level in 0..attr.levels {
+        let query = ConjunctiveQuery::new(attr.field.subset(), attr.field.full_value(level))
+            .expect("field widths match by construction");
+        plan.begin_output(format!("level {level}"), 0.0);
+        plan.push_term(1.0, query);
+    }
+    plan
+}
+
+/// Compiles a two-attribute contingency cell
+/// `freq(a = level_a ∧ b = level_b)` into a
+/// [`TermPlan`](crate::plan::TermPlan) over the union subset.
+///
+/// # Panics
+///
+/// As [`CategoricalMiner::contingency_cell`].
+#[must_use]
+pub fn contingency_plan(
+    a: &CategoricalAttribute,
+    level_a: u64,
+    b: &CategoricalAttribute,
+    level_b: u64,
+) -> crate::plan::TermPlan {
+    assert!(
+        level_a < a.levels && level_b < b.levels,
+        "level out of range"
+    );
+    let merged = crate::conjunction::merge_constraints(&[
+        crate::conjunction::Constraint::new(a.field.subset(), a.field.full_value(level_a))
+            .expect("widths match"),
+        crate::conjunction::Constraint::new(b.field.subset(), b.field.full_value(level_b))
+            .expect("widths match"),
+    ])
+    .expect("non-empty")
+    .expect("disjoint fields cannot contradict");
+    crate::plan::TermPlan::for_conjunctive(merged)
+}
+
 /// Analyst-side categorical miner.
 #[derive(Debug, Clone)]
 pub struct CategoricalMiner {

@@ -122,6 +122,39 @@ pub fn conditional_sum_query_inclusive(a: &IntField, c: u64, b: &IntField) -> Li
     lq
 }
 
+/// Compiles `freq(a = c ∧ b < d)` into a
+/// [`TermPlan`](crate::plan::TermPlan).
+///
+/// # Panics
+///
+/// As [`eq_and_less_than`].
+#[must_use]
+pub fn eq_and_less_than_plan(a: &IntField, c: u64, b: &IntField, d: u64) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&eq_and_less_than(a, c, b, d))
+}
+
+/// Compiles the conditional mean `avg(b | a ≤ c)` into **one**
+/// two-output plan: output 0 is the numerator `E[b·1{a ≤ c}]`, output 1
+/// the denominator `freq(a ≤ c)`, sharing the interval prefix terms.
+/// The caller divides output 0 by output 1 (guarding a non-positive
+/// denominator), exactly as [`QueryEngine::ratio`] does — the division
+/// is the one nonlinear step no linear IR can absorb.
+///
+/// [`QueryEngine::ratio`]: crate::engine::QueryEngine::ratio
+///
+/// # Panics
+///
+/// As [`conditional_sum_query_inclusive`].
+#[must_use]
+pub fn conditional_mean_plan(a: &IntField, c: u64, b: &IntField) -> crate::plan::TermPlan {
+    let numerator = conditional_sum_query_inclusive(a, c, b);
+    let denominator = crate::interval::less_equal_query(a, c);
+    crate::plan::TermPlan::from_queries(
+        format!("avg(b@{} | a@{} <= {c})", b.offset(), a.offset()),
+        &[numerator, denominator],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

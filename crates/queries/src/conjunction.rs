@@ -70,6 +70,24 @@ pub fn merge_constraints(constraints: &[Constraint]) -> Result<Option<Conjunctiv
     Ok(Some(query))
 }
 
+/// Compiles a conjunction of heterogeneous constraints into a
+/// [`TermPlan`](crate::plan::TermPlan): a single merged term, or a
+/// constant-zero output when the constraints contradict (no query is
+/// issued, and a serving node charges nothing for it).
+///
+/// # Errors
+///
+/// As [`merge_constraints`].
+pub fn conjunction_plan(constraints: &[Constraint]) -> Result<crate::plan::TermPlan, Error> {
+    let mut plan =
+        crate::plan::TermPlan::new(format!("conjunction of {} constraints", constraints.len()));
+    plan.begin_output("frequency", 0.0);
+    if let Some(query) = merge_constraints(constraints)? {
+        plan.push_term(1.0, query);
+    }
+    Ok(plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,21 @@ pub fn dnf_query(clauses: &[ConjunctiveQuery]) -> Result<LinearQuery, Error> {
     Ok(lq)
 }
 
+/// Compiles `freq(C₁ ∨ … ∨ C_t)` into a
+/// [`TermPlan`](crate::plan::TermPlan) — the inclusion–exclusion
+/// expansion with intersections deduplicated at compile time.
+///
+/// # Errors
+///
+/// As [`dnf_query`].
+///
+/// # Panics
+///
+/// As [`dnf_query`].
+pub fn dnf_plan(clauses: &[ConjunctiveQuery]) -> Result<crate::plan::TermPlan, Error> {
+    Ok(crate::plan::TermPlan::compile(&dnf_query(clauses)?))
+}
+
 /// Every subset the DNF evaluation needs sketched (the union subsets of
 /// all non-contradictory intersections).
 ///

@@ -1,14 +1,43 @@
 //! Executing compiled queries against a sketch database.
 //!
 //! [`QueryEngine`] is the analyst-facing façade: it owns an Algorithm 2
-//! estimator and evaluates the linear-combination normal form produced by
-//! the §4.1 compilers, including ratio queries (conditional means).
+//! estimator and evaluates both the linear-combination normal form and
+//! the [`TermPlan`] IR produced by the §4.1 compilers, including ratio
+//! queries (conditional means). It also keeps running memoization
+//! counters ([`EngineStatsSnapshot`]) so operators can see how much scan
+//! work term deduplication saves.
 
 use crate::linear::LinearQuery;
+use crate::plan::TermPlan;
 use psketch_core::{
     ConjunctiveEstimator, ConjunctiveQuery, Error, Estimate, SketchDb, SketchParams,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared memoization/plan counters behind a [`QueryEngine`] (clones of
+/// an engine share one set, so a server's workers aggregate naturally).
+#[derive(Debug, Default)]
+struct EngineStats {
+    terms_scanned: AtomicU64,
+    terms_reused: AtomicU64,
+    plans_executed: AtomicU64,
+}
+
+/// A point-in-time copy of an engine's memoization counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStatsSnapshot {
+    /// Conjunctive terms actually scanned (memo/dedup misses).
+    pub terms_scanned: u64,
+    /// Term references served without a scan — engine memo hits plus
+    /// compile-time plan deduplication (each reuse is a full shard scan
+    /// saved).
+    pub terms_reused: u64,
+    /// Plans executed through [`QueryEngine::execute_plan`] /
+    /// [`QueryEngine::execute_plans`].
+    pub plans_executed: u64,
+}
 
 /// The result of evaluating a linear query against sketches.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +55,7 @@ pub struct LinearAnswer {
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     estimator: ConjunctiveEstimator,
+    stats: Arc<EngineStats>,
 }
 
 impl QueryEngine {
@@ -34,6 +64,7 @@ impl QueryEngine {
     pub fn new(params: SketchParams) -> Self {
         Self {
             estimator: ConjunctiveEstimator::new(params),
+            stats: Arc::new(EngineStats::default()),
         }
     }
 
@@ -41,6 +72,112 @@ impl QueryEngine {
     #[must_use]
     pub fn estimator(&self) -> &ConjunctiveEstimator {
         &self.estimator
+    }
+
+    /// A snapshot of the engine's memoization counters (shared across
+    /// clones of this engine).
+    #[must_use]
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        EngineStatsSnapshot {
+            terms_scanned: self.stats.terms_scanned.load(Ordering::Relaxed),
+            terms_reused: self.stats.terms_reused.load(Ordering::Relaxed),
+            plans_executed: self.stats.plans_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes a compiled [`TermPlan`] against a database: the plan's
+    /// distinct terms are counted in one batch
+    /// ([`ConjunctiveEstimator::count_terms`]), inverted once each, and
+    /// the post-combination runs through [`TermPlan::evaluate`] — the
+    /// same code path a server or cluster router uses, so the answers
+    /// are bit-identical wherever the plan executes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSubset`] for unsketched subsets,
+    /// [`Error::EmptyDatabase`] if a term's subset holds no records.
+    pub fn execute_plan(&self, db: &SketchDb, plan: &TermPlan) -> Result<Vec<LinearAnswer>, Error> {
+        let mut memo = HashMap::new();
+        self.execute_plan_memo(db, plan, &mut memo)
+    }
+
+    /// Executes several plans against one database, sharing the term
+    /// memo across the whole batch: a term appearing in any two plans is
+    /// scanned once.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::execute_plan`]; answers are all-or-nothing.
+    pub fn execute_plans(
+        &self,
+        db: &SketchDb,
+        plans: &[TermPlan],
+    ) -> Result<Vec<Vec<LinearAnswer>>, Error> {
+        let mut memo = HashMap::new();
+        plans
+            .iter()
+            .map(|plan| self.execute_plan_memo(db, plan, &mut memo))
+            .collect()
+    }
+
+    /// The shard-side scatter half: raw `(ones, population)` counts for
+    /// a plan's term list, with unknown subsets reported as empty
+    /// `(0, 0)` shares. Wraps
+    /// [`ConjunctiveEstimator::count_terms_partial`] so the scans feed
+    /// the engine's counters — on a shard node these *are* the plan
+    /// executions, they just finish at the router.
+    #[must_use]
+    pub fn count_terms_partial(
+        &self,
+        db: &SketchDb,
+        terms: &[ConjunctiveQuery],
+    ) -> Vec<(u64, u64)> {
+        let counts = self.estimator.count_terms_partial(db, terms);
+        self.stats
+            .terms_scanned
+            .fetch_add(terms.len() as u64, Ordering::Relaxed);
+        self.stats.plans_executed.fetch_add(1, Ordering::Relaxed);
+        counts
+    }
+
+    fn execute_plan_memo(
+        &self,
+        db: &SketchDb,
+        plan: &TermPlan,
+        memo: &mut HashMap<ConjunctiveQuery, Estimate>,
+    ) -> Result<Vec<LinearAnswer>, Error> {
+        // Count only terms the memo does not already hold, in one batch.
+        let missing: Vec<ConjunctiveQuery> = plan
+            .terms()
+            .iter()
+            .filter(|q| !memo.contains_key(*q))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            let counts = self.estimator.count_terms(db, &missing)?;
+            if counts.iter().any(|&(_, n)| n == 0) {
+                return Err(Error::EmptyDatabase);
+            }
+            let p = self.estimator.params().p();
+            for (q, (ones, n)) in missing.iter().zip(counts) {
+                memo.insert(q.clone(), Estimate::from_counts(ones, n, p));
+            }
+        }
+        let scanned = missing.len() as u64;
+        let references: u64 = plan
+            .outputs()
+            .iter()
+            .map(|o| o.combination().len() as u64)
+            .sum();
+        self.stats
+            .terms_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.stats
+            .terms_reused
+            .fetch_add(references.saturating_sub(scanned), Ordering::Relaxed);
+        self.stats.plans_executed.fetch_add(1, Ordering::Relaxed);
+        let estimates: Vec<Estimate> = plan.terms().iter().map(|q| memo[q]).collect();
+        plan.evaluate(&estimates)
     }
 
     /// Estimates a single conjunctive frequency (unclamped, unbiased).
@@ -101,11 +238,15 @@ impl QueryEngine {
         let mut saw_term = false;
         let value = lq.evaluate_with(|q| {
             let e = match memo.get(q) {
-                Some(e) => *e,
+                Some(e) => {
+                    self.stats.terms_reused.fetch_add(1, Ordering::Relaxed);
+                    *e
+                }
                 None => {
                     let e = self.estimator.estimate(db, q)?;
                     memo.insert(q.clone(), e);
                     queries_used += 1;
+                    self.stats.terms_scanned.fetch_add(1, Ordering::Relaxed);
                     e
                 }
             };
@@ -268,6 +409,46 @@ mod tests {
         assert_eq!(batch[2].queries_used, 0);
         assert!((batch[2].value - singles[0]).abs() < 1e-12);
         assert_eq!(batch[2].min_sample_size, 4_000);
+    }
+
+    #[test]
+    fn plan_execution_matches_linear_and_counts_stats() {
+        let (params, db, _pop, field) = setup(0.25, 3_000);
+        let engine = QueryEngine::new(params);
+        let mq = mean_query(&field);
+        let legacy = engine.linear(&db, &mq).unwrap();
+        let before = engine.stats();
+        let plan = crate::plan::TermPlan::compile(&mq);
+        let answers = engine.execute_plan(&db, &plan).unwrap();
+        assert_eq!(answers[0].value.to_bits(), legacy.value.to_bits());
+        let after = engine.stats();
+        assert_eq!(after.plans_executed, before.plans_executed + 1);
+        assert_eq!(after.terms_scanned, before.terms_scanned + 6);
+
+        // A second execution in one batch reuses every term.
+        let batch = engine
+            .execute_plans(&db, &[plan.clone(), plan.clone()])
+            .unwrap();
+        assert_eq!(batch[1][0].value.to_bits(), legacy.value.to_bits());
+        let shared = engine.stats();
+        assert_eq!(shared.terms_scanned, after.terms_scanned + 6);
+        assert_eq!(shared.terms_reused, after.terms_reused + 6);
+    }
+
+    #[test]
+    fn plan_execution_propagates_unknown_subsets() {
+        let (params, db, _pop, _field) = setup(0.3, 500);
+        let engine = QueryEngine::new(params);
+        let q = ConjunctiveQuery::new(
+            BitSubset::new(vec![77]).unwrap(),
+            BitString::from_bits(&[true]),
+        )
+        .unwrap();
+        let plan = crate::plan::TermPlan::for_conjunctive(q);
+        assert!(matches!(
+            engine.execute_plan(&db, &plan),
+            Err(Error::UnknownSubset { .. })
+        ));
     }
 
     #[test]

@@ -81,6 +81,36 @@ pub fn range_query(field: &IntField, lo: u64, hi: u64) -> LinearQuery {
     lq
 }
 
+/// Compiles `freq(a < c)` into a [`TermPlan`](crate::plan::TermPlan).
+///
+/// # Panics
+///
+/// As [`less_than_query`].
+#[must_use]
+pub fn less_than_plan(field: &IntField, c: u64) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&less_than_query(field, c))
+}
+
+/// Compiles `freq(a ≤ c)` into a [`TermPlan`](crate::plan::TermPlan).
+///
+/// # Panics
+///
+/// As [`less_equal_query`].
+#[must_use]
+pub fn less_equal_plan(field: &IntField, c: u64) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&less_equal_query(field, c))
+}
+
+/// Compiles `freq(lo ≤ a ≤ hi)` into a [`TermPlan`](crate::plan::TermPlan).
+///
+/// # Panics
+///
+/// As [`range_query`].
+#[must_use]
+pub fn range_plan(field: &IntField, lo: u64, hi: u64) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&range_query(field, lo, hi))
+}
+
 /// The prefix subsets a population must sketch so that *every* interval
 /// query on `field` is answerable: `A₁, A₂, …, A_k` (plus the full subset,
 /// which equals `A_k`).

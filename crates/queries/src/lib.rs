@@ -23,6 +23,10 @@
 //!   contingency cells over categorical attributes, one sketch per field;
 //! * [`sumlt`] — Appendix E's `a + b < 2^r` via XOR virtual bits, `r+1`
 //!   conjunctions instead of `2^{r+1} − 1`;
+//! * [`plan`] — the query-plan IR every family compiles to: a
+//!   deduplicated term list plus linear post-combinations, executable
+//!   bit-identically by the in-process engine, a single server, or a
+//!   sharded cluster router;
 //! * [`engine`] — evaluation of all of the above against a
 //!   [`SketchDb`](psketch_core::SketchDb).
 
@@ -39,22 +43,32 @@ pub mod interval;
 pub mod linear;
 pub mod mean;
 pub mod moment;
-pub mod partial;
+pub mod plan;
 pub mod product;
 pub mod sumlt;
 pub mod tree;
 
-pub use bits::PerturbedBitTable;
-pub use categorical::{CategoricalAttribute, CategoricalMiner, Histogram};
-pub use combined::{conditional_sum_query, conditional_sum_query_inclusive, eq_and_less_than};
-pub use conjunction::{merge_constraints, Constraint};
-pub use dnf::{dnf_query, dnf_required_subsets};
-pub use engine::{LinearAnswer, QueryEngine};
-pub use interval::{interval_required_subsets, less_equal_query, less_than_query, range_query};
+pub use bits::{perturbed_conjunction_plan, PerturbedBitTable};
+pub use categorical::{
+    contingency_plan, histogram_plan, CategoricalAttribute, CategoricalMiner, Histogram,
+};
+pub use combined::{
+    conditional_mean_plan, conditional_sum_query, conditional_sum_query_inclusive,
+    eq_and_less_than, eq_and_less_than_plan,
+};
+pub use conjunction::{conjunction_plan, merge_constraints, Constraint};
+pub use dnf::{dnf_plan, dnf_query, dnf_required_subsets};
+pub use engine::{EngineStatsSnapshot, LinearAnswer, QueryEngine};
+pub use interval::{
+    interval_required_subsets, less_equal_plan, less_equal_query, less_than_plan, less_than_query,
+    range_plan, range_query,
+};
 pub use linear::{LinearQuery, LinearTerm};
-pub use mean::{mean_query, mean_required_subsets};
-pub use moment::{moment_query, variance_queries};
-pub use partial::{CountAccumulator, DistributionAccumulator, LinearAccumulator};
-pub use product::{inner_product_query, mean_square_query};
-pub use sumlt::{naive_conjunction_count, sum_less_than_pow2, sum_lt_truth, SumLtEstimate};
+pub use mean::{mean_plan, mean_query, mean_required_subsets};
+pub use moment::{moment_plan, moment_query, variance_plan, variance_queries};
+pub use plan::{PlanAccumulator, PlanOutput, TermPlan};
+pub use product::{inner_product_plan, inner_product_query, mean_square_plan, mean_square_query};
+pub use sumlt::{
+    naive_conjunction_count, sum_less_than_pow2, sum_lt_plan, sum_lt_truth, SumLtEstimate,
+};
 pub use tree::DecisionTree;

@@ -33,6 +33,14 @@ pub fn mean_required_subsets(field: &IntField) -> Vec<psketch_core::BitSubset> {
     (1..=field.width()).map(|i| field.bit_subset(i)).collect()
 }
 
+/// Compiles the mean into a [`TermPlan`](crate::plan::TermPlan): the
+/// plan-IR form of [`mean_query`], executable in-process, on a server,
+/// or across a sharded cluster.
+#[must_use]
+pub fn mean_plan(field: &IntField) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&mean_query(field))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

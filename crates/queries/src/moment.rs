@@ -87,6 +87,27 @@ pub fn variance_queries(field: &IntField) -> (LinearQuery, LinearQuery) {
     (moment_query(field, 2), moment_query(field, 1))
 }
 
+/// Compiles the r-th raw moment into a
+/// [`TermPlan`](crate::plan::TermPlan).
+///
+/// # Panics
+///
+/// As [`moment_query`].
+#[must_use]
+pub fn moment_plan(field: &IntField, r: u32) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&moment_query(field, r))
+}
+
+/// Compiles the variance's query pair into **one** two-output plan:
+/// output 0 is `E[a²]`, output 1 is `E[a]`, and the `k` single-bit terms
+/// the mean needs are shared with the second moment's diagonal — the
+/// multi-output IR counts them once.
+#[must_use]
+pub fn variance_plan(field: &IntField) -> crate::plan::TermPlan {
+    let (m2, m1) = variance_queries(field);
+    crate::plan::TermPlan::from_queries(format!("variance of field@{}", field.offset()), &[m2, m1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,23 @@ pub fn mean_square_query(a: &IntField) -> LinearQuery {
     lq
 }
 
+/// Compiles the mean inner product into a
+/// [`TermPlan`](crate::plan::TermPlan).
+///
+/// # Panics
+///
+/// As [`inner_product_query`].
+#[must_use]
+pub fn inner_product_plan(a: &IntField, b: &IntField) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&inner_product_query(a, b))
+}
+
+/// Compiles the mean square into a [`TermPlan`](crate::plan::TermPlan).
+#[must_use]
+pub fn mean_square_plan(a: &IntField) -> crate::plan::TermPlan {
+    crate::plan::TermPlan::compile(&mean_square_query(a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

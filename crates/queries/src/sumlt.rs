@@ -18,7 +18,7 @@
 //! attributes.
 
 use crate::bits::PerturbedBitTable;
-use psketch_core::Error;
+use psketch_core::{Error, IntField};
 
 /// Accounting for the Appendix E estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +107,80 @@ pub fn sum_less_than_pow2(
 #[must_use]
 pub fn naive_conjunction_count(r: u32) -> u64 {
     (1u64 << (r + 1)) - 1
+}
+
+/// Compiles `freq(a + b < 2^r)` into a
+/// [`TermPlan`](crate::plan::TermPlan) over **physical** bit
+/// conjunctions — the route that executes against sketch pools (local,
+/// server, or sharded cluster), where no XOR virtual bit exists.
+///
+/// Each disjoint event of the Appendix E decomposition is expanded over
+/// the `2^{j−1}` physical assignments of its q-constraints (`qᵢ = 1` ⇔
+/// exactly one of `aᵢ, bᵢ` is set), yielding
+/// [`naive_conjunction_count`]`(r)` unit-weight terms. That is the
+/// exponential cost the paper's virtual-bit trick avoids *when a
+/// perturbed-bit table is available* ([`sum_less_than_pow2`]); the plan
+/// form trades those `r + 1` wide-variance product estimates for
+/// `2^{r+1} − 1` width-independent sketch estimates, and is what a
+/// sharded deployment can actually merge exactly.
+///
+/// # Panics
+///
+/// Panics if the fields overlap, widths differ, or `r` is outside
+/// `1..=width`. `r` is further capped at 15: the term count is
+/// `2^{r+1} − 1`, and `r = 15` (65 535 terms) is the largest plan that
+/// still fits a serving node's 65 536-term cap.
+#[must_use]
+pub fn sum_lt_plan(a: &IntField, b: &IntField, r: u32) -> crate::plan::TermPlan {
+    use crate::conjunction::{merge_constraints, Constraint};
+    use psketch_core::BitString;
+
+    let k = a.width();
+    assert_eq!(k, b.width(), "attribute widths must match");
+    assert!(
+        a.end() <= b.offset() || b.end() <= a.offset(),
+        "fields must be disjoint"
+    );
+    assert!(r >= 1 && r <= k, "r must satisfy 1 <= r <= k");
+    assert!(
+        r <= 15,
+        "r capped at 15 (the expansion is 2^(r+1) - 1 terms and must fit a server's plan cap)"
+    );
+    let high = k - r;
+    let bit = |field: &IntField, i: u32, set: bool| {
+        Constraint::new(field.bit_subset(i), BitString::from_bits(&[set])).expect("width 1")
+    };
+    // High bits (weight ≥ 2^r) must be zero in both attributes.
+    let high_constraints: Vec<Constraint> = (1..=high)
+        .flat_map(|i| [bit(a, i, false), bit(b, i, false)])
+        .collect();
+    let mut plan =
+        crate::plan::TermPlan::new(format!("freq(a@{} + b@{} < 2^{r})", a.offset(), b.offset()));
+    plan.begin_output("frequency", 0.0);
+    // Event j ∈ 1..=r: q = 1 at low positions 1..j−1, a = b = 0 at low
+    // position j. Event r + 1: q = 1 at every low position. Each
+    // q-constraint expands over its two physical realizations.
+    for j in 1..=r + 1 {
+        let q_positions = if j <= r { j - 1 } else { r };
+        for mask in 0..(1u32 << q_positions) {
+            let mut constraints = high_constraints.clone();
+            for t in 1..=q_positions {
+                // q_t = 1: exactly one of a, b is set at low position t.
+                let a_set = mask & (1 << (t - 1)) != 0;
+                constraints.push(bit(a, high + t, a_set));
+                constraints.push(bit(b, high + t, !a_set));
+            }
+            if j <= r {
+                constraints.push(bit(a, high + j, false));
+                constraints.push(bit(b, high + j, false));
+            }
+            let query = merge_constraints(&constraints)
+                .expect("non-empty constraints")
+                .expect("distinct single bits cannot contradict");
+            plan.push_term(1.0, query);
+        }
+    }
+    plan
 }
 
 /// Ground-truth check: does `a + b < 2^r`?
@@ -210,6 +284,50 @@ mod tests {
         let est = sum_less_than_pow2(&t, &a_cols, &b_cols, 6).unwrap();
         assert_eq!(est.conjunctions_used, 7);
         assert_eq!(est.naive_conjunctions, 127);
+    }
+
+    #[test]
+    fn physical_plan_matches_brute_force_exactly() {
+        use psketch_core::{Estimate, IntField, Profile};
+        let k = 4u32;
+        let a = IntField::new(0, k);
+        let b = IntField::new(k, k);
+        let pairs: Vec<(u64, u64)> = (0..16u64)
+            .flat_map(|x| (0..16u64).map(move |y| (x, y)))
+            .collect();
+        for r in 1..=k {
+            let plan = sum_lt_plan(&a, &b, r);
+            assert_eq!(plan.cost() as u64, naive_conjunction_count(r));
+            // Exact oracle: every term's frequency from the pair cube.
+            let estimates: Vec<Estimate> = plan
+                .terms()
+                .iter()
+                .map(|q| {
+                    let hits = pairs
+                        .iter()
+                        .filter(|&&(x, y)| {
+                            let mut p = Profile::zeros(2 * k as usize);
+                            a.write(&mut p, x);
+                            b.write(&mut p, y);
+                            p.satisfies(q.subset(), q.value())
+                        })
+                        .count();
+                    Estimate {
+                        fraction: hits as f64 / pairs.len() as f64,
+                        raw: 0.0,
+                        sample_size: pairs.len(),
+                        p: 0.0,
+                    }
+                })
+                .collect();
+            let got = plan.evaluate(&estimates).unwrap()[0].value;
+            let truth = pairs
+                .iter()
+                .filter(|&&(x, y)| sum_lt_truth(x, y, r))
+                .count() as f64
+                / pairs.len() as f64;
+            assert!((got - truth).abs() < 1e-9, "r={r}: {got} vs {truth}");
+        }
     }
 
     #[test]

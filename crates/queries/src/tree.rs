@@ -121,6 +121,14 @@ impl DecisionTree {
         }
     }
 
+    /// Compiles the tree's acceptance fraction into a
+    /// [`TermPlan`](crate::plan::TermPlan): one unit-weight term per
+    /// accepting path (paths are disjoint, so the sum is the fraction).
+    #[must_use]
+    pub fn to_plan(&self) -> crate::plan::TermPlan {
+        crate::plan::TermPlan::compile(&self.to_linear_query())
+    }
+
     /// Compiles "fraction of users accepted by this tree" into a linear
     /// query: one unit-weight term per accepting path.
     #[must_use]

@@ -7,11 +7,10 @@
 //! query with [`Client::conjunctive`], [`Client::distribution`] and
 //! [`Client::linear`].
 
-use crate::wire::{self, ConjunctiveWire, LinearTermWire, Request, Response, ServerStats};
-use psketch_core::{BitString, BitSubset, Estimate};
-use psketch_protocol::{
-    Announcement, CoordinatorStats, PartialDistribution, QueryCounts, ShardIdentity, Submission,
-};
+use crate::wire::{self, Request, Response, ServerStats};
+use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
+use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentity, Submission};
+use psketch_queries::{LinearAnswer, TermPlan};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -209,31 +208,20 @@ impl Client {
         }
     }
 
-    /// Evaluates `constant + Σ coeffᵢ · freq(subsetᵢ, valueᵢ)` on the
-    /// server. Returns `(value, queries_used, min_sample_size)`.
+    /// Executes a compiled [`TermPlan`] server-side and returns one
+    /// answer per plan output, in plan order. Every query family —
+    /// linear combinations, DNF, intervals, means, moments, trees,
+    /// histograms — travels through this one entry point; the server
+    /// charges the analyst the plan's term count.
     ///
     /// # Errors
     ///
     /// Transport, protocol, or server errors.
-    pub fn linear(
-        &mut self,
-        constant: f64,
-        terms: Vec<(f64, BitSubset, BitString)>,
-    ) -> Result<(f64, u64, u64), ClientError> {
-        let terms = terms
-            .into_iter()
-            .map(|(coeff, subset, value)| LinearTermWire {
-                coeff,
-                subset,
-                value,
-            })
-            .collect();
-        match self.request(&Request::Linear { constant, terms })? {
-            Response::Linear {
-                value,
-                queries_used,
-                min_sample_size,
-            } => Ok((value, queries_used, min_sample_size)),
+    pub fn execute_plan(&mut self, plan: &TermPlan) -> Result<Vec<LinearAnswer>, ClientError> {
+        match self.request(&Request::Plan(plan.clone()))? {
+            Response::PlanAnswers(answers) => {
+                Ok(answers.into_iter().map(LinearAnswer::from).collect())
+            }
             other => Self::unexpected(&other),
         }
     }
@@ -276,40 +264,22 @@ impl Client {
         }
     }
 
-    /// Fetches raw `(ones, population)` satisfying counts for a batch of
-    /// conjunctive queries — the scatter half of a router's
+    /// Fetches raw `(ones, population)` satisfying counts for a plan's
+    /// deduplicated term list — the scatter half of a router's
     /// scatter-gather. A shard holding no sketches for a queried subset
     /// reports `(0, 0)`.
     ///
     /// # Errors
     ///
     /// Transport, protocol, or server errors.
-    pub fn partial_counts(
+    pub fn partial_term_counts(
         &mut self,
-        queries: Vec<(BitSubset, BitString)>,
+        terms: &[ConjunctiveQuery],
     ) -> Result<Vec<QueryCounts>, ClientError> {
-        let queries = queries
-            .into_iter()
-            .map(|(subset, value)| ConjunctiveWire { subset, value })
-            .collect();
-        match self.request(&Request::PartialCounts { queries })? {
-            Response::PartialCounts(counts) => Ok(counts),
-            other => Self::unexpected(&other),
-        }
-    }
-
-    /// Fetches raw per-value satisfying counts for one subset's full
-    /// `2^k` distribution.
-    ///
-    /// # Errors
-    ///
-    /// Transport, protocol, or server errors.
-    pub fn partial_distribution(
-        &mut self,
-        subset: BitSubset,
-    ) -> Result<PartialDistribution, ClientError> {
-        match self.request(&Request::PartialDistribution { subset })? {
-            Response::PartialDistribution(partial) => Ok(partial),
+        match self.request(&Request::PartialTermCounts {
+            terms: terms.to_vec(),
+        })? {
+            Response::PartialTermCounts(counts) => Ok(counts),
             other => Self::unexpected(&other),
         }
     }

@@ -35,5 +35,6 @@ pub use client::{Client, ClientError, SubmitAck};
 pub use server::{ServeError, Server, ServerConfig};
 pub use wal::{Wal, WalConfig, WalError};
 pub use wire::{
-    ConjunctiveWire, Request, Response, ServerStats, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    PlanAnswerWire, PlanStats, Request, Response, ServerStats, MAX_FRAME_BYTES, MAX_PLAN_TERMS,
+    PROTOCOL_VERSION,
 };

@@ -16,10 +16,8 @@ use crate::wal::{Wal, WalConfig, WalError};
 use crate::wire::{self, codes, EstimateWire, Request, Response, PROTOCOL_VERSION};
 use parking_lot::Mutex;
 use psketch_core::{ConjunctiveQuery, Error, PrivacyAccountant};
-use psketch_protocol::{
-    Announcement, Coordinator, PartialDistribution, QueryCounts, ShardIdentity,
-};
-use psketch_queries::{LinearQuery, QueryEngine};
+use psketch_protocol::{Announcement, Coordinator, QueryCounts, ShardIdentity};
+use psketch_queries::QueryEngine;
 use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -167,7 +165,7 @@ impl FrameCounters {
         self.malformed.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, uptime: Duration) -> wire::ServerStats {
+    fn snapshot(&self, uptime: Duration, engine: &QueryEngine) -> wire::ServerStats {
         let frames = self
             .kinds
             .iter()
@@ -177,10 +175,16 @@ impl FrameCounters {
                 (count > 0).then_some((i as u8 + 1, count))
             })
             .collect();
+        let engine_stats = engine.stats();
         wire::ServerStats {
             uptime_secs: uptime.as_secs(),
             frames,
             malformed: self.malformed.load(Ordering::Relaxed),
+            plans: wire::PlanStats {
+                plans_executed: engine_stats.plans_executed,
+                terms_scanned: engine_stats.terms_scanned,
+                terms_reused: engine_stats.terms_reused,
+            },
         }
     }
 }
@@ -611,30 +615,27 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                 Err(e) => query_error(&e),
             }
         }
-        Request::Linear { constant, terms } => {
-            let mut lq = LinearQuery::new("wire linear query");
-            lq.constant = constant;
-            for term in terms {
-                let query = match ConjunctiveQuery::new(term.subset, term.value) {
-                    Ok(q) => q,
-                    Err(e) => return query_error(&e),
-                };
-                lq.push(term.coeff, query);
-            }
-            // Memoized evaluation scans each distinct term once; that is
-            // also what the analyst is charged for.
-            let distinct: std::collections::HashSet<&ConjunctiveQuery> =
-                lq.terms().iter().filter_map(|t| t.query.as_ref()).collect();
-            let distinct = u32::try_from(distinct.len()).unwrap_or(u32::MAX);
-            if let Some(refusal) = charge_budget(state, conn, distinct) {
+        Request::Plan(plan) => {
+            if let Some(refusal) = check_plan_size(plan.cost()) {
                 return refusal;
             }
-            match state.engine.linear(state.coordinator.pool(), &lq) {
-                Ok(a) => Response::Linear {
-                    value: a.value,
-                    queries_used: a.queries_used as u64,
-                    min_sample_size: a.min_sample_size as u64,
-                },
+            // The ε charge is the plan's *term count* — exactly the
+            // conjunctive estimates computed (Corollary 3.4), whatever
+            // the plan's output shape. Compile-time deduplication means
+            // compound queries are never over-charged for repeated
+            // terms, and multi-output plans never under-charge by
+            // hiding work behind a single frame.
+            let charge = u32::try_from(plan.cost()).unwrap_or(u32::MAX);
+            if let Some(refusal) = charge_budget(state, conn, charge) {
+                return refusal;
+            }
+            match state.engine.execute_plan(state.coordinator.pool(), &plan) {
+                Ok(answers) => Response::PlanAnswers(
+                    answers
+                        .into_iter()
+                        .map(wire::PlanAnswerWire::from)
+                        .collect(),
+                ),
                 Err(e) => query_error(&e),
             }
         }
@@ -644,71 +645,44 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             conn.analyst = analyst;
             Response::Hello { shard: state.shard }
         }
-        Request::PartialCounts { queries } => {
-            // Validate every query before charging: a malformed batch
-            // must cost nothing (mirrors the Conjunctive arm's
-            // validate-then-charge order).
-            let mut parsed = Vec::with_capacity(queries.len());
-            for q in queries {
-                match ConjunctiveQuery::new(q.subset, q.value) {
-                    Ok(query) => parsed.push(query),
-                    Err(e) => return query_error(&e),
-                }
+        Request::PartialTermCounts { terms } => {
+            if let Some(refusal) = check_plan_size(terms.len()) {
+                return refusal;
             }
-            let charge = u32::try_from(parsed.len()).unwrap_or(u32::MAX);
+            let charge = u32::try_from(terms.len()).unwrap_or(u32::MAX);
             if let Some(refusal) = charge_budget(state, conn, charge) {
                 return refusal;
             }
-            let estimator = state.engine.estimator();
-            let mut counts = Vec::with_capacity(parsed.len());
-            for query in &parsed {
-                match estimator.count(state.coordinator.pool(), query) {
-                    Ok((ones, population)) => counts.push(QueryCounts { ones, population }),
-                    // This shard simply holds no records for the subset:
-                    // its share of the pool is empty, which merges as a
-                    // no-op instead of failing the whole scatter.
-                    Err(Error::UnknownSubset { .. } | Error::EmptyDatabase) => {
-                        counts.push(QueryCounts::default());
-                    }
-                    Err(e) => return query_error(&e),
-                }
-            }
-            Response::PartialCounts(counts)
-        }
-        Request::PartialDistribution { subset } => {
-            if subset.len() > MAX_DISTRIBUTION_WIDTH {
-                return Response::Error {
-                    code: codes::BAD_REQUEST,
-                    message: format!(
-                        "distribution width {} exceeds server cap {MAX_DISTRIBUTION_WIDTH}",
-                        subset.len()
-                    ),
-                };
-            }
-            if let Some(refusal) = charge_budget(state, conn, 1u32 << subset.len()) {
-                return refusal;
-            }
-            match state
+            // Shard semantics: a subset this node holds no records for
+            // is an empty share `(0, 0)` that merges as a no-op, not an
+            // error that fails the whole scatter.
+            let counts = state
                 .engine
-                .estimator()
-                .count_distribution(state.coordinator.pool(), &subset)
-            {
-                Ok((ones, population)) => {
-                    Response::PartialDistribution(PartialDistribution { ones, population })
-                }
-                Err(Error::UnknownSubset { .. } | Error::EmptyDatabase) => {
-                    Response::PartialDistribution(PartialDistribution {
-                        ones: vec![0; 1 << subset.len()],
-                        population: 0,
-                    })
-                }
-                Err(e) => query_error(&e),
-            }
+                .count_terms_partial(state.coordinator.pool(), &terms);
+            Response::PartialTermCounts(
+                counts
+                    .into_iter()
+                    .map(|(ones, population)| QueryCounts { ones, population })
+                    .collect(),
+            )
         }
-        Request::ServerStats => {
-            Response::ServerStats(state.frames.snapshot(state.started.elapsed()))
-        }
+        Request::ServerStats => Response::ServerStats(
+            state
+                .frames
+                .snapshot(state.started.elapsed(), &state.engine),
+        ),
     }
+}
+
+/// Refuses oversized plans/term batches before any scan or charge.
+fn check_plan_size(terms: usize) -> Option<Response> {
+    (terms > wire::MAX_PLAN_TERMS).then(|| Response::Error {
+        code: codes::BAD_REQUEST,
+        message: format!(
+            "plan holds {terms} terms, server cap is {}",
+            wire::MAX_PLAN_TERMS
+        ),
+    })
 }
 
 /// Ingests one batch: WAL append + fsync first, then the pool apply,

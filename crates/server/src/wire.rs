@@ -23,10 +23,9 @@
 //! reject a frame from the future (or the past) with
 //! [`codes::UNSUPPORTED_VERSION`] without guessing at its body layout.
 
-use psketch_core::{BitString, BitSubset, Error, Estimate, UserId};
-use psketch_protocol::{
-    Announcement, CoordinatorStats, PartialDistribution, QueryCounts, ShardIdentity, Submission,
-};
+use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Error, Estimate, UserId};
+use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentity, Submission};
+use psketch_queries::{LinearAnswer, TermPlan};
 use std::io::{self, Read, Write};
 
 /// Current protocol version.
@@ -35,10 +34,22 @@ use std::io::{self, Read, Write};
 /// * 1 — the original single-node protocol (announcement, submit,
 ///   conjunctive/distribution/linear estimates, stats, ping).
 /// * 2 — the cluster revision: hello handshake (analyst identity +
-///   shard identity), partial-count query frames for scatter-gather
-///   routers, server stats (uptime + per-frame-kind counters), and the
-///   budget-exhausted error code.
-pub const PROTOCOL_VERSION: u8 = 2;
+///   shard identity), per-kind partial-count query frames for
+///   scatter-gather routers, server stats (uptime + per-frame-kind
+///   counters), and the budget-exhausted error code.
+/// * 3 — the query-plan revision: messages carry serialized
+///   [`TermPlan`]s. The `Plan` frame executes a whole compiled plan
+///   server-side (replacing the v2 `Linear` frame); the generic
+///   `PartialTermCounts` frame scatters a plan's deduplicated term list
+///   and replaces the v2 `PartialCounts`/`PartialDistribution` pair —
+///   every query family shards through this one frame. Server stats
+///   gained the engine's plan/memoization counters.
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// Hard ceiling on the terms of one plan (or term-counts batch); larger
+/// plans are refused as [`codes::BAD_REQUEST`] before any scan. A
+/// 16-bit distribution compiles to exactly this many terms.
+pub const MAX_PLAN_TERMS: usize = 1 << 16;
 
 /// Hard ceiling on a frame payload; larger length prefixes are treated
 /// as malformed (they are far more likely garbage or abuse than a real
@@ -74,28 +85,27 @@ const REQ_ANNOUNCEMENT: u8 = 0x01;
 const REQ_SUBMIT: u8 = 0x02;
 const REQ_CONJUNCTIVE: u8 = 0x03;
 const REQ_DISTRIBUTION: u8 = 0x04;
-const REQ_LINEAR: u8 = 0x05;
+const REQ_PLAN: u8 = 0x05;
 const REQ_STATS: u8 = 0x06;
 const REQ_PING: u8 = 0x07;
 const REQ_HELLO: u8 = 0x08;
-const REQ_PARTIAL_COUNTS: u8 = 0x09;
-const REQ_PARTIAL_DISTRIBUTION: u8 = 0x0A;
+const REQ_PLAN_COUNTS: u8 = 0x09;
 const REQ_SERVER_STATS: u8 = 0x0B;
 const RESP_ANNOUNCEMENT: u8 = 0x81;
 const RESP_SUBMIT_ACK: u8 = 0x82;
 const RESP_ESTIMATE: u8 = 0x83;
 const RESP_DISTRIBUTION: u8 = 0x84;
-const RESP_LINEAR: u8 = 0x85;
+const RESP_PLAN: u8 = 0x85;
 const RESP_STATS: u8 = 0x86;
 const RESP_PONG: u8 = 0x87;
 const RESP_HELLO: u8 = 0x88;
-const RESP_PARTIAL_COUNTS: u8 = 0x89;
-const RESP_PARTIAL_DISTRIBUTION: u8 = 0x8A;
+const RESP_PLAN_COUNTS: u8 = 0x89;
 const RESP_SERVER_STATS: u8 = 0x8B;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Highest request kind byte (the server keeps one per-kind request
-/// counter for each of `0x01..=MAX_REQUEST_KIND`).
+/// counter for each of `0x01..=MAX_REQUEST_KIND`; `0x0A` is a retired
+/// v2 kind and stays unused).
 pub const MAX_REQUEST_KIND: u8 = REQ_SERVER_STATS;
 
 /// Human-readable name of a request kind byte (for stats display).
@@ -106,29 +116,33 @@ pub fn request_kind_name(kind: u8) -> Option<&'static str> {
         REQ_SUBMIT => "submit",
         REQ_CONJUNCTIVE => "conjunctive",
         REQ_DISTRIBUTION => "distribution",
-        REQ_LINEAR => "linear",
+        REQ_PLAN => "plan",
         REQ_STATS => "stats",
         REQ_PING => "ping",
         REQ_HELLO => "hello",
-        REQ_PARTIAL_COUNTS => "partial-counts",
-        REQ_PARTIAL_DISTRIBUTION => "partial-distribution",
+        REQ_PLAN_COUNTS => "plan-counts",
         REQ_SERVER_STATS => "server-stats",
         _ => return None,
     })
 }
 
-/// One `(B, v)` conjunctive query of a wire-level partial-counts batch.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ConjunctiveWire {
-    /// The queried subset.
-    pub subset: BitSubset,
-    /// The queried value (same width as `subset`).
-    pub value: BitString,
+/// The engine-side plan/memoization counters a server reports (the
+/// wire shape of [`psketch_queries::EngineStatsSnapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Plans executed through the engine (the `Plan` frame path).
+    pub plans_executed: u64,
+    /// Conjunctive terms actually scanned (memo/dedup misses).
+    pub terms_scanned: u64,
+    /// Term references served without a scan (memo hits plus
+    /// compile-time plan deduplication).
+    pub terms_reused: u64,
 }
 
 /// Server-level observability counters: process uptime plus one request
 /// counter per frame kind (malformed frames land in the dedicated
-/// `malformed` bucket because they have no trustworthy kind byte).
+/// `malformed` bucket because they have no trustworthy kind byte) and
+/// the engine's plan-execution counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Seconds since the server started.
@@ -138,6 +152,8 @@ pub struct ServerStats {
     pub frames: Vec<(u8, u64)>,
     /// Frames that could not be decoded (no kind attributable).
     pub malformed: u64,
+    /// Plan-execution and term-memoization counters.
+    pub plans: PlanStats,
 }
 
 impl ServerStats {
@@ -157,17 +173,6 @@ impl ServerStats {
     }
 }
 
-/// One weighted conjunctive term of a wire-level linear query.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LinearTermWire {
-    /// The weight applied to the term's estimated frequency.
-    pub coeff: f64,
-    /// The queried subset.
-    pub subset: BitSubset,
-    /// The queried value (same width as `subset`).
-    pub value: BitString,
-}
-
 /// A client → server request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -175,25 +180,27 @@ pub enum Request {
     FetchAnnouncement,
     /// Submit a batch of user submissions for ingestion.
     SubmitBatch(Vec<Submission>),
-    /// Estimate one conjunctive frequency.
+    /// Estimate one conjunctive frequency (the pre-plan direct path,
+    /// kept as the single-query fast lane and the oracle the plan path
+    /// is tested against).
     Conjunctive {
         /// The queried subset.
         subset: BitSubset,
         /// The queried value.
         value: BitString,
     },
-    /// Estimate the full `2^k` value distribution over one subset.
+    /// Estimate the full `2^k` value distribution over one subset (the
+    /// pre-plan direct path).
     Distribution {
         /// The queried subset.
         subset: BitSubset,
     },
-    /// Evaluate a linear combination of conjunctive frequencies.
-    Linear {
-        /// Constant offset added to the combination.
-        constant: f64,
-        /// The weighted conjunctive terms.
-        terms: Vec<LinearTermWire>,
-    },
+    /// Execute a compiled query plan server-side: every query family —
+    /// linear combinations, DNF, intervals, means, moments, trees,
+    /// histograms — travels as this one frame. The analyst is charged
+    /// the plan's **term count** (its true Corollary 3.4 cost), never
+    /// per-output.
+    Plan(TermPlan),
     /// Fetch the coordinator's ingestion counters.
     Stats,
     /// Liveness probe.
@@ -204,20 +211,16 @@ pub enum Request {
         /// The analyst this connection acts for (0 = anonymous).
         analyst: u64,
     },
-    /// Raw satisfying counts for a batch of conjunctive queries — the
+    /// Raw satisfying counts for a plan's deduplicated term list — the
     /// scatter half of a router's scatter-gather. One batch answers a
-    /// whole linear query's distinct terms in one round trip.
-    PartialCounts {
-        /// The queries to count, answered positionally.
-        queries: Vec<ConjunctiveWire>,
-    },
-    /// Raw per-value satisfying counts for one subset's distribution.
-    PartialDistribution {
-        /// The queried subset.
-        subset: BitSubset,
+    /// whole plan's terms in one round trip; the router merges the
+    /// integer counts and runs the inversion + post-combination once.
+    PartialTermCounts {
+        /// The terms to count, answered positionally.
+        terms: Vec<ConjunctiveQuery>,
     },
     /// Fetch server-level observability counters (uptime, per-frame-kind
-    /// request counts).
+    /// request counts, plan/memoization counters).
     ServerStats,
 }
 
@@ -256,6 +259,37 @@ impl From<EstimateWire> for Estimate {
     }
 }
 
+/// One plan output's answer (mirrors [`psketch_queries::LinearAnswer`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanAnswerWire {
+    /// The estimated value of the output's combination.
+    pub value: f64,
+    /// Distinct conjunctive terms the output references.
+    pub queries_used: u64,
+    /// Smallest sample size among the underlying term estimates.
+    pub min_sample_size: u64,
+}
+
+impl From<LinearAnswer> for PlanAnswerWire {
+    fn from(a: LinearAnswer) -> Self {
+        Self {
+            value: a.value,
+            queries_used: a.queries_used as u64,
+            min_sample_size: a.min_sample_size as u64,
+        }
+    }
+}
+
+impl From<PlanAnswerWire> for LinearAnswer {
+    fn from(a: PlanAnswerWire) -> Self {
+        Self {
+            value: a.value,
+            queries_used: usize::try_from(a.queries_used).unwrap_or(usize::MAX),
+            min_sample_size: usize::try_from(a.min_sample_size).unwrap_or(usize::MAX),
+        }
+    }
+}
+
 /// A server → client response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -273,15 +307,9 @@ pub enum Response {
     /// Answer to a [`Request::Distribution`], indexed by the LSB-first
     /// integer encoding of the value.
     Distribution(Vec<EstimateWire>),
-    /// Answer to a [`Request::Linear`].
-    Linear {
-        /// The estimated value of the combination.
-        value: f64,
-        /// Conjunctive estimates actually performed.
-        queries_used: u64,
-        /// Smallest sample size among the underlying estimates.
-        min_sample_size: u64,
-    },
+    /// Answer to a [`Request::Plan`]: one answer per plan output, in
+    /// plan order.
+    PlanAnswers(Vec<PlanAnswerWire>),
     /// Answer to a [`Request::Stats`].
     Stats(CoordinatorStats),
     /// Answer to a [`Request::Ping`].
@@ -292,11 +320,9 @@ pub enum Response {
         /// `None` for a standalone (unsharded) server.
         shard: Option<ShardIdentity>,
     },
-    /// Answer to a [`Request::PartialCounts`], aligned positionally with
-    /// the request's queries.
-    PartialCounts(Vec<QueryCounts>),
-    /// Answer to a [`Request::PartialDistribution`].
-    PartialDistribution(PartialDistribution),
+    /// Answer to a [`Request::PartialTermCounts`], aligned positionally
+    /// with the request's terms.
+    PartialTermCounts(Vec<QueryCounts>),
     /// Answer to a [`Request::ServerStats`].
     ServerStats(ServerStats),
     /// The request failed; see [`codes`].
@@ -544,6 +570,99 @@ fn get_submissions(dec: &mut Dec<'_>) -> Result<Vec<Submission>, Error> {
     Ok(subs)
 }
 
+/// Encodes a term list with **subset interning**: distinct subsets
+/// travel once in a table and each term references its subset by
+/// index. A `2^k`-value distribution plan repeats one subset across
+/// every term — interning keeps that frame a few dozen bytes per term
+/// instead of re-encoding a potentially wide subset `2^k` times.
+fn put_terms(buf: &mut Vec<u8>, terms: &[ConjunctiveQuery]) {
+    let mut subsets: Vec<&BitSubset> = Vec::new();
+    let mut indices = Vec::with_capacity(terms.len());
+    for term in terms {
+        // Terms are usually grouped by subset; check the most recent
+        // entry before scanning the whole table.
+        let index = match subsets.last() {
+            Some(&last) if last == term.subset() => subsets.len() - 1,
+            _ => match subsets.iter().position(|&s| s == term.subset()) {
+                Some(i) => i,
+                None => {
+                    subsets.push(term.subset());
+                    subsets.len() - 1
+                }
+            },
+        };
+        indices.push(index);
+    }
+    put_len(buf, subsets.len());
+    for subset in subsets {
+        put_subset(buf, subset);
+    }
+    put_len(buf, terms.len());
+    for (term, index) in terms.iter().zip(indices) {
+        put_u32(buf, u32::try_from(index).expect("index fits u32"));
+        put_bitstring(buf, term.value());
+    }
+}
+
+fn get_terms(dec: &mut Dec<'_>) -> Result<Vec<ConjunctiveQuery>, Error> {
+    let n_subsets = dec.count(4)?;
+    let mut subsets = Vec::with_capacity(n_subsets);
+    for _ in 0..n_subsets {
+        subsets.push(get_subset(dec)?);
+    }
+    let n = dec.count(8)?;
+    let mut terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let index = dec.u32()? as usize;
+        let subset = subsets.get(index).ok_or_else(|| {
+            codec_err(format!(
+                "term references subset {index} of {n_subsets} in the table"
+            ))
+        })?;
+        let value = get_bitstring(dec)?;
+        terms.push(ConjunctiveQuery::new(subset.clone(), value)?);
+    }
+    Ok(terms)
+}
+
+/// Encodes a serialized plan: description, deduplicated term list, then
+/// per output `(label, constant, combination)` with term references by
+/// slot index.
+fn put_plan(buf: &mut Vec<u8>, plan: &TermPlan) {
+    put_bytes(buf, plan.description().as_bytes());
+    put_terms(buf, plan.terms());
+    put_len(buf, plan.outputs().len());
+    for output in plan.outputs() {
+        put_bytes(buf, output.label.as_bytes());
+        put_f64(buf, output.constant);
+        put_len(buf, output.combination().len());
+        for &(coeff, slot) in output.combination() {
+            put_f64(buf, coeff);
+            put_u32(buf, u32::try_from(slot).expect("slot fits u32"));
+        }
+    }
+}
+
+fn get_plan(dec: &mut Dec<'_>) -> Result<TermPlan, Error> {
+    let description = dec.string()?;
+    let terms = get_terms(dec)?;
+    let n_outputs = dec.count(12)?;
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        let label = dec.string()?;
+        let constant = dec.f64()?;
+        let n_comb = dec.count(12)?;
+        let mut combination = Vec::with_capacity(n_comb);
+        for _ in 0..n_comb {
+            let coeff = dec.f64()?;
+            let slot = dec.u32()? as usize;
+            combination.push((coeff, slot));
+        }
+        outputs.push((label, constant, combination));
+    }
+    TermPlan::from_parts(description, terms, outputs)
+}
+
 fn put_estimate(buf: &mut Vec<u8>, e: &EstimateWire) {
     put_f64(buf, e.fraction);
     put_f64(buf, e.raw);
@@ -607,15 +726,9 @@ impl Request {
                 put_subset(&mut buf, subset);
                 buf
             }
-            Self::Linear { constant, terms } => {
-                let mut buf = payload(REQ_LINEAR);
-                put_f64(&mut buf, *constant);
-                put_len(&mut buf, terms.len());
-                for t in terms {
-                    put_f64(&mut buf, t.coeff);
-                    put_subset(&mut buf, &t.subset);
-                    put_bitstring(&mut buf, &t.value);
-                }
+            Self::Plan(plan) => {
+                let mut buf = payload(REQ_PLAN);
+                put_plan(&mut buf, plan);
                 buf
             }
             Self::Stats => payload(REQ_STATS),
@@ -625,18 +738,9 @@ impl Request {
                 put_u64(&mut buf, *analyst);
                 buf
             }
-            Self::PartialCounts { queries } => {
-                let mut buf = payload(REQ_PARTIAL_COUNTS);
-                put_len(&mut buf, queries.len());
-                for q in queries {
-                    put_subset(&mut buf, &q.subset);
-                    put_bitstring(&mut buf, &q.value);
-                }
-                buf
-            }
-            Self::PartialDistribution { subset } => {
-                let mut buf = payload(REQ_PARTIAL_DISTRIBUTION);
-                put_subset(&mut buf, subset);
+            Self::PartialTermCounts { terms } => {
+                let mut buf = payload(REQ_PLAN_COUNTS);
+                put_terms(&mut buf, terms);
                 buf
             }
             Self::ServerStats => payload(REQ_SERVER_STATS),
@@ -666,37 +770,14 @@ impl Request {
             REQ_DISTRIBUTION => Self::Distribution {
                 subset: get_subset(&mut dec)?,
             },
-            REQ_LINEAR => {
-                let constant = dec.f64()?;
-                let n = dec.count(8)?;
-                let mut terms = Vec::with_capacity(n);
-                for _ in 0..n {
-                    terms.push(LinearTermWire {
-                        coeff: dec.f64()?,
-                        subset: get_subset(&mut dec)?,
-                        value: get_bitstring(&mut dec)?,
-                    });
-                }
-                Self::Linear { constant, terms }
-            }
+            REQ_PLAN => Self::Plan(get_plan(&mut dec)?),
             REQ_STATS => Self::Stats,
             REQ_PING => Self::Ping,
             REQ_HELLO => Self::Hello {
                 analyst: dec.u64()?,
             },
-            REQ_PARTIAL_COUNTS => {
-                let n = dec.count(8)?;
-                let mut queries = Vec::with_capacity(n);
-                for _ in 0..n {
-                    queries.push(ConjunctiveWire {
-                        subset: get_subset(&mut dec)?,
-                        value: get_bitstring(&mut dec)?,
-                    });
-                }
-                Self::PartialCounts { queries }
-            }
-            REQ_PARTIAL_DISTRIBUTION => Self::PartialDistribution {
-                subset: get_subset(&mut dec)?,
+            REQ_PLAN_COUNTS => Self::PartialTermCounts {
+                terms: get_terms(&mut dec)?,
             },
             REQ_SERVER_STATS => Self::ServerStats,
             other => return Err(codec_err(format!("unknown request kind {other:#04x}"))),
@@ -735,15 +816,14 @@ impl Response {
                 }
                 buf
             }
-            Self::Linear {
-                value,
-                queries_used,
-                min_sample_size,
-            } => {
-                let mut buf = payload(RESP_LINEAR);
-                put_f64(&mut buf, *value);
-                put_u64(&mut buf, *queries_used);
-                put_u64(&mut buf, *min_sample_size);
+            Self::PlanAnswers(answers) => {
+                let mut buf = payload(RESP_PLAN);
+                put_len(&mut buf, answers.len());
+                for a in answers {
+                    put_f64(&mut buf, a.value);
+                    put_u64(&mut buf, a.queries_used);
+                    put_u64(&mut buf, a.min_sample_size);
+                }
                 buf
             }
             Self::Stats(stats) => {
@@ -767,22 +847,13 @@ impl Response {
                 }
                 buf
             }
-            Self::PartialCounts(counts) => {
-                let mut buf = payload(RESP_PARTIAL_COUNTS);
+            Self::PartialTermCounts(counts) => {
+                let mut buf = payload(RESP_PLAN_COUNTS);
                 put_len(&mut buf, counts.len());
                 for c in counts {
                     put_u64(&mut buf, c.ones);
                     put_u64(&mut buf, c.population);
                 }
-                buf
-            }
-            Self::PartialDistribution(partial) => {
-                let mut buf = payload(RESP_PARTIAL_DISTRIBUTION);
-                put_len(&mut buf, partial.ones.len());
-                for &ones in &partial.ones {
-                    put_u64(&mut buf, ones);
-                }
-                put_u64(&mut buf, partial.population);
                 buf
             }
             Self::ServerStats(stats) => {
@@ -794,6 +865,9 @@ impl Response {
                     put_u64(&mut buf, count);
                 }
                 put_u64(&mut buf, stats.malformed);
+                put_u64(&mut buf, stats.plans.plans_executed);
+                put_u64(&mut buf, stats.plans.terms_scanned);
+                put_u64(&mut buf, stats.plans.terms_reused);
                 buf
             }
             Self::Error { code, message } => {
@@ -833,11 +907,18 @@ impl Response {
                 }
                 Self::Distribution(es)
             }
-            RESP_LINEAR => Self::Linear {
-                value: dec.f64()?,
-                queries_used: dec.u64()?,
-                min_sample_size: dec.u64()?,
-            },
+            RESP_PLAN => {
+                let n = dec.count(24)?;
+                let mut answers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    answers.push(PlanAnswerWire {
+                        value: dec.f64()?,
+                        queries_used: dec.u64()?,
+                        min_sample_size: dec.u64()?,
+                    });
+                }
+                Self::PlanAnswers(answers)
+            }
             RESP_STATS => Self::Stats(CoordinatorStats {
                 accepted: dec.u64()?,
                 duplicates: dec.u64()?,
@@ -858,7 +939,7 @@ impl Response {
                 };
                 Self::Hello { shard }
             }
-            RESP_PARTIAL_COUNTS => {
+            RESP_PLAN_COUNTS => {
                 let n = dec.count(16)?;
                 let mut counts = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -867,18 +948,7 @@ impl Response {
                         population: dec.u64()?,
                     });
                 }
-                Self::PartialCounts(counts)
-            }
-            RESP_PARTIAL_DISTRIBUTION => {
-                let n = dec.count(8)?;
-                let mut ones = Vec::with_capacity(n);
-                for _ in 0..n {
-                    ones.push(dec.u64()?);
-                }
-                Self::PartialDistribution(PartialDistribution {
-                    ones,
-                    population: dec.u64()?,
-                })
+                Self::PartialTermCounts(counts)
             }
             RESP_SERVER_STATS => {
                 let uptime_secs = dec.u64()?;
@@ -892,6 +962,11 @@ impl Response {
                     uptime_secs,
                     frames,
                     malformed: dec.u64()?,
+                    plans: PlanStats {
+                        plans_executed: dec.u64()?,
+                        terms_scanned: dec.u64()?,
+                        terms_reused: dec.u64()?,
+                    },
                 })
             }
             RESP_ERROR => Self::Error {
@@ -1050,33 +1125,86 @@ mod tests {
         roundtrip_request(&Request::Distribution {
             subset: BitSubset::range(0, 4),
         });
-        roundtrip_request(&Request::Linear {
-            constant: -0.5,
-            terms: vec![LinearTermWire {
-                coeff: 2.0,
-                subset: BitSubset::single(1),
-                value: BitString::from_bits(&[true]),
-            }],
-        });
+        let mut lq = psketch_queries::LinearQuery::new("wire roundtrip");
+        lq.constant = -0.5;
+        lq.push(
+            2.0,
+            ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true])).unwrap(),
+        );
+        roundtrip_request(&Request::Plan(TermPlan::compile(&lq)));
+        roundtrip_request(&Request::Plan(TermPlan::for_distribution(
+            &BitSubset::range(0, 3),
+        )));
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Hello { analyst: 99 });
-        roundtrip_request(&Request::PartialCounts {
-            queries: vec![
-                ConjunctiveWire {
-                    subset: BitSubset::new(vec![0, 3]).unwrap(),
-                    value: BitString::from_bits(&[true, false]),
-                },
-                ConjunctiveWire {
-                    subset: BitSubset::single(1),
-                    value: BitString::from_bits(&[true]),
-                },
+        roundtrip_request(&Request::PartialTermCounts {
+            terms: vec![
+                ConjunctiveQuery::new(
+                    BitSubset::new(vec![0, 3]).unwrap(),
+                    BitString::from_bits(&[true, false]),
+                )
+                .unwrap(),
+                ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true])).unwrap(),
             ],
         });
-        roundtrip_request(&Request::PartialDistribution {
-            subset: BitSubset::range(0, 3),
-        });
         roundtrip_request(&Request::ServerStats);
+    }
+
+    #[test]
+    fn term_lists_intern_subsets() {
+        // A distribution plan repeats one subset across every term; the
+        // interned encoding must not grow with the subset width per
+        // term, and a corrupted subset index must be rejected.
+        let subset = BitSubset::new((0..12u32).map(|i| i * 3).collect()).unwrap();
+        let plan = TermPlan::for_distribution(&BitSubset::range(0, 4));
+        let narrow = Request::PartialTermCounts {
+            terms: plan.terms().to_vec(),
+        }
+        .encode();
+        let wide_terms: Vec<ConjunctiveQuery> = (0..16u64)
+            .map(|v| ConjunctiveQuery::new(subset.clone(), BitString::from_u64(v, 12)).unwrap())
+            .collect();
+        let wide = Request::PartialTermCounts {
+            terms: wide_terms.clone(),
+        }
+        .encode();
+        // 12-position subsets cost 52 bytes each; interned, the 16-term
+        // batches differ by one subset table entry, not 16 of them.
+        assert!(
+            wide.len() < narrow.len() + 128,
+            "wide batch {} vs narrow {} — subsets not interned?",
+            wide.len(),
+            narrow.len()
+        );
+        assert_eq!(
+            Request::decode(&wide).unwrap(),
+            Request::PartialTermCounts { terms: wide_terms }
+        );
+        // Corrupt the (single) subset-table index of the first term.
+        let mut payload = Request::PartialTermCounts {
+            terms: plan.terms()[..1].to_vec(),
+        }
+        .encode();
+        let n = payload.len();
+        // Layout tail: … ‖ u32 index ‖ u32 bitlen ‖ 1 value byte.
+        payload[n - 9..n - 5].copy_from_slice(&9u32.to_le_bytes());
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn plan_slot_corruption_rejected() {
+        // A plan whose output references a term beyond the term list
+        // must fail to decode, not index out of bounds at execution.
+        let plan = TermPlan::for_conjunctive(
+            ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true])).unwrap(),
+        );
+        let mut payload = Request::Plan(plan).encode();
+        // The slot is the last 4 bytes of the payload (one combination
+        // entry of (f64 coeff, u32 slot)).
+        let n = payload.len();
+        payload[n - 4..].copy_from_slice(&7u32.to_le_bytes());
+        assert!(Request::decode(&payload).is_err());
     }
 
     #[test]
@@ -1094,11 +1222,18 @@ mod tests {
         };
         roundtrip_response(&Response::Estimate(e));
         roundtrip_response(&Response::Distribution(vec![e; 4]));
-        roundtrip_response(&Response::Linear {
-            value: 1.5,
-            queries_used: 3,
-            min_sample_size: 500,
-        });
+        roundtrip_response(&Response::PlanAnswers(vec![
+            PlanAnswerWire {
+                value: 1.5,
+                queries_used: 3,
+                min_sample_size: 500,
+            },
+            PlanAnswerWire {
+                value: -0.25,
+                queries_used: 1,
+                min_sample_size: 10,
+            },
+        ]));
         roundtrip_response(&Response::Stats(CoordinatorStats {
             accepted: 1,
             duplicates: 2,
@@ -1113,7 +1248,7 @@ mod tests {
                 shard_count: 5,
             }),
         });
-        roundtrip_response(&Response::PartialCounts(vec![
+        roundtrip_response(&Response::PartialTermCounts(vec![
             QueryCounts {
                 ones: 17,
                 population: 100,
@@ -1123,14 +1258,15 @@ mod tests {
                 population: 0,
             },
         ]));
-        roundtrip_response(&Response::PartialDistribution(PartialDistribution {
-            ones: vec![1, 2, 3, 4],
-            population: 10,
-        }));
         roundtrip_response(&Response::ServerStats(ServerStats {
             uptime_secs: 3600,
             frames: vec![(0x03, 12), (0x09, 4)],
             malformed: 2,
+            plans: PlanStats {
+                plans_executed: 5,
+                terms_scanned: 40,
+                terms_reused: 9,
+            },
         }));
         roundtrip_response(&Response::Error {
             code: codes::QUERY,
@@ -1144,11 +1280,13 @@ mod tests {
             uptime_secs: 1,
             frames: vec![(0x03, 12), (0x09, 4)],
             malformed: 0,
+            plans: PlanStats::default(),
         };
         assert_eq!(stats.total_requests(), 16);
         assert_eq!(stats.count_for(0x09), 4);
         assert_eq!(stats.count_for(0x05), 0);
-        assert_eq!(request_kind_name(0x09), Some("partial-counts"));
+        assert_eq!(request_kind_name(0x09), Some("plan-counts"));
+        assert_eq!(request_kind_name(0x0A), None);
         assert_eq!(request_kind_name(0x7F), None);
     }
 

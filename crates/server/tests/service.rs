@@ -126,16 +126,28 @@ fn loopback_concurrent_clients_match_oracle() {
     for (s, l) in served.iter().zip(&local) {
         assert_eq!(s.fraction.to_bits(), l.fraction.to_bits());
     }
-    // A linear query (P[b0] + P[b1] − 1, say) matches the engine.
-    let (value, used, min_n) = client
-        .linear(
-            -1.0,
-            vec![
-                (1.0, BitSubset::single(0), BitString::from_bits(&[true])),
-                (1.0, BitSubset::single(1), BitString::from_bits(&[true])),
-            ],
-        )
+    // A linear query (P[b0] + P[b1] − 1, say) travels as a plan and
+    // matches the engine.
+    let mut lq = psketch_queries::LinearQuery::new("service linear");
+    lq.constant = -1.0;
+    lq.push(
+        1.0,
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
+            .unwrap(),
+    );
+    lq.push(
+        1.0,
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true]))
+            .unwrap(),
+    );
+    let answers = client
+        .execute_plan(&psketch_queries::TermPlan::compile(&lq))
         .unwrap();
+    let (value, used, min_n) = (
+        answers[0].value,
+        answers[0].queries_used,
+        answers[0].min_sample_size,
+    );
     assert_eq!(used, 2);
     assert_eq!(min_n, 1000);
     let e0 = client
@@ -516,38 +528,37 @@ fn hello_handshake_reports_shard_identity_and_partials_match_counts() {
     );
     client.submit_batch(&subs).unwrap();
 
-    // Partial counts invert to exactly the served estimate.
+    // Partial term counts invert to exactly the served estimate.
     let subset = BitSubset::range(0, 2);
     let value = BitString::from_bits(&[true, false]);
-    let counts = client
-        .partial_counts(vec![(subset.clone(), value.clone())])
-        .unwrap();
+    let term = psketch_core::ConjunctiveQuery::new(subset.clone(), value.clone()).unwrap();
+    let counts = client.partial_term_counts(&[term]).unwrap();
     assert_eq!(counts.len(), 1);
     assert_eq!(counts[0].population, 300);
     let served = client.conjunctive(subset.clone(), value).unwrap();
     let inverted = psketch_core::Estimate::from_counts(counts[0].ones, counts[0].population, ann.p);
     assert_eq!(inverted.fraction.to_bits(), served.fraction.to_bits());
 
-    // Partial distribution counts invert to the served distribution.
-    let partial = client.partial_distribution(subset.clone()).unwrap();
-    assert_eq!(partial.ones.len(), 4);
-    assert_eq!(partial.population, 300);
+    // A distribution plan's term counts invert to the served
+    // distribution (the generic frame covers what the retired
+    // PartialDistribution frame did).
+    let dist_plan = psketch_queries::TermPlan::for_distribution(&subset);
+    let partial = client.partial_term_counts(dist_plan.terms()).unwrap();
+    assert_eq!(partial.len(), 4);
     let served = client.distribution(subset.clone()).unwrap();
-    for (ones, s) in partial.ones.iter().zip(&served) {
-        let e = psketch_core::Estimate::from_counts(*ones, partial.population, ann.p);
+    for (c, s) in partial.iter().zip(&served) {
+        assert_eq!(c.population, 300);
+        let e = psketch_core::Estimate::from_counts(c.ones, c.population, ann.p);
         assert_eq!(e.fraction.to_bits(), s.fraction.to_bits());
     }
 
     // An unknown subset is an *empty share*, not an error, on the
     // partial path (a shard may simply hold none of those records).
     let unknown = BitSubset::new(vec![40, 41]).unwrap();
-    let counts = client
-        .partial_counts(vec![(unknown.clone(), BitString::from_bits(&[true, true]))])
-        .unwrap();
+    let term =
+        psketch_core::ConjunctiveQuery::new(unknown, BitString::from_bits(&[true, true])).unwrap();
+    let counts = client.partial_term_counts(&[term]).unwrap();
     assert_eq!((counts[0].ones, counts[0].population), (0, 0));
-    let partial = client.partial_distribution(unknown).unwrap();
-    assert_eq!(partial.population, 0);
-    assert_eq!(partial.ones, vec![0, 0, 0, 0]);
     server.shutdown();
 }
 
@@ -621,16 +632,45 @@ fn analyst_budget_is_enforced_with_a_dedicated_error_frame() {
         Err(ClientError::Server { code, .. }) if code == codes::BUDGET
     ));
 
-    // A malformed partial batch (width mismatch) is rejected *before*
-    // the charge: the analyst's budget still affords a valid query.
+    // An oversized term batch is refused (BAD_REQUEST) *before* the
+    // charge: the analyst's budget still affords a valid query.
     let mut careless = Client::connect(server.local_addr(), TIMEOUT).unwrap();
     careless.hello(4).unwrap();
+    let term = psketch_core::ConjunctiveQuery::new(subset.clone(), value.clone()).unwrap();
+    let huge = vec![term.clone(); psketch_server::wire::MAX_PLAN_TERMS + 1];
     assert!(matches!(
-        careless.partial_counts(vec![(BitSubset::range(0, 2), BitString::from_bits(&[true]))]),
-        Err(ClientError::Server { code, .. }) if code == codes::QUERY
+        careless.partial_term_counts(&huge),
+        Err(ClientError::Server { code, .. }) if code == codes::BAD_REQUEST
     ));
-    careless
-        .partial_counts(vec![(subset.clone(), value.clone())])
+    careless.partial_term_counts(&[term]).unwrap();
+
+    // A compound plan is charged its *term count*: a 2-term plan is
+    // refused outright for a fresh analyst whose budget affords one.
+    let mut compound = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    compound.hello(5).unwrap();
+    let mut lq = psketch_queries::LinearQuery::new("two terms");
+    lq.push(
+        1.0,
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
+            .unwrap(),
+    );
+    lq.push(
+        1.0,
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true]))
+            .unwrap(),
+    );
+    assert!(matches!(
+        compound.execute_plan(&psketch_queries::TermPlan::compile(&lq)),
+        Err(ClientError::Server { code, .. }) if code == codes::BUDGET
+    ));
+    // The same two terms *deduplicated to one* (a repeated-term plan)
+    // cost a single estimate and fit the budget.
+    let mut dup = psketch_queries::LinearQuery::new("dup term");
+    let q = psketch_core::ConjunctiveQuery::new(subset.clone(), value.clone()).unwrap();
+    dup.push(1.0, q.clone());
+    dup.push(2.0, q);
+    compound
+        .execute_plan(&psketch_queries::TermPlan::compile(&dup))
         .unwrap();
     server.shutdown();
 }
