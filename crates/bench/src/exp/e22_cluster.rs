@@ -95,8 +95,9 @@ fn run_shards(
 
     // --- Parallel ingest, one connection per shard. ---
     let start = Instant::now();
-    let (accepted, rejected) = parallel_ingest(&map, subs, TIMEOUT, 500).expect("cluster ingest");
+    let report = parallel_ingest(&map, subs, TIMEOUT, 500);
     let ingest_per_sec = subs.len() as f64 / start.elapsed().as_secs_f64();
+    let (accepted, rejected) = report.totals().expect("cluster ingest");
     assert_eq!(accepted, subs.len() as u64, "every submission lands");
     assert_eq!(rejected, 0);
 

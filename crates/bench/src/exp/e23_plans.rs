@@ -215,7 +215,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
             .collect();
         let map = ShardMap::new(1, servers.iter().map(|s| s.local_addr().to_string()))
             .expect("non-empty map");
-        let (accepted, _) = parallel_ingest(&map, &subs, TIMEOUT, 500).expect("cluster ingest");
+        let (accepted, _) = parallel_ingest(&map, &subs, TIMEOUT, 500)
+            .totals()
+            .expect("cluster ingest");
         assert_eq!(accepted, subs.len() as u64);
         let mut router = Router::new(
             map,

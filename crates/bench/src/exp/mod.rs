@@ -23,6 +23,7 @@ pub mod e20_throughput;
 pub mod e21_service;
 pub mod e22_cluster;
 pub mod e23_plans;
+pub mod e24_scatter;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -133,6 +134,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Query plans: plan-path vs legacy-path per family, 1/2/4 shards",
             e23_plans::run,
         ),
+        (
+            "e24",
+            "Scatter-gather: parallel vs sequential fan-out per family",
+            e24_scatter::run,
+        ),
     ]
 }
 
@@ -143,9 +149,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 23);
+        assert_eq!(reg.len(), 24);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 23);
+        assert_eq!(ids.len(), 24);
     }
 }

@@ -12,7 +12,9 @@
 //! psketch cluster submit (--map FILE | --addrs a,b,c) [--users 1000]
 //!                        [--seed 1] [--id-base 0] [--batch 500]
 //!     Simulate user agents against the cluster: every submission is
-//!     routed to its user's shard in parallel.
+//!     routed to its user's shard in parallel. Prints one outcome row
+//!     per shard (accepted/rejected, or the error and the submissions
+//!     it lost) and exits non-zero on a partial ingest.
 //!
 //! psketch cluster query conj --subset 0,1 --value 10 (--map|--addrs)
 //! psketch cluster query dist --subset 0,1            (--map|--addrs)
@@ -24,9 +26,12 @@
 //! psketch cluster query ping                         (--map|--addrs)
 //!     Scatter-gather analyst queries: every kind compiles to one
 //!     query plan and merges exact per-shard term counts (--json for
-//!     machine-readable output). Answers over a degraded cluster say
-//!     exactly which shards are missing instead of silently skewing
-//!     the estimate.
+//!     machine-readable output). Shards are queried **in parallel**
+//!     over persistent per-shard connections; --fanout bounds the
+//!     concurrency (0 = all shards at once, the default; 1 = the old
+//!     sequential visit order, bit-identical answers either way).
+//!     Answers over a degraded cluster say exactly which shards are
+//!     missing instead of silently skewing the estimate.
 //!
 //! psketch cluster status (--map|--addrs)
 //!     Per-shard coordinator + server counters and the exact merge.
@@ -90,6 +95,8 @@ fn router(args: &Args) -> Result<Router, CliError> {
     }
     let retries: u32 = args.get_or("retries", 2)?;
     let analyst: u64 = args.get_or("analyst", 0)?;
+    // 0 = fan out to every shard concurrently; 1 = sequential oracle.
+    let fanout: usize = args.get_or("fanout", 0)?;
     let map = load_map(args)?;
     Router::new(
         map,
@@ -97,6 +104,7 @@ fn router(args: &Args) -> Result<Router, CliError> {
             timeout: Duration::from_secs_f64(timeout),
             retries,
             analyst,
+            fanout,
             ..RouterConfig::default()
         },
     )
@@ -220,9 +228,13 @@ fn serve(args: &Args) -> Result<(), CliError> {
 }
 
 /// `psketch cluster submit`: simulate user agents, routed by shard.
+/// Per-shard outcomes are reported individually, so a partial ingest
+/// (some shards down) is visible as exactly that — never mistaken for
+/// a total failure.
 fn submit(args: &Args) -> Result<(), CliError> {
     args.reject_unknown(&[
-        "map", "addrs", "timeout", "retries", "analyst", "users", "seed", "id-base", "batch",
+        "map", "addrs", "timeout", "retries", "analyst", "fanout", "users", "seed", "id-base",
+        "batch",
     ])?;
     let users: u64 = args.get_or("users", 1_000)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -239,34 +251,54 @@ fn submit(args: &Args) -> Result<(), CliError> {
     // Generate and ingest one chunk at a time so memory stays flat
     // whatever --users is; chunks are several batches per shard so the
     // per-chunk reconnect amortizes.
-    let chunk = (batch * router.map().len() * 8).max(batch) as u64;
+    let shards = router.map().len();
+    let chunk = (batch * shards * 8).max(batch) as u64;
     let mut rng = Prg::seed_from_u64(seed);
     let start = std::time::Instant::now();
-    let mut accepted = 0u64;
-    let mut rejected = 0u64;
+    // Accumulated per shard: accepted, rejected, lost-to-error, last error.
+    let mut tallies: Vec<(u64, u64, u64, Option<String>)> = vec![(0, 0, 0, None); shards];
     let mut next = 0u64;
     while next < users {
         let chunk_end = (next + chunk).min(users);
         let submissions =
             synthetic_submissions(&ann, width, &mut rng, id_base + next..id_base + chunk_end)?;
-        let (a, r) = parallel_ingest(
+        let report = parallel_ingest(
             router.map(),
             &submissions,
             Duration::from_secs_f64(timeout),
             batch,
-        )
-        .map_err(CliError)?;
-        accepted += a;
-        rejected += r;
+        );
+        for row in &report.shards {
+            let tally = &mut tallies[row.shard as usize];
+            tally.0 += row.accepted;
+            tally.1 += row.rejected;
+            tally.2 += row.lost();
+            if let Some(e) = &row.error {
+                tally.3 = Some(e.clone());
+            }
+        }
         next = chunk_end;
     }
     let secs = start.elapsed().as_secs_f64();
+    let accepted: u64 = tallies.iter().map(|t| t.0).sum();
+    let rejected: u64 = tallies.iter().map(|t| t.1).sum();
+    let lost: u64 = tallies.iter().map(|t| t.2).sum();
+    for (shard, (a, r, l, error)) in tallies.iter().enumerate() {
+        match error {
+            None => println!("shard {shard}: accepted {a}, rejected {r}"),
+            Some(e) => println!("shard {shard}: accepted {a}, rejected {r}, LOST {l} ({e})"),
+        }
+    }
     println!(
-        "submitted {users} users across {} shards: accepted {accepted}, rejected {rejected} \
-         ({:.0} submissions/s)",
-        router.map().len(),
+        "submitted {users} users across {shards} shards: accepted {accepted}, \
+         rejected {rejected}, lost {lost} ({:.0} submissions/s)",
         accepted as f64 / secs.max(1e-9),
     );
+    if lost > 0 {
+        return Err(CliError(format!(
+            "partial ingest: {lost} submissions lost to unreachable shards (re-submit them)"
+        )));
+    }
     if rejected > 0 {
         return Err(CliError(format!(
             "{rejected} submissions rejected (duplicate ids? try --id-base)"
@@ -293,7 +325,7 @@ fn query(args: &Args) -> Result<(), CliError> {
             )
         })?;
     if crate::families::PLAN_KINDS.contains(&kind) {
-        let mut known = vec!["map", "addrs", "timeout", "retries", "analyst"];
+        let mut known = vec!["map", "addrs", "timeout", "retries", "analyst", "fanout"];
         known.extend_from_slice(crate::families::kind_flags(kind));
         args.reject_unknown(&known)?;
         let plan = crate::families::family_plan(kind, args)?;
@@ -325,7 +357,8 @@ fn query(args: &Args) -> Result<(), CliError> {
     match kind {
         "conj" => {
             args.reject_unknown(&[
-                "map", "addrs", "timeout", "retries", "analyst", "subset", "value", "json",
+                "map", "addrs", "timeout", "retries", "analyst", "fanout", "subset", "value",
+                "json",
             ])?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let value = parse_value(&args.require::<String>("value")?, subset.len())?;
@@ -351,7 +384,7 @@ fn query(args: &Args) -> Result<(), CliError> {
         }
         "dist" => {
             args.reject_unknown(&[
-                "map", "addrs", "timeout", "retries", "analyst", "subset", "json",
+                "map", "addrs", "timeout", "retries", "analyst", "fanout", "subset", "json",
             ])?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let width = subset.len();
@@ -398,7 +431,7 @@ fn query(args: &Args) -> Result<(), CliError> {
             print_coverage(&answer.coverage);
         }
         "ping" => {
-            args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst"])?;
+            args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst", "fanout"])?;
             let mut router = router(args)?;
             let outages = router.ping().map_err(err)?;
             let total = router.map().len();
@@ -428,7 +461,7 @@ fn query(args: &Args) -> Result<(), CliError> {
 
 /// `psketch cluster status`: per-shard counters plus the exact merge.
 fn status(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst"])?;
+    args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst", "fanout"])?;
     let mut router = router(args)?;
     let status = router.status().map_err(err)?;
     let mut up = 0usize;
@@ -449,7 +482,8 @@ fn status(args: &Args) -> Result<(), CliError> {
                     .collect();
                 println!(
                     "shard {} @ {}: up {}s | accepted {} | rejected {} | records {} | \
-                     {requests} requests ({}) | plans {} (terms scanned {}, reused {})",
+                     {requests} requests ({}) | plans {} (terms scanned {}, reused {}) | \
+                     budget charged {} (replays {}, denials {})",
                     row.shard,
                     row.addr,
                     server.uptime_secs,
@@ -459,7 +493,10 @@ fn status(args: &Args) -> Result<(), CliError> {
                     top.join(", "),
                     server.plans.plans_executed,
                     server.plans.terms_scanned,
-                    server.plans.terms_reused
+                    server.plans.terms_reused,
+                    server.budget.charged_terms,
+                    server.budget.replays,
+                    server.budget.denials
                 );
             }
             Err(error) => {
@@ -594,6 +631,17 @@ mod tests {
         .unwrap();
         query(&parse(&[
             "cluster", "query", "mean", "--addrs", &addrs, "--field", "0:2", "--json",
+        ]))
+        .unwrap();
+        // The sequential-oracle fanout and a bounded fanout both serve.
+        query(&parse(&[
+            "cluster", "query", "conj", "--addrs", &addrs, "--subset", "0,1", "--value", "10",
+            "--fanout", "1",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "cluster", "query", "conj", "--addrs", &addrs, "--subset", "0,1", "--value", "10",
+            "--fanout", "2",
         ]))
         .unwrap();
         query(&parse(&["cluster", "query", "ping", "--addrs", &addrs])).unwrap();

@@ -19,6 +19,11 @@
 //! psketch query stats                         [--addr …]
 //! psketch query ping                          [--addr …]
 //!     Analyst queries against a running server.
+//!
+//! psketch query replay [--subset 0] [--value 1] [--analyst 0] [--addr …]
+//!     Charge-once self-test: sends a nonce'd query, kills the socket
+//!     before reading the answer, retries with the same nonce, and
+//!     fails unless the server's ε-ledger advanced exactly once.
 //! ```
 //!
 //! Every failure (unreachable server, bad flags, server-side error
@@ -364,13 +369,110 @@ pub fn query(args: &Args) -> Result<(), CliError> {
             client.ping().map_err(err)?;
             println!("pong");
         }
+        "replay" => return replay_check(args),
         other => {
             return Err(CliError(format!(
                 "unknown query kind '{other}' (try conj, dist, mean, interval, dnf, tree, \
-                 moment, stats, ping)"
+                 moment, stats, ping, replay)"
             )));
         }
     }
+    Ok(())
+}
+
+/// `psketch query replay`: the charge-once self-test. Sends one nonce'd
+/// conjunctive query and **kills the socket without reading the
+/// response** (the transport failure that used to double-charge), then
+/// retries the same nonce on a fresh connection and verifies through
+/// server stats that the analyst's ε-ledger advanced exactly once.
+/// Exits non-zero on a double charge — scriptable as a deployment
+/// health check (the CI smoke job runs it after every release).
+fn replay_check(args: &Args) -> Result<(), CliError> {
+    use psketch_server::wire;
+    args.reject_unknown(&["addr", "timeout", "subset", "value", "analyst"])?;
+    let subset = parse_subset(&args.get_or("subset", "0".to_string())?)?;
+    let value = parse_value(&args.get_or("value", "1".to_string())?, subset.len())?;
+    let analyst: u64 = args.get_or("analyst", 0)?;
+    let addr: String = args.get_or("addr", DEFAULT_ADDR.to_string())?;
+    let timeout: f64 = args.get_or("timeout", 10.0)?;
+    let timeout = Duration::from_secs_f64(timeout);
+    let nonce = psketch_server::next_nonce();
+
+    // Baseline ledger counters (the server may have served others).
+    let mut observer = connect(args)?;
+    let before = observer.server_stats().map_err(err)?;
+
+    // Injected transport kill: handshake, send the nonce'd query, drop
+    // the socket before the response can be read.
+    {
+        let mut raw = std::net::TcpStream::connect(addr.as_str())
+            .map_err(|e| CliError(format!("cannot reach server at {addr}: {e}")))?;
+        raw.set_read_timeout(Some(timeout)).map_err(err)?;
+        wire::write_frame(&mut raw, &wire::Request::Hello { analyst }.encode()).map_err(err)?;
+        let hello = wire::read_frame(&mut raw)
+            .map_err(err)?
+            .ok_or_else(|| CliError("server hung up during hello".into()))?;
+        match wire::Response::decode(&hello).map_err(err)? {
+            wire::Response::Hello { .. } => {}
+            other => return Err(CliError(format!("unexpected hello response: {other:?}"))),
+        }
+        let req = wire::Request::Conjunctive {
+            subset: subset.clone(),
+            value: value.clone(),
+            nonce,
+        };
+        wire::write_frame(&mut raw, &req.encode()).map_err(err)?;
+        // Dropped here without reading: the response dies on the wire.
+    }
+
+    // The retry a router would issue: same nonce, fresh connection. A
+    // RETRY_PENDING answer means the killed socket's frame is still
+    // being evaluated — retry until its cached answer is ready.
+    let mut retry = connect(args)?;
+    retry.hello(analyst).map_err(err)?;
+    let est = loop {
+        match retry.conjunctive_nonced(nonce, subset.clone(), value.clone()) {
+            Err(psketch_server::ClientError::Server { code, .. })
+                if code == wire::codes::RETRY_PENDING =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => break other.map_err(err)?,
+        }
+    };
+    println!(
+        "retried estimate: {:.6} (n = {})",
+        est.fraction, est.sample_size
+    );
+
+    // Wait until the server has processed both conjunctive frames (the
+    // killed socket's frame was in flight and races the retry), then
+    // the ledger must have advanced by exactly one estimate.
+    let conj_kind = 0x03u8;
+    let mut after = retry.server_stats().map_err(err)?;
+    for _ in 0..100 {
+        if after.count_for(conj_kind) >= before.count_for(conj_kind) + 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        after = retry.server_stats().map_err(err)?;
+    }
+    let charged = after.budget.charged_terms - before.budget.charged_terms;
+    let replays = after.budget.replays - before.budget.replays;
+    println!(
+        "replay check: ledger advanced by {charged} (replays {replays}, denials {})",
+        after.budget.denials - before.budget.denials
+    );
+    if after.budget.charged_terms == 0 {
+        println!("note: server runs without --budget; nonce dedup has no ledger to protect");
+        return Ok(());
+    }
+    if charged != 1 {
+        return Err(CliError(format!(
+            "DOUBLE CHARGE: one logical query advanced the ledger by {charged}"
+        )));
+    }
+    println!("charge-once verified: one logical query, one charge");
     Ok(())
 }
 
@@ -566,6 +668,40 @@ mod tests {
             "query", "mean", "--addr", &addr, "--field", "0:2", "--le", "1",
         ]))
         .is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn replay_self_test_passes_against_a_budgeted_server() {
+        let ann =
+            build_announcement(&parse(&["serve", "--users", "5000", "--width", "2"])).unwrap();
+        let server = Server::start(
+            "127.0.0.1:0",
+            ann,
+            ServerConfig {
+                analyst_budget: Some(100.0),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        submit(&parse(&[
+            "submit", "--addr", &addr, "--users", "200", "--batch", "100",
+        ]))
+        .unwrap();
+        query(&parse(&[
+            "query",
+            "replay",
+            "--addr",
+            &addr,
+            "--subset",
+            "0,1",
+            "--value",
+            "10",
+            "--analyst",
+            "3",
+        ]))
+        .unwrap();
         server.shutdown();
     }
 }

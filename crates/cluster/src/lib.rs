@@ -9,14 +9,16 @@
 //!   users across `N` independent server nodes (each with its own WAL)
 //!   by a stable public hash of the user id;
 //! * [`router`] — a [`Router`] that fans ingest out by shard and serves
-//!   analyst queries by **scatter-gather over exact partial counts**:
-//!   every query family compiles to a
-//!   [`TermPlan`](psketch_queries::TermPlan), every shard reports
-//!   integer `(ones, population)` pairs for the plan's deduplicated
-//!   terms through one generic `PartialTermCounts` frame, the router
-//!   sums them (integer addition — exact in any order), and the
-//!   Algorithm 2 float inversion plus the plan's post-combination run
-//!   once on the merged sums.
+//!   analyst queries by **parallel scatter-gather over exact partial
+//!   counts**: one long-lived worker thread per shard owns a persistent
+//!   connection, every query family compiles to a
+//!   [`TermPlan`](psketch_queries::TermPlan), every shard concurrently
+//!   reports integer `(ones, population)` pairs for the plan's
+//!   deduplicated terms through one generic `PartialTermCounts` frame,
+//!   the router sums them in shard order (integer addition — exact in
+//!   any order, merged in a fixed one), and the Algorithm 2 float
+//!   inversion plus the plan's post-combination run once on the merged
+//!   sums.
 //!
 //! Because the conjunctive estimator is a pure counting scan, cluster
 //! answers are **bit-identical** to a single node holding the union of
@@ -36,8 +38,8 @@ pub mod router;
 pub mod shard;
 
 pub use router::{
-    parallel_ingest, ClusterDistribution, ClusterError, ClusterEstimate, ClusterLinear,
-    ClusterPlanAnswer, ClusterStatus, ClusterSubmitReport, Coverage, Router, RouterConfig,
-    ShardOutage, ShardStatus,
+    backoff_delay, parallel_ingest, ClusterDistribution, ClusterError, ClusterEstimate,
+    ClusterLinear, ClusterPlanAnswer, ClusterStatus, ClusterSubmitReport, Coverage, IngestReport,
+    Router, RouterConfig, ShardIngest, ShardOutage, ShardStatus, MAX_BACKOFF,
 };
 pub use shard::{splitmix64, ShardMap, ShardMapError, ShardNode};

@@ -1,46 +1,100 @@
-//! The cluster router: scatter-gather over shard nodes.
+//! The cluster router: **parallel** scatter-gather over shard nodes.
 //!
-//! A [`Router`] owns one connection per shard (lazily opened, hello
-//! handshake verified against the [`ShardMap`]) and serves the same
-//! analyst surface a single node does — **any compiled
-//! [`TermPlan`]**, which covers every query family (conjunctions, DNF,
-//! intervals, means, moments, trees, histograms, linear combinations) —
-//! plus ingest and status, by **merging exact partial counts** instead
-//! of estimates:
+//! A [`Router`] owns one long-lived worker thread per shard. Each
+//! worker holds that shard's persistent connection (lazily opened,
+//! hello handshake verified against the [`ShardMap`]) and executes the
+//! operations the router feeds it over a channel — so a query's
+//! per-shard round trips run **concurrently**, and per-shard scan work
+//! (which shrinks as `1/N`) actually buys wall-clock throughput
+//! instead of being serialized behind one mutable connection.
+//!
+//! The router serves the same analyst surface a single node does —
+//! **any compiled [`TermPlan`]**, which covers every query family
+//! (conjunctions, DNF, intervals, means, moments, trees, histograms,
+//! linear combinations) — plus ingest and status, by **merging exact
+//! partial counts** instead of estimates:
 //!
 //! 1. every shard answers one generic `PartialTermCounts` frame with
 //!    integer `(ones, population)` counts for the plan's deduplicated
 //!    terms (a shard holding none of a subset's records reports
 //!    `(0, 0)`);
 //! 2. the router sums them ([`PlanAccumulator`]) — integer addition,
-//!    exact in any order;
+//!    exact in any order, and merged **in ascending shard order**
+//!    regardless of which worker finished first;
 //! 3. the Algorithm 2 float inversion runs **once per term**, on the
 //!    merged sums, via the same [`psketch_core::Estimate::from_counts`]
 //!    a single node uses, and [`TermPlan::evaluate`] replays the
 //!    compiler's combination order.
 //!
 //! Cluster answers are therefore bit-identical to a single node holding
-//! the union of the records (the property tests in this crate pin that
-//! down, family by family).
+//! the union of the records — and bit-identical at every
+//! [`RouterConfig::fanout`], because parallelism only changes *when*
+//! a shard's counts arrive, never the order they are merged in (the
+//! property tests in this crate pin both down, family by family).
 //!
 //! # Failure handling
 //!
-//! Transport failures are retried per shard with exponential backoff;
-//! a shard that stays unreachable is reported as **missing** in the
+//! Transport failures are retried per shard with **capped** exponential
+//! backoff ([`backoff_delay`]); retries on different shards run in
+//! parallel, so one slow shard no longer stalls the others' attempts.
+//! A shard that stays unreachable is reported as **missing** in the
 //! answer's [`Coverage`] rather than silently skewing `r'`: the
 //! estimate then covers exactly the responding shards' population, and
 //! the caller can see which shards — and, when a prior
 //! [`Router::status`] sweep recorded their size, what fraction of the
-//! known user population — the answer excludes. Deterministic server
-//! refusals (budget exhausted, malformed query) are never retried and
-//! fail the whole query, because every shard would refuse identically.
+//! known user population — the answer excludes.
+//!
+//! Deterministic server refusals (budget exhausted, malformed query)
+//! are never retried and fail the whole query. When several shards
+//! fail fatally in the same round — two refuse concurrently, or one
+//! refuses while another turns out misrouted — the router stops
+//! dispatching further shards, waits for the in-flight ones, and
+//! reports the fatal outcome of the **lowest-numbered** shard, so
+//! concurrent failures surface exactly as they would under the old
+//! sequential visit order.
+//!
+//! # Retry correctness
+//!
+//! Every query scatter mints one request nonce
+//! ([`psketch_server::next_nonce`]) per logical query and replays it on
+//! every retry, so a server that already charged the analyst's
+//! ε-ledger before the transport died serves the retry **without a
+//! second charge** (wire protocol v4 charge-once semantics).
 
 use crate::shard::{ShardMap, ShardMapError};
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
 use psketch_protocol::{Announcement, CoordinatorStats, ShardIdentity, Submission};
 use psketch_queries::{LinearAnswer, LinearQuery, PlanAccumulator, TermPlan};
-use psketch_server::{Client, ClientError, ServerStats};
+use psketch_server::{next_nonce, Client, ClientError, ServerStats};
+use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Backoff ceiling: however many retries are configured, no single
+/// sleep exceeds this.
+pub const MAX_BACKOFF: Duration = Duration::from_secs(30);
+
+/// The delay slept before retry `attempt` (1-based): `base · 2^(a−1)`,
+/// saturating, capped at [`MAX_BACKOFF`]. Safe for any `attempt` — the
+/// shift is clamped and the multiply saturates, so a config with
+/// `retries ≥ 32` backs off at the cap instead of overflowing. A zero
+/// base means "never sleep" and stays zero at every attempt (`0 · 2^k`
+/// is 0, however large the factor).
+#[must_use]
+pub fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let factor = 1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(0);
+    let delay = if factor == 0 {
+        // The true factor 2^(attempt−1) no longer fits; any positive
+        // base has long since saturated the cap.
+        MAX_BACKOFF
+    } else {
+        base.saturating_mul(factor)
+    };
+    delay.min(MAX_BACKOFF)
+}
 
 /// Router configuration.
 #[derive(Debug, Clone)]
@@ -49,12 +103,18 @@ pub struct RouterConfig {
     pub timeout: Duration,
     /// Extra attempts per shard operation after the first failure.
     pub retries: u32,
-    /// Base backoff slept before the first retry; doubles per attempt.
+    /// Base backoff slept before the first retry; doubles per attempt,
+    /// capped at [`MAX_BACKOFF`].
     pub backoff: Duration,
     /// The analyst identity declared to every shard (budget accounting).
     pub analyst: u64,
     /// Chunk size for batch submissions (bounds frame sizes).
     pub submit_chunk: usize,
+    /// Maximum shard operations in flight at once. `0` (the default)
+    /// fans out to every shard concurrently; `1` degrades to the old
+    /// sequential visit order (useful as a latency/answer oracle).
+    /// Answers are bit-identical at every fanout.
+    pub fanout: usize,
 }
 
 impl Default for RouterConfig {
@@ -65,6 +125,7 @@ impl Default for RouterConfig {
             backoff: Duration::from_millis(50),
             analyst: 0,
             submit_chunk: 500,
+            fanout: 0,
         }
     }
 }
@@ -213,7 +274,8 @@ pub enum ClusterError {
     AllShardsDown(Vec<ShardOutage>),
     /// A shard answered with a deterministic refusal (budget exhausted,
     /// malformed query, …) — retrying or failing over cannot help,
-    /// every shard would refuse identically.
+    /// every shard would refuse identically. When several shards refuse
+    /// in the same parallel round, the lowest-numbered one is reported.
     Refused {
         /// The refusing shard.
         shard: u32,
@@ -291,7 +353,8 @@ impl From<psketch_core::Error> for ClusterError {
     }
 }
 
-/// Successful scatter results (per responding shard) plus outages.
+/// Successful scatter results (per responding shard, ascending) plus
+/// outages.
 type Gathered<T> = (Vec<(u32, T)>, Vec<ShardOutage>);
 
 /// Outcome of one shard operation after retries.
@@ -308,11 +371,189 @@ enum ShardAttempt<T> {
     Misrouted(Option<ShardIdentity>),
 }
 
-/// A scatter-gather router over a shard map.
+/// One shard operation, boxed for the worker channel. `FnMut` because
+/// the retry loop re-invokes it after reconnecting.
+type ShardOp<T> = Box<dyn FnMut(&mut Client) -> Result<T, ClientError> + Send>;
+
+/// A job posted to a shard worker.
+type Job = Box<dyn FnOnce(&mut ShardConn) + Send>;
+
+/// Reports a shard outcome even if the operation panics: while armed,
+/// dropping the reporter (unwinding included) sends a `Down` outcome so
+/// [`Router::run_on_shards`] can never hang on a lost result.
+struct PanicReporter<T> {
+    tx: mpsc::Sender<(u32, ShardAttempt<T>)>,
+    shard: u32,
+    armed: bool,
+}
+
+impl<T> Drop for PanicReporter<T> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send((
+                self.shard,
+                ShardAttempt::Down("shard operation panicked".into()),
+            ));
+        }
+    }
+}
+
+/// Connection-owning retry parameters, copied per shard worker.
+#[derive(Clone)]
+struct RetryConfig {
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+    analyst: u64,
+}
+
+/// One shard's connection state, owned by its worker thread. The
+/// connection persists across operations and is reopened (with a fresh
+/// hello handshake) after transport failures.
+struct ShardConn {
+    addr: String,
+    /// The identity the map expects behind `addr`.
+    expected: ShardIdentity,
+    /// Whether an unsharded node is acceptable (single-entry maps).
+    standalone_ok: bool,
+    retry: RetryConfig,
+    client: Option<Client>,
+}
+
+impl ShardConn {
+    /// Ensures a verified connection, running the hello handshake on
+    /// fresh connects.
+    fn ensure(&mut self) -> Result<&mut Client, ShardAttempt<()>> {
+        if self.client.is_none() {
+            let mut client = Client::connect(self.addr.as_str(), self.retry.timeout)
+                .map_err(|e| ShardAttempt::Down(e.to_string()))?;
+            let identity = match client.hello(self.retry.analyst) {
+                Ok(identity) => identity,
+                Err(ClientError::Server { code, message }) => {
+                    return Err(ShardAttempt::Refused { code, message });
+                }
+                Err(e) => return Err(ShardAttempt::Down(e.to_string())),
+            };
+            match identity {
+                Some(found) if found == self.expected => {}
+                // A standalone node is acceptable only as a 1-shard map.
+                None if self.standalone_ok => {}
+                other => return Err(ShardAttempt::Misrouted(other)),
+            }
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("connection just ensured"))
+    }
+
+    /// Runs one operation with retry + capped backoff. Transport
+    /// failures retry (reconnecting each time); server error frames
+    /// don't.
+    fn run<T>(&mut self, op: &mut ShardOp<T>) -> ShardAttempt<T> {
+        let mut last_err = String::from("no connection attempt made");
+        for attempt in 0..=self.retry.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff_delay(self.retry.backoff, attempt));
+            }
+            let client = match self.ensure() {
+                Ok(client) => client,
+                Err(ShardAttempt::Down(e)) => {
+                    last_err = e;
+                    continue;
+                }
+                Err(ShardAttempt::Refused { code, message }) => {
+                    return ShardAttempt::Refused { code, message };
+                }
+                Err(ShardAttempt::Misrouted(found)) => return ShardAttempt::Misrouted(found),
+                Err(ShardAttempt::Ok(())) => unreachable!("ensure never yields Ok"),
+            };
+            match op(client) {
+                Ok(value) => return ShardAttempt::Ok(value),
+                Err(ClientError::Server { code, message })
+                    if code == psketch_server::wire::codes::RETRY_PENDING =>
+                {
+                    // Transient by contract: our own earlier attempt's
+                    // evaluation is still running server-side and its
+                    // answer will be cached. The exchange completed, so
+                    // the connection stays healthy — just retry.
+                    last_err = message;
+                }
+                Err(ClientError::Server { code, message }) => {
+                    return ShardAttempt::Refused { code, message };
+                }
+                Err(e) => {
+                    // The connection is poisoned or gone; reconnect on
+                    // the next attempt.
+                    last_err = e.to_string();
+                    self.client = None;
+                }
+            }
+        }
+        ShardAttempt::Down(last_err)
+    }
+}
+
+/// A long-lived worker thread owning one shard's connection. Jobs
+/// arrive over the channel; dropping the sender shuts the worker down
+/// (its connection closes with it).
+struct ShardWorker {
+    tx: Option<mpsc::Sender<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ShardWorker {
+    fn spawn(shard: u32, mut conn: ShardConn) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let handle = std::thread::Builder::new()
+            .name(format!("psketch-shard-{shard}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // A panic in client code must not kill the worker:
+                    // the job's own guard reports it as a Down outcome,
+                    // the (possibly poisoned) connection is dropped,
+                    // and the worker keeps serving later queries.
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        job(&mut conn);
+                    }))
+                    .is_err()
+                    {
+                        conn.client = None;
+                    }
+                }
+            })
+            .expect("spawn shard worker thread");
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    fn send(&self, job: Job) -> Result<(), ()> {
+        self.tx
+            .as_ref()
+            .expect("worker alive until drop")
+            .send(job)
+            .map_err(|_| ())
+    }
+}
+
+impl Drop for ShardWorker {
+    fn drop(&mut self) {
+        // Close the channel first so the worker's recv loop exits, then
+        // join. Workers are idle between router calls, so this does not
+        // block on in-flight I/O.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A parallel scatter-gather router over a shard map.
 pub struct Router {
     map: ShardMap,
     config: RouterConfig,
-    conns: Vec<Option<Client>>,
+    /// One connection-owning worker per shard, in shard order.
+    workers: Vec<ShardWorker>,
     /// Last-known accepted-user count per shard (status sweeps).
     known_users: Vec<Option<u64>>,
     announcement: Option<Announcement>,
@@ -328,8 +569,9 @@ impl std::fmt::Debug for Router {
 }
 
 impl Router {
-    /// Builds a router over a validated map. No connections are opened
-    /// until the first operation needs them.
+    /// Builds a router over a validated map, spawning one (idle) worker
+    /// thread per shard. No connections are opened until the first
+    /// operation needs them.
     ///
     /// # Errors
     ///
@@ -337,10 +579,33 @@ impl Router {
     pub fn new(map: ShardMap, config: RouterConfig) -> Result<Self, ClusterError> {
         map.validate()?;
         let n = map.len();
+        let retry = RetryConfig {
+            timeout: config.timeout,
+            retries: config.retries,
+            backoff: config.backoff,
+            analyst: config.analyst,
+        };
+        let workers = (0..n as u32)
+            .map(|shard| {
+                ShardWorker::spawn(
+                    shard,
+                    ShardConn {
+                        addr: map.addr_of(shard).to_string(),
+                        expected: ShardIdentity {
+                            shard_id: shard,
+                            shard_count: n as u32,
+                        },
+                        standalone_ok: n == 1,
+                        retry: retry.clone(),
+                        client: None,
+                    },
+                )
+            })
+            .collect();
         Ok(Self {
             map,
             config,
-            conns: (0..n).map(|_| None).collect(),
+            workers,
             known_users: vec![None; n],
             announcement: None,
         })
@@ -352,87 +617,98 @@ impl Router {
         &self.map
     }
 
-    /// Ensures a verified connection to `shard`, running the hello
-    /// handshake on fresh connects.
-    fn connect(&mut self, shard: u32) -> Result<&mut Client, ShardAttempt<()>> {
-        let slot = shard as usize;
-        if self.conns[slot].is_none() {
-            let addr = self.map.addr_of(shard).to_string();
-            let mut client = Client::connect(addr.as_str(), self.config.timeout)
-                .map_err(|e| ShardAttempt::Down(e.to_string()))?;
-            let identity = match client.hello(self.config.analyst) {
-                Ok(identity) => identity,
-                Err(ClientError::Server { code, message }) => {
-                    return Err(ShardAttempt::Refused { code, message });
-                }
-                Err(e) => return Err(ShardAttempt::Down(e.to_string())),
-            };
-            let expected = ShardIdentity {
-                shard_id: shard,
-                shard_count: self.map.len() as u32,
-            };
-            match identity {
-                Some(found) if found == expected => {}
-                // A standalone node is acceptable only as a 1-shard map.
-                None if self.map.len() == 1 => {}
-                other => return Err(ShardAttempt::Misrouted(other)),
-            }
-            self.conns[slot] = Some(client);
+    /// The concurrent fan-out in force (`0` = all shards at once).
+    fn effective_fanout(&self) -> usize {
+        if self.config.fanout == 0 {
+            self.map.len()
+        } else {
+            self.config.fanout
         }
-        Ok(self.conns[slot].as_mut().expect("connection just ensured"))
     }
 
-    /// Runs one operation against one shard with retry + backoff.
-    /// Transport failures retry (reconnecting each time); server error
-    /// frames don't.
-    fn try_shard<T>(
-        &mut self,
-        shard: u32,
-        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
-    ) -> ShardAttempt<T> {
-        let mut last_err = String::new();
-        for attempt in 0..=self.config.retries {
-            if attempt > 0 {
-                std::thread::sleep(self.config.backoff * (1 << (attempt - 1)));
+    /// Runs one prepared operation per listed shard **in parallel**
+    /// across the shard workers — at most [`RouterConfig::fanout`] in
+    /// flight at once — and returns every dispatched shard's outcome in
+    /// ascending shard order. Retries (with backoff) happen inside each
+    /// worker, so a slow or flapping shard never delays another shard's
+    /// attempt.
+    ///
+    /// Once a **fatal** outcome (refusal, misroute) arrives, no further
+    /// shards are dispatched — the operation is doomed, and every extra
+    /// dispatch would charge another shard's ε-ledger and burn its
+    /// retry schedule for an answer that will be discarded. In-flight
+    /// shards are still drained. At `fanout = 1` this reproduces the
+    /// old sequential behavior exactly: shards after the first fatal
+    /// one are never contacted.
+    fn run_on_shards<T: Send + 'static>(
+        &self,
+        shards: &[u32],
+        mut make_op: impl FnMut(u32) -> ShardOp<T>,
+    ) -> Vec<(u32, ShardAttempt<T>)> {
+        let fanout = self.effective_fanout().max(1);
+        let (result_tx, result_rx) = mpsc::channel::<(u32, ShardAttempt<T>)>();
+        let mut results: Vec<(u32, ShardAttempt<T>)> = Vec::with_capacity(shards.len());
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+        let mut fatal_seen = false;
+        while (next < shards.len() && !fatal_seen) || in_flight > 0 {
+            while next < shards.len() && in_flight < fanout && !fatal_seen {
+                let shard = shards[next];
+                next += 1;
+                let mut op = make_op(shard);
+                let tx = result_tx.clone();
+                let job: Job = Box::new(move |conn| {
+                    // If the operation panics, the guard's Drop still
+                    // reports an outcome — a panic in client code must
+                    // never leave the router waiting forever.
+                    let mut guard = PanicReporter {
+                        tx,
+                        shard,
+                        armed: true,
+                    };
+                    let attempt = conn.run(&mut op);
+                    guard.armed = false;
+                    // The router may only be draining a fatal result;
+                    // a closed channel is fine.
+                    let _ = guard.tx.send((shard, attempt));
+                });
+                if self.workers[shard as usize].send(job).is_err() {
+                    // The worker thread died (it never panics by
+                    // design, but don't hang the query if it did).
+                    results.push((shard, ShardAttempt::Down("shard worker terminated".into())));
+                } else {
+                    in_flight += 1;
+                }
             }
-            let client = match self.connect(shard) {
-                Ok(client) => client,
-                Err(ShardAttempt::Down(e)) => {
-                    last_err = e;
-                    continue;
-                }
-                Err(ShardAttempt::Refused { code, message }) => {
-                    return ShardAttempt::Refused { code, message };
-                }
-                Err(ShardAttempt::Misrouted(found)) => return ShardAttempt::Misrouted(found),
-                Err(ShardAttempt::Ok(())) => unreachable!("connect never yields Ok"),
-            };
-            match op(client) {
-                Ok(value) => return ShardAttempt::Ok(value),
-                Err(ClientError::Server { code, message }) => {
-                    return ShardAttempt::Refused { code, message };
-                }
-                Err(e) => {
-                    // The connection is poisoned or gone; reconnect on
-                    // the next attempt.
-                    last_err = e.to_string();
-                    self.conns[shard as usize] = None;
+            if in_flight > 0 {
+                match result_rx.recv() {
+                    Ok(result) => {
+                        fatal_seen |= matches!(
+                            result.1,
+                            ShardAttempt::Refused { .. } | ShardAttempt::Misrouted(_)
+                        );
+                        results.push(result);
+                        in_flight -= 1;
+                    }
+                    Err(_) => break, // unreachable: we hold result_tx
                 }
             }
         }
-        ShardAttempt::Down(last_err)
+        // Completion order is nondeterministic; merge order is not.
+        results.sort_by_key(|&(shard, _)| shard);
+        results
     }
 
-    /// Scatters one operation over every shard, gathering successes and
-    /// outages. Deterministic refusals and misrouted nodes abort.
-    fn scatter<T>(
-        &mut self,
-        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
-    ) -> Result<Gathered<T>, ClusterError> {
+    /// Splits per-shard outcomes into successes and outages, failing
+    /// deterministically on fatal outcomes: the scan runs in ascending
+    /// shard order, so when several shards fail fatally in one parallel
+    /// round the lowest-numbered shard's failure is reported — exactly
+    /// what the old sequential visit order produced.
+    fn gather<T>(results: Vec<(u32, ShardAttempt<T>)>) -> Result<Gathered<T>, ClusterError> {
         let mut gathered = Vec::new();
         let mut outages = Vec::new();
-        for shard in 0..self.map.len() as u32 {
-            match self.try_shard(shard, &mut op) {
+        for (shard, attempt) in results {
+            match attempt {
                 ShardAttempt::Ok(value) => gathered.push((shard, value)),
                 ShardAttempt::Down(error) => outages.push(ShardOutage { shard, error }),
                 ShardAttempt::Refused { code, message } => {
@@ -451,6 +727,22 @@ impl Router {
             return Err(ClusterError::AllShardsDown(outages));
         }
         Ok((gathered, outages))
+    }
+
+    /// Scatters one operation over every shard in parallel, gathering
+    /// successes and outages. Deterministic refusals and misrouted
+    /// nodes abort (lowest shard wins).
+    fn scatter<T: Send + 'static>(
+        &mut self,
+        op: impl Fn(&mut Client) -> Result<T, ClientError> + Send + Sync + 'static,
+    ) -> Result<Gathered<T>, ClusterError> {
+        let shards: Vec<u32> = (0..self.map.len() as u32).collect();
+        let op = Arc::new(op);
+        let results = self.run_on_shards(&shards, |_| {
+            let op = Arc::clone(&op);
+            Box::new(move |client: &mut Client| op(client))
+        });
+        Self::gather(results)
     }
 
     fn coverage(
@@ -472,9 +764,9 @@ impl Router {
         }
     }
 
-    /// The deployment's announcement: fetched from the first responding
-    /// shard and verified identical on every other responding shard
-    /// (then cached).
+    /// The deployment's announcement: fetched from every shard in
+    /// parallel and verified identical across responding shards (the
+    /// lowest responding shard is the reference), then cached.
     ///
     /// # Errors
     ///
@@ -505,7 +797,8 @@ impl Router {
         Ok(params.p())
     }
 
-    /// Submits a batch, fanned out by each user's shard. Shards that
+    /// Submits a batch, fanned out by each user's shard — all shards in
+    /// parallel over the workers' persistent connections. Shards that
     /// stay unreachable are reported in the outcome (those users are
     /// *not* ingested); reachable shards are unaffected.
     ///
@@ -522,18 +815,49 @@ impl Router {
             per_shard[self.map.shard_of(sub.user) as usize].push(sub.clone());
         }
         let chunk = self.config.submit_chunk.max(1);
+        let batches: Vec<Option<Arc<Vec<Submission>>>> = per_shard
+            .into_iter()
+            .map(|batch| (!batch.is_empty()).then(|| Arc::new(batch)))
+            .collect();
+        let sizes: Vec<usize> = batches
+            .iter()
+            .map(|b| b.as_ref().map_or(0, |batch| batch.len()))
+            .collect();
+        let shards: Vec<u32> = batches
+            .iter()
+            .enumerate()
+            .filter_map(|(shard, batch)| batch.as_ref().map(|_| shard as u32))
+            .collect();
+        let results = self.run_on_shards(&shards, |shard| {
+            let batch = Arc::clone(batches[shard as usize].as_ref().expect("non-empty batch"));
+            // Retries resume after the last acked submission instead of
+            // re-sending the whole batch: acked chunks are durable, and
+            // re-submitting them would mis-report them as duplicate
+            // rejections. Only the chunk whose ack was lost in flight
+            // can be double-sent (its users dedup server-side).
+            let mut processed = 0usize;
+            let mut total = psketch_server::SubmitAck::default();
+            Box::new(move |client: &mut Client| {
+                let (ack, err) = client.submit_chunked_partial(&batch[processed..], chunk);
+                total.accepted += ack.accepted;
+                total.rejected += ack.rejected;
+                processed += usize::try_from(ack.accepted + ack.rejected).unwrap_or(usize::MAX);
+                match err {
+                    None => Ok(total),
+                    Some(e) => Err(e),
+                }
+            })
+        });
         let mut report = ClusterSubmitReport::default();
-        for (shard, batch) in per_shard.into_iter().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let shard = shard as u32;
-            match self.try_shard(shard, |client| client.submit_chunked(&batch, chunk)) {
+        for (shard, attempt) in results {
+            match attempt {
                 ShardAttempt::Ok(ack) => {
                     report.accepted += ack.accepted;
                     report.rejected += ack.rejected;
                 }
-                ShardAttempt::Down(error) => report.failed.push((shard, batch.len(), error)),
+                ShardAttempt::Down(error) => {
+                    report.failed.push((shard, sizes[shard as usize], error));
+                }
                 ShardAttempt::Refused { code, message } => {
                     return Err(ClusterError::Refused {
                         shard,
@@ -552,9 +876,11 @@ impl Router {
     /// Executes a compiled [`TermPlan`] across the cluster — the one
     /// distributed query path every family routes through. Each shard
     /// counts the plan's deduplicated terms in a single generic
-    /// `PartialTermCounts` round trip; the router merges the integer
-    /// counts, inverts once per term, and runs the plan's
-    /// post-combination exactly as the single-node engine would.
+    /// `PartialTermCounts` round trip, all shards concurrently; the
+    /// router merges the integer counts in shard order, inverts once
+    /// per term, and runs the plan's post-combination exactly as the
+    /// single-node engine would. One nonce covers the whole logical
+    /// query, so per-shard retries never double-charge the analyst.
     ///
     /// # Errors
     ///
@@ -563,9 +889,11 @@ impl Router {
     /// for its subset).
     pub fn execute_plan(&mut self, plan: &TermPlan) -> Result<ClusterPlanAnswer, ClusterError> {
         let p = self.bias()?;
-        let terms: Vec<ConjunctiveQuery> = plan.terms().to_vec();
+        let terms: Arc<Vec<ConjunctiveQuery>> = Arc::new(plan.terms().to_vec());
         let expected = terms.len();
-        let (gathered, outages) = self.scatter(|client| client.partial_term_counts(&terms))?;
+        let nonce = next_nonce();
+        let (gathered, outages) =
+            self.scatter(move |client| client.partial_term_counts_nonced(nonce, &terms))?;
         let mut acc = PlanAccumulator::for_plan(plan);
         let mut responding = Vec::with_capacity(gathered.len());
         for (shard, counts) in gathered {
@@ -647,8 +975,9 @@ impl Router {
         })
     }
 
-    /// Sweeps every shard for coordinator + server stats, refreshing the
-    /// per-shard population cache used for degraded-answer reporting.
+    /// Sweeps every shard (in parallel) for coordinator + server stats,
+    /// refreshing the per-shard population cache used for
+    /// degraded-answer reporting.
     ///
     /// Unreachable shards appear with their error instead of counters —
     /// a status sweep never fails outright unless *all* shards are down.
@@ -657,7 +986,7 @@ impl Router {
     ///
     /// All-shards-down, refusals, misrouted nodes.
     pub fn status(&mut self) -> Result<ClusterStatus, ClusterError> {
-        let (gathered, outages) = self.scatter(|client| {
+        let (gathered, outages) = self.scatter(|client: &mut Client| {
             let coordinator = client.stats()?;
             let server = client.server_stats()?;
             Ok((coordinator, server))
@@ -684,7 +1013,8 @@ impl Router {
         Ok(ClusterStatus { per_shard, merged })
     }
 
-    /// Pings every shard; returns the set of unreachable shards.
+    /// Pings every shard in parallel; returns the set of unreachable
+    /// shards.
     ///
     /// # Errors
     ///
@@ -699,29 +1029,113 @@ impl Router {
     }
 }
 
+/// One shard's slice of a [`parallel_ingest`] run. Acks are summed
+/// per durably committed chunk, so a shard that died mid-batch still
+/// reports what it ingested before the failure — only
+/// [`ShardIngest::lost`] submissions need re-submitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIngest {
+    /// The shard this slice routed to.
+    pub shard: u32,
+    /// Submissions routed to it.
+    pub submitted: usize,
+    /// Submissions durably accepted (acked chunks survive a later
+    /// failure).
+    pub accepted: u64,
+    /// Submissions rejected as malformed or duplicate.
+    pub rejected: u64,
+    /// The transport error that stopped this shard's ingest mid-way,
+    /// if any; the unacked remainder was **not** durably ingested.
+    pub error: Option<String>,
+}
+
+impl ShardIngest {
+    /// Submissions neither acked nor rejected — lost to the failure
+    /// and in need of re-submission (zero when the shard succeeded).
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        (self.submitted as u64).saturating_sub(self.accepted + self.rejected)
+    }
+}
+
+/// Per-shard outcomes of a [`parallel_ingest`] run. Shards succeed and
+/// fail independently — a failed shard never erases what the others
+/// ingested.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// One row per shard, ascending.
+    pub shards: Vec<ShardIngest>,
+}
+
+impl IngestReport {
+    /// Submissions durably accepted across all shards (including the
+    /// committed prefix of shards that later failed).
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.shards.iter().map(|s| s.accepted).sum()
+    }
+
+    /// Submissions rejected (malformed or duplicate) across all shards.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Submissions lost to shard failures (need re-submission).
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.shards.iter().map(ShardIngest::lost).sum()
+    }
+
+    /// Whether every submission reached its shard.
+    #[must_use]
+    pub fn fully_ingested(&self) -> bool {
+        self.shards.iter().all(|s| s.error.is_none())
+    }
+
+    /// The shards that failed, with how many submissions each lost.
+    pub fn failures(&self) -> impl Iterator<Item = &ShardIngest> {
+        self.shards.iter().filter(|s| s.error.is_some())
+    }
+
+    /// Collapses the report into totals, erring if any shard failed —
+    /// the strict adapter for callers that need all-or-nothing
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// The first failed shard's error, prefixed with its id.
+    pub fn totals(&self) -> Result<(u64, u64), String> {
+        if let Some(failed) = self.failures().next() {
+            let err = failed.error.as_deref().expect("failure filtered");
+            return Err(format!("shard {}: {err}", failed.shard));
+        }
+        Ok((self.accepted(), self.rejected()))
+    }
+}
+
 /// Ingests a submission set through one independent connection per
-/// shard, in parallel — the scale-out ingest path (a [`Router`] fans
-/// out sequentially, which measures scatter latency, not throughput).
+/// shard, in parallel — the scale-out ingest path (a [`Router`] reuses
+/// per-shard worker connections, which measures steady-state scatter;
+/// this spins up fresh connections sized to the batch).
 ///
 /// Every submission is routed by the map's placement hash; chunking
-/// bounds frame sizes. Returns `(accepted, rejected)` summed over
-/// shards.
-///
-/// # Errors
-///
-/// The first shard error encountered, as a string (all shards are
-/// attempted regardless).
+/// bounds frame sizes. Each shard's outcome is reported independently:
+/// a shard that fails mid-batch costs only its own submissions, and the
+/// caller can see exactly which users need re-submission instead of
+/// mistaking a partial ingest for a total failure.
+#[must_use]
 pub fn parallel_ingest(
     map: &ShardMap,
     subs: &[Submission],
     timeout: Duration,
     chunk: usize,
-) -> Result<(u64, u64), String> {
+) -> IngestReport {
     let mut per_shard: Vec<Vec<Submission>> = (0..map.len()).map(|_| Vec::new()).collect();
     for sub in subs {
         per_shard[map.shard_of(sub.user) as usize].push(sub.clone());
     }
-    let results: Vec<Result<(u64, u64), String>> = std::thread::scope(|scope| {
+    let shards: Vec<ShardIngest> = std::thread::scope(|scope| {
         let handles: Vec<_> = per_shard
             .iter()
             .enumerate()
@@ -729,28 +1143,81 @@ pub fn parallel_ingest(
                 let addr = map.addr_of(shard as u32).to_string();
                 scope.spawn(move || {
                     if batch.is_empty() {
-                        return Ok((0, 0));
+                        return (psketch_server::SubmitAck::default(), None);
                     }
-                    let mut client = Client::connect(addr.as_str(), timeout)
-                        .map_err(|e| format!("shard {shard}: {e}"))?;
-                    let ack = client
-                        .submit_chunked(batch, chunk.max(1))
-                        .map_err(|e| format!("shard {shard}: {e}"))?;
-                    Ok((ack.accepted, ack.rejected))
+                    match Client::connect(addr.as_str(), timeout) {
+                        Err(e) => (psketch_server::SubmitAck::default(), Some(e.to_string())),
+                        Ok(mut client) => {
+                            let (ack, err) = client.submit_chunked_partial(batch, chunk.max(1));
+                            (ack, err.map(|e| e.to_string()))
+                        }
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("ingest worker panicked"))
+            .enumerate()
+            .map(|(shard, h)| {
+                let (ack, error) = h.join().expect("ingest worker panicked");
+                ShardIngest {
+                    shard: shard as u32,
+                    submitted: per_shard[shard].len(),
+                    accepted: ack.accepted,
+                    rejected: ack.rejected,
+                    error,
+                }
+            })
             .collect()
     });
-    let mut accepted = 0;
-    let mut rejected = 0;
-    for result in results {
-        let (a, r) = result?;
-        accepted += a;
-        rejected += r;
+    IngestReport { shards }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_caps_instead_of_overflowing() {
+        let base = Duration::from_millis(50);
+        // The old `base * (1 << (attempt - 1))` panicked at attempt 33
+        // (u32 shift overflow) and could overflow the Duration multiply
+        // well before that. The capped delay must stay monotone and
+        // bounded for any attempt.
+        assert_eq!(backoff_delay(base, 1), base);
+        assert_eq!(backoff_delay(base, 2), base * 2);
+        assert_eq!(backoff_delay(base, 5), base * 16);
+        assert_eq!(backoff_delay(base, 10), base * 512); // 25.6s, under the cap
+        assert_eq!(backoff_delay(base, 11), MAX_BACKOFF); // 51.2s, capped
+        let mut last = Duration::ZERO;
+        for attempt in 1..=u32::from(u16::MAX) {
+            let d = backoff_delay(base, attempt);
+            assert!(d <= MAX_BACKOFF, "attempt {attempt} exceeded the cap");
+            assert!(d >= last, "attempt {attempt} shrank the delay");
+            last = d;
+        }
+        assert_eq!(backoff_delay(base, 32), MAX_BACKOFF);
+        assert_eq!(backoff_delay(base, u32::MAX), MAX_BACKOFF);
+        // Huge bases saturate instead of panicking.
+        assert_eq!(backoff_delay(Duration::MAX, 31), MAX_BACKOFF);
+        // A zero base ("never sleep") stays zero at every attempt,
+        // including past the point where the shift factor saturates.
+        assert_eq!(backoff_delay(Duration::ZERO, 8), Duration::ZERO);
+        assert_eq!(backoff_delay(Duration::ZERO, 33), Duration::ZERO);
+        assert_eq!(backoff_delay(Duration::ZERO, u32::MAX), Duration::ZERO);
     }
-    Ok((accepted, rejected))
+
+    #[test]
+    fn a_router_config_with_huge_retries_is_usable() {
+        // Constructing a router with retries ≥ 32 must not be a latent
+        // panic; the backoff schedule it implies is finite and capped.
+        let config = RouterConfig {
+            retries: 64,
+            backoff: Duration::from_secs(20),
+            ..RouterConfig::default()
+        };
+        for attempt in 1..=config.retries {
+            assert!(backoff_delay(config.backoff, attempt) <= MAX_BACKOFF);
+        }
+    }
 }

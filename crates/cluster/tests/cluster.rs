@@ -636,3 +636,287 @@ fn budget_refusals_propagate_and_are_not_retried() {
         server.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------
+// Parallel fan-out vs the sequential oracle.
+// ---------------------------------------------------------------------
+
+/// Every family's compiled plan over two 2-bit fields (`a` at bits 0–1,
+/// `b` at bits 2–3). No engine oracles here: the *sequential* router
+/// (`fanout = 1`, the old visit order) is the oracle the parallel
+/// fan-out must match bit-for-bit.
+fn family_plans() -> Vec<(&'static str, psketch_queries::TermPlan)> {
+    use psketch_core::IntField;
+    use psketch_queries as q;
+    let a = IntField::new(0, 2);
+    let b = IntField::new(2, 2);
+    let attr = q::CategoricalAttribute::new(a, 3);
+    let clause0 =
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
+            .unwrap();
+    let clause1 = psketch_core::ConjunctiveQuery::new(
+        BitSubset::new(vec![1, 2]).unwrap(),
+        BitString::from_bits(&[true, false]),
+    )
+    .unwrap();
+    let tree = q::DecisionTree::split(
+        0,
+        q::DecisionTree::split(2, q::DecisionTree::Leaf(true), q::DecisionTree::Leaf(false)),
+        q::DecisionTree::split(1, q::DecisionTree::Leaf(false), q::DecisionTree::Leaf(true)),
+    );
+    let mut linear = q::LinearQuery::new("linear family");
+    linear.constant = -0.25;
+    linear.push(1.5, clause0.clone());
+    linear.push(0.5, clause0.clone());
+    linear.push(-2.0, clause1.clone());
+    vec![
+        ("conjunction", q::TermPlan::for_conjunctive(clause1.clone())),
+        (
+            "distribution",
+            q::TermPlan::for_distribution(&BitSubset::range(0, 2)),
+        ),
+        ("linear", q::TermPlan::compile(&linear)),
+        ("dnf", q::dnf_plan(&[clause0, clause1]).unwrap()),
+        ("interval", q::range_plan(&a, 1, 2)),
+        ("mean", q::mean_plan(&a)),
+        ("moment", q::moment_plan(&a, 2)),
+        ("product", q::inner_product_plan(&a, &b)),
+        ("combined", q::eq_and_less_than_plan(&a, 2, &b, 3)),
+        ("tree", tree.to_plan()),
+        ("sumlt", q::sum_lt_plan(&a, &b, 2)),
+        ("categorical", q::histogram_plan(&attr)),
+        ("variance", q::variance_plan(&a)),
+        ("conditional-mean", q::conditional_mean_plan(&a, 2, &b)),
+    ]
+}
+
+/// Asserts two cluster plan answers are float-bit-identical, including
+/// the degraded-coverage fields (outage *error strings* may differ —
+/// they quote nondeterministic OS messages — but the structured fields
+/// may not).
+fn assert_answers_identical(
+    family: &str,
+    parallel: &psketch_cluster::ClusterPlanAnswer,
+    sequential: &psketch_cluster::ClusterPlanAnswer,
+) {
+    assert_eq!(
+        parallel.outputs.len(),
+        sequential.outputs.len(),
+        "{family}: output arity diverged"
+    );
+    for (p, s) in parallel.outputs.iter().zip(&sequential.outputs) {
+        assert_eq!(
+            p.value.to_bits(),
+            s.value.to_bits(),
+            "{family}: parallel fan-out diverged from the sequential oracle"
+        );
+        assert_eq!(p.queries_used, s.queries_used, "{family}");
+        assert_eq!(p.min_sample_size, s.min_sample_size, "{family}");
+    }
+    assert_eq!(
+        parallel.term_estimates.len(),
+        sequential.term_estimates.len(),
+        "{family}"
+    );
+    for (p, s) in parallel
+        .term_estimates
+        .iter()
+        .zip(&sequential.term_estimates)
+    {
+        assert_eq!(p.fraction.to_bits(), s.fraction.to_bits(), "{family}");
+        assert_eq!(p.raw.to_bits(), s.raw.to_bits(), "{family}");
+        assert_eq!(p.sample_size, s.sample_size, "{family}");
+        assert_eq!(p.p.to_bits(), s.p.to_bits(), "{family}");
+    }
+    let (pc, sc) = (&parallel.coverage, &sequential.coverage);
+    assert_eq!(pc.total_shards, sc.total_shards, "{family}");
+    assert_eq!(pc.responding, sc.responding, "{family}");
+    assert_eq!(pc.population, sc.population, "{family}");
+    assert_eq!(pc.missing_users, sc.missing_users, "{family}");
+    let p_missing: Vec<u32> = pc.missing.iter().map(|o| o.shard).collect();
+    let s_missing: Vec<u32> = sc.missing.iter().map(|o| o.shard).collect();
+    assert_eq!(p_missing, s_missing, "{family}: degraded coverage diverged");
+}
+
+fn router_with_fanout(map: ShardMap, fanout: usize) -> Router {
+    Router::new(
+        map,
+        RouterConfig {
+            timeout: TIMEOUT,
+            retries: 1,
+            backoff: Duration::from_millis(10),
+            fanout,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The parallel-correctness property: for every query family the
+/// parallel scatter-gather (`fanout = 0`, all shards at once) answers
+/// float-bit-identically to the sequential oracle (`fanout = 1`, the
+/// pre-parallel visit order) — with all shards up *and* with one shard
+/// killed (degraded coverage fields unchanged).
+fn assert_parallel_matches_sequential(m: u64, shards: u32, seed: u64) {
+    let plans = family_plans();
+    let mut subsets: Vec<BitSubset> = plans
+        .iter()
+        .flat_map(|(_, plan)| plan.required_subsets())
+        .collect();
+    subsets.sort();
+    subsets.dedup();
+    let mut builder = AnnouncementBuilder::new(4243, 0.45, 10_000, 1e-6)
+        .global_key(*GlobalKey::from_seed(seed).as_bytes());
+    for subset in subsets {
+        builder = builder.subset(subset);
+    }
+    let ann = builder.build().unwrap();
+
+    let mut ids: Vec<u64> = (0..m).map(|i| i.wrapping_mul(0x9E37) ^ seed).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut rng = Prg::seed_from_u64(seed ^ 0x00B5);
+    let subs: Vec<Submission> = ids
+        .iter()
+        .map(|&i| {
+            let profile = Profile::from_bits(&[i % 3 == 0, i % 2 == 0, i % 5 < 2, i % 7 < 3]);
+            let mut agent = UserAgent::new(UserId(i), profile, ann.p, 1e12);
+            agent.participate(&ann, &mut rng).unwrap()
+        })
+        .collect();
+
+    let (mut servers, map) = start_cluster(&ann, shards);
+    let mut parallel = router_with_fanout(map.clone(), 0);
+    let mut sequential = router_with_fanout(map, 1);
+    let report = parallel.submit_batch(&subs).unwrap();
+    assert!(report.fully_ingested());
+    // Size every shard on both routers so degraded answers report the
+    // same missing-user counts after the kill.
+    parallel.status().unwrap();
+    sequential.status().unwrap();
+
+    for (family, plan) in &plans {
+        let p = parallel.execute_plan(plan).unwrap();
+        let s = sequential.execute_plan(plan).unwrap();
+        assert!(p.coverage.is_complete(), "{family}");
+        assert_answers_identical(family, &p, &s);
+    }
+
+    if shards > 1 {
+        // Kill shard 1: both routers must degrade identically.
+        servers.remove(1).shutdown();
+        for (family, plan) in plans.iter().take(5) {
+            match (parallel.execute_plan(plan), sequential.execute_plan(plan)) {
+                (Ok(p), Ok(s)) => {
+                    assert!(!p.coverage.is_complete(), "{family}: kill went unnoticed");
+                    assert_answers_identical(family, &p, &s);
+                }
+                // A term held only by the dead shard fails estimation on
+                // the surviving population — for both routers alike.
+                (Err(ClusterError::Estimation(_)), Err(ClusterError::Estimation(_))) => {}
+                (p, s) => panic!("{family}: outcomes diverged: {p:?} vs {s:?}"),
+            }
+        }
+    }
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+proptest! {
+    /// Parallel scatter-gather answers are float-bit-identical to the
+    /// sequential oracle for every query family × 1–4 shards, including
+    /// with one shard killed (degraded coverage fields unchanged).
+    #[test]
+    fn parallel_fanout_bit_identical_to_sequential_oracle(
+        m in 50u64..120,
+        shard_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let shards = (shard_pick % 4 + 1) as u32;
+        assert_parallel_matches_sequential(m, shards, seed);
+    }
+}
+
+#[test]
+fn parallel_fanout_four_shard_anchor() {
+    // The deterministic anchor for the parallel-vs-sequential proptest.
+    assert_parallel_matches_sequential(100, 4, 2026);
+}
+
+#[test]
+fn intermediate_fanouts_answer_identically() {
+    // fanout = 2 on a 4-shard cluster: a bounded fan-out window must
+    // not change a single bit either.
+    let ann = announcement(21);
+    let ids: Vec<u64> = (0..400).collect();
+    let subs = submissions(&ann, &ids, 21);
+    let (servers, map) = start_cluster(&ann, 4);
+    let mut bounded = router_with_fanout(map.clone(), 2);
+    let mut sequential = router_with_fanout(map, 1);
+    bounded.submit_batch(&subs).unwrap();
+    let pair = BitSubset::range(0, 2);
+    let plan = psketch_queries::TermPlan::for_distribution(&pair);
+    let b = bounded.execute_plan(&plan).unwrap();
+    let s = sequential.execute_plan(&plan).unwrap();
+    assert_answers_identical("distribution@fanout2", &b, &s);
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn fatal_outcomes_stop_dispatching_further_shards() {
+    // At fanout = 1 a refusal on shard 0 must end the scatter before
+    // shard 1 is contacted at all — the old sequential contract. With
+    // the budget sized to afford exactly one estimate per shard, shard
+    // 1's ledger must show one charge and zero denials afterwards.
+    let ann = announcement(29);
+    let servers: Vec<Server> = (0..2)
+        .map(|shard_id| {
+            Server::start(
+                "127.0.0.1:0",
+                ann.clone(),
+                ServerConfig {
+                    workers: 2,
+                    shard: Some(ShardIdentity {
+                        shard_id,
+                        shard_count: 2,
+                    }),
+                    analyst_budget: Some(3.0),
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap()
+        })
+        .collect();
+    let map = ShardMap::new(1, servers.iter().map(|s| s.local_addr().to_string())).unwrap();
+    let ids: Vec<u64> = (0..80).collect();
+    let subs = submissions(&ann, &ids, 29);
+    let mut router = Router::new(
+        map,
+        RouterConfig {
+            timeout: TIMEOUT,
+            analyst: 42,
+            fanout: 1,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    router.submit_batch(&subs).unwrap();
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    router.conjunctive(subset.clone(), value.clone()).unwrap();
+    match router.conjunctive(subset, value) {
+        Err(ClusterError::Refused { shard: 0, .. }) => {}
+        other => panic!("expected shard 0 refusal, got {other:?}"),
+    }
+    // Shard 1 was never asked to over-spend.
+    let mut probe = psketch_server::Client::connect(servers[1].local_addr(), TIMEOUT).unwrap();
+    let stats = probe.server_stats().unwrap();
+    assert_eq!(stats.budget.denials, 0, "{stats:?}");
+    assert_eq!(stats.budget.charged_terms, 1, "{stats:?}");
+    for server in servers {
+        server.shutdown();
+    }
+}

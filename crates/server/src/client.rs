@@ -5,7 +5,20 @@
 //! is just "write a frame, read a frame". User agents submit in batches
 //! ([`Client::submit_batch`] / [`Client::submit_chunked`]); analysts
 //! query with [`Client::conjunctive`], [`Client::distribution`] and
-//! [`Client::linear`].
+//! [`Client::execute_plan`].
+//!
+//! A `Client` is `Send`, so a connection pool (one long-lived worker
+//! thread per shard, as the cluster router runs) can own and reuse
+//! clients freely.
+//!
+//! # Request nonces
+//!
+//! Every charging request carries a nonce identifying the *logical*
+//! query, so the server's ε-ledger charges it at most once even when a
+//! transport failure forces a retry on a fresh connection. The plain
+//! query methods mint a fresh nonce per call ([`next_nonce`]); retrying
+//! callers (the cluster router) mint one nonce per logical query and
+//! use the `*_nonced` variants so every retry replays the same nonce.
 
 use crate::wire::{self, Request, Response, ServerStats};
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
@@ -13,7 +26,37 @@ use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentit
 use psketch_queries::{LinearAnswer, TermPlan};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// Mints a request nonce: unique within this process, seeded with
+/// per-process entropy so two processes acting for the same analyst are
+/// overwhelmingly unlikely to collide. Never returns `0` (the wire's
+/// "no replay identity" sentinel).
+#[must_use]
+pub fn next_nonce() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let seed = *SEED.get_or_init(|| {
+        use std::hash::{BuildHasher, Hasher};
+        // RandomState draws fresh entropy per process.
+        std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish()
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 over the seeded counter: distinct inputs, distinct outputs.
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        1
+    } else {
+        z
+    }
+}
 
 /// Errors from the client side of the protocol.
 #[derive(Debug)]
@@ -164,22 +207,43 @@ impl Client {
     /// # Errors
     ///
     /// Transport, protocol, or server errors; already-acked chunks stay
-    /// ingested.
+    /// ingested (use [`Client::submit_chunked_partial`] to learn how
+    /// many).
     pub fn submit_chunked(
         &mut self,
         subs: &[Submission],
         batch_size: usize,
     ) -> Result<SubmitAck, ClientError> {
-        let mut total = SubmitAck::default();
-        for chunk in subs.chunks(batch_size.max(1)) {
-            let ack = self.submit_batch(chunk)?;
-            total.accepted += ack.accepted;
-            total.rejected += ack.rejected;
+        match self.submit_chunked_partial(subs, batch_size) {
+            (total, None) => Ok(total),
+            (_, Some(e)) => Err(e),
         }
-        Ok(total)
     }
 
-    /// Estimates one conjunctive frequency.
+    /// As [`Client::submit_chunked`], but a mid-batch failure does not
+    /// erase what already committed: returns the summed acks of the
+    /// chunks the server durably acknowledged *before* the failure,
+    /// alongside the error (if any) that stopped the remainder — so
+    /// callers can report a partial ingest as exactly that.
+    pub fn submit_chunked_partial(
+        &mut self,
+        subs: &[Submission],
+        batch_size: usize,
+    ) -> (SubmitAck, Option<ClientError>) {
+        let mut total = SubmitAck::default();
+        for chunk in subs.chunks(batch_size.max(1)) {
+            match self.submit_batch(chunk) {
+                Ok(ack) => {
+                    total.accepted += ack.accepted;
+                    total.rejected += ack.rejected;
+                }
+                Err(e) => return (total, Some(e)),
+            }
+        }
+        (total, None)
+    }
+
+    /// Estimates one conjunctive frequency (fresh nonce: one charge).
     ///
     /// # Errors
     ///
@@ -189,20 +253,52 @@ impl Client {
         subset: BitSubset,
         value: BitString,
     ) -> Result<Estimate, ClientError> {
-        match self.request(&Request::Conjunctive { subset, value })? {
+        self.conjunctive_nonced(next_nonce(), subset, value)
+    }
+
+    /// As [`Client::conjunctive`] with a caller-supplied nonce, for
+    /// retries that must not re-charge the analyst's ledger.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors (e.g. unknown subset).
+    pub fn conjunctive_nonced(
+        &mut self,
+        nonce: u64,
+        subset: BitSubset,
+        value: BitString,
+    ) -> Result<Estimate, ClientError> {
+        match self.request(&Request::Conjunctive {
+            subset,
+            value,
+            nonce,
+        })? {
             Response::Estimate(e) => Ok(e.into()),
             other => Self::unexpected(&other),
         }
     }
 
     /// Estimates the full `2^k` distribution over one subset, indexed
-    /// by the LSB-first integer encoding of the value.
+    /// by the LSB-first integer encoding of the value (fresh nonce).
     ///
     /// # Errors
     ///
     /// Transport, protocol, or server errors.
     pub fn distribution(&mut self, subset: BitSubset) -> Result<Vec<Estimate>, ClientError> {
-        match self.request(&Request::Distribution { subset })? {
+        self.distribution_nonced(next_nonce(), subset)
+    }
+
+    /// As [`Client::distribution`] with a caller-supplied nonce.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn distribution_nonced(
+        &mut self,
+        nonce: u64,
+        subset: BitSubset,
+    ) -> Result<Vec<Estimate>, ClientError> {
+        match self.request(&Request::Distribution { subset, nonce })? {
             Response::Distribution(es) => Ok(es.into_iter().map(Into::into).collect()),
             other => Self::unexpected(&other),
         }
@@ -212,13 +308,29 @@ impl Client {
     /// answer per plan output, in plan order. Every query family —
     /// linear combinations, DNF, intervals, means, moments, trees,
     /// histograms — travels through this one entry point; the server
-    /// charges the analyst the plan's term count.
+    /// charges the analyst the plan's term count (fresh nonce).
     ///
     /// # Errors
     ///
     /// Transport, protocol, or server errors.
     pub fn execute_plan(&mut self, plan: &TermPlan) -> Result<Vec<LinearAnswer>, ClientError> {
-        match self.request(&Request::Plan(plan.clone()))? {
+        self.execute_plan_nonced(next_nonce(), plan)
+    }
+
+    /// As [`Client::execute_plan`] with a caller-supplied nonce.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn execute_plan_nonced(
+        &mut self,
+        nonce: u64,
+        plan: &TermPlan,
+    ) -> Result<Vec<LinearAnswer>, ClientError> {
+        match self.request(&Request::Plan {
+            plan: plan.clone(),
+            nonce,
+        })? {
             Response::PlanAnswers(answers) => {
                 Ok(answers.into_iter().map(LinearAnswer::from).collect())
             }
@@ -267,7 +379,7 @@ impl Client {
     /// Fetches raw `(ones, population)` satisfying counts for a plan's
     /// deduplicated term list — the scatter half of a router's
     /// scatter-gather. A shard holding no sketches for a queried subset
-    /// reports `(0, 0)`.
+    /// reports `(0, 0)` (fresh nonce).
     ///
     /// # Errors
     ///
@@ -276,8 +388,22 @@ impl Client {
         &mut self,
         terms: &[ConjunctiveQuery],
     ) -> Result<Vec<QueryCounts>, ClientError> {
+        self.partial_term_counts_nonced(next_nonce(), terms)
+    }
+
+    /// As [`Client::partial_term_counts`] with a caller-supplied nonce.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn partial_term_counts_nonced(
+        &mut self,
+        nonce: u64,
+        terms: &[ConjunctiveQuery],
+    ) -> Result<Vec<QueryCounts>, ClientError> {
         match self.request(&Request::PartialTermCounts {
             terms: terms.to_vec(),
+            nonce,
         })? {
             Response::PartialTermCounts(counts) => Ok(counts),
             other => Self::unexpected(&other),

@@ -31,10 +31,10 @@ pub mod server;
 pub mod wal;
 pub mod wire;
 
-pub use client::{Client, ClientError, SubmitAck};
+pub use client::{next_nonce, Client, ClientError, SubmitAck};
 pub use server::{ServeError, Server, ServerConfig};
 pub use wal::{Wal, WalConfig, WalError};
 pub use wire::{
-    PlanAnswerWire, PlanStats, Request, Response, ServerStats, MAX_FRAME_BYTES, MAX_PLAN_TERMS,
-    PROTOCOL_VERSION,
+    BudgetStats, PlanAnswerWire, PlanStats, Request, Response, ServerStats, MAX_FRAME_BYTES,
+    MAX_PLAN_TERMS, PROTOCOL_VERSION,
 };

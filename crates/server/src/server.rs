@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use psketch_core::{ConjunctiveQuery, Error, PrivacyAccountant};
 use psketch_protocol::{Announcement, Coordinator, QueryCounts, ShardIdentity};
 use psketch_queries::QueryEngine;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -116,24 +116,316 @@ impl From<WalError> for ServeError {
     }
 }
 
+/// How many charged nonces each analyst ledger remembers. A replay
+/// older than this window is re-charged — the conservative direction:
+/// the privacy accounting never under-counts, only a pathologically
+/// slow retry pays twice.
+const NONCE_WINDOW: usize = 4096;
+
+/// Largest encoded response cached for replay; bigger answers are
+/// marked evicted, and their replays re-charge (never under-counting).
+const REPLAY_CACHE_ENTRY_BYTES: usize = 2 << 20;
+
+/// Per-analyst ceiling on total cached replay-response bytes; the
+/// oldest cached bodies are dropped first (their digests stay, so a
+/// late replay re-charges rather than re-executing for free).
+const REPLAY_CACHE_TOTAL_BYTES: usize = 16 << 20;
+
+/// Server-wide ceiling on cached replay-response bytes across **all**
+/// analysts. Analyst ids are self-declared (no authentication), so
+/// without a global cap a client cycling fresh ids could pin a
+/// per-analyst cache each and amplify memory without bound. At the
+/// cap, new responses are simply not cached (their replays re-charge).
+const REPLAY_CACHE_GLOBAL_BYTES: usize = 64 << 20;
+
+/// The response side of a charged nonce.
+enum ReplayState {
+    /// Charged; the evaluation has not finished (or not yet attached
+    /// its response). A replay arriving now is answered with the
+    /// transient [`codes::RETRY_PENDING`] error — the charge happened
+    /// (so charging again would double-charge) but evaluating again
+    /// would release a second, possibly different answer for one
+    /// charge. The client retries and finds the cached response.
+    Pending,
+    /// The charged exchange's encoded response, replayed verbatim
+    /// (shared, so serving a replay never copies the body).
+    Ready(Arc<[u8]>),
+    /// The response was too large, crowded out, or dropped to make
+    /// room: a replay now re-charges (never under-counts).
+    Evicted,
+}
+
+/// One charged nonce: the digest of the exact request bytes it paid
+/// for, plus the state of the response that charge bought.
+struct NonceEntry {
+    digest: u64,
+    response: ReplayState,
+}
+
+/// What a nonce lookup found.
+enum ReplayLookup {
+    /// Unknown nonce, digest mismatch, or evicted cache: fresh charge.
+    Miss,
+    /// Charged, evaluation still in flight: answer `RETRY_PENDING`.
+    Pending,
+    /// Charged and cached: serve these bytes verbatim.
+    Ready(Arc<[u8]>),
+}
+
+/// A bounded FIFO map of the nonces an analyst has already been charged
+/// for. Each nonce is bound to a digest of the exact request body it
+/// paid for **and** to the response that charge produced: a replay is
+/// answered from the cache, never by re-executing against a pool that
+/// may have grown since — one charge buys exactly one release. The
+/// nonce counts as charged from the moment of the charge (not from
+/// response completion), so a timeout retry racing the original
+/// evaluation can never double-charge; and any digest or cache miss
+/// falls back to a fresh charge, so the ledger can never under-count.
+#[derive(Default)]
+struct NonceWindow {
+    seen: HashMap<u64, NonceEntry>,
+    order: VecDeque<u64>,
+    cached_bytes: usize,
+}
+
+impl NonceWindow {
+    fn lookup(&self, nonce: u64, digest: u64) -> ReplayLookup {
+        match self.seen.get(&nonce) {
+            Some(entry) if entry.digest == digest => match &entry.response {
+                ReplayState::Pending => ReplayLookup::Pending,
+                ReplayState::Ready(bytes) => ReplayLookup::Ready(Arc::clone(bytes)),
+                ReplayState::Evicted => ReplayLookup::Miss,
+            },
+            _ => ReplayLookup::Miss,
+        }
+    }
+
+    fn release(entry: NonceEntry, global: &AtomicU64) -> usize {
+        if let ReplayState::Ready(bytes) = entry.response {
+            global.fetch_sub(bytes.len() as u64, Ordering::Relaxed);
+            bytes.len()
+        } else {
+            0
+        }
+    }
+
+    fn record(&mut self, nonce: u64, digest: u64, global: &AtomicU64) {
+        if let Some(old) = self.seen.insert(
+            nonce,
+            NonceEntry {
+                digest,
+                response: ReplayState::Pending,
+            },
+        ) {
+            // Nonce reused for a different (re-charged) body: rebound
+            // in place, FIFO position unchanged, old cache released.
+            self.cached_bytes -= Self::release(old, global);
+            return;
+        }
+        self.order.push_back(nonce);
+        if self.order.len() > NONCE_WINDOW {
+            if let Some(evicted) = self.order.pop_front() {
+                if let Some(old) = self.seen.remove(&evicted) {
+                    self.cached_bytes -= Self::release(old, global);
+                }
+            }
+        }
+    }
+
+    /// Attaches the encoded response a fresh charge produced, within
+    /// the per-entry, per-analyst and server-wide byte budgets; when a
+    /// budget refuses, the entry is marked evicted so later replays
+    /// re-charge instead of riding free forever.
+    fn attach_response(
+        &mut self,
+        nonce: u64,
+        digest: u64,
+        encoded: &Arc<[u8]>,
+        global: &AtomicU64,
+    ) {
+        let fits_entry = encoded.len() <= REPLAY_CACHE_ENTRY_BYTES;
+        // Make room within the per-analyst budget by dropping the
+        // oldest cached bodies (their digests stay).
+        while fits_entry && self.cached_bytes + encoded.len() > REPLAY_CACHE_TOTAL_BYTES {
+            let Some(&victim) = self.order.iter().find(|n| {
+                self.seen
+                    .get(n)
+                    .is_some_and(|e| matches!(e.response, ReplayState::Ready(_)))
+            }) else {
+                break;
+            };
+            if let Some(entry) = self.seen.get_mut(&victim) {
+                let old = std::mem::replace(&mut entry.response, ReplayState::Evicted);
+                if let ReplayState::Ready(bytes) = old {
+                    global.fetch_sub(bytes.len() as u64, Ordering::Relaxed);
+                    self.cached_bytes -= bytes.len();
+                }
+            }
+        }
+        let fits_analyst = self.cached_bytes + encoded.len() <= REPLAY_CACHE_TOTAL_BYTES;
+        let fits_global = global.load(Ordering::Relaxed) + encoded.len() as u64
+            <= REPLAY_CACHE_GLOBAL_BYTES as u64;
+        if let Some(entry) = self.seen.get_mut(&nonce) {
+            if entry.digest == digest && matches!(entry.response, ReplayState::Pending) {
+                if fits_entry && fits_analyst && fits_global {
+                    global.fetch_add(encoded.len() as u64, Ordering::Relaxed);
+                    self.cached_bytes += encoded.len();
+                    entry.response = ReplayState::Ready(Arc::clone(encoded));
+                } else {
+                    entry.response = ReplayState::Evicted;
+                }
+            }
+        }
+    }
+}
+
+/// One analyst's account: the ε accountant plus the nonces it has been
+/// charged for.
+struct AnalystLedger {
+    accountant: PrivacyAccountant,
+    nonces: NonceWindow,
+}
+
 /// Per-analyst ε ledgers (Corollary 3.4 accounting at the service
 /// boundary). Every conjunctive estimate the server computes on an
 /// analyst's behalf is one "release" at the announcement's bias; the
 /// multiplicative ratio bound is tracked by [`PrivacyAccountant`] and a
 /// charge that would exceed the budget is refused *before* the scan.
+///
+/// Charges are **idempotent per request nonce**: a client that lost its
+/// connection after the server charged (but before it read the answer)
+/// retries with the same nonce — and the same bytes — and is served the
+/// **cached original response** without a second charge or a second
+/// evaluation. The nonce is bound to a keyed digest of the request
+/// payload, so only a byte-identical replay rides free; a reused nonce
+/// carrying a different query is a fresh charge. Nonce `0` is the "no
+/// replay identity" sentinel and always charges.
 struct BudgetBook {
     epsilon: f64,
     p: f64,
-    ledgers: Mutex<HashMap<u64, PrivacyAccountant>>,
+    ledgers: Mutex<HashMap<u64, AnalystLedger>>,
+    /// Keys the payload digest (SipHash with per-process random keys):
+    /// an analyst cannot construct offline collisions to ride a paid
+    /// nonce with a different query body.
+    hasher: std::collections::hash_map::RandomState,
+    /// Cached replay-response bytes across all analysts (global cap).
+    cached_bytes: AtomicU64,
+    /// Estimates charged across all analysts (ServerStats surface).
+    charged_terms: AtomicU64,
+    /// Requests served without a fresh charge (replayed or in-flight
+    /// nonces).
+    replays: AtomicU64,
+    /// Requests refused over budget.
+    denials: AtomicU64,
+}
+
+/// Outcome of a budget gate check, before any evaluation.
+enum Charge {
+    /// A fresh charge was recorded: evaluate, then hand the encoded
+    /// response to [`BudgetBook::attach_response`].
+    Evaluate,
+    /// Byte-identical replay of a paid request: serve these cached
+    /// encoded response bytes verbatim, nothing to evaluate.
+    Replay(Arc<[u8]>),
+    /// Byte-identical replay of a paid request whose original
+    /// evaluation is still in flight: answer the transient
+    /// [`codes::RETRY_PENDING`] error (no charge, no evaluation).
+    Pending,
 }
 
 impl BudgetBook {
-    fn charge(&self, analyst: u64, estimates: u32) -> Result<(), Error> {
+    fn new(epsilon: f64, p: f64) -> Self {
+        Self {
+            epsilon,
+            p,
+            ledgers: Mutex::new(HashMap::new()),
+            hasher: std::collections::hash_map::RandomState::new(),
+            cached_bytes: AtomicU64::new(0),
+            charged_terms: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            denials: AtomicU64::new(0),
+        }
+    }
+
+    /// The keyed fingerprint binding a request nonce to its exact
+    /// payload bytes.
+    fn digest(&self, payload: &[u8]) -> u64 {
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = self.hasher.build_hasher();
+        h.write(payload);
+        h.finish()
+    }
+
+    fn charge(
+        &self,
+        analyst: u64,
+        estimates: u32,
+        nonce: u64,
+        digest: u64,
+    ) -> Result<Charge, Error> {
         let mut ledgers = self.ledgers.lock();
-        let account = ledgers
-            .entry(analyst)
-            .or_insert_with(|| PrivacyAccountant::new(self.p, self.epsilon));
-        account.charge(estimates)
+        let ledger = ledgers.entry(analyst).or_insert_with(|| AnalystLedger {
+            accountant: PrivacyAccountant::new(self.p, self.epsilon),
+            nonces: NonceWindow::default(),
+        });
+        if nonce != 0 {
+            match ledger.nonces.lookup(nonce, digest) {
+                // Already paid for, byte-identical, original response
+                // cached: serve that exact response free.
+                ReplayLookup::Ready(cached) => {
+                    self.replays.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Charge::Replay(cached));
+                }
+                // Paid for, but the original evaluation hasn't finished
+                // (a timeout retry racing it): charging again would be
+                // the exact double-charge this machinery prevents, and
+                // evaluating again for free would release a second
+                // answer for one charge. Tell the client to retry; the
+                // original's cached response will be waiting.
+                ReplayLookup::Pending => return Ok(Charge::Pending),
+                // Unknown nonce, digest mismatch, or evicted cache:
+                // fall through to a fresh charge — dedup must never let
+                // a new query, or a late re-evaluation over a grown
+                // pool, ride an old charge.
+                ReplayLookup::Miss => {}
+            }
+        }
+        match ledger.accountant.charge(estimates) {
+            Ok(()) => {
+                if nonce != 0 {
+                    ledger.nonces.record(nonce, digest, &self.cached_bytes);
+                }
+                self.charged_terms
+                    .fetch_add(u64::from(estimates), Ordering::Relaxed);
+                Ok(Charge::Evaluate)
+            }
+            Err(e) => {
+                self.denials.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Caches the encoded response a fresh charge produced so replays
+    /// of the same `(nonce, digest)` can be served verbatim.
+    fn attach_response(&self, analyst: u64, nonce: u64, digest: u64, encoded: &Arc<[u8]>) {
+        if nonce == 0 {
+            return;
+        }
+        let mut ledgers = self.ledgers.lock();
+        if let Some(ledger) = ledgers.get_mut(&analyst) {
+            ledger
+                .nonces
+                .attach_response(nonce, digest, encoded, &self.cached_bytes);
+        }
+    }
+
+    fn stats(&self) -> wire::BudgetStats {
+        wire::BudgetStats {
+            charged_terms: self.charged_terms.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            denials: self.denials.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -165,7 +457,12 @@ impl FrameCounters {
         self.malformed.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, uptime: Duration, engine: &QueryEngine) -> wire::ServerStats {
+    fn snapshot(
+        &self,
+        uptime: Duration,
+        engine: &QueryEngine,
+        budget: Option<&BudgetBook>,
+    ) -> wire::ServerStats {
         let frames = self
             .kinds
             .iter()
@@ -185,6 +482,7 @@ impl FrameCounters {
                 terms_scanned: engine_stats.terms_scanned,
                 terms_reused: engine_stats.terms_reused,
             },
+            budget: budget.map(BudgetBook::stats).unwrap_or_default(),
         }
     }
 }
@@ -215,6 +513,9 @@ struct ConnState {
     /// The analyst this connection acts for; 0 (anonymous) until a
     /// [`Request::Hello`] declares otherwise.
     analyst: u64,
+    /// Digest of the frame currently being served (binds its nonce to
+    /// its exact body in the ε-ledger's replay window).
+    request_digest: u64,
 }
 
 /// A running sketch-pool server. Dropping it (or calling
@@ -291,11 +592,9 @@ impl Server {
             engine: QueryEngine::new(params),
             wal: wal.map(Mutex::new),
             shard: config.shard,
-            budget: config.analyst_budget.map(|epsilon| BudgetBook {
-                epsilon,
-                p: announcement_p,
-                ledgers: Mutex::new(HashMap::new()),
-            }),
+            budget: config
+                .analyst_budget
+                .map(|epsilon| BudgetBook::new(epsilon, announcement_p)),
             started: Instant::now(),
             frames: FrameCounters::new(),
         });
@@ -439,8 +738,11 @@ fn serve_connection(
         }
         let mut payload = vec![0u8; len as usize];
         read_exact_patient(&mut stream, &mut payload, shutdown)?;
-        let response = handle_frame(state, &mut conn, &payload);
-        wire::write_frame(&mut stream, &response.encode())?;
+        let bytes: Arc<[u8]> = match handle_frame(state, &mut conn, &payload) {
+            Served::Response(response) => response.encode().into(),
+            Served::Raw(bytes) => bytes,
+        };
+        wire::write_frame(&mut stream, &bytes)?;
     }
 }
 
@@ -522,35 +824,86 @@ fn query_error(e: &Error) -> Response {
     }
 }
 
-/// Maps a budget charge outcome to an error frame, if over budget.
-fn charge_budget(state: &ServiceState, conn: &ConnState, estimates: u32) -> Option<Response> {
-    let book = state.budget.as_ref()?;
-    match book.charge(conn.analyst, estimates) {
-        Ok(()) => None,
-        Err(e) => Some(Response::Error {
+/// What a frame handler hands back to the connection loop: a response
+/// to encode, or pre-encoded bytes (the replay cache serves the charged
+/// exchange's original encoding verbatim; shared so replays never copy
+/// the body).
+enum Served {
+    Response(Response),
+    Raw(Arc<[u8]>),
+}
+
+/// Outcome of the budget gate in front of a charging request.
+enum Gate {
+    /// Accounting off, or a fresh charge recorded: evaluate.
+    Open,
+    /// Byte-identical replay: serve the cached bytes, skip evaluation.
+    Replay(Arc<[u8]>),
+    /// Refuse before any scan (over budget, or a transient
+    /// `RETRY_PENDING` while the nonce's original evaluation runs).
+    Refuse(Response),
+}
+
+/// Runs the budget gate for a charging request. The `(nonce, payload
+/// digest)` pair makes the charge idempotent across transport retries
+/// of the identical request — replays are served from the response
+/// cache, never re-evaluated.
+fn charge_budget(state: &ServiceState, conn: &ConnState, estimates: u32, nonce: u64) -> Gate {
+    let Some(book) = state.budget.as_ref() else {
+        return Gate::Open;
+    };
+    match book.charge(conn.analyst, estimates, nonce, conn.request_digest) {
+        Ok(Charge::Evaluate) => Gate::Open,
+        Ok(Charge::Replay(bytes)) => Gate::Replay(bytes),
+        Ok(Charge::Pending) => Gate::Refuse(Response::Error {
+            code: codes::RETRY_PENDING,
+            message: format!(
+                "nonce {nonce}: the original request is still being evaluated; \
+                 retry for its cached answer"
+            ),
+        }),
+        Err(e) => Gate::Refuse(Response::Error {
             code: codes::BUDGET,
             message: format!("analyst {}: {e}", conn.analyst),
         }),
     }
 }
 
+/// Finishes a charged exchange: encodes the response once, caches the
+/// encoding against the charge's `(nonce, digest)` so a replay can be
+/// served verbatim, and hands the same bytes to the connection loop.
+fn serve_charged(
+    state: &ServiceState,
+    conn: &ConnState,
+    nonce: u64,
+    response: &Response,
+) -> Served {
+    let encoded: Arc<[u8]> = response.encode().into();
+    if nonce != 0 {
+        if let Some(book) = state.budget.as_ref() {
+            book.attach_response(conn.analyst, nonce, conn.request_digest, &encoded);
+        }
+    }
+    Served::Raw(encoded)
+}
+
 /// Decodes and dispatches one frame. Never panics on client input; all
 /// failures become error frames.
-fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> Response {
+fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> Served {
     match wire::frame_version(payload) {
         Ok(v) if v != PROTOCOL_VERSION => {
             state.frames.record_malformed();
-            return Response::Error {
+            return Served::Response(Response::Error {
                 code: codes::UNSUPPORTED_VERSION,
                 message: format!("server speaks protocol {PROTOCOL_VERSION}, frame declares {v}"),
-            };
+            });
         }
         Err(e) => {
             state.frames.record_malformed();
-            return Response::Error {
+            return Served::Response(Response::Error {
                 code: codes::MALFORMED,
                 message: e.to_string(),
-            };
+            });
         }
         Ok(_) => {}
     }
@@ -558,66 +911,89 @@ fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> R
         Ok(r) => r,
         Err(e) => {
             state.frames.record_malformed();
-            return Response::Error {
+            return Served::Response(Response::Error {
                 code: codes::MALFORMED,
                 message: e.to_string(),
-            };
+            });
         }
     };
     // The kind byte is trusted only after a full decode succeeded.
     state.frames.record(payload[1]);
+    // The replay digest is only needed for charging kinds, and only
+    // when accounting is on — ingest frames (which can be megabytes)
+    // never pay for a hash pass.
+    conn.request_digest = match (&request, state.budget.as_ref()) {
+        (
+            Request::Conjunctive { .. }
+            | Request::Distribution { .. }
+            | Request::Plan { .. }
+            | Request::PartialTermCounts { .. },
+            Some(book),
+        ) => book.digest(payload),
+        _ => 0,
+    };
     handle_request(state, conn, request)
 }
 
 #[allow(clippy::too_many_lines)]
-fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) -> Response {
+fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) -> Served {
     match request {
-        Request::FetchAnnouncement => {
-            Response::Announcement(state.coordinator.announcement().clone())
-        }
-        Request::SubmitBatch(subs) => ingest(state, &subs),
-        Request::Conjunctive { subset, value } => {
+        Request::FetchAnnouncement => Served::Response(Response::Announcement(
+            state.coordinator.announcement().clone(),
+        )),
+        Request::SubmitBatch(subs) => Served::Response(ingest(state, &subs)),
+        Request::Conjunctive {
+            subset,
+            value,
+            nonce,
+        } => {
             let query = match ConjunctiveQuery::new(subset, value) {
                 Ok(q) => q,
-                Err(e) => return query_error(&e),
+                Err(e) => return Served::Response(query_error(&e)),
             };
-            if let Some(refusal) = charge_budget(state, conn, 1) {
-                return refusal;
+            match charge_budget(state, conn, 1, nonce) {
+                Gate::Open => {}
+                Gate::Replay(bytes) => return Served::Raw(bytes),
+                Gate::Refuse(refusal) => return Served::Response(refusal),
             }
-            match state
+            let response = match state
                 .engine
                 .estimator()
                 .estimate(state.coordinator.pool(), &query)
             {
                 Ok(e) => Response::Estimate(EstimateWire::from(e)),
                 Err(e) => query_error(&e),
-            }
+            };
+            serve_charged(state, conn, nonce, &response)
         }
-        Request::Distribution { subset } => {
+        Request::Distribution { subset, nonce } => {
             if subset.len() > MAX_DISTRIBUTION_WIDTH {
-                return Response::Error {
+                return Served::Response(Response::Error {
                     code: codes::BAD_REQUEST,
                     message: format!(
                         "distribution width {} exceeds server cap {MAX_DISTRIBUTION_WIDTH}",
                         subset.len()
                     ),
-                };
+                });
             }
-            if let Some(refusal) = charge_budget(state, conn, 1u32 << subset.len()) {
-                return refusal;
+            match charge_budget(state, conn, 1u32 << subset.len(), nonce) {
+                Gate::Open => {}
+                Gate::Replay(bytes) => return Served::Raw(bytes),
+                Gate::Refuse(refusal) => return Served::Response(refusal),
             }
-            match state
+            let response = match state
                 .engine
                 .estimator()
                 .estimate_distribution(state.coordinator.pool(), &subset)
             {
                 Ok(es) => Response::Distribution(es.into_iter().map(EstimateWire::from).collect()),
                 Err(e) => query_error(&e),
-            }
+            };
+            serve_charged(state, conn, nonce, &response)
         }
-        Request::Plan(plan) => {
+        Request::Plan { plan, nonce } => {
             if let Some(refusal) = check_plan_size(plan.cost()) {
-                return refusal;
+                return Served::Response(refusal);
             }
             // The ε charge is the plan's *term count* — exactly the
             // conjunctive estimates computed (Corollary 3.4), whatever
@@ -626,10 +1002,12 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             // terms, and multi-output plans never under-charge by
             // hiding work behind a single frame.
             let charge = u32::try_from(plan.cost()).unwrap_or(u32::MAX);
-            if let Some(refusal) = charge_budget(state, conn, charge) {
-                return refusal;
+            match charge_budget(state, conn, charge, nonce) {
+                Gate::Open => {}
+                Gate::Replay(bytes) => return Served::Raw(bytes),
+                Gate::Refuse(refusal) => return Served::Response(refusal),
             }
-            match state.engine.execute_plan(state.coordinator.pool(), &plan) {
+            let response = match state.engine.execute_plan(state.coordinator.pool(), &plan) {
                 Ok(answers) => Response::PlanAnswers(
                     answers
                         .into_iter()
@@ -637,21 +1015,24 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                         .collect(),
                 ),
                 Err(e) => query_error(&e),
-            }
+            };
+            serve_charged(state, conn, nonce, &response)
         }
-        Request::Stats => Response::Stats(state.coordinator.stats()),
-        Request::Ping => Response::Pong,
+        Request::Stats => Served::Response(Response::Stats(state.coordinator.stats())),
+        Request::Ping => Served::Response(Response::Pong),
         Request::Hello { analyst } => {
             conn.analyst = analyst;
-            Response::Hello { shard: state.shard }
+            Served::Response(Response::Hello { shard: state.shard })
         }
-        Request::PartialTermCounts { terms } => {
+        Request::PartialTermCounts { terms, nonce } => {
             if let Some(refusal) = check_plan_size(terms.len()) {
-                return refusal;
+                return Served::Response(refusal);
             }
             let charge = u32::try_from(terms.len()).unwrap_or(u32::MAX);
-            if let Some(refusal) = charge_budget(state, conn, charge) {
-                return refusal;
+            match charge_budget(state, conn, charge, nonce) {
+                Gate::Open => {}
+                Gate::Replay(bytes) => return Served::Raw(bytes),
+                Gate::Refuse(refusal) => return Served::Response(refusal),
             }
             // Shard semantics: a subset this node holds no records for
             // is an empty share `(0, 0)` that merges as a no-op, not an
@@ -659,18 +1040,19 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             let counts = state
                 .engine
                 .count_terms_partial(state.coordinator.pool(), &terms);
-            Response::PartialTermCounts(
+            let response = Response::PartialTermCounts(
                 counts
                     .into_iter()
                     .map(|(ones, population)| QueryCounts { ones, population })
                     .collect(),
-            )
+            );
+            serve_charged(state, conn, nonce, &response)
         }
-        Request::ServerStats => Response::ServerStats(
-            state
-                .frames
-                .snapshot(state.started.elapsed(), &state.engine),
-        ),
+        Request::ServerStats => Served::Response(Response::ServerStats(state.frames.snapshot(
+            state.started.elapsed(),
+            &state.engine,
+            state.budget.as_ref(),
+        ))),
     }
 }
 

@@ -44,7 +44,14 @@ use std::io::{self, Read, Write};
 ///   and replaces the v2 `PartialCounts`/`PartialDistribution` pair —
 ///   every query family shards through this one frame. Server stats
 ///   gained the engine's plan/memoization counters.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// * 4 — the retry-correctness revision: every charging request
+///   (`Conjunctive`, `Distribution`, `Plan`, `PartialTermCounts`)
+///   carries a **request nonce** identifying the logical query, so a
+///   client that lost the connection after the server charged its
+///   ε-ledger can retry with the same nonce and be served without a
+///   second charge (charge-once per nonce; `0` opts out). Server stats
+///   gained the ε-ledger counters ([`BudgetStats`]).
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Hard ceiling on the terms of one plan (or term-counts batch); larger
 /// plans are refused as [`codes::BAD_REQUEST`] before any scan. A
@@ -77,6 +84,12 @@ pub mod codes {
     /// The connection handshake declared a shard identity the server
     /// does not hold (a misrouted connection in a sharded deployment).
     pub const WRONG_SHARD: u16 = 7;
+    /// A replay of a charged request nonce arrived while the original
+    /// request is still being evaluated. The charge already happened
+    /// and the original answer will be cached when it completes —
+    /// retry shortly; this is the only **transient** error code
+    /// (clients treat every other server error as deterministic).
+    pub const RETRY_PENDING: u16 = 8;
 }
 
 // Message kind bytes. Requests use the low range, responses the high
@@ -139,10 +152,25 @@ pub struct PlanStats {
     pub terms_reused: u64,
 }
 
+/// The ε-ledger counters a server reports (all zero when budget
+/// accounting is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetStats {
+    /// Conjunctive estimates charged to analyst ledgers (ε units in
+    /// release counts, summed over analysts).
+    pub charged_terms: u64,
+    /// Requests served *without* a charge because their nonce was
+    /// already charged — each one is a retry that would have
+    /// double-charged before v4.
+    pub replays: u64,
+    /// Requests refused with [`codes::BUDGET`].
+    pub denials: u64,
+}
+
 /// Server-level observability counters: process uptime plus one request
 /// counter per frame kind (malformed frames land in the dedicated
-/// `malformed` bucket because they have no trustworthy kind byte) and
-/// the engine's plan-execution counters.
+/// `malformed` bucket because they have no trustworthy kind byte), the
+/// engine's plan-execution counters, and the ε-ledger counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Seconds since the server started.
@@ -154,6 +182,8 @@ pub struct ServerStats {
     pub malformed: u64,
     /// Plan-execution and term-memoization counters.
     pub plans: PlanStats,
+    /// ε-ledger charge/replay/denial counters.
+    pub budget: BudgetStats,
 }
 
 impl ServerStats {
@@ -188,19 +218,28 @@ pub enum Request {
         subset: BitSubset,
         /// The queried value.
         value: BitString,
+        /// Charge-once replay identity (`0` = no replay protection).
+        nonce: u64,
     },
     /// Estimate the full `2^k` value distribution over one subset (the
     /// pre-plan direct path).
     Distribution {
         /// The queried subset.
         subset: BitSubset,
+        /// Charge-once replay identity (`0` = no replay protection).
+        nonce: u64,
     },
     /// Execute a compiled query plan server-side: every query family —
     /// linear combinations, DNF, intervals, means, moments, trees,
     /// histograms — travels as this one frame. The analyst is charged
     /// the plan's **term count** (its true Corollary 3.4 cost), never
     /// per-output.
-    Plan(TermPlan),
+    Plan {
+        /// The compiled plan to execute.
+        plan: TermPlan,
+        /// Charge-once replay identity (`0` = no replay protection).
+        nonce: u64,
+    },
     /// Fetch the coordinator's ingestion counters.
     Stats,
     /// Liveness probe.
@@ -218,9 +257,11 @@ pub enum Request {
     PartialTermCounts {
         /// The terms to count, answered positionally.
         terms: Vec<ConjunctiveQuery>,
+        /// Charge-once replay identity (`0` = no replay protection).
+        nonce: u64,
     },
     /// Fetch server-level observability counters (uptime, per-frame-kind
-    /// request counts, plan/memoization counters).
+    /// request counts, plan/memoization counters, ε-ledger counters).
     ServerStats,
 }
 
@@ -715,19 +756,26 @@ impl Request {
                 put_submissions(&mut buf, subs);
                 buf
             }
-            Self::Conjunctive { subset, value } => {
+            Self::Conjunctive {
+                subset,
+                value,
+                nonce,
+            } => {
                 let mut buf = payload(REQ_CONJUNCTIVE);
+                put_u64(&mut buf, *nonce);
                 put_subset(&mut buf, subset);
                 put_bitstring(&mut buf, value);
                 buf
             }
-            Self::Distribution { subset } => {
+            Self::Distribution { subset, nonce } => {
                 let mut buf = payload(REQ_DISTRIBUTION);
+                put_u64(&mut buf, *nonce);
                 put_subset(&mut buf, subset);
                 buf
             }
-            Self::Plan(plan) => {
+            Self::Plan { plan, nonce } => {
                 let mut buf = payload(REQ_PLAN);
+                put_u64(&mut buf, *nonce);
                 put_plan(&mut buf, plan);
                 buf
             }
@@ -738,8 +786,9 @@ impl Request {
                 put_u64(&mut buf, *analyst);
                 buf
             }
-            Self::PartialTermCounts { terms } => {
+            Self::PartialTermCounts { terms, nonce } => {
                 let mut buf = payload(REQ_PLAN_COUNTS);
+                put_u64(&mut buf, *nonce);
                 put_terms(&mut buf, terms);
                 buf
             }
@@ -764,19 +813,25 @@ impl Request {
             REQ_ANNOUNCEMENT => Self::FetchAnnouncement,
             REQ_SUBMIT => Self::SubmitBatch(get_submissions(&mut dec)?),
             REQ_CONJUNCTIVE => Self::Conjunctive {
+                nonce: dec.u64()?,
                 subset: get_subset(&mut dec)?,
                 value: get_bitstring(&mut dec)?,
             },
             REQ_DISTRIBUTION => Self::Distribution {
+                nonce: dec.u64()?,
                 subset: get_subset(&mut dec)?,
             },
-            REQ_PLAN => Self::Plan(get_plan(&mut dec)?),
+            REQ_PLAN => Self::Plan {
+                nonce: dec.u64()?,
+                plan: get_plan(&mut dec)?,
+            },
             REQ_STATS => Self::Stats,
             REQ_PING => Self::Ping,
             REQ_HELLO => Self::Hello {
                 analyst: dec.u64()?,
             },
             REQ_PLAN_COUNTS => Self::PartialTermCounts {
+                nonce: dec.u64()?,
                 terms: get_terms(&mut dec)?,
             },
             REQ_SERVER_STATS => Self::ServerStats,
@@ -868,6 +923,9 @@ impl Response {
                 put_u64(&mut buf, stats.plans.plans_executed);
                 put_u64(&mut buf, stats.plans.terms_scanned);
                 put_u64(&mut buf, stats.plans.terms_reused);
+                put_u64(&mut buf, stats.budget.charged_terms);
+                put_u64(&mut buf, stats.budget.replays);
+                put_u64(&mut buf, stats.budget.denials);
                 buf
             }
             Self::Error { code, message } => {
@@ -966,6 +1024,11 @@ impl Response {
                         plans_executed: dec.u64()?,
                         terms_scanned: dec.u64()?,
                         terms_reused: dec.u64()?,
+                    },
+                    budget: BudgetStats {
+                        charged_terms: dec.u64()?,
+                        replays: dec.u64()?,
+                        denials: dec.u64()?,
                     },
                 })
             }
@@ -1121,9 +1184,11 @@ mod tests {
         roundtrip_request(&Request::Conjunctive {
             subset: BitSubset::new(vec![0, 3]).unwrap(),
             value: BitString::from_bits(&[true, false]),
+            nonce: 0xDEAD_BEEF,
         });
         roundtrip_request(&Request::Distribution {
             subset: BitSubset::range(0, 4),
+            nonce: 7,
         });
         let mut lq = psketch_queries::LinearQuery::new("wire roundtrip");
         lq.constant = -0.5;
@@ -1131,10 +1196,14 @@ mod tests {
             2.0,
             ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true])).unwrap(),
         );
-        roundtrip_request(&Request::Plan(TermPlan::compile(&lq)));
-        roundtrip_request(&Request::Plan(TermPlan::for_distribution(
-            &BitSubset::range(0, 3),
-        )));
+        roundtrip_request(&Request::Plan {
+            plan: TermPlan::compile(&lq),
+            nonce: u64::MAX,
+        });
+        roundtrip_request(&Request::Plan {
+            plan: TermPlan::for_distribution(&BitSubset::range(0, 3)),
+            nonce: 0,
+        });
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Hello { analyst: 99 });
@@ -1147,6 +1216,7 @@ mod tests {
                 .unwrap(),
                 ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true])).unwrap(),
             ],
+            nonce: 42,
         });
         roundtrip_request(&Request::ServerStats);
     }
@@ -1160,6 +1230,7 @@ mod tests {
         let plan = TermPlan::for_distribution(&BitSubset::range(0, 4));
         let narrow = Request::PartialTermCounts {
             terms: plan.terms().to_vec(),
+            nonce: 1,
         }
         .encode();
         let wide_terms: Vec<ConjunctiveQuery> = (0..16u64)
@@ -1167,6 +1238,7 @@ mod tests {
             .collect();
         let wide = Request::PartialTermCounts {
             terms: wide_terms.clone(),
+            nonce: 1,
         }
         .encode();
         // 12-position subsets cost 52 bytes each; interned, the 16-term
@@ -1179,11 +1251,15 @@ mod tests {
         );
         assert_eq!(
             Request::decode(&wide).unwrap(),
-            Request::PartialTermCounts { terms: wide_terms }
+            Request::PartialTermCounts {
+                terms: wide_terms,
+                nonce: 1
+            }
         );
         // Corrupt the (single) subset-table index of the first term.
         let mut payload = Request::PartialTermCounts {
             terms: plan.terms()[..1].to_vec(),
+            nonce: 1,
         }
         .encode();
         let n = payload.len();
@@ -1199,7 +1275,7 @@ mod tests {
         let plan = TermPlan::for_conjunctive(
             ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true])).unwrap(),
         );
-        let mut payload = Request::Plan(plan).encode();
+        let mut payload = Request::Plan { plan, nonce: 3 }.encode();
         // The slot is the last 4 bytes of the payload (one combination
         // entry of (f64 coeff, u32 slot)).
         let n = payload.len();
@@ -1267,6 +1343,11 @@ mod tests {
                 terms_scanned: 40,
                 terms_reused: 9,
             },
+            budget: BudgetStats {
+                charged_terms: 17,
+                replays: 3,
+                denials: 1,
+            },
         }));
         roundtrip_response(&Response::Error {
             code: codes::QUERY,
@@ -1281,6 +1362,7 @@ mod tests {
             frames: vec![(0x03, 12), (0x09, 4)],
             malformed: 0,
             plans: PlanStats::default(),
+            budget: BudgetStats::default(),
         };
         assert_eq!(stats.total_requests(), 16);
         assert_eq!(stats.count_for(0x09), 4);
@@ -1390,7 +1472,11 @@ mod tests {
             let width = sorted.len();
             let subset = BitSubset::new(sorted).unwrap();
             let value = BitString::from_u64(value_bits[0], width);
-            let req = Request::Conjunctive { subset, value };
+            let req = Request::Conjunctive {
+                subset,
+                value,
+                nonce: value_bits[0],
+            };
             let payload = req.encode();
             prop_assert_eq!(Request::decode(&payload).unwrap(), req);
         }

@@ -431,6 +431,7 @@ fn bad_frames_get_error_responses_and_connection_survives() {
     // Truncated body for a known kind.
     let mut garbled = wire::Request::Distribution {
         subset: BitSubset::range(0, 4),
+        nonce: 0,
     }
     .encode();
     garbled.truncate(garbled.len() - 2);
@@ -734,4 +735,238 @@ fn invalid_budget_and_shard_configs_are_rejected() {
         },
     )
     .is_err());
+}
+
+/// A `Client` must be sendable so connection pools (one worker thread
+/// per shard, as the cluster router runs) can own clients.
+#[test]
+fn client_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Client>();
+}
+
+#[test]
+fn killed_socket_mid_response_charges_the_ledger_exactly_once() {
+    use psketch_server::{next_nonce, wire};
+    let ann = announcement();
+    // Generous budget: the point here is counting charges, not refusals.
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            analyst_budget: Some(1e6),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let subs = submissions(&ann, 0..200, 31);
+    let mut ingest = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    ingest.submit_batch(&subs).unwrap();
+
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    let nonce = next_nonce();
+
+    // --- The injected transport kill. ---
+    // Raw connection: handshake, send the nonce'd query, then kill the
+    // socket *without reading the response*. The server receives the
+    // frame, charges the analyst's ε-ledger, evaluates, and its answer
+    // dies on the closed socket — exactly the failure mode that made
+    // router retries double-charge before wire v4.
+    {
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        wire::write_frame(&mut raw, &wire::Request::Hello { analyst: 7 }.encode()).unwrap();
+        let hello = wire::read_frame(&mut raw).unwrap().unwrap();
+        assert!(matches!(
+            wire::Response::decode(&hello).unwrap(),
+            wire::Response::Hello { .. }
+        ));
+        let req = wire::Request::Conjunctive {
+            subset: subset.clone(),
+            value: value.clone(),
+            nonce,
+        };
+        wire::write_frame(&mut raw, &req.encode()).unwrap();
+        // Drop without reading: the socket dies mid-response.
+    }
+
+    // --- The retry, same nonce, fresh connection. ---
+    // A RETRY_PENDING answer means the killed socket's frame is still
+    // being evaluated; the cached answer is ready shortly after.
+    let mut retry = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    retry.hello(7).unwrap();
+    let answer = loop {
+        match retry.conjunctive_nonced(nonce, subset.clone(), value.clone()) {
+            Err(ClientError::Server { code, .. })
+                if code == psketch_server::wire::codes::RETRY_PENDING =>
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => break other.unwrap(),
+        }
+    };
+
+    // The retry's answer matches the in-process oracle.
+    let oracle = oracle(&ann, &subs);
+    let estimator = ConjunctiveEstimator::new(ann.validate().unwrap());
+    let q = psketch_core::ConjunctiveQuery::new(subset.clone(), value.clone()).unwrap();
+    let local = estimator.estimate(oracle.pool(), &q).unwrap();
+    assert_eq!(answer.fraction.to_bits(), local.fraction.to_bits());
+
+    // Wait until the server has processed *both* conjunctive frames
+    // (the killed socket's frame was already in flight and races the
+    // retry), then the ledger must have advanced exactly once.
+    let stats = {
+        let mut observed = retry.server_stats().unwrap();
+        for _ in 0..100 {
+            if observed.count_for(0x03) >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            observed = retry.server_stats().unwrap();
+        }
+        observed
+    };
+    assert!(
+        stats.count_for(0x03) >= 2,
+        "server never saw both conjunctive frames: {stats:?}"
+    );
+    assert_eq!(
+        stats.budget.charged_terms, 1,
+        "the retry double-charged the ledger: {stats:?}"
+    );
+    assert_eq!(stats.budget.replays, 1, "{stats:?}");
+    assert_eq!(stats.budget.denials, 0, "{stats:?}");
+
+    // A *different* logical query (fresh nonce) is a real charge, not a
+    // replay — dedup must not overreach.
+    retry.conjunctive(subset, value).unwrap();
+    let stats = retry.server_stats().unwrap();
+    assert_eq!(stats.budget.charged_terms, 2, "{stats:?}");
+    assert_eq!(stats.budget.replays, 1, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn plan_replays_with_the_same_nonce_charge_once() {
+    use psketch_server::next_nonce;
+    let ann = announcement();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            analyst_budget: Some(1e6),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let subs = submissions(&ann, 0..50, 17);
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    client.hello(9).unwrap();
+    client.submit_batch(&subs).unwrap();
+
+    let mut lq = psketch_queries::LinearQuery::new("two terms");
+    lq.push(
+        1.0,
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true]))
+            .unwrap(),
+    );
+    lq.push(
+        -1.0,
+        psketch_core::ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true]))
+            .unwrap(),
+    );
+    let plan = psketch_queries::TermPlan::compile(&lq);
+    let nonce = next_nonce();
+
+    // Three replays of one logical plan (as a router retrying two
+    // flapping shards would send): one charge of the plan's term count.
+    let first = client.execute_plan_nonced(nonce, &plan).unwrap();
+    let second = client.execute_plan_nonced(nonce, &plan).unwrap();
+    let third = client.execute_plan_nonced(nonce, &plan).unwrap();
+    assert_eq!(first[0].value.to_bits(), second[0].value.to_bits());
+    assert_eq!(first[0].value.to_bits(), third[0].value.to_bits());
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.budget.charged_terms, 2, "{stats:?}"); // 2-term plan
+    assert_eq!(stats.budget.replays, 2, "{stats:?}");
+
+    // The partial-counts scatter frame dedupes identically.
+    let nonce = next_nonce();
+    let terms = plan.terms().to_vec();
+    client.partial_term_counts_nonced(nonce, &terms).unwrap();
+    client.partial_term_counts_nonced(nonce, &terms).unwrap();
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.budget.charged_terms, 4, "{stats:?}");
+    assert_eq!(stats.budget.replays, 3, "{stats:?}");
+
+    // Dedup is bound to the request *body*, not the nonce alone: a
+    // reused nonce carrying a different query is a fresh charge (a new
+    // query must never ride an old charge — the ledger would
+    // under-count), and only the latest body then replays free.
+    let nonce = next_nonce();
+    let q0 = (BitSubset::single(0), BitString::from_bits(&[true]));
+    let q1 = (BitSubset::single(1), BitString::from_bits(&[true]));
+    client
+        .conjunctive_nonced(nonce, q0.0.clone(), q0.1.clone())
+        .unwrap();
+    client
+        .conjunctive_nonced(nonce, q1.0.clone(), q1.1.clone())
+        .unwrap();
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.budget.charged_terms, 6, "{stats:?}");
+    assert_eq!(stats.budget.replays, 3, "{stats:?}");
+    client.conjunctive_nonced(nonce, q1.0, q1.1).unwrap();
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.budget.charged_terms, 6, "{stats:?}");
+    assert_eq!(stats.budget.replays, 4, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn replays_serve_the_cached_response_not_a_recomputation() {
+    // One charge buys exactly one release: a replay after the pool has
+    // grown must return the *original* answer verbatim, not a fresh
+    // evaluation over the larger pool (that would be a second release
+    // for one Corollary 3.4 charge).
+    use psketch_server::next_nonce;
+    let ann = announcement();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ann.clone(),
+        ServerConfig {
+            analyst_budget: Some(1e6),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr(), TIMEOUT).unwrap();
+    client.hello(11).unwrap();
+    client.submit_batch(&submissions(&ann, 0..100, 41)).unwrap();
+
+    let subset = BitSubset::single(0);
+    let value = BitString::from_bits(&[true]);
+    let nonce = next_nonce();
+    let first = client
+        .conjunctive_nonced(nonce, subset.clone(), value.clone())
+        .unwrap();
+    assert_eq!(first.sample_size, 100);
+
+    // Grow the pool, then replay: same answer bytes, original n.
+    client
+        .submit_batch(&submissions(&ann, 100..150, 43))
+        .unwrap();
+    let replay = client
+        .conjunctive_nonced(nonce, subset.clone(), value.clone())
+        .unwrap();
+    assert_eq!(replay.sample_size, 100, "replay re-evaluated the pool");
+    assert_eq!(replay.fraction.to_bits(), first.fraction.to_bits());
+    assert_eq!(replay.raw.to_bits(), first.raw.to_bits());
+
+    // A fresh nonce sees the grown pool and is a fresh charge.
+    let fresh = client.conjunctive(subset, value).unwrap();
+    assert_eq!(fresh.sample_size, 150);
+    let stats = client.server_stats().unwrap();
+    assert_eq!(stats.budget.charged_terms, 2, "{stats:?}");
+    assert_eq!(stats.budget.replays, 1, "{stats:?}");
+    server.shutdown();
 }
