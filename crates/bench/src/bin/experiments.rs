@@ -2,10 +2,12 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [ids…] [--quick]
+//! experiments [ids…] [--quick] [--lanes N]
 //! ```
 //! With no ids, runs the full E1–E15 suite. `--quick` scales populations
-//! and repetitions down for smoke runs.
+//! and repetitions down for smoke runs. `--lanes` pins the PRF lane
+//! width (0 = auto-probe, 1 = scalar, 4/8 = that many SIMD lanes) for
+//! every scan the experiments run; answers are identical at any width.
 
 use psketch_bench::exp::registry;
 use psketch_bench::Config;
@@ -14,9 +16,30 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(at) = args.iter().position(|a| a == "--lanes") {
+        let parsed = args
+            .get(at + 1)
+            .and_then(|raw| raw.parse::<usize>().ok())
+            .ok_or_else(|| "--lanes needs an unsigned integer argument".to_string())
+            .and_then(|w| psketch_core::set_lane_width(w).map_err(|e| format!("--lanes: {e}")));
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut skip_next = false;
     let ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--lanes" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(|a| a.to_lowercase())
         .collect();
     let cfg = if quick {

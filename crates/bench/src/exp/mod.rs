@@ -24,6 +24,7 @@ pub mod e21_service;
 pub mod e22_cluster;
 pub mod e23_plans;
 pub mod e24_scatter;
+pub mod e25_lanes;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -139,6 +140,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Scatter-gather: parallel vs sequential fan-out per family",
             e24_scatter::run,
         ),
+        (
+            "e25",
+            "PRF lanes: SIMD multi-stream SipHash, lanes x cores matrix",
+            e25_lanes::run,
+        ),
     ]
 }
 
@@ -149,9 +155,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 24);
+        assert_eq!(reg.len(), 25);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
     }
 }

@@ -158,7 +158,9 @@ fn serve(args: &Args) -> Result<(), CliError> {
         "workers",
         "wal-root",
         "budget",
+        "lanes",
     ])?;
+    crate::service::configure_lanes(args)?;
     let shards: u32 = args.get_or("shards", 3)?;
     if shards == 0 || shards > 64 {
         return Err(CliError(format!("--shards {shards} must be in 1..=64")));
@@ -217,7 +219,8 @@ fn serve(args: &Args) -> Result<(), CliError> {
         println!("wrote shard map to {map_out}");
     }
     println!(
-        "cluster listening ({shards} shards, eps = {:.4}/user)",
+        "cluster listening ({shards} shards, {} PRF lanes, eps = {:.4}/user)",
+        psketch_core::lane_width(),
         announcement.epsilon_cost()
     );
     use std::io::Write as _;

@@ -5,6 +5,7 @@
 //! psketch serve  [--addr 127.0.0.1:7171] [--db-id 1] [--users 100000]
 //!                [--tau 1e-6] [--p 0.3] [--width 2] [--key-seed 7]
 //!                [--workers 8] [--wal DIR] [--compact-bytes 67108864]
+//!                [--lanes 0]
 //!     Publish an announcement and serve the pool over TCP. With --wal,
 //!     every accepted batch is fsync'd to DIR before it is acknowledged
 //!     and the pool is recovered from DIR on restart.
@@ -71,10 +72,12 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         "compact-bytes",
         "shard",
         "budget",
+        "lanes",
     ])?;
     let addr: String = args.get_or("addr", DEFAULT_ADDR.to_string())?;
     let announcement = build_announcement(args)?;
     let workers: usize = args.get_or("workers", 8)?;
+    configure_lanes(args)?;
     let wal = match args.get_or("wal", String::new())? {
         dir if dir.is_empty() => None,
         dir => {
@@ -123,9 +126,10 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         println!("shard: {identity}");
     }
     println!(
-        "listening on {} ({} workers, wal {})",
+        "listening on {} ({} workers, {} PRF lanes, wal {})",
         server.local_addr(),
         workers.max(1),
+        psketch_core::lane_width(),
         if durable { "on" } else { "off" }
     );
     // Make the readiness lines visible to process supervisors
@@ -138,6 +142,15 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     loop {
         std::thread::park();
     }
+}
+
+/// Applies `--lanes N` (0 = auto-probe the CPU, 1 = scalar reference
+/// loop, 4/8 = that many interleaved SipHash streams per scan step).
+/// Shared by `serve` and `cluster serve`; answers are bit-identical at
+/// every width, so this is purely a throughput knob.
+pub fn configure_lanes(args: &Args) -> Result<(), CliError> {
+    let lanes: usize = args.get_or("lanes", 0)?;
+    psketch_core::set_lane_width(lanes).map_err(|e| CliError(format!("--lanes: {e}")))
 }
 
 /// Builds the announced sketching plan: every singleton attribute plus
@@ -574,6 +587,21 @@ mod tests {
         assert!(serve(&parse(&["serve", "--width", "0"])).is_err());
         assert!(serve(&parse(&["serve", "--width", "40"])).is_err());
         assert!(serve(&parse(&["serve", "--bogus", "1"])).is_err());
+        assert!(serve(&parse(&["serve", "--lanes", "3"])).is_err());
+        assert!(serve(&parse(&["serve", "--lanes", "-1"])).is_err());
+    }
+
+    #[test]
+    fn lanes_flag_configures_the_prf_knob() {
+        configure_lanes(&parse(&["serve", "--lanes", "4"])).unwrap();
+        assert_eq!(psketch_core::lane_width(), 4);
+        // Bad widths are CLI errors and leave the knob untouched.
+        let e = configure_lanes(&parse(&["serve", "--lanes", "5"])).unwrap_err();
+        assert!(e.0.contains("--lanes"), "{e}");
+        assert_eq!(psketch_core::lane_width(), 4);
+        // Back to auto-probe (the default when the flag is absent).
+        configure_lanes(&parse(&["serve"])).unwrap();
+        assert_eq!(psketch_core::lane_width(), psketch_core::probe_lane_width());
     }
 
     #[test]

@@ -865,6 +865,139 @@ fn intermediate_fanouts_answer_identically() {
     }
 }
 
+// ---------------------------------------------------------------------
+// PRF lane widths through the wire paths.
+// ---------------------------------------------------------------------
+
+/// One sweep's worth of wire answers, bit-exact, for direct comparison
+/// across lane widths.
+#[derive(Debug, PartialEq)]
+struct WireAnswers {
+    server_conj: (u64, u64, usize),
+    server_dist: Vec<(u64, u64)>,
+    server_plan: Vec<(u64, usize, usize)>,
+    cluster_conj: (u64, u64, usize),
+    cluster_dist: Vec<u64>,
+    cluster_plan: Vec<(u64, usize, usize)>,
+}
+
+/// Queries one standalone server (server path) and one router (cluster
+/// path) with a conjunctive, a distribution and a compiled mean plan,
+/// capturing every answer's bit pattern.
+fn wire_answers(
+    client: &mut psketch_server::Client,
+    router: &mut Router,
+    plan: &psketch_queries::TermPlan,
+) -> WireAnswers {
+    let pair = BitSubset::range(0, 2);
+    let value = BitString::from_bits(&[true, false]);
+    let s_conj = client.conjunctive(pair.clone(), value.clone()).unwrap();
+    let s_dist = client.distribution(pair.clone()).unwrap();
+    let s_plan = client.execute_plan(plan).unwrap();
+    let c_conj = router.conjunctive(pair.clone(), value).unwrap();
+    let c_dist = router.distribution(pair).unwrap();
+    let c_plan = router.execute_plan(plan).unwrap();
+    assert!(c_conj.coverage.is_complete());
+    assert!(c_plan.coverage.is_complete());
+    WireAnswers {
+        server_conj: (
+            s_conj.fraction.to_bits(),
+            s_conj.raw.to_bits(),
+            s_conj.sample_size,
+        ),
+        server_dist: s_dist
+            .iter()
+            .map(|e| (e.fraction.to_bits(), e.raw.to_bits()))
+            .collect(),
+        server_plan: s_plan
+            .iter()
+            .map(|a| (a.value.to_bits(), a.queries_used, a.min_sample_size))
+            .collect(),
+        cluster_conj: (
+            c_conj.estimate.fraction.to_bits(),
+            c_conj.estimate.raw.to_bits(),
+            c_conj.estimate.sample_size,
+        ),
+        cluster_dist: c_dist
+            .estimates
+            .iter()
+            .map(|e| e.fraction.to_bits())
+            .collect(),
+        cluster_plan: c_plan
+            .outputs
+            .iter()
+            .map(|a| (a.value.to_bits(), a.queries_used, a.min_sample_size))
+            .collect(),
+    }
+}
+
+/// The wire-path acceptance property for the multi-lane PRF: a
+/// standalone `Server` behind `Client` and a sharded cluster behind
+/// `Router` answer float-bit-identically at every supported lane width
+/// (and at auto-probe) to the width-1 scalar oracle. The lane knob is
+/// process-global, so the in-process server scan threads see each
+/// width as the sweep sets it.
+fn assert_lane_widths_identical_over_the_wire(m: u64, shards: u32, seed: u64) {
+    let ann = announcement(seed);
+    let mut ids: Vec<u64> = (0..m).map(|i| i.wrapping_mul(0x9E37) ^ seed).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let subs = submissions(&ann, &ids, seed ^ 0x1A9E);
+    let plan = psketch_queries::mean_plan(&psketch_core::IntField::new(0, 2));
+
+    let standalone = Server::start("127.0.0.1:0", ann.clone(), ServerConfig::default()).unwrap();
+    let mut client = psketch_server::Client::connect(standalone.local_addr(), TIMEOUT).unwrap();
+    client.submit_batch(&subs).unwrap();
+
+    let (servers, map) = start_cluster(&ann, shards);
+    let mut router = fast_router(map);
+    let report = router.submit_batch(&subs).unwrap();
+    assert!(report.fully_ingested());
+
+    psketch_core::set_lane_width(1).unwrap();
+    let oracle = wire_answers(&mut client, &mut router, &plan);
+
+    let sweep = psketch_core::SUPPORTED_LANE_WIDTHS
+        .iter()
+        .copied()
+        .filter(|&w| w != 1)
+        .chain([0]);
+    for width in sweep {
+        psketch_core::set_lane_width(width).unwrap();
+        let swept = wire_answers(&mut client, &mut router, &plan);
+        assert_eq!(
+            swept, oracle,
+            "wire answers diverged from the scalar oracle at lane width {width}"
+        );
+    }
+    psketch_core::set_lane_width(0).unwrap();
+
+    standalone.shutdown();
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+proptest! {
+    /// Server and cluster wire paths answer bit-identically at every
+    /// PRF lane width over random populations and shard counts.
+    #[test]
+    fn lane_widths_bit_identical_over_the_wire(
+        m in 30u64..80,
+        shard_pick in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let shards = (shard_pick % 4 + 1) as u32;
+        assert_lane_widths_identical_over_the_wire(m, shards, seed);
+    }
+}
+
+#[test]
+fn lane_widths_three_shard_anchor() {
+    // The deterministic anchor for the lane-width wire sweep.
+    assert_lane_widths_identical_over_the_wire(200, 3, 2026);
+}
+
 #[test]
 fn fatal_outcomes_stop_dispatching_further_shards() {
     // At fanout = 1 a refusal on shard 0 must end the scatter before

@@ -18,10 +18,20 @@ use crate::params::{Error, SketchParams};
 use crate::profile::{BitString, BitSubset};
 use serde::{Deserialize, Serialize};
 
-/// Below this record count the batched scan stays single-threaded: the
-/// per-thread setup (a template clone and a spawn) only pays for itself
-/// on large shards.
-const PARALLEL_THRESHOLD: usize = 1 << 16;
+/// Below this record count the batched scan stays single-threaded, and
+/// above it each worker thread gets at least this many records: the
+/// per-thread setup (a scoped spawn + join) only pays for itself on
+/// large chunks.
+///
+/// Re-tuned after the SIMD-lane PRF landed (e25): the 8-lane scan runs
+/// ~271M records/s on the reference AVX-512 host (was ~64M/s batched
+/// scalar), so a 2^16-record chunk dropped from ~1 ms of work to ~240 µs
+/// while a scoped spawn+join measures 9–20 µs — the old threshold would
+/// spend up to ~8% of each chunk on thread setup. 2^18 records ≈ 1 ms at
+/// lane speed, restoring the ~2% overhead the original tuning chose; the
+/// scans this leaves single-threaded finish in under a millisecond
+/// anyway.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
 
 /// A conjunctive query `d_B = v`: "what fraction of users has every
 /// attribute in `B` equal to the corresponding bit of `v`?"
@@ -491,16 +501,28 @@ impl ConjunctiveEstimator {
         if work < PARALLEL_THRESHOLD {
             return 1;
         }
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(work / PARALLEL_THRESHOLD + 1)
+        available_workers().min(work / PARALLEL_THRESHOLD + 1)
     }
 
     /// Step 2 of Algorithm 2: the unbiased inversion.
     fn finish(&self, ones: usize, n: usize) -> Estimate {
         Estimate::from_counts(ones as u64, n as u64, self.params.p())
     }
+}
+
+/// The host's available parallelism, probed once per process.
+///
+/// `std::thread::available_parallelism()` is a syscall (it walks the
+/// cgroup quota and CPU affinity mask on Linux); every scan consults
+/// [`ConjunctiveEstimator::thread_count`], so the probe is cached here to
+/// keep the dispatch decision a branch and a load.
+fn available_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 #[cfg(test)]

@@ -94,3 +94,11 @@ pub use hfun::HFunction;
 pub use params::{Error, SketchParams, MAX_SKETCH_BITS};
 pub use profile::{BitString, BitSubset, Profile, SubsetError, UserId};
 pub use sketcher::{Sketch, SketchRun, Sketcher};
+
+// The PRF lane-width knob, re-exported so the server/cluster layers (and
+// their CLIs) can configure scan vectorization without depending on
+// psketch-prf directly. Every width computes bit-identical estimates;
+// see `docs/prf-lanes.md`.
+pub use psketch_prf::lanes::{
+    lane_width, probe_lane_width, set_lane_width, LaneWidthError, SUPPORTED_LANE_WIDTHS,
+};

@@ -17,6 +17,7 @@
 use crate::bias::Bias;
 use crate::chacha::{chacha20_block, ChaChaKey};
 use crate::encode::InputEncoder;
+use crate::lanes;
 use crate::siphash::{SipHash24, SipState};
 
 /// A 256-bit global key for the database-wide pseudorandom function.
@@ -366,6 +367,11 @@ impl PrfPrefix {
         let mut fill = fill;
         let mut sink = sink;
         match self {
+            Self::Sip(state) if state.is_block_aligned() && suffix.len() < 8 => {
+                // Every assembled suffix packs into one final block, so the
+                // lane evaluator finishes LANES items per round sequence.
+                lanes::eval_short_suffixes(state, n, bias, suffix, fill, sink, lanes::lane_width());
+            }
             Self::Sip(state) => {
                 for i in 0..n {
                     fill(i, suffix);
@@ -404,31 +410,38 @@ impl PrfPrefix {
         tail: &[u8],
         bias: Bias,
     ) -> usize {
+        self.count_biased_columns_lanes(ids, keys, tail, bias, lanes::lane_width())
+    }
+
+    /// As [`PrfPrefix::count_biased_columns`] with an explicit lane
+    /// `width` instead of the process-wide knob — the side-by-side entry
+    /// point for benchmarks and lane-identity tests. Widths outside
+    /// [`crate::lanes::SUPPORTED_LANE_WIDTHS`] run the scalar reference
+    /// loop; non-Sip families ignore the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns have different lengths.
+    #[must_use]
+    pub fn count_biased_columns_lanes(
+        &self,
+        ids: &[u64],
+        keys: &[u64],
+        tail: &[u8],
+        bias: Bias,
+        width: usize,
+    ) -> usize {
         assert_eq!(ids.len(), keys.len(), "misaligned id/key columns");
         let mut ones = 0usize;
         match self {
             Self::Sip(state) if state.is_block_aligned() && tail.len() < 8 => {
                 // Register-only inner loop: three compressions per record
-                // with the constant tail's final block precomputed. Four
-                // records are hashed per iteration — the hashes are
-                // independent, so the CPU overlaps their round chains
-                // (SipHash is latency-bound on a single stream).
+                // with the constant tail's final block precomputed, run
+                // `width` interleaved streams at a time (structure-of-
+                // arrays lanes vectorize; the scalar width-1 path unrolls
+                // 4× so the CPU overlaps the independent round chains).
                 let packed_tail = state.pack_short_tail(16, tail);
-                let mut id4 = ids.chunks_exact(4);
-                let mut key4 = keys.chunks_exact(4);
-                for (id, key) in (&mut id4).zip(&mut key4) {
-                    let r0 = state.finish_u64x2_then(id[0], key[0], packed_tail);
-                    let r1 = state.finish_u64x2_then(id[1], key[1], packed_tail);
-                    let r2 = state.finish_u64x2_then(id[2], key[2], packed_tail);
-                    let r3 = state.finish_u64x2_then(id[3], key[3], packed_tail);
-                    ones += usize::from(bias.decide(r0))
-                        + usize::from(bias.decide(r1))
-                        + usize::from(bias.decide(r2))
-                        + usize::from(bias.decide(r3));
-                }
-                for (&id, &key) in id4.remainder().iter().zip(key4.remainder()) {
-                    ones += usize::from(bias.decide(state.finish_u64x2_then(id, key, packed_tail)));
-                }
+                ones += lanes::count_columns(state, ids, keys, packed_tail, bias, width);
             }
             Self::Sip(state) => {
                 for (&id, &key) in ids.iter().zip(keys) {
@@ -486,10 +499,15 @@ impl PrfPrefix {
             Self::Sip(state) => {
                 debug_assert!(state.is_block_aligned() && tail_bytes < 8);
                 let len_block = state.pack_short_tail(0, zero_tail);
-                for i in 0..n {
-                    let last = len_block | make_tail(i);
-                    sink(i, bias.decide(state.finish_then(last)));
-                }
+                lanes::tally_short_tails(
+                    state,
+                    n,
+                    bias,
+                    len_block,
+                    make_tail,
+                    sink,
+                    lanes::lane_width(),
+                );
             }
             Self::ChaCha { lo, hi, key: ck } => {
                 debug_assert!(lo.is_block_aligned() && tail_bytes < 8);

@@ -234,6 +234,13 @@ impl SipState {
         self.ntail == 0
     }
 
+    /// The four internal lanes `(v0, v1, v2, v3)` — the seed a multi-lane
+    /// state broadcasts from (see [`crate::lanes::SipStateXN::splat`]).
+    #[inline]
+    pub(crate) fn words(&self) -> [u64; 4] {
+        [self.v0, self.v1, self.v2, self.v3]
+    }
+
     /// Register-only hot path: equivalent to
     /// `absorb_u64(a).absorb_u64(b).absorb(tail_bytes).finish()` for a
     /// block-aligned state and a short tail, with the tail's final block
