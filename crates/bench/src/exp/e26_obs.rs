@@ -1,0 +1,165 @@
+//! E26 — observability overhead: the instrumented estimator scan vs the
+//! same scan with metric recording switched off.
+//!
+//! The obs layer promises to be "free when off and cheap when on": the
+//! off-path is one relaxed atomic load per scan, and the on-path adds
+//! one `Instant` pair plus one registry lookup *per scan* (never per
+//! record), so at 1M records the cost must vanish into the scan itself.
+//! This experiment measures both modes over the e25-style 1M-record
+//! conjunctive scan, asserts the answers are float-bit-identical with
+//! metrics on or off (recording never touches the estimate arithmetic),
+//! and emits `BENCH_obs.json` with the measured overhead.
+//!
+//! In quick mode the identity checks still run and the throughput guard
+//! loosens to a catastrophic-regression bound (smoke sizes are noisy).
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb, Sketcher,
+    UserId,
+};
+use std::time::Instant;
+
+const EXP: u64 = 26;
+
+/// Best observed records/s over `reps` runs of `scan`.
+fn best_rate(reps: u64, records: usize, mut scan: impl FnMut()) -> f64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            scan();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Runs E26.
+///
+/// # Panics
+///
+/// Panics if the instrumented estimate differs from the metrics-off
+/// estimate in any float bit, if recording was measurably *not* running
+/// in the instrumented pass, if the overhead exceeds the acceptance
+/// bound, or if `BENCH_obs.json` cannot be written.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let m = cfg.m(1_000_000);
+    let k = 8usize;
+    let params = cfg.params(0.3, 10, EXP);
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::range(0, k as u32);
+    let db = SketchDb::new();
+    let mut rng = cfg.rng(EXP, 0);
+    for i in 0..m as u64 {
+        let profile = Profile::from_bits(&vec![i % 3 == 0; k]);
+        let sketch = sketcher
+            .sketch(UserId(i), &profile, &subset, &mut rng)
+            .expect("sketching at ell=10 cannot exhaust");
+        db.insert(subset.clone(), UserId(i), sketch);
+    }
+
+    let estimator = ConjunctiveEstimator::new(params);
+    let value = BitString::from_bits(&vec![true; k]);
+    let query = ConjunctiveQuery::new(subset, value).expect("widths match");
+    let reps = if cfg.quick { 20 } else { cfg.reps(9) };
+
+    // Instrumented pass: recording on (the process default).
+    psketch_obs::set_enabled(true);
+    let scans_before = scan_observations();
+    let on_estimate = estimator.estimate(&db, &query).expect("populated");
+    let on_rate = best_rate(reps, m, || {
+        let e = estimator.estimate(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), on_estimate.raw.to_bits());
+    });
+    let scans_recorded = scan_observations() - scans_before;
+    assert!(
+        scans_recorded >= reps,
+        "instrumented pass recorded {scans_recorded} scans for {reps} reps — \
+         metrics were not actually on"
+    );
+
+    // Runtime-off pass: one relaxed load per scan, nothing recorded.
+    psketch_obs::set_enabled(false);
+    let off_estimate = estimator.estimate(&db, &query).expect("populated");
+    let off_rate = best_rate(reps, m, || {
+        let e = estimator.estimate(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), off_estimate.raw.to_bits());
+    });
+    psketch_obs::set_enabled(true);
+
+    // Recording must never perturb the arithmetic: same inputs, same
+    // float bits, metrics on or off.
+    assert_eq!(
+        on_estimate.fraction.to_bits(),
+        off_estimate.fraction.to_bits(),
+        "estimate differs with metrics on vs off"
+    );
+    assert_eq!(
+        on_estimate.raw.to_bits(),
+        off_estimate.raw.to_bits(),
+        "raw estimate differs with metrics on vs off"
+    );
+
+    let overhead = 1.0 - on_rate / off_rate;
+    // Acceptance: ≤2% throughput cost at full size. Quick-mode smoke
+    // sizes finish scans in microseconds where scheduler noise dwarfs
+    // the instrumentation, so the guard loosens to catch only a real
+    // per-record cost sneaking in.
+    let floor = if cfg.quick { 0.80 } else { 0.98 };
+    assert!(
+        on_rate >= floor * off_rate,
+        "instrumentation overhead {:.1}% exceeds the bound ({} records/s on vs {} off)",
+        overhead * 100.0,
+        f(on_rate, 0),
+        f(off_rate, 0)
+    );
+
+    let mut t = Table::new(
+        format!("E26 — observability overhead at M = {m} (k = {k}, p = 0.3)"),
+        &["mode", "records/s", "relative"],
+    );
+    t.row(vec![
+        "metrics off (runtime switch)".into(),
+        f(off_rate, 0),
+        "1.000x".into(),
+    ]);
+    t.row(vec![
+        "metrics on (instrumented)".into(),
+        f(on_rate, 0),
+        format!("{:.3}x", on_rate / off_rate),
+    ]);
+    t.note(format!(
+        "overhead {:.2}% (acceptance: ≤2% at full size) | answers float-bit-identical \
+         in both modes | {scans_recorded} scan observations recorded",
+        overhead * 100.0
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e26_obs\",\n  \"records\": {m},\n  \"width\": {k},\n  \"p\": 0.3,\n  \
+         \"metrics_off_records_per_sec\": {off_rate:.1},\n  \
+         \"metrics_on_records_per_sec\": {on_rate:.1},\n  \
+         \"overhead_fraction\": {overhead:.5},\n  \
+         \"answers_bit_identical\": true,\n  \
+         \"scan_observations\": {scans_recorded}\n}}\n"
+    );
+    if cfg.quick {
+        t.note("quick mode: BENCH_obs.json not written");
+    } else {
+        std::fs::write("BENCH_obs.json", json).expect("write BENCH_obs.json");
+        t.note("wrote BENCH_obs.json");
+    }
+
+    vec![t]
+}
+
+/// Total conjunctive-scan observations across every label combination
+/// (lane width and thread count vary by host, so sum the family).
+fn scan_observations() -> u64 {
+    psketch_obs::snapshot()
+        .counters
+        .iter()
+        .filter(|(id, _)| id.family == "psketch_scans_total")
+        .map(|&(_, v)| v)
+        .sum()
+}

@@ -25,6 +25,7 @@ pub mod e22_cluster;
 pub mod e23_plans;
 pub mod e24_scatter;
 pub mod e25_lanes;
+pub mod e26_obs;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -145,6 +146,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "PRF lanes: SIMD multi-stream SipHash, lanes x cores matrix",
             e25_lanes::run,
         ),
+        (
+            "e26",
+            "Observability: instrumented vs runtime-off scan overhead",
+            e26_obs::run,
+        ),
     ]
 }
 
@@ -155,9 +161,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 26);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
     }
 }

@@ -97,6 +97,10 @@ fn router(args: &Args) -> Result<Router, CliError> {
     let analyst: u64 = args.get_or("analyst", 0)?;
     // 0 = fan out to every shard concurrently; 1 = sequential oracle.
     let fanout: usize = args.get_or("fanout", 0)?;
+    let slow_query_ms = match args.get_or("slow-query-ms", -1i64)? {
+        ms if ms < 0 => None,
+        ms => Some(u64::try_from(ms).expect("non-negative by the guard above")),
+    };
     let map = load_map(args)?;
     Router::new(
         map,
@@ -105,11 +109,23 @@ fn router(args: &Args) -> Result<Router, CliError> {
             retries,
             analyst,
             fanout,
+            slow_query_ms,
             ..RouterConfig::default()
         },
     )
     .map_err(err)
 }
+
+/// The flags every router-backed subcommand shares.
+const ROUTER_FLAGS: &[&str] = &[
+    "map",
+    "addrs",
+    "timeout",
+    "retries",
+    "analyst",
+    "fanout",
+    "slow-query-ms",
+];
 
 /// Renders an answer's coverage; degraded answers name their missing
 /// shards (scripts and the CI smoke test grep for "missing shard").
@@ -159,8 +175,12 @@ fn serve(args: &Args) -> Result<(), CliError> {
         "wal-root",
         "budget",
         "lanes",
+        "metrics-addr",
+        "slow-query-ms",
+        "no-metrics",
     ])?;
     crate::service::configure_lanes(args)?;
+    let (metrics_addr, slow_query_ms) = crate::service::configure_observability(args)?;
     let shards: u32 = args.get_or("shards", 3)?;
     if shards == 0 || shards > 64 {
         return Err(CliError(format!("--shards {shards} must be in 1..=64")));
@@ -186,6 +206,9 @@ fn serve(args: &Args) -> Result<(), CliError> {
         } else {
             Some(WalConfig::new(format!("{wal_root}/shard-{shard_id}")))
         };
+        // The metrics registry is process-global, so the single-process
+        // cluster needs exactly one exposition listener: shard 0 hosts
+        // it and the scrape covers every shard's observations.
         let server = Server::start(
             addr.as_str(),
             announcement.clone(),
@@ -197,6 +220,12 @@ fn serve(args: &Args) -> Result<(), CliError> {
                     shard_count: shards,
                 }),
                 analyst_budget: budget,
+                metrics_addr: if shard_id == 0 {
+                    metrics_addr.clone()
+                } else {
+                    None
+                },
+                slow_query_ms,
             },
         )
         .map_err(|e| CliError(format!("cannot serve shard {shard_id} on {addr}: {e}")))?;
@@ -328,7 +357,7 @@ fn query(args: &Args) -> Result<(), CliError> {
             )
         })?;
     if crate::families::PLAN_KINDS.contains(&kind) {
-        let mut known = vec!["map", "addrs", "timeout", "retries", "analyst", "fanout"];
+        let mut known = ROUTER_FLAGS.to_vec();
         known.extend_from_slice(crate::families::kind_flags(kind));
         args.reject_unknown(&known)?;
         let plan = crate::families::family_plan(kind, args)?;
@@ -359,10 +388,9 @@ fn query(args: &Args) -> Result<(), CliError> {
     }
     match kind {
         "conj" => {
-            args.reject_unknown(&[
-                "map", "addrs", "timeout", "retries", "analyst", "fanout", "subset", "value",
-                "json",
-            ])?;
+            let mut known = ROUTER_FLAGS.to_vec();
+            known.extend_from_slice(&["subset", "value", "json"]);
+            args.reject_unknown(&known)?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let value = parse_value(&args.require::<String>("value")?, subset.len())?;
             let json: bool = args.get_or("json", false)?;
@@ -386,9 +414,9 @@ fn query(args: &Args) -> Result<(), CliError> {
             print_coverage(&answer.coverage);
         }
         "dist" => {
-            args.reject_unknown(&[
-                "map", "addrs", "timeout", "retries", "analyst", "fanout", "subset", "json",
-            ])?;
+            let mut known = ROUTER_FLAGS.to_vec();
+            known.extend_from_slice(&["subset", "json"]);
+            args.reject_unknown(&known)?;
             let subset = parse_subset(&args.require::<String>("subset")?)?;
             let width = subset.len();
             let json: bool = args.get_or("json", false)?;
@@ -434,7 +462,7 @@ fn query(args: &Args) -> Result<(), CliError> {
             print_coverage(&answer.coverage);
         }
         "ping" => {
-            args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst", "fanout"])?;
+            args.reject_unknown(ROUTER_FLAGS)?;
             let mut router = router(args)?;
             let outages = router.ping().map_err(err)?;
             let total = router.map().len();
@@ -463,8 +491,13 @@ fn query(args: &Args) -> Result<(), CliError> {
 }
 
 /// `psketch cluster status`: per-shard counters plus the exact merge.
+/// `--metrics` additionally gathers every shard's metrics registry and
+/// prints the cluster-wide merge (counters summed, histograms added
+/// bucket-wise, so the quantiles are over all shards' observations).
 fn status(args: &Args) -> Result<(), CliError> {
-    args.reject_unknown(&["map", "addrs", "timeout", "retries", "analyst", "fanout"])?;
+    let mut known = ROUTER_FLAGS.to_vec();
+    known.push("metrics");
+    args.reject_unknown(&known)?;
     let mut router = router(args)?;
     let status = router.status().map_err(err)?;
     let mut up = 0usize;
@@ -507,15 +540,52 @@ fn status(args: &Args) -> Result<(), CliError> {
             }
         }
     }
+    // Uptime is the *maximum* across shards, not the sum: shards run
+    // concurrently, and a summed "cluster uptime" would hide a freshly
+    // restarted shard behind its long-lived peers.
     println!(
-        "cluster: {up}/{} shards up | accepted {} | duplicates {} | malformed {} | records {}",
+        "cluster: {up}/{} shards up | up {}s (max) | accepted {} | duplicates {} | \
+         malformed {} | records {} | {} requests",
         status.per_shard.len(),
+        status.merged_server.uptime_secs,
         status.merged.accepted,
         status.merged.duplicates,
         status.merged.malformed,
-        status.merged.records
+        status.merged.records,
+        status.merged_server.total_requests()
     );
+    if args.get_or("metrics", false)? {
+        let (snapshot, outages) = router.metrics().map_err(err)?;
+        print_merged_metrics(&snapshot, outages.len());
+    }
     Ok(())
+}
+
+/// Renders a cluster-merged metrics snapshot: every counter, then each
+/// histogram's standard rollup (count/p50/p90/p99/max). Quantiles are
+/// log₂-bucket upper bounds, exact maxima are exact.
+fn print_merged_metrics(snapshot: &psketch_obs::RegistrySnapshot, missing: usize) {
+    if missing > 0 {
+        println!("metrics: merged over responding shards only ({missing} missing)");
+    }
+    for (id, value) in &snapshot.counters {
+        println!("  counter {} = {value}", id.render());
+    }
+    for (id, value) in &snapshot.gauges {
+        println!("  gauge {} = {value} (max over shards)", id.render());
+    }
+    for (id, hist) in &snapshot.histograms {
+        let s = hist.summary();
+        println!(
+            "  hist {} count {} p50 {} p90 {} p99 {} max {}",
+            id.render(),
+            s.count,
+            s.p50,
+            s.p90,
+            s.p99,
+            s.max
+        );
+    }
 }
 
 #[cfg(test)]

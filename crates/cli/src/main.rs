@@ -78,7 +78,8 @@ fn print_help() {
     println!("  serve     run the sketch-pool server");
     println!("            [--addr 127.0.0.1:7171] [--users 100000] [--p 0.3] [--width 2]");
     println!("            [--workers 8] [--wal DIR] [--compact-bytes N] [--shard i/N]");
-    println!("            [--budget EPS]");
+    println!("            [--budget EPS] [--metrics-addr 127.0.0.1:9187] [--slow-query-ms N]");
+    println!("            [--no-metrics]");
     println!("  submit    simulate user agents against a running server");
     println!("            [--addr …] [--users 1000] [--seed 1] [--id-base 0] [--batch 500]");
     println!("  query     ask a running server: conj --subset 0,1 --value 10 | dist");
@@ -88,8 +89,9 @@ fn print_help() {
     println!("            stats | ping   (all take [--addr …] [--timeout 10] [--json])");
     println!("  cluster   sharded multi-node pool: serve --shards 3 [--wal-root DIR] |");
     println!("            submit | query conj/dist/mean/interval/dnf/tree/moment/ping |");
-    println!("            status   (submit/query/status take --map FILE or --addrs a,b,c;");
-    println!("            query kinds accept the same family flags and --json as `query`)");
+    println!("            status [--metrics]   (submit/query/status take --map FILE or");
+    println!("            --addrs a,b,c; query kinds accept the same family flags and");
+    println!("            --json as `query`; query/status accept [--slow-query-ms N])");
     println!("  help      this message");
 }
 

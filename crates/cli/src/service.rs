@@ -73,6 +73,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         "shard",
         "budget",
         "lanes",
+        "metrics-addr",
+        "slow-query-ms",
+        "no-metrics",
     ])?;
     let addr: String = args.get_or("addr", DEFAULT_ADDR.to_string())?;
     let announcement = build_announcement(args)?;
@@ -96,6 +99,8 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         eps if eps.is_nan() => None,
         eps => Some(eps),
     };
+    let (metrics_addr, slow_query_ms) = configure_observability(args)?;
+    let metrics_display = metrics_addr.clone();
 
     let server = Server::start(
         addr.as_str(),
@@ -105,6 +110,8 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
             wal,
             shard,
             analyst_budget,
+            metrics_addr,
+            slow_query_ms,
         },
     )
     .map_err(|e| CliError(format!("cannot serve on {addr}: {e}")))?;
@@ -132,6 +139,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         psketch_core::lane_width(),
         if durable { "on" } else { "off" }
     );
+    if let Some(maddr) = &metrics_display {
+        println!("metrics: http://{maddr}/metrics");
+    }
     // Make the readiness lines visible to process supervisors
     // immediately (CI smoke tests wait for them).
     use std::io::Write as _;
@@ -151,6 +161,26 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
 pub fn configure_lanes(args: &Args) -> Result<(), CliError> {
     let lanes: usize = args.get_or("lanes", 0)?;
     psketch_core::set_lane_width(lanes).map_err(|e| CliError(format!("--lanes: {e}")))
+}
+
+/// Applies the shared observability flags (`serve` and `cluster serve`):
+/// `--no-metrics` turns metric recording off process-wide,
+/// `--metrics-addr HOST:PORT` starts the Prometheus-text listener, and
+/// `--slow-query-ms N` arms the slow-query log (0 = log every query).
+/// Returns `(metrics_addr, slow_query_ms)` for [`ServerConfig`].
+pub fn configure_observability(args: &Args) -> Result<(Option<String>, Option<u64>), CliError> {
+    if args.get_or("no-metrics", false)? {
+        psketch_obs::set_enabled(false);
+    }
+    let metrics_addr = match args.get_or("metrics-addr", String::new())? {
+        addr if addr.is_empty() => None,
+        addr => Some(addr),
+    };
+    let slow_query_ms = match args.get_or("slow-query-ms", -1i64)? {
+        ms if ms < 0 => None,
+        ms => Some(u64::try_from(ms).expect("non-negative by the guard above")),
+    };
+    Ok((metrics_addr, slow_query_ms))
 }
 
 /// Builds the announced sketching plan: every singleton attribute plus

@@ -63,12 +63,13 @@
 
 use crate::shard::{ShardMap, ShardMapError};
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
+use psketch_obs::{self as obs, RegistrySnapshot};
 use psketch_protocol::{Announcement, CoordinatorStats, ShardIdentity, Submission};
 use psketch_queries::{LinearAnswer, LinearQuery, PlanAccumulator, TermPlan};
 use psketch_server::{next_nonce, Client, ClientError, ServerStats};
 use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Backoff ceiling: however many retries are configured, no single
 /// sleep exceeds this.
@@ -115,6 +116,10 @@ pub struct RouterConfig {
     /// sequential visit order (useful as a latency/answer oracle).
     /// Answers are bit-identical at every fanout.
     pub fanout: usize,
+    /// `Some(ms)` emits one structured WARN record, with a per-shard
+    /// timing breakdown and slowest-shard attribution, for every plan
+    /// scatter that took at least this long (`0` logs every query).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -126,6 +131,7 @@ impl Default for RouterConfig {
             analyst: 0,
             submit_chunk: 500,
             fanout: 0,
+            slow_query_ms: None,
         }
     }
 }
@@ -263,6 +269,13 @@ pub struct ClusterStatus {
     /// Coordinator counters summed over the responding shards (shards
     /// partition the population, so this is the single-node total).
     pub merged: CoordinatorStats,
+    /// Server counters merged over the responding shards with
+    /// [`ServerStats::merge`] semantics: request/plan/budget counters
+    /// sum, but gauge-like fields (uptime) keep the **maximum** — a
+    /// 3-shard cluster has not been up three times as long, and a
+    /// summed uptime would mask one freshly crashed shard behind two
+    /// long-lived ones. Per-shard values stay in `per_shard`.
+    pub merged_server: ServerStats,
 }
 
 /// Errors from cluster operations.
@@ -384,12 +397,23 @@ type Job = Box<dyn FnOnce(&mut ShardConn) + Send>;
 struct PanicReporter<T> {
     tx: mpsc::Sender<(u32, ShardAttempt<T>)>,
     shard: u32,
+    /// The logical query's trace id, when the operation carries one.
+    trace: Option<u64>,
     armed: bool,
 }
 
 impl<T> Drop for PanicReporter<T> {
     fn drop(&mut self) {
         if self.armed {
+            // A panic silently becoming a `Down` outcome is exactly the
+            // failure an operator can't diagnose from coverage alone —
+            // leave a structured record before degrading.
+            let mut event = obs::log::error("psketch::router").field("shard", self.shard);
+            if let Some(trace) = self.trace {
+                event = event.trace(trace);
+            }
+            event.emit("shard operation panicked; degrading shard to Down");
+            obs::counter("psketch_router_panics_total", &[]).inc();
             let _ = self.tx.send((
                 self.shard,
                 ShardAttempt::Down("shard operation panicked".into()),
@@ -452,7 +476,11 @@ impl ShardConn {
         let mut last_err = String::from("no connection attempt made");
         for attempt in 0..=self.retry.retries {
             if attempt > 0 {
-                std::thread::sleep(backoff_delay(self.retry.backoff, attempt));
+                let delay = backoff_delay(self.retry.backoff, attempt);
+                obs::counter("psketch_router_retries_total", &[]).inc();
+                obs::histogram("psketch_router_backoff_sleep_nanos", &[])
+                    .record(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
+                std::thread::sleep(delay);
             }
             let client = match self.ensure() {
                 Ok(client) => client,
@@ -516,6 +544,10 @@ impl ShardWorker {
                     }))
                     .is_err()
                     {
+                        obs::log::error("psketch::router")
+                            .field("shard", shard)
+                            .field("addr", conn.addr.as_str())
+                            .emit("shard worker caught a panic; dropping its connection");
                         conn.client = None;
                     }
                 }
@@ -557,6 +589,9 @@ pub struct Router {
     /// Last-known accepted-user count per shard (status sweeps).
     known_users: Vec<Option<u64>>,
     announcement: Option<Announcement>,
+    /// Per-shard dispatch→result durations of the most recent scatter
+    /// (ascending by shard), for slow-query attribution.
+    last_timings: Mutex<Vec<(u32, Duration)>>,
 }
 
 impl std::fmt::Debug for Router {
@@ -608,6 +643,7 @@ impl Router {
             workers,
             known_users: vec![None; n],
             announcement: None,
+            last_timings: Mutex::new(Vec::new()),
         })
     }
 
@@ -643,11 +679,15 @@ impl Router {
     fn run_on_shards<T: Send + 'static>(
         &self,
         shards: &[u32],
+        trace: Option<u64>,
         mut make_op: impl FnMut(u32) -> ShardOp<T>,
     ) -> Vec<(u32, ShardAttempt<T>)> {
         let fanout = self.effective_fanout().max(1);
+        let scatter_started = Instant::now();
         let (result_tx, result_rx) = mpsc::channel::<(u32, ShardAttempt<T>)>();
         let mut results: Vec<(u32, ShardAttempt<T>)> = Vec::with_capacity(shards.len());
+        let mut dispatched_at: Vec<Option<Instant>> = vec![None; self.map.len()];
+        let mut timings: Vec<(u32, Duration)> = Vec::with_capacity(shards.len());
         let mut next = 0usize;
         let mut in_flight = 0usize;
         let mut fatal_seen = false;
@@ -664,6 +704,7 @@ impl Router {
                     let mut guard = PanicReporter {
                         tx,
                         shard,
+                        trace,
                         armed: true,
                     };
                     let attempt = conn.run(&mut op);
@@ -677,12 +718,19 @@ impl Router {
                     // design, but don't hang the query if it did).
                     results.push((shard, ShardAttempt::Down("shard worker terminated".into())));
                 } else {
+                    dispatched_at[shard as usize] = Some(Instant::now());
                     in_flight += 1;
                 }
             }
             if in_flight > 0 {
                 match result_rx.recv() {
                     Ok(result) => {
+                        if let Some(started) = dispatched_at[result.0 as usize] {
+                            timings.push((result.0, started.elapsed()));
+                        }
+                        if matches!(result.1, ShardAttempt::Down(_)) {
+                            obs::counter("psketch_router_shard_down_total", &[]).inc();
+                        }
                         fatal_seen |= matches!(
                             result.1,
                             ShardAttempt::Refused { .. } | ShardAttempt::Misrouted(_)
@@ -694,6 +742,14 @@ impl Router {
                 }
             }
         }
+        obs::histogram("psketch_router_scatter_nanos", &[])
+            .record_duration(scatter_started.elapsed());
+        let attempt_nanos = obs::histogram("psketch_router_shard_attempt_nanos", &[]);
+        timings.sort_by_key(|&(shard, _)| shard);
+        for &(_, elapsed) in &timings {
+            attempt_nanos.record_duration(elapsed);
+        }
+        *self.last_timings.lock().expect("timing mutex poisoned") = timings;
         // Completion order is nondeterministic; merge order is not.
         results.sort_by_key(|&(shard, _)| shard);
         results
@@ -734,11 +790,12 @@ impl Router {
     /// nodes abort (lowest shard wins).
     fn scatter<T: Send + 'static>(
         &mut self,
+        trace: Option<u64>,
         op: impl Fn(&mut Client) -> Result<T, ClientError> + Send + Sync + 'static,
     ) -> Result<Gathered<T>, ClusterError> {
         let shards: Vec<u32> = (0..self.map.len() as u32).collect();
         let op = Arc::new(op);
-        let results = self.run_on_shards(&shards, |_| {
+        let results = self.run_on_shards(&shards, trace, |_| {
             let op = Arc::clone(&op);
             Box::new(move |client: &mut Client| op(client))
         });
@@ -775,7 +832,7 @@ impl Router {
         if let Some(ann) = &self.announcement {
             return Ok(ann.clone());
         }
-        let (gathered, _) = self.scatter(Client::announcement)?;
+        let (gathered, _) = self.scatter(None, Client::announcement)?;
         let (first_shard, reference) = &gathered[0];
         debug_assert!(first_shard < &(self.map.len() as u32));
         for (shard, ann) in &gathered[1..] {
@@ -828,7 +885,7 @@ impl Router {
             .enumerate()
             .filter_map(|(shard, batch)| batch.as_ref().map(|_| shard as u32))
             .collect();
-        let results = self.run_on_shards(&shards, |shard| {
+        let results = self.run_on_shards(&shards, None, |shard| {
             let batch = Arc::clone(batches[shard as usize].as_ref().expect("non-empty batch"));
             // Retries resume after the last acked submission instead of
             // re-sending the whole batch: acked chunks are durable, and
@@ -892,8 +949,12 @@ impl Router {
         let terms: Arc<Vec<ConjunctiveQuery>> = Arc::new(plan.terms().to_vec());
         let expected = terms.len();
         let nonce = next_nonce();
-        let (gathered, outages) =
-            self.scatter(move |client| client.partial_term_counts_nonced(nonce, &terms))?;
+        let scatter_started = Instant::now();
+        let scattered = self.scatter(Some(nonce), move |client| {
+            client.partial_term_counts_nonced(nonce, &terms)
+        });
+        self.observe_plan_scatter(nonce, expected, scatter_started.elapsed(), &scattered);
+        let (gathered, outages) = scattered?;
         let mut acc = PlanAccumulator::for_plan(plan);
         let mut responding = Vec::with_capacity(gathered.len());
         for (shard, counts) in gathered {
@@ -920,6 +981,60 @@ impl Router {
             term_estimates,
             coverage,
         })
+    }
+
+    /// Emits the per-query trace record for a plan scatter: a DEBUG
+    /// line always (filter permitting), plus — past the configured
+    /// [`RouterConfig::slow_query_ms`] threshold — one WARN with the
+    /// per-shard dispatch→result breakdown and slowest-shard
+    /// attribution, all correlated by the query nonce.
+    fn observe_plan_scatter<T>(
+        &self,
+        nonce: u64,
+        terms: usize,
+        elapsed: Duration,
+        outcome: &Result<Gathered<T>, ClusterError>,
+    ) {
+        obs::counter("psketch_router_plans_total", &[]).inc();
+        let slow = self
+            .config
+            .slow_query_ms
+            .is_some_and(|threshold_ms| elapsed.as_millis() >= u128::from(threshold_ms));
+        let level = if slow {
+            obs::log::Level::Warn
+        } else {
+            obs::log::Level::Debug
+        };
+        if !obs::log::enabled(level, "psketch::router::query") {
+            return;
+        }
+        let timings = self.last_timings.lock().expect("timing mutex poisoned");
+        let breakdown = timings
+            .iter()
+            .map(|&(shard, d)| format!("{shard}:{}us", d.as_micros()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let slowest = timings.iter().max_by_key(|&&(_, d)| d).copied();
+        drop(timings);
+        let mut event = obs::log::event(level, "psketch::router::query")
+            .trace(nonce)
+            .field("terms", terms)
+            .field("elapsed_us", elapsed.as_micros())
+            .field("shards", breakdown)
+            .field(
+                "outcome",
+                match outcome {
+                    Ok((_, outages)) if outages.is_empty() => "complete".to_string(),
+                    Ok((_, outages)) => format!("degraded({} missing)", outages.len()),
+                    Err(e) => format!("error({e})"),
+                },
+            );
+        if let Some((shard, d)) = slowest {
+            event = event
+                .field("slowest_shard", shard)
+                .field("slowest_us", d.as_micros());
+        }
+        event.emit(if slow { "slow query" } else { "plan scatter" });
     }
 
     /// Estimates one conjunctive frequency (a single-term plan).
@@ -986,16 +1101,18 @@ impl Router {
     ///
     /// All-shards-down, refusals, misrouted nodes.
     pub fn status(&mut self) -> Result<ClusterStatus, ClusterError> {
-        let (gathered, outages) = self.scatter(|client: &mut Client| {
+        let (gathered, outages) = self.scatter(None, |client: &mut Client| {
             let coordinator = client.stats()?;
             let server = client.server_stats()?;
             Ok((coordinator, server))
         })?;
         let mut per_shard: Vec<ShardStatus> = Vec::with_capacity(self.map.len());
         let mut merged = CoordinatorStats::default();
+        let mut merged_server = ServerStats::default();
         for (shard, (coordinator, server)) in gathered {
             self.known_users[shard as usize] = Some(coordinator.accepted);
             merged.merge(&coordinator);
+            merged_server.merge(&server);
             per_shard.push(ShardStatus {
                 shard,
                 addr: self.map.addr_of(shard).to_string(),
@@ -1010,7 +1127,29 @@ impl Router {
             });
         }
         per_shard.sort_by_key(|s| s.shard);
-        Ok(ClusterStatus { per_shard, merged })
+        Ok(ClusterStatus {
+            per_shard,
+            merged,
+            merged_server,
+        })
+    }
+
+    /// Gathers every shard's metrics-registry snapshot and merges them
+    /// in ascending shard order (the merge is order-insensitive —
+    /// counters sum, gauges keep the max, histograms add bucket-wise —
+    /// so any order yields bit-identical buckets). Unreachable shards
+    /// are reported alongside, like a status sweep.
+    ///
+    /// # Errors
+    ///
+    /// All-shards-down, refusals, misrouted nodes.
+    pub fn metrics(&mut self) -> Result<(RegistrySnapshot, Vec<ShardOutage>), ClusterError> {
+        let (gathered, outages) = self.scatter(None, Client::metrics)?;
+        let mut merged = RegistrySnapshot::default();
+        for (_, snap) in gathered {
+            merged.merge(&snap);
+        }
+        Ok((merged, outages))
     }
 
     /// Pings every shard in parallel; returns the set of unreachable
@@ -1021,7 +1160,7 @@ impl Router {
     /// Refusals and misrouted nodes only (a fully down cluster is a
     /// full outage list, not an error).
     pub fn ping(&mut self) -> Result<Vec<ShardOutage>, ClusterError> {
-        match self.scatter(Client::ping) {
+        match self.scatter(None, Client::ping) {
             Ok((_, outages)) => Ok(outages),
             Err(ClusterError::AllShardsDown(outages)) => Ok(outages),
             Err(e) => Err(e),

@@ -16,7 +16,9 @@ use crate::database::{SketchDb, SubsetSnapshot};
 use crate::hfun::HFunction;
 use crate::params::{Error, SketchParams};
 use crate::profile::{BitString, BitSubset};
+use psketch_obs as obs;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Below this record count the batched scan stays single-threaded, and
 /// above it each worker thread gets at least this many records: the
@@ -423,9 +425,25 @@ impl ConjunctiveEstimator {
     fn distribution_ones(&self, snapshot: &SubsetSnapshot, subset: &BitSubset) -> Vec<usize> {
         let values = 1usize << subset.len();
         let n = snapshot.len();
+        let threads = self.thread_count(n.saturating_mul(values));
+        let started = obs::enabled().then(Instant::now);
+        let ones = self.distribution_ones_inner(snapshot, subset, values, threads);
+        if let Some(started) = started {
+            record_scan("distribution", n, threads, started.elapsed());
+        }
+        ones
+    }
+
+    fn distribution_ones_inner(
+        &self,
+        snapshot: &SubsetSnapshot,
+        subset: &BitSubset,
+        values: usize,
+        threads: usize,
+    ) -> Vec<usize> {
+        let n = snapshot.len();
         let ids = snapshot.ids();
         let keys = snapshot.keys();
-        let threads = self.thread_count(n.saturating_mul(values));
         if threads <= 1 {
             let mut prepared = self.h.prepare(subset, subset.len());
             let mut ones = vec![0usize; values];
@@ -473,8 +491,23 @@ impl ConjunctiveEstimator {
     /// columns, splitting across threads above [`PARALLEL_THRESHOLD`].
     fn count_ones(&self, snapshot: &SubsetSnapshot, query: &ConjunctiveQuery) -> usize {
         let ids = snapshot.ids();
-        let keys = snapshot.keys();
         let threads = self.thread_count(ids.len());
+        let started = obs::enabled().then(Instant::now);
+        let ones = self.count_ones_inner(snapshot, query, threads);
+        if let Some(started) = started {
+            record_scan("conjunctive", ids.len(), threads, started.elapsed());
+        }
+        ones
+    }
+
+    fn count_ones_inner(
+        &self,
+        snapshot: &SubsetSnapshot,
+        query: &ConjunctiveQuery,
+        threads: usize,
+    ) -> usize {
+        let ids = snapshot.ids();
+        let keys = snapshot.keys();
         let prepared = self.h.prepare_query(query.subset(), query.value());
         if threads <= 1 {
             return prepared.count_ones(ids, keys);
@@ -508,6 +541,24 @@ impl ConjunctiveEstimator {
     fn finish(&self, ones: usize, n: usize) -> Estimate {
         Estimate::from_counts(ones as u64, n as u64, self.params.p())
     }
+}
+
+/// Records one sketch scan into the process metrics registry, labeled by
+/// query kind, the active SIMD lane width, and the thread count the
+/// dispatcher chose — the three knobs that determine scan throughput.
+/// Called once per scan (never per record), so the registry lookup is
+/// noise next to the scan itself.
+fn record_scan(kind: &str, records: usize, threads: usize, elapsed: std::time::Duration) {
+    let lanes = psketch_prf::lane_width().to_string();
+    let threads = threads.to_string();
+    let labels = [
+        ("kind", kind),
+        ("lanes", lanes.as_str()),
+        ("threads", threads.as_str()),
+    ];
+    obs::histogram("psketch_scan_nanos", &labels).record_duration(elapsed);
+    obs::counter("psketch_scan_records_total", &labels).add(records as u64);
+    obs::counter("psketch_scans_total", &labels).inc();
 }
 
 /// The host's available parallelism, probed once per process.

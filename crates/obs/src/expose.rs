@@ -1,0 +1,261 @@
+//! Prometheus text exposition: a renderer for [`RegistrySnapshot`]s and
+//! a tiny hand-rolled HTTP/1.0 `GET /metrics` listener over
+//! `std::net::TcpListener` — no HTTP library, because the format needs
+//! exactly one response shape.
+//!
+//! Histograms render in the classic cumulative-`le` form with bucket
+//! bounds equal to the log₂ bucket upper bounds (durations are recorded
+//! in nanoseconds, so `le` values are nanoseconds too), plus `_sum` and
+//! `_count` series and a `_max` gauge (the exact tracked maximum, which
+//! Prometheus histograms normally lose).
+
+use crate::hist::{bucket_upper_bound, HistogramSnapshot};
+use crate::registry::{MetricId, RegistrySnapshot};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Escapes a label value for the exposition format.
+#[must_use]
+pub fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn type_line(out: &mut String, seen: &mut Vec<String>, family: &str, kind: &str) {
+    if seen.iter().any(|f| f == family) {
+        return;
+    }
+    seen.push(family.to_string());
+    let _ = writeln!(out, "# TYPE {family} {kind}");
+}
+
+fn histogram_block(out: &mut String, id: &MetricId, snap: &HistogramSnapshot) {
+    let labels = &id.labels;
+    let with_le = |le: &str| -> String {
+        let mut pairs: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        pairs.push(format!("le=\"{le}\""));
+        format!("{{{}}}", pairs.join(","))
+    };
+    let top = snap
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0, |i| i + 1);
+    let mut cumulative = 0u64;
+    for (i, &count) in snap.buckets.iter().enumerate().take(top) {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {cumulative}",
+            id.family,
+            with_le(&bucket_upper_bound(i).to_string())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        id.family,
+        with_le("+Inf"),
+        snap.count()
+    );
+    let _ = writeln!(out, "{}_sum{} {}", id.family, id.label_block(), snap.sum);
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        id.family,
+        id.label_block(),
+        snap.count()
+    );
+    let _ = writeln!(out, "{}_max{} {}", id.family, id.label_block(), snap.max);
+}
+
+/// Renders a snapshot in the Prometheus text format (version 0.0.4).
+#[must_use]
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut seen = Vec::new();
+    for (id, value) in &snap.counters {
+        type_line(&mut out, &mut seen, &id.family, "counter");
+        let _ = writeln!(out, "{} {value}", id.render());
+    }
+    for (id, value) in &snap.gauges {
+        type_line(&mut out, &mut seen, &id.family, "gauge");
+        let _ = writeln!(out, "{} {value}", id.render());
+    }
+    for (id, hist) in &snap.histograms {
+        type_line(&mut out, &mut seen, &id.family, "histogram");
+        histogram_block(&mut out, id, hist);
+    }
+    out
+}
+
+/// How often the accept loop polls the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// The scrape listener: serves `GET /metrics` from the global registry
+/// on a background thread until shut down (or dropped).
+#[derive(Debug)]
+pub struct MetricsExposer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExposer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`, port 0 for ephemeral) and
+    /// starts serving scrapes.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn start(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("psketch-metrics".into())
+            .spawn(move || accept_loop(&listener, &stop_flag))?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsExposer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are tiny; serve inline on the accept thread.
+                let _ = serve_scrape(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_TICK);
+            }
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the header terminator or a 8 KiB cap — a scrape's
+    // request head fits either way.
+    while !request.windows(4).any(|w| w == b"\r\n\r\n") && request.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => request.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let line = request
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or_default();
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        ("200 OK", render_prometheus(&crate::snapshot()))
+    } else {
+        ("404 Not Found", String::from("try GET /metrics\n"))
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = crate::MetricsRegistry::new();
+        reg.counter("t_requests_total", &[("kind", "conj")]).add(3);
+        reg.gauge("t_uptime_secs", &[]).set(9);
+        let h = reg.histogram("t_latency_nanos", &[]);
+        h.record(1);
+        h.record(300);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE t_requests_total counter"));
+        assert!(text.contains("t_requests_total{kind=\"conj\"} 3"));
+        assert!(text.contains("# TYPE t_uptime_secs gauge"));
+        assert!(text.contains("t_uptime_secs 9"));
+        assert!(text.contains("# TYPE t_latency_nanos histogram"));
+        assert!(text.contains("t_latency_nanos_bucket{le=\"1\"} 1"));
+        assert!(text.contains("t_latency_nanos_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("t_latency_nanos_sum 301"));
+        assert!(text.contains("t_latency_nanos_count 2"));
+        assert!(text.contains("t_latency_nanos_max 300"));
+    }
+
+    #[test]
+    fn scrape_over_loopback() {
+        crate::counter("t_scrape_smoke_total", &[]).inc();
+        let exposer = MetricsExposer::start("127.0.0.1:0").expect("bind");
+        let addr = exposer.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("t_scrape_smoke_total"), "{response}");
+
+        // Unknown paths 404.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /nope HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+        exposer.shutdown();
+    }
+}

@@ -1,0 +1,260 @@
+//! Log₂-bucketed histograms: HDR-style `AtomicU64` bucket arrays.
+//!
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i - 1]` — so `record` is a `leading_zeros` and one
+//! relaxed `fetch_add`, and a recorded value is recoverable to within a
+//! factor of two (one log₂ bucket). That bound is what the quantile
+//! accessors promise: `p99` returns the upper bound of the bucket the
+//! exact 99th-percentile value landed in.
+//!
+//! Merging is bucket-wise addition (plus `max` of the tracked maxima),
+//! which is associative and commutative — per-thread and per-shard
+//! histograms merge into exactly the histogram a single observer
+//! recording every value would hold.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `2^63`.
+pub const BUCKETS: usize = 65;
+
+/// Index of the bucket a value lands in.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A lock-free log₂-bucketed histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (no-op while metrics are disabled).
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the buckets (relaxed loads: counts from
+    /// concurrent writers may or may not be included, exactly like the
+    /// rest of the stats surface).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state — what crosses
+/// threads, the wire, and the Prometheus endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` entries).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucket-rounded).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another snapshot into this one (bucket-wise addition, max
+    /// of maxima) — associative and commutative, so any merge tree over
+    /// per-thread or per-shard snapshots yields the same result.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The upper bound of the bucket holding the `q`-quantile
+    /// observation (`0 < q <= 1`), or `0` for an empty histogram. The
+    /// exact value is within one log₂ bucket below the returned bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The max is exact and caps the last occupied bucket's
+                // nominal bound.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50/p90/p99/max rollup.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+/// The standard rollup of a histogram snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Upper bound of the median's bucket.
+    pub p50: u64,
+    /// Upper bound of the 90th percentile's bucket.
+    pub p90: u64,
+    /// Upper bound of the 99th percentile's bucket.
+    pub p99: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_and_summary() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.sum, 1106);
+        assert_eq!(snap.max, 1000);
+        let s = snap.summary();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 1000);
+        // p50: rank ceil(0.5*6)=3 → value 2's bucket [2,3] → bound 3.
+        assert_eq!(s.p50, 3);
+        // p99: rank 6 → 1000's bucket [512,1023] → capped by max 1000.
+        assert_eq!(s.p99, 1000);
+    }
+
+    #[test]
+    fn merge_matches_single_recorder() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * v);
+            } else {
+                b.record(v * v);
+            }
+            all.record(v * v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn empty_quantiles_are_zero() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.summary(), HistogramSummary::default());
+    }
+}

@@ -1,0 +1,123 @@
+//! # psketch-obs — the observability substrate
+//!
+//! Std-only (no dependencies, not even the vendored shims) so every
+//! crate in the workspace can afford it: a process-wide
+//! [`MetricsRegistry`] of named lock-free [`Counter`]s, [`Gauge`]s and
+//! log₂-bucketed [`Histogram`]s, a leveled structured [`log`]ger whose
+//! records carry a `trace_id`, and a Prometheus-text [`expose`] module
+//! (renderer + a tiny HTTP/1.0 `GET /metrics` listener).
+//!
+//! Design rules, in force everywhere this crate is used:
+//!
+//! * **Never on the float path.** Instrumentation wraps timing and
+//!   counting *around* estimator scans and merges; it must not change a
+//!   single arithmetic operation, so answers stay float-bit-identical
+//!   with metrics on or off.
+//! * **Runtime off-switch.** [`set_enabled`]`(false)` turns every
+//!   `record`/`inc`/`set` into an early-return (one relaxed atomic
+//!   load); the e26 experiment measures the residual cost of the *on*
+//!   path against this off path.
+//! * **Mergeable.** A [`RegistrySnapshot`] from each shard merges into
+//!   a cluster-wide view exactly like the router merges partial counts:
+//!   counters add, histograms add bucket-wise, gauges keep the max.
+//!
+//! Metric names follow the Prometheus convention
+//! (`psketch_<area>_<what>_<unit>`), labels are attached at
+//! registration ([`MetricsRegistry::counter`] etc.), and durations are
+//! recorded in **nanoseconds** (`*_nanos` histograms). The catalog of
+//! every name the workspace emits lives in `docs/observability.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expose;
+pub mod hist;
+pub mod log;
+pub mod registry;
+
+pub use hist::{Histogram, HistogramSnapshot, HistogramSummary, BUCKETS};
+pub use registry::{Counter, Gauge, MetricId, MetricsRegistry, RegistrySnapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Whether instrumentation records anything (`true` at startup).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns all metric recording on or off process-wide. Off means every
+/// `inc`/`add`/`set`/`record` returns after one relaxed load — the
+/// `--no-metrics` path. Log records are governed by the log filter,
+/// not this switch (an error is worth writing even when unmetered).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide registry every instrumented crate records into.
+#[must_use]
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Registers (or fetches) a counter in the global registry.
+#[must_use]
+pub fn counter(family: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter(family, labels)
+}
+
+/// Registers (or fetches) a gauge in the global registry.
+#[must_use]
+pub fn gauge(family: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge(family, labels)
+}
+
+/// Registers (or fetches) a histogram in the global registry.
+#[must_use]
+pub fn histogram(family: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram(family, labels)
+}
+
+/// Snapshots every metric in the global registry.
+#[must_use]
+pub fn snapshot() -> RegistrySnapshot {
+    global().snapshot()
+}
+
+/// Renders a `u64` trace id the way every log record does: `0x`-prefixed
+/// zero-padded hex, so one analyst query is greppable across the logs of
+/// every node it touched.
+#[must_use]
+pub fn trace_hex(trace_id: u64) -> String {
+    format!("{trace_id:#018x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_toggle_gates_recording() {
+        let c = counter("psketch_obs_test_toggle_total", &[]);
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        set_enabled(false);
+        c.inc();
+        assert_eq!(c.get(), 1, "disabled counter must not move");
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn trace_hex_is_fixed_width() {
+        assert_eq!(trace_hex(0x1f), "0x000000000000001f");
+        assert_eq!(trace_hex(u64::MAX), "0xffffffffffffffff");
+    }
+}

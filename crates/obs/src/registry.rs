@@ -1,0 +1,296 @@
+//! The process-wide metrics registry: named counters, gauges and
+//! histograms, registered once and recorded lock-free thereafter.
+//!
+//! Registration takes a short mutex (hot call sites cache the returned
+//! `Arc`); recording is a relaxed atomic op. Snapshots are mergeable
+//! across threads, processes and shards — the cluster merges per-shard
+//! snapshots exactly like it merges partial term counts.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one (no-op while metrics are disabled).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (no-op while metrics are disabled).
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (queue depths, config knobs).
+/// Cross-shard merges keep the **maximum** — summing gauges is the
+/// classic status-merge bug (a 3-shard cluster is not "up 3× as long").
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value (no-op while metrics are disabled).
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A metric's identity: family name plus label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// The metric family (`psketch_server_request_nanos`).
+    pub family: String,
+    /// Label pairs, sorted by key at registration.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id with sorted labels.
+    #[must_use]
+    pub fn new(family: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            family: family.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders the Prometheus-style label block (`{k="v",…}`), empty
+    /// for an unlabeled metric.
+    #[must_use]
+    pub fn label_block(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", crate::expose::escape_label(v)))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+
+    /// The full rendered name (`family{k="v"}`) — the registry key.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("{}{}", self.family, self.label_block())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<MetricId, Arc<Counter>>,
+    gauges: BTreeMap<MetricId, Arc<Gauge>>,
+    histograms: BTreeMap<MetricId, Arc<Histogram>>,
+}
+
+/// The registry: a name-keyed catalog of live metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or fetches) the counter with this identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned (a metrics caller
+    /// panicked mid-registration).
+    #[must_use]
+    pub fn counter(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = MetricId::new(family, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.counters.entry(id).or_default())
+    }
+
+    /// Registers (or fetches) the gauge with this identity.
+    ///
+    /// # Panics
+    ///
+    /// As [`MetricsRegistry::counter`].
+    #[must_use]
+    pub fn gauge(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = MetricId::new(family, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.gauges.entry(id).or_default())
+    }
+
+    /// Registers (or fetches) the histogram with this identity.
+    ///
+    /// # Panics
+    ///
+    /// As [`MetricsRegistry::counter`].
+    #[must_use]
+    pub fn histogram(&self, family: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let id = MetricId::new(family, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        Arc::clone(inner.histograms.entry(id).or_default())
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// identity.
+    ///
+    /// # Panics
+    ///
+    /// As [`MetricsRegistry::counter`].
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(id, c)| (id.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(id, g)| (id.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(id, h)| (id.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned snapshot of a whole registry — what the `Metrics` wire
+/// frame carries and `cluster status --metrics` merges shard by shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// `(identity, value)` per counter, ascending by identity.
+    pub counters: Vec<(MetricId, u64)>,
+    /// `(identity, value)` per gauge, ascending by identity.
+    pub gauges: Vec<(MetricId, u64)>,
+    /// `(identity, snapshot)` per histogram, ascending by identity.
+    pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Merges another node's snapshot into this one: counters sum,
+    /// gauges keep the max, histograms add bucket-wise. Metrics only
+    /// one side knows are carried over unchanged, so any merge order
+    /// over the same set of snapshots produces the same result.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        merge_by_id(&mut self.counters, &other.counters, |mine, theirs| {
+            *mine += theirs;
+        });
+        merge_by_id(&mut self.gauges, &other.gauges, |mine, theirs| {
+            *mine = (*mine).max(*theirs);
+        });
+        merge_by_id(&mut self.histograms, &other.histograms, |mine, theirs| {
+            mine.merge(theirs);
+        });
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+fn merge_by_id<V: Clone>(
+    mine: &mut Vec<(MetricId, V)>,
+    theirs: &[(MetricId, V)],
+    mut combine: impl FnMut(&mut V, &V),
+) {
+    for (id, value) in theirs {
+        match mine.binary_search_by(|(mid, _)| mid.cmp(id)) {
+            Ok(at) => combine(&mut mine[at].1, value),
+            Err(at) => mine.insert(at, (id.clone(), value.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_identity_shares_the_metric() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c_total", &[("kind", "x")]);
+        let b = reg.counter("c_total", &[("kind", "x")]);
+        let other = reg.counter("c_total", &[("kind", "y")]);
+        a.inc();
+        b.inc();
+        other.add(5);
+        assert_eq!(a.get(), 2);
+        assert_eq!(other.get(), 5);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let a = MetricId::new("f", &[("b", "2"), ("a", "1")]);
+        let b = MetricId::new("f", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "f{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_maxes_gauges() {
+        let left = MetricsRegistry::new();
+        let right = MetricsRegistry::new();
+        left.counter("req_total", &[]).add(3);
+        right.counter("req_total", &[]).add(4);
+        right.counter("only_right_total", &[]).add(9);
+        left.gauge("uptime_secs", &[]).set(100);
+        right.gauge("uptime_secs", &[]).set(60);
+        left.histogram("lat_nanos", &[]).record(8);
+        right.histogram("lat_nanos", &[]).record(9);
+
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        let counter = |name: &str| {
+            merged
+                .counters
+                .iter()
+                .find(|(id, _)| id.family == name)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("req_total"), Some(7));
+        assert_eq!(counter("only_right_total"), Some(9));
+        assert_eq!(merged.gauges[0].1, 100, "gauges merge by max, not sum");
+        assert_eq!(merged.histograms[0].1.count(), 2);
+
+        // Merge is order-insensitive.
+        let mut flipped = right.snapshot();
+        flipped.merge(&left.snapshot());
+        assert_eq!(merged, flipped);
+    }
+}

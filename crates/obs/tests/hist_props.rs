@@ -1,0 +1,89 @@
+//! Property tests for the histogram: `record`/`merge`/`summary` must be
+//! associative (any merge tree over any partition of the observations
+//! yields the identical snapshot) and loss-bounded (a reported quantile
+//! is the log₂-bucket upper bound of the exact order statistic — never
+//! below it, never more than one bucket above it).
+
+use proptest::prelude::*;
+use psketch_obs::hist::bucket_of;
+use psketch_obs::{Histogram, HistogramSnapshot};
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact q-quantile by the same rank rule the histogram uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_partition_invariant(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+    ) {
+        psketch_obs::set_enabled(true);
+        let whole = record_all(&values);
+
+        // Split into three arbitrary parts.
+        let a = cut_a.min(values.len());
+        let b = cut_b.clamp(a, values.len());
+        let (left, mid, right) = (&values[..a], &values[a..b], &values[b..]);
+        let (sl, sm, sr) = (record_all(left), record_all(mid), record_all(right));
+
+        // (L ⊔ M) ⊔ R
+        let mut lm_r = sl.clone();
+        lm_r.merge(&sm);
+        lm_r.merge(&sr);
+        // L ⊔ (M ⊔ R)
+        let mut m_r = sm.clone();
+        m_r.merge(&sr);
+        let mut l_mr = sl.clone();
+        l_mr.merge(&m_r);
+
+        prop_assert_eq!(&lm_r, &whole, "grouping (LM)R diverged");
+        prop_assert_eq!(&l_mr, &whole, "grouping L(MR) diverged");
+        prop_assert_eq!(lm_r.summary(), whole.summary());
+    }
+
+    #[test]
+    fn quantiles_are_loss_bounded_to_one_bucket(
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        q_pick in 0usize..3,
+    ) {
+        psketch_obs::set_enabled(true);
+        let q = [0.5f64, 0.9, 0.99][q_pick];
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let reported = snap.quantile(q);
+
+        // Never under-reports: the bound is an upper bound on the exact
+        // order statistic.
+        prop_assert!(
+            reported >= exact,
+            "quantile under-reported: exact {exact}, reported {reported}"
+        );
+        // Never over-reports by more than one log₂ bucket: the reported
+        // value lives in the exact value's bucket (capped by the exact
+        // max, which can only tighten it).
+        prop_assert!(
+            bucket_of(reported) <= bucket_of(exact) + 1,
+            "quantile strayed beyond one bucket: exact {exact} (bucket {}), \
+             reported {reported} (bucket {})",
+            bucket_of(exact),
+            bucket_of(reported)
+        );
+        // max is exact.
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+    }
+}

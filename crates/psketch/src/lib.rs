@@ -20,7 +20,11 @@
 //!   coordinator announcements, budget-enforcing user agents, wire-format
 //!   submissions;
 //! * [`linalg`] ([`psketch_linalg`]) — the dense linear algebra behind
-//!   the Appendix F recovery system.
+//!   the Appendix F recovery system;
+//! * [`obs`] ([`psketch_obs`]) — the std-only observability layer:
+//!   process-wide metrics registry (counters, gauges, log₂ latency
+//!   histograms), leveled structured logging with trace correlation,
+//!   and the Prometheus-text exposition endpoint.
 //!
 //! See the repository README for a guided tour, `examples/` for runnable
 //! programs and EXPERIMENTS.md for the paper-claim-by-claim validation.
@@ -32,6 +36,7 @@ pub use psketch_baselines as baselines;
 pub use psketch_core as core;
 pub use psketch_data as data;
 pub use psketch_linalg as linalg;
+pub use psketch_obs as obs;
 pub use psketch_prf as prf;
 pub use psketch_protocol as protocol;
 pub use psketch_queries as queries;

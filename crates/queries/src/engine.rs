@@ -12,9 +12,11 @@ use crate::plan::TermPlan;
 use psketch_core::{
     ConjunctiveEstimator, ConjunctiveQuery, Error, Estimate, SketchDb, SketchParams,
 };
+use psketch_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Shared memoization/plan counters behind a [`QueryEngine`] (clones of
 /// an engine share one set, so a server's workers aggregate naturally).
@@ -146,6 +148,7 @@ impl QueryEngine {
         plan: &TermPlan,
         memo: &mut HashMap<ConjunctiveQuery, Estimate>,
     ) -> Result<Vec<LinearAnswer>, Error> {
+        let started = obs::enabled().then(Instant::now);
         // Count only terms the memo does not already hold, in one batch.
         let missing: Vec<ConjunctiveQuery> = plan
             .terms()
@@ -176,6 +179,16 @@ impl QueryEngine {
             .terms_reused
             .fetch_add(references.saturating_sub(scanned), Ordering::Relaxed);
         self.stats.plans_executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(started) = started {
+            // Mirror the engine's memoization counters into the process
+            // registry so a /metrics scrape can report memo hit rates
+            // without holding an engine handle.
+            obs::histogram("psketch_query_plan_exec_nanos", &[]).record_duration(started.elapsed());
+            obs::counter("psketch_query_plans_total", &[]).inc();
+            obs::counter("psketch_query_terms_scanned_total", &[]).add(scanned);
+            obs::counter("psketch_query_terms_reused_total", &[])
+                .add(references.saturating_sub(scanned));
+        }
         let estimates: Vec<Estimate> = plan.terms().iter().map(|q| memo[q]).collect();
         plan.evaluate(&estimates)
     }

@@ -155,6 +155,7 @@ impl TermPlan {
     /// queries is counted once.
     #[must_use]
     pub fn from_queries(description: impl Into<String>, lqs: &[LinearQuery]) -> Self {
+        let started = psketch_obs::enabled().then(std::time::Instant::now);
         let mut plan = Self::new(description);
         for lq in lqs {
             plan.begin_output(lq.description.clone(), lq.constant);
@@ -163,6 +164,11 @@ impl TermPlan {
                     plan.push_term(term.coeff, query.clone());
                 }
             }
+        }
+        if let Some(started) = started {
+            psketch_obs::histogram("psketch_query_plan_compile_nanos", &[])
+                .record_duration(started.elapsed());
+            psketch_obs::counter("psketch_query_plans_compiled_total", &[]).inc();
         }
         plan
     }

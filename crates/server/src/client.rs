@@ -422,4 +422,18 @@ impl Client {
             other => Self::unexpected(&other),
         }
     }
+
+    /// Fetches the server's full metrics-registry snapshot (counters,
+    /// gauges, latency histograms). Snapshots from several shards merge
+    /// via [`psketch_obs::RegistrySnapshot::merge`].
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn metrics(&mut self) -> Result<psketch_obs::RegistrySnapshot, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            other => Self::unexpected(&other),
+        }
+    }
 }

@@ -16,6 +16,7 @@ use crate::wal::{Wal, WalConfig, WalError};
 use crate::wire::{self, codes, EstimateWire, Request, Response, PROTOCOL_VERSION};
 use parking_lot::Mutex;
 use psketch_core::{ConjunctiveQuery, Error, PrivacyAccountant};
+use psketch_obs::{self as obs, expose::MetricsExposer, Counter, Histogram};
 use psketch_protocol::{Announcement, Coordinator, QueryCounts, ShardIdentity};
 use psketch_queries::QueryEngine;
 use std::collections::{HashMap, VecDeque};
@@ -50,6 +51,13 @@ pub struct ServerConfig {
     /// would exceed the budget gets a [`codes::BUDGET`] error frame.
     /// `None` disables accounting.
     pub analyst_budget: Option<f64>,
+    /// `Some(addr)` starts a Prometheus-text scrape listener serving
+    /// `GET /metrics` from the process-global [`psketch_obs`] registry.
+    pub metrics_addr: Option<String>,
+    /// `Some(ms)` emits one structured WARN record per request whose
+    /// handling took at least this many milliseconds (`0` logs every
+    /// request — the CI tracing mode).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +67,8 @@ impl Default for ServerConfig {
             wal: None,
             shard: None,
             analyst_budget: None,
+            metrics_addr: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -505,6 +515,16 @@ struct ServiceState {
     started: Instant,
     /// Per-frame-kind request counters.
     frames: FrameCounters,
+    /// Cached per-kind request latency histograms (index = kind byte −
+    /// 1; `None` for retired kind bytes). Registered once at startup so
+    /// the hot path is a relaxed `fetch_add`, never a registry lock.
+    obs_request_nanos: [Option<Arc<Histogram>>; wire::MAX_REQUEST_KIND as usize],
+    /// Cached per-kind request counters, same indexing.
+    obs_requests_total: [Option<Arc<Counter>>; wire::MAX_REQUEST_KIND as usize],
+    /// Accept-thread-to-worker handoff wait.
+    obs_queue_wait_nanos: Arc<Histogram>,
+    /// Slow-request WARN threshold ([`ServerConfig::slow_query_ms`]).
+    slow_query_ms: Option<u64>,
 }
 
 /// Per-connection protocol state, established by the hello handshake.
@@ -527,6 +547,9 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     state: Arc<ServiceState>,
+    /// The Prometheus scrape listener, when configured; its own Drop
+    /// stops the accept loop.
+    exposer: Option<MetricsExposer>,
 }
 
 impl std::fmt::Debug for Server {
@@ -587,6 +610,7 @@ impl Server {
             }
             None => (None, Coordinator::new(announcement)),
         };
+        let kind_label = |i: usize| wire::request_kind_name(u8::try_from(i).unwrap_or(0) + 1);
         let state = Arc::new(ServiceState {
             coordinator,
             engine: QueryEngine::new(params),
@@ -597,12 +621,29 @@ impl Server {
                 .map(|epsilon| BudgetBook::new(epsilon, announcement_p)),
             started: Instant::now(),
             frames: FrameCounters::new(),
+            obs_request_nanos: std::array::from_fn(|i| {
+                kind_label(i)
+                    .map(|name| obs::histogram("psketch_server_request_nanos", &[("kind", name)]))
+            }),
+            obs_requests_total: std::array::from_fn(|i| {
+                kind_label(i)
+                    .map(|name| obs::counter("psketch_server_requests_total", &[("kind", name)]))
+            }),
+            obs_queue_wait_nanos: obs::histogram("psketch_server_queue_wait_nanos", &[]),
+            slow_query_ms: config.slow_query_ms,
         });
+
+        let exposer = match &config.metrics_addr {
+            Some(addr) => Some(MetricsExposer::start(addr)?),
+            None => None,
+        };
 
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // Connections carry their enqueue instant so workers can report
+        // how long accepted connections sat waiting for a free worker.
+        let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
 
         let workers = (0..config.workers.max(1))
@@ -622,7 +663,7 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    if tx.send(stream).is_err() {
+                    if tx.send((stream, Instant::now())).is_err() {
                         break;
                     }
                 }
@@ -630,12 +671,23 @@ impl Server {
             })
         };
 
+        if let Some(identity) = config.shard {
+            obs::log::info("psketch::server")
+                .field("addr", local_addr)
+                .field("shard", identity)
+                .emit("serving");
+        } else {
+            obs::log::info("psketch::server")
+                .field("addr", local_addr)
+                .emit("serving");
+        }
         Ok(Self {
             local_addr,
             shutdown,
             accept_thread: Some(accept_thread),
             workers,
             state,
+            exposer,
         })
     }
 
@@ -660,6 +712,9 @@ impl Server {
     fn shutdown_impl(&mut self) {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
+        }
+        if let Some(exposer) = self.exposer.take() {
+            exposer.shutdown();
         }
         // Wake the accept thread: it blocks in accept(), so poke it with
         // a throwaway connection. An unspecified bind address (0.0.0.0,
@@ -693,13 +748,20 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, state: &ServiceState, shutdown: &AtomicBool) {
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<(TcpStream, Instant)>>,
+    state: &ServiceState,
+    shutdown: &AtomicBool,
+) {
     loop {
         // Hold the receiver lock only for the poll itself, so workers
         // take turns pulling connections.
         let conn = rx.lock().recv_timeout(POLL_TICK);
         match conn {
-            Ok(stream) => {
+            Ok((stream, enqueued)) => {
+                state
+                    .obs_queue_wait_nanos
+                    .record_duration(enqueued.elapsed());
                 let _ = serve_connection(stream, state, shutdown);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -918,7 +980,8 @@ fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> S
         }
     };
     // The kind byte is trusted only after a full decode succeeded.
-    state.frames.record(payload[1]);
+    let kind = payload[1];
+    state.frames.record(kind);
     // The replay digest is only needed for charging kinds, and only
     // when accounting is on — ingest frames (which can be megabytes)
     // never pay for a hash pass.
@@ -932,7 +995,65 @@ fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> S
         ) => book.digest(payload),
         _ => 0,
     };
-    handle_request(state, conn, request)
+    let trace = request_trace(&request);
+    let started = Instant::now();
+    let served = handle_request(state, conn, request);
+    observe_request(state, conn, kind, trace, started.elapsed());
+    served
+}
+
+/// The trace correlation id a request carries: its query nonce (`0`
+/// means "no replay identity" and therefore no trace either).
+fn request_trace(request: &Request) -> Option<u64> {
+    match request {
+        Request::Conjunctive { nonce, .. }
+        | Request::Distribution { nonce, .. }
+        | Request::Plan { nonce, .. }
+        | Request::PartialTermCounts { nonce, .. } => (*nonce != 0).then_some(*nonce),
+        _ => None,
+    }
+}
+
+/// Records the request's latency metrics, its per-request DEBUG trace
+/// record, and — past the configured threshold — the slow-query WARN.
+fn observe_request(
+    state: &ServiceState,
+    conn: &ConnState,
+    kind: u8,
+    trace: Option<u64>,
+    elapsed: Duration,
+) {
+    let slot = (kind as usize).saturating_sub(1);
+    if let Some(Some(hist)) = state.obs_request_nanos.get(slot) {
+        hist.record_duration(elapsed);
+    }
+    if let Some(Some(counter)) = state.obs_requests_total.get(slot) {
+        counter.inc();
+    }
+    let kind_name = wire::request_kind_name(kind).unwrap_or("unknown");
+    if obs::log::enabled(obs::log::Level::Debug, "psketch::server::request") {
+        let mut event = obs::log::debug("psketch::server::request")
+            .field("kind", kind_name)
+            .field("analyst", conn.analyst)
+            .field("elapsed_us", elapsed.as_micros());
+        if let Some(trace) = trace {
+            event = event.trace(trace);
+        }
+        event.emit("served");
+    }
+    if let Some(threshold_ms) = state.slow_query_ms {
+        if elapsed.as_millis() >= u128::from(threshold_ms) {
+            let mut event = obs::log::warn("psketch::server::slow_query")
+                .field("kind", kind_name)
+                .field("analyst", conn.analyst)
+                .field("elapsed_us", elapsed.as_micros())
+                .field("threshold_ms", threshold_ms);
+            if let Some(trace) = trace {
+                event = event.trace(trace);
+            }
+            event.emit("slow query");
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -1053,6 +1174,7 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             &state.engine,
             state.budget.as_ref(),
         ))),
+        Request::Metrics => Served::Response(Response::Metrics(obs::snapshot())),
     }
 }
 
@@ -1089,7 +1211,9 @@ fn ingest(state: &ServiceState, subs: &[psketch_protocol::Submission]) -> Respon
                     // The log still holds everything; compaction failure
                     // is not a durability loss, so the batch is still
                     // acked.
-                    eprintln!("wal compaction failed (will retry): {e}");
+                    obs::log::error("psketch::server::wal")
+                        .field("error", e)
+                        .emit("wal compaction failed (will retry)");
                 }
             }
             outcome

@@ -34,10 +34,12 @@
 use crate::wire;
 use psketch_core::codec::{decode_bundle, encode_bundle};
 use psketch_core::{BitSubset, Sketch, SketchDb, UserId};
+use psketch_obs::{self as obs};
 use psketch_protocol::{Announcement, Coordinator, CoordinatorStats, Submission};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 const TAG_ANNOUNCEMENT: u8 = 1;
 const TAG_BATCH: u8 = 2;
@@ -185,7 +187,14 @@ impl Wal {
             .append(true)
             .create(true)
             .open(&log_path)?;
+        let replay_started = Instant::now();
         let committed = replay_log(&mut log, &mut coordinator)?;
+        obs::histogram("psketch_wal_replay_nanos", &[]).record_duration(replay_started.elapsed());
+        obs::counter("psketch_wal_replay_bytes_total", &[]).add(committed);
+        obs::log::info("psketch::wal")
+            .field("log_bytes", committed)
+            .field("elapsed_us", replay_started.elapsed().as_micros())
+            .emit("replayed");
         // Drop a torn tail so the next append starts at a record
         // boundary.
         let len = log.metadata()?.len();
@@ -263,10 +272,14 @@ impl Wal {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(payload).to_le_bytes());
         framed.extend_from_slice(payload);
-        let wrote = self
-            .log
-            .write_all(&framed)
-            .and_then(|()| self.log.sync_data());
+        let started = Instant::now();
+        let wrote = self.log.write_all(&framed);
+        let write_elapsed = started.elapsed();
+        let wrote = wrote.and_then(|()| self.log.sync_data());
+        obs::histogram("psketch_wal_append_nanos", &[]).record_duration(started.elapsed());
+        obs::histogram("psketch_wal_fsync_nanos", &[])
+            .record_duration(started.elapsed().saturating_sub(write_elapsed));
+        obs::histogram("psketch_wal_record_bytes", &[]).record(framed.len() as u64);
         if let Err(e) = wrote {
             // A failed write (ENOSPC, I/O error) may have landed some of
             // the record's bytes; roll the file back to the last record
@@ -296,6 +309,8 @@ impl Wal {
     /// old snapshot + full log, or the new snapshot + (possibly stale)
     /// log, both replay to the same pool.
     pub fn compact(&mut self, coordinator: &Coordinator) -> Result<(), WalError> {
+        let started = Instant::now();
+        let log_before = self.log_bytes;
         let bytes = encode_snapshot(coordinator)?;
         let mut tmp = File::create(&self.tmp_path)?;
         tmp.write_all(&bytes)?;
@@ -313,6 +328,13 @@ impl Wal {
             .open(&self.log_path)?;
         self.log.sync_data()?;
         self.log_bytes = 0;
+        obs::histogram("psketch_wal_compact_nanos", &[]).record_duration(started.elapsed());
+        obs::counter("psketch_wal_compactions_total", &[]).inc();
+        obs::log::info("psketch::wal")
+            .field("log_bytes_before", log_before)
+            .field("snapshot_bytes", bytes.len())
+            .field("elapsed_us", started.elapsed().as_micros())
+            .emit("compacted");
         Ok(())
     }
 }

@@ -24,6 +24,7 @@
 //! [`codes::UNSUPPORTED_VERSION`] without guessing at its body layout.
 
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Error, Estimate, UserId};
+use psketch_obs::{HistogramSnapshot, MetricId, RegistrySnapshot};
 use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentity, Submission};
 use psketch_queries::{LinearAnswer, TermPlan};
 use std::io::{self, Read, Write};
@@ -51,7 +52,14 @@ use std::io::{self, Read, Write};
 ///   ε-ledger can retry with the same nonce and be served without a
 ///   second charge (charge-once per nonce; `0` opts out). Server stats
 ///   gained the ε-ledger counters ([`BudgetStats`]).
-pub const PROTOCOL_VERSION: u8 = 4;
+/// * 5 — the observability revision: the v4 request nonce doubles as
+///   the **trace correlation id** — routers and servers log it with
+///   every record a query produces, so one analyst query greps
+///   identically across all node logs. A new `Metrics` frame returns
+///   the node's full [`psketch_obs`] registry snapshot (counters,
+///   gauges, log₂ latency histograms) so `cluster status --metrics`
+///   can merge histograms cluster-wide.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Hard ceiling on the terms of one plan (or term-counts batch); larger
 /// plans are refused as [`codes::BAD_REQUEST`] before any scan. A
@@ -104,6 +112,7 @@ const REQ_PING: u8 = 0x07;
 const REQ_HELLO: u8 = 0x08;
 const REQ_PLAN_COUNTS: u8 = 0x09;
 const REQ_SERVER_STATS: u8 = 0x0B;
+const REQ_METRICS: u8 = 0x0C;
 const RESP_ANNOUNCEMENT: u8 = 0x81;
 const RESP_SUBMIT_ACK: u8 = 0x82;
 const RESP_ESTIMATE: u8 = 0x83;
@@ -114,12 +123,13 @@ const RESP_PONG: u8 = 0x87;
 const RESP_HELLO: u8 = 0x88;
 const RESP_PLAN_COUNTS: u8 = 0x89;
 const RESP_SERVER_STATS: u8 = 0x8B;
+const RESP_METRICS: u8 = 0x8C;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Highest request kind byte (the server keeps one per-kind request
 /// counter for each of `0x01..=MAX_REQUEST_KIND`; `0x0A` is a retired
 /// v2 kind and stays unused).
-pub const MAX_REQUEST_KIND: u8 = REQ_SERVER_STATS;
+pub const MAX_REQUEST_KIND: u8 = REQ_METRICS;
 
 /// Human-readable name of a request kind byte (for stats display).
 #[must_use]
@@ -135,6 +145,7 @@ pub fn request_kind_name(kind: u8) -> Option<&'static str> {
         REQ_HELLO => "hello",
         REQ_PLAN_COUNTS => "plan-counts",
         REQ_SERVER_STATS => "server-stats",
+        REQ_METRICS => "metrics",
         _ => return None,
     })
 }
@@ -201,6 +212,30 @@ impl ServerStats {
             .find(|&&(k, _)| k == kind)
             .map_or(0, |&(_, count)| count)
     }
+
+    /// Merges another node's stats into this one for a cluster-wide
+    /// view. Counter-like fields (frames, malformed, plan and budget
+    /// counters) **sum** — shards partition the traffic. Gauge-like
+    /// fields do not: `uptime_secs` keeps the **maximum** (a 3-shard
+    /// cluster has not been up three times as long; summing uptimes is
+    /// the classic status-merge bug — per-shard values stay visible in
+    /// the per-shard rows).
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.uptime_secs = self.uptime_secs.max(other.uptime_secs);
+        for &(kind, count) in &other.frames {
+            match self.frames.binary_search_by_key(&kind, |&(k, _)| k) {
+                Ok(at) => self.frames[at].1 += count,
+                Err(at) => self.frames.insert(at, (kind, count)),
+            }
+        }
+        self.malformed += other.malformed;
+        self.plans.plans_executed += other.plans.plans_executed;
+        self.plans.terms_scanned += other.plans.terms_scanned;
+        self.plans.terms_reused += other.plans.terms_reused;
+        self.budget.charged_terms += other.budget.charged_terms;
+        self.budget.replays += other.budget.replays;
+        self.budget.denials += other.budget.denials;
+    }
 }
 
 /// A client → server request.
@@ -263,6 +298,9 @@ pub enum Request {
     /// Fetch server-level observability counters (uptime, per-frame-kind
     /// request counts, plan/memoization counters, ε-ledger counters).
     ServerStats,
+    /// Fetch the node's full metrics-registry snapshot (counters,
+    /// gauges, log₂ latency histograms) for cluster-wide merging.
+    Metrics,
 }
 
 /// A wire-level estimate (mirrors [`psketch_core::Estimate`]).
@@ -366,6 +404,10 @@ pub enum Response {
     PartialTermCounts(Vec<QueryCounts>),
     /// Answer to a [`Request::ServerStats`].
     ServerStats(ServerStats),
+    /// Answer to a [`Request::Metrics`]: the node's metrics-registry
+    /// snapshot, mergeable across shards
+    /// ([`psketch_obs::RegistrySnapshot::merge`]).
+    Metrics(RegistrySnapshot),
     /// The request failed; see [`codes`].
     Error {
         /// Machine-readable error code.
@@ -704,6 +746,97 @@ fn get_plan(dec: &mut Dec<'_>) -> Result<TermPlan, Error> {
     TermPlan::from_parts(description, terms, outputs)
 }
 
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn put_metric_id(buf: &mut Vec<u8>, id: &MetricId) {
+    put_string(buf, &id.family);
+    put_len(buf, id.labels.len());
+    for (k, v) in &id.labels {
+        put_string(buf, k);
+        put_string(buf, v);
+    }
+}
+
+fn get_metric_id(dec: &mut Dec<'_>) -> Result<MetricId, Error> {
+    let family = dec.string()?;
+    let n = dec.count(2)?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push((dec.string()?, dec.string()?));
+    }
+    Ok(MetricId { family, labels })
+}
+
+/// Encodes a metrics-registry snapshot. Histogram buckets travel
+/// sparsely (`(bucket index, count)` pairs) — latency histograms
+/// occupy a handful of their 65 log₂ buckets.
+fn put_registry_snapshot(buf: &mut Vec<u8>, snap: &RegistrySnapshot) {
+    put_len(buf, snap.counters.len());
+    for (id, value) in &snap.counters {
+        put_metric_id(buf, id);
+        put_u64(buf, *value);
+    }
+    put_len(buf, snap.gauges.len());
+    for (id, value) in &snap.gauges {
+        put_metric_id(buf, id);
+        put_u64(buf, *value);
+    }
+    put_len(buf, snap.histograms.len());
+    for (id, hist) in &snap.histograms {
+        put_metric_id(buf, id);
+        put_u64(buf, hist.sum);
+        put_u64(buf, hist.max);
+        let occupied: Vec<(u8, u64)> = hist
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (u8::try_from(i).expect("bucket index fits u8"), c))
+            .collect();
+        put_len(buf, occupied.len());
+        for (index, count) in occupied {
+            buf.push(index);
+            put_u64(buf, count);
+        }
+    }
+}
+
+fn get_registry_snapshot(dec: &mut Dec<'_>) -> Result<RegistrySnapshot, Error> {
+    let mut snap = RegistrySnapshot::default();
+    let n = dec.count(13)?;
+    for _ in 0..n {
+        snap.counters.push((get_metric_id(dec)?, dec.u64()?));
+    }
+    let n = dec.count(13)?;
+    for _ in 0..n {
+        snap.gauges.push((get_metric_id(dec)?, dec.u64()?));
+    }
+    let n = dec.count(25)?;
+    for _ in 0..n {
+        let id = get_metric_id(dec)?;
+        let mut hist = HistogramSnapshot {
+            sum: dec.u64()?,
+            max: dec.u64()?,
+            ..HistogramSnapshot::default()
+        };
+        let pairs = dec.count(9)?;
+        for _ in 0..pairs {
+            let index = dec.u8()? as usize;
+            let count = dec.u64()?;
+            if index >= hist.buckets.len() {
+                return Err(codec_err(format!(
+                    "histogram bucket index {index} out of range"
+                )));
+            }
+            hist.buckets[index] = count;
+        }
+        snap.histograms.push((id, hist));
+    }
+    Ok(snap)
+}
+
 fn put_estimate(buf: &mut Vec<u8>, e: &EstimateWire) {
     put_f64(buf, e.fraction);
     put_f64(buf, e.raw);
@@ -793,6 +926,7 @@ impl Request {
                 buf
             }
             Self::ServerStats => payload(REQ_SERVER_STATS),
+            Self::Metrics => payload(REQ_METRICS),
         }
     }
 
@@ -835,6 +969,7 @@ impl Request {
                 terms: get_terms(&mut dec)?,
             },
             REQ_SERVER_STATS => Self::ServerStats,
+            REQ_METRICS => Self::Metrics,
             other => return Err(codec_err(format!("unknown request kind {other:#04x}"))),
         };
         dec.finish()?;
@@ -926,6 +1061,11 @@ impl Response {
                 put_u64(&mut buf, stats.budget.charged_terms);
                 put_u64(&mut buf, stats.budget.replays);
                 put_u64(&mut buf, stats.budget.denials);
+                buf
+            }
+            Self::Metrics(snap) => {
+                let mut buf = payload(RESP_METRICS);
+                put_registry_snapshot(&mut buf, snap);
                 buf
             }
             Self::Error { code, message } => {
@@ -1032,6 +1172,7 @@ impl Response {
                     },
                 })
             }
+            RESP_METRICS => Self::Metrics(get_registry_snapshot(&mut dec)?),
             RESP_ERROR => Self::Error {
                 code: dec.u16()?,
                 message: dec.string()?,
@@ -1219,6 +1360,7 @@ mod tests {
             nonce: 42,
         });
         roundtrip_request(&Request::ServerStats);
+        roundtrip_request(&Request::Metrics);
     }
 
     #[test]
@@ -1353,6 +1495,83 @@ mod tests {
             code: codes::QUERY,
             message: "no such subset".into(),
         });
+    }
+
+    #[test]
+    fn metrics_response_roundtrips() {
+        roundtrip_response(&Response::Metrics(RegistrySnapshot::default()));
+        let reg = psketch_obs::MetricsRegistry::new();
+        reg.counter("psketch_server_requests_total", &[("kind", "plan")])
+            .add(12);
+        reg.counter("psketch_server_requests_total", &[("kind", "ping")])
+            .inc();
+        reg.gauge("psketch_uptime_secs", &[]).set(77);
+        let h = reg.histogram("psketch_server_request_nanos", &[("kind", "plan")]);
+        for v in [0u64, 1, 900, 65_000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        roundtrip_response(&Response::Metrics(snap.clone()));
+
+        // Sparse bucket encoding survives a merge of decoded snapshots.
+        let payload = Response::Metrics(snap.clone()).encode();
+        let Response::Metrics(mut decoded) = Response::decode(&payload).unwrap() else {
+            panic!("wrong response kind");
+        };
+        decoded.merge(&snap);
+        let direct = {
+            let mut s = snap.clone();
+            s.merge(&snap);
+            s
+        };
+        assert_eq!(decoded, direct);
+    }
+
+    #[test]
+    fn server_stats_merge_maxes_uptime_and_sums_counters() {
+        let mut left = ServerStats {
+            uptime_secs: 3600,
+            frames: vec![(0x03, 10), (0x07, 2)],
+            malformed: 1,
+            plans: PlanStats {
+                plans_executed: 4,
+                terms_scanned: 40,
+                terms_reused: 8,
+            },
+            budget: BudgetStats {
+                charged_terms: 30,
+                replays: 1,
+                denials: 0,
+            },
+        };
+        let right = ServerStats {
+            uptime_secs: 120, // a freshly restarted shard
+            frames: vec![(0x03, 5), (0x05, 7)],
+            malformed: 2,
+            plans: PlanStats {
+                plans_executed: 1,
+                terms_scanned: 9,
+                terms_reused: 0,
+            },
+            budget: BudgetStats {
+                charged_terms: 9,
+                replays: 0,
+                denials: 3,
+            },
+        };
+        left.merge(&right);
+        // Uptime is gauge-like: a 3-shard cluster has not been up the
+        // sum of its shards' uptimes. The merge keeps the maximum.
+        assert_eq!(left.uptime_secs, 3600);
+        assert_eq!(left.frames, vec![(0x03, 15), (0x05, 7), (0x07, 2)]);
+        assert_eq!(left.malformed, 3);
+        assert_eq!(left.plans.plans_executed, 5);
+        assert_eq!(left.plans.terms_scanned, 49);
+        assert_eq!(left.plans.terms_reused, 8);
+        assert_eq!(left.budget.charged_terms, 39);
+        assert_eq!(left.budget.replays, 1);
+        assert_eq!(left.budget.denials, 3);
+        assert_eq!(left.total_requests(), 24);
     }
 
     #[test]
