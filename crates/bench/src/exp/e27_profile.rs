@@ -1,0 +1,194 @@
+//! E27 — query profiling overhead: the span-instrumented estimator scan
+//! with profiling off, on, and with the whole obs layer dark.
+//!
+//! The span tracer promises the same deal the metrics registry made in
+//! E26: **near-zero when off**. With no trace open, every
+//! `obs::span::enter` call site is a single relaxed atomic load and the
+//! returned guard is inert — so the production default (profiling off,
+//! metrics on) must scan within the same ≤2% envelope E26 established,
+//! measured here against the leanest configuration (metrics off too).
+//! With a trace open, each scan records a handful of spans *per scan*
+//! (never per record), so even profiled throughput stays close.
+//!
+//! The experiment also asserts the invariant the whole PR leans on:
+//! profiling never touches estimate arithmetic. The estimate from a
+//! profiled scan equals the unprofiled one in every float bit, and the
+//! recorded trace actually contains the `estimator:scan` span with its
+//! `records` attribute (profiling was really on, not silently inert).
+//!
+//! Emits `BENCH_profile.json` with the measured rates. In quick mode
+//! the identity and span-content checks still run and the throughput
+//! guard loosens to a catastrophic-regression bound (smoke sizes are
+//! noisy).
+
+use crate::common::Config;
+use crate::report::{f, Table};
+use psketch_core::{
+    BitString, BitSubset, ConjunctiveEstimator, ConjunctiveQuery, Profile, SketchDb, Sketcher,
+    UserId,
+};
+use psketch_obs::span::Trace;
+use std::time::Instant;
+
+const EXP: u64 = 27;
+
+/// Best observed records/s over `reps` runs of `scan`.
+fn best_rate(reps: u64, records: usize, mut scan: impl FnMut()) -> f64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            scan();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Runs E27.
+///
+/// # Panics
+///
+/// Panics if a profiled estimate differs from an unprofiled one in any
+/// float bit, if the profiled pass produced no `estimator:scan` span,
+/// if the profiling-off overhead exceeds the acceptance bound, or if
+/// `BENCH_profile.json` cannot be written.
+#[must_use]
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let m = cfg.m(1_000_000);
+    let k = 8usize;
+    let params = cfg.params(0.3, 10, EXP);
+    let sketcher = Sketcher::new(params);
+    let subset = BitSubset::range(0, k as u32);
+    let db = SketchDb::new();
+    let mut rng = cfg.rng(EXP, 0);
+    for i in 0..m as u64 {
+        let profile = Profile::from_bits(&vec![i % 3 == 0; k]);
+        let sketch = sketcher
+            .sketch(UserId(i), &profile, &subset, &mut rng)
+            .expect("sketching at ell=10 cannot exhaust");
+        db.insert(subset.clone(), UserId(i), sketch);
+    }
+
+    let estimator = ConjunctiveEstimator::new(params);
+    let value = BitString::from_bits(&vec![true; k]);
+    let query = ConjunctiveQuery::new(subset, value).expect("widths match");
+    let reps = if cfg.quick { 20 } else { cfg.reps(9) };
+
+    // Plain pass: metrics off, no trace — the leanest configuration
+    // this binary can reach, the baseline the off-path is held to.
+    psketch_obs::set_enabled(false);
+    let plain_estimate = estimator.estimate(&db, &query).expect("populated");
+    let plain_rate = best_rate(reps, m, || {
+        let e = estimator.estimate(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), plain_estimate.raw.to_bits());
+    });
+
+    // Off pass: metrics on, profiling off — the production default.
+    // Every span call site runs its one-relaxed-load off-path here.
+    psketch_obs::set_enabled(true);
+    let off_estimate = estimator.estimate(&db, &query).expect("populated");
+    let off_rate = best_rate(reps, m, || {
+        let e = estimator.estimate(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), off_estimate.raw.to_bits());
+    });
+
+    // On pass: a trace open around every scan, the way a `--explain`
+    // query profiles a server-side request.
+    let mut nonce = 0xE27_0000u64;
+    let (on_estimate, spans_recorded) = {
+        let trace = Trace::begin(nonce, "bench:profiled_scan");
+        let e = estimator.estimate(&db, &query).expect("populated");
+        let tree = trace.finish();
+        let scan = tree
+            .find("estimator:scan")
+            .expect("profiled scan recorded no estimator:scan span");
+        assert_eq!(
+            scan.attr("records"),
+            Some(m as u64),
+            "scan span must carry the record count"
+        );
+        (e, tree.span_count())
+    };
+    let on_rate = best_rate(reps, m, || {
+        nonce += 1;
+        let trace = Trace::begin(nonce, "bench:profiled_scan");
+        let e = estimator.estimate(&db, &query).expect("populated");
+        assert_eq!(e.raw.to_bits(), on_estimate.raw.to_bits());
+        let tree = trace.finish();
+        assert!(tree.find("estimator:scan").is_some());
+    });
+
+    // Profiling must never perturb the arithmetic: same inputs, same
+    // float bits, in all three modes.
+    for (mode, estimate) in [("off", &off_estimate), ("on", &on_estimate)] {
+        assert_eq!(
+            estimate.fraction.to_bits(),
+            plain_estimate.fraction.to_bits(),
+            "estimate differs between plain and profiling-{mode}"
+        );
+        assert_eq!(
+            estimate.raw.to_bits(),
+            plain_estimate.raw.to_bits(),
+            "raw estimate differs between plain and profiling-{mode}"
+        );
+    }
+
+    let off_overhead = 1.0 - off_rate / plain_rate;
+    let on_overhead = 1.0 - on_rate / plain_rate;
+    // Acceptance: profiling off (the production default) costs ≤2% at
+    // full size. Quick-mode smoke sizes finish scans in microseconds
+    // where scheduler noise dwarfs an atomic load, so the guard loosens
+    // to catch only a real per-record cost sneaking in.
+    let floor = if cfg.quick { 0.80 } else { 0.98 };
+    assert!(
+        off_rate >= floor * plain_rate,
+        "profiling-off overhead {:.1}% exceeds the bound ({} records/s off vs {} plain)",
+        off_overhead * 100.0,
+        f(off_rate, 0),
+        f(plain_rate, 0)
+    );
+
+    let mut t = Table::new(
+        format!("E27 — query-profiling overhead at M = {m} (k = {k}, p = 0.3)"),
+        &["mode", "records/s", "relative"],
+    );
+    t.row(vec![
+        "plain (metrics off, no trace)".into(),
+        f(plain_rate, 0),
+        "1.000x".into(),
+    ]);
+    t.row(vec![
+        "profiling off (production default)".into(),
+        f(off_rate, 0),
+        format!("{:.3}x", off_rate / plain_rate),
+    ]);
+    t.row(vec![
+        "profiling on (trace per scan)".into(),
+        f(on_rate, 0),
+        format!("{:.3}x", on_rate / plain_rate),
+    ]);
+    t.note(format!(
+        "profiling-off overhead {:.2}% (acceptance: ≤2% at full size) | profiled trace \
+         holds {spans_recorded} spans | answers float-bit-identical in all three modes",
+        off_overhead * 100.0
+    ));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e27_profile\",\n  \"records\": {m},\n  \"width\": {k},\n  \
+         \"p\": 0.3,\n  \
+         \"plain_records_per_sec\": {plain_rate:.1},\n  \
+         \"profiling_off_records_per_sec\": {off_rate:.1},\n  \
+         \"profiling_on_records_per_sec\": {on_rate:.1},\n  \
+         \"off_overhead_fraction\": {off_overhead:.5},\n  \
+         \"on_overhead_fraction\": {on_overhead:.5},\n  \
+         \"answers_bit_identical\": true,\n  \
+         \"profiled_trace_spans\": {spans_recorded}\n}}\n"
+    );
+    if cfg.quick {
+        t.note("quick mode: BENCH_profile.json not written");
+    } else {
+        std::fs::write("BENCH_profile.json", json).expect("write BENCH_profile.json");
+        t.note("wrote BENCH_profile.json");
+    }
+
+    vec![t]
+}

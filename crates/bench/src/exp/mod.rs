@@ -26,6 +26,7 @@ pub mod e23_plans;
 pub mod e24_scatter;
 pub mod e25_lanes;
 pub mod e26_obs;
+pub mod e27_profile;
 
 use crate::common::Config;
 use crate::report::Table;
@@ -151,6 +152,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Observability: instrumented vs runtime-off scan overhead",
             e26_obs::run,
         ),
+        (
+            "e27",
+            "Profiling: span-traced vs profiling-off scan overhead",
+            e27_profile::run,
+        ),
     ]
 }
 
@@ -161,9 +167,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let reg = registry();
-        assert_eq!(reg.len(), 26);
+        assert_eq!(reg.len(), 27);
         let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 26);
+        assert_eq!(ids.len(), 27);
     }
 }

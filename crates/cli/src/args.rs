@@ -7,7 +7,7 @@
 use std::collections::BTreeMap;
 
 /// Flags that take no value (presence means `true`).
-const BOOLEAN_FLAGS: &[&str] = &["json", "metrics", "no-metrics"];
+const BOOLEAN_FLAGS: &[&str] = &["explain", "json", "metrics", "no-metrics"];
 
 /// Parsed flags: `--key value` pairs plus positional arguments.
 #[derive(Debug, Default, Clone)]

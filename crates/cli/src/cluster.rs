@@ -31,10 +31,20 @@
 //!     concurrency (0 = all shards at once, the default; 1 = the old
 //!     sequential visit order, bit-identical answers either way).
 //!     Answers over a degraded cluster say exactly which shards are
-//!     missing instead of silently skewing the estimate.
+//!     missing instead of silently skewing the estimate. Plan-backed
+//!     kinds take `--explain`: the answer is followed by a span
+//!     waterfall stitching the router's scatter/merge phases with each
+//!     shard's own timing subtree, plus the trace nonce for later
+//!     `cluster trace` fetches (answers stay float-bit-identical).
 //!
 //! psketch cluster status (--map|--addrs)
 //!     Per-shard coordinator + server counters and the exact merge.
+//!
+//! psketch cluster trace NONCE (--map|--addrs)
+//!     Fetch the recorded span trees for a recent query nonce (decimal
+//!     or 0x-hex, as printed by `--explain`) from every shard's trace
+//!     ring and render each as a waterfall. Uncharged: replaying a
+//!     nonce here never touches the privacy budget.
 //! ```
 
 use crate::args::{Args, CliError};
@@ -53,20 +63,23 @@ fn err(e: impl std::fmt::Display) -> CliError {
     CliError(e.to_string())
 }
 
-/// Dispatches `psketch cluster <serve|submit|query|status>`.
+/// Dispatches `psketch cluster <serve|submit|query|status|trace>`.
 pub fn cluster(args: &Args) -> Result<(), CliError> {
     let kind = args
         .positional()
         .get(1)
         .map(String::as_str)
-        .ok_or_else(|| CliError("usage: psketch cluster <serve|submit|query|status> …".into()))?;
+        .ok_or_else(|| {
+            CliError("usage: psketch cluster <serve|submit|query|status|trace> …".into())
+        })?;
     match kind {
         "serve" => serve(args),
         "submit" => submit(args),
         "query" => query(args),
         "status" => status(args),
+        "trace" => trace(args),
         other => Err(CliError(format!(
-            "unknown cluster command '{other}' (try serve, submit, query, status)"
+            "unknown cluster command '{other}' (try serve, submit, query, status, trace)"
         ))),
     }
 }
@@ -362,8 +375,21 @@ fn query(args: &Args) -> Result<(), CliError> {
         args.reject_unknown(&known)?;
         let plan = crate::families::family_plan(kind, args)?;
         let json: bool = args.get_or("json", false)?;
+        let explain: bool = args.get_or("explain", false)?;
+        if json && explain {
+            return Err(CliError(
+                "--explain prints a text waterfall; drop --json".into(),
+            ));
+        }
         let mut router = router(args)?;
-        let answer = router.execute_plan(&plan).map_err(err)?;
+        // The profiled path shares the merge code with the plain one,
+        // so the answers are float-bit-identical either way.
+        let (answer, traced) = if explain {
+            let explained = router.explain_plan(&plan).map_err(err)?;
+            (explained.answer, Some((explained.nonce, explained.trace)))
+        } else {
+            (router.execute_plan(&plan).map_err(err)?, None)
+        };
         if json {
             println!(
                 "{}",
@@ -383,6 +409,11 @@ fn query(args: &Args) -> Result<(), CliError> {
                 );
             }
             print_coverage(&answer.coverage);
+        }
+        if let Some((nonce, tree)) = traced {
+            println!();
+            print!("{}", psketch_obs::render_waterfall(&tree));
+            println!("trace {}", psketch_obs::trace_hex(nonce));
         }
         return Ok(());
     }
@@ -557,6 +588,57 @@ fn status(args: &Args) -> Result<(), CliError> {
     if args.get_or("metrics", false)? {
         let (snapshot, outages) = router.metrics().map_err(err)?;
         print_merged_metrics(&snapshot, outages.len());
+    }
+    Ok(())
+}
+
+/// Parses a trace nonce as printed by `--explain`: `0x`-prefixed hex
+/// or plain decimal.
+fn parse_nonce(raw: &str) -> Result<u64, CliError> {
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.map_err(|_| CliError(format!("cannot parse nonce '{raw}' (decimal or 0x-hex)")))
+}
+
+/// `psketch cluster trace NONCE`: fetch a recent query's span trees
+/// from every shard's trace ring and render them. The per-span lines
+/// are byte-identical to the shard subtrees inside the `--explain`
+/// waterfall for the same nonce, so the two outputs diff cleanly.
+fn trace(args: &Args) -> Result<(), CliError> {
+    args.reject_unknown(ROUTER_FLAGS)?;
+    let raw = args
+        .positional()
+        .get(2)
+        .ok_or_else(|| CliError("usage: psketch cluster trace NONCE (--map|--addrs)".into()))?;
+    let nonce = parse_nonce(raw)?;
+    let mut router = router(args)?;
+    let (traces, outages) = router.trace(nonce).map_err(err)?;
+    let mut found = 0usize;
+    for (shard, tree) in &traces {
+        match tree {
+            Some(tree) => {
+                found += 1;
+                println!("shard {shard}: trace {}", psketch_obs::trace_hex(nonce));
+                print!("{}", psketch_obs::render_waterfall(tree));
+            }
+            None => println!(
+                "shard {shard}: no trace for {}",
+                psketch_obs::trace_hex(nonce)
+            ),
+        }
+    }
+    for outage in &outages {
+        eprintln!("  shard {}: {}", outage.shard, outage.error);
+    }
+    if found == 0 {
+        return Err(CliError(format!(
+            "no shard holds a trace for {} (rings keep the most recent {} profiled \
+             queries; was the query run with --explain?)",
+            psketch_obs::trace_hex(nonce),
+            psketch_obs::span::RING_CAPACITY
+        )));
     }
     Ok(())
 }
@@ -737,6 +819,108 @@ mod tests {
         let mut status_args = vec!["cluster", "status"];
         status_args.extend(&fast);
         status(&parse(&status_args)).unwrap();
+        for server in servers {
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn nonce_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_nonce("42").unwrap(), 42);
+        assert_eq!(parse_nonce("0x2a").unwrap(), 42);
+        assert_eq!(parse_nonce("0X2A").unwrap(), 42);
+        assert_eq!(
+            parse_nonce("0x00000000000000ff").unwrap(),
+            255,
+            "the fixed-width form printed by --explain parses back"
+        );
+        assert!(parse_nonce("nope").is_err());
+        assert!(parse_nonce("0x").is_err());
+    }
+
+    #[test]
+    fn explained_plan_stitches_one_subtree_per_shard() {
+        let (servers, addrs) = start_test_cluster(3);
+        submit(&parse(&[
+            "cluster", "submit", "--addrs", &addrs, "--users", "120", "--batch", "60",
+        ]))
+        .unwrap();
+        let args = parse(&[
+            "cluster", "query", "mean", "--addrs", &addrs, "--field", "0:2",
+        ]);
+        let plan = crate::families::family_plan("mean", &args).unwrap();
+        let mut router = router(&args).unwrap();
+
+        let explained = router.explain_plan(&plan).unwrap();
+        assert_eq!(explained.trace.name, "router:plan");
+        assert!(explained.trace.find("router:scatter").is_some());
+        assert!(explained.trace.find("router:merge").is_some());
+        for shard in 0..3u32 {
+            let wrapper = explained
+                .trace
+                .find(&format!("shard:{shard}"))
+                .unwrap_or_else(|| panic!("waterfall is missing shard {shard}"));
+            // Each wrapper holds exactly the shard-local subtree, whose
+            // root names the server-side handler.
+            assert_eq!(wrapper.children.len(), 1);
+            assert_eq!(wrapper.children[0].name, "shard:partial_counts");
+            assert!(wrapper.children[0].find("engine:count_terms").is_some());
+        }
+
+        // Profiling must not perturb the estimate: the plain path and
+        // the explained path agree to the bit.
+        let plain = router.execute_plan(&plan).unwrap();
+        assert_eq!(plain.outputs.len(), explained.answer.outputs.len());
+        for (a, b) in plain.outputs.iter().zip(&explained.answer.outputs) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+
+        // The same nonce is fetchable from every shard's trace ring.
+        let (traces, outages) = router.trace(explained.nonce).unwrap();
+        assert!(outages.is_empty());
+        assert_eq!(traces.len(), 3);
+        for (shard, tree) in &traces {
+            let tree = tree
+                .as_ref()
+                .unwrap_or_else(|| panic!("shard {shard} lost the trace"));
+            assert_eq!(tree.name, "shard:partial_counts");
+        }
+
+        // The CLI faces of both paths run end to end.
+        query(&parse(&[
+            "cluster",
+            "query",
+            "mean",
+            "--addrs",
+            &addrs,
+            "--field",
+            "0:2",
+            "--explain",
+        ]))
+        .unwrap();
+        let nonce_arg = psketch_obs::trace_hex(explained.nonce);
+        trace(&parse(&["cluster", "trace", &nonce_arg, "--addrs", &addrs])).unwrap();
+        // --json and --explain are mutually exclusive; unknown nonces fail.
+        assert!(query(&parse(&[
+            "cluster",
+            "query",
+            "mean",
+            "--addrs",
+            &addrs,
+            "--field",
+            "0:2",
+            "--explain",
+            "--json",
+        ]))
+        .is_err());
+        assert!(trace(&parse(&[
+            "cluster",
+            "trace",
+            "0xdeadbeef",
+            "--addrs",
+            &addrs
+        ]))
+        .is_err());
         for server in servers {
             server.shutdown();
         }

@@ -25,11 +25,11 @@ pub const PLAN_KINDS: &[&str] = &["mean", "interval", "dnf", "tree", "moment"];
 #[must_use]
 pub fn kind_flags(kind: &str) -> &'static [&'static str] {
     match kind {
-        "mean" => &["field", "json"],
-        "moment" => &["field", "order", "json"],
-        "interval" => &["field", "lt", "le", "range", "json"],
-        "dnf" => &["clauses", "json"],
-        "tree" => &["tree", "json"],
+        "mean" => &["field", "json", "explain"],
+        "moment" => &["field", "order", "json", "explain"],
+        "interval" => &["field", "lt", "le", "range", "json", "explain"],
+        "dnf" => &["clauses", "json", "explain"],
+        "tree" => &["tree", "json", "explain"],
         _ => &[],
     }
 }

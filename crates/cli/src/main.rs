@@ -86,12 +86,14 @@ fn print_help() {
     println!("            --subset 0,1 | mean --field 0:4 | interval --field 0:4");
     println!("            (--lt C | --le C | --range LO:HI) | dnf --clauses \"0=1;1,2=10\" |");
     println!("            tree --tree \"0?(2?1:0):1\" | moment --field 0:4 [--order 2] |");
-    println!("            stats | ping   (all take [--addr …] [--timeout 10] [--json])");
+    println!("            stats | ping   (all take [--addr …] [--timeout 10] [--json];");
+    println!("            plan-backed kinds take --explain for a span waterfall)");
     println!("  cluster   sharded multi-node pool: serve --shards 3 [--wal-root DIR] |");
     println!("            submit | query conj/dist/mean/interval/dnf/tree/moment/ping |");
-    println!("            status [--metrics]   (submit/query/status take --map FILE or");
-    println!("            --addrs a,b,c; query kinds accept the same family flags and");
-    println!("            --json as `query`; query/status accept [--slow-query-ms N])");
+    println!("            status [--metrics] | trace NONCE   (submit/query/status/trace");
+    println!("            take --map FILE or --addrs a,b,c; query kinds accept the same");
+    println!("            family flags, --json, and --explain as `query`; query/status");
+    println!("            accept [--slow-query-ms N])");
     println!("  help      this message");
 }
 

@@ -316,8 +316,20 @@ pub fn query(args: &Args) -> Result<(), CliError> {
         args.reject_unknown(&known)?;
         let plan = crate::families::family_plan(kind, args)?;
         let json: bool = args.get_or("json", false)?;
+        let explain: bool = args.get_or("explain", false)?;
+        if json && explain {
+            return Err(CliError(
+                "--explain prints a text waterfall; drop --json".into(),
+            ));
+        }
         let mut client = connect(args)?;
-        let answers = client.execute_plan(&plan).map_err(err)?;
+        let (answers, traced) = if explain {
+            let nonce = psketch_server::next_nonce();
+            let (answers, trace) = client.execute_plan_traced(nonce, &plan).map_err(err)?;
+            (answers, Some((nonce, trace)))
+        } else {
+            (client.execute_plan(&plan).map_err(err)?, None)
+        };
         if json {
             println!(
                 "{}",
@@ -331,6 +343,16 @@ pub fn query(args: &Args) -> Result<(), CliError> {
                     output.label, answer.value, answer.queries_used, answer.min_sample_size
                 );
             }
+        }
+        if let Some((nonce, trace)) = traced {
+            println!();
+            match trace {
+                Some(tree) => print!("{}", psketch_obs::render_waterfall(&tree)),
+                None => println!("(server attached no trace — nonce replayed from cache?)"),
+            }
+            // The nonce line lets scripts fetch the same trace again
+            // later (`query trace` server-side ring, `cluster trace`).
+            println!("trace {}", psketch_obs::trace_hex(nonce));
         }
         return Ok(());
     }
@@ -463,6 +485,7 @@ fn replay_check(args: &Args) -> Result<(), CliError> {
             subset: subset.clone(),
             value: value.clone(),
             nonce,
+            profile: false,
         };
         wire::write_frame(&mut raw, &req.encode()).map_err(err)?;
         // Dropped here without reading: the response dies on the wire.

@@ -63,10 +63,11 @@
 
 use crate::shard::{ShardMap, ShardMapError};
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
-use psketch_obs::{self as obs, RegistrySnapshot};
-use psketch_protocol::{Announcement, CoordinatorStats, ShardIdentity, Submission};
+use psketch_obs::{self as obs, RegistrySnapshot, SpanNode};
+use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentity, Submission};
 use psketch_queries::{LinearAnswer, LinearQuery, PlanAccumulator, TermPlan};
 use psketch_server::{next_nonce, Client, ClientError, ServerStats};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -95,6 +96,11 @@ pub fn backoff_delay(base: Duration, attempt: u32) -> Duration {
         base.saturating_mul(factor)
     };
     delay.min(MAX_BACKOFF)
+}
+
+/// A `Duration` as waterfall nanoseconds (saturating).
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Router configuration.
@@ -228,6 +234,24 @@ pub struct ClusterPlanAnswer {
     pub term_estimates: Vec<Estimate>,
     /// Which shards the answer covers.
     pub coverage: Coverage,
+}
+
+/// A profiled cluster plan answer: the ordinary answer (bit-identical
+/// to an unprofiled [`Router::execute_plan`] over the same records)
+/// plus the stitched span waterfall and the nonce it is filed under in
+/// every responding shard's recent-trace ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterExplain {
+    /// The answer, exactly as the unprofiled path computes it.
+    pub answer: ClusterPlanAnswer,
+    /// The stitched trace: a `router:plan` root over `router:scatter`
+    /// (one `shard:<id>` wrapper per responding shard, each holding the
+    /// shard's own span subtree; wrapper self-time is the network +
+    /// queue + framing gap the shard never saw) and `router:merge`.
+    pub trace: SpanNode,
+    /// The query nonce — fetch the same per-shard subtrees later with
+    /// [`Router::trace`] while the shards' rings retain them.
+    pub nonce: u64,
 }
 
 /// The outcome of a cluster batch submission.
@@ -955,6 +979,21 @@ impl Router {
         });
         self.observe_plan_scatter(nonce, expected, scatter_started.elapsed(), &scattered);
         let (gathered, outages) = scattered?;
+        self.merge_plan_counts(plan, p, gathered, outages)
+    }
+
+    /// The merge half of a plan scatter, shared verbatim by the plain
+    /// and profiled paths so profiling cannot perturb a single float
+    /// operation: absorb integer counts in ascending shard order,
+    /// invert once per term, replay the plan's combination order.
+    fn merge_plan_counts(
+        &self,
+        plan: &TermPlan,
+        p: f64,
+        gathered: Vec<(u32, Vec<QueryCounts>)>,
+        outages: Vec<ShardOutage>,
+    ) -> Result<ClusterPlanAnswer, ClusterError> {
+        let expected = plan.terms().len();
         let mut acc = PlanAccumulator::for_plan(plan);
         let mut responding = Vec::with_capacity(gathered.len());
         for (shard, counts) in gathered {
@@ -981,6 +1020,116 @@ impl Router {
             term_estimates,
             coverage,
         })
+    }
+
+    /// As [`Router::execute_plan`] with profiling: every shard times its
+    /// own pipeline (wire `profile` flag) and the router stitches the
+    /// returned subtrees into one waterfall under a `router:plan` root —
+    /// `router:scatter` holds one `shard:<id>` wrapper per responding
+    /// shard whose duration is the dispatch→result round trip and whose
+    /// only child is the shard's own span tree, so the wrapper's *self*
+    /// time is the network + queue + framing gap no single node can see;
+    /// `router:merge` times the count merge, inversion, and plan
+    /// evaluation. The answer is **bit-identical** to the unprofiled
+    /// path: the scatter carries the same frames plus one flag byte, and
+    /// the merge runs the same code on the same integers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Router::execute_plan`].
+    pub fn explain_plan(&mut self, plan: &TermPlan) -> Result<ClusterExplain, ClusterError> {
+        let overall = Instant::now();
+        let p = self.bias()?;
+        let terms: Arc<Vec<ConjunctiveQuery>> = Arc::new(plan.terms().to_vec());
+        let expected = terms.len();
+        let nonce = next_nonce();
+        let shards: Vec<u32> = (0..self.map.len() as u32).collect();
+        // Per-shard attempt counts: the op runs once per (re)try, so a
+        // wrapper showing `attempt=3` had two transport failures behind
+        // its round-trip time.
+        let attempts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..self.map.len()).map(|_| AtomicU64::new(0)).collect());
+        let scatter_started = Instant::now();
+        let results = self.run_on_shards(&shards, Some(nonce), |shard| {
+            let terms = Arc::clone(&terms);
+            let attempts = Arc::clone(&attempts);
+            Box::new(move |client: &mut Client| {
+                attempts[shard as usize].fetch_add(1, Ordering::Relaxed);
+                client.partial_term_counts_traced(nonce, &terms)
+            })
+        });
+        let scatter_elapsed = scatter_started.elapsed();
+        let scattered = Self::gather(results);
+        self.observe_plan_scatter(nonce, expected, scatter_elapsed, &scattered);
+        let (gathered, outages) = scattered?;
+        let timings: Vec<(u32, Duration)> = self
+            .last_timings
+            .lock()
+            .expect("timing mutex poisoned")
+            .clone();
+        let mut counts = Vec::with_capacity(gathered.len());
+        let mut subtrees = Vec::with_capacity(gathered.len());
+        for (shard, (shard_counts, subtree)) in gathered {
+            counts.push((shard, shard_counts));
+            subtrees.push((shard, subtree));
+        }
+        let merge_started = Instant::now();
+        let answer = self.merge_plan_counts(plan, p, counts, outages)?;
+        let merge_elapsed = merge_started.elapsed();
+
+        let scatter_start_ns = dur_ns(scatter_started.duration_since(overall));
+        let mut scatter_span =
+            SpanNode::new("router:scatter", scatter_start_ns, dur_ns(scatter_elapsed));
+        for (shard, subtree) in subtrees {
+            let rpc_ns = timings
+                .iter()
+                .find(|&&(s, _)| s == shard)
+                .map_or(0, |&(_, d)| dur_ns(d));
+            let mut wrapper = SpanNode::new(format!("shard:{shard}"), scatter_start_ns, rpc_ns);
+            wrapper.attrs.push((
+                "attempt".into(),
+                attempts[shard as usize].load(Ordering::Relaxed),
+            ));
+            // A shard that skipped profiling (e.g. served the retry from
+            // its replay cache) contributes a childless wrapper: the
+            // round trip is still attributed, just not broken down.
+            if let Some(tree) = subtree {
+                wrapper.children.push(tree);
+            }
+            scatter_span.children.push(wrapper);
+        }
+        let merge_span = SpanNode::new(
+            "router:merge",
+            dur_ns(merge_started.duration_since(overall)),
+            dur_ns(merge_elapsed),
+        );
+        let mut root = SpanNode::new("router:plan", 0, dur_ns(overall.elapsed()));
+        root.attrs.push(("terms".into(), expected as u64));
+        root.attrs
+            .push(("shards".into(), answer.coverage.responding.len() as u64));
+        root.children.push(scatter_span);
+        root.children.push(merge_span);
+        Ok(ClusterExplain {
+            answer,
+            trace: root,
+            nonce,
+        })
+    }
+
+    /// Fetches a recently profiled query's span subtree from every
+    /// shard's recent-trace ring by nonce, in parallel. Shards that
+    /// never profiled the nonce (or have since evicted it) report
+    /// `None`; unreachable shards appear as outages.
+    ///
+    /// # Errors
+    ///
+    /// All-shards-down, refusals, misrouted nodes.
+    #[allow(clippy::type_complexity)]
+    pub fn trace(
+        &mut self,
+        nonce: u64,
+    ) -> Result<(Vec<(u32, Option<SpanNode>)>, Vec<ShardOutage>), ClusterError> {
+        self.scatter(Some(nonce), move |client: &mut Client| client.trace(nonce))
     }
 
     /// Emits the per-query trace record for a plan scatter: a DEBUG

@@ -427,7 +427,9 @@ impl ConjunctiveEstimator {
         let n = snapshot.len();
         let threads = self.thread_count(n.saturating_mul(values));
         let started = obs::enabled().then(Instant::now);
+        let span = scan_span(n, threads);
         let ones = self.distribution_ones_inner(snapshot, subset, values, threads);
+        drop(span);
         if let Some(started) = started {
             record_scan("distribution", n, threads, started.elapsed());
         }
@@ -493,7 +495,9 @@ impl ConjunctiveEstimator {
         let ids = snapshot.ids();
         let threads = self.thread_count(ids.len());
         let started = obs::enabled().then(Instant::now);
+        let span = scan_span(ids.len(), threads);
         let ones = self.count_ones_inner(snapshot, query, threads);
+        drop(span);
         if let Some(started) = started {
             record_scan("conjunctive", ids.len(), threads, started.elapsed());
         }
@@ -548,6 +552,17 @@ impl ConjunctiveEstimator {
 /// dispatcher chose — the three knobs that determine scan throughput.
 /// Called once per scan (never per record), so the registry lookup is
 /// noise next to the scan itself.
+/// Opens the per-scan profiling span (inert — one relaxed load — unless
+/// the request thread has a trace open). One span per scan, not per
+/// record: a profiled plan grows one `estimator:scan` child per term.
+fn scan_span(records: usize, threads: usize) -> obs::SpanGuard {
+    let span = obs::span::enter("estimator:scan");
+    span.attr("records", records as u64);
+    span.attr("threads", threads as u64);
+    span.attr("lanes", psketch_prf::lane_width() as u64);
+    span
+}
+
 fn record_scan(kind: &str, records: usize, threads: usize, elapsed: std::time::Duration) {
     let lanes = psketch_prf::lane_width().to_string();
     let threads = threads.to_string();

@@ -174,15 +174,25 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
     }
 }
 
+/// Total time a scraper gets to deliver its request head. The per-read
+/// timeout alone lets a client that trickles one byte every 1.9 s pin
+/// the accept thread for minutes; the overall deadline bounds the whole
+/// exchange.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(5);
+
 fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let started = std::time::Instant::now();
     let mut request = Vec::new();
     let mut buf = [0u8; 1024];
-    // Read until the header terminator or a 8 KiB cap — a scrape's
-    // request head fits either way.
+    // Read until the header terminator, an 8 KiB cap, or the overall
+    // deadline — a scrape's request head fits well inside all three.
     while !request.windows(4).any(|w| w == b"\r\n\r\n") && request.len() < 8192 {
+        if started.elapsed() >= REQUEST_DEADLINE {
+            break;
+        }
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => request.extend_from_slice(&buf[..n]),
@@ -196,13 +206,29 @@ fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
     let line = String::from_utf8_lossy(line);
     let mut parts = line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/") {
-        ("200 OK", render_prometheus(&crate::snapshot()))
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            String::from("only GET is supported\n"),
+        )
+    } else if path == "/metrics" || path == "/" {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            render_prometheus(&crate::snapshot()),
+        )
+    } else if path == "/traces" {
+        ("200 OK", "application/json", crate::span::ring_json())
     } else {
-        ("404 Not Found", String::from("try GET /metrics\n"))
+        (
+            "404 Not Found",
+            "text/plain",
+            String::from("try GET /metrics or GET /traces\n"),
+        )
     };
     let response = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -256,6 +282,27 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("response");
         assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+
+        // Non-GET methods 405.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+
+        // The trace ring serves as JSON.
+        crate::span::ring().store(0x51AB, crate::span::SpanNode::new("smoke", 0, 7));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /traces HTTP/1.0\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        assert!(response.contains(&crate::trace_hex(0x51AB)), "{response}");
         exposer.shutdown();
     }
 }

@@ -4,8 +4,9 @@
 //! crate in the workspace can afford it: a process-wide
 //! [`MetricsRegistry`] of named lock-free [`Counter`]s, [`Gauge`]s and
 //! log₂-bucketed [`Histogram`]s, a leveled structured [`log`]ger whose
-//! records carry a `trace_id`, and a Prometheus-text [`expose`] module
-//! (renderer + a tiny HTTP/1.0 `GET /metrics` listener).
+//! records carry a `trace_id`, per-query [`span`] traces with a bounded
+//! recent-trace ring, and a Prometheus-text [`expose`] module (renderer
+//! + a tiny HTTP/1.0 `GET /metrics` + `GET /traces` listener).
 //!
 //! Design rules, in force everywhere this crate is used:
 //!
@@ -34,9 +35,11 @@ pub mod expose;
 pub mod hist;
 pub mod log;
 pub mod registry;
+pub mod span;
 
 pub use hist::{Histogram, HistogramSnapshot, HistogramSummary, BUCKETS};
 pub use registry::{Counter, Gauge, MetricId, MetricsRegistry, RegistrySnapshot};
+pub use span::{render_waterfall, SpanGuard, SpanNode, Trace, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -134,6 +134,8 @@ impl QueryEngine {
         db: &SketchDb,
         terms: &[ConjunctiveQuery],
     ) -> Vec<(u64, u64)> {
+        let span = obs::span::enter("engine:count_terms");
+        span.attr("term_count", terms.len() as u64);
         let counts = self.estimator.count_terms_partial(db, terms);
         self.stats
             .terms_scanned
@@ -148,6 +150,7 @@ impl QueryEngine {
         plan: &TermPlan,
         memo: &mut HashMap<ConjunctiveQuery, Estimate>,
     ) -> Result<Vec<LinearAnswer>, Error> {
+        let span = obs::span::enter("engine:plan_exec");
         let started = obs::enabled().then(Instant::now);
         // Count only terms the memo does not already hold, in one batch.
         let missing: Vec<ConjunctiveQuery> = plan
@@ -179,6 +182,8 @@ impl QueryEngine {
             .terms_reused
             .fetch_add(references.saturating_sub(scanned), Ordering::Relaxed);
         self.stats.plans_executed.fetch_add(1, Ordering::Relaxed);
+        span.attr("term_count", plan.terms().len() as u64);
+        span.attr("memo_hits", references.saturating_sub(scanned));
         if let Some(started) = started {
             // Mirror the engine's memoization counters into the process
             // registry so a /metrics scrape can report memo hit rates

@@ -22,6 +22,7 @@
 
 use crate::wire::{self, Request, Response, ServerStats};
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Estimate};
+use psketch_obs::SpanNode;
 use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentity, Submission};
 use psketch_queries::{LinearAnswer, TermPlan};
 use std::io;
@@ -272,8 +273,35 @@ impl Client {
             subset,
             value,
             nonce,
+            profile: false,
         })? {
-            Response::Estimate(e) => Ok(e.into()),
+            Response::Estimate(e, _) => Ok(e.into()),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// As [`Client::conjunctive_nonced`] with profiling requested: the
+    /// server times its pipeline stages and attaches the span tree to
+    /// the response (`None` if the server skipped profiling, e.g. for a
+    /// replayed nonce). The estimate itself is bit-identical to the
+    /// unprofiled answer.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors (e.g. unknown subset).
+    pub fn conjunctive_traced(
+        &mut self,
+        nonce: u64,
+        subset: BitSubset,
+        value: BitString,
+    ) -> Result<(Estimate, Option<SpanNode>), ClientError> {
+        match self.request(&Request::Conjunctive {
+            subset,
+            value,
+            nonce,
+            profile: true,
+        })? {
+            Response::Estimate(e, trace) => Ok((e.into(), trace)),
             other => Self::unexpected(&other),
         }
     }
@@ -298,8 +326,35 @@ impl Client {
         nonce: u64,
         subset: BitSubset,
     ) -> Result<Vec<Estimate>, ClientError> {
-        match self.request(&Request::Distribution { subset, nonce })? {
-            Response::Distribution(es) => Ok(es.into_iter().map(Into::into).collect()),
+        match self.request(&Request::Distribution {
+            subset,
+            nonce,
+            profile: false,
+        })? {
+            Response::Distribution(es, _) => Ok(es.into_iter().map(Into::into).collect()),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// As [`Client::distribution_nonced`] with profiling requested; the
+    /// answers are bit-identical to the unprofiled path.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn distribution_traced(
+        &mut self,
+        nonce: u64,
+        subset: BitSubset,
+    ) -> Result<(Vec<Estimate>, Option<SpanNode>), ClientError> {
+        match self.request(&Request::Distribution {
+            subset,
+            nonce,
+            profile: true,
+        })? {
+            Response::Distribution(es, trace) => {
+                Ok((es.into_iter().map(Into::into).collect(), trace))
+            }
             other => Self::unexpected(&other),
         }
     }
@@ -330,9 +385,33 @@ impl Client {
         match self.request(&Request::Plan {
             plan: plan.clone(),
             nonce,
+            profile: false,
         })? {
-            Response::PlanAnswers(answers) => {
+            Response::PlanAnswers(answers, _) => {
                 Ok(answers.into_iter().map(LinearAnswer::from).collect())
+            }
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// As [`Client::execute_plan_nonced`] with profiling requested; the
+    /// answers are bit-identical to the unprofiled path.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn execute_plan_traced(
+        &mut self,
+        nonce: u64,
+        plan: &TermPlan,
+    ) -> Result<(Vec<LinearAnswer>, Option<SpanNode>), ClientError> {
+        match self.request(&Request::Plan {
+            plan: plan.clone(),
+            nonce,
+            profile: true,
+        })? {
+            Response::PlanAnswers(answers, trace) => {
+                Ok((answers.into_iter().map(LinearAnswer::from).collect(), trace))
             }
             other => Self::unexpected(&other),
         }
@@ -404,8 +483,47 @@ impl Client {
         match self.request(&Request::PartialTermCounts {
             terms: terms.to_vec(),
             nonce,
+            profile: false,
         })? {
-            Response::PartialTermCounts(counts) => Ok(counts),
+            Response::PartialTermCounts(counts, _) => Ok(counts),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// As [`Client::partial_term_counts_nonced`] with profiling
+    /// requested — the scatter half of a router's `EXPLAIN ANALYZE`.
+    /// The counts are bit-identical to the unprofiled path.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn partial_term_counts_traced(
+        &mut self,
+        nonce: u64,
+        terms: &[ConjunctiveQuery],
+    ) -> Result<(Vec<QueryCounts>, Option<SpanNode>), ClientError> {
+        match self.request(&Request::PartialTermCounts {
+            terms: terms.to_vec(),
+            nonce,
+            profile: true,
+        })? {
+            Response::PartialTermCounts(counts, trace) => Ok((counts, trace)),
+            other => Self::unexpected(&other),
+        }
+    }
+
+    /// Fetches a recently completed span trace from the server's
+    /// bounded trace ring by the nonce of the query that produced it.
+    /// Returns `None` when the ring holds no trace for that nonce (it
+    /// was never profiled, or has since been evicted). Uncharged: a
+    /// trace is metadata about a query already paid for.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn trace(&mut self, nonce: u64) -> Result<Option<SpanNode>, ClientError> {
+        match self.request(&Request::Trace { nonce })? {
+            Response::Trace(tree) => Ok(tree),
             other => Self::unexpected(&other),
         }
     }

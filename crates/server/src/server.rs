@@ -16,7 +16,7 @@ use crate::wal::{Wal, WalConfig, WalError};
 use crate::wire::{self, codes, EstimateWire, Request, Response, PROTOCOL_VERSION};
 use parking_lot::Mutex;
 use psketch_core::{ConjunctiveQuery, Error, PrivacyAccountant};
-use psketch_obs::{self as obs, expose::MetricsExposer, Counter, Histogram};
+use psketch_obs::{self as obs, expose::MetricsExposer, Counter, Histogram, SpanNode};
 use psketch_protocol::{Announcement, Coordinator, QueryCounts, ShardIdentity};
 use psketch_queries::QueryEngine;
 use std::collections::{HashMap, VecDeque};
@@ -327,6 +327,13 @@ struct BudgetBook {
     replays: AtomicU64,
     /// Requests refused over budget.
     denials: AtomicU64,
+    /// Registry mirrors of the three counters above, cached at
+    /// construction so the charge path never takes a registry lock —
+    /// budget exhaustion becomes visible on `/metrics` before analysts
+    /// start hitting `BUDGET` errors.
+    obs_charged_terms: Arc<Counter>,
+    obs_replays: Arc<Counter>,
+    obs_denials: Arc<Counter>,
 }
 
 /// Outcome of a budget gate check, before any evaluation.
@@ -345,6 +352,11 @@ enum Charge {
 
 impl BudgetBook {
     fn new(epsilon: f64, p: f64) -> Self {
+        // The per-analyst ε ceiling is a configuration gauge, exported
+        // once in micro-ε so the text format stays integral.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        obs::gauge("psketch_budget_epsilon_per_analyst_micro", &[])
+            .set((epsilon * 1e6).round().max(0.0) as u64);
         Self {
             epsilon,
             p,
@@ -354,6 +366,9 @@ impl BudgetBook {
             charged_terms: AtomicU64::new(0),
             replays: AtomicU64::new(0),
             denials: AtomicU64::new(0),
+            obs_charged_terms: obs::counter("psketch_budget_charged_terms_total", &[]),
+            obs_replays: obs::counter("psketch_budget_replays_total", &[]),
+            obs_denials: obs::counter("psketch_budget_denials_total", &[]),
         }
     }
 
@@ -384,6 +399,7 @@ impl BudgetBook {
                 // cached: serve that exact response free.
                 ReplayLookup::Ready(cached) => {
                     self.replays.fetch_add(1, Ordering::Relaxed);
+                    self.obs_replays.inc();
                     return Ok(Charge::Replay(cached));
                 }
                 // Paid for, but the original evaluation hasn't finished
@@ -407,10 +423,12 @@ impl BudgetBook {
                 }
                 self.charged_terms
                     .fetch_add(u64::from(estimates), Ordering::Relaxed);
+                self.obs_charged_terms.add(u64::from(estimates));
                 Ok(Charge::Evaluate)
             }
             Err(e) => {
                 self.denials.fetch_add(1, Ordering::Relaxed);
+                self.obs_denials.inc();
                 Err(e)
             }
         }
@@ -1056,6 +1074,37 @@ fn observe_request(
     }
 }
 
+/// Opens the shard-local span trace for a profiled charging request.
+/// Called only after the budget gate opened — refused requests and
+/// replays (served from cache, nothing re-executed) are never profiled.
+/// Nonce `0` opts out: the ring is keyed by nonce, so a trace without
+/// one could never be fetched back.
+fn begin_trace(
+    state: &ServiceState,
+    profile: bool,
+    nonce: u64,
+    root: &'static str,
+) -> Option<obs::Trace> {
+    (profile && nonce != 0).then(|| {
+        let trace = obs::Trace::begin(nonce, root);
+        if let Some(identity) = state.shard {
+            trace.root_attr("shard", u64::from(identity.shard_id));
+        }
+        trace
+    })
+}
+
+/// Closes a profiled request's trace: stores the tree in the
+/// recent-trace ring (the `Trace` frame and `/traces` surface) and
+/// returns it for the in-band response attachment.
+fn finish_trace(trace: Option<obs::Trace>, nonce: u64) -> Option<SpanNode> {
+    trace.map(|t| {
+        let tree = t.finish();
+        obs::span::ring().store(nonce, tree.clone());
+        tree
+    })
+}
+
 #[allow(clippy::too_many_lines)]
 fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) -> Served {
     match request {
@@ -1067,6 +1116,7 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             subset,
             value,
             nonce,
+            profile,
         } => {
             let query = match ConjunctiveQuery::new(subset, value) {
                 Ok(q) => q,
@@ -1077,17 +1127,22 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                 Gate::Replay(bytes) => return Served::Raw(bytes),
                 Gate::Refuse(refusal) => return Served::Response(refusal),
             }
+            let trace = begin_trace(state, profile, nonce, "shard:conjunctive");
             let response = match state
                 .engine
                 .estimator()
                 .estimate(state.coordinator.pool(), &query)
             {
-                Ok(e) => Response::Estimate(EstimateWire::from(e)),
+                Ok(e) => Response::Estimate(EstimateWire::from(e), finish_trace(trace, nonce)),
                 Err(e) => query_error(&e),
             };
             serve_charged(state, conn, nonce, &response)
         }
-        Request::Distribution { subset, nonce } => {
+        Request::Distribution {
+            subset,
+            nonce,
+            profile,
+        } => {
             if subset.len() > MAX_DISTRIBUTION_WIDTH {
                 return Served::Response(Response::Error {
                     code: codes::BAD_REQUEST,
@@ -1102,17 +1157,25 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                 Gate::Replay(bytes) => return Served::Raw(bytes),
                 Gate::Refuse(refusal) => return Served::Response(refusal),
             }
+            let trace = begin_trace(state, profile, nonce, "shard:distribution");
             let response = match state
                 .engine
                 .estimator()
                 .estimate_distribution(state.coordinator.pool(), &subset)
             {
-                Ok(es) => Response::Distribution(es.into_iter().map(EstimateWire::from).collect()),
+                Ok(es) => Response::Distribution(
+                    es.into_iter().map(EstimateWire::from).collect(),
+                    finish_trace(trace, nonce),
+                ),
                 Err(e) => query_error(&e),
             };
             serve_charged(state, conn, nonce, &response)
         }
-        Request::Plan { plan, nonce } => {
+        Request::Plan {
+            plan,
+            nonce,
+            profile,
+        } => {
             if let Some(refusal) = check_plan_size(plan.cost()) {
                 return Served::Response(refusal);
             }
@@ -1128,12 +1191,14 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                 Gate::Replay(bytes) => return Served::Raw(bytes),
                 Gate::Refuse(refusal) => return Served::Response(refusal),
             }
+            let trace = begin_trace(state, profile, nonce, "shard:plan");
             let response = match state.engine.execute_plan(state.coordinator.pool(), &plan) {
                 Ok(answers) => Response::PlanAnswers(
                     answers
                         .into_iter()
                         .map(wire::PlanAnswerWire::from)
                         .collect(),
+                    finish_trace(trace, nonce),
                 ),
                 Err(e) => query_error(&e),
             };
@@ -1145,7 +1210,11 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             conn.analyst = analyst;
             Served::Response(Response::Hello { shard: state.shard })
         }
-        Request::PartialTermCounts { terms, nonce } => {
+        Request::PartialTermCounts {
+            terms,
+            nonce,
+            profile,
+        } => {
             if let Some(refusal) = check_plan_size(terms.len()) {
                 return Served::Response(refusal);
             }
@@ -1154,6 +1223,10 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                 Gate::Open => {}
                 Gate::Replay(bytes) => return Served::Raw(bytes),
                 Gate::Refuse(refusal) => return Served::Response(refusal),
+            }
+            let trace = begin_trace(state, profile, nonce, "shard:partial_counts");
+            if let Some(t) = trace.as_ref() {
+                t.root_attr("term_count", terms.len() as u64);
             }
             // Shard semantics: a subset this node holds no records for
             // is an empty share `(0, 0)` that merges as a no-op, not an
@@ -1166,6 +1239,7 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
                     .into_iter()
                     .map(|(ones, population)| QueryCounts { ones, population })
                     .collect(),
+                finish_trace(trace, nonce),
             );
             serve_charged(state, conn, nonce, &response)
         }
@@ -1175,6 +1249,12 @@ fn handle_request(state: &ServiceState, conn: &mut ConnState, request: Request) 
             state.budget.as_ref(),
         ))),
         Request::Metrics => Served::Response(Response::Metrics(obs::snapshot())),
+        // Profiles are operational metadata, not query answers: fetching
+        // one is uncharged (the release it describes was paid for when
+        // the profiled query ran).
+        Request::Trace { nonce } => {
+            Served::Response(Response::Trace(obs::span::ring().fetch(nonce)))
+        }
     }
 }
 
@@ -1196,16 +1276,26 @@ fn check_plan_size(terms: usize) -> Option<Response> {
 /// clients decode and land in parallel.
 fn ingest(state: &ServiceState, subs: &[psketch_protocol::Submission]) -> Response {
     let outcome = match &state.wal {
-        None => state.coordinator.accept_batch(subs.iter()),
+        None => {
+            let _span = obs::span::enter("pool:apply");
+            state.coordinator.accept_batch(subs.iter())
+        }
         Some(wal_mutex) => {
             let mut wal = wal_mutex.lock();
-            if let Err(e) = wal.record_batch(subs) {
-                return Response::Error {
-                    code: codes::INTERNAL,
-                    message: format!("write-ahead log append failed: {e}"),
-                };
+            {
+                let span = obs::span::enter("wal:commit");
+                span.attr("batch", subs.len() as u64);
+                if let Err(e) = wal.record_batch(subs) {
+                    return Response::Error {
+                        code: codes::INTERNAL,
+                        message: format!("write-ahead log append failed: {e}"),
+                    };
+                }
             }
-            let outcome = state.coordinator.accept_batch(subs.iter());
+            let outcome = {
+                let _span = obs::span::enter("pool:apply");
+                state.coordinator.accept_batch(subs.iter())
+            };
             if wal.should_compact() {
                 if let Err(e) = wal.compact(&state.coordinator) {
                     // The log still holds everything; compaction failure

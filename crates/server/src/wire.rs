@@ -24,7 +24,8 @@
 //! [`codes::UNSUPPORTED_VERSION`] without guessing at its body layout.
 
 use psketch_core::{BitString, BitSubset, ConjunctiveQuery, Error, Estimate, UserId};
-use psketch_obs::{HistogramSnapshot, MetricId, RegistrySnapshot};
+use psketch_obs::span::MAX_SPAN_ATTRS;
+use psketch_obs::{HistogramSnapshot, MetricId, RegistrySnapshot, SpanNode};
 use psketch_protocol::{Announcement, CoordinatorStats, QueryCounts, ShardIdentity, Submission};
 use psketch_queries::{LinearAnswer, TermPlan};
 use std::io::{self, Read, Write};
@@ -59,7 +60,13 @@ use std::io::{self, Read, Write};
 ///   the node's full [`psketch_obs`] registry snapshot (counters,
 ///   gauges, log₂ latency histograms) so `cluster status --metrics`
 ///   can merge histograms cluster-wide.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// * 6 — the profiling revision: every charging query frame carries a
+///   **profile flag**; when set, the server records its execution as a
+///   span trace keyed by the request nonce, stores it in a bounded
+///   recent-trace ring, and attaches the serialized span tree to the
+///   response (the in-band half of `EXPLAIN ANALYZE`). A new `Trace`
+///   frame fetches a recently completed trace from the ring by nonce.
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Hard ceiling on the terms of one plan (or term-counts batch); larger
 /// plans are refused as [`codes::BAD_REQUEST`] before any scan. A
@@ -71,6 +78,13 @@ pub const MAX_PLAN_TERMS: usize = 1 << 16;
 /// message, and pre-allocating from an attacker-supplied length is a
 /// classic memory DoS).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Hard ceiling on the nodes of one serialized span tree. A shard-local
+/// trace caps at [`psketch_obs::span::MAX_TRACE_SPANS`] spans; a
+/// router-stitched waterfall holds one such subtree per shard plus its
+/// own scatter/merge spans, so this bound leaves room for wide clusters
+/// while still refusing hostile counts before allocation.
+pub const MAX_SPAN_NODES: usize = 1 << 14;
 
 /// Error codes carried by [`Response::Error`] frames.
 pub mod codes {
@@ -113,6 +127,7 @@ const REQ_HELLO: u8 = 0x08;
 const REQ_PLAN_COUNTS: u8 = 0x09;
 const REQ_SERVER_STATS: u8 = 0x0B;
 const REQ_METRICS: u8 = 0x0C;
+const REQ_TRACE: u8 = 0x0D;
 const RESP_ANNOUNCEMENT: u8 = 0x81;
 const RESP_SUBMIT_ACK: u8 = 0x82;
 const RESP_ESTIMATE: u8 = 0x83;
@@ -124,12 +139,13 @@ const RESP_HELLO: u8 = 0x88;
 const RESP_PLAN_COUNTS: u8 = 0x89;
 const RESP_SERVER_STATS: u8 = 0x8B;
 const RESP_METRICS: u8 = 0x8C;
+const RESP_TRACE: u8 = 0x8D;
 const RESP_ERROR: u8 = 0xFF;
 
 /// Highest request kind byte (the server keeps one per-kind request
 /// counter for each of `0x01..=MAX_REQUEST_KIND`; `0x0A` is a retired
 /// v2 kind and stays unused).
-pub const MAX_REQUEST_KIND: u8 = REQ_METRICS;
+pub const MAX_REQUEST_KIND: u8 = REQ_TRACE;
 
 /// Human-readable name of a request kind byte (for stats display).
 #[must_use]
@@ -146,6 +162,7 @@ pub fn request_kind_name(kind: u8) -> Option<&'static str> {
         REQ_PLAN_COUNTS => "plan-counts",
         REQ_SERVER_STATS => "server-stats",
         REQ_METRICS => "metrics",
+        REQ_TRACE => "trace",
         _ => return None,
     })
 }
@@ -255,6 +272,9 @@ pub enum Request {
         value: BitString,
         /// Charge-once replay identity (`0` = no replay protection).
         nonce: u64,
+        /// Record a span trace of this execution and attach it to the
+        /// response.
+        profile: bool,
     },
     /// Estimate the full `2^k` value distribution over one subset (the
     /// pre-plan direct path).
@@ -263,6 +283,9 @@ pub enum Request {
         subset: BitSubset,
         /// Charge-once replay identity (`0` = no replay protection).
         nonce: u64,
+        /// Record a span trace of this execution and attach it to the
+        /// response.
+        profile: bool,
     },
     /// Execute a compiled query plan server-side: every query family —
     /// linear combinations, DNF, intervals, means, moments, trees,
@@ -274,6 +297,9 @@ pub enum Request {
         plan: TermPlan,
         /// Charge-once replay identity (`0` = no replay protection).
         nonce: u64,
+        /// Record a span trace of this execution and attach it to the
+        /// response.
+        profile: bool,
     },
     /// Fetch the coordinator's ingestion counters.
     Stats,
@@ -294,6 +320,9 @@ pub enum Request {
         terms: Vec<ConjunctiveQuery>,
         /// Charge-once replay identity (`0` = no replay protection).
         nonce: u64,
+        /// Record a span trace of this execution and attach it to the
+        /// response.
+        profile: bool,
     },
     /// Fetch server-level observability counters (uptime, per-frame-kind
     /// request counts, plan/memoization counters, ε-ledger counters).
@@ -301,6 +330,13 @@ pub enum Request {
     /// Fetch the node's full metrics-registry snapshot (counters,
     /// gauges, log₂ latency histograms) for cluster-wide merging.
     Metrics,
+    /// Fetch a recently completed span trace from the server's bounded
+    /// ring by its wire nonce (uncharged — profiles are metadata, not
+    /// query answers).
+    Trace {
+        /// The nonce the trace was keyed by.
+        nonce: u64,
+    },
 }
 
 /// A wire-level estimate (mirrors [`psketch_core::Estimate`]).
@@ -381,14 +417,15 @@ pub enum Response {
         /// Submissions rejected (malformed or duplicate).
         rejected: u64,
     },
-    /// Answer to a [`Request::Conjunctive`].
-    Estimate(EstimateWire),
+    /// Answer to a [`Request::Conjunctive`]; the span-tree attachment
+    /// is present iff the request asked to be profiled.
+    Estimate(EstimateWire, Option<SpanNode>),
     /// Answer to a [`Request::Distribution`], indexed by the LSB-first
-    /// integer encoding of the value.
-    Distribution(Vec<EstimateWire>),
+    /// integer encoding of the value, plus the optional profile.
+    Distribution(Vec<EstimateWire>, Option<SpanNode>),
     /// Answer to a [`Request::Plan`]: one answer per plan output, in
-    /// plan order.
-    PlanAnswers(Vec<PlanAnswerWire>),
+    /// plan order, plus the optional profile.
+    PlanAnswers(Vec<PlanAnswerWire>, Option<SpanNode>),
     /// Answer to a [`Request::Stats`].
     Stats(CoordinatorStats),
     /// Answer to a [`Request::Ping`].
@@ -400,14 +437,17 @@ pub enum Response {
         shard: Option<ShardIdentity>,
     },
     /// Answer to a [`Request::PartialTermCounts`], aligned positionally
-    /// with the request's terms.
-    PartialTermCounts(Vec<QueryCounts>),
+    /// with the request's terms, plus the optional profile.
+    PartialTermCounts(Vec<QueryCounts>, Option<SpanNode>),
     /// Answer to a [`Request::ServerStats`].
     ServerStats(ServerStats),
     /// Answer to a [`Request::Metrics`]: the node's metrics-registry
     /// snapshot, mergeable across shards
     /// ([`psketch_obs::RegistrySnapshot::merge`]).
     Metrics(RegistrySnapshot),
+    /// Answer to a [`Request::Trace`]: the stored span tree, or `None`
+    /// if the nonce has aged out of the ring (or was never profiled).
+    Trace(Option<SpanNode>),
     /// The request failed; see [`codes`].
     Error {
         /// Machine-readable error code.
@@ -853,6 +893,135 @@ fn get_estimate(dec: &mut Dec<'_>) -> Result<EstimateWire, Error> {
     })
 }
 
+/// Sentinel parent index marking the root node of a serialized span
+/// tree.
+const SPAN_NO_PARENT: u32 = u32::MAX;
+
+/// Encodes a span tree **flat, in preorder**: `u32` node count, then
+/// per node `u32` parent index ([`SPAN_NO_PARENT`] for the root) ‖
+/// name ‖ `u64` start ‖ `u64` duration ‖ `u8` attr count ‖ attrs. The
+/// flat shape keeps decoding non-recursive — a hostile deeply nested
+/// tree cannot overflow the stack — and preorder guarantees every
+/// parent index precedes its children, which the decoder checks.
+fn put_span_tree(buf: &mut Vec<u8>, root: &SpanNode) {
+    let mut flat: Vec<(&SpanNode, u32)> = Vec::new();
+    let mut stack: Vec<(&SpanNode, u32)> = vec![(root, SPAN_NO_PARENT)];
+    while let Some((node, parent)) = stack.pop() {
+        let index = u32::try_from(flat.len()).expect("span count fits u32");
+        flat.push((node, parent));
+        // Reverse push keeps children in recording order in preorder.
+        for child in node.children.iter().rev() {
+            stack.push((child, index));
+        }
+    }
+    put_len(buf, flat.len());
+    for (node, parent) in flat {
+        put_u32(buf, parent);
+        put_string(buf, &node.name);
+        put_u64(buf, node.start_ns);
+        put_u64(buf, node.duration_ns);
+        let attrs = &node.attrs[..node.attrs.len().min(MAX_SPAN_ATTRS)];
+        buf.push(u8::try_from(attrs.len()).expect("attr cap fits u8"));
+        for (key, value) in attrs {
+            put_string(buf, key);
+            put_u64(buf, *value);
+        }
+    }
+}
+
+fn get_span_tree(dec: &mut Dec<'_>) -> Result<SpanNode, Error> {
+    // Minimal node: parent (4) + empty name (4) + start (8) +
+    // duration (8) + attr count (1).
+    let n = dec.count(25)?;
+    if n == 0 {
+        return Err(codec_err("span tree with zero nodes"));
+    }
+    if n > MAX_SPAN_NODES {
+        return Err(codec_err(format!(
+            "span tree declares {n} nodes (limit {MAX_SPAN_NODES})"
+        )));
+    }
+    let mut parents = Vec::with_capacity(n);
+    let mut slots: Vec<Option<SpanNode>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let parent = dec.u32()?;
+        if i == 0 {
+            if parent != SPAN_NO_PARENT {
+                return Err(codec_err("root span claims a parent"));
+            }
+        } else if parent as usize >= i {
+            // Also rejects SPAN_NO_PARENT on non-roots: preorder means
+            // a parent always precedes its children.
+            return Err(codec_err(format!(
+                "span {i} references parent {parent} at or after itself"
+            )));
+        }
+        parents.push(parent as usize);
+        let name = dec.string()?;
+        let start_ns = dec.u64()?;
+        let duration_ns = dec.u64()?;
+        let n_attrs = dec.u8()? as usize;
+        if n_attrs > MAX_SPAN_ATTRS {
+            return Err(codec_err(format!(
+                "span declares {n_attrs} attrs (limit {MAX_SPAN_ATTRS})"
+            )));
+        }
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push((dec.string()?, dec.u64()?));
+        }
+        slots.push(Some(SpanNode {
+            name,
+            start_ns,
+            duration_ns,
+            attrs,
+            children: Vec::new(),
+        }));
+    }
+    // Assemble back to front: every node is attached after all of its
+    // own children were (parents precede children in preorder).
+    for i in (1..n).rev() {
+        let mut node = slots[i].take().expect("each slot taken once");
+        node.children.reverse();
+        slots[parents[i]]
+            .as_mut()
+            .expect("parent precedes child")
+            .children
+            .push(node);
+    }
+    let mut root = slots[0].take().expect("root slot");
+    root.children.reverse();
+    Ok(root)
+}
+
+/// Encodes an optional span-tree attachment (presence byte + tree).
+fn put_span_attachment(buf: &mut Vec<u8>, tree: Option<&SpanNode>) {
+    match tree {
+        None => buf.push(0),
+        Some(root) => {
+            buf.push(1);
+            put_span_tree(buf, root);
+        }
+    }
+}
+
+fn get_span_attachment(dec: &mut Dec<'_>) -> Result<Option<SpanNode>, Error> {
+    match dec.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_span_tree(dec)?)),
+        other => Err(codec_err(format!("invalid span-presence byte {other}"))),
+    }
+}
+
+/// Decodes a strict boolean byte (the profile flag).
+fn get_bool(dec: &mut Dec<'_>) -> Result<bool, Error> {
+    match dec.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(codec_err(format!("invalid boolean byte {other}"))),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Message payloads.
 // ---------------------------------------------------------------------
@@ -893,22 +1062,34 @@ impl Request {
                 subset,
                 value,
                 nonce,
+                profile,
             } => {
                 let mut buf = payload(REQ_CONJUNCTIVE);
                 put_u64(&mut buf, *nonce);
+                buf.push(u8::from(*profile));
                 put_subset(&mut buf, subset);
                 put_bitstring(&mut buf, value);
                 buf
             }
-            Self::Distribution { subset, nonce } => {
+            Self::Distribution {
+                subset,
+                nonce,
+                profile,
+            } => {
                 let mut buf = payload(REQ_DISTRIBUTION);
                 put_u64(&mut buf, *nonce);
+                buf.push(u8::from(*profile));
                 put_subset(&mut buf, subset);
                 buf
             }
-            Self::Plan { plan, nonce } => {
+            Self::Plan {
+                plan,
+                nonce,
+                profile,
+            } => {
                 let mut buf = payload(REQ_PLAN);
                 put_u64(&mut buf, *nonce);
+                buf.push(u8::from(*profile));
                 put_plan(&mut buf, plan);
                 buf
             }
@@ -919,14 +1100,24 @@ impl Request {
                 put_u64(&mut buf, *analyst);
                 buf
             }
-            Self::PartialTermCounts { terms, nonce } => {
+            Self::PartialTermCounts {
+                terms,
+                nonce,
+                profile,
+            } => {
                 let mut buf = payload(REQ_PLAN_COUNTS);
                 put_u64(&mut buf, *nonce);
+                buf.push(u8::from(*profile));
                 put_terms(&mut buf, terms);
                 buf
             }
             Self::ServerStats => payload(REQ_SERVER_STATS),
             Self::Metrics => payload(REQ_METRICS),
+            Self::Trace { nonce } => {
+                let mut buf = payload(REQ_TRACE);
+                put_u64(&mut buf, *nonce);
+                buf
+            }
         }
     }
 
@@ -948,15 +1139,18 @@ impl Request {
             REQ_SUBMIT => Self::SubmitBatch(get_submissions(&mut dec)?),
             REQ_CONJUNCTIVE => Self::Conjunctive {
                 nonce: dec.u64()?,
+                profile: get_bool(&mut dec)?,
                 subset: get_subset(&mut dec)?,
                 value: get_bitstring(&mut dec)?,
             },
             REQ_DISTRIBUTION => Self::Distribution {
                 nonce: dec.u64()?,
+                profile: get_bool(&mut dec)?,
                 subset: get_subset(&mut dec)?,
             },
             REQ_PLAN => Self::Plan {
                 nonce: dec.u64()?,
+                profile: get_bool(&mut dec)?,
                 plan: get_plan(&mut dec)?,
             },
             REQ_STATS => Self::Stats,
@@ -966,10 +1160,12 @@ impl Request {
             },
             REQ_PLAN_COUNTS => Self::PartialTermCounts {
                 nonce: dec.u64()?,
+                profile: get_bool(&mut dec)?,
                 terms: get_terms(&mut dec)?,
             },
             REQ_SERVER_STATS => Self::ServerStats,
             REQ_METRICS => Self::Metrics,
+            REQ_TRACE => Self::Trace { nonce: dec.u64()? },
             other => return Err(codec_err(format!("unknown request kind {other:#04x}"))),
         };
         dec.finish()?;
@@ -993,20 +1189,22 @@ impl Response {
                 put_u64(&mut buf, *rejected);
                 buf
             }
-            Self::Estimate(e) => {
+            Self::Estimate(e, trace) => {
                 let mut buf = payload(RESP_ESTIMATE);
                 put_estimate(&mut buf, e);
+                put_span_attachment(&mut buf, trace.as_ref());
                 buf
             }
-            Self::Distribution(es) => {
+            Self::Distribution(es, trace) => {
                 let mut buf = payload(RESP_DISTRIBUTION);
                 put_len(&mut buf, es.len());
                 for e in es {
                     put_estimate(&mut buf, e);
                 }
+                put_span_attachment(&mut buf, trace.as_ref());
                 buf
             }
-            Self::PlanAnswers(answers) => {
+            Self::PlanAnswers(answers, trace) => {
                 let mut buf = payload(RESP_PLAN);
                 put_len(&mut buf, answers.len());
                 for a in answers {
@@ -1014,6 +1212,7 @@ impl Response {
                     put_u64(&mut buf, a.queries_used);
                     put_u64(&mut buf, a.min_sample_size);
                 }
+                put_span_attachment(&mut buf, trace.as_ref());
                 buf
             }
             Self::Stats(stats) => {
@@ -1037,13 +1236,14 @@ impl Response {
                 }
                 buf
             }
-            Self::PartialTermCounts(counts) => {
+            Self::PartialTermCounts(counts, trace) => {
                 let mut buf = payload(RESP_PLAN_COUNTS);
                 put_len(&mut buf, counts.len());
                 for c in counts {
                     put_u64(&mut buf, c.ones);
                     put_u64(&mut buf, c.population);
                 }
+                put_span_attachment(&mut buf, trace.as_ref());
                 buf
             }
             Self::ServerStats(stats) => {
@@ -1066,6 +1266,11 @@ impl Response {
             Self::Metrics(snap) => {
                 let mut buf = payload(RESP_METRICS);
                 put_registry_snapshot(&mut buf, snap);
+                buf
+            }
+            Self::Trace(tree) => {
+                let mut buf = payload(RESP_TRACE);
+                put_span_attachment(&mut buf, tree.as_ref());
                 buf
             }
             Self::Error { code, message } => {
@@ -1096,14 +1301,17 @@ impl Response {
                 accepted: dec.u64()?,
                 rejected: dec.u64()?,
             },
-            RESP_ESTIMATE => Self::Estimate(get_estimate(&mut dec)?),
+            RESP_ESTIMATE => {
+                let e = get_estimate(&mut dec)?;
+                Self::Estimate(e, get_span_attachment(&mut dec)?)
+            }
             RESP_DISTRIBUTION => {
                 let n = dec.count(32)?;
                 let mut es = Vec::with_capacity(n);
                 for _ in 0..n {
                     es.push(get_estimate(&mut dec)?);
                 }
-                Self::Distribution(es)
+                Self::Distribution(es, get_span_attachment(&mut dec)?)
             }
             RESP_PLAN => {
                 let n = dec.count(24)?;
@@ -1115,7 +1323,7 @@ impl Response {
                         min_sample_size: dec.u64()?,
                     });
                 }
-                Self::PlanAnswers(answers)
+                Self::PlanAnswers(answers, get_span_attachment(&mut dec)?)
             }
             RESP_STATS => Self::Stats(CoordinatorStats {
                 accepted: dec.u64()?,
@@ -1146,7 +1354,7 @@ impl Response {
                         population: dec.u64()?,
                     });
                 }
-                Self::PartialTermCounts(counts)
+                Self::PartialTermCounts(counts, get_span_attachment(&mut dec)?)
             }
             RESP_SERVER_STATS => {
                 let uptime_secs = dec.u64()?;
@@ -1173,6 +1381,7 @@ impl Response {
                 })
             }
             RESP_METRICS => Self::Metrics(get_registry_snapshot(&mut dec)?),
+            RESP_TRACE => Self::Trace(get_span_attachment(&mut dec)?),
             RESP_ERROR => Self::Error {
                 code: dec.u16()?,
                 message: dec.string()?,
@@ -1303,6 +1512,26 @@ mod tests {
         }
     }
 
+    /// A small span tree exercising nesting, attrs and empty names.
+    fn deep_tree() -> SpanNode {
+        let mut root = SpanNode::new("router:plan", 0, 9_000_000);
+        root.attrs.push(("terms".into(), 16));
+        root.attrs.push(("shards".into(), 3));
+        let mut scatter = SpanNode::new("router:scatter", 1_000, 7_000_000);
+        for shard in 0..3u64 {
+            let mut wrapper = SpanNode::new(format!("shard:{shard}"), 2_000, 6_000_000);
+            wrapper.attrs.push(("attempt".into(), 1));
+            let mut local = SpanNode::new("shard:partial_counts", 0, 5_000_000);
+            local.children.push(SpanNode::new("", 10, 20));
+            wrapper.children.push(local);
+            scatter.children.push(wrapper);
+        }
+        root.children.push(scatter);
+        root.children
+            .push(SpanNode::new("router:merge", 7_500_000, u64::MAX));
+        root
+    }
+
     fn roundtrip_request(req: &Request) {
         let payload = req.encode();
         assert_eq!(&Request::decode(&payload).unwrap(), req);
@@ -1326,10 +1555,18 @@ mod tests {
             subset: BitSubset::new(vec![0, 3]).unwrap(),
             value: BitString::from_bits(&[true, false]),
             nonce: 0xDEAD_BEEF,
+            profile: false,
+        });
+        roundtrip_request(&Request::Conjunctive {
+            subset: BitSubset::new(vec![0, 3]).unwrap(),
+            value: BitString::from_bits(&[true, false]),
+            nonce: 0xDEAD_BEEF,
+            profile: true,
         });
         roundtrip_request(&Request::Distribution {
             subset: BitSubset::range(0, 4),
             nonce: 7,
+            profile: true,
         });
         let mut lq = psketch_queries::LinearQuery::new("wire roundtrip");
         lq.constant = -0.5;
@@ -1340,10 +1577,12 @@ mod tests {
         roundtrip_request(&Request::Plan {
             plan: TermPlan::compile(&lq),
             nonce: u64::MAX,
+            profile: true,
         });
         roundtrip_request(&Request::Plan {
             plan: TermPlan::for_distribution(&BitSubset::range(0, 3)),
             nonce: 0,
+            profile: false,
         });
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Ping);
@@ -1358,9 +1597,25 @@ mod tests {
                 ConjunctiveQuery::new(BitSubset::single(1), BitString::from_bits(&[true])).unwrap(),
             ],
             nonce: 42,
+            profile: true,
         });
         roundtrip_request(&Request::ServerStats);
         roundtrip_request(&Request::Metrics);
+        roundtrip_request(&Request::Trace { nonce: 0xFEED });
+    }
+
+    #[test]
+    fn profile_flag_byte_is_strict() {
+        // The profile byte sits right after the 8-byte nonce; anything
+        // but 0/1 is malformed, not silently truthy.
+        let mut payload = Request::Distribution {
+            subset: BitSubset::range(0, 4),
+            nonce: 7,
+            profile: false,
+        }
+        .encode();
+        payload[10] = 2;
+        assert!(Request::decode(&payload).is_err());
     }
 
     #[test]
@@ -1373,6 +1628,7 @@ mod tests {
         let narrow = Request::PartialTermCounts {
             terms: plan.terms().to_vec(),
             nonce: 1,
+            profile: false,
         }
         .encode();
         let wide_terms: Vec<ConjunctiveQuery> = (0..16u64)
@@ -1381,6 +1637,7 @@ mod tests {
         let wide = Request::PartialTermCounts {
             terms: wide_terms.clone(),
             nonce: 1,
+            profile: false,
         }
         .encode();
         // 12-position subsets cost 52 bytes each; interned, the 16-term
@@ -1395,13 +1652,15 @@ mod tests {
             Request::decode(&wide).unwrap(),
             Request::PartialTermCounts {
                 terms: wide_terms,
-                nonce: 1
+                nonce: 1,
+                profile: false
             }
         );
         // Corrupt the (single) subset-table index of the first term.
         let mut payload = Request::PartialTermCounts {
             terms: plan.terms()[..1].to_vec(),
             nonce: 1,
+            profile: false,
         }
         .encode();
         let n = payload.len();
@@ -1417,7 +1676,12 @@ mod tests {
         let plan = TermPlan::for_conjunctive(
             ConjunctiveQuery::new(BitSubset::single(0), BitString::from_bits(&[true])).unwrap(),
         );
-        let mut payload = Request::Plan { plan, nonce: 3 }.encode();
+        let mut payload = Request::Plan {
+            plan,
+            nonce: 3,
+            profile: false,
+        }
+        .encode();
         // The slot is the last 4 bytes of the payload (one combination
         // entry of (f64 coeff, u32 slot)).
         let n = payload.len();
@@ -1438,20 +1702,25 @@ mod tests {
             sample_size: 1000,
             p: 0.3,
         };
-        roundtrip_response(&Response::Estimate(e));
-        roundtrip_response(&Response::Distribution(vec![e; 4]));
-        roundtrip_response(&Response::PlanAnswers(vec![
-            PlanAnswerWire {
-                value: 1.5,
-                queries_used: 3,
-                min_sample_size: 500,
-            },
-            PlanAnswerWire {
-                value: -0.25,
-                queries_used: 1,
-                min_sample_size: 10,
-            },
-        ]));
+        roundtrip_response(&Response::Estimate(e, None));
+        roundtrip_response(&Response::Estimate(e, Some(deep_tree())));
+        roundtrip_response(&Response::Distribution(vec![e; 4], None));
+        roundtrip_response(&Response::Distribution(vec![e; 4], Some(deep_tree())));
+        roundtrip_response(&Response::PlanAnswers(
+            vec![
+                PlanAnswerWire {
+                    value: 1.5,
+                    queries_used: 3,
+                    min_sample_size: 500,
+                },
+                PlanAnswerWire {
+                    value: -0.25,
+                    queries_used: 1,
+                    min_sample_size: 10,
+                },
+            ],
+            Some(deep_tree()),
+        ));
         roundtrip_response(&Response::Stats(CoordinatorStats {
             accepted: 1,
             duplicates: 2,
@@ -1466,16 +1735,21 @@ mod tests {
                 shard_count: 5,
             }),
         });
-        roundtrip_response(&Response::PartialTermCounts(vec![
-            QueryCounts {
-                ones: 17,
-                population: 100,
-            },
-            QueryCounts {
-                ones: 0,
-                population: 0,
-            },
-        ]));
+        roundtrip_response(&Response::PartialTermCounts(
+            vec![
+                QueryCounts {
+                    ones: 17,
+                    population: 100,
+                },
+                QueryCounts {
+                    ones: 0,
+                    population: 0,
+                },
+            ],
+            Some(deep_tree()),
+        ));
+        roundtrip_response(&Response::Trace(None));
+        roundtrip_response(&Response::Trace(Some(deep_tree())));
         roundtrip_response(&Response::ServerStats(ServerStats {
             uptime_secs: 3600,
             frames: vec![(0x03, 12), (0x09, 4)],
@@ -1659,6 +1933,84 @@ mod tests {
         assert!(Request::decode(&payload).is_err());
     }
 
+    /// Encodes one flat span-tree node (hostile-input test helper).
+    fn raw_span_node(buf: &mut Vec<u8>, parent: u32, name: &str, attrs: u8) {
+        put_u32(buf, parent);
+        put_bytes(buf, name.as_bytes());
+        put_u64(buf, 1); // start_ns
+        put_u64(buf, 2); // duration_ns
+        buf.push(attrs);
+    }
+
+    #[test]
+    fn hostile_span_trees_rejected() {
+        let trace_payload = |body: &[u8]| {
+            let mut payload = vec![PROTOCOL_VERSION, 0x8D, 1];
+            payload.extend_from_slice(body);
+            payload
+        };
+
+        // A declared node count exceeding the remaining bytes must fail
+        // before allocation.
+        let mut body = Vec::new();
+        put_u32(&mut body, u32::MAX);
+        assert!(Response::decode(&trace_payload(&body)).is_err());
+
+        // Zero nodes is not a tree.
+        let mut body = Vec::new();
+        put_u32(&mut body, 0);
+        assert!(Response::decode(&trace_payload(&body)).is_err());
+
+        // The root must not claim a parent.
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        raw_span_node(&mut body, 0, "root", 0);
+        assert!(Response::decode(&trace_payload(&body)).is_err());
+
+        // A non-root node referencing itself (or any index at/after its
+        // own) breaks preorder and must be rejected, not cycle.
+        let mut body = Vec::new();
+        put_u32(&mut body, 2);
+        raw_span_node(&mut body, SPAN_NO_PARENT, "root", 0);
+        raw_span_node(&mut body, 1, "self-parent", 0);
+        assert!(Response::decode(&trace_payload(&body)).is_err());
+
+        // Attr counts past the cap are refused.
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        raw_span_node(
+            &mut body,
+            SPAN_NO_PARENT,
+            "root",
+            u8::try_from(MAX_SPAN_ATTRS).unwrap() + 1,
+        );
+        assert!(Response::decode(&trace_payload(&body)).is_err());
+
+        // The span-presence byte is strict.
+        let payload = vec![PROTOCOL_VERSION, 0x8D, 7];
+        assert!(Response::decode(&payload).is_err());
+
+        // A well-formed single-node tree still decodes (the guards
+        // above reject the corruption, not the shape).
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        raw_span_node(&mut body, SPAN_NO_PARENT, "root", 0);
+        let decoded = Response::decode(&trace_payload(&body)).unwrap();
+        assert_eq!(decoded, Response::Trace(Some(SpanNode::new("root", 1, 2))));
+    }
+
+    #[test]
+    fn span_tree_node_cap_enforced() {
+        // A tree one node over MAX_SPAN_NODES is refused even when every
+        // byte is present and well-formed.
+        let mut root = SpanNode::new("root", 0, 1);
+        root.children = (0..MAX_SPAN_NODES)
+            .map(|i| SpanNode::new("c", i as u64, 1))
+            .collect();
+        let payload = Response::Trace(Some(root)).encode();
+        assert!(Response::decode(&payload).is_err());
+    }
+
     proptest! {
         #[test]
         fn request_submit_roundtrip_property(
@@ -1695,6 +2047,7 @@ mod tests {
                 subset,
                 value,
                 nonce: value_bits[0],
+                profile: value_bits[0] & 1 == 1,
             };
             let payload = req.encode();
             prop_assert_eq!(Request::decode(&payload).unwrap(), req);
@@ -1729,14 +2082,66 @@ mod tests {
                 sample_size: sample,
                 p: 0.3,
             };
-            let payload = Response::Estimate(e).encode();
+            let payload = Response::Estimate(e, None).encode();
             match Response::decode(&payload).unwrap() {
-                Response::Estimate(d) => {
+                Response::Estimate(d, trace) => {
                     prop_assert_eq!(d.fraction.to_bits(), e.fraction.to_bits());
                     prop_assert_eq!(d.sample_size, e.sample_size);
+                    prop_assert!(trace.is_none());
                 }
                 other => prop_assert!(false, "wrong kind: {:?}", other),
             }
+        }
+
+        #[test]
+        fn span_tree_roundtrip_property(
+            nodes in proptest::collection::vec(
+                (any::<u64>(), any::<u64>(), 0u8..5, 0u8..4),
+                1..60,
+            ),
+        ) {
+            // Build an arbitrary tree from primitive draws: each entry
+            // (start, duration, hop, attrs) attaches a node `hop`
+            // levels up from the previous one, so depth, branching and
+            // attr counts all vary.
+            const NAMES: [&str; 4] = ["scan", "merge", "compile", "wal"];
+            let mut arena: Vec<SpanNode> = Vec::new();
+            let mut parents: Vec<usize> = Vec::new();
+            let mut path: Vec<usize> = Vec::new();
+            for (i, &(start, duration, hop, attrs)) in nodes.iter().enumerate() {
+                for _ in 0..hop {
+                    if path.len() > 1 {
+                        path.pop();
+                    }
+                }
+                let mut node = SpanNode::new(NAMES[i % NAMES.len()], start, duration);
+                for a in 0..attrs {
+                    node.attrs.push((format!("attr{a}"), u64::from(a) ^ start));
+                }
+                parents.push(path.last().copied().unwrap_or(0));
+                arena.push(node);
+                path.push(i);
+            }
+            // Assemble children back-to-front (parents precede children).
+            for i in (1..arena.len()).rev() {
+                let node = arena[i].clone();
+                arena[parents[i]].children.insert(0, node);
+            }
+            let root = arena[0].clone();
+
+            let payload = Response::Trace(Some(root.clone())).encode();
+            match Response::decode(&payload).unwrap() {
+                Response::Trace(Some(decoded)) => {
+                    prop_assert_eq!(&decoded, &root);
+                    prop_assert_eq!(decoded.span_count(), nodes.len());
+                }
+                other => prop_assert!(false, "wrong kind: {:?}", other),
+            }
+
+            // Any strict prefix must fail to decode (no silent
+            // truncation, exactly like every other codec in this file).
+            let cut = payload.len() - 1;
+            prop_assert!(Response::decode(&payload[..cut]).is_err());
         }
     }
 }

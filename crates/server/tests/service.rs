@@ -432,6 +432,7 @@ fn bad_frames_get_error_responses_and_connection_survives() {
     let mut garbled = wire::Request::Distribution {
         subset: BitSubset::range(0, 4),
         nonce: 0,
+        profile: false,
     }
     .encode();
     garbled.truncate(garbled.len() - 2);
@@ -785,6 +786,7 @@ fn killed_socket_mid_response_charges_the_ledger_exactly_once() {
             subset: subset.clone(),
             value: value.clone(),
             nonce,
+            profile: false,
         };
         wire::write_frame(&mut raw, &req.encode()).unwrap();
         // Drop without reading: the socket dies mid-response.
