@@ -89,6 +89,7 @@ impl LatencyProxy {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
         std::thread::spawn(move || loop {
+            // ord: pairs with the release store in Drop
             if stop_accept.load(Ordering::Acquire) {
                 return;
             }
@@ -157,6 +158,7 @@ impl LatencyProxy {
 
 impl Drop for LatencyProxy {
     fn drop(&mut self) {
+        // ord: release pairs with the proxy thread's acquire load
         self.stop.store(true, Ordering::Release);
     }
 }

@@ -1,0 +1,53 @@
+//! Answer-coverage accounting, kept **out of the router** on purpose.
+//!
+//! The router's merge path carries a bit-identity contract: a cluster
+//! answer must equal the single-node answer over the responding shards'
+//! records, so the router proper is a float-free zone (enforced by the
+//! `float-determinism` lint check). `missing_fraction` is honest float
+//! math — a human-facing ratio, never merged back into an estimate —
+//! so it lives here, outside the checked file.
+
+use crate::router::ShardOutage;
+
+/// Which part of the population an answer covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// Total shards in the map.
+    pub total_shards: u32,
+    /// Shards that contributed to the answer.
+    pub responding: Vec<u32>,
+    /// Shards that stayed unreachable after retries.
+    pub missing: Vec<ShardOutage>,
+    /// Records merged into the answer (the estimate's sample size).
+    pub population: u64,
+    /// Accepted users on the missing shards, summed from the most
+    /// recent successful [`Router::status`] sweep; `None` if any
+    /// missing shard has never been seen.
+    ///
+    /// [`Router::status`]: crate::router::Router::status
+    pub missing_users: Option<u64>,
+}
+
+impl Coverage {
+    /// Whether every shard contributed (a full-population answer).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// The fraction of the *known* user population the answer misses:
+    /// `missing / (covered + missing)`. `None` until a status sweep has
+    /// sized every missing shard.
+    #[must_use]
+    pub fn missing_fraction(&self) -> Option<f64> {
+        if self.missing.is_empty() {
+            return Some(0.0);
+        }
+        let missing = self.missing_users? as f64;
+        let total = self.population as f64 + missing;
+        if total == 0.0 {
+            return None;
+        }
+        Some(missing / total)
+    }
+}

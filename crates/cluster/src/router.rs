@@ -151,46 +151,11 @@ pub struct ShardOutage {
     pub error: String,
 }
 
-/// Which part of the population an answer covers.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Coverage {
-    /// Total shards in the map.
-    pub total_shards: u32,
-    /// Shards that contributed to the answer.
-    pub responding: Vec<u32>,
-    /// Shards that stayed unreachable after retries.
-    pub missing: Vec<ShardOutage>,
-    /// Records merged into the answer (the estimate's sample size).
-    pub population: u64,
-    /// Accepted users on the missing shards, summed from the most
-    /// recent successful [`Router::status`] sweep; `None` if any
-    /// missing shard has never been seen.
-    pub missing_users: Option<u64>,
-}
-
-impl Coverage {
-    /// Whether every shard contributed (a full-population answer).
-    #[must_use]
-    pub fn is_complete(&self) -> bool {
-        self.missing.is_empty()
-    }
-
-    /// The fraction of the *known* user population the answer misses:
-    /// `missing / (covered + missing)`. `None` until a status sweep has
-    /// sized every missing shard.
-    #[must_use]
-    pub fn missing_fraction(&self) -> Option<f64> {
-        if self.missing.is_empty() {
-            return Some(0.0);
-        }
-        let missing = self.missing_users? as f64;
-        let total = self.population as f64 + missing;
-        if total == 0.0 {
-            return None;
-        }
-        Some(missing / total)
-    }
-}
+// `Coverage` lives in [`crate::coverage`]: its `missing_fraction` is
+// deliberate float math, and this file is a float-free zone (see the
+// module docs and the `float-determinism` lint check). Re-exported here
+// so `router::Coverage` stays a valid path.
+pub use crate::coverage::Coverage;
 
 /// A cluster conjunctive answer: the merged estimate plus coverage.
 #[derive(Debug, Clone, PartialEq)]
@@ -1054,6 +1019,7 @@ impl Router {
             let terms = Arc::clone(&terms);
             let attempts = Arc::clone(&attempts);
             Box::new(move |client: &mut Client| {
+                // ord: per-shard retry tally read only after join()
                 attempts[shard as usize].fetch_add(1, Ordering::Relaxed);
                 client.partial_term_counts_traced(nonce, &terms)
             })
@@ -1088,6 +1054,7 @@ impl Router {
             let mut wrapper = SpanNode::new(format!("shard:{shard}"), scatter_start_ns, rpc_ns);
             wrapper.attrs.push((
                 "attempt".into(),
+                // ord: read after the worker joined; join synchronizes
                 attempts[shard as usize].load(Ordering::Relaxed),
             ));
             // A shard that skipped profiling (e.g. served the retry from

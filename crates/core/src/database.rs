@@ -62,6 +62,8 @@ struct Shard {
 impl Shard {
     fn append(&self, id: UserId, sketch: Sketch) {
         self.pending.lock().push(id, sketch);
+        // ord: release pairs with the AcqRel swap in `snapshot`, which
+        // must observe the pending rows pushed above
         self.stale.store(true, Ordering::Release);
     }
 
@@ -71,6 +73,7 @@ impl Shard {
             pending.push(rec.id, rec.sketch);
         }
         drop(pending);
+        // ord: release pairs with the AcqRel swap in `snapshot`
         self.stale.store(true, Ordering::Release);
     }
 
@@ -81,6 +84,8 @@ impl Shard {
     /// Publishes the pending columns if they changed, then hands out the
     /// current snapshot (an `Arc` clone).
     fn snapshot(&self) -> Arc<Columns> {
+        // ord: acquire sees the rows behind a writer's release store;
+        // release keeps a racing snapshotter honest about the clear
         if self.stale.swap(false, Ordering::AcqRel) {
             // Clone *and* publish while holding the pending mutex:
             // appends and competing publishers serialize on it, so a
@@ -200,6 +205,7 @@ impl SketchDb {
             pending.keys.extend_from_slice(&keys);
         }
         drop(pending);
+        // ord: release pairs with the AcqRel swap in `snapshot`
         shard.stale.store(true, Ordering::Release);
     }
 

@@ -1,0 +1,93 @@
+//! **atomics-audit** — every atomic `Ordering::` use site carries a
+//! `// ord:` comment saying why that ordering is sufficient, and
+//! `Relaxed` on a *gate-named* atomic (`ENABLED`, `ACTIVE_*`, `*_READY`
+//! ...) additionally needs a `gate:` marker asserting that no data is
+//! published through the flag — the one situation where a relaxed load
+//! is a real bug is a gate that readers trust to order a dependent
+//! load, and that is exactly what gate-style names advertise.
+//!
+//! Only the five atomic orderings are matched, so `std::cmp::Ordering`
+//! (`Less`/`Equal`/`Greater`) never trips the check.
+
+use crate::checks::{is_punct, stmt_start};
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::Diagnostic;
+
+pub const CHECK: &str = "atomics-audit";
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Lines above the use site an `// ord:` comment may sit (the site is
+/// often the last line of a multi-line method chain).
+const ORD_LOOKBACK: u32 = 2;
+
+fn is_gate_name(s: &str) -> bool {
+    let upper_tail = |suf: &str| s.ends_with(suf) || s.ends_with(&suf.to_lowercase());
+    s == "ENABLED"
+        || s.starts_with("ACTIVE_")
+        || upper_tail("_ENABLED")
+        || upper_tail("_ACTIVE")
+        || upper_tail("_READY")
+        || upper_tail("_GATE")
+}
+
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for sf in files {
+        for i in 0..sf.toks.len() {
+            let t = &sf.toks[i];
+            if t.in_test || !(t.kind == TokKind::Ident && t.text == "Ordering") {
+                continue;
+            }
+            if !(is_punct(sf, i + 1, ":") && is_punct(sf, i + 2, ":")) {
+                continue;
+            }
+            let Some(ord) = sf.toks.get(i + 3) else {
+                continue;
+            };
+            if ord.kind != TokKind::Ident || !ATOMIC_ORDERINGS.contains(&ord.text.as_str()) {
+                continue;
+            }
+            if sf.has_allow(CHECK, ord.line) {
+                continue;
+            }
+            let near = sf.comments_near(ord.line, ORD_LOOKBACK);
+            if !near.contains("ord:") {
+                diags.push(Diagnostic {
+                    file: sf.rel.clone(),
+                    line: ord.line,
+                    check: CHECK,
+                    message: format!(
+                        "`Ordering::{}` without a `// ord:` justification comment",
+                        ord.text
+                    ),
+                });
+                continue;
+            }
+            if ord.text != "Relaxed" {
+                continue;
+            }
+            // Relaxed on a gate-named atomic: the ord comment must make
+            // the no-data-published claim explicit with a `gate:` marker.
+            let start = stmt_start(sf, i);
+            let gate = sf.toks[start..i]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && is_gate_name(&t.text));
+            if let Some(gate) = gate {
+                if !near.contains("gate:") {
+                    diags.push(Diagnostic {
+                        file: sf.rel.clone(),
+                        line: ord.line,
+                        check: CHECK,
+                        message: format!(
+                            "`Ordering::Relaxed` on gate-named atomic `{}`: either use a \
+                             Release/Acquire pairing, or assert in the ord comment (with a \
+                             `gate:` marker) that no data is published through this flag",
+                            gate.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! **doc-drift** — the protocol and metrics documentation are contracts
+//! other tools build against, so they are checked mechanically:
+//!
+//! * every `REQ_*`/`RESP_*` opcode constant in
+//!   `crates/server/src/wire.rs` must appear (as `` `0xNN` `` in a
+//!   table row) in `docs/wire-protocol.md`, and every opcode the doc
+//!   tables list must exist in the code;
+//! * the doc must state the current `PROTOCOL_VERSION` (the literal
+//!   phrase `currently N`);
+//! * every metric family registered in production code
+//!   (`counter("psketch_…")` / `gauge(…)` / `histogram(…)`) must appear
+//!   in the `docs/observability.md` catalog table, and vice versa.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::checks::is_punct;
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::Diagnostic;
+
+pub const CHECK: &str = "doc-drift";
+
+const WIRE_RS: &str = "crates/server/src/wire.rs";
+const WIRE_DOC: &str = "docs/wire-protocol.md";
+const OBS_DOC: &str = "docs/observability.md";
+
+pub fn run(root: &Path, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    if let Some(wire) = files.iter().find(|f| f.rel.ends_with(WIRE_RS)) {
+        check_opcodes(root, wire, diags);
+    }
+    check_metrics(root, files, diags);
+}
+
+/// An opcode constant: name, value, defining line.
+type Opcode = (String, u8, u32);
+
+/// `REQ_*`/`RESP_*` u8 constants and `PROTOCOL_VERSION` from wire.rs.
+fn wire_constants(wire: &SourceFile) -> (Vec<Opcode>, Option<(u8, u32)>) {
+    let mut opcodes = Vec::new();
+    let mut version = None;
+    for i in 0..wire.toks.len() {
+        let t = &wire.toks[i];
+        if t.in_test || !(t.kind == TokKind::Keyword && t.text == "const") {
+            continue;
+        }
+        let Some(name) = wire.toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        // const NAME : u8 = <int> ;
+        let val = wire
+            .toks
+            .get(i + 2..i + 6)
+            .and_then(|w| {
+                (w[0].text == ":" && w[1].text == "u8" && w[2].text == "=").then(|| &w[3])
+            })
+            .and_then(|v| parse_int(&v.text));
+        let Some(val) = val else { continue };
+        if name.text.starts_with("REQ_") || name.text.starts_with("RESP_") {
+            opcodes.push((name.text.clone(), val, name.line));
+        } else if name.text == "PROTOCOL_VERSION" {
+            version = Some((val, name.line));
+        }
+    }
+    (opcodes, version)
+}
+
+fn parse_int(text: &str) -> Option<u8> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x") {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+fn check_opcodes(root: &Path, wire: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let (opcodes, version) = wire_constants(wire);
+    let doc_path = root.join(WIRE_DOC);
+    let Ok(doc) = std::fs::read_to_string(&doc_path) else {
+        diags.push(Diagnostic {
+            file: WIRE_DOC.into(),
+            line: 1,
+            check: CHECK,
+            message: format!("{WIRE_DOC} is missing but {WIRE_RS} defines the wire protocol"),
+        });
+        return;
+    };
+    // Doc side: backticked two-digit opcodes in table rows.
+    let mut doc_codes: BTreeMap<u8, u32> = BTreeMap::new();
+    for (n, line) in doc.lines().enumerate() {
+        let lineno = n as u32 + 1;
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for code in backticked_opcodes(line) {
+            doc_codes.entry(code).or_insert(lineno);
+        }
+    }
+    for (name, val, line) in &opcodes {
+        if !doc_codes.contains_key(val) {
+            diags.push(Diagnostic {
+                file: wire.rel.clone(),
+                line: *line,
+                check: CHECK,
+                message: format!(
+                    "opcode {name} = {val:#04x} is not listed in the {WIRE_DOC} tables"
+                ),
+            });
+        }
+    }
+    for (code, lineno) in &doc_codes {
+        if !opcodes.iter().any(|(_, v, _)| v == code) {
+            diags.push(Diagnostic {
+                file: WIRE_DOC.into(),
+                line: *lineno,
+                check: CHECK,
+                message: format!(
+                    "documented opcode {code:#04x} has no REQ_*/RESP_* constant in {WIRE_RS}"
+                ),
+            });
+        }
+    }
+    if let Some((v, line)) = version {
+        if !doc.contains(&format!("currently {v}")) {
+            diags.push(Diagnostic {
+                file: wire.rel.clone(),
+                line,
+                check: CHECK,
+                message: format!(
+                    "PROTOCOL_VERSION is {v} but {WIRE_DOC} does not say `currently {v}`"
+                ),
+            });
+        }
+    }
+}
+
+/// Two-hex-digit `` `0xNN` `` codes inside one doc line.
+fn backticked_opcodes(line: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    for cell in line.split('`') {
+        if let Some(hex) = cell.strip_prefix("0x") {
+            if hex.len() == 2 {
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_metrics(root: &Path, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // Code side: first registration site per family name.
+    let mut registered: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for sf in files {
+        for i in 0..sf.toks.len() {
+            let t = &sf.toks[i];
+            if t.in_test
+                || t.kind != TokKind::Ident
+                || !matches!(t.text.as_str(), "counter" | "gauge" | "histogram")
+                || !is_punct(sf, i + 1, "(")
+            {
+                continue;
+            }
+            let Some(name) = sf.toks.get(i + 2) else {
+                continue;
+            };
+            if name.kind == TokKind::Str && name.text.starts_with("psketch_") {
+                registered
+                    .entry(name.text.clone())
+                    .or_insert((sf.rel.clone(), name.line));
+            }
+        }
+    }
+    if registered.is_empty() {
+        return;
+    }
+    let doc_path = root.join(OBS_DOC);
+    let Ok(doc) = std::fs::read_to_string(&doc_path) else {
+        diags.push(Diagnostic {
+            file: OBS_DOC.into(),
+            line: 1,
+            check: CHECK,
+            message: format!("{OBS_DOC} is missing but the workspace registers metrics"),
+        });
+        return;
+    };
+    let mut documented: BTreeMap<String, u32> = BTreeMap::new();
+    for (n, line) in doc.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for cell in line.split('`') {
+            if cell.starts_with("psketch_") && cell.chars().all(|c| c.is_alphanumeric() || c == '_')
+            {
+                documented.entry(cell.to_string()).or_insert(n as u32 + 1);
+            }
+        }
+    }
+    for (name, (file, line)) in &registered {
+        if !documented.contains_key(name) {
+            diags.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                check: CHECK,
+                message: format!(
+                    "metric `{name}` is registered here but absent from the {OBS_DOC} catalog"
+                ),
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !registered.contains_key(name) {
+            diags.push(Diagnostic {
+                file: OBS_DOC.into(),
+                line: *line,
+                check: CHECK,
+                message: format!(
+                    "documented metric `{name}` is not registered anywhere in the workspace"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! **float-determinism** — the cluster answers must be bit-identical
+//! across fanout widths and to the single-node oracle, which holds only
+//! because every float operation on the merge path happens in exactly
+//! one function with a fixed reduction order (`merge_plan_counts`).
+//! New `f64` arithmetic anywhere else in `cluster/src/router.rs` is
+//! denied: float literals and `as f64`/`as f32` casts outside the
+//! allowlisted function are findings. Code that genuinely needs float
+//! math belongs in another module (where the scatter-gather order can't
+//! affect it), not in the router.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::Diagnostic;
+
+pub const CHECK: &str = "float-determinism";
+
+const TARGET: &str = "crates/cluster/src/router.rs";
+const ALLOWED_FNS: &[&str] = &["merge_plan_counts"];
+
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for sf in files {
+        if !sf.rel.ends_with(TARGET) {
+            continue;
+        }
+        for i in 0..sf.toks.len() {
+            let t = &sf.toks[i];
+            if t.in_test {
+                continue;
+            }
+            let what = if t.kind == TokKind::Float {
+                Some(format!("float literal `{}`", t.text))
+            } else if t.kind == TokKind::Keyword
+                && t.text == "as"
+                && sf
+                    .toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.text == "f64" || n.text == "f32")
+            {
+                Some(format!("`as {}` cast", sf.toks[i + 1].text))
+            } else {
+                None
+            };
+            let Some(what) = what else { continue };
+            if sf
+                .enclosing_fn(i)
+                .is_some_and(|f| ALLOWED_FNS.contains(&f.name.as_str()))
+                || sf.has_allow(CHECK, t.line)
+            {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: sf.rel.clone(),
+                line: t.line,
+                check: CHECK,
+                message: format!(
+                    "{what} in the router outside merge_plan_counts threatens the \
+                     cross-fanout bit-identity contract; move the float math out of the router"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! **unsafe-audit** — `unsafe` is confined to an explicit allowlist of
+//! files, and every occurrence must sit under a `// SAFETY:` comment
+//! (within the three lines above it). The allowlist is the policy: new
+//! `unsafe` anywhere else is a finding even if perfectly justified —
+//! the justification belongs in a review that also extends the list.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::Diagnostic;
+
+pub const CHECK: &str = "unsafe-audit";
+
+/// Files allowed to contain `unsafe` at all. Today: only the AVX-512
+/// SipHash lane kernels, each call site SAFETY-commented and gated on
+/// runtime CPU detection.
+const ALLOWED_FILES: &[&str] = &["crates/prf/src/lanes.rs"];
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may
+/// sit (attributes like `#[allow(unsafe_code)]` often intervene).
+const SAFETY_LOOKBACK: u32 = 3;
+
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for sf in files {
+        let allowed_file = ALLOWED_FILES.iter().any(|a| sf.rel.ends_with(a));
+        for t in &sf.toks {
+            if t.in_test || !(t.kind == TokKind::Keyword && t.text == "unsafe") {
+                continue;
+            }
+            if !allowed_file {
+                diags.push(Diagnostic {
+                    file: sf.rel.clone(),
+                    line: t.line,
+                    check: CHECK,
+                    message: format!(
+                        "`unsafe` outside the allowlist ({}); keep unsafe confined or \
+                         extend ALLOWED_FILES in crates/lint with a review",
+                        ALLOWED_FILES.join(", ")
+                    ),
+                });
+                continue;
+            }
+            if !sf
+                .comments_near(t.line, SAFETY_LOOKBACK)
+                .contains("SAFETY:")
+            {
+                diags.push(Diagnostic {
+                    file: sf.rel.clone(),
+                    line: t.line,
+                    check: CHECK,
+                    message: "`unsafe` without a `// SAFETY:` comment in the 3 lines above it"
+                        .into(),
+                });
+            }
+        }
+    }
+}

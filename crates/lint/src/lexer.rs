@@ -1,0 +1,595 @@
+//! A hand-rolled Rust lexer: just enough of the language to walk a
+//! source file as a token stream without ever misreading a string,
+//! comment, char literal, or lifetime as code.
+//!
+//! The checks in this crate are token-pattern matchers, so the lexer's
+//! one job is fidelity on the constructs that fool naive `grep`-style
+//! scanners:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any number of `#`s) and byte/raw
+//!   byte strings;
+//! * nested block comments (`/* a /* b */ c */`);
+//! * char literals vs lifetimes (`'"'` and `' '` are chars, `'a` is a
+//!   lifetime, `'a'` is a char);
+//! * `#[cfg(test)]` / `#[test]` items, whose tokens are kept but marked
+//!   `in_test` so checks can skip them.
+//!
+//! Comments are not discarded: they carry the annotation grammar
+//! (`// SAFETY:`, `// ord:`, `// lint: allow(...)`) that several checks
+//! read, so every comment is recorded per source line.
+
+/// Token classification. Just enough granularity for pattern matching;
+/// e.g. all punctuation is single-character tokens (`::` is two `:`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier (including raw identifiers, with the `r#` stripped).
+    Ident,
+    /// A reserved word (`fn`, `unsafe`, `let`, ...).
+    Keyword,
+    /// One character of punctuation.
+    Punct,
+    /// Any string literal (plain, raw, byte, raw byte).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A lifetime (`'a`), text without the leading quote.
+    Lifetime,
+    /// An integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// A float literal: has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix.
+    Float,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Source text. For `Str` this is the literal's body (delimiters
+    /// and hashes stripped); for everything else the exact spelling.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// True when the token sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// One comment (line or block), recorded per source line so annotation
+/// lookups are a map probe. A block comment spanning three lines yields
+/// three entries.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Text with the `//` / `/*` machinery stripped, untrimmed interior.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src`, then marks test-only regions. Never fails: unknown
+/// bytes become single-character `Punct` tokens, and an unterminated
+/// literal simply runs to end of file.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    let mut lexed = lx.out;
+    mark_test_regions(&mut lexed.toks);
+    lexed
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.b.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(0),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' => self.maybe_prefixed(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                _ => {
+                    self.push(TokKind::Punct, (c as char).to_string(), self.line);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i + 2;
+        let mut end = start;
+        while end < self.b.len() && self.b[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.out.comments.push(Comment {
+            line: self.line,
+            text,
+        });
+        self.i = end;
+    }
+
+    fn block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1usize;
+        let mut seg = String::new();
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                seg.push_str("/*");
+                self.i += 2;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                if depth > 0 {
+                    seg.push_str("*/");
+                }
+                self.i += 2;
+            } else if self.peek(0) == b'\n' {
+                self.out.comments.push(Comment {
+                    line: self.line,
+                    text: std::mem::take(&mut seg),
+                });
+                self.line += 1;
+                self.i += 1;
+            } else {
+                seg.push(self.peek(0) as char);
+                self.i += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            text: seg,
+        });
+    }
+
+    /// Plain or byte string; `self.i` at the opening `"`. `hashes` is
+    /// zero (escapes honored) — raw strings go through `raw_string`.
+    fn string(&mut self, _hashes: usize) {
+        let line = self.line;
+        self.i += 1;
+        let mut body = String::new();
+        while self.i < self.b.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    body.push('\\');
+                    if self.peek(1) == b'\n' {
+                        self.line += 1;
+                    }
+                    body.push(self.peek(1) as char);
+                    self.i += 2;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    body.push('\n');
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c => {
+                    body.push(c as char);
+                    self.i += 1;
+                }
+            }
+        }
+        self.push(TokKind::Str, body, line);
+    }
+
+    /// Raw string; `self.i` at the first `#` or the `"` after `r`/`br`.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.i += 1;
+        }
+        // Opening quote.
+        self.i += 1;
+        let start = self.i;
+        loop {
+            if self.i >= self.b.len() {
+                break;
+            }
+            if self.peek(0) == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    let body = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+                    self.i += 1 + hashes;
+                    self.push(TokKind::Str, body, line);
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+        let body = String::from_utf8_lossy(&self.b[start..]).into_owned();
+        self.push(TokKind::Str, body, line);
+    }
+
+    /// Distinguishes raw strings (`r"`, `r#"`), raw identifiers
+    /// (`r#ident`), byte literals (`b"`, `b'`, `br"`) from plain
+    /// identifiers that merely start with `r` or `b`.
+    fn maybe_prefixed(&mut self) {
+        let c0 = self.peek(0);
+        // b'x' byte char.
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            self.i += 1;
+            self.char_or_lifetime();
+            return;
+        }
+        // b"..." byte string.
+        if c0 == b'b' && self.peek(1) == b'"' {
+            self.i += 1;
+            self.string(0);
+            return;
+        }
+        // br"..." / br#"..."# raw byte string.
+        if c0 == b'b' && self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') {
+            self.i += 2;
+            self.raw_string();
+            return;
+        }
+        // r"..." / r#"..."# raw string.
+        if c0 == b'r' && self.peek(1) == b'"' {
+            self.i += 1;
+            self.raw_string();
+            return;
+        }
+        if c0 == b'r' && self.peek(1) == b'#' {
+            if self.peek(2) == b'"' || self.peek(2) == b'#' {
+                self.i += 1;
+                self.raw_string();
+                return;
+            }
+            if is_ident_start(self.peek(2)) {
+                // Raw identifier: strip the r# and lex the name.
+                self.i += 2;
+                self.ident();
+                return;
+            }
+        }
+        self.ident();
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // self.i at the opening quote.
+        let next = self.peek(1);
+        if next == b'\\' {
+            // Escaped char literal: consume to the closing quote.
+            self.i += 2; // quote + backslash
+            self.i += 1; // the escaped character itself
+            while self.i < self.b.len() && self.peek(0) != b'\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+            self.push(TokKind::Char, String::from("\\"), line);
+            return;
+        }
+        if is_ident_continue(next) {
+            // Could be 'a' (char) or 'a (lifetime): scan the ident run
+            // and see whether a closing quote follows.
+            let mut j = self.i + 1;
+            while j < self.b.len() && is_ident_continue(self.b[j]) {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                let body = String::from_utf8_lossy(&self.b[self.i + 1..j]).into_owned();
+                self.i = j + 1;
+                self.push(TokKind::Char, body, line);
+            } else {
+                let name = String::from_utf8_lossy(&self.b[self.i + 1..j]).into_owned();
+                self.i = j;
+                self.push(TokKind::Lifetime, name, line);
+            }
+            return;
+        }
+        if next == b'\'' {
+            // `''` never parses as Rust; consume defensively.
+            self.i += 2;
+            self.push(TokKind::Char, String::new(), line);
+            return;
+        }
+        // A non-identifier single char: '"', ' ', '(' ...
+        if self.peek(2) == b'\'' {
+            self.push(TokKind::Char, (next as char).to_string(), line);
+            self.i += 3;
+        } else {
+            // Stray quote; emit as punctuation and move on.
+            self.push(TokKind::Punct, String::from("'"), line);
+            self.i += 1;
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.i += 2;
+            while is_ident_continue(self.peek(0)) {
+                self.i += 1;
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.i += 1;
+            }
+            if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                float = true;
+                self.i += 1;
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.i += 1;
+                }
+            }
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.i += 1;
+                while self.peek(0).is_ascii_digit() || matches!(self.peek(0), b'+' | b'-') {
+                    self.i += 1;
+                }
+            }
+            // Suffix (u64, i32, f64, usize ...).
+            while is_ident_continue(self.peek(0)) {
+                self.i += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        if text.ends_with("f32") || text.ends_with("f64") {
+            float = true;
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let kind = if KEYWORDS.contains(&text.as_str()) {
+            TokKind::Keyword
+        } else {
+            TokKind::Ident
+        };
+        self.push(kind, text, line);
+    }
+}
+
+/// Marks tokens belonging to `#[cfg(test)]`/`#[test]` items (the
+/// attribute, any stacked attributes after it, and the item body).
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0;
+    while i < toks.len() {
+        if is_attr_open(toks, i) {
+            if let Some(close) = attr_close(toks, i + 1) {
+                let is_test = toks[i + 2..close]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "test");
+                if is_test {
+                    let end = item_end(toks, close + 1);
+                    for t in toks.iter_mut().take(end + 1).skip(i) {
+                        t.in_test = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn is_attr_open(toks: &[Tok], i: usize) -> bool {
+    toks[i].kind == TokKind::Punct
+        && toks[i].text == "#"
+        && toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == "[")
+}
+
+/// Index of the `]` matching the `[` at `open`, tracking nesting.
+fn attr_close(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Index of the last token of the item starting at `from`: skips any
+/// further stacked attributes, then runs to the matching `}` of the
+/// item's first brace block, or to a `;` if one comes first (e.g.
+/// `#[cfg(test)] use super::*;`).
+fn item_end(toks: &[Tok], mut from: usize) -> usize {
+    while from < toks.len() && is_attr_open(toks, from) {
+        match attr_close(toks, from + 1) {
+            Some(c) => from = c + 1,
+            None => return toks.len() - 1,
+        }
+    }
+    let mut depth = 0usize;
+    let mut seen_brace = false;
+    for (k, t) in toks.iter().enumerate().skip(from) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    seen_brace = true;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if seen_brace && depth == 0 {
+                        return k;
+                    }
+                }
+                ";" if !seen_brace => return k,
+                _ => {}
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r###"let x = r#"unwrap() /* not a comment "quote" */"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("unwrap()"));
+        // Nothing inside the raw string surfaced as an identifier.
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let lexed = lex("a /* x /* y */ z */ b");
+        let idents: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert!(lexed.comments.iter().any(|c| c.text.contains("y")));
+    }
+
+    #[test]
+    fn quote_char_literal_is_not_a_string_opener() {
+        let toks = kinds(r#"let q = '"'; let s = "after";"#);
+        assert!(toks.contains(&(TokKind::Char, "\"".into())));
+        assert!(toks.contains(&(TokKind::Str, "after".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Char, "a".into())));
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\n\
+                   fn also_live() {}";
+        let lexed = lex(src);
+        let unwraps: Vec<_> = lexed.toks.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+        let live: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.text == "also_live")
+            .collect();
+        assert!(!live[0].in_test);
+    }
+
+    #[test]
+    fn float_and_int_literals_are_distinguished() {
+        let toks = kinds("let a = 1; let b = 1.5; let c = 1e9; let d = 2f64; let r = 0..3;");
+        assert!(toks.contains(&(TokKind::Int, "1".into())));
+        assert!(toks.contains(&(TokKind::Float, "1.5".into())));
+        assert!(toks.contains(&(TokKind::Float, "1e9".into())));
+        assert!(toks.contains(&(TokKind::Float, "2f64".into())));
+        // `0..3` is two ints and a range, not a float.
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+        assert!(toks.contains(&(TokKind::Int, "3".into())));
+    }
+}

@@ -1,0 +1,88 @@
+//! # psketch-lint — workspace static analysis
+//!
+//! A std-only, zero-dependency static-analysis pass enforcing the
+//! invariants `cargo test` cannot see: `unsafe` confinement, justified
+//! atomic orderings, panic-free hostile-input surfaces, locks never
+//! held across blocking I/O, code↔doc agreement for the wire protocol
+//! and the metric catalog, and the router's float-determinism contract.
+//!
+//! The analysis is a hand-rolled lexer ([`lexer`]) plus token-pattern
+//! checks ([`checks`]) — deliberately not a parser: every rule here is
+//! a local pattern with an annotation escape hatch, so false positives
+//! cost one comment, and the whole tool builds before anything else in
+//! the workspace does.
+//!
+//! See `docs/static-analysis.md` for the check catalog and annotation
+//! grammar.
+
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod lexer;
+pub mod model;
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// One finding, rendered as `file:line: [check] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub check: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.check, self.message
+        )
+    }
+}
+
+/// Outcome of one analysis run.
+pub struct Report {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Runs every check over the tree rooted at `root` (a workspace root or
+/// a fixture tree mirroring the `crates/` + `docs/` layout).
+///
+/// # Errors
+///
+/// I/O failures while walking or reading source files.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let files = model::load_workspace(root)?;
+    let mut diagnostics = Vec::new();
+    checks::run_all(root, &files, &mut diagnostics);
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.check).cmp(&(b.file.as_str(), b.line, b.check))
+    });
+    Ok(Report {
+        files_scanned: files.len(),
+        diagnostics,
+    })
+}
+
+/// Walks upward from `start` to the nearest directory whose
+/// `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

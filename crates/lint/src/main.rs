@@ -1,0 +1,90 @@
+//! `psketch-lint` — CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! psketch-lint check --workspace          # lint the enclosing workspace
+//! psketch-lint check --root <dir>         # lint an explicit tree (fixtures)
+//! ```
+//!
+//! Prints one `file:line: [check] message` per finding and exits
+//! non-zero when anything fires, so CI can gate on it directly.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut saw_check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" => saw_check = true,
+            "--workspace" => {}
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !saw_check {
+        return usage("expected the `check` subcommand");
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("psketch-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match psketch_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "psketch-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match psketch_lint::run(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            eprintln!(
+                "psketch-lint: {} finding(s) in {} file(s) scanned under {}",
+                report.diagnostics.len(),
+                report.files_scanned,
+                root.display()
+            );
+            if report.diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("psketch-lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: psketch-lint check [--workspace] [--root <dir>]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("psketch-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,245 @@
+//! The analyzed-source model the checks run against: one [`SourceFile`]
+//! per `.rs` file with its token stream, per-line comments, and the
+//! extracted function spans, plus the workspace walk that collects the
+//! files and the annotation-lookup helpers (`// lint: allow(...)`,
+//! `// ord:`, `// SAFETY:`).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Tok, TokKind};
+
+/// A function span in the token stream: `fn` keyword through the `}`
+/// closing its body (or the `;` of a bodyless declaration).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token index of the closing `}` / `;` (inclusive).
+    pub end: usize,
+    /// Line of the `fn` keyword, for function-level annotations.
+    pub header_line: u32,
+}
+
+/// One lexed-and-indexed source file.
+pub struct SourceFile {
+    /// Path relative to the analysis root, with `/` separators.
+    pub rel: String,
+    pub toks: Vec<Tok>,
+    /// All comment text per line (several comments on a line concatenate).
+    pub comments: HashMap<u32, String>,
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    #[must_use]
+    pub fn parse(rel: String, src: &str) -> Self {
+        let lexed = lexer::lex(src);
+        let mut comments: HashMap<u32, String> = HashMap::new();
+        for c in &lexed.comments {
+            let slot = comments.entry(c.line).or_default();
+            if !slot.is_empty() {
+                slot.push(' ');
+            }
+            slot.push_str(&c.text);
+        }
+        let fns = extract_fns(&lexed.toks);
+        Self {
+            rel,
+            toks: lexed.toks,
+            comments,
+            fns,
+        }
+    }
+
+    /// The innermost function containing token index `i`, if any.
+    #[must_use]
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.start <= i && i <= f.end)
+            .max_by_key(|f| f.start)
+    }
+
+    /// Concatenated comment text on `line` and the `lookback` lines
+    /// above it (nearest-last ordering is irrelevant to the substring
+    /// probes the checks do).
+    #[must_use]
+    pub fn comments_near(&self, line: u32, lookback: u32) -> String {
+        let mut out = String::new();
+        let lo = line.saturating_sub(lookback);
+        for l in lo..=line {
+            if let Some(c) = self.comments.get(&l) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(c);
+            }
+        }
+        out
+    }
+
+    /// Whether a `// lint: allow(<check>)` annotation covers `line`
+    /// (same line or the two lines above). Check names match with `-`
+    /// and `_` interchangeable.
+    #[must_use]
+    pub fn has_allow(&self, check: &str, line: u32) -> bool {
+        let near = self.comments_near(line, 2);
+        allow_matches(&near, check)
+    }
+
+    /// Whether the function owning token `i` carries a file-adjacent
+    /// allow: on the flagged line, the binding line, or the lines just
+    /// above the function header.
+    #[must_use]
+    pub fn fn_has_allow(&self, check: &str, i: usize) -> bool {
+        self.enclosing_fn(i)
+            .is_some_and(|f| self.has_allow(check, f.header_line))
+    }
+}
+
+fn allow_matches(comment: &str, check: &str) -> bool {
+    let norm = |s: &str| s.replace('-', "_");
+    let hay = norm(comment);
+    let needle = format!("lint: allow({}", norm(check));
+    hay.contains(&needle)
+}
+
+fn extract_fns(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Keyword && toks[i].text == "fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Find the body: first `{` (then match braces) or a `;` that
+        // arrives first (trait method declaration).
+        let mut depth = 0usize;
+        let mut seen_brace = false;
+        let mut end = toks.len() - 1;
+        for (k, t) in toks.iter().enumerate().skip(i + 2) {
+            if t.kind != TokKind::Punct {
+                continue;
+            }
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    seen_brace = true;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if seen_brace && depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                ";" if !seen_brace => {
+                    end = k;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push(FnSpan {
+            name: name_tok.text.clone(),
+            start: i,
+            end,
+            header_line: toks[i].line,
+        });
+    }
+    out
+}
+
+/// Directory names whose contents are never analyzed: test and fixture
+/// code is allowed to panic, index, and seed violations on purpose.
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+/// Collects every production `.rs` file under `<root>/crates`, sorted
+/// for deterministic diagnostics. `vendor/` is out of scope: the shims
+/// mimic external crates and are not this project's code.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O failures.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        walk(&crates, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads and parses every collected file.
+///
+/// # Errors
+///
+/// Propagates walk and read I/O failures.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for path in collect_files(root)? {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::parse(rel, &src));
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_nest_and_innermost_wins() {
+        let sf = SourceFile::parse(
+            "x.rs".into(),
+            "fn outer() { fn inner() { let a = 1; } let b = 2; }",
+        );
+        assert_eq!(sf.fns.len(), 2);
+        let a_idx = sf.toks.iter().position(|t| t.text == "a").unwrap();
+        let b_idx = sf.toks.iter().position(|t| t.text == "b").unwrap();
+        assert_eq!(sf.enclosing_fn(a_idx).unwrap().name, "inner");
+        assert_eq!(sf.enclosing_fn(b_idx).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn allow_annotations_match_hyphen_or_underscore() {
+        let sf = SourceFile::parse(
+            "x.rs".into(),
+            "// lint: allow(lock_across_io) — deliberate\nfn f() {}\n",
+        );
+        assert!(sf.has_allow("lock-across-io", 1));
+        assert!(sf.has_allow("lock_across_io", 2));
+        assert!(!sf.has_allow("panic-freedom", 1));
+    }
+}

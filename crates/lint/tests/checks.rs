@@ -1,0 +1,122 @@
+//! Fixture-driven self-tests: each of the six checks must fire on its
+//! seeded violation and stay silent on the clean mirror — and the real
+//! workspace must be clean, which makes `cargo test` itself a lint gate.
+
+use std::path::{Path, PathBuf};
+
+use psketch_lint::Diagnostic;
+
+const ALL_CHECKS: &[&str] = &[
+    "unsafe-audit",
+    "atomics-audit",
+    "panic-freedom",
+    "lock-across-io",
+    "doc-drift",
+    "float-determinism",
+];
+
+fn fixture_root(which: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+fn run(root: &Path) -> Vec<Diagnostic> {
+    psketch_lint::run(root)
+        .expect("fixture tree scans")
+        .diagnostics
+}
+
+fn fired(diags: &[Diagnostic], check: &str, file_frag: &str) -> bool {
+    diags
+        .iter()
+        .any(|d| d.check == check && d.file.contains(file_frag))
+}
+
+#[test]
+fn every_check_fires_on_its_seeded_violation() {
+    let diags = run(&fixture_root("violations"));
+    for check in ALL_CHECKS {
+        assert!(
+            diags.iter().any(|d| d.check == *check),
+            "check {check} did not fire on the seeded fixtures; got:\n{}",
+            render(&diags)
+        );
+    }
+    // Anchors: each finding lands in the file that seeded it.
+    assert!(fired(&diags, "unsafe-audit", "foo/src/bad.rs"));
+    assert!(fired(&diags, "unsafe-audit", "prf/src/lanes.rs"));
+    assert!(fired(&diags, "atomics-audit", "foo/src/bad.rs"));
+    assert!(fired(&diags, "panic-freedom", "server/src/wire.rs"));
+    assert!(fired(&diags, "lock-across-io", "foo/src/bad.rs"));
+    assert!(fired(&diags, "float-determinism", "cluster/src/router.rs"));
+    // Doc-drift fires in both directions plus the version phrase.
+    assert!(fired(&diags, "doc-drift", "server/src/wire.rs"));
+    assert!(fired(&diags, "doc-drift", "docs/wire-protocol.md"));
+    assert!(fired(&diags, "doc-drift", "foo/src/bad.rs"));
+    assert!(fired(&diags, "doc-drift", "docs/observability.md"));
+}
+
+#[test]
+fn gate_named_relaxed_needs_gate_marker() {
+    let diags = run(&fixture_root("violations"));
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.check == "atomics-audit" && d.message.contains("WORKERS_READY")),
+        "Relaxed on a gate-named atomic with a plain ord comment must still fire:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn encode_half_is_out_of_panic_scope() {
+    let diags = run(&fixture_root("violations"));
+    // The seeded wire.rs has an `.expect(...)` in `encode_frame`; only
+    // the decode path is scoped, so every panic-freedom finding must sit
+    // inside `decode_frame` (lines 7-11 of the fixture).
+    for d in diags
+        .iter()
+        .filter(|d| d.check == "panic-freedom" && d.file.contains("wire.rs"))
+    {
+        assert!(
+            (7..=11).contains(&d.line),
+            "panic-freedom fired outside the decode path: {d}"
+        );
+    }
+}
+
+#[test]
+fn clean_tree_passes_every_check() {
+    let diags = run(&fixture_root("clean"));
+    assert!(
+        diags.is_empty(),
+        "clean fixtures must produce zero findings; got:\n{}",
+        render(&diags)
+    );
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root resolves");
+    let report = psketch_lint::run(&root).expect("workspace scans");
+    assert!(
+        report.files_scanned > 20,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must lint clean; got:\n{}",
+        render(&report.diagnostics)
+    );
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}

@@ -1,0 +1,13 @@
+//! Clean mirror: float math only inside `merge_plan_counts`.
+
+pub fn merge_plan_counts(xs: &[u64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x as f64;
+    }
+    acc
+}
+
+pub fn total(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,34 @@
+//! The clean mirror of `violations/crates/foo/src/bad.rs`: every
+//! pattern the checks deny, written the approved way.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub static JOBS: AtomicU64 = AtomicU64::new(0);
+pub static WORKERS_READY: AtomicBool = AtomicBool::new(false);
+
+pub fn count() -> u64 {
+    JOBS.load(Ordering::Relaxed) // ord: monotonic counter, no data published
+}
+
+pub fn gate_probe() -> bool {
+    // ord: gate: pure toggle; readers take no data dependency through it
+    WORKERS_READY.load(Ordering::Relaxed)
+}
+
+pub fn flush_then_write(m: &Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    use std::io::Write;
+    let copy = m.lock().unwrap().clone();
+    f.write_all(&copy)
+}
+
+pub fn commit_under_lock(m: &Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    use std::io::Write;
+    // lint: allow(lock_across_io) — the write under the lock IS the commit point
+    let buf = m.lock().unwrap();
+    f.write_all(&buf)
+}
+
+pub fn register() {
+    counter("psketch_real_total").inc();
+}

@@ -1,0 +1,6 @@
+//! Clean mirror: allowlisted `unsafe` with its SAFETY comment.
+
+pub fn lane_sum(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid for reads and aligned.
+    unsafe { *p }
+}

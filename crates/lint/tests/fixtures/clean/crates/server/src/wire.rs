@@ -1,0 +1,11 @@
+//! Clean mirror: a panic-free decode path and in-sync doc tables.
+
+pub const PROTOCOL_VERSION: u8 = 6;
+const REQ_PING: u8 = 0x01;
+
+pub fn decode_frame(payload: &[u8]) -> Result<u8, ()> {
+    match payload.first() {
+        Some(v) if *v == REQ_PING => Ok(*v),
+        _ => Err(()),
+    }
+}

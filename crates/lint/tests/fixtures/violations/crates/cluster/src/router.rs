@@ -1,0 +1,13 @@
+//! Seeded violations: float arithmetic outside `merge_plan_counts`.
+
+pub fn merge_plan_counts(xs: &[u64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x as f64;
+    }
+    acc
+}
+
+pub fn skew(a: u64, b: u64) -> f64 {
+    a as f64 / (b as f64 + 1.0)
+}

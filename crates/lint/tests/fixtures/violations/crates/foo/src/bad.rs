@@ -1,0 +1,33 @@
+//! Seeded violations: unsafe-audit (non-allowlisted file),
+//! atomics-audit (missing ord comment; Relaxed gate without `gate:`),
+//! lock-across-io, and the unregistered-metric side of doc-drift.
+//! This file is fixture data — it is never compiled.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub static JOBS: AtomicU64 = AtomicU64::new(0);
+pub static WORKERS_READY: AtomicBool = AtomicBool::new(false);
+
+pub fn raw_peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn count() -> u64 {
+    JOBS.load(Ordering::SeqCst)
+}
+
+pub fn gate_probe() -> bool {
+    // ord: cheap probe (deliberately missing the marker for gate names)
+    WORKERS_READY.load(Ordering::Relaxed)
+}
+
+pub fn flush_under_lock(m: &Mutex<Vec<u8>>, f: &mut std::fs::File) -> std::io::Result<()> {
+    use std::io::Write;
+    let buf = m.lock().unwrap();
+    f.write_all(&buf)
+}
+
+pub fn register() {
+    counter("psketch_real_total").inc();
+}

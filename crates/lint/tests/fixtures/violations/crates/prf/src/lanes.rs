@@ -1,0 +1,6 @@
+//! Seeded violation: this file IS on the unsafe allowlist, but the
+//! `unsafe` block below lacks the required safety justification.
+
+pub fn lane_sum(p: *const u64) -> u64 {
+    unsafe { *p }
+}

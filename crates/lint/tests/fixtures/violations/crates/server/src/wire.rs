@@ -1,0 +1,18 @@
+//! Seeded violations: panic-freedom in a decode path, and both
+//! directions of opcode/version doc-drift.
+
+pub const PROTOCOL_VERSION: u8 = 9;
+const REQ_PING: u8 = 0x01;
+
+pub fn decode_frame(payload: &[u8]) -> u8 {
+    let first = payload[0];
+    let parsed: Result<u8, ()> = Ok(first);
+    parsed.unwrap()
+}
+
+pub fn encode_frame(v: u8) -> Vec<u8> {
+    // The encode half is out of panic-freedom scope: this expect is a
+    // programmer-error assertion and must NOT be flagged.
+    let n: u8 = u8::try_from(64usize).expect("fits in u8");
+    vec![v, n, REQ_PING]
+}

@@ -146,6 +146,8 @@ impl MetricsExposer {
     }
 
     fn stop_and_join(&mut self) {
+        // ord: shutdown flag read by the accept thread; SeqCst keeps the
+        // rare path trivially correct (one store per process lifetime)
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -160,6 +162,7 @@ impl Drop for MetricsExposer {
 }
 
 fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    // ord: pairs with the SeqCst store in `stop_and_join`
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -195,7 +198,7 @@ fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
         }
         match stream.read(&mut buf) {
             Ok(0) => break,
-            Ok(n) => request.extend_from_slice(&buf[..n]),
+            Ok(n) => request.extend_from_slice(buf.get(..n).unwrap_or(&buf)),
             Err(_) => break,
         }
     }

@@ -69,8 +69,12 @@ impl Histogram {
         if !crate::enabled() {
             return;
         }
+        // ord: independent monotonic counters; scrapes tolerate torn
+        // cross-field reads, so no ordering between them is needed
         self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        // ord: same stats surface — monotonic, no cross-field ordering
         self.sum.fetch_add(value, Ordering::Relaxed);
+        // ord: same stats surface — monotonic, no cross-field ordering
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -88,9 +92,12 @@ impl Histogram {
             buckets: self
                 .buckets
                 .iter()
+                // ord: snapshot is explicitly fuzzy (see doc comment)
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            // ord: snapshot is explicitly fuzzy (see doc comment)
             sum: self.sum.load(Ordering::Relaxed),
+            // ord: snapshot is explicitly fuzzy (see doc comment)
             max: self.max.load(Ordering::Relaxed),
         }
     }

@@ -52,12 +52,15 @@ static ENABLED: AtomicBool = AtomicBool::new(true);
 /// `--no-metrics` path. Log records are governed by the log filter,
 /// not this switch (an error is worth writing even when unmetered).
 pub fn set_enabled(on: bool) {
+    // ord: gate: pure on/off toggle — no data is published under this
+    // flag, so a stale read only delays the switch by one observation
     ENABLED.store(on, Ordering::Relaxed);
 }
 
 /// Whether metric recording is currently enabled.
 #[must_use]
 pub fn enabled() -> bool {
+    // ord: gate: see `set_enabled` — nothing is ordered behind the flag
     ENABLED.load(Ordering::Relaxed)
 }
 

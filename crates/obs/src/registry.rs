@@ -24,6 +24,7 @@ impl Counter {
     /// Adds `n` (no-op while metrics are disabled).
     pub fn add(&self, n: u64) {
         if crate::enabled() {
+            // ord: monotonic counter; scrapes only need eventual totals
             self.0.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -31,6 +32,7 @@ impl Counter {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // ord: lone word, nothing ordered against it
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -45,6 +47,7 @@ impl Gauge {
     /// Sets the value (no-op while metrics are disabled).
     pub fn set(&self, v: u64) {
         if crate::enabled() {
+            // ord: last-write-wins instantaneous value, no ordering need
             self.0.store(v, Ordering::Relaxed);
         }
     }
@@ -52,6 +55,7 @@ impl Gauge {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // ord: lone word, nothing ordered against it
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -51,6 +51,8 @@ static ACTIVE_TRACES: AtomicU32 = AtomicU32::new(0);
 /// instrumentation sites consult before touching thread-local state).
 #[must_use]
 pub fn profiling_active() -> bool {
+    // ord: gate: span data lives in thread-locals, never published
+    // through this counter — a stale zero just skips one observation
     ACTIVE_TRACES.load(Ordering::Relaxed) != 0
 }
 
@@ -173,6 +175,8 @@ impl Trace {
         COLLECTOR.with(|slot| {
             let mut slot = slot.borrow_mut();
             if slot.is_none() {
+                // ord: gate: see `profiling_active` — counter only gates
+                // the fast path, span data stays thread-local
                 ACTIVE_TRACES.fetch_add(1, Ordering::Relaxed);
             }
             *slot = Some(Collector {
@@ -205,9 +209,9 @@ impl Trace {
     /// Attaches an attribute to the root span of this trace.
     pub fn root_attr(&self, key: &'static str, value: u64) {
         COLLECTOR.with(|slot| {
-            if let Some(collector) = slot.borrow_mut().as_mut() {
-                if collector.spans[0].attrs.len() < MAX_SPAN_ATTRS {
-                    collector.spans[0].attrs.push((key, value));
+            if let Some(root) = slot.borrow_mut().as_mut().and_then(|c| c.spans.first_mut()) {
+                if root.attrs.len() < MAX_SPAN_ATTRS {
+                    root.attrs.push((key, value));
                 }
             }
         });
@@ -229,10 +233,12 @@ impl Trace {
                         span.closed = true;
                     }
                 }
-                if collector.dropped > 0 && collector.spans[0].attrs.len() < MAX_SPAN_ATTRS {
-                    collector.spans[0]
-                        .attrs
-                        .push(("dropped_spans", collector.dropped));
+                if collector.dropped > 0 {
+                    if let Some(root) = collector.spans.first_mut() {
+                        if root.attrs.len() < MAX_SPAN_ATTRS {
+                            root.attrs.push(("dropped_spans", collector.dropped));
+                        }
+                    }
                 }
                 assemble(collector.spans)
             },
@@ -253,6 +259,8 @@ fn take_collector() -> Option<Collector> {
     COLLECTOR.with(|slot| {
         let taken = slot.borrow_mut().take();
         if taken.is_some() {
+            // ord: gate: see `profiling_active` — decrement only reopens
+            // the fast path, no data is released through it
             ACTIVE_TRACES.fetch_sub(1, Ordering::Relaxed);
         }
         taken
@@ -281,17 +289,21 @@ fn assemble(spans: Vec<OpenSpan>) -> SpanNode {
         })
         .collect();
     for i in (1..slots.len()).rev() {
-        let mut node = slots[i].take().expect("each slot taken once");
+        let Some(mut node) = slots.get_mut(i).and_then(Option::take) else {
+            continue;
+        };
         // Children were pushed in descending index order; restore
         // recording order.
         node.children.reverse();
-        slots[parents[i]]
-            .as_mut()
-            .expect("parent index precedes child")
-            .children
-            .push(node);
+        let parent = parents.get(i).copied().unwrap_or(0);
+        if let Some(Some(parent_node)) = slots.get_mut(parent) {
+            parent_node.children.push(node);
+        }
     }
-    let mut root = slots[0].take().expect("root slot");
+    let mut root = slots
+        .first_mut()
+        .and_then(Option::take)
+        .unwrap_or_else(|| SpanNode::new("trace:lost", 0, 0));
     root.children.reverse();
     root
 }
@@ -311,8 +323,11 @@ impl SpanGuard {
     pub fn attr(&self, key: &'static str, value: u64) {
         let Some(index) = self.index else { return };
         COLLECTOR.with(|slot| {
-            if let Some(collector) = slot.borrow_mut().as_mut() {
-                let span = &mut collector.spans[index];
+            if let Some(span) = slot
+                .borrow_mut()
+                .as_mut()
+                .and_then(|c| c.spans.get_mut(index))
+            {
                 if span.attrs.len() < MAX_SPAN_ATTRS {
                     span.attrs.push((key, value));
                 }
@@ -327,10 +342,11 @@ impl Drop for SpanGuard {
         COLLECTOR.with(|slot| {
             if let Some(collector) = slot.borrow_mut().as_mut() {
                 let now = elapsed_ns(collector.started);
-                let span = &mut collector.spans[index];
-                if !span.closed {
-                    span.duration_ns = now.saturating_sub(span.start_ns);
-                    span.closed = true;
+                if let Some(span) = collector.spans.get_mut(index) {
+                    if !span.closed {
+                        span.duration_ns = now.saturating_sub(span.start_ns);
+                        span.closed = true;
+                    }
                 }
                 // Pop this span (and anything a panic left open above
                 // it) off the open stack.
@@ -360,7 +376,7 @@ pub fn enter(name: &'static str) -> SpanGuard {
             collector.dropped += 1;
             return None;
         }
-        let parent = *collector.stack.last().expect("root always open");
+        let parent = collector.stack.last().copied().unwrap_or(0);
         let index = collector.spans.len();
         collector.spans.push(OpenSpan {
             name,
@@ -401,13 +417,13 @@ impl TraceRing {
     }
 
     /// Stores a completed trace, evicting the oldest past
-    /// [`RING_CAPACITY`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring mutex is poisoned.
+    /// [`RING_CAPACITY`]. A poisoned mutex is recovered — the ring
+    /// holds plain data, never a half-applied invariant.
     pub fn store(&self, nonce: u64, root: SpanNode) {
-        let mut ring = self.inner.lock().expect("trace ring poisoned");
+        let mut ring = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() >= RING_CAPACITY {
             ring.pop_front();
         }
@@ -415,13 +431,12 @@ impl TraceRing {
     }
 
     /// The most recently completed trace for `nonce`, if still retained.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring mutex is poisoned.
     #[must_use]
     pub fn fetch(&self, nonce: u64) -> Option<SpanNode> {
-        let ring = self.inner.lock().expect("trace ring poisoned");
+        let ring = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.iter()
             .rev()
             .find(|t| t.nonce == nonce)
@@ -429,13 +444,12 @@ impl TraceRing {
     }
 
     /// Summaries of every retained trace, oldest first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the ring mutex is poisoned.
     #[must_use]
     pub fn list(&self) -> Vec<TraceSummary> {
-        let ring = self.inner.lock().expect("trace ring poisoned");
+        let ring = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         ring.iter()
             .map(|t| TraceSummary {
                 nonce: t.nonce,

@@ -284,6 +284,8 @@ pub fn set_lane_width(width: usize) -> Result<(), LaneWidthError> {
     if width != AUTO && !SUPPORTED_LANE_WIDTHS.contains(&width) {
         return Err(LaneWidthError(width));
     }
+    // ord: standalone config word; callers set it before spawning the
+    // scan threads that read it, and thread::spawn orders the handoff
     CONFIGURED.store(width, Ordering::Relaxed);
     Ok(())
 }
@@ -292,6 +294,7 @@ pub fn set_lane_width(width: usize) -> Result<(), LaneWidthError> {
 /// hardware default.
 #[must_use]
 pub fn lane_width() -> usize {
+    // ord: see `set_lane_width` — the spawn edge does the ordering
     match CONFIGURED.load(Ordering::Relaxed) {
         AUTO => probe_lane_width(),
         width => width,

@@ -157,9 +157,13 @@ struct Counters {
 impl Counters {
     fn snapshot(&self) -> CoordinatorStats {
         CoordinatorStats {
+            // ord: fuzzy stats snapshot; fields may tear across readers
             accepted: self.accepted.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             malformed: self.malformed.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             records: self.records.load(Ordering::Relaxed),
         }
     }
@@ -234,6 +238,7 @@ impl Coordinator {
         let records = match submission.decode(&self.announcement) {
             Ok(r) => r,
             Err(e) => {
+                // ord: monotonic stat counter, eventual totals suffice
                 self.counters.malformed.fetch_add(1, Ordering::Relaxed);
                 return Err(e);
             }
@@ -241,12 +246,14 @@ impl Coordinator {
         {
             let mut seen = self.seen.lock();
             if !seen.insert(submission.user) {
+                // ord: monotonic stat counter, eventual totals suffice
                 self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
                 return Err(Error::Codec {
                     reason: format!("duplicate submission from {}", submission.user),
                 });
             }
         }
+        // ord: monotonic stat counter, eventual totals suffice
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
         self.ingest(std::iter::once((submission.user, records)));
         Ok(())
@@ -272,6 +279,7 @@ impl Coordinator {
             match submission.decode(&self.announcement) {
                 Ok(records) => decoded.push((submission.user, records)),
                 Err(_) => {
+                    // ord: monotonic stat counter, eventual totals suffice
                     self.counters.malformed.fetch_add(1, Ordering::Relaxed);
                     outcome.rejected += 1;
                 }
@@ -284,6 +292,7 @@ impl Coordinator {
                 if seen.insert(*user) {
                     true
                 } else {
+                    // ord: monotonic stat counter, eventual totals suffice
                     self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
                     outcome.rejected += 1;
                     false
@@ -293,6 +302,7 @@ impl Coordinator {
         outcome.accepted = decoded.len();
         self.counters
             .accepted
+            // ord: monotonic stat counter, eventual totals suffice
             .fetch_add(outcome.accepted as u64, Ordering::Relaxed);
         self.ingest(decoded);
         outcome
@@ -315,6 +325,7 @@ impl Coordinator {
                     .push(SketchRecord { id: user, sketch });
             }
         }
+        // ord: monotonic stat counter, eventual totals suffice
         self.counters.records.fetch_add(total, Ordering::Relaxed);
         for (subset, records) in grouped {
             self.db.insert_batch(subset, records);

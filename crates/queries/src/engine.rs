@@ -81,8 +81,11 @@ impl QueryEngine {
     #[must_use]
     pub fn stats(&self) -> EngineStatsSnapshot {
         EngineStatsSnapshot {
+            // ord: fuzzy stats snapshot; fields may tear across readers
             terms_scanned: self.stats.terms_scanned.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             terms_reused: self.stats.terms_reused.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             plans_executed: self.stats.plans_executed.load(Ordering::Relaxed),
         }
     }
@@ -139,7 +142,9 @@ impl QueryEngine {
         let counts = self.estimator.count_terms_partial(db, terms);
         self.stats
             .terms_scanned
+            // ord: monotonic stat counter, eventual totals suffice
             .fetch_add(terms.len() as u64, Ordering::Relaxed);
+        // ord: monotonic stat counter, eventual totals suffice
         self.stats.plans_executed.fetch_add(1, Ordering::Relaxed);
         counts
     }
@@ -177,10 +182,13 @@ impl QueryEngine {
             .sum();
         self.stats
             .terms_scanned
+            // ord: monotonic stat counter, eventual totals suffice
             .fetch_add(scanned, Ordering::Relaxed);
         self.stats
             .terms_reused
+            // ord: monotonic stat counter, eventual totals suffice
             .fetch_add(references.saturating_sub(scanned), Ordering::Relaxed);
+        // ord: monotonic stat counter, eventual totals suffice
         self.stats.plans_executed.fetch_add(1, Ordering::Relaxed);
         span.attr("term_count", plan.terms().len() as u64);
         span.attr("memo_hits", references.saturating_sub(scanned));
@@ -257,6 +265,7 @@ impl QueryEngine {
         let value = lq.evaluate_with(|q| {
             let e = match memo.get(q) {
                 Some(e) => {
+                    // ord: monotonic stat counter, eventual totals suffice
                     self.stats.terms_reused.fetch_add(1, Ordering::Relaxed);
                     *e
                 }
@@ -264,6 +273,7 @@ impl QueryEngine {
                     let e = self.estimator.estimate(db, q)?;
                     memo.insert(q.clone(), e);
                     queries_used += 1;
+                    // ord: monotonic stat counter, eventual totals suffice
                     self.stats.terms_scanned.fetch_add(1, Ordering::Relaxed);
                     e
                 }

@@ -46,6 +46,7 @@ pub fn next_nonce() -> u64 {
             .build_hasher()
             .finish()
     });
+    // ord: uniqueness only — fetch_add is atomic at every ordering
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     // splitmix64 over the seeded counter: distinct inputs, distinct outputs.
     let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);

@@ -212,6 +212,8 @@ impl NonceWindow {
 
     fn release(entry: NonceEntry, global: &AtomicU64) -> usize {
         if let ReplayState::Ready(bytes) = entry.response {
+            // ord: advisory byte budget; enforcement is under the per-
+            // analyst mutex, the global word only approximates totals
             global.fetch_sub(bytes.len() as u64, Ordering::Relaxed);
             bytes.len()
         } else {
@@ -267,17 +269,20 @@ impl NonceWindow {
             if let Some(entry) = self.seen.get_mut(&victim) {
                 let old = std::mem::replace(&mut entry.response, ReplayState::Evicted);
                 if let ReplayState::Ready(bytes) = old {
+                    // ord: advisory byte budget (see `release`)
                     global.fetch_sub(bytes.len() as u64, Ordering::Relaxed);
                     self.cached_bytes -= bytes.len();
                 }
             }
         }
         let fits_analyst = self.cached_bytes + encoded.len() <= REPLAY_CACHE_TOTAL_BYTES;
+        // ord: advisory byte budget (see `release`)
         let fits_global = global.load(Ordering::Relaxed) + encoded.len() as u64
             <= REPLAY_CACHE_GLOBAL_BYTES as u64;
         if let Some(entry) = self.seen.get_mut(&nonce) {
             if entry.digest == digest && matches!(entry.response, ReplayState::Pending) {
                 if fits_entry && fits_analyst && fits_global {
+                    // ord: advisory byte budget (see `release`)
                     global.fetch_add(encoded.len() as u64, Ordering::Relaxed);
                     self.cached_bytes += encoded.len();
                     entry.response = ReplayState::Ready(Arc::clone(encoded));
@@ -398,6 +403,7 @@ impl BudgetBook {
                 // Already paid for, byte-identical, original response
                 // cached: serve that exact response free.
                 ReplayLookup::Ready(cached) => {
+                    // ord: monotonic stat counter, eventual totals suffice
                     self.replays.fetch_add(1, Ordering::Relaxed);
                     self.obs_replays.inc();
                     return Ok(Charge::Replay(cached));
@@ -422,11 +428,13 @@ impl BudgetBook {
                     ledger.nonces.record(nonce, digest, &self.cached_bytes);
                 }
                 self.charged_terms
+                    // ord: monotonic stat counter, eventual totals suffice
                     .fetch_add(u64::from(estimates), Ordering::Relaxed);
                 self.obs_charged_terms.add(u64::from(estimates));
                 Ok(Charge::Evaluate)
             }
             Err(e) => {
+                // ord: monotonic stat counter, eventual totals suffice
                 self.denials.fetch_add(1, Ordering::Relaxed);
                 self.obs_denials.inc();
                 Err(e)
@@ -450,8 +458,11 @@ impl BudgetBook {
 
     fn stats(&self) -> wire::BudgetStats {
         wire::BudgetStats {
+            // ord: fuzzy stats snapshot; fields may tear across readers
             charged_terms: self.charged_terms.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             replays: self.replays.load(Ordering::Relaxed),
+            // ord: fuzzy stats snapshot; fields may tear across readers
             denials: self.denials.load(Ordering::Relaxed),
         }
     }
@@ -474,14 +485,16 @@ impl FrameCounters {
     }
 
     fn record(&self, kind: u8) {
-        if (1..=wire::MAX_REQUEST_KIND).contains(&kind) {
-            self.kinds[kind as usize - 1].fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.malformed.fetch_add(1, Ordering::Relaxed);
-        }
+        match self.kinds.get(kind.wrapping_sub(1) as usize) {
+            // ord: monotonic stat counter; readers only need eventual totals
+            Some(counter) if kind >= 1 => counter.fetch_add(1, Ordering::Relaxed),
+            // ord: monotonic stat counter; readers only need eventual totals
+            _ => self.malformed.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     fn record_malformed(&self) {
+        // ord: monotonic stat counter, eventual totals suffice
         self.malformed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -496,6 +509,7 @@ impl FrameCounters {
             .iter()
             .enumerate()
             .filter_map(|(i, counter)| {
+                // ord: fuzzy stats snapshot, exact counts not needed
                 let count = counter.load(Ordering::Relaxed);
                 (count > 0).then_some((i as u8 + 1, count))
             })
@@ -504,6 +518,7 @@ impl FrameCounters {
         wire::ServerStats {
             uptime_secs: uptime.as_secs(),
             frames,
+            // ord: fuzzy stats snapshot, exact counts not needed
             malformed: self.malformed.load(Ordering::Relaxed),
             plans: wire::PlanStats {
                 plans_executed: engine_stats.plans_executed,
@@ -677,6 +692,8 @@ impl Server {
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
+                    // ord: pairs with the AcqRel swap in `shutdown_impl`;
+                    // must observe writes that preceded the shutdown
                     if shutdown.load(Ordering::Acquire) {
                         break;
                     }
@@ -728,6 +745,8 @@ impl Server {
     }
 
     fn shutdown_impl(&mut self) {
+        // ord: release publishes pre-shutdown writes to worker threads;
+        // acquire makes the second caller see the first's cleanup
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -783,6 +802,7 @@ fn worker_loop(
                 let _ = serve_connection(stream, state, shutdown);
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
+                // ord: pairs with the AcqRel swap in `shutdown_impl`
                 if shutdown.load(Ordering::Acquire) {
                     return;
                 }
@@ -833,10 +853,14 @@ fn read_len_prefix(stream: &mut TcpStream, shutdown: &AtomicBool) -> io::Result<
     let mut buf = [0u8; 4];
     let mut filled = 0usize;
     loop {
+        // ord: pairs with the AcqRel swap in `shutdown_impl`
         if shutdown.load(Ordering::Acquire) {
             return Ok(None);
         }
-        match stream.read(&mut buf[filled..]) {
+        let Some(rest) = buf.get_mut(filled..) else {
+            return Err(io::Error::other("length-prefix cursor overran its buffer"));
+        };
+        match stream.read(rest) {
             Ok(0) => {
                 return if filled == 0 {
                     Ok(None)
@@ -870,8 +894,8 @@ fn read_exact_patient(
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
     let mut filled = 0usize;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
+    while let Some(rest) = buf.get_mut(filled..).filter(|tail| !tail.is_empty()) {
+        match stream.read(rest) {
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -884,6 +908,7 @@ fn read_exact_patient(
                     || e.kind() == io::ErrorKind::TimedOut
                     || e.kind() == io::ErrorKind::Interrupted =>
             {
+                // ord: pairs with the AcqRel swap in `shutdown_impl`
                 if shutdown.load(Ordering::Acquire) {
                     return Err(io::Error::new(
                         io::ErrorKind::Interrupted,
@@ -998,7 +1023,7 @@ fn handle_frame(state: &ServiceState, conn: &mut ConnState, payload: &[u8]) -> S
         }
     };
     // The kind byte is trusted only after a full decode succeeded.
-    let kind = payload[1];
+    let kind = payload.get(1).copied().unwrap_or(0);
     state.frames.record(kind);
     // The replay digest is only needed for charging kinds, and only
     // when accounting is on — ingest frames (which can be megabytes)
@@ -1274,6 +1299,9 @@ fn check_plan_size(terms: usize) -> Option<Response> {
 /// compaction check. Only after all of that is the client acked. With
 /// durability off there is no lock at all — batches from concurrent
 /// clients decode and land in parallel.
+// The WAL lock is *deliberately* held across append/fsync/compact:
+// replay order must match apply order, and that serialization is
+// exactly what the lock provides. lint: allow(lock_across_io)
 fn ingest(state: &ServiceState, subs: &[psketch_protocol::Submission]) -> Response {
     let outcome = match &state.wal {
         None => {

@@ -489,20 +489,32 @@ impl<'a> Dec<'a> {
         Ok(head)
     }
 
+    /// A fixed-size read. `take` already bounds-checked, so the copy
+    /// can never fail — written without `try_into().unwrap()` so the
+    /// decode path stays mechanically panic-free.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], Error> {
+        let src = self.take(N)?;
+        let mut out = [0u8; N];
+        for (dst, byte) in out.iter_mut().zip(src) {
+            *dst = *byte;
+        }
+        Ok(out)
+    }
+
     fn u8(&mut self) -> Result<u8, Error> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, Error> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, Error> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, Error> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, Error> {
@@ -612,8 +624,14 @@ fn get_bitstring(dec: &mut Dec<'_>) -> Result<BitString, Error> {
     }
     let bytes = dec.take(bits.div_ceil(8))?;
     let mut out = BitString::zeros(bits);
-    for i in 0..bits {
-        out.set(i, (bytes[i / 8] >> (i % 8)) & 1 == 1);
+    for (byte_idx, byte) in bytes.iter().enumerate() {
+        for bit in 0..8 {
+            let i = byte_idx * 8 + bit;
+            if i >= bits {
+                break;
+            }
+            out.set(i, (byte >> bit) & 1 == 1);
+        }
     }
     Ok(out)
 }
@@ -635,7 +653,7 @@ fn get_announcement(dec: &mut Dec<'_>) -> Result<Announcement, Error> {
     let database_id = dec.u64()?;
     let p = dec.f64()?;
     let sketch_bits = dec.u8()?;
-    let global_key: [u8; 32] = dec.take(32)?.try_into().unwrap();
+    let global_key: [u8; 32] = dec.array()?;
     let n = dec.count(4)?;
     let mut subsets = Vec::with_capacity(n);
     for _ in 0..n {
@@ -865,12 +883,14 @@ fn get_registry_snapshot(dec: &mut Dec<'_>) -> Result<RegistrySnapshot, Error> {
         for _ in 0..pairs {
             let index = dec.u8()? as usize;
             let count = dec.u64()?;
-            if index >= hist.buckets.len() {
-                return Err(codec_err(format!(
-                    "histogram bucket index {index} out of range"
-                )));
+            match hist.buckets.get_mut(index) {
+                Some(slot) => *slot = count,
+                None => {
+                    return Err(codec_err(format!(
+                        "histogram bucket index {index} out of range"
+                    )))
+                }
             }
-            hist.buckets[index] = count;
         }
         snap.histograms.push((id, hist));
     }
@@ -979,17 +999,23 @@ fn get_span_tree(dec: &mut Dec<'_>) -> Result<SpanNode, Error> {
         }));
     }
     // Assemble back to front: every node is attached after all of its
-    // own children were (parents precede children in preorder).
+    // own children were (parents precede children in preorder). The
+    // index checks above make the lookups infallible, but the decode
+    // path maps every surprise to an error rather than a panic.
     for i in (1..n).rev() {
-        let mut node = slots[i].take().expect("each slot taken once");
+        let Some(mut node) = slots.get_mut(i).and_then(Option::take) else {
+            return Err(codec_err("span tree slot vanished during assembly"));
+        };
         node.children.reverse();
-        slots[parents[i]]
-            .as_mut()
-            .expect("parent precedes child")
-            .children
-            .push(node);
+        let parent = parents.get(i).copied().unwrap_or(0);
+        match slots.get_mut(parent).and_then(Option::as_mut) {
+            Some(p) => p.children.push(node),
+            None => return Err(codec_err("span tree parent slot vanished during assembly")),
+        }
     }
-    let mut root = slots[0].take().expect("root slot");
+    let Some(mut root) = slots.first_mut().and_then(Option::take) else {
+        return Err(codec_err("span tree root slot vanished during assembly"));
+    };
     root.children.reverse();
     Ok(root)
 }
@@ -1032,10 +1058,10 @@ fn payload(kind: u8) -> Vec<u8> {
 
 /// Splits a frame payload into `(version, kind, body)`.
 fn open_payload(payload: &[u8]) -> Result<(u8, u8, Dec<'_>), Error> {
-    if payload.len() < 2 {
-        return Err(codec_err("frame payload shorter than its header"));
+    match payload {
+        [version, kind, body @ ..] => Ok((*version, *kind, Dec::new(body))),
+        _ => Err(codec_err("frame payload shorter than its header")),
     }
-    Ok((payload[0], payload[1], Dec::new(&payload[2..])))
 }
 
 /// The protocol version a frame payload declares (for pre-dispatch
@@ -1427,8 +1453,8 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
-    while filled < 4 {
-        let n = r.read(&mut len_buf[filled..])?;
+    while let Some(rest) = len_buf.get_mut(filled..).filter(|tail| !tail.is_empty()) {
+        let n = r.read(rest)?;
         if n == 0 {
             if filled == 0 {
                 return Ok(None);
